@@ -1,0 +1,115 @@
+//! Criterion benchmarks: grid-search scaling and the parallel speedup the
+//! paper relies on ("gains are also achieved by parallel processing the
+//! models"), plus the §6.3 correlogram pruning payoff.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwcp_core::{evaluate_candidates, CandidateSet, DataProfile, EvaluationOptions, ModelGrid};
+use dwcp_models::arima::ArimaOptions;
+use std::hint::black_box;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            let tf = t as f64;
+            60.0 + 0.03 * tf
+                + 12.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t * 2654435761 % 89) as f64) / 25.0
+        })
+        .collect()
+}
+
+fn quick_eval(threads: usize) -> EvaluationOptions {
+    EvaluationOptions {
+        threads,
+        fit: ArimaOptions {
+            max_evals: 80,
+            restarts: 0,
+            interval_level: 0.95,
+                ..Default::default()
+        },
+        start_index: 0,
+    }
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let y = series(504);
+    let (train, test) = y.split_at(480);
+    let profile = DataProfile::analyze(train).unwrap();
+    let set = CandidateSet::sarimax(profile, 24, 0, 16);
+    let mut group = c.benchmark_group("grid/parallel_speedup_16_models");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let opts = quick_eval(threads);
+            b.iter(|| {
+                evaluate_candidates(
+                    black_box(train),
+                    black_box(test),
+                    &[],
+                    &[],
+                    &set.models,
+                    &opts,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning_payoff(c: &mut Criterion) {
+    let y = series(504);
+    let (train, test) = y.split_at(480);
+    let profile = DataProfile::analyze(train).unwrap();
+    let full = ModelGrid::arima();
+    let pruned = full.prune(&profile.correlogram, 12);
+    let mut group = c.benchmark_group("grid/pruning_payoff");
+    group.sample_size(10);
+    group.bench_function(format!("pruned_{}_models", pruned.len()), |b| {
+        let opts = quick_eval(0);
+        b.iter(|| {
+            evaluate_candidates(
+                black_box(train),
+                black_box(test),
+                &[],
+                &[],
+                &pruned.candidates,
+                &opts,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("first_40_of_full_grid", |b| {
+        let opts = quick_eval(0);
+        let subset = &full.candidates[..40];
+        b.iter(|| {
+            evaluate_candidates(
+                black_box(train),
+                black_box(test),
+                &[],
+                &[],
+                subset,
+                &opts,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_grid_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid/generation");
+    group.bench_function("arima_180", |b| b.iter(|| black_box(ModelGrid::arima())));
+    group.bench_function("sarimax_660", |b| {
+        b.iter(|| black_box(ModelGrid::sarimax(24)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_speedup,
+    bench_pruning_payoff,
+    bench_grid_generation
+);
+criterion_main!(benches);

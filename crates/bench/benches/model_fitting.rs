@@ -1,0 +1,118 @@
+//! Criterion benchmarks: fit throughput per model family — the cost the
+//! §6.3 grid search pays per candidate, and the §9 claim that correlogram
+//! pruning plus parallelism is what makes thousands of models tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwcp_models::arima::ArimaOptions;
+use dwcp_models::{
+    ArimaSpec, EtsConfig, FittedArima, FittedEts, FittedSarimax, FittedTbats, SarimaxConfig,
+    TbatsConfig,
+};
+use dwcp_models::fourier::FourierSpec;
+use std::hint::black_box;
+
+/// A 984-point hourly-shaped training series (the Table 1 train size) with
+/// trend, daily seasonality and noise.
+fn train_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            let tf = t as f64;
+            80.0 + 0.05 * tf
+                + 20.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t * 2654435761 % 97) as f64) / 20.0
+        })
+        .collect()
+}
+
+fn fit_options() -> ArimaOptions {
+    ArimaOptions {
+        max_evals: 300,
+        restarts: 0,
+        interval_level: 0.95,
+                ..Default::default()
+    }
+}
+
+fn bench_arima_family(c: &mut Criterion) {
+    let y = train_series(984);
+    let mut group = c.benchmark_group("fit/arima_family");
+    group.sample_size(10);
+    for (label, spec) in [
+        ("arima(1,1,1)", ArimaSpec::arima(1, 1, 1)),
+        ("arima(13,1,2)", ArimaSpec::arima(13, 1, 2)),
+        ("sarima(1,1,1)(0,1,1,24)", ArimaSpec::sarima(1, 1, 1, 0, 1, 1, 24)),
+        ("sarima(4,1,2)(1,1,1,24)", ArimaSpec::sarima(4, 1, 2, 1, 1, 1, 24)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                FittedArima::fit(black_box(&y), spec, &fit_options()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Four distinct six-hourly backup-slot indicators (identical columns
+/// would make the regression design singular).
+fn backup_slots(n: usize) -> Vec<Vec<f64>> {
+    (0..4)
+        .map(|slot| {
+            (0..n)
+                .map(|t| if t % 24 == slot * 6 { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_sarimax_regression(c: &mut Criterion) {
+    let y = train_series(984);
+    let mut group = c.benchmark_group("fit/sarimax_regression");
+    group.sample_size(10);
+    group.bench_function("exog4", |b| {
+        let exog = backup_slots(984);
+        let config = SarimaxConfig {
+            spec: ArimaSpec::sarima(1, 1, 1, 0, 1, 1, 24),
+            fourier: FourierSpec::none(),
+            n_exog: 4,
+        };
+        b.iter(|| {
+            FittedSarimax::fit(black_box(&y), config.clone(), &exog, 0, &fit_options()).unwrap()
+        })
+    });
+    group.bench_function("exog4_fourier2x2", |b| {
+        let exog = backup_slots(984);
+        let config = SarimaxConfig {
+            spec: ArimaSpec::sarima(1, 1, 1, 0, 1, 1, 24),
+            fourier: FourierSpec::multi(&[24.0, 168.0], 2),
+            n_exog: 4,
+        };
+        b.iter(|| {
+            FittedSarimax::fit(black_box(&y), config.clone(), &exog, 0, &fit_options()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ets_and_tbats(c: &mut Criterion) {
+    let y = train_series(984);
+    let mut group = c.benchmark_group("fit/smoothing");
+    group.sample_size(10);
+    group.bench_function("ses", |b| {
+        b.iter(|| FittedEts::fit(black_box(&y), EtsConfig::ses()).unwrap())
+    });
+    group.bench_function("holt_winters_24", |b| {
+        b.iter(|| FittedEts::fit(black_box(&y), EtsConfig::holt_winters(24)).unwrap())
+    });
+    group.bench_function("tbats_24x3", |b| {
+        b.iter(|| FittedTbats::fit(black_box(&y), TbatsConfig::seasonal(24.0, 3)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arima_family,
+    bench_sarimax_regression,
+    bench_ets_and_tbats
+);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Criterion benchmarks: the substrates — simulator throughput, repository
+//! aggregation, series diagnostics and forecasting latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwcp_models::arima::ArimaOptions;
+use dwcp_models::{ArimaSpec, FittedArima};
+use dwcp_series::{acf, pacf, detect_seasonality};
+use dwcp_workload::{olap_scenario, Metric};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/simulate");
+    group.sample_size(10);
+    for days in [7u32, 30] {
+        group.bench_function(BenchmarkId::new("olap_days", days), |b| {
+            let mut scenario = olap_scenario();
+            scenario.duration_days = days;
+            b.iter(|| black_box(scenario.run(1).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_repository_aggregation(c: &mut Criterion) {
+    let scenario = olap_scenario();
+    let repo = scenario.run(2).unwrap();
+    c.bench_function("workload/hourly_aggregation_43d", |b| {
+        b.iter(|| {
+            black_box(
+                repo.hourly_series("cdbm011", Metric::LogicalIops, 0, scenario.hours())
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_diagnostics(c: &mut Criterion) {
+    let y: Vec<f64> = (0..984)
+        .map(|t| {
+            let tf = t as f64;
+            50.0 + 10.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t * 7919 % 101) as f64) / 30.0
+        })
+        .collect();
+    let mut group = c.benchmark_group("series/diagnostics_984");
+    group.bench_function("acf_30", |b| b.iter(|| black_box(acf(&y, 30).unwrap())));
+    group.bench_function("pacf_30", |b| b.iter(|| black_box(pacf(&y, 30).unwrap())));
+    group.bench_function("detect_seasonality", |b| {
+        b.iter(|| black_box(detect_seasonality(&y, 200).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_forecast_latency(c: &mut Criterion) {
+    let y: Vec<f64> = (0..984)
+        .map(|t| {
+            let tf = t as f64;
+            50.0 + 10.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t * 7919 % 101) as f64) / 30.0
+        })
+        .collect();
+    let fit = FittedArima::fit(
+        &y,
+        ArimaSpec::sarima(2, 1, 1, 0, 1, 1, 24),
+        &ArimaOptions {
+            max_evals: 300,
+            restarts: 0,
+            interval_level: 0.95,
+                ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("forecast/horizon");
+    for h in [24usize, 168] {
+        group.bench_function(BenchmarkId::from_parameter(h), |b| {
+            b.iter(|| black_box(fit.forecast(h)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shock_detection(c: &mut Criterion) {
+    // 30 days of hourly data with 6-hourly spikes.
+    let y: Vec<f64> = (0..720usize)
+        .map(|t| {
+            let tf = t as f64;
+            let mut v = 50.0
+                + 10.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t.wrapping_mul(2654435761) % 97) as f64) / 40.0;
+            if t % 6 == 0 {
+                v += 30.0;
+            }
+            v
+        })
+        .collect();
+    c.bench_function("planner/shock_detection_720h", |b| {
+        b.iter(|| {
+            let mut det = dwcp_core::ShockDetector::new(24);
+            black_box(det.detect(&y).unwrap())
+        })
+    });
+}
+
+fn bench_tbats_selection(c: &mut Criterion) {
+    let y: Vec<f64> = (0..240)
+        .map(|t| {
+            60.0 + 12.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                + ((t * 7919 % 89) as f64) / 30.0
+        })
+        .collect();
+    let mut group = c.benchmark_group("fit/tbats");
+    group.sample_size(10);
+    group.bench_function("single_config_240", |b| {
+        b.iter(|| {
+            black_box(
+                dwcp_models::FittedTbats::fit(
+                    &y,
+                    dwcp_models::TbatsConfig::seasonal(24.0, 2),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_repository_aggregation,
+    bench_diagnostics,
+    bench_forecast_latency,
+    bench_shock_detection,
+    bench_tbats_selection
+);
+criterion_main!(benches);

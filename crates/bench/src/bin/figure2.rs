@@ -1,0 +1,45 @@
+//! Regenerates Figure 2: "Key Metrics: Workload Descriptions — Experiment
+//! One OLAP" — the CPU / Memory / Logical IOPS traces for both cluster
+//! instances, plus the Figure 5 topology sketch.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin figure2
+//! ```
+
+use dwcp_bench::{sparkline, EXPERIMENT_SEED};
+use dwcp_workload::{olap_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = olap_scenario();
+    print_topology(&scenario);
+    print_traces(&scenario)
+}
+
+fn print_topology(scenario: &dwcp_workload::Scenario) {
+    println!("Figure 5: Experimental Architecture (N-tier)");
+    println!("  users ──> application servers ──> load balancer");
+    for name in scenario.instance_names() {
+        println!("                                      ├──> instance {name}");
+    }
+    println!("  agent polls each instance every 15 min ──> central repository (hourly aggregation)\n");
+}
+
+fn print_traces(scenario: &dwcp_workload::Scenario) -> Result<(), Box<dyn std::error::Error>> {
+    println!("Figure 2: {} key metrics, {} days hourly", scenario.kind.label(), scenario.duration_days);
+    let repo = scenario.run(EXPERIMENT_SEED)?;
+    for metric in Metric::ALL {
+        println!("\n--- {metric} ({})", metric.unit());
+        for instance in scenario.instance_names() {
+            let mut s = repo.hourly_series(&instance, metric, scenario.start, scenario.hours())?;
+            dwcp_series::interpolate::interpolate_series(&mut s)?;
+            println!(
+                "{instance}: min {:>12.1}  mean {:>12.1}  max {:>12.1}",
+                s.min(),
+                s.mean(),
+                s.max()
+            );
+            println!("  {}", sparkline(s.values(), 96));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Regenerates Figure 3: "Key Metrics: Workload Descriptions — Experiment
+//! Two OLTP" — the trending, multi-seasonal, shock-laden traces.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin figure3
+//! ```
+
+use dwcp_bench::{sparkline, EXPERIMENT_SEED};
+use dwcp_workload::{oltp_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = oltp_scenario();
+    println!(
+        "Figure 3: {} key metrics, {} days hourly",
+        scenario.kind.label(),
+        scenario.duration_days
+    );
+    println!("traits: trend (+50 users/day), daily + weekly seasonality, 07:00/09:00 surges, 6-hourly backups\n");
+    let repo = scenario.run(EXPERIMENT_SEED)?;
+    for metric in Metric::ALL {
+        println!("--- {metric} ({})", metric.unit());
+        for instance in scenario.instance_names() {
+            let mut s =
+                repo.hourly_series(&instance, metric, scenario.start, scenario.hours())?;
+            dwcp_series::interpolate::interpolate_series(&mut s)?;
+            let first_week = s.slice(0, 168).mean();
+            let last_week = s.slice(s.len() - 168, s.len()).mean();
+            println!(
+                "{instance}: min {:>10.1}  mean {:>10.1}  max {:>10.1}  weekly-mean {:.1} → {:.1}",
+                s.min(),
+                s.mean(),
+                s.max(),
+                first_week,
+                last_week
+            );
+            println!("  {}", sparkline(s.values(), 96));
+        }
+        println!();
+    }
+    // Zoom on one day to show the surge/backup microstructure.
+    let mut day = repo.hourly_series("cdbm011", Metric::LogicalIops, scenario.start, scenario.hours())?;
+    dwcp_series::interpolate::interpolate_series(&mut day)?;
+    let d20 = &day.values()[20 * 24..21 * 24];
+    println!("day-20 zoom, cdbm011 Logical IOPS (hours 0-23; backups at 0/6/12/18, surges 7-11 & 9-10):");
+    println!("  {}", sparkline(d20, 48));
+    for (h, v) in d20.iter().enumerate() {
+        let marks = match h {
+            0 | 6 | 12 | 18 => " <- backup",
+            7..=10 => " <- surge window",
+            _ => "",
+        };
+        println!("  {h:>2}h {v:>10.0}{marks}");
+    }
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Regenerates Figure 6: "Experiment 1: Prediction charts Comparing Three
+//! ARIMA Techniques" — the 24-hour CPU prediction of the best ARIMA, best
+//! SARIMAX and best SARIMAX+Exogenous+Fourier model against the held-out
+//! actuals, as aligned series (CSV on stdout plus a sparkline digest).
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin figure6
+//! ```
+
+use dwcp_bench::{experiment_pipeline, per_family_cap, sparkline, EXPERIMENT_SEED};
+use dwcp_core::ModelFamily;
+use dwcp_workload::{olap_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = olap_scenario();
+    let instance = "cdbm011";
+    let series = scenario.hourly(EXPERIMENT_SEED, instance, Metric::CpuPercent)?;
+    let exog = scenario.exogenous_columns(scenario.start, series.len());
+    let pipeline = experiment_pipeline();
+    eprintln!(
+        "Figure 6: {} CPU on {instance} — fitting the three families…",
+        scenario.kind.label()
+    );
+    let report = pipeline.family_comparison(&series, &exog, per_family_cap())?;
+
+    let mut working = series.clone();
+    dwcp_series::interpolate::interpolate_series(&mut working)?;
+    let split = dwcp_series::TrainTestSplit::from_series(
+        &working,
+        dwcp_series::Granularity::Hourly,
+    )?;
+    let actual = split.test.values();
+
+    let families = [
+        ModelFamily::Arima,
+        ModelFamily::Sarimax,
+        ModelFamily::SarimaxFftExogenous,
+    ];
+    let best: Vec<_> = families
+        .iter()
+        .map(|&f| report.best_of_family(f).expect("family fitted"))
+        .collect();
+
+    for b in &best {
+        eprintln!(
+            "  {:<46} RMSE {:>8.3}",
+            b.candidate.config.describe(),
+            b.accuracy.rmse
+        );
+    }
+
+    // CSV: hour, actual, then one column per technique (mean, lower, upper).
+    println!("hour,actual,arima,arima_lo,arima_hi,sarimax,sarimax_lo,sarimax_hi,sarimax_fft_exog,fft_lo,fft_hi");
+    for (h, &a) in actual.iter().enumerate() {
+        print!("{h},{a:.3}");
+        for b in &best {
+            print!(
+                ",{:.3},{:.3},{:.3}",
+                b.forecast.mean[h], b.forecast.lower[h], b.forecast.upper[h]
+            );
+        }
+        println!();
+    }
+
+    eprintln!("\ndigest (last 3 training days ‖ 24h prediction):");
+    let tail = split.train.tail(72);
+    eprintln!("train   : {}", sparkline(tail.values(), 72));
+    eprintln!("actual  : {}", sparkline(actual, 24));
+    for (f, b) in families.iter().zip(&best) {
+        eprintln!("{:<8}: {}", f.label().split(' ').next().unwrap_or(""), sparkline(&b.forecast.mean, 24));
+    }
+    Ok(())
+}

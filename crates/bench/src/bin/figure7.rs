@@ -1,0 +1,44 @@
+//! Regenerates Figure 7: "Experiment 2: Prediction Charts Using SARIMAX
+//! with Exogenous and Fourier Terms" — the 24-hour prediction for CPU,
+//! Memory and Logical IOPS of one OLTP instance, as aligned series.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin figure7
+//! ```
+
+use dwcp_bench::{experiment_pipeline, sparkline, EXPERIMENT_SEED};
+use dwcp_workload::{oltp_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = oltp_scenario();
+    let instance = "cdbm011";
+    let pipeline = experiment_pipeline();
+    eprintln!(
+        "Figure 7: {} on {instance} — SARIMAX with Exogenous and Fourier terms",
+        scenario.kind.label()
+    );
+
+    for metric in Metric::ALL {
+        let series = scenario.hourly(EXPERIMENT_SEED, instance, metric)?;
+        let exog = scenario.exogenous_columns(scenario.start, series.len());
+        let outcome = pipeline.run(&series, &exog)?;
+        eprintln!(
+            "\n--- {metric}: champion {} (RMSE {:.2}, MAPE {:.2}%)",
+            outcome.champion, outcome.accuracy.rmse, outcome.accuracy.mape
+        );
+        println!("# {metric} ({})", metric.unit());
+        println!("hour,actual,forecast,lower,upper");
+        for h in 0..outcome.test.len() {
+            println!(
+                "{h},{:.3},{:.3},{:.3},{:.3}",
+                outcome.test.values()[h],
+                outcome.test_forecast.mean[h],
+                outcome.test_forecast.lower[h],
+                outcome.test_forecast.upper[h]
+            );
+        }
+        eprintln!("actual  : {}", sparkline(outcome.test.values(), 24));
+        eprintln!("forecast: {}", sparkline(&outcome.test_forecast.mean, 24));
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Regenerates Figure 8: "Proposed User Interfaces: Model Selections and
+//! Predictions" — the monitoring view where "the user can select between
+//! SARIMAX or HES". Rendered as a terminal dashboard: both methods run on
+//! the same instance, charts with history ‖ prediction, and the champion
+//! summary the UI would surface.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin figure8
+//! ```
+
+use dwcp_bench::{experiment_pipeline, sparkline, EXPERIMENT_SEED};
+use dwcp_core::{MethodChoice, Pipeline, ThresholdAdvisor};
+use dwcp_workload::{olap_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = olap_scenario();
+    let instance = "cdbm011";
+    let series = scenario.hourly(EXPERIMENT_SEED, instance, Metric::CpuPercent)?;
+    let exog = scenario.exogenous_columns(scenario.start, series.len());
+
+    println!("┌──────────────────────────────────────────────────────────────────────┐");
+    println!("│  dwcp monitor — clustered database {instance:<34}│");
+    println!("│  metric: CPU (%)     window: trailing 42 days     forecast: 24 h     │");
+    println!("└──────────────────────────────────────────────────────────────────────┘");
+
+    for method in [MethodChoice::Sarimax, MethodChoice::Hes] {
+        let mut pipeline = experiment_pipeline();
+        pipeline.config.method = method;
+        let exog_for_run: &[Vec<f64>] = if method == MethodChoice::Sarimax {
+            &exog
+        } else {
+            &[]
+        };
+        let outcome = Pipeline::new(pipeline.config.clone()).run(&series, exog_for_run)?;
+        let label = match method {
+            MethodChoice::Sarimax => "SARIMAX",
+            MethodChoice::Hes => "HES",
+            MethodChoice::Tbats => "TBATS",
+        };
+        println!("\n▼ model selection: {label}");
+        println!("  champion : {}", outcome.champion);
+        println!(
+            "  accuracy : RMSE {:.2}  MAPE {:.2}%  MAPA {:.2}%  ({} models evaluated)",
+            outcome.accuracy.rmse,
+            outcome.accuracy.mape,
+            outcome.accuracy.mapa,
+            outcome.evaluated
+        );
+        let tail = outcome.train.tail(96);
+        println!("  history  : {}", sparkline(tail.values(), 64));
+        println!(
+            "  forecast : {}{}",
+            " ".repeat(40),
+            sparkline(&outcome.test_forecast.mean, 24)
+        );
+        println!(
+            "  actual   : {}{}",
+            " ".repeat(40),
+            sparkline(outcome.test.values(), 24)
+        );
+        let advisor = ThresholdAdvisor::new(90.0);
+        match advisor.analyze(&outcome.test_forecast, outcome.test.origin(), 3600) {
+            Some(adv) => println!(
+                "  ⚠ threshold 90%: {:?} breach at +{}h",
+                adv.severity, adv.step
+            ),
+            None => println!("  ✓ threshold 90%: no breach inside the horizon"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! §8's long-term use case: "Migration: If I need to migrate to a new
+//! platform, such as a Cloud architecture, what resource capacity do I
+//! need in the next 6 months to a year?"
+//!
+//! Runs the daily-granularity protocol on a two-year estate, refits the
+//! champion on the full history, forecasts 180 days ahead, and reports the
+//! capacity requirement (forecast upper band) per metric — the number a
+//! cloud shape would be sized from.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin migration_planning
+//! ```
+
+use dwcp_bench::{sparkline, EXPERIMENT_SEED};
+use dwcp_core::{EvaluationOptions, MethodChoice, Pipeline, PipelineConfig};
+use dwcp_series::Granularity;
+use dwcp_workload::{oltp_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two years of estate history with sustainable growth.
+    let mut scenario = oltp_scenario();
+    scenario.duration_days = 730;
+    scenario.population.growth_per_day = 2.0;
+    scenario.population.weekly_cycle_depth = 0.25;
+    let instance = "cdbm011";
+    let horizon_days = 180usize;
+
+    eprintln!("simulating {} days of estate history…", scenario.duration_days);
+    let repo = scenario.run(EXPERIMENT_SEED)?;
+
+    let pipeline = Pipeline::new(PipelineConfig {
+        method: MethodChoice::Sarimax,
+        granularity: Granularity::Daily,
+        max_candidates: 12,
+        fourier_stage: true,
+        auto_detect_shocks: false,
+        eval: EvaluationOptions::default(),
+    });
+
+    println!(
+        "capacity plan for {instance}: {horizon_days}-day forecast from {} days of history\n",
+        scenario.duration_days
+    );
+    println!(
+        "{:<14} {:>12} {:>14} {:>14} {:>10}  champion",
+        "metric", "today p95", "+6mo mean", "+6mo p95 need", "growth"
+    );
+    for metric in Metric::ALL {
+        let daily = repo.daily_series(
+            instance,
+            metric,
+            scenario.start,
+            scenario.duration_days as usize,
+        )?;
+        let (outcome, future) =
+            pipeline.refit_and_forecast(&daily, &[], &[], horizon_days)?;
+
+        // "Today": p95 of the trailing 30 days.
+        let mut recent: Vec<f64> = daily.tail(30).values().to_vec();
+        recent.retain(|v| v.is_finite());
+        recent.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let today_p95 = recent[(recent.len() as f64 * 0.95) as usize - 1];
+
+        // "+6 months": the forecast's final-month mean and the capacity
+        // requirement = max of the upper interval over the horizon.
+        let final_month: f64 =
+            future.mean[horizon_days - 30..].iter().sum::<f64>() / 30.0;
+        let need = future
+            .upper
+            .iter()
+            .fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let growth_pct = 100.0 * (final_month - today_p95) / today_p95;
+        println!(
+            "{:<14} {:>12.1} {:>14.1} {:>14.1} {:>9.1}%  {}",
+            metric.label(),
+            today_p95,
+            final_month,
+            need,
+            growth_pct,
+            outcome.champion
+        );
+        eprintln!(
+            "  history {} ‖ forecast {}",
+            sparkline(daily.values(), 48),
+            sparkline(&future.mean, 24)
+        );
+    }
+    println!("\np95 need = max upper 95% band over the horizon — the cloud-shape sizing input.");
+    Ok(())
+}

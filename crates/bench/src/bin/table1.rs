@@ -1,0 +1,47 @@
+//! Regenerates Table 1: "Machine Learning Breakdown and Observations".
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --bin table1
+//! ```
+
+use dwcp_series::Granularity;
+
+fn main() {
+    println!("Table 1: Machine Learning Breakdown and Observations");
+    println!(
+        "{:<18} {:>6} {:>10} {:>9} {:>12}",
+        "Forecast", "Obs", "Train Set", "Test Set", "Prediction"
+    );
+    println!("{}", "-".repeat(60));
+    for (method, gs) in [
+        ("SARIMAX", true),
+        ("HES", true),
+    ] {
+        if !gs {
+            continue;
+        }
+        for g in [Granularity::Hourly, Granularity::Daily, Granularity::Weekly] {
+            let horizon_unit = match g {
+                Granularity::Hourly => "Hours",
+                Granularity::Daily => "days",
+                Granularity::Weekly => "Weeks",
+            };
+            println!(
+                "{:<18} {:>6} {:>10} {:>9} {:>12}",
+                format!("{method} {}", capitalise(g.label())),
+                g.observations(),
+                g.train_size(),
+                g.test_size(),
+                format!("{} ({horizon_unit})", g.horizon()),
+            );
+        }
+    }
+}
+
+fn capitalise(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table 2(a): Experiment Results — OLAP.
+//!
+//! For every metric × instance of the OLAP scenario, scores the best model
+//! of each of the paper's three families (ARIMA, SARIMAX, SARIMAX + FFT +
+//! Exogenous) on the Table 1 hourly split and prints the RMSE/MAPE panel.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin table2a
+//! # quick smoke run:
+//! DWCP_QUICK=1 cargo run -p dwcp-bench --release --bin table2a
+//! ```
+
+use dwcp_bench::{print_table2, regenerate_table2};
+use dwcp_workload::olap_scenario;
+
+fn main() {
+    let scenario = olap_scenario();
+    eprintln!("regenerating Table 2(a) on {} …", scenario.kind.label());
+    let artifact = regenerate_table2("table2a", &scenario);
+    print_table2(&artifact);
+    match artifact.save() {
+        Ok(path) => eprintln!("\nartifact written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write artifact: {e}"),
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 2(b): Experiment Results — OLTP.
+//!
+//! Same protocol as `table2a`, on the complicated OLTP scenario with
+//! growth, multiple seasonality and six-hourly backup shocks.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin table2b
+//! ```
+
+use dwcp_bench::{print_table2, regenerate_table2};
+use dwcp_workload::oltp_scenario;
+
+fn main() {
+    let scenario = oltp_scenario();
+    eprintln!("regenerating Table 2(b) on {} …", scenario.kind.label());
+    let artifact = regenerate_table2("table2b", &scenario);
+    print_table2(&artifact);
+    match artifact.save() {
+        Ok(path) => eprintln!("\nartifact written to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write artifact: {e}"),
+    }
+}

@@ -1,0 +1,144 @@
+//! Proactive threshold advice (§8, §9).
+//!
+//! "Utilising these techniques to predict when a threshold is likely to be
+//! breached is an advisable way to implement this approach for proactive
+//! monitoring … The approach proposed in this paper could advise through a
+//! prediction that there is likely to be an issue soon." The advisor takes
+//! a forecast with error bars and a capacity threshold and reports when the
+//! workload will (certainly / possibly) cross it.
+
+use dwcp_models::Forecast;
+
+/// How confident the breach call is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreachSeverity {
+    /// The forecast *mean* crosses the threshold — expected breach.
+    Expected,
+    /// Only the upper interval bound crosses — possible breach.
+    Possible,
+}
+
+/// A breach advisory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advisory {
+    /// Horizon step (0-based) of the first crossing.
+    pub step: usize,
+    /// Epoch-seconds timestamp of the crossing.
+    pub timestamp: u64,
+    /// Forecast mean at the crossing.
+    pub forecast_mean: f64,
+    /// Upper interval bound at the crossing.
+    pub forecast_upper: f64,
+    /// Severity of the call.
+    pub severity: BreachSeverity,
+}
+
+/// Threshold-watching advisor.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdAdvisor {
+    /// The capacity threshold being watched.
+    pub threshold: f64,
+}
+
+impl ThresholdAdvisor {
+    /// Create an advisor for a threshold.
+    pub fn new(threshold: f64) -> ThresholdAdvisor {
+        ThresholdAdvisor { threshold }
+    }
+
+    /// Scan a forecast starting at `start_ts` with `step_seconds` between
+    /// horizon steps; returns the first breach, preferring the earliest
+    /// step and, within a step, the stronger severity.
+    pub fn analyze(
+        &self,
+        forecast: &Forecast,
+        start_ts: u64,
+        step_seconds: u64,
+    ) -> Option<Advisory> {
+        for (h, (&mean, &upper)) in forecast.mean.iter().zip(&forecast.upper).enumerate() {
+            let severity = if mean > self.threshold {
+                Some(BreachSeverity::Expected)
+            } else if upper > self.threshold {
+                Some(BreachSeverity::Possible)
+            } else {
+                None
+            };
+            if let Some(severity) = severity {
+                return Some(Advisory {
+                    step: h,
+                    timestamp: start_ts + h as u64 * step_seconds,
+                    forecast_mean: mean,
+                    forecast_upper: upper,
+                    severity,
+                });
+            }
+        }
+        None
+    }
+
+    /// Steps of headroom before the first expected breach; `None` when the
+    /// mean never crosses within the horizon.
+    pub fn headroom_steps(&self, forecast: &Forecast) -> Option<usize> {
+        forecast.mean.iter().position(|&m| m > self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rising_forecast() -> Forecast {
+        // Mean climbs 70, 80, 90, 100; constant se = 5.
+        Forecast::with_normal_intervals(
+            vec![70.0, 80.0, 90.0, 100.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+            0.95,
+        )
+    }
+
+    #[test]
+    fn earliest_warning_wins_upper_band_first() {
+        // Threshold 85: the upper band (80 + 9.8) crosses at step 1 before
+        // the mean crosses at step 2 — early warning is the whole point, so
+        // the possible-breach call comes first.
+        let advisor = ThresholdAdvisor::new(85.0);
+        let adv = advisor.analyze(&rising_forecast(), 1000, 3600).unwrap();
+        assert_eq!(adv.step, 1);
+        assert_eq!(adv.timestamp, 1000 + 3600);
+        assert_eq!(adv.severity, BreachSeverity::Possible);
+        // headroom_steps still reports the mean crossing.
+        assert_eq!(advisor.headroom_steps(&rising_forecast()), Some(2));
+    }
+
+    #[test]
+    fn possible_breach_from_upper_band() {
+        // Threshold between mean and upper at step 1: 80 < 88 < 80+9.8.
+        let advisor = ThresholdAdvisor::new(88.0);
+        let adv = advisor.analyze(&rising_forecast(), 0, 3600).unwrap();
+        assert_eq!(adv.step, 1);
+        assert_eq!(adv.severity, BreachSeverity::Possible);
+    }
+
+    #[test]
+    fn no_breach_below_all_bands() {
+        let advisor = ThresholdAdvisor::new(1000.0);
+        assert!(advisor.analyze(&rising_forecast(), 0, 3600).is_none());
+    }
+
+    #[test]
+    fn headroom_counts_steps_to_mean_crossing() {
+        let advisor = ThresholdAdvisor::new(85.0);
+        assert_eq!(advisor.headroom_steps(&rising_forecast()), Some(2));
+        let safe = ThresholdAdvisor::new(500.0);
+        assert_eq!(safe.headroom_steps(&rising_forecast()), None);
+    }
+
+    #[test]
+    fn expected_takes_precedence_over_possible_at_same_step() {
+        // Threshold below the first mean: expected right away.
+        let advisor = ThresholdAdvisor::new(60.0);
+        let adv = advisor.analyze(&rising_forecast(), 0, 60).unwrap();
+        assert_eq!(adv.step, 0);
+        assert_eq!(adv.severity, BreachSeverity::Expected);
+    }
+}

@@ -1,0 +1,200 @@
+//! Champion health diagnostics.
+//!
+//! §9: "we continually assess the models performance through Machine
+//! Learning to account for new behaviours the data (system) may adopt".
+//! The repository's RMSE-degradation rule needs a live health reading;
+//! this module produces it from a champion's recent one-step errors:
+//! whiteness (Ljung-Box), bias, and error scale versus the fit-time
+//! baseline, folded into a single verdict.
+
+use crate::Result;
+use dwcp_series::acf::ljung_box;
+use serde::{Deserialize, Serialize};
+
+/// Overall verdict on a serving model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthVerdict {
+    /// Errors look like white noise at the expected scale.
+    Healthy,
+    /// Structure or bias has appeared but the scale is still tolerable —
+    /// worth watching.
+    Degrading,
+    /// The model is no longer fit for purpose; relearn now.
+    Unfit,
+}
+
+/// A model-health report computed from recent forecast errors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Root mean squared recent error.
+    pub rmse: f64,
+    /// Ratio of recent RMSE to the fit-time baseline.
+    pub rmse_ratio: f64,
+    /// Mean error (signed bias).
+    pub bias: f64,
+    /// Bias as a fraction of the RMSE (|bias|/rmse).
+    pub bias_share: f64,
+    /// Ljung-Box p-value on the recent errors (low = leftover structure).
+    pub ljung_box_p: f64,
+    /// The folded verdict.
+    pub verdict: HealthVerdict,
+    /// Number of errors examined.
+    pub n: usize,
+}
+
+/// Diagnostic thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HealthThresholds {
+    /// RMSE ratio above which the model is `Unfit` (matches the
+    /// repository's default degradation factor).
+    pub unfit_rmse_ratio: f64,
+    /// RMSE ratio above which the model is `Degrading`.
+    pub degrading_rmse_ratio: f64,
+    /// Ljung-Box p-value below which structure is flagged.
+    pub whiteness_p: f64,
+    /// |bias|/rmse above which bias is flagged.
+    pub bias_share: f64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        HealthThresholds {
+            unfit_rmse_ratio: 2.0,
+            degrading_rmse_ratio: 1.3,
+            whiteness_p: 0.01,
+            bias_share: 0.5,
+        }
+    }
+}
+
+/// Assess a serving champion from its recent one-step forecast errors
+/// (`actual − forecast`) against its fit-time `baseline_rmse`.
+pub fn assess(
+    errors: &[f64],
+    baseline_rmse: f64,
+    thresholds: &HealthThresholds,
+) -> Result<HealthReport> {
+    if errors.len() < 16 {
+        return Err(crate::PlannerError::Series(
+            dwcp_series::SeriesError::TooShort {
+                needed: 16,
+                got: errors.len(),
+            },
+        ));
+    }
+    let n = errors.len();
+    let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
+    let bias = errors.iter().sum::<f64>() / n as f64;
+    let bias_share = if rmse > 0.0 { bias.abs() / rmse } else { 0.0 };
+    let lags = (n / 4).clamp(4, 12);
+    let (_, ljung_box_p) = ljung_box(errors, lags, 0)?;
+    let rmse_ratio = if baseline_rmse > 0.0 {
+        rmse / baseline_rmse
+    } else {
+        1.0
+    };
+
+    let verdict = if rmse_ratio > thresholds.unfit_rmse_ratio {
+        HealthVerdict::Unfit
+    } else if rmse_ratio > thresholds.degrading_rmse_ratio
+        || ljung_box_p < thresholds.whiteness_p
+        || bias_share > thresholds.bias_share
+    {
+        HealthVerdict::Degrading
+    } else {
+        HealthVerdict::Healthy
+    };
+    Ok(HealthReport {
+        rmse,
+        rmse_ratio,
+        bias,
+        bias_share,
+        ljung_box_p,
+        verdict,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64, scale: f64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5) * scale
+            })
+            .collect()
+    }
+
+    #[test]
+    fn white_errors_at_baseline_are_healthy() {
+        let e = noise(100, 1, 2.0);
+        let baseline = (e.iter().map(|v| v * v).sum::<f64>() / 100.0).sqrt();
+        let report = assess(&e, baseline, &HealthThresholds::default()).unwrap();
+        assert_eq!(report.verdict, HealthVerdict::Healthy, "{report:?}");
+        assert!((report.rmse_ratio - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn doubled_error_scale_is_unfit() {
+        let e = noise(100, 3, 4.0);
+        let baseline = (e.iter().map(|v| v * v).sum::<f64>() / 100.0).sqrt() / 2.5;
+        let report = assess(&e, baseline, &HealthThresholds::default()).unwrap();
+        assert_eq!(report.verdict, HealthVerdict::Unfit);
+    }
+
+    #[test]
+    fn systematic_bias_is_flagged() {
+        // Errors all on one side: the model lags a trend it missed.
+        let e: Vec<f64> = noise(100, 5, 0.4).iter().map(|v| v + 1.0).collect();
+        let baseline = (e.iter().map(|v| v * v).sum::<f64>() / 100.0).sqrt();
+        let report = assess(&e, baseline, &HealthThresholds::default()).unwrap();
+        assert!(report.bias_share > 0.5);
+        assert_ne!(report.verdict, HealthVerdict::Healthy);
+    }
+
+    #[test]
+    fn autocorrelated_errors_fail_whiteness() {
+        // Residual seasonality the champion stopped capturing.
+        let e: Vec<f64> = (0..120)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin() * 2.0)
+            .collect();
+        let baseline = (e.iter().map(|v| v * v).sum::<f64>() / 120.0).sqrt();
+        let report = assess(&e, baseline, &HealthThresholds::default()).unwrap();
+        assert!(report.ljung_box_p < 0.01);
+        assert_eq!(report.verdict, HealthVerdict::Degrading);
+    }
+
+    #[test]
+    fn needs_enough_errors() {
+        assert!(assess(&[1.0; 5], 1.0, &HealthThresholds::default()).is_err());
+    }
+
+    #[test]
+    fn custom_thresholds_change_the_verdict() {
+        let e = noise(100, 7, 2.0);
+        let baseline = (e.iter().map(|v| v * v).sum::<f64>() / 100.0).sqrt() / 1.5;
+        let strict = HealthThresholds {
+            unfit_rmse_ratio: 1.4,
+            ..Default::default()
+        };
+        let lax = HealthThresholds {
+            unfit_rmse_ratio: 5.0,
+            degrading_rmse_ratio: 4.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            assess(&e, baseline, &strict).unwrap().verdict,
+            HealthVerdict::Unfit
+        );
+        assert_ne!(
+            assess(&e, baseline, &lax).unwrap().verdict,
+            HealthVerdict::Unfit
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The dwcp capacity planner — the paper's primary contribution.
+//!
+//! §5: "This section … details how we propose to use machine learning to
+//! automate the forecasts, and algorithmically how we are able to discover
+//! the models, removing the need for the user to have an intrinsic
+//! understanding of the complexities of time series analysis."
+//!
+//! The crate implements the Figure 4 workflow end to end:
+//!
+//! * [`grid`] — the §6.3 model spaces: exactly 180 ARIMA, 660 SARIMAX and
+//!   666 SARIMAX+Exogenous+Fourier candidates per instance, plus the
+//!   correlogram-based pruning that "reduc\[es\] the thousands of potential
+//!   models considerably",
+//! * [`candidates`] — data-driven self-configuration: ADF-chosen
+//!   differencing, detected seasonality, significant ACF/PACF lags,
+//! * [`evaluate`] — parallel fitting of a candidate set and RMSE champion
+//!   selection ("gains are also achieved by parallel processing the
+//!   models"),
+//! * [`pipeline`] — the user-facing HES / SARIMAX branch of Figure 4:
+//!   gather → interpolate → split → fit → score → forecast,
+//! * [`repository`] — the model repository with the one-week staleness
+//!   rule, the RMSE-degradation relearn trigger and the >3-occurrence
+//!   shock-acceptance policy (§5.1, §9),
+//! * [`advisor`] — proactive threshold-breach warnings (§8's short-term
+//!   monitoring use case).
+
+pub mod advisor;
+pub mod backtest;
+pub mod candidates;
+pub mod diagnostics;
+pub mod evaluate;
+pub mod grid;
+pub mod pipeline;
+pub mod repository;
+pub mod shocks;
+
+pub use advisor::{Advisory, ThresholdAdvisor};
+pub use backtest::{backtest, BacktestConfig, BacktestReport};
+pub use candidates::{CandidateSet, DataProfile};
+pub use diagnostics::{assess, HealthReport, HealthThresholds, HealthVerdict};
+pub use evaluate::{evaluate_candidates, EvaluationOptions, EvaluationReport, ModelScore};
+pub use grid::{CandidateModel, ModelFamily, ModelGrid};
+pub use pipeline::{ChampionSpec, ForecastOutcome, MethodChoice, Pipeline, PipelineConfig};
+pub use repository::{ModelRecord, ModelRepository, RetentionPolicy, ShockTracker};
+pub use shocks::{DetectedShock, ShockDetector};
+
+/// Errors from the planner.
+#[derive(Debug)]
+pub enum PlannerError {
+    /// No candidate model could be fitted at all.
+    NoViableModel {
+        /// How many candidates were attempted.
+        attempted: usize,
+    },
+    /// Propagated model error.
+    Model(dwcp_models::ModelError),
+    /// Propagated series error.
+    Series(dwcp_series::SeriesError),
+    /// Repository persistence failure.
+    Persistence(String),
+}
+
+impl std::fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlannerError::NoViableModel { attempted } => {
+                write!(f, "none of the {attempted} candidate models could be fitted")
+            }
+            PlannerError::Model(e) => write!(f, "model error: {e}"),
+            PlannerError::Series(e) => write!(f, "series error: {e}"),
+            PlannerError::Persistence(e) => write!(f, "persistence error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {}
+
+impl From<dwcp_models::ModelError> for PlannerError {
+    fn from(e: dwcp_models::ModelError) -> Self {
+        PlannerError::Model(e)
+    }
+}
+
+impl From<dwcp_series::SeriesError> for PlannerError {
+    fn from(e: dwcp_series::SeriesError) -> Self {
+        PlannerError::Series(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, PlannerError>;

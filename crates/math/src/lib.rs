@@ -1,0 +1,85 @@
+//! Numerical substrate for the dwcp capacity planner.
+//!
+//! The forecasting models in the paper lean on a handful of numerical
+//! kernels that Python gets for free from NumPy/SciPy and that we implement
+//! from scratch here:
+//!
+//! * dense linear algebra ([`matrix`], [`solve`]) for the regression parts
+//!   of SARIMAX-with-exogenous-variables and the Dickey-Fuller test,
+//! * ordinary least squares ([`mod@ols`]) used by Hannan-Rissanen start values,
+//!   Fourier-term regression and the ADF/KPSS test regressions,
+//! * derivative-free optimisation ([`optimize`]) — Nelder-Mead — used to
+//!   minimise the conditional sum of squares of ARIMA-family models and the
+//!   SSE of exponential-smoothing/TBATS models,
+//! * the fast Fourier transform ([`fft`]) for periodogram-based detection of
+//!   (multiple) seasonality — the paper's "frequency domain" analysis,
+//! * probability distributions ([`dist`]) for prediction-interval quantiles
+//!   and test p-values, backed by special functions ([`special`]).
+//!
+//! Everything is deterministic, allocation-conscious and `f64` throughout.
+//!
+//! Index-based loops are used deliberately in the factorisation kernels —
+//! the triangular access patterns read more clearly as indices than as
+//! iterator chains — so the `needless_range_loop` lint is opted out here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dist;
+pub mod fft;
+pub mod levinson;
+pub mod matrix;
+pub mod ols;
+pub mod optimize;
+pub mod poly;
+pub mod solve;
+pub mod special;
+
+pub use dist::Normal;
+pub use matrix::Matrix;
+pub use ols::{ols, OlsFit};
+pub use optimize::{nelder_mead, NelderMeadOptions, NelderMeadResult};
+
+/// Machine-epsilon-scaled tolerance used by the decompositions when deciding
+/// whether a pivot is effectively zero.
+pub const SINGULARITY_EPS: f64 = 1e-12;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// A matrix operation received incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the offending operation.
+        context: &'static str,
+    },
+    /// A factorisation encountered an (effectively) singular matrix.
+    Singular,
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Routine that gave up.
+        context: &'static str,
+    },
+    /// An argument was outside the mathematical domain of the function.
+    Domain {
+        /// Human-readable description of the violated constraint.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for MathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MathError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            MathError::Singular => write!(f, "matrix is singular to working precision"),
+            MathError::NoConvergence { context } => {
+                write!(f, "iteration failed to converge: {context}")
+            }
+            MathError::Domain { context } => write!(f, "domain error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, MathError>;

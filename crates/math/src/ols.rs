@@ -1,0 +1,190 @@
+//! Ordinary least squares on top of the QR factorisation.
+//!
+//! OLS appears in four places in the reproduction: Hannan-Rissanen start
+//! values for ARMA coefficients, the exogenous/Fourier regression step of
+//! SARIMAX, the Dickey-Fuller test regression, and the KPSS detrending
+//! regression. All need coefficients, residuals and (for the tests)
+//! standard errors.
+
+use crate::solve::Qr;
+use crate::{Matrix, MathError, Result};
+
+/// The result of an OLS fit `y ≈ X β`.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Estimated coefficients, one per column of the design matrix.
+    pub beta: Vec<f64>,
+    /// Residuals `y − X β̂`.
+    pub residuals: Vec<f64>,
+    /// Standard error of each coefficient.
+    pub std_errors: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Total sum of squares around the mean of `y`.
+    pub tss: f64,
+    /// Unbiased residual variance estimate `rss / (n − k)`.
+    pub sigma2: f64,
+    /// Number of observations.
+    pub n: usize,
+    /// Number of regressors.
+    pub k: usize,
+}
+
+impl OlsFit {
+    /// Coefficient of determination.
+    pub fn r_squared(&self) -> f64 {
+        if self.tss == 0.0 {
+            return if self.rss == 0.0 { 1.0 } else { 0.0 };
+        }
+        1.0 - self.rss / self.tss
+    }
+
+    /// `t`-statistic for coefficient `i` (β̂ᵢ / se(β̂ᵢ)).
+    pub fn t_stat(&self, i: usize) -> f64 {
+        if self.std_errors[i] == 0.0 {
+            return f64::INFINITY * self.beta[i].signum();
+        }
+        self.beta[i] / self.std_errors[i]
+    }
+
+    /// Predicted values for a new design matrix.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        x.matvec(&self.beta)
+    }
+}
+
+/// Fit `y ≈ X β` by least squares.
+///
+/// Fails if there are fewer rows than columns or the design matrix is rank
+/// deficient.
+pub fn ols(x: &Matrix, y: &[f64]) -> Result<OlsFit> {
+    let (n, k) = (x.rows(), x.cols());
+    if y.len() != n {
+        return Err(MathError::DimensionMismatch {
+            context: "ols: y length != design rows",
+        });
+    }
+    if n < k {
+        return Err(MathError::DimensionMismatch {
+            context: "ols: fewer observations than regressors",
+        });
+    }
+    let qr = Qr::factor(x)?;
+    let beta = qr.solve(y)?;
+    let fitted = x.matvec(&beta)?;
+    let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+    let rss: f64 = residuals.iter().map(|r| r * r).sum();
+    let mean_y = y.iter().sum::<f64>() / n as f64;
+    let tss: f64 = y.iter().map(|v| (v - mean_y).powi(2)).sum();
+    let dof = n.saturating_sub(k).max(1);
+    let sigma2 = rss / dof as f64;
+    let cov = qr.xtx_inverse()?;
+    let std_errors = (0..k).map(|i| (sigma2 * cov[(i, i)]).sqrt()).collect();
+    Ok(OlsFit {
+        beta,
+        residuals,
+        std_errors,
+        rss,
+        tss,
+        sigma2,
+        n,
+        k,
+    })
+}
+
+/// Build a design matrix from named column slices (all the same length).
+pub fn design(columns: &[&[f64]]) -> Result<Matrix> {
+    let n = columns.first().map_or(0, |c| c.len());
+    if columns.iter().any(|c| c.len() != n) {
+        return Err(MathError::DimensionMismatch {
+            context: "design: columns have different lengths",
+        });
+    }
+    let k = columns.len();
+    let mut m = Matrix::zeros(n, k);
+    for (j, col) in columns.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            m[(i, j)] = v;
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let x_vals: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ones = vec![1.0; 20];
+        let x = design(&[&ones, &x_vals]).unwrap();
+        let y: Vec<f64> = x_vals.iter().map(|&v| 3.0 - 0.5 * v).collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.beta[0] - 3.0).abs() < 1e-10);
+        assert!((fit.beta[1] + 0.5).abs() < 1e-10);
+        assert!(fit.rss < 1e-18);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residuals_orthogonal_to_design_columns() {
+        // Deterministic pseudo-noise so the test is stable.
+        let x_vals: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let noise: Vec<f64> = (0..50).map(|i| ((i * 37 % 11) as f64 - 5.0) / 7.0).collect();
+        let ones = vec![1.0; 50];
+        let x = design(&[&ones, &x_vals]).unwrap();
+        let y: Vec<f64> = x_vals
+            .iter()
+            .zip(&noise)
+            .map(|(&v, &e)| 1.0 + 2.0 * v + e)
+            .collect();
+        let fit = ols(&x, &y).unwrap();
+        let xt_r = x.t_matvec(&fit.residuals).unwrap();
+        for v in xt_r {
+            assert!(v.abs() < 1e-8, "residuals not orthogonal: {v}");
+        }
+    }
+
+    #[test]
+    fn standard_errors_match_textbook_simple_regression() {
+        // Small textbook sample: x = 1..5, y with known residual variance.
+        let x_vals = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let ones = vec![1.0; 5];
+        let x = design(&[&ones, &x_vals]).unwrap();
+        let fit = ols(&x, &y).unwrap();
+        // slope ≈ 2.0, check against direct formula se(b1) = s / sqrt(Sxx)
+        let mean_x = 3.0;
+        let sxx: f64 = x_vals.iter().map(|v| (v - mean_x).powi(2)).sum();
+        let s = fit.sigma2.sqrt();
+        let expected_se = s / sxx.sqrt();
+        assert!((fit.std_errors[1] - expected_se).abs() < 1e-12);
+        assert!((fit.beta[1] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_underdetermined_system() {
+        let x = design(&[&[1.0], &[2.0]]).unwrap(); // 1 row, 2 cols
+        assert!(ols(&x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn t_stat_is_beta_over_se() {
+        let x_vals: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ones = vec![1.0; 30];
+        let x = design(&[&ones, &x_vals]).unwrap();
+        let y: Vec<f64> = x_vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 5.0 + 0.3 * v + ((i % 3) as f64 - 1.0) * 0.1)
+            .collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.t_stat(1) - fit.beta[1] / fit.std_errors[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_rejects_ragged_columns() {
+        assert!(design(&[&[1.0, 2.0], &[1.0]]).is_err());
+    }
+}

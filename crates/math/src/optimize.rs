@@ -1,0 +1,323 @@
+//! Derivative-free minimisation: Nelder-Mead simplex with adaptive
+//! parameters and optional restarts.
+//!
+//! Every model family in the paper is fitted by minimising a smooth but
+//! derivative-unfriendly objective — the conditional sum of squares of an
+//! ARMA process, the SSE of a Holt-Winters recursion, the innovation SSE of
+//! a TBATS state space. Nelder-Mead over a handful of parameters (rarely
+//! more than ~10) is exactly what `scipy.optimize.minimize(method="Nelder-
+//! Mead")`, used implicitly by the Python stacks the paper relies on, does.
+
+/// Options controlling a [`nelder_mead`] run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex f-value spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex diameter falls below this.
+    pub x_tol: f64,
+    /// Initial simplex edge length relative to each coordinate (absolute
+    /// fallback for coordinates at zero).
+    pub initial_step: f64,
+    /// Number of restarts from the best point with a fresh simplex.
+    /// Restarting is a cheap, classical defence against premature collapse.
+    pub restarts: usize,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 2000,
+            f_tol: 1e-10,
+            x_tol: 1e-10,
+            initial_step: 0.1,
+            restarts: 1,
+        }
+    }
+}
+
+/// Outcome of a [`nelder_mead`] minimisation.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Total objective evaluations used.
+    pub evals: usize,
+    /// Whether a tolerance (rather than the evaluation budget) stopped us.
+    pub converged: bool,
+}
+
+/// Minimise `f` starting from `x0` using the Nelder-Mead simplex method.
+///
+/// Returns the best point seen. Objective values of `NaN` are treated as
+/// `+inf`, so objectives may signal infeasible regions that way (the ARMA
+/// CSS objective does this for non-invertible parameter vectors).
+pub fn nelder_mead<F>(f: F, x0: &[f64], opts: &NelderMeadOptions) -> NelderMeadResult
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let sanitize = |v: f64| if v.is_nan() { f64::INFINITY } else { v };
+    let n = x0.len();
+    let mut evals = 0usize;
+    if n == 0 {
+        let fx = sanitize(f(x0));
+        return NelderMeadResult {
+            x: vec![],
+            fx,
+            evals: 1,
+            converged: true,
+        };
+    }
+
+    // Adaptive coefficients (Gao & Han 2012) behave better in >2 dimensions.
+    let nf = n as f64;
+    let alpha = 1.0;
+    let beta = 1.0 + 2.0 / nf;
+    let gamma = 0.75 - 1.0 / (2.0 * nf);
+    let delta = 1.0 - 1.0 / nf;
+
+    let mut best_x = x0.to_vec();
+    let mut best_f = sanitize(f(x0));
+    evals += 1;
+    let mut converged = false;
+
+    for restart in 0..=opts.restarts {
+        // Build the initial simplex around the current best point.
+        let step_scale = opts.initial_step / (1.0 + restart as f64);
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        let mut fvals: Vec<f64> = Vec::with_capacity(n + 1);
+        simplex.push(best_x.clone());
+        fvals.push(best_f);
+        for i in 0..n {
+            let mut v = best_x.clone();
+            let h = if v[i].abs() > 1e-8 {
+                v[i].abs() * step_scale
+            } else {
+                step_scale * 0.1
+            };
+            v[i] += h;
+            fvals.push(sanitize(f(&v)));
+            evals += 1;
+            simplex.push(v);
+        }
+
+        while evals < opts.max_evals {
+            // Order the simplex by objective value.
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&a, &b| fvals[a].partial_cmp(&fvals[b]).unwrap());
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+
+            // Convergence checks.
+            let f_spread = fvals[worst] - fvals[best];
+            let x_spread = simplex
+                .iter()
+                .map(|v| {
+                    v.iter()
+                        .zip(&simplex[best])
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0f64, f64::max)
+                })
+                .fold(0.0f64, f64::max);
+            if (f_spread.is_finite() && f_spread < opts.f_tol) || x_spread < opts.x_tol {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for (idx, v) in simplex.iter().enumerate() {
+                if idx == worst {
+                    continue;
+                }
+                for (c, &vi) in centroid.iter_mut().zip(v) {
+                    *c += vi;
+                }
+            }
+            for c in centroid.iter_mut() {
+                *c /= nf;
+            }
+
+            let lerp = |from: &[f64], to: &[f64], t: f64| -> Vec<f64> {
+                from.iter()
+                    .zip(to)
+                    .map(|(&a, &b)| a + t * (b - a))
+                    .collect()
+            };
+
+            // Reflect.
+            let reflected = lerp(&centroid, &simplex[worst], -alpha);
+            let f_r = sanitize(f(&reflected));
+            evals += 1;
+
+            if f_r < fvals[best] {
+                // Expand.
+                let expanded = lerp(&centroid, &simplex[worst], -alpha * beta);
+                let f_e = sanitize(f(&expanded));
+                evals += 1;
+                if f_e < f_r {
+                    simplex[worst] = expanded;
+                    fvals[worst] = f_e;
+                } else {
+                    simplex[worst] = reflected;
+                    fvals[worst] = f_r;
+                }
+            } else if f_r < fvals[second_worst] {
+                simplex[worst] = reflected;
+                fvals[worst] = f_r;
+            } else {
+                // Contract (outside if the reflected point improved on the
+                // worst, inside otherwise).
+                let (point, f_p) = if f_r < fvals[worst] {
+                    let p = lerp(&centroid, &simplex[worst], -alpha * gamma);
+                    let fp = sanitize(f(&p));
+                    (p, fp)
+                } else {
+                    let p = lerp(&centroid, &simplex[worst], gamma);
+                    let fp = sanitize(f(&p));
+                    (p, fp)
+                };
+                evals += 1;
+                if f_p < fvals[worst].min(f_r) {
+                    simplex[worst] = point;
+                    fvals[worst] = f_p;
+                } else {
+                    // Shrink towards the best vertex.
+                    let best_v = simplex[best].clone();
+                    for idx in 0..=n {
+                        if idx == best {
+                            continue;
+                        }
+                        simplex[idx] = lerp(&best_v, &simplex[idx], delta);
+                        fvals[idx] = sanitize(f(&simplex[idx]));
+                        evals += 1;
+                    }
+                }
+            }
+        }
+
+        // Harvest the best vertex of this round.
+        for (v, &fv) in simplex.iter().zip(&fvals) {
+            if fv < best_f {
+                best_f = fv;
+                best_x = v.clone();
+            }
+        }
+        if evals >= opts.max_evals {
+            break;
+        }
+    }
+
+    NelderMeadResult {
+        x: best_x,
+        fx: best_f,
+        evals,
+        converged,
+    }
+}
+
+/// Map an unconstrained real to the open interval `(-1, 1)`.
+///
+/// Used to keep AR/MA partial autocorrelations inside the stationarity
+/// triangle during optimisation: the optimiser works in ℝⁿ and the model
+/// maps through this squashing function.
+#[inline]
+pub fn squash(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Inverse of [`squash`]; clamps its argument slightly inside `(-1, 1)` so
+/// boundary values from heuristics do not produce infinities.
+#[inline]
+pub fn unsquash(y: f64) -> f64 {
+    let y = y.clamp(-0.999_999, 0.999_999);
+    y.atanh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic_bowl() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let r = nelder_mead(f, &[0.0, 0.0], &NelderMeadOptions::default());
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "{:?}", r.x);
+        assert!(r.fx < 1e-7);
+    }
+
+    #[test]
+    fn minimises_rosenbrock_2d() {
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let opts = NelderMeadOptions {
+            max_evals: 10_000,
+            restarts: 3,
+            ..Default::default()
+        };
+        let r = nelder_mead(f, &[-1.2, 1.0], &opts);
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn result_never_worse_than_start() {
+        let f = |x: &[f64]| x.iter().map(|v| v.abs()).sum::<f64>();
+        let start = [5.0, -2.0, 0.7];
+        let f0 = f(&start);
+        let r = nelder_mead(f, &start, &NelderMeadOptions::default());
+        assert!(r.fx <= f0);
+    }
+
+    #[test]
+    fn handles_nan_objective_as_infeasible() {
+        // NaN outside the unit disc; minimum at origin region boundary.
+        let f = |x: &[f64]| {
+            let r2 = x[0] * x[0] + x[1] * x[1];
+            if r2 > 1.0 {
+                f64::NAN
+            } else {
+                (x[0] - 0.5).powi(2) + x[1] * x[1]
+            }
+        };
+        let r = nelder_mead(f, &[0.0, 0.0], &NelderMeadOptions::default());
+        assert!(r.fx.is_finite());
+        assert!((r.x[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_dimensional_input_is_trivial() {
+        let r = nelder_mead(|_| 42.0, &[], &NelderMeadOptions::default());
+        assert_eq!(r.fx, 42.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let opts = NelderMeadOptions {
+            max_evals: 57,
+            f_tol: 0.0,
+            x_tol: 0.0,
+            restarts: 0,
+            ..Default::default()
+        };
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = nelder_mead(f, &[10.0, 10.0, 10.0], &opts);
+        // Budget may be slightly exceeded inside one iteration (shrink step),
+        // but never by more than the simplex size.
+        assert!(r.evals <= 57 + 4);
+    }
+
+    #[test]
+    fn squash_unsquash_roundtrip() {
+        for &v in &[-3.0, -0.5, 0.0, 0.1, 2.0] {
+            let y = squash(v);
+            assert!(y > -1.0 && y < 1.0);
+            assert!((unsquash(y) - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Lag-polynomial arithmetic for ARIMA-family models.
+//!
+//! An ARIMA model is defined through polynomials in the backshift operator
+//! `B`: the AR polynomial `φ(B) = 1 − φ₁B − … − φ_pB^p`, the MA polynomial
+//! `θ(B) = 1 + θ₁B + … + θ_qB^q`, seasonal counterparts in `B^s`, and
+//! differencing factors `(1−B)^d (1−B^s)^D`. Multiplying these out (to get
+//! the ψ-weights for forecast variances, or the combined AR representation
+//! for recursive forecasting) is ordinary polynomial arithmetic, collected
+//! here.
+
+/// A polynomial in the backshift operator, stored as coefficients
+/// `c[0] + c[1]·B + c[2]·B² + …` with `c[0]` conventionally 1 for the
+/// ARIMA operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagPoly {
+    coeffs: Vec<f64>,
+}
+
+impl LagPoly {
+    /// The constant polynomial `1`.
+    pub fn one() -> LagPoly {
+        LagPoly { coeffs: vec![1.0] }
+    }
+
+    /// From raw coefficients (lowest order first). Trailing zeros are kept;
+    /// callers may [`LagPoly::trim`] if they care.
+    pub fn from_coeffs(coeffs: Vec<f64>) -> LagPoly {
+        if coeffs.is_empty() {
+            LagPoly { coeffs: vec![0.0] }
+        } else {
+            LagPoly { coeffs }
+        }
+    }
+
+    /// AR-style polynomial `1 − p₁B − p₂B² − …` from parameters `p`.
+    pub fn ar(params: &[f64]) -> LagPoly {
+        let mut coeffs = Vec::with_capacity(params.len() + 1);
+        coeffs.push(1.0);
+        coeffs.extend(params.iter().map(|&v| -v));
+        LagPoly { coeffs }
+    }
+
+    /// MA-style polynomial `1 + t₁B + t₂B² + …` from parameters `t`.
+    pub fn ma(params: &[f64]) -> LagPoly {
+        let mut coeffs = Vec::with_capacity(params.len() + 1);
+        coeffs.push(1.0);
+        coeffs.extend_from_slice(params);
+        LagPoly { coeffs }
+    }
+
+    /// Seasonal version of [`LagPoly::ar`]: a polynomial in `B^s`.
+    pub fn seasonal_ar(params: &[f64], s: usize) -> LagPoly {
+        Self::spread(&Self::ar(params), s)
+    }
+
+    /// Seasonal version of [`LagPoly::ma`].
+    pub fn seasonal_ma(params: &[f64], s: usize) -> LagPoly {
+        Self::spread(&Self::ma(params), s)
+    }
+
+    /// The differencing factor `(1 − B^s)^d`.
+    pub fn differencing(d: usize, s: usize) -> LagPoly {
+        let base = Self::spread(&LagPoly::from_coeffs(vec![1.0, -1.0]), s);
+        let mut acc = LagPoly::one();
+        for _ in 0..d {
+            acc = acc.mul(&base);
+        }
+        acc
+    }
+
+    /// Re-index a polynomial in `B` as a polynomial in `B^s`.
+    fn spread(p: &LagPoly, s: usize) -> LagPoly {
+        if s <= 1 {
+            return p.clone();
+        }
+        let mut coeffs = vec![0.0; (p.coeffs.len() - 1) * s + 1];
+        for (i, &c) in p.coeffs.iter().enumerate() {
+            coeffs[i * s] = c;
+        }
+        LagPoly { coeffs }
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &LagPoly) -> LagPoly {
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        LagPoly { coeffs: out }
+    }
+
+    /// Degree (index of the highest stored coefficient).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Coefficient of `B^i` (zero beyond the stored degree).
+    #[inline]
+    pub fn coeff(&self, i: usize) -> f64 {
+        self.coeffs.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// All coefficients, lowest order first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Drop trailing (near-)zero coefficients.
+    pub fn trim(mut self) -> LagPoly {
+        while self.coeffs.len() > 1
+            && self.coeffs.last().is_some_and(|c| c.abs() < 1e-14)
+        {
+            self.coeffs.pop();
+        }
+        self
+    }
+
+    /// The lag parameters implied by this polynomial when read as an AR
+    /// operator: `φᵢ = −cᵢ` for `i ≥ 1`.
+    pub fn as_ar_params(&self) -> Vec<f64> {
+        self.coeffs.iter().skip(1).map(|&c| -c).collect()
+    }
+
+    /// ψ-weights of the ARMA process `φ(B) y = θ(B) a`: the MA(∞)
+    /// representation `y = Σ ψⱼ a_{t−j}`, computed by the standard recursion
+    /// `ψⱼ = θⱼ + Σ_{k=1..min(j,p)} φₖ ψ_{j−k}` with `ψ₀ = 1`.
+    ///
+    /// `self` is the AR polynomial, `ma` the MA polynomial, both in
+    /// `1 ∓ …` form; `horizon` is the number of weights beyond ψ₀.
+    pub fn psi_weights(&self, ma: &LagPoly, horizon: usize) -> Vec<f64> {
+        let phi = self.as_ar_params();
+        let mut psi = Vec::with_capacity(horizon + 1);
+        psi.push(1.0);
+        for j in 1..=horizon {
+            let mut v = ma.coeff(j);
+            for (k, &p) in phi.iter().enumerate() {
+                let lag = k + 1;
+                if lag > j {
+                    break;
+                }
+                v += p * psi[j - lag];
+            }
+            psi.push(v);
+        }
+        psi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ar_poly_signs() {
+        let p = LagPoly::ar(&[0.5, -0.2]);
+        assert_eq!(p.coeffs(), &[1.0, -0.5, 0.2]);
+    }
+
+    #[test]
+    fn ma_poly_signs() {
+        let p = LagPoly::ma(&[0.3]);
+        assert_eq!(p.coeffs(), &[1.0, 0.3]);
+    }
+
+    #[test]
+    fn first_difference_polynomial() {
+        let d = LagPoly::differencing(1, 1);
+        assert_eq!(d.coeffs(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn second_difference_is_squared_factor() {
+        let d = LagPoly::differencing(2, 1);
+        assert_eq!(d.coeffs(), &[1.0, -2.0, 1.0]);
+    }
+
+    #[test]
+    fn seasonal_difference_spreads_lags() {
+        let d = LagPoly::differencing(1, 4);
+        assert_eq!(d.coeffs(), &[1.0, 0.0, 0.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn combined_regular_and_seasonal_difference() {
+        // (1−B)(1−B⁴) = 1 − B − B⁴ + B⁵
+        let d = LagPoly::differencing(1, 1).mul(&LagPoly::differencing(1, 4));
+        assert_eq!(d.coeffs(), &[1.0, -1.0, 0.0, 0.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn seasonal_ar_composition() {
+        // φ(B)Φ(B⁴) with φ₁ = 0.5, Φ₁ = 0.3:
+        // (1 − 0.5B)(1 − 0.3B⁴) = 1 − 0.5B − 0.3B⁴ + 0.15B⁵
+        let p = LagPoly::ar(&[0.5]).mul(&LagPoly::seasonal_ar(&[0.3], 4));
+        let expect = [1.0, -0.5, 0.0, 0.0, -0.3, 0.15];
+        for (i, &e) in expect.iter().enumerate() {
+            assert!((p.coeff(i) - e).abs() < 1e-12, "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative() {
+        let a = LagPoly::ar(&[0.4, 0.1]);
+        let b = LagPoly::ma(&[0.7]);
+        assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn psi_weights_of_pure_ar1_are_geometric() {
+        let ar = LagPoly::ar(&[0.6]);
+        let ma = LagPoly::one();
+        let psi = ar.psi_weights(&ma, 5);
+        for (j, &w) in psi.iter().enumerate() {
+            assert!((w - 0.6f64.powi(j as i32)).abs() < 1e-12, "psi[{j}]");
+        }
+    }
+
+    #[test]
+    fn psi_weights_of_pure_ma_truncate() {
+        let ar = LagPoly::one();
+        let ma = LagPoly::ma(&[0.5, -0.2]);
+        let psi = ar.psi_weights(&ma, 5);
+        assert_eq!(&psi[..3], &[1.0, 0.5, -0.2]);
+        assert!(psi[3..].iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn psi_weights_arma11_known_recursion() {
+        // ARMA(1,1): ψ₀=1, ψ₁=φ+θ, ψⱼ=φψ_{j−1} for j≥2.
+        let (phi, theta) = (0.7, 0.4);
+        let psi = LagPoly::ar(&[phi]).psi_weights(&LagPoly::ma(&[theta]), 4);
+        assert!((psi[1] - (phi + theta)).abs() < 1e-12);
+        assert!((psi[2] - phi * psi[1]).abs() < 1e-12);
+        assert!((psi[3] - phi * psi[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trim_removes_trailing_zeros() {
+        let p = LagPoly::from_coeffs(vec![1.0, 0.5, 0.0, 0.0]).trim();
+        assert_eq!(p.coeffs(), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn as_ar_params_roundtrip() {
+        let params = vec![0.5, -0.3, 0.1];
+        assert_eq!(LagPoly::ar(&params).as_ar_params(), params);
+    }
+}

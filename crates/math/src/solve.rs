@@ -1,0 +1,361 @@
+//! Linear-system solvers: LU with partial pivoting and Householder QR.
+//!
+//! LU backs the small square solves (Gram-matrix normal equations, the
+//! Durbin-Levinson fallback, state-space updates). QR backs the least-squares
+//! solves where the design matrix is tall and possibly ill-conditioned —
+//! the Dickey-Fuller and Fourier-term regressions.
+
+use crate::{Matrix, MathError, Result, SINGULARITY_EPS};
+
+/// An LU factorisation `P·A = L·U` of a square matrix with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (unit lower, implicit diagonal) and U factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, used by [`Lu::det`].
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Factor a square matrix. Fails with [`MathError::Singular`] if any
+    /// pivot is below [`SINGULARITY_EPS`] relative to the matrix scale.
+    pub fn factor(a: &Matrix) -> Result<Lu> {
+        if a.rows() != a.cols() {
+            return Err(MathError::DimensionMismatch {
+                context: "Lu::factor: matrix not square",
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = a.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= SINGULARITY_EPS * scale {
+                return Err(MathError::Singular);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(pivot_row, c)];
+                    lu[(pivot_row, c)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                for c in (k + 1)..n {
+                    let ukc = lu[(k, c)];
+                    lu[(r, c)] -= factor * ukc;
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Solve `A x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(MathError::DimensionMismatch {
+                context: "Lu::solve: rhs length != n",
+            });
+        }
+        // Apply permutation, then forward-substitute L, then back-substitute U.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut det = self.perm_sign;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the factored matrix, column by column.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Solve the square system `A x = b` (convenience wrapper over [`Lu`]).
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::factor(a)?.solve(b)
+}
+
+/// Householder QR factorisation of a tall matrix (`rows >= cols`).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed Householder vectors (below diagonal) and R (upper triangle).
+    qr: Matrix,
+    /// The diagonal of R (stored separately; the packed diagonal holds the
+    /// Householder vector heads).
+    r_diag: Vec<f64>,
+}
+
+impl Qr {
+    /// Factor `a`. Fails if the matrix is wider than tall.
+    pub fn factor(a: &Matrix) -> Result<Qr> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(MathError::DimensionMismatch {
+                context: "Qr::factor: more columns than rows",
+            });
+        }
+        let mut qr = a.clone();
+        let mut r_diag = vec![0.0; n];
+        for k in 0..n {
+            // Norm of the k-th column below the diagonal.
+            let mut norm = 0.0f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                r_diag[k] = 0.0;
+                continue;
+            }
+            if qr[(k, k)] < 0.0 {
+                norm = -norm;
+            }
+            for i in k..m {
+                qr[(i, k)] /= norm;
+            }
+            qr[(k, k)] += 1.0;
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s = -s / qr[(k, k)];
+                for i in k..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] += s * vik;
+                }
+            }
+            r_diag[k] = -norm;
+        }
+        Ok(Qr { qr, r_diag })
+    }
+
+    /// Whether every diagonal entry of R is comfortably nonzero, i.e. the
+    /// matrix has full column rank to working precision.
+    pub fn is_full_rank(&self) -> bool {
+        let scale = self.qr.max_abs().max(1.0);
+        self.r_diag
+            .iter()
+            .all(|d| d.abs() > SINGULARITY_EPS * scale)
+    }
+
+    /// Minimum-norm least-squares solve of `min ‖A x − b‖₂`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if b.len() != m {
+            return Err(MathError::DimensionMismatch {
+                context: "Qr::solve: rhs length != rows",
+            });
+        }
+        if !self.is_full_rank() {
+            return Err(MathError::Singular);
+        }
+        let mut y = b.to_vec();
+        // Apply Qᵀ.
+        for k in 0..n {
+            if self.qr[(k, k)] == 0.0 {
+                continue;
+            }
+            let mut s = 0.0;
+            for i in k..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s = -s / self.qr[(k, k)];
+            for i in k..m {
+                y[i] += s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = sum / self.r_diag[i];
+        }
+        Ok(x)
+    }
+
+    /// `(RᵀR)⁻¹ = (AᵀA)⁻¹`, the unscaled coefficient covariance used for
+    /// OLS standard errors.
+    pub fn xtx_inverse(&self) -> Result<Matrix> {
+        let n = self.qr.cols();
+        if !self.is_full_rank() {
+            return Err(MathError::Singular);
+        }
+        // Invert R (upper triangular with r_diag diagonal), then RinvᵀRinv...
+        // careful: (AᵀA)⁻¹ = R⁻¹ R⁻ᵀ.
+        let mut rinv = Matrix::zeros(n, n);
+        for i in 0..n {
+            rinv[(i, i)] = 1.0 / self.r_diag[i];
+            for j in (i + 1)..n {
+                let mut sum = 0.0;
+                for k in i..j {
+                    let r_kj = if k == j { self.r_diag[j] } else { self.qr[(k, j)] };
+                    sum += rinv[(i, k)] * r_kj;
+                }
+                rinv[(i, j)] = -sum / self.r_diag[j];
+            }
+        }
+        rinv.matmul(&rinv.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn lu_solves_system_requiring_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_close(&x, &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(MathError::Singular)));
+    }
+
+    #[test]
+    fn lu_det_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[2.0, 4.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_det_sign_tracks_permutation() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]])
+            .unwrap();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let i = Matrix::identity(3);
+        assert!(prod.sub(&i).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_least_squares_matches_exact_solution_on_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        let x = qr.solve(&[5.0, 10.0]).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn qr_least_squares_overdetermined() {
+        // Fit y = 2x + 1 through noisy-free points: exact recovery expected.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let beta = Qr::factor(&a).unwrap().solve(&y).unwrap();
+        assert_close(&beta, &[1.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn qr_rejects_rank_deficient() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(!qr.is_full_rank());
+        assert!(qr.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn qr_xtx_inverse_matches_lu_inverse_of_gram() {
+        let a = Matrix::from_rows(&[&[1.0, 0.5], &[1.0, 1.5], &[1.0, 2.5], &[1.0, 4.0]])
+            .unwrap();
+        let via_qr = Qr::factor(&a).unwrap().xtx_inverse().unwrap();
+        let via_lu = Lu::factor(&a.gram()).unwrap().inverse().unwrap();
+        assert!(via_qr.sub(&via_lu).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_rejects_wide_matrices() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Qr::factor(&a).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! The ARIMA model family: ARIMA, SARIMA and SARIMAX with exogenous
+//! variables and Fourier terms (paper §4.1, §4.2, §4.4).
+//!
+//! Module layout:
+//!
+//! * [`spec`] — the `(p,d,q)(P,D,Q,F)` order specification,
+//! * [`transform`] — the stationarity/invertibility-preserving
+//!   parameterisation used during optimisation,
+//! * [`css`] — the conditional-sum-of-squares recursion and recursive
+//!   forecasting on the differenced scale,
+//! * [`model`] — [`FittedArima`]: estimation and forecasting with
+//!   prediction intervals,
+//! * [`sarimax`] — [`FittedSarimax`]: regression with SARIMA errors,
+//!   exogenous shock columns and Fourier seasonality.
+
+pub mod css;
+pub mod model;
+pub mod sarimax;
+pub mod spec;
+pub mod transform;
+
+pub use model::{auto_d, spec_feasible, ArimaOptions, FittedArima};
+pub use sarimax::{FittedSarimax, SarimaxConfig};
+pub use spec::ArimaSpec;

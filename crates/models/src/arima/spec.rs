@@ -1,0 +1,187 @@
+//! The SARIMA order specification `(p,d,q)(P,D,Q,F)`.
+//!
+//! §4.1: "Thus the SARIMA parameters are (p,d,q,P,D,Q,F), which enables the
+//! model to handle both seasonal and non-seasonal workloads." The paper's
+//! result tables print specs exactly as `(13,1,2)(1,1,1,24)`, which
+//! [`std::fmt::Display`] reproduces.
+
+use crate::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A (seasonal) ARIMA order specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArimaSpec {
+    /// Non-seasonal autoregressive order.
+    pub p: usize,
+    /// Non-seasonal differencing order.
+    pub d: usize,
+    /// Non-seasonal moving-average order.
+    pub q: usize,
+    /// Seasonal autoregressive order (`P`).
+    pub seasonal_p: usize,
+    /// Seasonal differencing order (`D`).
+    pub seasonal_d: usize,
+    /// Seasonal moving-average order (`Q`).
+    pub seasonal_q: usize,
+    /// Seasonal period (`F` in the paper's notation, `s` in Box-Jenkins').
+    pub period: usize,
+}
+
+impl ArimaSpec {
+    /// Plain ARIMA(p,d,q) with no seasonal component.
+    pub fn arima(p: usize, d: usize, q: usize) -> ArimaSpec {
+        ArimaSpec {
+            p,
+            d,
+            q,
+            seasonal_p: 0,
+            seasonal_d: 0,
+            seasonal_q: 0,
+            period: 0,
+        }
+    }
+
+    /// Full seasonal spec.
+    pub fn sarima(
+        p: usize,
+        d: usize,
+        q: usize,
+        seasonal_p: usize,
+        seasonal_d: usize,
+        seasonal_q: usize,
+        period: usize,
+    ) -> ArimaSpec {
+        ArimaSpec {
+            p,
+            d,
+            q,
+            seasonal_p,
+            seasonal_d,
+            seasonal_q,
+            period,
+        }
+    }
+
+    /// Whether any seasonal order is non-zero.
+    pub fn is_seasonal(&self) -> bool {
+        self.seasonal_p > 0 || self.seasonal_d > 0 || self.seasonal_q > 0
+    }
+
+    /// Number of estimated ARMA coefficients (excluding the mean and σ²).
+    pub fn n_params(&self) -> usize {
+        self.p + self.q + self.seasonal_p + self.seasonal_q
+    }
+
+    /// Highest AR lag after expanding `φ(B)·Φ(B^s)`.
+    pub fn max_ar_lag(&self) -> usize {
+        self.p + self.seasonal_p * self.period
+    }
+
+    /// Highest MA lag after expanding `θ(B)·Θ(B^s)`.
+    pub fn max_ma_lag(&self) -> usize {
+        self.q + self.seasonal_q * self.period
+    }
+
+    /// Observations consumed by differencing.
+    pub fn differencing_loss(&self) -> usize {
+        self.d + self.seasonal_d * self.period
+    }
+
+    /// Minimum training length for a CSS fit: differencing loss, the AR
+    /// conditioning window, and a margin of genuine residuals to score.
+    pub fn min_observations(&self) -> usize {
+        self.differencing_loss() + self.max_ar_lag() + self.n_params().max(1) + 8
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.is_seasonal() && self.period < 2 {
+            return Err(ModelError::InvalidSpec {
+                context: format!("seasonal orders need period >= 2, got {}", self.period),
+            });
+        }
+        if self.d + self.seasonal_d > 3 {
+            // The paper: D "usually should not be greater than 2"; allow a
+            // little slack but reject nonsense.
+            return Err(ModelError::InvalidSpec {
+                context: format!(
+                    "total differencing d + D = {} is implausibly high",
+                    self.d + self.seasonal_d
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for ArimaSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{},{})", self.p, self.d, self.q)?;
+        if self.is_seasonal() {
+            write!(
+                f,
+                "({},{},{},{})",
+                self.seasonal_p, self.seasonal_d, self.seasonal_q, self.period
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ArimaSpec::arima(13, 1, 1).to_string(), "(13,1,1)");
+        assert_eq!(
+            ArimaSpec::sarima(13, 1, 2, 1, 1, 1, 24).to_string(),
+            "(13,1,2)(1,1,1,24)"
+        );
+    }
+
+    #[test]
+    fn param_count_sums_all_orders() {
+        let s = ArimaSpec::sarima(2, 1, 1, 1, 1, 1, 24);
+        assert_eq!(s.n_params(), 5);
+    }
+
+    #[test]
+    fn expanded_lags_account_for_period() {
+        let s = ArimaSpec::sarima(2, 1, 1, 1, 1, 1, 24);
+        assert_eq!(s.max_ar_lag(), 26);
+        assert_eq!(s.max_ma_lag(), 25);
+        assert_eq!(s.differencing_loss(), 25);
+    }
+
+    #[test]
+    fn validation_rejects_seasonal_without_period() {
+        let s = ArimaSpec {
+            period: 1,
+            ..ArimaSpec::sarima(1, 0, 0, 1, 0, 0, 1)
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_absurd_differencing() {
+        assert!(ArimaSpec::arima(1, 4, 0).validate().is_err());
+        assert!(ArimaSpec::sarima(1, 2, 0, 0, 2, 0, 24).validate().is_err());
+        assert!(ArimaSpec::sarima(1, 1, 0, 0, 1, 0, 24).validate().is_ok());
+    }
+
+    #[test]
+    fn nonseasonal_spec_is_not_seasonal() {
+        assert!(!ArimaSpec::arima(3, 1, 2).is_seasonal());
+        assert!(ArimaSpec::sarima(0, 0, 0, 0, 1, 0, 24).is_seasonal());
+    }
+
+    #[test]
+    fn min_observations_scales_with_spec() {
+        assert!(
+            ArimaSpec::sarima(2, 1, 1, 1, 1, 1, 24).min_observations()
+                > ArimaSpec::arima(1, 0, 0).min_observations()
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Stationarity/invertibility-preserving parameterisation.
+//!
+//! The CSS objective is minimised over unconstrained reals; each block of
+//! AR (or MA) coefficients is represented by partial autocorrelations
+//! squashed through `tanh`, then mapped to coefficients with the
+//! Durbin-Levinson/Monahan recursion. Every point of ℝⁿ therefore maps to a
+//! stationary AR (respectively invertible MA) polynomial, exactly the
+//! `enforce_stationarity` device of statsmodels' SARIMAX.
+
+use dwcp_math::optimize::{squash, unsquash};
+
+/// Map partial autocorrelations (each in `(−1, 1)`) to AR coefficients
+/// `φ₁..φ_p` of a stationary polynomial `1 − Σ φᵢ Bⁱ` (Monahan 1984).
+pub fn pacf_to_ar(pacs: &[f64]) -> Vec<f64> {
+    let p = pacs.len();
+    let mut a = vec![0.0; p];
+    let mut prev = vec![0.0; p];
+    for k in 0..p {
+        let pk = pacs[k];
+        a[k] = pk;
+        for j in 0..k {
+            a[j] = prev[j] - pk * prev[k - 1 - j];
+        }
+        prev[..=k].copy_from_slice(&a[..=k]);
+    }
+    a
+}
+
+/// Inverse of [`pacf_to_ar`]: recover partial autocorrelations from AR
+/// coefficients. Returns `None` if the polynomial is not stationary (some
+/// implied |pac| ≥ 1).
+pub fn ar_to_pacf(phi: &[f64]) -> Option<Vec<f64>> {
+    let p = phi.len();
+    let mut a = phi.to_vec();
+    let mut pacs = vec![0.0; p];
+    for k in (0..p).rev() {
+        let pk = a[k];
+        if pk.abs() >= 1.0 {
+            return None;
+        }
+        pacs[k] = pk;
+        if k == 0 {
+            break;
+        }
+        let denom = 1.0 - pk * pk;
+        let prev = a.clone();
+        for j in 0..k {
+            a[j] = (prev[j] + pk * prev[k - 1 - j]) / denom;
+        }
+    }
+    Some(pacs)
+}
+
+/// Map a block of unconstrained optimiser variables to stationary AR
+/// coefficients.
+pub fn unconstrained_to_ar(u: &[f64]) -> Vec<f64> {
+    let pacs: Vec<f64> = u.iter().map(|&v| 0.999 * squash(v)).collect();
+    pacf_to_ar(&pacs)
+}
+
+/// Map stationary AR coefficients back to unconstrained optimiser
+/// variables; coefficients outside the stationary region are shrunk toward
+/// zero until they enter it (heuristic starting values may be mildly
+/// explosive).
+pub fn ar_to_unconstrained(phi: &[f64]) -> Vec<f64> {
+    let mut candidate = phi.to_vec();
+    for _ in 0..60 {
+        if let Some(pacs) = ar_to_pacf(&candidate) {
+            if pacs.iter().all(|p| p.abs() < 0.999) {
+                return pacs.iter().map(|&p| unsquash(p / 0.999)).collect();
+            }
+        }
+        for c in candidate.iter_mut() {
+            *c *= 0.9;
+        }
+    }
+    vec![0.0; phi.len()]
+}
+
+/// MA variant: invertible θ coefficients for `1 + Σ θⱼ Bʲ`. The invertible
+/// region of `θ` equals the stationary region of `−θ` read as AR
+/// coefficients, so the AR transforms are reused with a sign flip.
+pub fn unconstrained_to_ma(u: &[f64]) -> Vec<f64> {
+    unconstrained_to_ar(u).iter().map(|&v| -v).collect()
+}
+
+/// Inverse of [`unconstrained_to_ma`].
+pub fn ma_to_unconstrained(theta: &[f64]) -> Vec<f64> {
+    let as_ar: Vec<f64> = theta.iter().map(|&v| -v).collect();
+    ar_to_unconstrained(&as_ar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar_is_stationary(phi: &[f64]) -> bool {
+        // Companion-matrix-free check: simulate the homogeneous recursion
+        // from a unit impulse; a stationary AR's impulse response decays.
+        let p = phi.len();
+        if p == 0 {
+            return true;
+        }
+        let mut state = vec![0.0; p];
+        state[0] = 1.0;
+        let mut max_late = 0.0f64;
+        for t in 0..2000 {
+            let next: f64 = phi.iter().zip(&state).map(|(a, b)| a * b).sum();
+            state.rotate_right(1);
+            state[0] = next;
+            if t > 1500 {
+                max_late = max_late.max(next.abs());
+            }
+            if next.abs() > 1e12 {
+                return false;
+            }
+        }
+        max_late < 1.0
+    }
+
+    #[test]
+    fn pacf_to_ar_single_lag_is_identity() {
+        assert_eq!(pacf_to_ar(&[0.7]), vec![0.7]);
+    }
+
+    #[test]
+    fn pacf_to_ar_two_lags_known_formula() {
+        // φ₁ = π₁(1 − π₂), φ₂ = π₂.
+        let (p1, p2) = (0.5, -0.3);
+        let phi = pacf_to_ar(&[p1, p2]);
+        assert!((phi[0] - p1 * (1.0 - p2)).abs() < 1e-12);
+        assert!((phi[1] - p2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_pacf_ar_pacf() {
+        let pacs = vec![0.6, -0.4, 0.2, 0.1];
+        let phi = pacf_to_ar(&pacs);
+        let back = ar_to_pacf(&phi).unwrap();
+        for (a, b) in back.iter().zip(&pacs) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transformed_ar_is_always_stationary() {
+        // Even extreme unconstrained inputs must give stationary coefficients:
+        // the Durbin-Levinson criterion (all implied |pac| < 1) must hold.
+        for u in [
+            vec![5.0],
+            vec![-8.0, 8.0],
+            vec![3.0, -3.0, 3.0],
+            vec![0.1, 0.2, -0.3, 10.0, -10.0],
+        ] {
+            let phi = unconstrained_to_ar(&u);
+            let pacs = ar_to_pacf(&phi).expect("must be stationary");
+            assert!(
+                pacs.iter().all(|p| p.abs() < 1.0),
+                "{phi:?} from {u:?}"
+            );
+        }
+        // Away from the boundary the impulse response must also visibly decay.
+        for u in [vec![1.0], vec![-1.5, 1.5], vec![0.5, -0.5, 0.5]] {
+            let phi = unconstrained_to_ar(&u);
+            assert!(ar_is_stationary(&phi), "{phi:?} from {u:?}");
+        }
+    }
+
+    #[test]
+    fn nonstationary_ar_has_no_pacf() {
+        // φ₁ = 1.2 is explosive.
+        assert!(ar_to_pacf(&[1.2]).is_none());
+    }
+
+    #[test]
+    fn unconstrained_roundtrip_for_stationary_start() {
+        let phi = vec![0.5, 0.2];
+        let u = ar_to_unconstrained(&phi);
+        let back = unconstrained_to_ar(&u);
+        for (a, b) in back.iter().zip(&phi) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn explosive_start_is_shrunk_not_rejected() {
+        let u = ar_to_unconstrained(&[1.5]);
+        let phi = unconstrained_to_ar(&u);
+        assert!(phi[0].abs() < 1.0);
+        assert!(phi[0] > 0.5, "should stay near the boundary: {}", phi[0]);
+    }
+
+    #[test]
+    fn ma_transform_is_sign_flipped_ar() {
+        let u = vec![0.8, -0.3];
+        let ar = unconstrained_to_ar(&u);
+        let ma = unconstrained_to_ma(&u);
+        for (a, m) in ar.iter().zip(&ma) {
+            assert!((a + m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ma_roundtrip() {
+        let theta = vec![0.4, 0.1];
+        let u = ma_to_unconstrained(&theta);
+        let back = unconstrained_to_ma(&u);
+        for (a, b) in back.iter().zip(&theta) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        assert!(pacf_to_ar(&[]).is_empty());
+        assert_eq!(ar_to_pacf(&[]), Some(vec![]));
+        assert!(unconstrained_to_ar(&[]).is_empty());
+    }
+}

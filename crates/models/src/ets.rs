@@ -1,0 +1,604 @@
+//! Exponential smoothing models (§4.3): simple exponential smoothing,
+//! Holt's linear trend (optionally damped) and the Holt-Winters seasonal
+//! method — the model the paper's pipeline calls **HES** ("Holt-Winters
+//! Exponential Smoothing").
+//!
+//! "In exponential smoothing, recent observations are given more weight
+//! than older observations … The weights decay exponentially as the
+//! observations get older."
+//!
+//! Smoothing parameters are found by minimising the one-step-ahead SSE with
+//! Nelder-Mead over logistic-transformed variables, the same device every
+//! ETS implementation uses.
+
+use crate::{Forecast, ModelError, Result};
+use dwcp_math::optimize::{nelder_mead, NelderMeadOptions};
+use serde::{Deserialize, Serialize};
+
+/// Trend component choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrendKind {
+    /// No trend (simple exponential smoothing when seasonality is off).
+    None,
+    /// Holt's additive linear trend.
+    Additive,
+    /// Additive trend with damping coefficient φ.
+    Damped,
+}
+
+/// Seasonal component choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeasonalKind {
+    /// No seasonality.
+    None,
+    /// Additive seasonality with the given period.
+    Additive(usize),
+    /// Multiplicative seasonality with the given period (positive data).
+    Multiplicative(usize),
+}
+
+impl SeasonalKind {
+    /// The seasonal period, or 0 when seasonality is off.
+    pub fn period(self) -> usize {
+        match self {
+            SeasonalKind::None => 0,
+            SeasonalKind::Additive(m) | SeasonalKind::Multiplicative(m) => m,
+        }
+    }
+}
+
+/// An ETS model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EtsConfig {
+    /// Trend component.
+    pub trend: TrendKind,
+    /// Seasonal component.
+    pub seasonal: SeasonalKind,
+    /// Two-sided confidence level for forecast intervals.
+    pub interval_level: f64,
+}
+
+impl EtsConfig {
+    /// Simple exponential smoothing.
+    pub fn ses() -> EtsConfig {
+        EtsConfig {
+            trend: TrendKind::None,
+            seasonal: SeasonalKind::None,
+            interval_level: 0.95,
+        }
+    }
+
+    /// Holt's linear trend.
+    pub fn holt() -> EtsConfig {
+        EtsConfig {
+            trend: TrendKind::Additive,
+            seasonal: SeasonalKind::None,
+            interval_level: 0.95,
+        }
+    }
+
+    /// Holt-Winters additive seasonal — the paper's HES default.
+    pub fn holt_winters(period: usize) -> EtsConfig {
+        EtsConfig {
+            trend: TrendKind::Additive,
+            seasonal: SeasonalKind::Additive(period),
+            interval_level: 0.95,
+        }
+    }
+
+    /// Holt-Winters multiplicative seasonal.
+    pub fn holt_winters_multiplicative(period: usize) -> EtsConfig {
+        EtsConfig {
+            trend: TrendKind::Additive,
+            seasonal: SeasonalKind::Multiplicative(period),
+            interval_level: 0.95,
+        }
+    }
+
+    /// Number of smoothing parameters being optimised.
+    pub fn n_params(&self) -> usize {
+        let mut k = 1; // alpha
+        if self.trend != TrendKind::None {
+            k += 1; // beta
+        }
+        if self.trend == TrendKind::Damped {
+            k += 1; // phi
+        }
+        if self.seasonal.period() > 0 {
+            k += 1; // gamma
+        }
+        k
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> String {
+        let base = match (self.trend, self.seasonal) {
+            (TrendKind::None, SeasonalKind::None) => "SES".to_string(),
+            (TrendKind::Additive, SeasonalKind::None) => "Holt".to_string(),
+            (TrendKind::Damped, SeasonalKind::None) => "Holt (damped)".to_string(),
+            (_, SeasonalKind::Additive(m)) => format!("Holt-Winters additive (m={m})"),
+            (_, SeasonalKind::Multiplicative(m)) => {
+                format!("Holt-Winters multiplicative (m={m})")
+            }
+        };
+        base
+    }
+}
+
+/// Convenience enum mirroring the paper's user-facing model menu.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtsModel {
+    /// Simple exponential smoothing.
+    Ses,
+    /// Holt's linear trend.
+    Holt,
+    /// Damped Holt.
+    HoltDamped,
+    /// Holt-Winters additive (HES).
+    HoltWintersAdditive,
+    /// Holt-Winters multiplicative.
+    HoltWintersMultiplicative,
+}
+
+impl EtsModel {
+    /// Materialise a config; `period` is used by the seasonal variants.
+    pub fn config(self, period: usize) -> EtsConfig {
+        match self {
+            EtsModel::Ses => EtsConfig::ses(),
+            EtsModel::Holt => EtsConfig::holt(),
+            EtsModel::HoltDamped => EtsConfig {
+                trend: TrendKind::Damped,
+                ..EtsConfig::holt()
+            },
+            EtsModel::HoltWintersAdditive => EtsConfig::holt_winters(period),
+            EtsModel::HoltWintersMultiplicative => {
+                EtsConfig::holt_winters_multiplicative(period)
+            }
+        }
+    }
+}
+
+/// A fitted exponential-smoothing model.
+#[derive(Debug, Clone)]
+pub struct FittedEts {
+    /// Configuration fitted.
+    pub config: EtsConfig,
+    /// Level smoothing parameter α ∈ (0, 1).
+    pub alpha: f64,
+    /// Trend smoothing parameter β (0 when trend is off).
+    pub beta: f64,
+    /// Seasonal smoothing parameter γ (0 when seasonality is off).
+    pub gamma: f64,
+    /// Trend damping coefficient φ (1 when undamped).
+    pub phi: f64,
+    /// Final level state.
+    pub level: f64,
+    /// Final trend state.
+    pub trend: f64,
+    /// Final seasonal states (most recent period; index `i` is the factor
+    /// for phase `(n + i) mod m` going forward).
+    pub seasonal: Vec<f64>,
+    /// One-step in-sample SSE at the optimum.
+    pub sse: f64,
+    /// Residual variance estimate.
+    pub sigma2: f64,
+    /// Training length.
+    pub n_obs: usize,
+    /// AIC (SSE approximation).
+    pub aic: f64,
+}
+
+/// Internal: run the smoothing recursion, returning (sse, final states,
+/// one-step errors).
+struct Recursion {
+    sse: f64,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+}
+
+fn run_recursion(
+    y: &[f64],
+    config: &EtsConfig,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    phi: f64,
+) -> Option<Recursion> {
+    let m = config.seasonal.period();
+    let n = y.len();
+    // State initialisation (classical heuristics).
+    let (mut level, mut trend, mut seasonal) = initial_states(y, config)?;
+    let mut sse = 0.0;
+    for (t, &obs) in y.iter().enumerate() {
+        let s_idx = if m > 0 { t % m } else { 0 };
+        let damped_trend = phi * trend;
+        let (fitted, seasonal_factor) = match config.seasonal {
+            SeasonalKind::None => (level + damped_trend, 0.0),
+            SeasonalKind::Additive(_) => {
+                let s = seasonal[s_idx];
+                (level + damped_trend + s, s)
+            }
+            SeasonalKind::Multiplicative(_) => {
+                let s = seasonal[s_idx];
+                ((level + damped_trend) * s, s)
+            }
+        };
+        let err = obs - fitted;
+        if !err.is_finite() {
+            return None;
+        }
+        sse += err * err;
+
+        let prev_level = level;
+        match config.seasonal {
+            SeasonalKind::None => {
+                level = alpha * obs + (1.0 - alpha) * (prev_level + damped_trend);
+            }
+            SeasonalKind::Additive(_) => {
+                level =
+                    alpha * (obs - seasonal_factor) + (1.0 - alpha) * (prev_level + damped_trend);
+                seasonal[s_idx] = gamma * (obs - level) + (1.0 - gamma) * seasonal_factor;
+            }
+            SeasonalKind::Multiplicative(_) => {
+                if seasonal_factor.abs() < 1e-12 {
+                    return None;
+                }
+                level = alpha * (obs / seasonal_factor)
+                    + (1.0 - alpha) * (prev_level + damped_trend);
+                if level.abs() < 1e-12 {
+                    return None;
+                }
+                seasonal[s_idx] = gamma * (obs / level) + (1.0 - gamma) * seasonal_factor;
+            }
+        }
+        if config.trend != TrendKind::None {
+            trend = beta * (level - prev_level) + (1.0 - beta) * damped_trend;
+        }
+        let _ = n;
+    }
+    Some(Recursion {
+        sse,
+        level,
+        trend,
+        seasonal,
+    })
+}
+
+/// Classical state initialisation: first-period mean level, cross-period
+/// slope, detrended seasonal indices.
+fn initial_states(y: &[f64], config: &EtsConfig) -> Option<(f64, f64, Vec<f64>)> {
+    let m = config.seasonal.period();
+    if m > 0 {
+        if y.len() < 2 * m {
+            return None;
+        }
+        let first: f64 = y[..m].iter().sum::<f64>() / m as f64;
+        let second: f64 = y[m..2 * m].iter().sum::<f64>() / m as f64;
+        let trend = if config.trend == TrendKind::None {
+            0.0
+        } else {
+            (second - first) / m as f64
+        };
+        let seasonal: Vec<f64> = match config.seasonal {
+            SeasonalKind::Additive(_) => (0..m).map(|i| y[i] - first).collect(),
+            SeasonalKind::Multiplicative(_) => {
+                if first.abs() < 1e-12 {
+                    return None;
+                }
+                (0..m).map(|i| y[i] / first).collect()
+            }
+            SeasonalKind::None => unreachable!(),
+        };
+        Some((first, trend, seasonal))
+    } else {
+        if y.len() < 2 {
+            return None;
+        }
+        let trend = if config.trend == TrendKind::None {
+            0.0
+        } else {
+            y[1] - y[0]
+        };
+        Some((y[0], trend, vec![]))
+    }
+}
+
+impl FittedEts {
+    /// Fit by minimising the one-step SSE over the smoothing parameters.
+    pub fn fit(y: &[f64], config: EtsConfig) -> Result<FittedEts> {
+        let m = config.seasonal.period();
+        let needed = if m > 0 { 2 * m + 4 } else { 6 };
+        if y.len() < needed {
+            return Err(ModelError::TooShort {
+                needed,
+                got: y.len(),
+            });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::Series(dwcp_series::SeriesError::NonFinite));
+        }
+        if matches!(config.seasonal, SeasonalKind::Multiplicative(_))
+            && y.iter().any(|&v| v <= 0.0)
+        {
+            return Err(ModelError::InvalidSpec {
+                context: "multiplicative seasonality requires positive data".to_string(),
+            });
+        }
+
+        let logistic = |u: f64| 1.0 / (1.0 + (-u).exp());
+        let unpack = |u: &[f64]| -> (f64, f64, f64, f64) {
+            let mut i = 0;
+            // Bound α, β, γ in (0.0001, 0.9999); φ in (0.8, 0.98).
+            let alpha = 0.0001 + 0.9998 * logistic(u[i]);
+            i += 1;
+            let beta = if config.trend != TrendKind::None {
+                let b = 0.0001 + 0.9998 * logistic(u[i]);
+                i += 1;
+                b
+            } else {
+                0.0
+            };
+            let phi = if config.trend == TrendKind::Damped {
+                let p = 0.8 + 0.18 * logistic(u[i]);
+                i += 1;
+                p
+            } else {
+                1.0
+            };
+            let gamma = if m > 0 {
+                
+                0.0001 + 0.9998 * logistic(u[i])
+            } else {
+                0.0
+            };
+            (alpha, beta, gamma, phi)
+        };
+
+        let objective = |u: &[f64]| -> f64 {
+            let (alpha, beta, gamma, phi) = unpack(u);
+            match run_recursion(y, &config, alpha, beta, gamma, phi) {
+                Some(r) => r.sse,
+                None => f64::INFINITY,
+            }
+        };
+        let k = config.n_params();
+        let start = vec![0.0; k]; // logistic(0) = 0.5 everywhere
+        let nm = nelder_mead(
+            objective,
+            &start,
+            &NelderMeadOptions {
+                max_evals: 400 + 150 * k,
+                restarts: 2,
+                initial_step: 1.0,
+                ..Default::default()
+            },
+        );
+        let (alpha, beta, gamma, phi) = unpack(&nm.x);
+        let rec = run_recursion(y, &config, alpha, beta, gamma, phi).ok_or_else(|| {
+            ModelError::FitFailed {
+                context: "ETS recursion diverged at the optimum".to_string(),
+            }
+        })?;
+        let n = y.len() as f64;
+        let sigma2 = rec.sse / (n - k as f64).max(1.0);
+        let aic = n * (rec.sse / n).max(1e-300).ln() + 2.0 * (k as f64 + 1.0);
+        Ok(FittedEts {
+            config,
+            alpha,
+            beta,
+            gamma,
+            phi,
+            level: rec.level,
+            trend: rec.trend,
+            seasonal: reorder_seasonal(rec.seasonal, y.len(), m),
+            sse: rec.sse,
+            sigma2,
+            n_obs: y.len(),
+            aic,
+        })
+    }
+
+    /// Forecast `horizon` steps with approximate normal intervals
+    /// (Hyndman's class-1 variance formulas; the multiplicative-seasonal
+    /// case reuses the additive formula as an approximation).
+    pub fn forecast(&self, horizon: usize) -> Forecast {
+        let m = self.config.seasonal.period();
+        let mut mean = Vec::with_capacity(horizon);
+        let mut damp_sum = 0.0;
+        for h in 1..=horizon {
+            damp_sum += self.phi.powi(h as i32);
+            let base = self.level
+                + if self.config.trend == TrendKind::None {
+                    0.0
+                } else {
+                    damp_sum * self.trend
+                };
+            let v = match self.config.seasonal {
+                SeasonalKind::None => base,
+                SeasonalKind::Additive(_) => base + self.seasonal[(h - 1) % m],
+                SeasonalKind::Multiplicative(_) => base * self.seasonal[(h - 1) % m],
+            };
+            mean.push(v);
+        }
+        // Variance accumulation: c_j = α + β·(φ + … + φʲ) + γ·1{j ≡ 0 (mod m)}.
+        let mut std_error = Vec::with_capacity(horizon);
+        let mut var_acc = 1.0;
+        for h in 1..=horizon {
+            std_error.push((self.sigma2 * var_acc).sqrt());
+            // Prepare accumulation for the next step.
+            let j = h;
+            let mut damp = 0.0;
+            for i in 1..=j {
+                damp += self.phi.powi(i as i32);
+            }
+            let mut c = self.alpha;
+            if self.config.trend != TrendKind::None {
+                c += self.beta * damp;
+            }
+            if m > 0 && j % m == 0 {
+                c += self.gamma;
+            }
+            var_acc += c * c;
+        }
+        Forecast::with_normal_intervals(mean, std_error, self.config.interval_level)
+    }
+}
+
+/// The recursion leaves `seasonal[i]` holding the factor for phase
+/// `i mod m`; reorder so index 0 is the phase of the first forecast step.
+fn reorder_seasonal(seasonal: Vec<f64>, n: usize, m: usize) -> Vec<f64> {
+    if m == 0 {
+        return seasonal;
+    }
+    (0..m).map(|h| seasonal[(n + h) % m]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ses_forecast_is_flat() {
+        let y: Vec<f64> = noise(100, 1).iter().map(|v| 50.0 + v).collect();
+        let fit = FittedEts::fit(&y, EtsConfig::ses()).unwrap();
+        let f = fit.forecast(5);
+        for h in 1..5 {
+            assert!((f.mean[h] - f.mean[0]).abs() < 1e-12);
+        }
+        assert!((f.mean[0] - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn holt_tracks_linear_trend() {
+        let y: Vec<f64> = (0..120)
+            .map(|t| 10.0 + 1.5 * t as f64 + noise(120, 3)[t] * 0.2)
+            .collect();
+        let fit = FittedEts::fit(&y, EtsConfig::holt()).unwrap();
+        let f = fit.forecast(10);
+        for (h, &v) in f.mean.iter().enumerate() {
+            let expected = 10.0 + 1.5 * (120 + h) as f64;
+            assert!((v - expected).abs() < 3.0, "h = {h}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn damped_holt_flattens_eventually() {
+        let y: Vec<f64> = (0..100).map(|t| 2.0 * t as f64).collect();
+        let fit = FittedEts::fit(&y, EtsModel::HoltDamped.config(0)).unwrap();
+        let f = fit.forecast(200);
+        let early_slope = f.mean[1] - f.mean[0];
+        let late_slope = f.mean[199] - f.mean[198];
+        assert!(late_slope < early_slope, "{late_slope} vs {early_slope}");
+    }
+
+    #[test]
+    fn holt_winters_additive_reproduces_seasonal_pattern() {
+        let pattern = [0.0, 5.0, 10.0, 5.0, 0.0, -5.0, -10.0, -5.0];
+        let y: Vec<f64> = (0..160)
+            .map(|t| 100.0 + pattern[t % 8] + noise(160, 5)[t] * 0.2)
+            .collect();
+        let fit = FittedEts::fit(&y, EtsConfig::holt_winters(8)).unwrap();
+        let f = fit.forecast(8);
+        for h in 0..8 {
+            let expected = 100.0 + pattern[(160 + h) % 8];
+            assert!(
+                (f.mean[h] - expected).abs() < 2.0,
+                "h = {h}: {} vs {expected}",
+                f.mean[h]
+            );
+        }
+    }
+
+    #[test]
+    fn holt_winters_with_trend_and_season() {
+        let pattern = [10.0, -10.0, 5.0, -5.0];
+        let y: Vec<f64> = (0..120)
+            .map(|t| 50.0 + 0.5 * t as f64 + pattern[t % 4])
+            .collect();
+        let fit = FittedEts::fit(&y, EtsConfig::holt_winters(4)).unwrap();
+        let f = fit.forecast(8);
+        for h in 0..8 {
+            let expected = 50.0 + 0.5 * (120 + h) as f64 + pattern[(120 + h) % 4];
+            assert!(
+                (f.mean[h] - expected).abs() < 2.5,
+                "h = {h}: {} vs {expected}",
+                f.mean[h]
+            );
+        }
+    }
+
+    #[test]
+    fn multiplicative_seasonality_scales_with_level() {
+        let factors = [1.2, 0.8, 1.1, 0.9];
+        let y: Vec<f64> = (0..160)
+            .map(|t| (100.0 + t as f64) * factors[t % 4])
+            .collect();
+        let fit =
+            FittedEts::fit(&y, EtsConfig::holt_winters_multiplicative(4)).unwrap();
+        let f = fit.forecast(4);
+        for h in 0..4 {
+            let expected = (100.0 + (160 + h) as f64) * factors[(160 + h) % 4];
+            let rel = (f.mean[h] - expected).abs() / expected;
+            assert!(rel < 0.05, "h = {h}: {} vs {expected}", f.mean[h]);
+        }
+    }
+
+    #[test]
+    fn multiplicative_rejects_nonpositive_data() {
+        let y: Vec<f64> = (0..50).map(|t| t as f64 - 10.0).collect();
+        assert!(FittedEts::fit(&y, EtsConfig::holt_winters_multiplicative(5)).is_err());
+    }
+
+    #[test]
+    fn intervals_widen_with_horizon() {
+        let y: Vec<f64> = noise(100, 7).iter().map(|v| 20.0 + v).collect();
+        let fit = FittedEts::fit(&y, EtsConfig::ses()).unwrap();
+        let f = fit.forecast(10);
+        for h in 1..10 {
+            assert!(f.std_error[h] >= f.std_error[h - 1]);
+        }
+    }
+
+    #[test]
+    fn smoothing_params_stay_in_bounds() {
+        let y: Vec<f64> = (0..80).map(|t| (t as f64 * 0.3).sin() * 5.0 + 50.0).collect();
+        let fit = FittedEts::fit(&y, EtsConfig::holt()).unwrap();
+        assert!(fit.alpha > 0.0 && fit.alpha < 1.0);
+        assert!(fit.beta >= 0.0 && fit.beta < 1.0);
+        assert_eq!(fit.phi, 1.0);
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        assert!(FittedEts::fit(&[1.0, 2.0, 3.0], EtsConfig::ses()).is_err());
+        assert!(FittedEts::fit(&[1.0; 10], EtsConfig::holt_winters(8)).is_err());
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(EtsConfig::ses().name(), "SES");
+        assert_eq!(EtsConfig::holt().name(), "Holt");
+        assert!(EtsConfig::holt_winters(24).name().contains("m=24"));
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(EtsConfig::ses().n_params(), 1);
+        assert_eq!(EtsConfig::holt().n_params(), 2);
+        assert_eq!(EtsModel::HoltDamped.config(0).n_params(), 3);
+        assert_eq!(EtsConfig::holt_winters(24).n_params(), 3);
+    }
+}

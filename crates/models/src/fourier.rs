@@ -1,0 +1,160 @@
+//! Fourier-term external regressors (§4.4, equation 15).
+//!
+//! "Such seasonal patterns are modeled through the introduction of Fourier
+//! terms, which are used as external regressors. … for each of the periods
+//! `Pᵢ`, the number of Fourier terms `kᵢ` are chosen to find the best
+//! SARIMAX parameters."
+//!
+//! A [`FourierSpec`] maps an absolute time index `t` to the column vector
+//! `[sin(2πkt/Pᵢ), cos(2πkt/Pᵢ)]` for every period `i` and harmonic
+//! `k ≤ kᵢ`. Using absolute indices keeps the phases of the training design
+//! matrix and the forecast extension consistent.
+
+use serde::{Deserialize, Serialize};
+
+/// One seasonal period with a harmonic count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FourierTerm {
+    /// Period length in observations (e.g. 24 for daily cycles in hourly
+    /// data, 168 for weekly).
+    pub period: f64,
+    /// Number of sine/cosine harmonic pairs.
+    pub harmonics: usize,
+}
+
+/// A full Fourier regressor specification: one or more periods.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FourierSpec {
+    /// The periods and their harmonic counts.
+    pub terms: Vec<FourierTerm>,
+}
+
+impl FourierSpec {
+    /// An empty spec (no Fourier columns).
+    pub fn none() -> FourierSpec {
+        FourierSpec { terms: vec![] }
+    }
+
+    /// Single-period spec.
+    pub fn single(period: f64, harmonics: usize) -> FourierSpec {
+        FourierSpec {
+            terms: vec![FourierTerm { period, harmonics }],
+        }
+    }
+
+    /// Spec covering several periods with the same harmonic count — the
+    /// paper's "P1 running over a 24 hours period and P2 running over a
+    /// weekly period".
+    pub fn multi(periods: &[f64], harmonics: usize) -> FourierSpec {
+        FourierSpec {
+            terms: periods
+                .iter()
+                .map(|&period| FourierTerm { period, harmonics })
+                .collect(),
+        }
+    }
+
+    /// Number of regressor columns generated (2 per harmonic per period).
+    pub fn n_columns(&self) -> usize {
+        self.terms.iter().map(|t| 2 * t.harmonics).sum()
+    }
+
+    /// Whether the spec generates no columns.
+    pub fn is_empty(&self) -> bool {
+        self.n_columns() == 0
+    }
+
+    /// The regressor row for absolute time index `t`.
+    pub fn row(&self, t: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_columns());
+        let tf = t as f64;
+        for term in &self.terms {
+            for k in 1..=term.harmonics {
+                let angle = 2.0 * std::f64::consts::PI * k as f64 * tf / term.period;
+                out.push(angle.sin());
+                out.push(angle.cos());
+            }
+        }
+        out
+    }
+
+    /// Regressor rows for indices `start .. start + len` as column vectors
+    /// (one `Vec` per column, ready for a design matrix).
+    pub fn columns(&self, start: usize, len: usize) -> Vec<Vec<f64>> {
+        let ncols = self.n_columns();
+        let mut cols = vec![Vec::with_capacity(len); ncols];
+        for t in start..start + len {
+            for (c, v) in self.row(t).into_iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_count_is_two_per_harmonic() {
+        let spec = FourierSpec::multi(&[24.0, 168.0], 2);
+        assert_eq!(spec.n_columns(), 8);
+        assert_eq!(spec.row(0).len(), 8);
+    }
+
+    #[test]
+    fn row_at_zero_is_sin0_cos0_pattern() {
+        let spec = FourierSpec::single(24.0, 2);
+        let r = spec.row(0);
+        assert_eq!(r, vec![0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn first_harmonic_has_the_declared_period() {
+        let spec = FourierSpec::single(24.0, 1);
+        let a = spec.row(3);
+        let b = spec.row(3 + 24);
+        assert!((a[0] - b[0]).abs() < 1e-9);
+        assert!((a[1] - b[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quarter_period_hits_sin_peak() {
+        let spec = FourierSpec::single(24.0, 1);
+        let r = spec.row(6); // quarter of 24
+        assert!((r[0] - 1.0).abs() < 1e-9);
+        assert!(r[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn columns_match_rows() {
+        let spec = FourierSpec::multi(&[24.0, 168.0], 3);
+        let cols = spec.columns(10, 5);
+        assert_eq!(cols.len(), spec.n_columns());
+        for (t_off, t) in (10..15).enumerate() {
+            let row = spec.row(t);
+            for (c, col) in cols.iter().enumerate() {
+                assert_eq!(col[t_off], row[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_spec_produces_nothing() {
+        let spec = FourierSpec::none();
+        assert!(spec.is_empty());
+        assert!(spec.row(5).is_empty());
+        assert!(spec.columns(0, 10).is_empty());
+    }
+
+    #[test]
+    fn non_integer_period_is_supported() {
+        // TBATS-style non-integer seasonality, e.g. 365.25/7 weeks.
+        let spec = FourierSpec::single(52.18, 1);
+        let r0 = spec.row(0);
+        let r1 = spec.row(52); // close to but not exactly one period
+        assert!((r0[1] - 1.0).abs() < 1e-12);
+        assert!((r1[1] - 1.0).abs() > 1e-6);
+    }
+}

@@ -1,0 +1,814 @@
+//! TBATS — Trigonometric seasonality, Box-Cox transform, ARMA errors,
+//! Trend and Seasonal components (paper §4.3, equations 7–14; De Livera,
+//! Hyndman & Snyder 2011).
+//!
+//! The innovations state space implemented here follows the paper's
+//! equations exactly:
+//!
+//! ```text
+//! y_t(λ) = l_{t−1} + Φ·b_{t−1} + Σᵢ s_{t−1}^(i) + d̂_t + e_t
+//! l_t   = l_{t−1} + Φ·b_{t−1} + α·d_t
+//! b_t   = Φ·b_{t−1} + β·d_t
+//! d_t   = Σ φᵢ d_{t−i} + Σ θⱼ e_{t−j} + e_t        (ARMA residual process)
+//! s_{j,t}  =  s_{j,t−1}·cos λⱼ + s*_{j,t−1}·sin λⱼ + γ₁·d_t
+//! s*_{j,t} = −s_{j,t−1}·sin λⱼ + s*_{j,t−1}·cos λⱼ + γ₂·d_t
+//! ```
+//!
+//! and the final configuration is chosen by AIC over the lattice the paper
+//! lists: with/without Box-Cox, with/without trend, with/without damping,
+//! with/without ARMA(p,q) errors, and varying harmonic counts.
+
+use crate::arima::transform::{unconstrained_to_ar, unconstrained_to_ma};
+use crate::{Forecast, ModelError, Result};
+use dwcp_math::optimize::{nelder_mead, NelderMeadOptions};
+use dwcp_series::boxcox::{boxcox, inv_boxcox, select_lambda, shift_to_positive};
+
+/// One seasonal block of a TBATS configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TbatsSeason {
+    /// Period length (may be non-integer).
+    pub period: f64,
+    /// Number of harmonics `kᵢ`.
+    pub harmonics: usize,
+}
+
+/// A TBATS model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TbatsConfig {
+    /// Box-Cox λ: `None` disables the transform, `Some(λ)` fixes it.
+    pub lambda: Option<f64>,
+    /// Include a trend state.
+    pub use_trend: bool,
+    /// Damp the trend (implies `use_trend`).
+    pub use_damping: bool,
+    /// ARMA error orders (p, q); (0, 0) disables the error model.
+    pub arma: (usize, usize),
+    /// Seasonal blocks.
+    pub seasons: Vec<TbatsSeason>,
+    /// Two-sided confidence level for forecast intervals.
+    pub interval_level: f64,
+}
+
+impl TbatsConfig {
+    /// A minimal config: level only.
+    pub fn level_only() -> TbatsConfig {
+        TbatsConfig {
+            lambda: None,
+            use_trend: false,
+            use_damping: false,
+            arma: (0, 0),
+            seasons: vec![],
+            interval_level: 0.95,
+        }
+    }
+
+    /// Config with one seasonal block and trend.
+    pub fn seasonal(period: f64, harmonics: usize) -> TbatsConfig {
+        TbatsConfig {
+            lambda: None,
+            use_trend: true,
+            use_damping: false,
+            arma: (0, 0),
+            seasons: vec![TbatsSeason { period, harmonics }],
+            interval_level: 0.95,
+        }
+    }
+
+    /// Number of optimised parameters.
+    pub fn n_params(&self) -> usize {
+        let mut k = 1; // alpha
+        if self.use_trend {
+            k += 1; // beta
+        }
+        if self.use_damping {
+            k += 1; // phi
+        }
+        k += 2 * self.seasons.len(); // gamma1, gamma2 per season
+        k += self.arma.0 + self.arma.1;
+        k
+    }
+
+    /// Short descriptor, e.g. `TBATS(λ=0.00, trend, damped, ARMA(1,1), {24:3})`.
+    pub fn describe(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        match self.lambda {
+            Some(l) => parts.push(format!("λ={l:.2}")),
+            None => parts.push("no-boxcox".to_string()),
+        }
+        if self.use_trend {
+            parts.push(if self.use_damping {
+                "damped-trend".to_string()
+            } else {
+                "trend".to_string()
+            });
+        }
+        if self.arma != (0, 0) {
+            parts.push(format!("ARMA({},{})", self.arma.0, self.arma.1));
+        }
+        if !self.seasons.is_empty() {
+            let s: Vec<String> = self
+                .seasons
+                .iter()
+                .map(|s| format!("{}:{}", s.period, s.harmonics))
+                .collect();
+            parts.push(format!("{{{}}}", s.join(",")));
+        }
+        format!("TBATS({})", parts.join(", "))
+    }
+}
+
+/// The mutable state vector during filtering/forecasting.
+#[derive(Debug, Clone)]
+struct TbatsState {
+    level: f64,
+    trend: f64,
+    /// Per season: interleaved `[s₁, s*₁, s₂, s*₂, …]`.
+    seasonal: Vec<Vec<f64>>,
+    /// Recent `d` values, newest first (for the AR part).
+    d_hist: Vec<f64>,
+    /// Recent `e` values, newest first (for the MA part).
+    e_hist: Vec<f64>,
+}
+
+/// The parameters after unpacking from the optimiser vector.
+#[derive(Debug, Clone)]
+struct TbatsParams {
+    alpha: f64,
+    beta: f64,
+    phi: f64,
+    gammas: Vec<(f64, f64)>,
+    ar: Vec<f64>,
+    ma: Vec<f64>,
+}
+
+/// A fitted TBATS model.
+#[derive(Debug, Clone)]
+pub struct FittedTbats {
+    /// Configuration fitted.
+    pub config: TbatsConfig,
+    /// Level smoothing α.
+    pub alpha: f64,
+    /// Trend smoothing β.
+    pub beta: f64,
+    /// Trend damping Φ (1 when undamped).
+    pub phi: f64,
+    /// Seasonal smoothing pairs (γ₁, γ₂), one per season.
+    pub gammas: Vec<(f64, f64)>,
+    /// ARMA error AR coefficients.
+    pub ar: Vec<f64>,
+    /// ARMA error MA coefficients.
+    pub ma: Vec<f64>,
+    /// Innovation variance on the (Box-Cox) modelling scale.
+    pub sigma2: f64,
+    /// AIC on the modelling scale.
+    pub aic: f64,
+    /// Training length.
+    pub n_obs: usize,
+    state: TbatsState,
+    /// Positivity shift applied before Box-Cox (0 when unused).
+    shift: f64,
+}
+
+impl FittedTbats {
+    /// Fit `config` to `y`.
+    pub fn fit(y: &[f64], config: TbatsConfig) -> Result<FittedTbats> {
+        let max_period = config
+            .seasons
+            .iter()
+            .map(|s| s.period.ceil() as usize)
+            .max()
+            .unwrap_or(0);
+        let needed = (2 * max_period + 8).max(12);
+        if y.len() < needed {
+            return Err(ModelError::TooShort {
+                needed,
+                got: y.len(),
+            });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::Series(dwcp_series::SeriesError::NonFinite));
+        }
+        for s in &config.seasons {
+            if s.period < 2.0 || s.harmonics == 0 {
+                return Err(ModelError::InvalidSpec {
+                    context: format!(
+                        "seasonal block needs period >= 2 and harmonics >= 1, got {s:?}"
+                    ),
+                });
+            }
+            if 2 * s.harmonics >= s.period.ceil() as usize {
+                return Err(ModelError::InvalidSpec {
+                    context: format!(
+                        "harmonics {} too high for period {}",
+                        s.harmonics, s.period
+                    ),
+                });
+            }
+        }
+
+        // Box-Cox (with positivity shift when required).
+        let (z, shift) = match config.lambda {
+            Some(l) => {
+                let (shifted, shift) = shift_to_positive(y, 1.0);
+                (boxcox(&shifted, l)?, shift)
+            }
+            None => (y.to_vec(), 0.0),
+        };
+
+        let init = initial_state(&z, &config);
+        let logistic = |u: f64| 1.0 / (1.0 + (-u).exp());
+        let unpack = |u: &[f64]| -> TbatsParams {
+            let mut i = 0;
+            let alpha = 0.0001 + 0.9998 * logistic(u[i]);
+            i += 1;
+            let beta = if config.use_trend {
+                let b = 0.0001 + 0.4999 * logistic(u[i]);
+                i += 1;
+                b
+            } else {
+                0.0
+            };
+            let phi = if config.use_damping {
+                let p = 0.8 + 0.19 * logistic(u[i]);
+                i += 1;
+                p
+            } else if config.use_trend {
+                1.0
+            } else {
+                0.0
+            };
+            let mut gammas = Vec::with_capacity(config.seasons.len());
+            for _ in &config.seasons {
+                let g1 = 0.2 * logistic(u[i]) - 0.1 + 0.1; // (0, 0.2)
+                let g2 = 0.2 * logistic(u[i + 1]);
+                gammas.push((g1, g2));
+                i += 2;
+            }
+            let ar = unconstrained_to_ar(&u[i..i + config.arma.0]);
+            i += config.arma.0;
+            let ma = unconstrained_to_ma(&u[i..i + config.arma.1]);
+            TbatsParams {
+                alpha,
+                beta,
+                phi,
+                gammas,
+                ar,
+                ma,
+            }
+        };
+
+        let objective = |u: &[f64]| -> f64 {
+            let params = unpack(u);
+            match filter(&z, &config, &params, init.clone()) {
+                Some((sse, _)) => sse,
+                None => f64::INFINITY,
+            }
+        };
+        let k = config.n_params();
+        let nm = nelder_mead(
+            objective,
+            &vec![0.0; k],
+            &NelderMeadOptions {
+                max_evals: 400 + 150 * k,
+                restarts: 1,
+                initial_step: 1.0,
+                ..Default::default()
+            },
+        );
+        let params = unpack(&nm.x);
+        let (sse, state) =
+            filter(&z, &config, &params, init).ok_or_else(|| ModelError::FitFailed {
+                context: format!("TBATS filter diverged for {}", config.describe()),
+            })?;
+        let n = z.len() as f64;
+        let sigma2 = sse / n;
+        // AIC per the paper's selection criterion: parameters plus σ².
+        let aic = n * sigma2.max(1e-300).ln() + 2.0 * (k as f64 + 1.0);
+        Ok(FittedTbats {
+            alpha: params.alpha,
+            beta: params.beta,
+            phi: params.phi,
+            gammas: params.gammas.clone(),
+            ar: params.ar.clone(),
+            ma: params.ma.clone(),
+            sigma2,
+            aic,
+            n_obs: y.len(),
+            state,
+            shift,
+            config,
+        })
+    }
+
+    /// Select the AIC-best configuration over the paper's lattice:
+    /// Box-Cox on/off, trend on/off, damping on/off, ARMA error orders, and
+    /// harmonic counts per seasonal period.
+    pub fn select(y: &[f64], periods: &[f64]) -> Result<FittedTbats> {
+        let lambda = {
+            let (shifted, _) = shift_to_positive(y, 1.0);
+            select_lambda(&shifted, 0.0, 1.0).ok()
+        };
+        // Trigonometric seasonality needs at least one harmonic below the
+        // Nyquist limit (2k < p), so periods shorter than 4 cannot be
+        // modelled as seasonal blocks at all — drop them up front.
+        let periods: Vec<f64> = periods.iter().copied().filter(|&p| p >= 4.0).collect();
+        let mut best: Option<FittedTbats> = None;
+        let harmonic_options: &[usize] = &[1, 2, 3];
+        let arma_options: &[(usize, usize)] = &[(0, 0), (1, 0), (1, 1)];
+        for &use_boxcox in &[false, true] {
+            if use_boxcox && lambda.is_none() {
+                continue;
+            }
+            for &(use_trend, use_damping) in &[(false, false), (true, false), (true, true)] {
+                for &arma in arma_options {
+                    for &k in harmonic_options {
+                        // Cap each block's harmonic count at its own
+                        // feasibility limit rather than discarding the
+                        // whole configuration.
+                        let seasons: Vec<TbatsSeason> = periods
+                            .iter()
+                            .map(|&period| TbatsSeason {
+                                period,
+                                harmonics: k.min((period.ceil() as usize - 1) / 2),
+                            })
+                            .filter(|s| s.harmonics >= 1)
+                            .collect();
+                        if seasons.len() != periods.len() {
+                            continue; // defensive: should not happen after the p >= 4 filter
+                        }
+                        let config = TbatsConfig {
+                            lambda: if use_boxcox { lambda } else { None },
+                            use_trend,
+                            use_damping,
+                            arma,
+                            seasons,
+                            interval_level: 0.95,
+                        };
+                        if let Ok(fit) = FittedTbats::fit(y, config) {
+                            let better = best
+                                .as_ref()
+                                .map(|b| fit.aic < b.aic)
+                                .unwrap_or(true);
+                            if better {
+                                best = Some(fit);
+                            }
+                        }
+                        if periods.is_empty() {
+                            break; // harmonics irrelevant without seasons
+                        }
+                    }
+                }
+            }
+        }
+        best.ok_or_else(|| ModelError::FitFailed {
+            context: "no TBATS configuration could be fitted".to_string(),
+        })
+    }
+
+    /// Forecast `horizon` steps with normal intervals computed from the
+    /// model's impulse-response weights, mapped back through the inverse
+    /// Box-Cox transform.
+    pub fn forecast(&self, horizon: usize) -> Forecast {
+        let params = TbatsParams {
+            alpha: self.alpha,
+            beta: self.beta,
+            phi: self.phi,
+            gammas: self.gammas.clone(),
+            ar: self.ar.clone(),
+            ma: self.ma.clone(),
+        };
+        // Point forecasts: propagate with future e = 0.
+        let mut state = self.state.clone();
+        let mut mean_z = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let (yhat, d_hat) = predict_one(&self.config, &params, &state);
+            mean_z.push(yhat);
+            advance(&self.config, &params, &mut state, d_hat, 0.0);
+        }
+
+        // Impulse response of a unit innovation: difference of two runs is
+        // equivalent to running the homogeneous system from the impulse.
+        let mut imp_state = zero_state(&self.config, &params);
+        // e = 1 at step 0.
+        advance(&self.config, &params, &mut imp_state, 1.0, 1.0);
+        let mut c = Vec::with_capacity(horizon);
+        c.push(1.0); // contemporaneous effect on y
+        let mut state_i = imp_state;
+        for _ in 1..horizon {
+            let (yimp, d_hat) = predict_one(&self.config, &params, &state_i);
+            c.push(yimp);
+            advance(&self.config, &params, &mut state_i, d_hat, 0.0);
+        }
+        let mut acc = 0.0;
+        let std_error_z: Vec<f64> = c
+            .iter()
+            .map(|&w| {
+                acc += w * w;
+                (self.sigma2 * acc).sqrt()
+            })
+            .collect();
+
+        let z_forecast =
+            Forecast::with_normal_intervals(mean_z, std_error_z, self.config.interval_level);
+        match self.config.lambda {
+            None => z_forecast,
+            Some(l) => {
+                let mean = inv_boxcox(&z_forecast.mean, l)
+                    .iter()
+                    .map(|v| v - self.shift)
+                    .collect();
+                let lower = inv_boxcox(&z_forecast.lower, l)
+                    .iter()
+                    .map(|v| v - self.shift)
+                    .collect();
+                let upper = inv_boxcox(&z_forecast.upper, l)
+                    .iter()
+                    .map(|v| v - self.shift)
+                    .collect();
+                Forecast {
+                    mean,
+                    lower,
+                    upper,
+                    std_error: z_forecast.std_error,
+                    level: z_forecast.level,
+                }
+            }
+        }
+    }
+}
+
+/// Zeroed state with correctly sized seasonal/ARMA histories.
+fn zero_state(config: &TbatsConfig, params: &TbatsParams) -> TbatsState {
+    TbatsState {
+        level: 0.0,
+        trend: 0.0,
+        seasonal: config
+            .seasons
+            .iter()
+            .map(|s| vec![0.0; 2 * s.harmonics])
+            .collect(),
+        d_hist: vec![0.0; params.ar.len()],
+        e_hist: vec![0.0; params.ma.len()],
+    }
+}
+
+/// Heuristic initial state: level from the head of the series, trend from a
+/// cross-window slope, seasonal harmonics from a DFT of the phase-averaged
+/// detrended pattern.
+fn initial_state(z: &[f64], config: &TbatsConfig) -> TbatsState {
+    let n = z.len();
+    let window = config
+        .seasons
+        .iter()
+        .map(|s| s.period.ceil() as usize)
+        .max()
+        .unwrap_or(8)
+        .min(n / 2)
+        .max(2);
+    let level = z[..window].iter().sum::<f64>() / window as f64;
+    let second = z[window..(2 * window).min(n)].iter().sum::<f64>()
+        / window.min(n - window).max(1) as f64;
+    let trend = if config.use_trend {
+        (second - level) / window as f64
+    } else {
+        0.0
+    };
+
+    // Global linear detrend for seasonal extraction.
+    let mean_t = (n as f64 - 1.0) / 2.0;
+    let mean_y = z.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (t, &v) in z.iter().enumerate() {
+        let dt = t as f64 - mean_t;
+        sxy += dt * (v - mean_y);
+        sxx += dt * dt;
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let detrended: Vec<f64> = z
+        .iter()
+        .enumerate()
+        .map(|(t, &v)| v - mean_y - slope * (t as f64 - mean_t))
+        .collect();
+
+    let mut seasonal = Vec::with_capacity(config.seasons.len());
+    for s in &config.seasons {
+        let m = s.period.round() as usize;
+        let mut sums = vec![0.0; m];
+        let mut counts = vec![0usize; m];
+        for (t, &v) in detrended.iter().enumerate() {
+            sums[t % m] += v;
+            counts[t % m] += 1;
+        }
+        let pattern: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&a, &c)| if c == 0 { 0.0 } else { a / c as f64 })
+            .collect();
+        // DFT coefficients of the pattern for each harmonic; states rotated
+        // one step forward so that `s_{t−1}` predicts phase `t`.
+        let mut states = Vec::with_capacity(2 * s.harmonics);
+        for j in 1..=s.harmonics {
+            let lambda_j = 2.0 * std::f64::consts::PI * j as f64 / s.period;
+            let mut a = 0.0;
+            let mut b = 0.0;
+            for (phase, &v) in pattern.iter().enumerate() {
+                let ang = lambda_j * phase as f64;
+                a += v * ang.cos();
+                b += v * ang.sin();
+            }
+            a *= 2.0 / m as f64;
+            b *= 2.0 / m as f64;
+            // Forward-rotate by one step: prediction of y_0 uses s_{−1}.
+            let s0 = a * lambda_j.cos() + b * lambda_j.sin();
+            let s0_star = -a * lambda_j.sin() + b * lambda_j.cos();
+            states.push(s0);
+            states.push(s0_star);
+        }
+        seasonal.push(states);
+    }
+
+    TbatsState {
+        level,
+        trend,
+        seasonal,
+        d_hist: vec![],
+        e_hist: vec![],
+    }
+}
+
+/// One-step prediction from the current state: returns `(ŷ_t, d̂_t)`.
+fn predict_one(config: &TbatsConfig, params: &TbatsParams, state: &TbatsState) -> (f64, f64) {
+    let mut yhat = state.level;
+    if config.use_trend {
+        yhat += params.phi * state.trend;
+    }
+    for block in &state.seasonal {
+        // s^(i)_{t−1} = Σⱼ s_{j,t−1} (the even-indexed states).
+        for j in 0..block.len() / 2 {
+            yhat += block[2 * j];
+        }
+    }
+    let mut d_hat = 0.0;
+    for (i, &p) in params.ar.iter().enumerate() {
+        if i < state.d_hist.len() {
+            d_hat += p * state.d_hist[i];
+        }
+    }
+    for (j, &t) in params.ma.iter().enumerate() {
+        if j < state.e_hist.len() {
+            d_hat += t * state.e_hist[j];
+        }
+    }
+    (yhat + d_hat, d_hat)
+}
+
+/// Advance the state given the realised `d_t = d̂_t + e_t`.
+fn advance(
+    config: &TbatsConfig,
+    params: &TbatsParams,
+    state: &mut TbatsState,
+    d_hat: f64,
+    e: f64,
+) {
+    let d = d_hat + e;
+    let damped = params.phi * state.trend;
+    let prev_level = state.level;
+    state.level = prev_level
+        + if config.use_trend { damped } else { 0.0 }
+        + params.alpha * d;
+    if config.use_trend {
+        state.trend = damped + params.beta * d;
+    }
+    for (block, (season, &(g1, g2))) in state
+        .seasonal
+        .iter_mut()
+        .zip(config.seasons.iter().zip(&params.gammas))
+    {
+        for j in 0..block.len() / 2 {
+            let lambda_j = 2.0 * std::f64::consts::PI * (j + 1) as f64 / season.period;
+            let s = block[2 * j];
+            let s_star = block[2 * j + 1];
+            block[2 * j] = s * lambda_j.cos() + s_star * lambda_j.sin() + g1 * d;
+            block[2 * j + 1] = -s * lambda_j.sin() + s_star * lambda_j.cos() + g2 * d;
+        }
+    }
+    if !params.ar.is_empty() {
+        state.d_hist.pop();
+        state.d_hist.insert(0, d);
+        state.d_hist.truncate(params.ar.len());
+        while state.d_hist.len() < params.ar.len() {
+            state.d_hist.push(0.0);
+        }
+    }
+    if !params.ma.is_empty() {
+        state.e_hist.pop();
+        state.e_hist.insert(0, e);
+        state.e_hist.truncate(params.ma.len());
+        while state.e_hist.len() < params.ma.len() {
+            state.e_hist.push(0.0);
+        }
+    }
+}
+
+/// Run the filter over the training data; returns (SSE, final state) or
+/// `None` on numerical blow-up.
+fn filter(
+    z: &[f64],
+    config: &TbatsConfig,
+    params: &TbatsParams,
+    mut state: TbatsState,
+) -> Option<(f64, TbatsState)> {
+    state.d_hist = vec![0.0; params.ar.len()];
+    state.e_hist = vec![0.0; params.ma.len()];
+    let mut sse = 0.0;
+    for &obs in z {
+        let (yhat, d_hat) = predict_one(config, params, &state);
+        let e = obs - yhat;
+        if !e.is_finite() || e.abs() > 1e12 {
+            return None;
+        }
+        sse += e * e;
+        advance(config, params, &mut state, d_hat, e);
+    }
+    Some((sse, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn level_only_forecasts_the_level() {
+        let y: Vec<f64> = noise(120, 1).iter().map(|v| 42.0 + v * 0.5).collect();
+        let fit = FittedTbats::fit(&y, TbatsConfig::level_only()).unwrap();
+        let f = fit.forecast(5);
+        for &m in &f.mean {
+            assert!((m - 42.0).abs() < 2.0, "{m}");
+        }
+        // Flat forecast for level-only.
+        assert!((f.mean[4] - f.mean[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_config_tracks_slope() {
+        let y: Vec<f64> = (0..150)
+            .map(|t| 5.0 + 0.8 * t as f64 + noise(150, 3)[t] * 0.3)
+            .collect();
+        let config = TbatsConfig {
+            use_trend: true,
+            ..TbatsConfig::level_only()
+        };
+        let fit = FittedTbats::fit(&y, config).unwrap();
+        let f = fit.forecast(10);
+        let slope = (f.mean[9] - f.mean[0]) / 9.0;
+        assert!((slope - 0.8).abs() < 0.15, "slope = {slope}");
+    }
+
+    #[test]
+    fn trigonometric_season_reproduces_sinusoid() {
+        let y: Vec<f64> = (0..240)
+            .map(|t| {
+                100.0 + 12.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                    + noise(240, 5)[t] * 0.3
+            })
+            .collect();
+        let fit = FittedTbats::fit(&y, TbatsConfig::seasonal(24.0, 2)).unwrap();
+        let f = fit.forecast(24);
+        for (h, &m) in f.mean.iter().enumerate() {
+            let t = (240 + h) as f64;
+            let expected = 100.0 + 12.0 * (2.0 * std::f64::consts::PI * t / 24.0).sin();
+            assert!((m - expected).abs() < 3.0, "h = {h}: {m} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn non_integer_period_is_handled() {
+        let period = 23.5;
+        let y: Vec<f64> = (0..300)
+            .map(|t| 50.0 + 8.0 * (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+            .collect();
+        let fit = FittedTbats::fit(&y, TbatsConfig::seasonal(period, 1)).unwrap();
+        let f = fit.forecast(12);
+        for (h, &m) in f.mean.iter().enumerate() {
+            let t = (300 + h) as f64;
+            let expected = 50.0 + 8.0 * (2.0 * std::f64::consts::PI * t / period).sin();
+            assert!((m - expected).abs() < 3.0, "h = {h}: {m} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn boxcox_config_roundtrips_scale() {
+        // Multiplicative-looking growth: log-scale model should stay sane.
+        let y: Vec<f64> = (0..150)
+            .map(|t| 20.0 * (1.0 + 0.01 * t as f64) + noise(150, 7)[t].abs())
+            .collect();
+        let config = TbatsConfig {
+            lambda: Some(0.0),
+            use_trend: true,
+            ..TbatsConfig::level_only()
+        };
+        let fit = FittedTbats::fit(&y, config).unwrap();
+        let f = fit.forecast(5);
+        assert!(f.mean.iter().all(|&v| v > 0.0 && v < 200.0), "{:?}", f.mean);
+        // Intervals ordered.
+        for h in 0..5 {
+            assert!(f.lower[h] <= f.mean[h] && f.mean[h] <= f.upper[h]);
+        }
+    }
+
+    #[test]
+    fn intervals_widen_with_horizon() {
+        let y: Vec<f64> = noise(150, 9).iter().map(|v| 10.0 + v).collect();
+        let fit = FittedTbats::fit(&y, TbatsConfig::level_only()).unwrap();
+        let f = fit.forecast(12);
+        for h in 1..12 {
+            assert!(f.std_error[h] >= f.std_error[h - 1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn arma_errors_improve_fit_on_autocorrelated_noise() {
+        // Level + AR(1) disturbances: the ARMA(1,0) config should beat the
+        // plain one on AIC.
+        let e = noise(300, 11);
+        let mut d = vec![0.0; 300];
+        for t in 1..300 {
+            d[t] = 0.8 * d[t - 1] + e[t];
+        }
+        let y: Vec<f64> = d.iter().map(|v| 30.0 + v).collect();
+        let plain = FittedTbats::fit(&y, TbatsConfig::level_only()).unwrap();
+        let arma = FittedTbats::fit(
+            &y,
+            TbatsConfig {
+                arma: (1, 0),
+                ..TbatsConfig::level_only()
+            },
+        )
+        .unwrap();
+        assert!(arma.aic < plain.aic, "{} vs {}", arma.aic, plain.aic);
+    }
+
+    #[test]
+    fn select_chooses_seasonal_model_for_seasonal_data() {
+        let y: Vec<f64> = (0..200)
+            .map(|t| {
+                60.0 + 15.0 * (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()
+                    + noise(200, 13)[t] * 0.5
+            })
+            .collect();
+        let fit = FittedTbats::select(&y, &[20.0]).unwrap();
+        assert!(!fit.config.seasons.is_empty());
+        let f = fit.forecast(10);
+        let expected0 = 60.0 + 15.0 * (2.0 * std::f64::consts::PI * 200.0 / 20.0).sin();
+        assert!((f.mean[0] - expected0).abs() < 5.0, "{}", f.mean[0]);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let y = vec![1.0; 100];
+        // Harmonics too high for the period.
+        let bad = TbatsConfig::seasonal(6.0, 3);
+        assert!(FittedTbats::fit(&y, bad).is_err());
+        // Period below 2.
+        let bad2 = TbatsConfig::seasonal(1.0, 1);
+        assert!(FittedTbats::fit(&y, bad2).is_err());
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        assert!(FittedTbats::fit(&[1.0; 5], TbatsConfig::level_only()).is_err());
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let c = TbatsConfig {
+            lambda: Some(0.0),
+            use_trend: true,
+            use_damping: true,
+            arma: (1, 1),
+            seasons: vec![TbatsSeason {
+                period: 24.0,
+                harmonics: 3,
+            }],
+            interval_level: 0.95,
+        };
+        let d = c.describe();
+        assert!(d.contains("λ=0.00"));
+        assert!(d.contains("damped-trend"));
+        assert!(d.contains("ARMA(1,1)"));
+        assert!(d.contains("24:3"));
+    }
+}

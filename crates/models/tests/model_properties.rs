@@ -1,0 +1,139 @@
+//! Property-based tests of the model crate's invariants.
+
+use dwcp_models::arima::ArimaOptions;
+use dwcp_models::fourier::FourierSpec;
+use dwcp_models::{ArimaSpec, EtsConfig, FittedArima, FittedEts};
+use proptest::prelude::*;
+
+fn fast_opts() -> ArimaOptions {
+    ArimaOptions {
+        max_evals: 60,
+        restarts: 0,
+        interval_level: 0.95,
+        ..Default::default()
+    }
+}
+
+/// Bounded, wiggly series: a base level plus sinusoid plus deterministic
+/// pseudo-noise, parameterised so proptest explores levels and scales.
+fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+    (10.0f64..1e4, 0.0f64..100.0, 40usize..120, 1u64..1000).prop_map(
+        |(level, amp, n, seed)| {
+            let mut state = seed;
+            (0..n)
+                .map(|t| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                    level + amp * (t as f64 / 7.0).sin() + noise * level * 0.01
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arima_forecast_is_finite_and_ordered(y in series_strategy()) {
+        let fit = FittedArima::fit(&y, ArimaSpec::arima(1, 1, 1), &fast_opts()).unwrap();
+        let f = fit.forecast(12);
+        for h in 0..12 {
+            prop_assert!(f.mean[h].is_finite());
+            prop_assert!(f.lower[h] <= f.mean[h] && f.mean[h] <= f.upper[h]);
+        }
+        // Standard errors are monotone non-decreasing.
+        for h in 1..12 {
+            prop_assert!(f.std_error[h] >= f.std_error[h - 1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn arima_sigma2_is_nonnegative(y in series_strategy()) {
+        let fit = FittedArima::fit(&y, ArimaSpec::arima(2, 0, 1), &fast_opts()).unwrap();
+        prop_assert!(fit.sigma2 >= 0.0);
+        prop_assert!(fit.css.is_finite());
+    }
+
+    #[test]
+    fn ets_forecast_is_finite(y in series_strategy()) {
+        let fit = FittedEts::fit(&y, EtsConfig::holt()).unwrap();
+        let f = fit.forecast(10);
+        prop_assert!(f.mean.iter().all(|v| v.is_finite()));
+        prop_assert!(fit.alpha > 0.0 && fit.alpha < 1.0);
+    }
+
+    #[test]
+    fn ses_forecast_is_a_convex_combination_of_history(y in series_strategy()) {
+        // SES's flat forecast must lie within the observed range.
+        let fit = FittedEts::fit(&y, EtsConfig::ses()).unwrap();
+        let f = fit.forecast(1);
+        let min = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(f.mean[0] >= min - 1e-6 && f.mean[0] <= max + 1e-6,
+            "forecast {} outside [{min}, {max}]", f.mean[0]);
+    }
+
+    #[test]
+    fn fourier_rows_are_bounded(period in 2.0f64..500.0, k in 1usize..5, t in 0usize..10_000) {
+        let spec = FourierSpec::single(period, k);
+        for v in spec.row(t) {
+            prop_assert!(v.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn fourier_periodicity(period in 2usize..200, k in 1usize..4, t in 0usize..1000) {
+        let spec = FourierSpec::single(period as f64, k);
+        let a = spec.row(t);
+        let b = spec.row(t + period);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn seasonal_spec_feasibility_is_consistent(
+        p in 0usize..6, d in 0usize..2, q in 0usize..3,
+        sp in 0usize..2, sd in 0usize..2, sq in 0usize..2,
+    ) {
+        let spec = ArimaSpec::sarima(p, d, q, sp, sd, sq, 24);
+        if spec.validate().is_err() {
+            return Ok(());
+        }
+        // min_observations is sufficient: fitting a series of exactly that
+        // length must not report TooShort.
+        let n = spec.min_observations();
+        let y: Vec<f64> = (0..n)
+            .map(|t| 50.0 + (t as f64 / 5.0).sin() * 3.0 + (t % 7) as f64 * 0.1)
+            .collect();
+        if let Err(dwcp_models::ModelError::TooShort { .. }) = FittedArima::fit(&y, spec, &fast_opts()) {
+            prop_assert!(false, "min_observations() = {n} was not sufficient for {spec}");
+        }
+    }
+}
+
+#[test]
+fn arima_handles_constant_series_gracefully() {
+    let y = vec![42.0; 80];
+    // A constant series has zero variance; the fit must not panic and the
+    // forecast must stay at the level.
+    let fit = FittedArima::fit(&y, ArimaSpec::arima(1, 0, 0), &fast_opts()).unwrap();
+    let f = fit.forecast(5);
+    for &m in &f.mean {
+        assert!((m - 42.0).abs() < 1e-6, "{m}");
+    }
+    assert!(fit.sigma2 < 1e-12);
+}
+
+#[test]
+fn ets_handles_constant_series_gracefully() {
+    let y = vec![7.0; 60];
+    let fit = FittedEts::fit(&y, EtsConfig::ses()).unwrap();
+    let f = fit.forecast(5);
+    for &m in &f.mean {
+        assert!((m - 7.0).abs() < 1e-9);
+    }
+}

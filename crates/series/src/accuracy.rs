@@ -1,0 +1,191 @@
+//! Forecast accuracy metrics.
+//!
+//! §7: "We tested the accuracy using three methods, which are Root Means
+//! Squared Error (RMSE), Mean Absolute Percentage Error (MAPE) and Mean
+//! Absolute Percentage Accuracy (MAPA)." RMSE is the model-selection
+//! criterion throughout the paper ("the model with the best RMSE is the
+//! most accurate"); MAPE/MAPA appear in the result tables.
+
+use crate::{Result, SeriesError};
+use serde::{Deserialize, Serialize};
+
+/// The full accuracy report for a forecast against actuals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Root mean squared error — the paper's champion-selection criterion.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean error (bias; signed).
+    pub me: f64,
+    /// Mean absolute percentage error, in percent. Observations where the
+    /// actual is zero are skipped (the standard convention; the paper's
+    /// OLAP IOPS MAPEs blow into the thousands exactly because of
+    /// near-zero actuals).
+    pub mape: f64,
+    /// Mean absolute percentage accuracy, in percent: `100 − MAPE` floored
+    /// at zero — the paper reports this alongside MAPE.
+    pub mapa: f64,
+    /// Symmetric MAPE, in percent (robust companion to MAPE).
+    pub smape: f64,
+    /// Number of forecast points compared.
+    pub n: usize,
+}
+
+impl Accuracy {
+    /// Compare `forecast` against `actual` (equal, non-zero lengths).
+    pub fn compute(actual: &[f64], forecast: &[f64]) -> Result<Accuracy> {
+        if actual.len() != forecast.len() {
+            return Err(SeriesError::InvalidParameter {
+                context: "Accuracy::compute: length mismatch",
+            });
+        }
+        if actual.is_empty() {
+            return Err(SeriesError::TooShort { needed: 1, got: 0 });
+        }
+        if actual.iter().chain(forecast).any(|v| !v.is_finite()) {
+            return Err(SeriesError::NonFinite);
+        }
+        let n = actual.len();
+        let mut se = 0.0;
+        let mut ae = 0.0;
+        let mut e = 0.0;
+        let mut ape = 0.0;
+        let mut ape_n = 0usize;
+        let mut sape = 0.0;
+        let mut sape_n = 0usize;
+        for (&a, &f) in actual.iter().zip(forecast) {
+            let err = f - a;
+            se += err * err;
+            ae += err.abs();
+            e += err;
+            if a != 0.0 {
+                ape += (err / a).abs();
+                ape_n += 1;
+            }
+            let denom = (a.abs() + f.abs()) / 2.0;
+            if denom != 0.0 {
+                sape += err.abs() / denom;
+                sape_n += 1;
+            }
+        }
+        let nf = n as f64;
+        let mape = if ape_n == 0 {
+            0.0
+        } else {
+            100.0 * ape / ape_n as f64
+        };
+        Ok(Accuracy {
+            rmse: (se / nf).sqrt(),
+            mae: ae / nf,
+            me: e / nf,
+            mape,
+            mapa: (100.0 - mape).max(0.0),
+            smape: if sape_n == 0 {
+                0.0
+            } else {
+                100.0 * sape / sape_n as f64
+            },
+            n,
+        })
+    }
+}
+
+/// Root mean squared error alone (hot path of the grid search — avoids
+/// computing the full report for thousands of candidate models).
+pub fn rmse(actual: &[f64], forecast: &[f64]) -> Result<f64> {
+    if actual.len() != forecast.len() {
+        return Err(SeriesError::InvalidParameter {
+            context: "rmse: length mismatch",
+        });
+    }
+    if actual.is_empty() {
+        return Err(SeriesError::TooShort { needed: 1, got: 0 });
+    }
+    let mut se = 0.0;
+    for (&a, &f) in actual.iter().zip(forecast) {
+        let err = f - a;
+        if !err.is_finite() {
+            return Err(SeriesError::NonFinite);
+        }
+        se += err * err;
+    }
+    Ok((se / actual.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_scores_zero_error() {
+        let a = [1.0, 2.0, 3.0];
+        let acc = Accuracy::compute(&a, &a).unwrap();
+        assert_eq!(acc.rmse, 0.0);
+        assert_eq!(acc.mae, 0.0);
+        assert_eq!(acc.mape, 0.0);
+        assert_eq!(acc.mapa, 100.0);
+        assert_eq!(acc.smape, 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // Errors: 1, -1 → mse = 1 → rmse = 1.
+        let acc = Accuracy::compute(&[0.0, 2.0], &[1.0, 1.0]).unwrap();
+        assert!((acc.rmse - 1.0).abs() < 1e-12);
+        assert!((acc.mae - 1.0).abs() < 1e-12);
+        assert!((acc.me - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // actual 100, forecast 110 → 10 % APE; actual 200, forecast 180 → 10 %.
+        let acc = Accuracy::compute(&[100.0, 200.0], &[110.0, 180.0]).unwrap();
+        assert!((acc.mape - 10.0).abs() < 1e-9);
+        assert!((acc.mapa - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let acc = Accuracy::compute(&[0.0, 100.0], &[5.0, 110.0]).unwrap();
+        // Only the second point contributes: 10 %.
+        assert!((acc.mape - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mapa_floors_at_zero_for_huge_errors() {
+        // The paper's OLAP IOPS rows report MAPEs of 950 %+ — MAPA floors at 0.
+        let acc = Accuracy::compute(&[1.0], &[100.0]).unwrap();
+        assert!(acc.mape > 100.0);
+        assert_eq!(acc.mapa, 0.0);
+    }
+
+    #[test]
+    fn smape_is_symmetric() {
+        let a = Accuracy::compute(&[100.0], &[150.0]).unwrap();
+        let b = Accuracy::compute(&[150.0], &[100.0]).unwrap();
+        assert!((a.smape - b.smape).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bias_sign_follows_overforecasting() {
+        let acc = Accuracy::compute(&[10.0, 10.0], &[12.0, 12.0]).unwrap();
+        assert!(acc.me > 0.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_and_empty_inputs() {
+        assert!(Accuracy::compute(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(Accuracy::compute(&[], &[]).is_err());
+        assert!(Accuracy::compute(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn standalone_rmse_matches_report() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let f = [2.0, 2.0, 4.5, 0.0, 5.5];
+        let fast = rmse(&a, &f).unwrap();
+        let full = Accuracy::compute(&a, &f).unwrap();
+        assert!((fast - full.rmse).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,334 @@
+//! Autocorrelation (ACF) and partial autocorrelation (PACF) — the
+//! correlograms of the paper's Figure 1(a).
+//!
+//! The planner uses these twice: once as a human-facing diagnostic (the
+//! correlogram printout of the `figure1` binary) and once inside the model
+//! grid generator, where "looking at where the data points intersect with
+//! the shaded areas … gives an indication of a model that is likely to be
+//! suitable, thereby reducing the thousands of potential models
+//! considerably" (§6.3).
+
+use crate::{Result, SeriesError};
+
+/// Sample autocorrelation function up to `max_lag`.
+///
+/// ```
+/// // A period-4 sawtooth autocorrelates perfectly at its own lag.
+/// let y: Vec<f64> = (0..40).map(|t| (t % 4) as f64).collect();
+/// let rho = dwcp_series::acf(&y, 8).unwrap();
+/// assert_eq!(rho[0], 1.0);
+/// assert!(rho[4] > 0.8);
+/// ```
+///
+/// Uses the standard biased estimator (denominator `n`, numerator summed
+/// over the overlapping window), which guarantees the sequence is a valid
+/// autocorrelation (|ρ| ≤ 1 and positive semi-definite), as R's `acf` and
+/// statsmodels do. `result[0]` is always 1.
+pub fn acf(values: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    let n = values.len();
+    if n < 2 {
+        return Err(SeriesError::TooShort { needed: 2, got: n });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(SeriesError::NonFinite);
+    }
+    let max_lag = max_lag.min(n - 1);
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let c0: f64 = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+    if c0 == 0.0 {
+        // A constant series is perfectly correlated with itself at lag 0
+        // and has undefined correlation elsewhere; define it as 0 so the
+        // model grid degrades to white-noise models.
+        let mut out = vec![0.0; max_lag + 1];
+        out[0] = 1.0;
+        return Ok(out);
+    }
+    let mut out = Vec::with_capacity(max_lag + 1);
+    out.push(1.0);
+    for k in 1..=max_lag {
+        let ck: f64 = (0..n - k)
+            .map(|t| (values[t] - mean) * (values[t + k] - mean))
+            .sum::<f64>()
+            / n as f64;
+        out.push(ck / c0);
+    }
+    Ok(out)
+}
+
+/// Sample partial autocorrelation function up to `max_lag`, computed with
+/// the Durbin-Levinson recursion on the sample ACF.
+///
+/// `result[0]` is 1 by convention; `result[k]` for `k ≥ 1` is the partial
+/// autocorrelation at lag `k`.
+pub fn pacf(values: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    let n = values.len();
+    if n < 2 {
+        return Err(SeriesError::TooShort { needed: 2, got: n });
+    }
+    let max_lag = max_lag.min(n - 1);
+    let rho = acf(values, max_lag)?;
+    let mut out = Vec::with_capacity(max_lag + 1);
+    out.push(1.0);
+    if max_lag == 0 {
+        return Ok(out);
+    }
+
+    // Durbin-Levinson: phi[k][k] is the PACF at lag k.
+    let mut phi_prev = vec![0.0; max_lag + 1];
+    let mut phi_curr = vec![0.0; max_lag + 1];
+    phi_prev[1] = rho[1];
+    out.push(rho[1]);
+    for k in 2..=max_lag {
+        let mut num = rho[k];
+        let mut den = 1.0;
+        for j in 1..k {
+            num -= phi_prev[j] * rho[k - j];
+            den -= phi_prev[j] * rho[j];
+        }
+        let pk = if den.abs() < 1e-12 { 0.0 } else { num / den };
+        phi_curr[k] = pk;
+        for j in 1..k {
+            phi_curr[j] = phi_prev[j] - pk * phi_prev[k - j];
+        }
+        phi_prev[..=k].copy_from_slice(&phi_curr[..=k]);
+        out.push(pk.clamp(-1.0, 1.0));
+    }
+    Ok(out)
+}
+
+/// A computed correlogram: ACF, PACF and the white-noise significance band.
+#[derive(Debug, Clone)]
+pub struct Correlogram {
+    /// ACF values, `acf[0] = 1`.
+    pub acf: Vec<f64>,
+    /// PACF values, `pacf[0] = 1`.
+    pub pacf: Vec<f64>,
+    /// Two-sided 95 % white-noise band `±1.96/√n` (the shaded area of
+    /// Figure 1(a)).
+    pub significance: f64,
+    /// Number of observations the correlogram was computed from.
+    pub n: usize,
+}
+
+impl Correlogram {
+    /// Compute ACF and PACF over `max_lag` lags.
+    pub fn compute(values: &[f64], max_lag: usize) -> Result<Correlogram> {
+        let acf_v = acf(values, max_lag)?;
+        let pacf_v = pacf(values, max_lag)?;
+        Ok(Correlogram {
+            acf: acf_v,
+            pacf: pacf_v,
+            significance: 1.96 / (values.len() as f64).sqrt(),
+            n: values.len(),
+        })
+    }
+
+    /// Lags (≥ 1) whose ACF pokes outside the significance band.
+    pub fn significant_acf_lags(&self) -> Vec<usize> {
+        self.acf
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, &v)| v.abs() > self.significance)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Lags (≥ 1) whose PACF pokes outside the significance band.
+    pub fn significant_pacf_lags(&self) -> Vec<usize> {
+        self.pacf
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, &v)| v.abs() > self.significance)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The largest significant PACF lag — the classical cut-off heuristic
+    /// for the AR order `p`.
+    pub fn suggested_ar_order(&self, cap: usize) -> usize {
+        self.significant_pacf_lags()
+            .into_iter()
+            .filter(|&l| l <= cap)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest significant ACF lag below `cap` — the classical cut-off
+    /// heuristic for the MA order `q`.
+    pub fn suggested_ma_order(&self, cap: usize) -> usize {
+        self.significant_acf_lags()
+            .into_iter()
+            .filter(|&l| l <= cap)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Ljung-Box portmanteau statistic for residual whiteness over `max_lag`
+/// lags, with `fitted_params` subtracted from the degrees of freedom.
+///
+/// Returns `(statistic, p_value)`. Small p-values reject "residuals are
+/// white noise" — used to sanity-check a fitted champion model.
+pub fn ljung_box(residuals: &[f64], max_lag: usize, fitted_params: usize) -> Result<(f64, f64)> {
+    let n = residuals.len();
+    if n <= max_lag + 1 {
+        return Err(SeriesError::TooShort {
+            needed: max_lag + 2,
+            got: n,
+        });
+    }
+    let rho = acf(residuals, max_lag)?;
+    let nf = n as f64;
+    let q = nf
+        * (nf + 2.0)
+        * (1..=max_lag)
+            .map(|k| rho[k] * rho[k] / (nf - k as f64))
+            .sum::<f64>();
+    let dof = max_lag.saturating_sub(fitted_params).max(1);
+    let p = 1.0 - dwcp_math::dist::chi_squared_cdf(q, dof);
+    Ok((q, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG noise so tests are reproducible without rand.
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let e = noise(n, seed);
+        let mut y = vec![0.0; n];
+        for t in 1..n {
+            y[t] = phi * y[t - 1] + e[t];
+        }
+        y
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let y = noise(100, 7);
+        let a = acf(&y, 10).unwrap();
+        assert_eq!(a[0], 1.0);
+    }
+
+    #[test]
+    fn acf_bounded_by_one() {
+        let y = ar1(500, 0.9, 42);
+        let a = acf(&y, 50).unwrap();
+        for v in a {
+            assert!(v.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn acf_of_ar1_decays_geometrically() {
+        let y = ar1(20_000, 0.7, 1);
+        let a = acf(&y, 5).unwrap();
+        for k in 1..=5 {
+            let expected = 0.7f64.powi(k as i32);
+            assert!(
+                (a[k] - expected).abs() < 0.05,
+                "lag {k}: {} vs {expected}",
+                a[k]
+            );
+        }
+    }
+
+    #[test]
+    fn acf_of_periodic_signal_peaks_at_period() {
+        let y: Vec<f64> = (0..240)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin())
+            .collect();
+        let a = acf(&y, 30).unwrap();
+        assert!(a[24] > 0.8, "acf[24] = {}", a[24]);
+        assert!(a[12] < -0.8, "acf[12] = {}", a[12]);
+    }
+
+    #[test]
+    fn acf_constant_series_is_defined() {
+        let y = vec![5.0; 50];
+        let a = acf(&y, 5).unwrap();
+        assert_eq!(a[0], 1.0);
+        assert!(a[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn acf_rejects_nan() {
+        let y = vec![1.0, f64::NAN, 3.0];
+        assert!(matches!(acf(&y, 2), Err(SeriesError::NonFinite)));
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag_one() {
+        let y = ar1(20_000, 0.6, 3);
+        let p = pacf(&y, 6).unwrap();
+        assert!((p[1] - 0.6).abs() < 0.05, "pacf[1] = {}", p[1]);
+        for k in 2..=6 {
+            assert!(p[k].abs() < 0.05, "pacf[{k}] = {}", p[k]);
+        }
+    }
+
+    #[test]
+    fn pacf_of_ar2_cuts_off_after_lag_two() {
+        let e = noise(20_000, 9);
+        let mut y = vec![0.0; 20_000];
+        for t in 2..y.len() {
+            y[t] = 0.5 * y[t - 1] + 0.3 * y[t - 2] + e[t];
+        }
+        let p = pacf(&y, 6).unwrap();
+        assert!(p[2] > 0.2, "pacf[2] = {}", p[2]);
+        for k in 3..=6 {
+            assert!(p[k].abs() < 0.05, "pacf[{k}] = {}", p[k]);
+        }
+    }
+
+    #[test]
+    fn correlogram_significance_band_matches_formula() {
+        let y = noise(400, 11);
+        let c = Correlogram::compute(&y, 20).unwrap();
+        assert!((c.significance - 1.96 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlogram_of_white_noise_mostly_insignificant() {
+        let y = noise(1_000, 13);
+        let c = Correlogram::compute(&y, 20).unwrap();
+        // With a 95 % band roughly one lag in twenty may fire.
+        assert!(c.significant_acf_lags().len() <= 3);
+    }
+
+    #[test]
+    fn suggested_orders_for_ar1_signal() {
+        let y = ar1(5_000, 0.8, 17);
+        let c = Correlogram::compute(&y, 30).unwrap();
+        let p = c.suggested_ar_order(5);
+        assert!(p >= 1, "AR order {p}");
+    }
+
+    #[test]
+    fn ljung_box_accepts_white_noise_rejects_ar() {
+        let white = noise(500, 19);
+        let (_, p_white) = ljung_box(&white, 10, 0).unwrap();
+        assert!(p_white > 0.01, "white noise p = {p_white}");
+
+        let correlated = ar1(500, 0.8, 23);
+        let (_, p_ar) = ljung_box(&correlated, 10, 0).unwrap();
+        assert!(p_ar < 0.01, "AR(1) p = {p_ar}");
+    }
+
+    #[test]
+    fn ljung_box_needs_enough_data() {
+        assert!(ljung_box(&[1.0, 2.0, 3.0], 10, 0).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Box-Cox power transform, used by TBATS ("incorporating Box-Cox
+//! transformations, Fourier representations … and ARMA error correction").
+//!
+//! `y(λ) = (yλ − 1)/λ` for `λ ≠ 0`, `ln y` for `λ = 0`. The transform
+//! requires strictly positive data; [`shift_to_positive`] provides the
+//! conventional remedy for series that touch zero (idle CPU samples do).
+
+use crate::{Result, SeriesError};
+
+/// Apply the Box-Cox transform with parameter `lambda`.
+///
+/// Fails if any value is non-positive.
+pub fn boxcox(values: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    if values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return Err(SeriesError::InvalidParameter {
+            context: "boxcox: values must be strictly positive and finite",
+        });
+    }
+    Ok(if lambda.abs() < 1e-10 {
+        values.iter().map(|&v| v.ln()).collect()
+    } else {
+        values
+            .iter()
+            .map(|&v| (v.powf(lambda) - 1.0) / lambda)
+            .collect()
+    })
+}
+
+/// Invert the Box-Cox transform.
+///
+/// Values that would leave the transform's range (λ·y + 1 ≤ 0) are clamped
+/// to the range boundary rather than producing NaN — forecasts with wide
+/// error bars can otherwise step outside the image of the transform.
+pub fn inv_boxcox(values: &[f64], lambda: f64) -> Vec<f64> {
+    if lambda.abs() < 1e-10 {
+        values.iter().map(|&v| v.exp()).collect()
+    } else {
+        values
+            .iter()
+            .map(|&v| {
+                let base = (lambda * v + 1.0).max(1e-12);
+                base.powf(1.0 / lambda)
+            })
+            .collect()
+    }
+}
+
+/// Choose λ by maximising the Box-Cox log-likelihood over a coarse-to-fine
+/// grid in `[lo, hi]` (the standard profile-likelihood method; equivalent
+/// in spirit to Guerrero's method for our purposes).
+pub fn select_lambda(values: &[f64], lo: f64, hi: f64) -> Result<f64> {
+    if values.len() < 8 {
+        return Err(SeriesError::TooShort {
+            needed: 8,
+            got: values.len(),
+        });
+    }
+    if values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return Err(SeriesError::InvalidParameter {
+            context: "select_lambda: values must be strictly positive and finite",
+        });
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.ln()).sum();
+    let n = values.len() as f64;
+    let loglik = |lambda: f64| -> f64 {
+        let t = boxcox(values, lambda).expect("positivity checked");
+        let mean = t.iter().sum::<f64>() / n;
+        let var = t.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        if var <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        -0.5 * n * var.ln() + (lambda - 1.0) * log_sum
+    };
+    // Coarse grid then golden-ratio refinement around the best cell.
+    let steps = 40;
+    let mut best_lambda = lo;
+    let mut best_ll = f64::NEG_INFINITY;
+    for i in 0..=steps {
+        let l = lo + (hi - lo) * i as f64 / steps as f64;
+        let ll = loglik(l);
+        if ll > best_ll {
+            best_ll = ll;
+            best_lambda = l;
+        }
+    }
+    let cell = (hi - lo) / steps as f64;
+    let (mut a, mut b) = (best_lambda - cell, best_lambda + cell);
+    for _ in 0..40 {
+        let m1 = a + (b - a) * 0.382;
+        let m2 = a + (b - a) * 0.618;
+        if loglik(m1) < loglik(m2) {
+            a = m1;
+        } else {
+            b = m2;
+        }
+    }
+    Ok((a + b) / 2.0)
+}
+
+/// Shift a series so its minimum is at least `floor` (> 0), returning the
+/// shifted copy and the offset applied (0 when no shift was needed).
+pub fn shift_to_positive(values: &[f64], floor: f64) -> (Vec<f64>, f64) {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    if min >= floor {
+        (values.to_vec(), 0.0)
+    } else {
+        let offset = floor - min;
+        (values.iter().map(|&v| v + offset).collect(), offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_zero_is_log() {
+        let y = [1.0, std::f64::consts::E, 10.0];
+        let t = boxcox(&y, 0.0).unwrap();
+        assert!((t[0] - 0.0).abs() < 1e-12);
+        assert!((t[1] - 1.0).abs() < 1e-12);
+        assert!((t[2] - 10f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_one_is_shift_by_one() {
+        let y = [2.0, 5.0];
+        let t = boxcox(&y, 1.0).unwrap();
+        assert_eq!(t, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn roundtrip_for_various_lambdas() {
+        let y = [0.5, 1.0, 2.0, 7.5, 100.0];
+        for &l in &[-1.0, -0.5, 0.0, 0.33, 1.0, 2.0] {
+            let t = boxcox(&y, l).unwrap();
+            let back = inv_boxcox(&t, l);
+            for (a, b) in back.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-9, "lambda {l}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_values() {
+        assert!(boxcox(&[1.0, 0.0], 0.5).is_err());
+        assert!(boxcox(&[1.0, -2.0], 0.5).is_err());
+    }
+
+    #[test]
+    fn inverse_clamps_out_of_range_inputs() {
+        // λ = 2: inverse of v needs 2v + 1 > 0; v = −5 is out of range.
+        let back = inv_boxcox(&[-5.0], 2.0);
+        assert!(back[0].is_finite());
+        assert!(back[0] >= 0.0);
+    }
+
+    #[test]
+    fn select_lambda_recovers_log_scale_data() {
+        // Exponential growth becomes linear after log ⇒ λ near 0.
+        let y: Vec<f64> = (1..200).map(|t| (0.05 * t as f64).exp()).collect();
+        let l = select_lambda(&y, -1.0, 2.0).unwrap();
+        assert!(l.abs() < 0.15, "lambda = {l}");
+    }
+
+    #[test]
+    fn select_lambda_keeps_linear_data_near_one() {
+        let y: Vec<f64> = (1..200).map(|t| 10.0 + t as f64).collect();
+        let l = select_lambda(&y, -1.0, 2.0).unwrap();
+        assert!(l > 0.5, "lambda = {l}");
+    }
+
+    #[test]
+    fn shift_to_positive_only_when_needed() {
+        let (shifted, off) = shift_to_positive(&[3.0, 4.0], 1.0);
+        assert_eq!(off, 0.0);
+        assert_eq!(shifted, vec![3.0, 4.0]);
+
+        let (shifted, off) = shift_to_positive(&[0.0, 4.0], 1.0);
+        assert_eq!(off, 1.0);
+        assert_eq!(shifted, vec![1.0, 5.0]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Classical seasonal decomposition — the paper's Figure 1(b).
+//!
+//! "We discover the seasonality of the data by decomposing it using library
+//! functions (in particular `statsmodels.tsa.seasonal` in python)." This is
+//! the same algorithm: a centred moving-average trend, seasonal averages of
+//! the detrended series, and a residual.
+
+use crate::{Result, SeriesError};
+
+/// Whether seasonality is added to or multiplied with the trend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompositionModel {
+    /// `y = trend + seasonal + residual`.
+    Additive,
+    /// `y = trend × seasonal × residual` (requires positive data).
+    Multiplicative,
+}
+
+/// Result of a classical decomposition. `trend` and `residual` carry NaN in
+/// the half-window margins where the centred moving average is undefined,
+/// exactly as statsmodels reports them.
+#[derive(Debug, Clone)]
+pub struct SeasonalDecomposition {
+    /// Centred moving-average trend (NaN at the edges).
+    pub trend: Vec<f64>,
+    /// The repeating seasonal component (one value per observation).
+    pub seasonal: Vec<f64>,
+    /// What remains (NaN where trend is NaN).
+    pub residual: Vec<f64>,
+    /// One period of the seasonal pattern.
+    pub seasonal_indices: Vec<f64>,
+    /// Which model was used.
+    pub model: DecompositionModel,
+    /// The period that was decomposed at.
+    pub period: usize,
+}
+
+impl SeasonalDecomposition {
+    /// Fraction of (non-NaN) variance explained by the seasonal component;
+    /// the "strength of seasonality" diagnostic 1 − Var(resid)/Var(seas+resid).
+    pub fn seasonal_strength(&self) -> f64 {
+        let mut resid_var = 0.0;
+        let mut total_var = 0.0;
+        let mut n = 0usize;
+        let pairs: Vec<(f64, f64)> = self
+            .residual
+            .iter()
+            .zip(&self.seasonal)
+            .filter(|(r, _)| r.is_finite())
+            .map(|(&r, &s)| (r, s))
+            .collect();
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        let mean_r = pairs.iter().map(|p| p.0).sum::<f64>() / pairs.len() as f64;
+        let mean_sr =
+            pairs.iter().map(|p| p.0 + p.1).sum::<f64>() / pairs.len() as f64;
+        for (r, s) in pairs {
+            resid_var += (r - mean_r).powi(2);
+            total_var += (r + s - mean_sr).powi(2);
+            n += 1;
+        }
+        if n == 0 || total_var == 0.0 {
+            return 0.0;
+        }
+        (1.0 - resid_var / total_var).max(0.0)
+    }
+}
+
+/// Classical decomposition of `values` at seasonal `period`.
+///
+/// Needs at least two full periods. For [`DecompositionModel::Multiplicative`]
+/// all values must be strictly positive.
+pub fn decompose(
+    values: &[f64],
+    period: usize,
+    model: DecompositionModel,
+) -> Result<SeasonalDecomposition> {
+    let n = values.len();
+    if period < 2 {
+        return Err(SeriesError::InvalidParameter {
+            context: "decompose: period must be >= 2",
+        });
+    }
+    if n < 2 * period {
+        return Err(SeriesError::TooShort {
+            needed: 2 * period,
+            got: n,
+        });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(SeriesError::NonFinite);
+    }
+    if model == DecompositionModel::Multiplicative && values.iter().any(|&v| v <= 0.0) {
+        return Err(SeriesError::InvalidParameter {
+            context: "decompose: multiplicative model needs positive data",
+        });
+    }
+
+    // 1. Centred moving average of window `period` (2×(period/2)-MA when the
+    //    period is even, the statsmodels convention).
+    let trend = centered_moving_average(values, period);
+
+    // 2. Detrend.
+    let detrended: Vec<f64> = values
+        .iter()
+        .zip(&trend)
+        .map(|(&y, &t)| {
+            if !t.is_finite() {
+                f64::NAN
+            } else {
+                match model {
+                    DecompositionModel::Additive => y - t,
+                    DecompositionModel::Multiplicative => y / t,
+                }
+            }
+        })
+        .collect();
+
+    // 3. Seasonal indices: mean of the detrended values in each phase,
+    //    normalised to sum to zero (additive) or average to one
+    //    (multiplicative).
+    let mut sums = vec![0.0; period];
+    let mut counts = vec![0usize; period];
+    for (i, &v) in detrended.iter().enumerate() {
+        if v.is_finite() {
+            sums[i % period] += v;
+            counts[i % period] += 1;
+        }
+    }
+    let mut indices: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
+    match model {
+        DecompositionModel::Additive => {
+            let mean = indices.iter().sum::<f64>() / period as f64;
+            for v in indices.iter_mut() {
+                *v -= mean;
+            }
+        }
+        DecompositionModel::Multiplicative => {
+            let mean = indices.iter().sum::<f64>() / period as f64;
+            if mean != 0.0 {
+                for v in indices.iter_mut() {
+                    *v /= mean;
+                }
+            }
+        }
+    }
+
+    // 4. Tile the indices and compute residuals.
+    let seasonal: Vec<f64> = (0..n).map(|i| indices[i % period]).collect();
+    let residual: Vec<f64> = (0..n)
+        .map(|i| {
+            if !trend[i].is_finite() {
+                f64::NAN
+            } else {
+                match model {
+                    DecompositionModel::Additive => values[i] - trend[i] - seasonal[i],
+                    DecompositionModel::Multiplicative => {
+                        values[i] / (trend[i] * seasonal[i])
+                    }
+                }
+            }
+        })
+        .collect();
+
+    Ok(SeasonalDecomposition {
+        trend,
+        seasonal,
+        residual,
+        seasonal_indices: indices,
+        model,
+        period,
+    })
+}
+
+/// Centred moving average: plain odd-window MA, or the 2×MA for even
+/// windows. NaN where the window does not fit.
+fn centered_moving_average(values: &[f64], period: usize) -> Vec<f64> {
+    let n = values.len();
+    let mut out = vec![f64::NAN; n];
+    if period % 2 == 1 {
+        let half = period / 2;
+        for i in half..n - half {
+            let window = &values[i - half..=i + half];
+            out[i] = window.iter().sum::<f64>() / period as f64;
+        }
+    } else {
+        // Even period: average of two staggered windows — equivalently a
+        // weighted window with half-weights on the extremes.
+        let half = period / 2;
+        for i in half..n - half {
+            let mut sum = 0.5 * values[i - half] + 0.5 * values[i + half];
+            for j in (i - half + 1)..(i + half) {
+                sum += values[j];
+            }
+            out[i] = sum / period as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let t_f = t as f64;
+                50.0 + 0.2 * t_f
+                    + 10.0 * (2.0 * std::f64::consts::PI * t_f / period as f64).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn additive_recovers_trend_slope() {
+        let y = synthetic(120, 12);
+        let d = decompose(&y, 12, DecompositionModel::Additive).unwrap();
+        // Interior trend should be close to 50 + 0.2t.
+        for t in 20..100 {
+            let expected = 50.0 + 0.2 * t as f64;
+            assert!(
+                (d.trend[t] - expected).abs() < 0.5,
+                "t = {t}: {} vs {expected}",
+                d.trend[t]
+            );
+        }
+    }
+
+    #[test]
+    fn additive_recovers_seasonal_shape() {
+        let y = synthetic(240, 24);
+        let d = decompose(&y, 24, DecompositionModel::Additive).unwrap();
+        for (phase, &idx) in d.seasonal_indices.iter().enumerate() {
+            let expected =
+                10.0 * (2.0 * std::f64::consts::PI * phase as f64 / 24.0).sin();
+            assert!(
+                (idx - expected).abs() < 0.6,
+                "phase {phase}: {idx} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn additive_components_sum_back_to_series() {
+        let y = synthetic(120, 12);
+        let d = decompose(&y, 12, DecompositionModel::Additive).unwrap();
+        for t in 0..y.len() {
+            if d.trend[t].is_finite() {
+                let rebuilt = d.trend[t] + d.seasonal[t] + d.residual[t];
+                assert!((rebuilt - y[t]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn seasonal_indices_sum_to_zero_additive() {
+        let y = synthetic(120, 12);
+        let d = decompose(&y, 12, DecompositionModel::Additive).unwrap();
+        let sum: f64 = d.seasonal_indices.iter().sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiplicative_components_multiply_back() {
+        let y: Vec<f64> = (0..120)
+            .map(|t| {
+                let t_f = t as f64;
+                (100.0 + t_f)
+                    * (1.0 + 0.3 * (2.0 * std::f64::consts::PI * t_f / 12.0).sin())
+            })
+            .collect();
+        let d = decompose(&y, 12, DecompositionModel::Multiplicative).unwrap();
+        for t in 0..y.len() {
+            if d.trend[t].is_finite() {
+                let rebuilt = d.trend[t] * d.seasonal[t] * d.residual[t];
+                assert!((rebuilt - y[t]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicative_indices_average_to_one() {
+        let y: Vec<f64> = (0..96)
+            .map(|t| {
+                100.0 * (1.0 + 0.2 * (2.0 * std::f64::consts::PI * t as f64 / 8.0).cos())
+            })
+            .collect();
+        let d = decompose(&y, 8, DecompositionModel::Multiplicative).unwrap();
+        let mean: f64 = d.seasonal_indices.iter().sum::<f64>() / 8.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strongly_seasonal_series_has_high_strength() {
+        let y = synthetic(240, 24);
+        let d = decompose(&y, 24, DecompositionModel::Additive).unwrap();
+        assert!(d.seasonal_strength() > 0.95, "{}", d.seasonal_strength());
+    }
+
+    #[test]
+    fn aperiodic_series_has_low_strength() {
+        // Deterministic pseudo-noise around a trend with no period-24 cycle.
+        let y: Vec<f64> = (0..240)
+            .map(|t| 100.0 + 0.1 * t as f64 + ((t * 7919 % 101) as f64) / 10.0)
+            .collect();
+        let d = decompose(&y, 24, DecompositionModel::Additive).unwrap();
+        assert!(d.seasonal_strength() < 0.5, "{}", d.seasonal_strength());
+    }
+
+    #[test]
+    fn edge_margins_are_nan() {
+        let y = synthetic(48, 12);
+        let d = decompose(&y, 12, DecompositionModel::Additive).unwrap();
+        assert!(d.trend[0].is_nan());
+        assert!(d.trend[5].is_nan());
+        assert!(d.trend[6].is_finite());
+        assert!(d.trend[47].is_nan());
+    }
+
+    #[test]
+    fn rejects_short_series_and_bad_period() {
+        assert!(decompose(&[1.0; 10], 12, DecompositionModel::Additive).is_err());
+        assert!(decompose(&[1.0; 10], 1, DecompositionModel::Additive).is_err());
+        assert!(
+            decompose(&[0.0; 48], 12, DecompositionModel::Multiplicative).is_err()
+        );
+    }
+
+    #[test]
+    fn odd_period_moving_average() {
+        let y = synthetic(60, 5);
+        let d = decompose(&y, 5, DecompositionModel::Additive).unwrap();
+        assert!(d.trend[2].is_finite());
+        assert!(d.trend[1].is_nan());
+    }
+}

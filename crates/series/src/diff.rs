@@ -1,0 +1,236 @@
+//! Differencing and its exact inverse.
+//!
+//! ARIMA's `d` and `D` parameters mean: difference the series (regular lag
+//! 1, seasonal lag `s`) until stationary, fit an ARMA on what remains, then
+//! *integrate* forecasts back to the original scale. The integration step
+//! needs the trailing values of each intermediate differencing stage, so
+//! [`Differencer`] records them.
+
+use crate::{Result, SeriesError};
+
+/// A differencing specification: `d` regular differences followed by `D`
+/// seasonal differences at period `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Differencer {
+    /// Regular (lag-1) differencing order.
+    pub d: usize,
+    /// Seasonal differencing order.
+    pub seasonal_d: usize,
+    /// Seasonal period (ignored when `seasonal_d == 0`).
+    pub period: usize,
+}
+
+/// The output of applying a [`Differencer`]: the differenced series plus
+/// the state needed to undo it.
+#[derive(Debug, Clone)]
+pub struct Differenced {
+    /// The differenced values (shorter than the input by
+    /// `d + seasonal_d * period`).
+    pub values: Vec<f64>,
+    /// Trailing values of each intermediate stage, innermost first;
+    /// consumed by [`Differencer::integrate`].
+    tails: Vec<Vec<f64>>,
+    spec: Differencer,
+}
+
+impl Differencer {
+    /// A no-op differencer.
+    pub fn none() -> Differencer {
+        Differencer {
+            d: 0,
+            seasonal_d: 0,
+            period: 1,
+        }
+    }
+
+    /// Regular differencing only.
+    pub fn regular(d: usize) -> Differencer {
+        Differencer {
+            d,
+            seasonal_d: 0,
+            period: 1,
+        }
+    }
+
+    /// Total observations consumed by the transform.
+    pub fn loss(&self) -> usize {
+        self.d + self.seasonal_d * self.period
+    }
+
+    /// Apply the differencing. Regular differences are applied first, then
+    /// seasonal ones (the composition is commutative in exact arithmetic;
+    /// fixing an order makes the recorded tails unambiguous).
+    pub fn apply(&self, values: &[f64]) -> Result<Differenced> {
+        if self.seasonal_d > 0 && self.period < 2 {
+            return Err(SeriesError::InvalidParameter {
+                context: "Differencer: seasonal differencing needs period >= 2",
+            });
+        }
+        if values.len() <= self.loss() {
+            return Err(SeriesError::TooShort {
+                needed: self.loss() + 1,
+                got: values.len(),
+            });
+        }
+        let mut current = values.to_vec();
+        let mut tails: Vec<Vec<f64>> = Vec::with_capacity(self.d + self.seasonal_d);
+        for _ in 0..self.d {
+            tails.push(vec![*current.last().expect("non-empty by length check")]);
+            current = difference(&current, 1);
+        }
+        for _ in 0..self.seasonal_d {
+            let tail = current[current.len() - self.period..].to_vec();
+            tails.push(tail);
+            current = difference(&current, self.period);
+        }
+        Ok(Differenced {
+            values: current,
+            tails,
+            spec: *self,
+        })
+    }
+
+    /// Integrate a forecast made on the differenced scale back to the
+    /// original scale, using the tails recorded by [`Differencer::apply`].
+    pub fn integrate(&self, diffed: &Differenced, forecast: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(*self, diffed.spec, "integrate: mismatched differencer");
+        let mut current = forecast.to_vec();
+        // Undo in reverse order: seasonal stages first (they were applied
+        // last), then regular stages.
+        for (stage, tail) in diffed.tails.iter().enumerate().rev() {
+            let lag = tail.len(); // 1 for regular stages, `period` for seasonal
+            let mut rebuilt: Vec<f64> = Vec::with_capacity(current.len());
+            for (h, &v) in current.iter().enumerate() {
+                let prev = if h < lag { tail[h] } else { rebuilt[h - lag] };
+                rebuilt.push(v + prev);
+            }
+            current = rebuilt;
+            let _ = stage;
+        }
+        current
+    }
+}
+
+/// Plain lag-`k` difference: `out[t] = x[t+k] − x[t]` reindexed.
+pub fn difference(values: &[f64], lag: usize) -> Vec<f64> {
+    if values.len() <= lag || lag == 0 {
+        return if lag == 0 {
+            values.to_vec()
+        } else {
+            Vec::new()
+        };
+    }
+    (lag..values.len())
+        .map(|t| values[t] - values[t - lag])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_difference_known_values() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0], 1), vec![2.0, 3.0, 4.0]);
+        assert_eq!(difference(&[1.0, 2.0, 4.0, 8.0], 2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn zero_lag_is_identity() {
+        assert_eq!(difference(&[1.0, 2.0], 0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn first_difference_removes_linear_trend() {
+        let y: Vec<f64> = (0..50).map(|t| 3.0 + 2.0 * t as f64).collect();
+        let d = Differencer::regular(1).apply(&y).unwrap();
+        assert!(d.values.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn second_difference_removes_quadratic_trend() {
+        let y: Vec<f64> = (0..50).map(|t| (t * t) as f64).collect();
+        let d = Differencer::regular(2).apply(&y).unwrap();
+        assert!(d.values.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn seasonal_difference_removes_pure_seasonality() {
+        let pattern = [10.0, 20.0, 15.0, 5.0];
+        let y: Vec<f64> = (0..40).map(|t| pattern[t % 4]).collect();
+        let spec = Differencer {
+            d: 0,
+            seasonal_d: 1,
+            period: 4,
+        };
+        let d = spec.apply(&y).unwrap();
+        assert!(d.values.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn integrate_inverts_apply_for_in_sample_continuation() {
+        // Difference a series, then "forecast" with the true future diffs:
+        // integration must reproduce the true future values.
+        let y: Vec<f64> = (0..60)
+            .map(|t| {
+                let t = t as f64;
+                5.0 + 0.3 * t + (2.0 * std::f64::consts::PI * t / 12.0).sin() * 4.0
+            })
+            .collect();
+        let (train, test) = y.split_at(48);
+        for spec in [
+            Differencer::regular(1),
+            Differencer::regular(2),
+            Differencer {
+                d: 0,
+                seasonal_d: 1,
+                period: 12,
+            },
+            Differencer {
+                d: 1,
+                seasonal_d: 1,
+                period: 12,
+            },
+        ] {
+            let diffed_full = spec.apply(&y).unwrap();
+            let diffed_train = spec.apply(train).unwrap();
+            let future_diffs =
+                &diffed_full.values[diffed_full.values.len() - test.len()..];
+            let rebuilt = spec.integrate(&diffed_train, future_diffs);
+            for (a, b) in rebuilt.iter().zip(test) {
+                assert!((a - b).abs() < 1e-9, "{spec:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_accounts_for_both_kinds() {
+        let spec = Differencer {
+            d: 2,
+            seasonal_d: 1,
+            period: 24,
+        };
+        assert_eq!(spec.loss(), 26);
+        let y = vec![1.0; 27];
+        assert_eq!(spec.apply(&y).unwrap().values.len(), 1);
+    }
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        let spec = Differencer::regular(3);
+        assert!(matches!(
+            spec.apply(&[1.0, 2.0, 3.0]),
+            Err(SeriesError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn seasonal_without_period_is_rejected() {
+        let spec = Differencer {
+            d: 0,
+            seasonal_d: 1,
+            period: 1,
+        };
+        assert!(spec.apply(&[1.0; 10]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Gap filling for missed agent polls.
+//!
+//! §5.1: "It is possible that the agent may have been at fault and may not
+//! have executed or polled the value from the database target … If this is
+//! the case, a linear interpolation exercise is carried out to fill in the
+//! gaps based on known data points."
+//!
+//! Gaps are represented as NaN. Interior gaps are filled by linear
+//! interpolation between the nearest finite neighbours; leading/trailing
+//! gaps are filled by nearest-value extension (there is nothing to
+//! interpolate towards).
+
+use crate::timeseries::TimeSeries;
+use crate::{Result, SeriesError};
+
+/// Fill NaN gaps in `values` in place. Returns the number of samples
+/// filled. Fails if *every* value is missing.
+pub fn interpolate_gaps(values: &mut [f64]) -> Result<usize> {
+    let n = values.len();
+    if n == 0 {
+        return Ok(0);
+    }
+    if values.iter().all(|v| !v.is_finite()) {
+        return Err(SeriesError::InvalidParameter {
+            context: "interpolate_gaps: every observation is missing",
+        });
+    }
+    let mut filled = 0usize;
+
+    // Leading gap: extend the first finite value backwards.
+    if !values[0].is_finite() {
+        let first_finite = values
+            .iter()
+            .position(|v| v.is_finite())
+            .expect("checked above");
+        let fill = values[first_finite];
+        for v in values[..first_finite].iter_mut() {
+            *v = fill;
+            filled += 1;
+        }
+    }
+    // Trailing gap: extend the last finite value forwards.
+    if !values[n - 1].is_finite() {
+        let last_finite = values
+            .iter()
+            .rposition(|v| v.is_finite())
+            .expect("checked above");
+        let fill = values[last_finite];
+        for v in values[last_finite + 1..].iter_mut() {
+            *v = fill;
+            filled += 1;
+        }
+    }
+    // Interior gaps: linear interpolation between finite anchors.
+    let mut i = 0;
+    while i < n {
+        if values[i].is_finite() {
+            i += 1;
+            continue;
+        }
+        // values[i] is NaN and both an earlier and a later finite value
+        // exist (the edges were handled above).
+        let start = i - 1; // finite
+        let mut end = i;
+        while !values[end].is_finite() {
+            end += 1;
+        }
+        let left = values[start];
+        let right = values[end];
+        let span = (end - start) as f64;
+        for (offset, v) in values[start + 1..end].iter_mut().enumerate() {
+            let t = (offset + 1) as f64 / span;
+            *v = left + t * (right - left);
+            filled += 1;
+        }
+        i = end + 1;
+    }
+    Ok(filled)
+}
+
+/// [`interpolate_gaps`] applied to a [`TimeSeries`]; returns the number of
+/// samples filled.
+pub fn interpolate_series(series: &mut TimeSeries) -> Result<usize> {
+    interpolate_gaps(series.values_mut())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::Frequency;
+
+    #[test]
+    fn fills_single_interior_gap_linearly() {
+        let mut v = vec![1.0, f64::NAN, 3.0];
+        assert_eq!(interpolate_gaps(&mut v).unwrap(), 1);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fills_run_of_gaps_linearly() {
+        let mut v = vec![0.0, f64::NAN, f64::NAN, f64::NAN, 4.0];
+        assert_eq!(interpolate_gaps(&mut v).unwrap(), 3);
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn extends_leading_and_trailing_gaps() {
+        let mut v = vec![f64::NAN, f64::NAN, 5.0, 6.0, f64::NAN];
+        assert_eq!(interpolate_gaps(&mut v).unwrap(), 3);
+        assert_eq!(v, vec![5.0, 5.0, 5.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn no_gaps_is_a_no_op() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        assert_eq!(interpolate_gaps(&mut v).unwrap(), 0);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn all_missing_is_an_error() {
+        let mut v = vec![f64::NAN; 4];
+        assert!(interpolate_gaps(&mut v).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut v: Vec<f64> = vec![];
+        assert_eq!(interpolate_gaps(&mut v).unwrap(), 0);
+    }
+
+    #[test]
+    fn multiple_disjoint_gaps() {
+        let mut v = vec![0.0, f64::NAN, 2.0, f64::NAN, f64::NAN, 8.0];
+        assert_eq!(interpolate_gaps(&mut v).unwrap(), 3);
+        assert_eq!(v, vec![0.0, 1.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn series_wrapper_reports_fill_count() {
+        let mut s = TimeSeries::new(vec![1.0, f64::NAN, 3.0], Frequency::Hourly, 0);
+        assert_eq!(interpolate_series(&mut s).unwrap(), 1);
+        assert!(!s.has_gaps());
+    }
+
+    #[test]
+    fn infinities_are_treated_as_gaps() {
+        let mut v = vec![1.0, f64::INFINITY, 3.0];
+        assert_eq!(interpolate_gaps(&mut v).unwrap(), 1);
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Time-series substrate for the dwcp capacity planner.
+//!
+//! The paper's problem definition (§3): *given a time series `m` that
+//! provides monitoring information about a workload `w`, generate a
+//! prediction `z` for a period following on from that of `w`*. This crate
+//! owns everything about `m` itself — the container, its diagnostics and
+//! its transforms — leaving model fitting to `dwcp-models`:
+//!
+//! * [`timeseries`] — the [`TimeSeries`] container (values + frequency +
+//!   origin), built from agent samples or synthetic generators,
+//! * [`mod@acf`] — autocorrelation and partial autocorrelation (the paper's
+//!   Figure 1(a) correlograms) with significance bands,
+//! * [`diff`] — regular and seasonal differencing with exact inversion
+//!   (Figure 1(c), "by differencing the data once we stabilise it"),
+//! * [`mod@decompose`] — classical seasonal decomposition
+//!   (Figure 1(b), mirroring `statsmodels.tsa.seasonal`),
+//! * [`boxcox`] — Box-Cox transform used by TBATS,
+//! * [`stationarity`] — ADF and KPSS tests ("Dicky-Fuller to detect if the
+//!   data is stationary") and automatic choice of the differencing order,
+//! * [`season`] — periodogram + ACF seasonality detection, including the
+//!   multiple-seasonality decision that triggers Fourier terms (§4.4),
+//! * [`interpolate`] — linear interpolation of missing agent samples (§5.1),
+//! * [`accuracy`] — RMSE / MAPE / MAPA and friends (§7),
+//! * [`split`] — the Table 1 train/test protocol.
+
+#![allow(clippy::needless_range_loop)] // triangular/windowed kernels read best as indices
+
+pub mod accuracy;
+pub mod acf;
+pub mod boxcox;
+pub mod decompose;
+pub mod diff;
+pub mod interpolate;
+pub mod rolling;
+pub mod season;
+pub mod split;
+pub mod stationarity;
+pub mod timeseries;
+
+pub use accuracy::Accuracy;
+pub use acf::{acf, pacf, Correlogram};
+pub use decompose::{decompose, DecompositionModel, SeasonalDecomposition};
+pub use diff::Differencer;
+pub use season::{detect_seasonality, SeasonalityReport};
+pub use split::{Granularity, TrainTestSplit};
+pub use stationarity::{adf_test, kpss_test, suggest_differencing};
+pub use timeseries::{Frequency, TimeSeries};
+
+/// Errors produced by the series substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesError {
+    /// The operation needs more observations than the series has.
+    TooShort {
+        /// Observations required.
+        needed: usize,
+        /// Observations available.
+        got: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description.
+        context: &'static str,
+    },
+    /// The series contains non-finite values where finite ones are required.
+    NonFinite,
+    /// An underlying numerical kernel failed.
+    Math(dwcp_math::MathError),
+}
+
+impl std::fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeriesError::TooShort { needed, got } => {
+                write!(f, "series too short: need {needed} observations, have {got}")
+            }
+            SeriesError::InvalidParameter { context } => {
+                write!(f, "invalid parameter: {context}")
+            }
+            SeriesError::NonFinite => write!(f, "series contains non-finite values"),
+            SeriesError::Math(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SeriesError {}
+
+impl From<dwcp_math::MathError> for SeriesError {
+    fn from(e: dwcp_math::MathError) -> Self {
+        SeriesError::Math(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SeriesError>;

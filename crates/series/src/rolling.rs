@@ -1,0 +1,195 @@
+//! Rolling-window statistics and robust outlier scores.
+//!
+//! Used by the planner's shock detector: a backup spike is "an observation
+//! far above its local context", which needs rolling means/deviations, and
+//! a robust (median-based) alternative so the spikes themselves do not
+//! inflate the yardstick they are measured against.
+
+use crate::{Result, SeriesError};
+
+/// Rolling mean over a centred window of `window` observations (odd
+/// windows are exact; even windows lean one observation to the left).
+/// Edges use the available partial window.
+pub fn rolling_mean(values: &[f64], window: usize) -> Result<Vec<f64>> {
+    if window == 0 {
+        return Err(SeriesError::InvalidParameter {
+            context: "rolling_mean: window must be positive",
+        });
+    }
+    let n = values.len();
+    let half_left = window / 2;
+    let half_right = window - half_left - 1;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_left);
+        let hi = (i + half_right + 1).min(n);
+        let slice = &values[lo..hi];
+        out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    Ok(out)
+}
+
+/// Rolling population standard deviation with the same window convention.
+pub fn rolling_std(values: &[f64], window: usize) -> Result<Vec<f64>> {
+    if window < 2 {
+        return Err(SeriesError::InvalidParameter {
+            context: "rolling_std: window must be at least 2",
+        });
+    }
+    let n = values.len();
+    let half_left = window / 2;
+    let half_right = window - half_left - 1;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_left);
+        let hi = (i + half_right + 1).min(n);
+        let slice = &values[lo..hi];
+        let mean = slice.iter().sum::<f64>() / slice.len() as f64;
+        let var = slice.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / slice.len() as f64;
+        out.push(var.sqrt());
+    }
+    Ok(out)
+}
+
+/// Median of a slice (average of the middle two for even lengths).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation, scaled by 1.4826 to be consistent with the
+/// standard deviation under normality.
+pub fn mad(values: &[f64]) -> f64 {
+    let m = median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    1.4826 * median(&deviations)
+}
+
+/// Robust z-scores: `(x − median) / MAD`. When more than half the sample
+/// is identical the MAD degenerates to zero, so the scale falls back to
+/// the standard deviation; a genuinely constant series scores all zeros.
+pub fn robust_z_scores(values: &[f64]) -> Vec<f64> {
+    let m = median(values);
+    let mut scale = mad(values);
+    if scale < 1e-12 {
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        scale = (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+    }
+    if scale < 1e-12 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| (v - m) / scale).collect()
+}
+
+/// Indices whose robust z-score exceeds `threshold` (positive spikes
+/// only — capacity shocks add load; dips are a different animal).
+pub fn spike_indices(values: &[f64], threshold: f64) -> Vec<usize> {
+    robust_z_scores(values)
+        .iter()
+        .enumerate()
+        .filter(|(_, &z)| z > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_mean_of_constant_is_constant() {
+        let out = rolling_mean(&[5.0; 10], 3).unwrap();
+        assert!(out.iter().all(|&v| (v - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rolling_mean_centred_window() {
+        let out = rolling_mean(&[1.0, 2.0, 3.0, 4.0, 5.0], 3).unwrap();
+        assert_eq!(out[2], 3.0);
+        // Edges use partial windows: first = mean(1,2).
+        assert_eq!(out[0], 1.5);
+        assert_eq!(out[4], 4.5);
+    }
+
+    #[test]
+    fn rolling_std_flags_local_variability() {
+        let mut y = vec![1.0; 21];
+        y[10] = 11.0;
+        let out = rolling_std(&y, 5).unwrap();
+        assert!(out[10] > out[0]);
+        assert!(out[2] < 1e-12);
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(rolling_mean(&[1.0], 0).is_err());
+        assert!(rolling_std(&[1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn mad_matches_std_for_normalish_data() {
+        // Symmetric triangular-ish sample: MAD×1.4826 ≈ std within a factor.
+        let y: Vec<f64> = (-50..=50).map(|i| i as f64 / 10.0).collect();
+        let std = {
+            let m = y.iter().sum::<f64>() / y.len() as f64;
+            (y.iter().map(|v| (v - m).powi(2)).sum::<f64>() / y.len() as f64).sqrt()
+        };
+        let robust = mad(&y);
+        assert!((robust / std - 1.0).abs() < 0.35, "{robust} vs {std}");
+    }
+
+    #[test]
+    fn robust_z_scores_resist_the_outlier_itself() {
+        // Classical z-score of a single huge spike is diluted by the
+        // spike's own effect on the std; the MAD-based score is not.
+        let y: Vec<f64> = (0..20)
+            .map(|i| 10.0 + ((i * 7 % 5) as f64 - 2.0) * 0.1)
+            .chain(std::iter::once(100.0))
+            .collect();
+        let z = robust_z_scores(&y);
+        assert!(z[20] > 8.0, "spike score {}", z[20]);
+        assert!(z[0].abs() < 3.0);
+    }
+
+    #[test]
+    fn degenerate_mad_falls_back_to_std() {
+        // >50% identical values: MAD = 0, std still sees the spike.
+        let mut y = vec![10.0; 20];
+        y[7] = 100.0;
+        let z = robust_z_scores(&y);
+        assert!(z[7] > 4.0, "spike score {}", z[7]);
+        assert!(z[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn spike_indices_positive_only() {
+        let mut y = vec![0.0, 1.0, -1.0, 0.5, -0.5, 0.0, 1.0, -1.0];
+        y.push(50.0);
+        y.push(-50.0);
+        let spikes = spike_indices(&y, 5.0);
+        assert_eq!(spikes, vec![8]);
+    }
+
+    #[test]
+    fn constant_series_has_no_spikes() {
+        assert!(spike_indices(&[3.0; 30], 3.0).is_empty());
+        assert!(robust_z_scores(&[3.0; 30]).iter().all(|&z| z == 0.0));
+    }
+}

@@ -1,0 +1,252 @@
+//! Seasonality detection: periodogram peaks confirmed by the ACF.
+//!
+//! §4.4: "In our solution we apply Fourier analysis if we detect time series
+//! data with multiple seasonality." The detector below is what feeds that
+//! decision: it extracts candidate periods from the FFT periodogram
+//! (frequency domain) and keeps those whose seasonal-lag autocorrelation
+//! confirms a genuine cycle (time domain).
+
+use crate::acf::acf;
+use crate::{Result, SeriesError};
+use dwcp_math::fft::periodogram;
+
+/// One detected seasonal period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectedSeason {
+    /// Period length in observations.
+    pub period: usize,
+    /// Share of periodogram power at this frequency (0..1).
+    pub power_share: f64,
+    /// Autocorrelation at the seasonal lag.
+    pub acf_at_lag: f64,
+}
+
+/// The detector's overall report for a series.
+#[derive(Debug, Clone)]
+pub struct SeasonalityReport {
+    /// Confirmed periods, strongest first.
+    pub seasons: Vec<DetectedSeason>,
+}
+
+impl SeasonalityReport {
+    /// The dominant period, if any cycle was confirmed.
+    pub fn primary(&self) -> Option<usize> {
+        self.seasons.first().map(|s| s.period)
+    }
+
+    /// Whether more than one distinct cycle was confirmed — the paper's
+    /// trigger for adding Fourier terms to SARIMAX.
+    pub fn is_multi_seasonal(&self) -> bool {
+        self.seasons.len() > 1
+    }
+
+    /// All confirmed periods, strongest first.
+    pub fn periods(&self) -> Vec<usize> {
+        self.seasons.iter().map(|s| s.period).collect()
+    }
+}
+
+/// Detect seasonal periods in `values`.
+///
+/// * `max_period` caps the period length considered (a period must repeat
+///   at least twice inside the series to be observable, so it is also
+///   capped at `n / 2`).
+/// * A candidate needs at least 2 % of total periodogram power *and* an
+///   ACF above 0.1 at its lag to be confirmed; harmonics of an already
+///   confirmed period are folded into it.
+pub fn detect_seasonality(values: &[f64], max_period: usize) -> Result<SeasonalityReport> {
+    let n = values.len();
+    if n < 16 {
+        return Err(SeriesError::TooShort { needed: 16, got: n });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(SeriesError::NonFinite);
+    }
+    // Detrend linearly first: trend power leaks into low frequencies and
+    // masquerades as long seasons.
+    let detrended = detrend(values);
+    let pg = periodogram(&detrended);
+    let total_power: f64 = pg.iter().map(|p| p.1).sum();
+    if total_power <= 0.0 {
+        return Ok(SeasonalityReport { seasons: vec![] });
+    }
+    let max_period = max_period.min(n / 2);
+    let max_lag = max_period.min(n - 1);
+    let rho = acf(&detrended, max_lag)?;
+
+    // Rank periodogram bins by power.
+    let mut bins: Vec<(f64, f64)> = pg;
+    bins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    let mut seasons: Vec<DetectedSeason> = Vec::new();
+    for (freq, power) in bins.into_iter().take(24) {
+        let share = power / total_power;
+        if share < 0.02 {
+            break; // sorted by power: everything after is weaker
+        }
+        let period_f = 1.0 / freq;
+        let period = period_f.round() as usize;
+        if period < 2 || period > max_period {
+            continue;
+        }
+        // Fold duplicates: adjacent periodogram bins of one cycle (spectral
+        // leakage) round to nearly the same period. Genuine harmonics
+        // (period/2, period/3, …) are instead rejected by the ACF check
+        // below — a real sub-cycle has high ACF at its own lag, leakage
+        // does not — so daily-inside-weekly multi-seasonality survives.
+        if seasons.iter().any(|s| same_cycle(s.period, period)) {
+            continue;
+        }
+        let acf_lag = rho.get(period).copied().unwrap_or(0.0);
+        if acf_lag < 0.1 {
+            continue;
+        }
+        seasons.push(DetectedSeason {
+            period,
+            power_share: share,
+            acf_at_lag: acf_lag,
+        });
+    }
+    Ok(SeasonalityReport { seasons })
+}
+
+/// Whether two rounded periods are the same cycle smeared across adjacent
+/// periodogram bins (tolerance widens with period length, since bin spacing
+/// in period units grows quadratically).
+fn same_cycle(a: usize, b: usize) -> bool {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    hi.abs_diff(lo) <= 1 + lo / 10
+}
+
+/// Remove the least-squares line from a series.
+fn detrend(values: &[f64]) -> Vec<f64> {
+    let n = values.len() as f64;
+    let mean_t = (n - 1.0) / 2.0;
+    let mean_y = values.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (t, &y) in values.iter().enumerate() {
+        let dt = t as f64 - mean_t;
+        sxy += dt * (y - mean_y);
+        sxx += dt * dt;
+    }
+    let slope = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    values
+        .iter()
+        .enumerate()
+        .map(|(t, &y)| y - mean_y - slope * (t as f64 - mean_t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daily_cycle(n: usize, period: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| amp * (2.0 * std::f64::consts::PI * t as f64 / period).sin())
+            .collect()
+    }
+
+    #[test]
+    fn detects_single_daily_season() {
+        let y: Vec<f64> = daily_cycle(720, 24.0, 10.0)
+            .iter()
+            .map(|v| 100.0 + v)
+            .collect();
+        let report = detect_seasonality(&y, 200).unwrap();
+        assert_eq!(report.primary(), Some(24));
+        assert!(!report.is_multi_seasonal());
+    }
+
+    #[test]
+    fn detects_multiple_seasonality() {
+        // Daily (24) + weekly (168) over 5 weeks of hourly data.
+        let n = 840;
+        let y: Vec<f64> = (0..n)
+            .map(|t| {
+                let t = t as f64;
+                100.0
+                    + 10.0 * (2.0 * std::f64::consts::PI * t / 24.0).sin()
+                    + 8.0 * (2.0 * std::f64::consts::PI * t / 168.0).sin()
+            })
+            .collect();
+        let report = detect_seasonality(&y, 200).unwrap();
+        assert!(report.is_multi_seasonal(), "{:?}", report.seasons);
+        let periods = report.periods();
+        assert!(periods.contains(&24), "{periods:?}");
+        assert!(
+            periods.iter().any(|&p| (p as i64 - 168).abs() <= 2),
+            "{periods:?}"
+        );
+    }
+
+    #[test]
+    fn trend_alone_is_not_seasonal() {
+        let y: Vec<f64> = (0..300).map(|t| 5.0 + 0.5 * t as f64).collect();
+        let report = detect_seasonality(&y, 100).unwrap();
+        assert!(report.seasons.is_empty(), "{:?}", report.seasons);
+    }
+
+    #[test]
+    fn seasonality_survives_superimposed_trend() {
+        let y: Vec<f64> = (0..720)
+            .map(|t| {
+                let t_f = t as f64;
+                50.0 + 0.3 * t_f + 15.0 * (2.0 * std::f64::consts::PI * t_f / 24.0).sin()
+            })
+            .collect();
+        let report = detect_seasonality(&y, 200).unwrap();
+        assert_eq!(report.primary(), Some(24));
+    }
+
+    #[test]
+    fn noise_produces_no_confirmed_season() {
+        let mut state = 99u64;
+        let y: Vec<f64> = (0..500)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                100.0 + ((state >> 33) as f64 / (1u64 << 31) as f64)
+            })
+            .collect();
+        let report = detect_seasonality(&y, 100).unwrap();
+        // White noise may occasionally put 2 % of power somewhere, but the
+        // ACF confirmation should keep the list empty or near-empty.
+        assert!(report.seasons.len() <= 1, "{:?}", report.seasons);
+    }
+
+    #[test]
+    fn short_series_is_rejected() {
+        assert!(detect_seasonality(&[1.0; 8], 4).is_err());
+    }
+
+    #[test]
+    fn max_period_is_respected() {
+        let y: Vec<f64> = daily_cycle(400, 100.0, 5.0)
+            .iter()
+            .map(|v| 10.0 + v)
+            .collect();
+        let report = detect_seasonality(&y, 50).unwrap();
+        assert!(report.seasons.iter().all(|s| s.period <= 50));
+    }
+
+    #[test]
+    fn harmonics_fold_into_fundamental() {
+        // A square-ish wave has strong odd harmonics; expect one confirmed
+        // season at 24, not extra ones at 8 (24/3) reported separately…
+        let y: Vec<f64> = (0..720)
+            .map(|t| {
+                let phase = (t % 24) as f64 / 24.0;
+                if phase < 0.5 {
+                    110.0
+                } else {
+                    90.0
+                }
+            })
+            .collect();
+        let report = detect_seasonality(&y, 200).unwrap();
+        assert_eq!(report.primary(), Some(24), "{:?}", report.seasons);
+        // harmonic at 8 divides 24 → folded
+        assert!(!report.periods().contains(&8), "{:?}", report.seasons);
+    }
+}

@@ -1,0 +1,214 @@
+//! The Table 1 train/test protocol.
+//!
+//! | Forecast        | Obs  | Train | Test | Prediction |
+//! |-----------------|------|-------|------|------------|
+//! | Hourly          | 1008 | 984   | 24   | 24 hours   |
+//! | Daily           | 90   | 83    | 7    | 7 days     |
+//! | Weekly          | 92   | 88    | 4    | 4 weeks    |
+//!
+//! The same breakdown applies to both SARIMAX and HES rows of the paper's
+//! table. The observation counts come from the Makridakis-competition
+//! guidance the paper cites ("for an effective hourly forecast 700 hourly
+//! data points (circa 29 days) are required").
+
+use crate::timeseries::TimeSeries;
+use crate::{Result, SeriesError};
+use serde::{Deserialize, Serialize};
+
+/// Forecast granularity, which fixes the Table 1 protocol row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// 1008 observations; 984 train / 24 test; predict 24 hours.
+    Hourly,
+    /// 90 observations; 83 train / 7 test; predict 7 days.
+    Daily,
+    /// 92 observations; 88 train / 4 test; predict 4 weeks.
+    Weekly,
+}
+
+impl Granularity {
+    /// Observations the protocol expects (`Obs` column).
+    pub fn observations(self) -> usize {
+        match self {
+            Granularity::Hourly => 1008,
+            Granularity::Daily => 90,
+            Granularity::Weekly => 92,
+        }
+    }
+
+    /// Training-set size (`Train Set` column).
+    pub fn train_size(self) -> usize {
+        match self {
+            Granularity::Hourly => 984,
+            Granularity::Daily => 83,
+            Granularity::Weekly => 88,
+        }
+    }
+
+    /// Test-set size (`Test Set` column).
+    pub fn test_size(self) -> usize {
+        match self {
+            Granularity::Hourly => 24,
+            Granularity::Daily => 7,
+            Granularity::Weekly => 4,
+        }
+    }
+
+    /// Forecast horizon (`Prediction` column) — equal to the test size in
+    /// every row of Table 1.
+    pub fn horizon(self) -> usize {
+        self.test_size()
+    }
+
+    /// The dominant seasonal period at this granularity (`F`): 24 hours in
+    /// a day, 7 days in a week, 52 weeks in a year.
+    pub fn seasonal_period(self) -> usize {
+        match self {
+            Granularity::Hourly => 24,
+            Granularity::Daily => 7,
+            Granularity::Weekly => 52,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::Hourly => "hourly",
+            Granularity::Daily => "daily",
+            Granularity::Weekly => "weekly",
+        }
+    }
+}
+
+/// A train/test split of a series.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Training segment (the shaded/blue region of the paper's charts).
+    pub train: TimeSeries,
+    /// Held-out test segment (the yellow region).
+    pub test: TimeSeries,
+    /// Granularity that produced the split.
+    pub granularity: Granularity,
+}
+
+impl TrainTestSplit {
+    /// Split `series` per the Table 1 protocol for `granularity`.
+    ///
+    /// The series must hold at least `observations()` points; only the
+    /// trailing `observations()` are used (the freshest data), mirroring
+    /// the rolling 30-day capture window.
+    pub fn from_series(series: &TimeSeries, granularity: Granularity) -> Result<TrainTestSplit> {
+        let needed = granularity.observations();
+        if series.len() < needed {
+            return Err(SeriesError::TooShort {
+                needed,
+                got: series.len(),
+            });
+        }
+        let window = series.tail(needed);
+        let (train, test) = window.split_at(granularity.train_size());
+        Ok(TrainTestSplit {
+            train,
+            test,
+            granularity,
+        })
+    }
+
+    /// Split an arbitrary-length series with the *proportions* of the
+    /// protocol (used by tests and ad-hoc experiments on shorter data):
+    /// the last `test_size` points are held out.
+    pub fn holdout(series: &TimeSeries, granularity: Granularity) -> Result<TrainTestSplit> {
+        let test_size = granularity.test_size();
+        if series.len() <= test_size {
+            return Err(SeriesError::TooShort {
+                needed: test_size + 1,
+                got: series.len(),
+            });
+        }
+        let (train, test) = series.split_at(series.len() - test_size);
+        Ok(TrainTestSplit {
+            train,
+            test,
+            granularity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::Frequency;
+
+    #[test]
+    fn table1_hourly_row() {
+        let g = Granularity::Hourly;
+        assert_eq!(g.observations(), 1008);
+        assert_eq!(g.train_size(), 984);
+        assert_eq!(g.test_size(), 24);
+        assert_eq!(g.horizon(), 24);
+        assert_eq!(g.train_size() + g.test_size(), g.observations());
+    }
+
+    #[test]
+    fn table1_daily_row() {
+        let g = Granularity::Daily;
+        assert_eq!(g.observations(), 90);
+        assert_eq!(g.train_size(), 83);
+        assert_eq!(g.test_size(), 7);
+        assert_eq!(g.train_size() + g.test_size(), g.observations());
+    }
+
+    #[test]
+    fn table1_weekly_row() {
+        let g = Granularity::Weekly;
+        assert_eq!(g.observations(), 92);
+        assert_eq!(g.train_size(), 88);
+        assert_eq!(g.test_size(), 4);
+        assert_eq!(g.train_size() + g.test_size(), g.observations());
+    }
+
+    #[test]
+    fn from_series_uses_trailing_window() {
+        // 1100 hourly points; protocol takes the last 1008.
+        let values: Vec<f64> = (0..1100).map(|i| i as f64).collect();
+        let s = TimeSeries::new(values, Frequency::Hourly, 0);
+        let split = TrainTestSplit::from_series(&s, Granularity::Hourly).unwrap();
+        assert_eq!(split.train.len(), 984);
+        assert_eq!(split.test.len(), 24);
+        // First training value is observation 1100 − 1008 = 92.
+        assert_eq!(split.train.values()[0], 92.0);
+        // Last test value is the final observation.
+        assert_eq!(*split.test.values().last().unwrap(), 1099.0);
+    }
+
+    #[test]
+    fn from_series_rejects_insufficient_data() {
+        let s = TimeSeries::new(vec![0.0; 500], Frequency::Hourly, 0);
+        assert!(matches!(
+            TrainTestSplit::from_series(&s, Granularity::Hourly),
+            Err(SeriesError::TooShort { needed: 1008, .. })
+        ));
+    }
+
+    #[test]
+    fn test_segment_origin_follows_train() {
+        let s = TimeSeries::new((0..1008).map(|i| i as f64).collect(), Frequency::Hourly, 0);
+        let split = TrainTestSplit::from_series(&s, Granularity::Hourly).unwrap();
+        assert_eq!(split.test.origin(), split.train.next_timestamp());
+    }
+
+    #[test]
+    fn holdout_keeps_proportions_on_short_series() {
+        let s = TimeSeries::new((0..100).map(|i| i as f64).collect(), Frequency::Hourly, 0);
+        let split = TrainTestSplit::holdout(&s, Granularity::Hourly).unwrap();
+        assert_eq!(split.train.len(), 76);
+        assert_eq!(split.test.len(), 24);
+    }
+
+    #[test]
+    fn seasonal_periods_match_f_parameter() {
+        assert_eq!(Granularity::Hourly.seasonal_period(), 24);
+        assert_eq!(Granularity::Daily.seasonal_period(), 7);
+        assert_eq!(Granularity::Weekly.seasonal_period(), 52);
+    }
+}

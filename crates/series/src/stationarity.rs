@@ -1,0 +1,313 @@
+//! Stationarity tests: Augmented Dickey-Fuller and KPSS, plus the automatic
+//! choice of the differencing order `d`.
+//!
+//! The paper: "*Time Domain* — ARIMA uses techniques such as Box-Jenkins and
+//! Dicky-Fuller to detect if the data is stationary, trending or requires an
+//! element of differencing." The ADF regression here is
+//! `Δy_t = α + βt + γ·y_{t−1} + Σ δᵢ Δy_{t−i} + ε_t`, with the test
+//! statistic `γ̂/se(γ̂)` compared against MacKinnon critical values.
+
+use crate::diff::difference;
+use crate::{Result, SeriesError};
+use dwcp_math::ols::{design, ols};
+
+/// Deterministic terms included in the ADF regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdfRegression {
+    /// No constant, no trend.
+    None,
+    /// Constant only (the usual default).
+    Constant,
+    /// Constant and linear trend.
+    ConstantTrend,
+}
+
+/// Result of an augmented Dickey-Fuller test.
+#[derive(Debug, Clone)]
+pub struct AdfResult {
+    /// The `γ̂/se(γ̂)` test statistic.
+    pub statistic: f64,
+    /// Number of lagged difference terms included.
+    pub lags: usize,
+    /// Critical values at 1 %, 5 % and 10 % for the chosen regression.
+    pub critical: [f64; 3],
+    /// Whether the unit-root null is rejected at 5 % (i.e. the series looks
+    /// stationary).
+    pub stationary: bool,
+    /// Regression variant used.
+    pub regression: AdfRegression,
+}
+
+/// MacKinnon (2010) asymptotic critical values `[1 %, 5 %, 10 %]`.
+fn adf_critical_values(reg: AdfRegression) -> [f64; 3] {
+    match reg {
+        AdfRegression::None => [-2.565, -1.941, -1.617],
+        AdfRegression::Constant => [-3.430, -2.862, -2.567],
+        AdfRegression::ConstantTrend => [-3.958, -3.410, -3.127],
+    }
+}
+
+/// Augmented Dickey-Fuller test.
+///
+/// `lags = None` selects the lag order with the Schwert rule
+/// `⌊12·(n/100)^{1/4}⌋` truncated so the regression keeps enough degrees of
+/// freedom — the common automatic default.
+pub fn adf_test(
+    values: &[f64],
+    lags: Option<usize>,
+    regression: AdfRegression,
+) -> Result<AdfResult> {
+    let n = values.len();
+    if n < 12 {
+        return Err(SeriesError::TooShort { needed: 12, got: n });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(SeriesError::NonFinite);
+    }
+    let max_by_schwert = (12.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    let lags = lags
+        .unwrap_or(max_by_schwert)
+        .min(n.saturating_sub(8) / 2);
+
+    let dy = difference(values, 1);
+    // Rows t = lags .. dy.len(): regress dy[t] on y[t] (level at t, which is
+    // values index t because dy[t] = values[t+1] − values[t]), trend and
+    // lagged dy's.
+    let rows = dy.len() - lags;
+    if rows < 8 {
+        return Err(SeriesError::TooShort {
+            needed: lags + 9,
+            got: n,
+        });
+    }
+
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    // Column 0: lagged level y_{t−1}.
+    cols.push((lags..dy.len()).map(|t| values[t]).collect());
+    match regression {
+        AdfRegression::None => {}
+        AdfRegression::Constant => cols.push(vec![1.0; rows]),
+        AdfRegression::ConstantTrend => {
+            cols.push(vec![1.0; rows]);
+            cols.push((0..rows).map(|i| i as f64).collect());
+        }
+    }
+    for lag in 1..=lags {
+        cols.push((lags..dy.len()).map(|t| dy[t - lag]).collect());
+    }
+    let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    let x = design(&col_refs)?;
+    let y: Vec<f64> = (lags..dy.len()).map(|t| dy[t]).collect();
+    let fit = ols(&x, &y)?;
+    let statistic = fit.t_stat(0);
+    let critical = adf_critical_values(regression);
+    Ok(AdfResult {
+        statistic,
+        lags,
+        critical,
+        stationary: statistic < critical[1],
+        regression,
+    })
+}
+
+/// Result of a KPSS test (null hypothesis: *stationary*).
+#[derive(Debug, Clone)]
+pub struct KpssResult {
+    /// The KPSS LM statistic.
+    pub statistic: f64,
+    /// Critical values at 1 %, 5 % and 10 %.
+    pub critical: [f64; 3],
+    /// Whether stationarity is **rejected** at 5 % (statistic above the
+    /// critical value).
+    pub rejected: bool,
+    /// Whether the test detrended (level+trend) or just demeaned (level).
+    pub trend: bool,
+}
+
+/// KPSS test with the Newey-West long-run variance (Bartlett kernel,
+/// automatic `⌊4·(n/100)^{1/4}⌋` bandwidth).
+pub fn kpss_test(values: &[f64], trend: bool) -> Result<KpssResult> {
+    let n = values.len();
+    if n < 12 {
+        return Err(SeriesError::TooShort { needed: 12, got: n });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(SeriesError::NonFinite);
+    }
+    // Residuals from level or level+trend regression.
+    let ones = vec![1.0; n];
+    let residuals = if trend {
+        let tcol: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = design(&[&ones, &tcol])?;
+        ols(&x, values)?.residuals
+    } else {
+        let x = design(&[ones.as_slice()])?;
+        ols(&x, values)?.residuals
+    };
+    // Partial sums.
+    let mut s = 0.0;
+    let mut sum_s2 = 0.0;
+    for &r in &residuals {
+        s += r;
+        sum_s2 += s * s;
+    }
+    // Long-run variance.
+    let bandwidth = (4.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    let mut lrv: f64 = residuals.iter().map(|r| r * r).sum::<f64>() / n as f64;
+    for l in 1..=bandwidth {
+        let w = 1.0 - l as f64 / (bandwidth as f64 + 1.0);
+        let gamma: f64 = (l..n)
+            .map(|t| residuals[t] * residuals[t - l])
+            .sum::<f64>()
+            / n as f64;
+        lrv += 2.0 * w * gamma;
+    }
+    if lrv <= 0.0 {
+        lrv = f64::EPSILON;
+    }
+    let statistic = sum_s2 / (n as f64 * n as f64 * lrv);
+    let critical = if trend {
+        [0.216, 0.146, 0.119]
+    } else {
+        [0.739, 0.463, 0.347]
+    };
+    Ok(KpssResult {
+        statistic,
+        critical,
+        rejected: statistic > critical[1],
+        trend,
+    })
+}
+
+/// Choose the regular differencing order `d ∈ 0..=max_d` by repeated ADF
+/// testing: difference until the test calls the series stationary (the
+/// paper's "if the data does have trend … we can reduce the effects by
+/// differencing the data", and its note that `D` "usually should not be
+/// greater than 2").
+pub fn suggest_differencing(values: &[f64], max_d: usize) -> Result<usize> {
+    let mut current = values.to_vec();
+    for d in 0..=max_d {
+        match adf_test(&current, None, AdfRegression::Constant) {
+            Ok(res) if res.stationary => return Ok(d),
+            Ok(_) => {}
+            Err(SeriesError::TooShort { .. }) => return Ok(d),
+            Err(e) => return Err(e),
+        }
+        if d < max_d {
+            current = difference(&current, 1);
+        }
+    }
+    Ok(max_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn random_walk(n: usize, seed: u64) -> Vec<f64> {
+        let e = noise(n, seed);
+        let mut y = vec![0.0; n];
+        for t in 1..n {
+            y[t] = y[t - 1] + e[t];
+        }
+        y
+    }
+
+    #[test]
+    fn adf_calls_white_noise_stationary() {
+        let y = noise(500, 5);
+        let res = adf_test(&y, None, AdfRegression::Constant).unwrap();
+        assert!(res.stationary, "statistic = {}", res.statistic);
+    }
+
+    #[test]
+    fn adf_does_not_reject_unit_root_for_random_walk() {
+        let y = random_walk(500, 7);
+        let res = adf_test(&y, None, AdfRegression::Constant).unwrap();
+        assert!(!res.stationary, "statistic = {}", res.statistic);
+    }
+
+    #[test]
+    fn adf_stationary_ar1() {
+        let e = noise(800, 11);
+        let mut y = vec![0.0; 800];
+        for t in 1..800 {
+            y[t] = 0.5 * y[t - 1] + e[t];
+        }
+        let res = adf_test(&y, None, AdfRegression::Constant).unwrap();
+        assert!(res.stationary, "statistic = {}", res.statistic);
+    }
+
+    #[test]
+    fn adf_trend_variant_handles_trend_stationary_series() {
+        let e = noise(600, 13);
+        let y: Vec<f64> = e
+            .iter()
+            .enumerate()
+            .map(|(t, &n)| 0.05 * t as f64 + n)
+            .collect();
+        let res = adf_test(&y, None, AdfRegression::ConstantTrend).unwrap();
+        assert!(res.stationary, "statistic = {}", res.statistic);
+    }
+
+    #[test]
+    fn adf_rejects_short_input() {
+        assert!(adf_test(&[1.0; 5], None, AdfRegression::Constant).is_err());
+    }
+
+    #[test]
+    fn adf_respects_explicit_lags() {
+        let y = noise(200, 17);
+        let res = adf_test(&y, Some(3), AdfRegression::Constant).unwrap();
+        assert_eq!(res.lags, 3);
+    }
+
+    #[test]
+    fn kpss_accepts_stationary_noise() {
+        let y = noise(500, 19);
+        let res = kpss_test(&y, false).unwrap();
+        assert!(!res.rejected, "statistic = {}", res.statistic);
+    }
+
+    #[test]
+    fn kpss_rejects_random_walk() {
+        let y = random_walk(500, 23);
+        let res = kpss_test(&y, false).unwrap();
+        assert!(res.rejected, "statistic = {}", res.statistic);
+    }
+
+    #[test]
+    fn suggest_differencing_zero_for_stationary() {
+        let y = noise(400, 29);
+        assert_eq!(suggest_differencing(&y, 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn suggest_differencing_one_for_random_walk() {
+        let y = random_walk(400, 31);
+        assert_eq!(suggest_differencing(&y, 2).unwrap(), 1);
+    }
+
+    #[test]
+    fn suggest_differencing_capped() {
+        // Doubly integrated noise wants d = 2; with max_d = 1 we settle at 1.
+        let mut y = random_walk(400, 37);
+        let mut acc = 0.0;
+        for v in y.iter_mut() {
+            acc += *v;
+            *v = acc;
+        }
+        assert_eq!(suggest_differencing(&y, 1).unwrap(), 1);
+        assert_eq!(suggest_differencing(&y, 2).unwrap(), 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! The [`TimeSeries`] container: observed metric values at a fixed
+//! sampling frequency, anchored at an origin timestamp.
+//!
+//! The paper treats a series as `[x₁, …, xₙ]` "associated with the
+//! frequency of the monitoring, such as hourly, daily, weekly or monthly".
+//! Missing agent polls are represented as `NaN` until
+//! [`crate::interpolate`] fills them.
+
+use serde::{Deserialize, Serialize};
+
+/// Sampling frequency of a monitored metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Frequency {
+    /// One observation per 15 minutes — the agent's raw polling cadence.
+    QuarterHourly,
+    /// One observation per hour — the repository's aggregated cadence.
+    Hourly,
+    /// One observation per day.
+    Daily,
+    /// One observation per week.
+    Weekly,
+    /// One observation per month (30-day months for simulation purposes).
+    Monthly,
+}
+
+impl Frequency {
+    /// Seconds spanned by one observation interval.
+    pub fn seconds(self) -> u64 {
+        match self {
+            Frequency::QuarterHourly => 15 * 60,
+            Frequency::Hourly => 3_600,
+            Frequency::Daily => 86_400,
+            Frequency::Weekly => 7 * 86_400,
+            Frequency::Monthly => 30 * 86_400,
+        }
+    }
+
+    /// The natural period (observations per dominant cycle) for a frequency,
+    /// matching the paper's `F` parameter: "12 months, 24 hours".
+    pub fn natural_period(self) -> usize {
+        match self {
+            Frequency::QuarterHourly => 96, // one day of 15-min samples
+            Frequency::Hourly => 24,        // one day
+            Frequency::Daily => 7,          // one week
+            Frequency::Weekly => 52,        // one year
+            Frequency::Monthly => 12,       // one year
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Frequency::QuarterHourly => "15min",
+            Frequency::Hourly => "hourly",
+            Frequency::Daily => "daily",
+            Frequency::Weekly => "weekly",
+            Frequency::Monthly => "monthly",
+        }
+    }
+}
+
+/// A univariate time series: equally spaced observations of one metric.
+///
+/// ```
+/// use dwcp_series::{Frequency, TimeSeries};
+///
+/// let cpu = TimeSeries::new(vec![20.0, 35.0, 50.0, 35.0], Frequency::Hourly, 0);
+/// assert_eq!(cpu.len(), 4);
+/// assert_eq!(cpu.mean(), 35.0);
+/// assert_eq!(cpu.timestamp(2), 2 * 3600);
+/// let (train, test) = cpu.split_at(3);
+/// assert_eq!(test.values(), &[35.0]);
+/// assert_eq!(train.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+    frequency: Frequency,
+    /// Epoch-seconds timestamp of the first observation.
+    origin: u64,
+}
+
+impl TimeSeries {
+    /// Build a series from raw values.
+    pub fn new(values: Vec<f64>, frequency: Frequency, origin: u64) -> TimeSeries {
+        TimeSeries {
+            values,
+            frequency,
+            origin,
+        }
+    }
+
+    /// An empty series (useful as an accumulator).
+    pub fn empty(frequency: Frequency, origin: u64) -> TimeSeries {
+        Self::new(Vec::new(), frequency, origin)
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no observations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the observations.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the observations (used by interpolation).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consume the series, returning its observations.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Sampling frequency.
+    #[inline]
+    pub fn frequency(&self) -> Frequency {
+        self.frequency
+    }
+
+    /// Epoch-seconds timestamp of the first observation.
+    #[inline]
+    pub fn origin(&self) -> u64 {
+        self.origin
+    }
+
+    /// Timestamp of observation `i`.
+    pub fn timestamp(&self, i: usize) -> u64 {
+        self.origin + i as u64 * self.frequency.seconds()
+    }
+
+    /// Timestamp one step past the final observation — where a forecast
+    /// would begin.
+    pub fn next_timestamp(&self) -> u64 {
+        self.timestamp(self.len())
+    }
+
+    /// Append an observation.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// A new series holding observations `range` (shares frequency; the
+    /// origin shifts accordingly).
+    pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
+        TimeSeries {
+            values: self.values[start..end].to_vec(),
+            frequency: self.frequency,
+            origin: self.timestamp(start),
+        }
+    }
+
+    /// Split at `index`: `[0, index)` and `[index, len)`.
+    pub fn split_at(&self, index: usize) -> (TimeSeries, TimeSeries) {
+        (self.slice(0, index), self.slice(index, self.len()))
+    }
+
+    /// Keep only the trailing `n` observations (no-op if shorter).
+    pub fn tail(&self, n: usize) -> TimeSeries {
+        let start = self.len().saturating_sub(n);
+        self.slice(start, self.len())
+    }
+
+    /// Whether any observation is missing (NaN) or infinite.
+    pub fn has_gaps(&self) -> bool {
+        self.values.iter().any(|v| !v.is_finite())
+    }
+
+    /// Count of missing (non-finite) observations.
+    pub fn gap_count(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_finite()).count()
+    }
+
+    /// Arithmetic mean; NaN for an empty series.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        self.values.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Population variance; NaN for an empty series.
+    pub fn variance(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        let m = self.mean();
+        self.values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / self.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation; NaN for an empty series.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum observation; NaN for an empty series.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NAN, f64::max)
+    }
+
+    /// Aggregate `per` consecutive observations by their mean into a new
+    /// series at a coarser frequency. Trailing partial buckets are dropped,
+    /// matching the repository's hourly aggregation of 15-minute polls
+    /// ("aggregation then takes place over the hour between the four
+    /// captured metrics", §7.2). NaN samples inside a bucket are skipped;
+    /// an all-NaN bucket aggregates to NaN (a repository gap).
+    pub fn aggregate_mean(&self, per: usize, target: Frequency) -> TimeSeries {
+        assert!(per > 0, "aggregate_mean: per must be positive");
+        let buckets = self.len() / per;
+        let mut out = Vec::with_capacity(buckets);
+        for b in 0..buckets {
+            let chunk = &self.values[b * per..(b + 1) * per];
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for &v in chunk {
+                if v.is_finite() {
+                    sum += v;
+                    count += 1;
+                }
+            }
+            out.push(if count == 0 { f64::NAN } else { sum / count as f64 });
+        }
+        TimeSeries::new(out, target, self.origin)
+    }
+
+    /// Map every observation through `f`, keeping metadata.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            values: self.values.iter().map(|&v| f(v)).collect(),
+            frequency: self.frequency,
+            origin: self.origin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(values, Frequency::Hourly, 1_000_000)
+    }
+
+    #[test]
+    fn timestamps_advance_by_frequency() {
+        let s = ts(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.timestamp(0), 1_000_000);
+        assert_eq!(s.timestamp(2), 1_000_000 + 2 * 3600);
+        assert_eq!(s.next_timestamp(), 1_000_000 + 3 * 3600);
+    }
+
+    #[test]
+    fn slice_shifts_origin() {
+        let s = ts(vec![1.0, 2.0, 3.0, 4.0]);
+        let sub = s.slice(2, 4);
+        assert_eq!(sub.values(), &[3.0, 4.0]);
+        assert_eq!(sub.origin(), s.timestamp(2));
+    }
+
+    #[test]
+    fn split_at_partitions_exactly() {
+        let s = ts(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (a, b) = s.split_at(3);
+        assert_eq!(a.values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.values(), &[4.0, 5.0]);
+        assert_eq!(b.origin(), s.timestamp(3));
+    }
+
+    #[test]
+    fn tail_keeps_last_n() {
+        let s = ts(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.tail(2).values(), &[3.0, 4.0]);
+        assert_eq!(s.tail(10).values(), s.values());
+    }
+
+    #[test]
+    fn descriptive_statistics() {
+        let s = ts(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_series_statistics_are_nan() {
+        let s = TimeSeries::empty(Frequency::Hourly, 0);
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+    }
+
+    #[test]
+    fn gap_detection() {
+        let mut s = ts(vec![1.0, f64::NAN, 3.0]);
+        assert!(s.has_gaps());
+        assert_eq!(s.gap_count(), 1);
+        s.values_mut()[1] = 2.0;
+        assert!(!s.has_gaps());
+    }
+
+    #[test]
+    fn aggregate_mean_of_quarter_hours_to_hours() {
+        // Four 15-min samples per hour, exactly the agent → repository path.
+        let raw = TimeSeries::new(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+            Frequency::QuarterHourly,
+            0,
+        );
+        let hourly = raw.aggregate_mean(4, Frequency::Hourly);
+        assert_eq!(hourly.values(), &[2.5, 10.0]);
+        assert_eq!(hourly.frequency(), Frequency::Hourly);
+    }
+
+    #[test]
+    fn aggregate_mean_skips_nan_and_drops_partial_bucket() {
+        let raw = TimeSeries::new(
+            vec![1.0, f64::NAN, 3.0, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, 9.0],
+            Frequency::QuarterHourly,
+            0,
+        );
+        let hourly = raw.aggregate_mean(4, Frequency::Hourly);
+        assert_eq!(hourly.len(), 2); // trailing single sample dropped
+        assert_eq!(hourly.values()[0], 2.0); // mean of 1 and 3
+        assert!(hourly.values()[1].is_nan()); // all-NaN bucket stays a gap
+    }
+
+    #[test]
+    fn map_preserves_metadata() {
+        let s = ts(vec![1.0, 2.0]);
+        let doubled = s.map(|v| v * 2.0);
+        assert_eq!(doubled.values(), &[2.0, 4.0]);
+        assert_eq!(doubled.frequency(), s.frequency());
+        assert_eq!(doubled.origin(), s.origin());
+    }
+
+    #[test]
+    fn frequency_periods_match_paper() {
+        assert_eq!(Frequency::Hourly.natural_period(), 24);
+        assert_eq!(Frequency::Daily.natural_period(), 7);
+        assert_eq!(Frequency::Monthly.natural_period(), 12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = ts(vec![1.5, 2.5]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,196 @@
+//! The monitoring agent: polls every instance every 15 minutes.
+//!
+//! §5.1: "The Agent specifically executes commands on the hosts that
+//! retrieve the metric values from the database and polls these metrics at
+//! regular intervals. … It is possible that the agent may have been at
+//! fault and may not have executed or polled the value from the database
+//! target; this can happen in live environments due to maintenance cycles
+//! or faults." [`FaultPlan`] reproduces both failure modes: random drops
+//! and scheduled maintenance windows.
+
+use crate::cluster::Cluster;
+use crate::metrics::{Metric, MetricSample};
+use crate::rng::Noise;
+use crate::users::UserPopulation;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// The agent's polling cadence: every 15 minutes, as in the paper.
+pub const POLL_INTERVAL_SECONDS: u64 = 15 * 60;
+
+/// A maintenance window during which no polls happen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaintenanceWindow {
+    /// Window start, epoch seconds.
+    pub start: u64,
+    /// Window end (exclusive), epoch seconds.
+    pub end: u64,
+}
+
+/// Fault injection for the agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability that any individual poll is silently dropped.
+    pub drop_probability: f64,
+    /// Scheduled windows with no polling at all.
+    pub maintenance: Vec<MaintenanceWindow>,
+}
+
+impl FaultPlan {
+    /// A perfectly healthy agent.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            drop_probability: 0.0,
+            maintenance: vec![],
+        }
+    }
+
+    /// Whether time `t` falls inside a maintenance window.
+    pub fn in_maintenance(&self, t: u64) -> bool {
+        self.maintenance.iter().any(|w| t >= w.start && t < w.end)
+    }
+}
+
+/// The polling agent.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    /// Fault injection plan.
+    pub faults: FaultPlan,
+}
+
+impl Agent {
+    /// A healthy agent.
+    pub fn healthy() -> Agent {
+        Agent {
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// An agent with the given fault plan.
+    pub fn with_faults(faults: FaultPlan) -> Agent {
+        Agent { faults }
+    }
+
+    /// Poll every `(instance, metric)` pair of `cluster` from `start` for
+    /// `duration_seconds`, at the 15-minute cadence. Dropped polls are
+    /// simply absent from the output (the repository turns missing polls
+    /// into gaps).
+    pub fn collect(
+        &self,
+        cluster: &Cluster,
+        population: &UserPopulation,
+        start: u64,
+        duration_seconds: u64,
+        noise: &mut Noise,
+    ) -> Result<Vec<MetricSample>> {
+        let polls = duration_seconds / POLL_INTERVAL_SECONDS;
+        let mut out =
+            Vec::with_capacity(polls as usize * cluster.instances.len() * Metric::ALL.len());
+        for k in 0..polls {
+            let t = start + k * POLL_INTERVAL_SECONDS;
+            if self.faults.in_maintenance(t) {
+                continue;
+            }
+            for instance in &cluster.instances {
+                for &metric in &Metric::ALL {
+                    if self.faults.drop_probability > 0.0
+                        && noise.chance(self.faults.drop_probability)
+                    {
+                        continue;
+                    }
+                    let value = cluster.observe(&instance.name, metric, population, t, noise)?;
+                    out.push(MetricSample {
+                        instance: instance.name.clone(),
+                        metric,
+                        timestamp: t,
+                        value,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ResourceModel;
+
+    fn setup() -> (Cluster, UserPopulation) {
+        let model = ResourceModel {
+            cpu_per_session: 1.0,
+            cpu_baseline: 2.0,
+            memory_per_session_mb: 8.0,
+            memory_baseline_mb: 500.0,
+            iops_per_session: 1000.0,
+            iops_baseline: 200.0,
+            noise_cv: 0.01,
+            io_cost_growth_per_day: 0.0,
+        };
+        (
+            Cluster::two_node(model),
+            UserPopulation::steady(40.0, 12, 0.5),
+        )
+    }
+
+    #[test]
+    fn healthy_agent_polls_everything() {
+        let (cluster, pop) = setup();
+        let agent = Agent::healthy();
+        let mut noise = Noise::seeded(1);
+        let samples = agent
+            .collect(&cluster, &pop, 0, 3600 * 2, &mut noise)
+            .unwrap();
+        // 2 hours = 8 polls × 2 instances × 3 metrics.
+        assert_eq!(samples.len(), 8 * 2 * 3);
+    }
+
+    #[test]
+    fn poll_timestamps_are_quarter_hourly() {
+        let (cluster, pop) = setup();
+        let agent = Agent::healthy();
+        let mut noise = Noise::seeded(2);
+        let samples = agent.collect(&cluster, &pop, 0, 3600, &mut noise).unwrap();
+        for s in &samples {
+            assert_eq!(s.timestamp % POLL_INTERVAL_SECONDS, 0);
+        }
+    }
+
+    #[test]
+    fn drop_probability_loses_samples() {
+        let (cluster, pop) = setup();
+        let agent = Agent::with_faults(FaultPlan {
+            drop_probability: 0.3,
+            maintenance: vec![],
+        });
+        let mut noise = Noise::seeded(3);
+        let samples = agent
+            .collect(&cluster, &pop, 0, 86_400, &mut noise)
+            .unwrap();
+        let full = 96 * 2 * 3;
+        assert!(samples.len() < full);
+        assert!(samples.len() > full / 2);
+    }
+
+    #[test]
+    fn maintenance_window_blanks_polls() {
+        let (cluster, pop) = setup();
+        let agent = Agent::with_faults(FaultPlan {
+            drop_probability: 0.0,
+            maintenance: vec![MaintenanceWindow {
+                start: 3600,
+                end: 7200,
+            }],
+        });
+        let mut noise = Noise::seeded(4);
+        let samples = agent
+            .collect(&cluster, &pop, 0, 3 * 3600, &mut noise)
+            .unwrap();
+        assert!(samples
+            .iter()
+            .all(|s| s.timestamp < 3600 || s.timestamp >= 7200));
+        // One of three hours lost.
+        assert_eq!(samples.len(), 8 * 2 * 3);
+    }
+}

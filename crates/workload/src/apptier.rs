@@ -1,0 +1,263 @@
+//! Application-tier and storage-tier signals (§8).
+//!
+//! The paper's practice section applies the same forecasting machinery
+//! well beyond the database instance: "Groups of *clicks* that make up a
+//! transaction in a web application", WebLogic-style application
+//! containers, and "network layers of storage, such as Network Attached
+//! Storage and SAN Volume Controllers". The claim being exercised: "the
+//! technique should be architecture independent such that it should work
+//! for time series data regardless of architecture or metric."
+//!
+//! This module models those layers on top of the same user population:
+//! click-group throughput, transaction response time (which *rises* with
+//! load — a qualitatively different, latency-shaped series), app-container
+//! heap usage with periodic GC sawtooth, and SAN throughput that mirrors
+//! database IO plus backup traffic.
+
+use crate::metrics::MetricSample;
+use crate::rng::Noise;
+use crate::shock::Shock;
+use crate::users::UserPopulation;
+use serde::{Deserialize, Serialize};
+
+/// A metric emitted by the non-database tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppMetric {
+    /// Completed click-group transactions per second on the web tier.
+    ClickGroupsPerSecond,
+    /// Mean transaction response time, milliseconds (OATS-style probe).
+    ResponseTimeMs,
+    /// Application-container heap in use, MB (GC sawtooth).
+    ContainerHeapMb,
+    /// SAN volume-controller throughput, MB/s.
+    SanThroughputMbps,
+}
+
+impl AppMetric {
+    /// All app-tier metrics.
+    pub const ALL: [AppMetric; 4] = [
+        AppMetric::ClickGroupsPerSecond,
+        AppMetric::ResponseTimeMs,
+        AppMetric::ContainerHeapMb,
+        AppMetric::SanThroughputMbps,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppMetric::ClickGroupsPerSecond => "Click groups/s",
+            AppMetric::ResponseTimeMs => "Response time (ms)",
+            AppMetric::ContainerHeapMb => "Container heap (MB)",
+            AppMetric::SanThroughputMbps => "SAN throughput (MB/s)",
+        }
+    }
+}
+
+impl std::fmt::Display for AppMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The application tier: web/app servers in front of the database,
+/// plus the storage network beneath it.
+#[derive(Debug, Clone)]
+pub struct ApplicationTier {
+    /// Click-group transactions per active session per second.
+    pub clicks_per_session: f64,
+    /// Base response time with an idle backend, ms.
+    pub base_response_ms: f64,
+    /// Sessions at which response time has doubled (soft saturation knee).
+    pub saturation_sessions: f64,
+    /// Container heap floor, MB.
+    pub heap_floor_mb: f64,
+    /// Heap growth per active session, MB.
+    pub heap_per_session_mb: f64,
+    /// Heap ceiling that triggers the GC sawtooth, MB.
+    pub heap_gc_ceiling_mb: f64,
+    /// SAN MB/s per active session.
+    pub san_mbps_per_session: f64,
+    /// Additional SAN MB/s while any backup shock is active.
+    pub san_backup_mbps: f64,
+    /// Observation noise (coefficient of variation).
+    pub noise_cv: f64,
+    /// Backups and other shocks visible from the storage network.
+    pub shocks: Vec<Shock>,
+}
+
+impl ApplicationTier {
+    /// A tier sized for the paper's scenarios.
+    pub fn standard() -> ApplicationTier {
+        ApplicationTier {
+            clicks_per_session: 0.4,
+            base_response_ms: 120.0,
+            saturation_sessions: 4_000.0,
+            heap_floor_mb: 512.0,
+            heap_per_session_mb: 0.35,
+            heap_gc_ceiling_mb: 3_072.0,
+            san_mbps_per_session: 0.08,
+            san_backup_mbps: 450.0,
+            noise_cv: 0.03,
+            shocks: vec![],
+        }
+    }
+
+    /// Attach a shock whose IO is visible on the SAN.
+    pub fn with_shock(mut self, shock: Shock) -> ApplicationTier {
+        self.shocks.push(shock);
+        self
+    }
+
+    /// Whether any attached shock is active anywhere in the estate at `t`.
+    fn backup_active(&self, t: u64) -> bool {
+        self.shocks.iter().any(|s| s.schedule.active_at(t))
+    }
+
+    /// Noise-free expected value of `metric` at time `t` under `population`.
+    pub fn true_value(&self, metric: AppMetric, population: &UserPopulation, t: u64) -> f64 {
+        let sessions = population.active_sessions(t);
+        match metric {
+            AppMetric::ClickGroupsPerSecond => self.clicks_per_session * sessions,
+            AppMetric::ResponseTimeMs => {
+                // Latency rises hyperbolically toward saturation — the
+                // shape the OATS-style slowdown probe watches. Clamped at
+                // 50× base so a saturated tier reports a finite (terrible)
+                // number rather than infinity.
+                let utilisation = (sessions / self.saturation_sessions).min(0.98);
+                let factor = 1.0 / (1.0 - utilisation);
+                self.base_response_ms * factor.min(50.0)
+            }
+            AppMetric::ContainerHeapMb => {
+                // Linear occupancy folded through the GC ceiling: a
+                // sawtooth in heap space, the classic container signature.
+                let demand = self.heap_floor_mb + self.heap_per_session_mb * sessions;
+                let span = (self.heap_gc_ceiling_mb - self.heap_floor_mb).max(1.0);
+                self.heap_floor_mb + (demand - self.heap_floor_mb) % span
+            }
+            AppMetric::SanThroughputMbps => {
+                let mut v = self.san_mbps_per_session * sessions;
+                if self.backup_active(t) {
+                    v += self.san_backup_mbps;
+                }
+                v
+            }
+        }
+    }
+
+    /// A noisy observation.
+    pub fn observe(
+        &self,
+        metric: AppMetric,
+        population: &UserPopulation,
+        t: u64,
+        noise: &mut Noise,
+    ) -> f64 {
+        let v = self.true_value(metric, population, t);
+        noise.normal(v, v.abs() * self.noise_cv).max(0.0)
+    }
+
+    /// Poll every app-tier metric at the agent cadence over a window,
+    /// mirroring [`crate::agent::Agent::collect`]. Samples are tagged with
+    /// the pseudo-instance name `apptier`.
+    pub fn collect(
+        &self,
+        population: &UserPopulation,
+        start: u64,
+        duration_seconds: u64,
+        noise: &mut Noise,
+    ) -> Vec<MetricSample> {
+        let step = crate::agent::POLL_INTERVAL_SECONDS;
+        let polls = duration_seconds / step;
+        let mut out = Vec::with_capacity(polls as usize * AppMetric::ALL.len());
+        for k in 0..polls {
+            let t = start + k * step;
+            for &metric in &AppMetric::ALL {
+                out.push(MetricSample {
+                    instance: format!("apptier/{}", metric.label()),
+                    metric: crate::metrics::Metric::CpuPercent, // carrier slot
+                    timestamp: t,
+                    value: self.observe(metric, population, t, noise),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shock::BackupSchedule;
+
+    fn pop(users: f64) -> UserPopulation {
+        UserPopulation::steady(users, 12, 0.0)
+    }
+
+    #[test]
+    fn click_rate_scales_linearly_with_sessions() {
+        let tier = ApplicationTier::standard();
+        let a = tier.true_value(AppMetric::ClickGroupsPerSecond, &pop(100.0), 0);
+        let b = tier.true_value(AppMetric::ClickGroupsPerSecond, &pop(200.0), 0);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_time_rises_nonlinearly_toward_saturation() {
+        let tier = ApplicationTier::standard();
+        let low = tier.true_value(AppMetric::ResponseTimeMs, &pop(400.0), 0);
+        let mid = tier.true_value(AppMetric::ResponseTimeMs, &pop(2_000.0), 0);
+        let high = tier.true_value(AppMetric::ResponseTimeMs, &pop(3_800.0), 0);
+        assert!(mid > low);
+        assert!(high > mid);
+        // Non-linear: the second 1800-session step costs much more latency.
+        assert!(high - mid > (mid - low) * 2.0);
+        // And stays finite even past saturation.
+        let insane = tier.true_value(AppMetric::ResponseTimeMs, &pop(1e9), 0);
+        assert!(insane.is_finite());
+    }
+
+    #[test]
+    fn heap_sawtooth_wraps_at_the_gc_ceiling() {
+        let tier = ApplicationTier::standard();
+        let just_below =
+            tier.true_value(AppMetric::ContainerHeapMb, &pop(7_000.0), 0);
+        let wrapped = tier.true_value(AppMetric::ContainerHeapMb, &pop(7_500.0), 0);
+        assert!(just_below <= tier.heap_gc_ceiling_mb);
+        assert!(wrapped >= tier.heap_floor_mb);
+        assert!(wrapped < just_below, "{wrapped} vs {just_below}");
+    }
+
+    #[test]
+    fn san_sees_the_backup() {
+        let tier = ApplicationTier::standard()
+            .with_shock(Shock::backup("cdbm011", BackupSchedule::nightly_midnight(30)));
+        let during = tier.true_value(AppMetric::SanThroughputMbps, &pop(500.0), 0);
+        let outside =
+            tier.true_value(AppMetric::SanThroughputMbps, &pop(500.0), 12 * 3600);
+        assert!((during - outside - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collect_polls_all_metrics_at_cadence() {
+        let tier = ApplicationTier::standard();
+        let mut noise = Noise::seeded(3);
+        let samples = tier.collect(&pop(100.0), 0, 2 * 3600, &mut noise);
+        assert_eq!(samples.len(), 8 * 4); // 8 polls × 4 metrics
+        assert!(samples.iter().all(|s| s.value >= 0.0));
+    }
+
+    #[test]
+    fn app_series_is_forecastable_by_the_same_pipeline_inputs() {
+        // The architecture-independence claim in miniature: a response-time
+        // series from the app tier exhibits the same structures (daily
+        // cycle) the planner consumes.
+        let tier = ApplicationTier::standard();
+        let population = UserPopulation::steady(2_500.0, 14, 0.6);
+        let mut noise = Noise::seeded(7);
+        let values: Vec<f64> = (0..24 * 30)
+            .map(|h| tier.observe(AppMetric::ResponseTimeMs, &population, h * 3600, &mut noise))
+            .collect();
+        let report = dwcp_series::detect_seasonality(&values, 200).unwrap();
+        assert_eq!(report.primary(), Some(24), "{:?}", report.seasons);
+    }
+}

@@ -1,0 +1,363 @@
+//! The clustered database and its resource model.
+//!
+//! Figure 5: "workloads are executed on an Oracle clustered database … The
+//! load is shared between the nodes of the clustered database to keep an
+//! even balance of activity." The two experiment instances are `cdbm011`
+//! and `cdbm012`.
+//!
+//! The [`ResourceModel`] translates active sessions into metric values per
+//! instance: CPU saturates toward a capacity ceiling, memory follows
+//! connections plus a cache component, logical IOPS scale with transaction
+//! throughput. The numbers are tuned so OLAP traces peak near the paper's
+//! quoted "2.3 million logical IOPS per hour throughput at the workload's
+//! peak".
+
+use crate::metrics::Metric;
+use crate::rng::Noise;
+use crate::shock::Shock;
+use crate::users::UserPopulation;
+use crate::{Result, WorkloadError};
+use serde::{Deserialize, Serialize};
+
+/// One database instance of the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Instance name, e.g. `cdbm011`.
+    pub name: String,
+}
+
+/// Converts per-instance session counts into resource metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    /// CPU percentage points consumed per active session (pre-saturation).
+    pub cpu_per_session: f64,
+    /// Baseline CPU of an idle instance (background processes), percent.
+    pub cpu_baseline: f64,
+    /// Memory per connected session, MB.
+    pub memory_per_session_mb: f64,
+    /// Baseline memory (SGA), MB.
+    pub memory_baseline_mb: f64,
+    /// Logical IOPS per active session.
+    pub iops_per_session: f64,
+    /// Baseline IOPS (background housekeeping).
+    pub iops_baseline: f64,
+    /// Multiplicative observation noise (coefficient of variation).
+    pub noise_cv: f64,
+    /// Growth of per-session IO cost per elapsed day, fraction (the OLAP
+    /// dataset "grew by several GB per hour", lengthening scans).
+    pub io_cost_growth_per_day: f64,
+}
+
+impl ResourceModel {
+    /// Noise-free expected value of `metric` given `sessions` active
+    /// sessions on one instance at day offset `days`.
+    pub fn expected(&self, metric: Metric, sessions: f64, days: f64) -> f64 {
+        match metric {
+            Metric::CpuPercent => {
+                // Soft saturation toward 100 %: utilisation follows an
+                // exponential approach, the standard M/M/1-flavoured shape.
+                let demand = self.cpu_baseline + self.cpu_per_session * sessions;
+                100.0 * (1.0 - (-demand / 100.0).exp()).min(1.0)
+            }
+            Metric::MemoryMb => {
+                self.memory_baseline_mb + self.memory_per_session_mb * sessions
+            }
+            Metric::LogicalIops => {
+                let growth = 1.0 + self.io_cost_growth_per_day * days;
+                self.iops_baseline + self.iops_per_session * sessions * growth
+            }
+        }
+    }
+}
+
+/// The clustered database: instances, an even-split load balancer, a
+/// resource model and the shocks scheduled against it.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The member instances.
+    pub instances: Vec<Instance>,
+    /// The shared resource model.
+    pub resource_model: ResourceModel,
+    /// Scheduled shocks (backups etc.).
+    pub shocks: Vec<Shock>,
+}
+
+impl Cluster {
+    /// Build a cluster with the given instance names.
+    pub fn new(names: &[&str], resource_model: ResourceModel) -> Cluster {
+        Cluster {
+            instances: names
+                .iter()
+                .map(|n| Instance {
+                    name: n.to_string(),
+                })
+                .collect(),
+            resource_model,
+            shocks: vec![],
+        }
+    }
+
+    /// The paper's two-node cluster.
+    pub fn two_node(resource_model: ResourceModel) -> Cluster {
+        Cluster::new(&["cdbm011", "cdbm012"], resource_model)
+    }
+
+    /// Attach a shock.
+    pub fn with_shock(mut self, shock: Shock) -> Cluster {
+        self.shocks.push(shock);
+        self
+    }
+
+    /// Index of an instance by name.
+    pub fn instance_index(&self, name: &str) -> Result<usize> {
+        self.instances
+            .iter()
+            .position(|i| i.name == name)
+            .ok_or_else(|| WorkloadError::NotFound {
+                context: format!("instance {name}"),
+            })
+    }
+
+    /// Whether `instance` is down at time `t` (an active failover shock).
+    pub fn is_down(&self, instance: &str, t: u64) -> bool {
+        self.shocks.iter().any(|s| {
+            s.kind == crate::shock::ShockKind::Failover
+                && s.instance == instance
+                && s.schedule.active_at(t)
+        })
+    }
+
+    /// Sessions routed to each instance at time `t`: even balancing across
+    /// the *surviving* instances — during a failover the peers absorb the
+    /// failed node's share (§4.2's "periodically fails over" behaviour).
+    pub fn balanced_sessions(&self, population: &UserPopulation, t: u64) -> Vec<f64> {
+        let total = population.active_sessions(t);
+        let up: Vec<bool> = self
+            .instances
+            .iter()
+            .map(|i| !self.is_down(&i.name, t))
+            .collect();
+        let n_up = up.iter().filter(|&&u| u).count();
+        if n_up == 0 {
+            // Whole-cluster outage: nobody serves anything.
+            return vec![0.0; self.instances.len()];
+        }
+        let share = total / n_up as f64;
+        up.iter()
+            .map(|&u| if u { share } else { 0.0 })
+            .collect()
+    }
+
+    /// The true (noise-free) value of `metric` on `instance` at time `t`.
+    pub fn true_value(
+        &self,
+        instance: &str,
+        metric: Metric,
+        population: &UserPopulation,
+        t: u64,
+    ) -> Result<f64> {
+        let idx = self.instance_index(instance)?;
+        let sessions = self.balanced_sessions(population, t)[idx];
+        let days = t as f64 / 86_400.0;
+        let mut v = self.resource_model.expected(metric, sessions, days);
+        for shock in &self.shocks {
+            v += shock.load_at(instance, metric, t);
+        }
+        if metric == Metric::CpuPercent {
+            v = v.min(100.0);
+        }
+        Ok(v)
+    }
+
+    /// A noisy observation of `metric` on `instance` at time `t`.
+    pub fn observe(
+        &self,
+        instance: &str,
+        metric: Metric,
+        population: &UserPopulation,
+        t: u64,
+        noise: &mut Noise,
+    ) -> Result<f64> {
+        let v = self.true_value(instance, metric, population, t)?;
+        let sd = v.abs() * self.resource_model.noise_cv;
+        let observed = noise.normal(v, sd);
+        Ok(match metric {
+            Metric::CpuPercent => observed.clamp(0.0, 100.0),
+            _ => observed.max(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shock::BackupSchedule;
+
+    fn model() -> ResourceModel {
+        ResourceModel {
+            cpu_per_session: 1.0,
+            cpu_baseline: 2.0,
+            memory_per_session_mb: 8.0,
+            memory_baseline_mb: 500.0,
+            iops_per_session: 1000.0,
+            iops_baseline: 200.0,
+            noise_cv: 0.02,
+            io_cost_growth_per_day: 0.0,
+        }
+    }
+
+    #[test]
+    fn cpu_saturates_below_100() {
+        let m = model();
+        let low = m.expected(Metric::CpuPercent, 10.0, 0.0);
+        let high = m.expected(Metric::CpuPercent, 1000.0, 0.0);
+        assert!(low < high);
+        assert!(high <= 100.0);
+        assert!(m.expected(Metric::CpuPercent, 1e9, 0.0) <= 100.0);
+    }
+
+    #[test]
+    fn memory_is_linear_in_sessions() {
+        let m = model();
+        let a = m.expected(Metric::MemoryMb, 10.0, 0.0);
+        let b = m.expected(Metric::MemoryMb, 20.0, 0.0);
+        assert!((b - a - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_growth_raises_iops_over_days() {
+        let m = ResourceModel {
+            io_cost_growth_per_day: 0.05,
+            ..model()
+        };
+        let day0 = m.expected(Metric::LogicalIops, 40.0, 0.0);
+        let day30 = m.expected(Metric::LogicalIops, 40.0, 30.0);
+        assert!(day30 > day0 * 1.5);
+    }
+
+    #[test]
+    fn load_balancer_splits_evenly() {
+        let cluster = Cluster::two_node(model());
+        let pop = UserPopulation::steady(40.0, 12, 0.0);
+        let split = cluster.balanced_sessions(&pop, 12 * 3600);
+        assert_eq!(split.len(), 2);
+        assert!((split[0] - 20.0).abs() < 1e-9);
+        assert_eq!(split[0], split[1]);
+    }
+
+    #[test]
+    fn conservation_instances_sum_to_cluster_load() {
+        let cluster = Cluster::two_node(model());
+        let pop = UserPopulation::steady(100.0, 12, 0.4);
+        for h in 0..24 {
+            let t = h * 3600;
+            let split = cluster.balanced_sessions(&pop, t);
+            let sum: f64 = split.iter().sum();
+            assert!((sum - pop.active_sessions(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shock_raises_only_its_node() {
+        let cluster = Cluster::two_node(model()).with_shock(Shock {
+            iops_add: 50_000.0,
+            ..Shock::backup("cdbm011", BackupSchedule::nightly_midnight(30))
+        });
+        let pop = UserPopulation::steady(40.0, 12, 0.0);
+        let node1 = cluster
+            .true_value("cdbm011", Metric::LogicalIops, &pop, 0)
+            .unwrap();
+        let node2 = cluster
+            .true_value("cdbm012", Metric::LogicalIops, &pop, 0)
+            .unwrap();
+        assert!(node1 - node2 > 40_000.0);
+        // Outside the backup window the nodes match.
+        let n1 = cluster
+            .true_value("cdbm011", Metric::LogicalIops, &pop, 12 * 3600)
+            .unwrap();
+        let n2 = cluster
+            .true_value("cdbm012", Metric::LogicalIops, &pop, 12 * 3600)
+            .unwrap();
+        assert!((n1 - n2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failover_reroutes_load_to_the_survivor() {
+        use crate::shock::{Shock, ShockKind};
+        let cluster = Cluster::two_node(model()).with_shock(Shock::failover(
+            "cdbm011",
+            BackupSchedule {
+                interval_hours: 24,
+                offset_hours: 3,
+                duration_minutes: 60,
+            },
+        ));
+        let pop = UserPopulation::steady(40.0, 12, 0.0);
+        // During the failover window node 1 serves nothing, node 2 all.
+        let t_down = 3 * 3600 + 600;
+        assert!(cluster.is_down("cdbm011", t_down));
+        let split = cluster.balanced_sessions(&pop, t_down);
+        assert_eq!(split[0], 0.0);
+        assert!((split[1] - 40.0).abs() < 1e-9);
+        // Conservation still holds.
+        assert!((split.iter().sum::<f64>() - 40.0).abs() < 1e-9);
+        // Metrics: node 1 at baseline, node 2 elevated vs normal operation.
+        let n1 = cluster
+            .true_value("cdbm011", Metric::LogicalIops, &pop, t_down)
+            .unwrap();
+        let n2 = cluster
+            .true_value("cdbm012", Metric::LogicalIops, &pop, t_down)
+            .unwrap();
+        assert!((n1 - 200.0).abs() < 1e-9); // iops_baseline only
+        assert!(n2 > 39_000.0);
+        // Outside the window: even split again.
+        let split_ok = cluster.balanced_sessions(&pop, 12 * 3600);
+        assert_eq!(split_ok[0], split_ok[1]);
+        // Failover adds no load of its own.
+        let s = Shock::failover("cdbm011", BackupSchedule::nightly_midnight(60));
+        assert_eq!(s.kind, ShockKind::Failover);
+        assert_eq!(s.load_at("cdbm011", Metric::CpuPercent, 0), 0.0);
+    }
+
+    #[test]
+    fn whole_cluster_outage_serves_nothing() {
+        use crate::shock::Shock;
+        let schedule = BackupSchedule::nightly_midnight(60);
+        let cluster = Cluster::two_node(model())
+            .with_shock(Shock::failover("cdbm011", schedule))
+            .with_shock(Shock::failover("cdbm012", schedule));
+        let pop = UserPopulation::steady(40.0, 12, 0.0);
+        let split = cluster.balanced_sessions(&pop, 100);
+        assert_eq!(split, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn unknown_instance_is_an_error() {
+        let cluster = Cluster::two_node(model());
+        let pop = UserPopulation::steady(40.0, 12, 0.0);
+        assert!(cluster
+            .true_value("nope", Metric::CpuPercent, &pop, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn observation_noise_is_proportional_and_clamped() {
+        let cluster = Cluster::two_node(model());
+        let pop = UserPopulation::steady(40.0, 12, 0.0);
+        let mut noise = Noise::seeded(5);
+        let mut values = Vec::new();
+        for _ in 0..200 {
+            values.push(
+                cluster
+                    .observe("cdbm011", Metric::CpuPercent, &pop, 12 * 3600, &mut noise)
+                    .unwrap(),
+            );
+        }
+        let truth = cluster
+            .true_value("cdbm011", Metric::CpuPercent, &pop, 12 * 3600)
+            .unwrap();
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        assert!((mean - truth).abs() / truth < 0.02);
+        assert!(values.iter().all(|&v| (0.0..=100.0).contains(&v)));
+    }
+}

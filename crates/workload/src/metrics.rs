@@ -1,0 +1,91 @@
+//! The metric taxonomy and raw agent samples.
+//!
+//! §5.1: "Our approach was to … capture key metrics (CPU, IOPS and Memory)
+//! that are applicable to monitoring and capacity planning via an agent."
+
+use serde::{Deserialize, Serialize};
+
+/// A monitored database metric.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Metric {
+    /// Host CPU consumed by the database instance, percent (0–100).
+    CpuPercent,
+    /// Memory consumed by the instance (SGA/PGA), megabytes.
+    MemoryMb,
+    /// Logical I/O operations per second.
+    LogicalIops,
+}
+
+impl Metric {
+    /// All metrics, in the order the paper's tables list them.
+    pub const ALL: [Metric; 3] = [Metric::CpuPercent, Metric::MemoryMb, Metric::LogicalIops];
+
+    /// Human-readable label matching the paper's table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::CpuPercent => "CPU",
+            Metric::MemoryMb => "Memory",
+            Metric::LogicalIops => "Logical IOPS",
+        }
+    }
+
+    /// The unit the metric is reported in.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Metric::CpuPercent => "%",
+            Metric::MemoryMb => "MB",
+            Metric::LogicalIops => "ops/s",
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One raw sample polled by the agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Instance the value was read from (e.g. `cdbm011`).
+    pub instance: String,
+    /// Which metric.
+    pub metric: Metric,
+    /// Epoch-seconds timestamp of the poll.
+    pub timestamp: u64,
+    /// The observed value.
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(Metric::CpuPercent.label(), "CPU");
+        assert_eq!(Metric::MemoryMb.label(), "Memory");
+        assert_eq!(Metric::LogicalIops.label(), "Logical IOPS");
+    }
+
+    #[test]
+    fn all_covers_every_variant() {
+        assert_eq!(Metric::ALL.len(), 3);
+    }
+
+    #[test]
+    fn sample_serde_roundtrip() {
+        let s = MetricSample {
+            instance: "cdbm011".to_string(),
+            metric: Metric::LogicalIops,
+            timestamp: 1_700_000_000,
+            value: 2_300_000.0,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MetricSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

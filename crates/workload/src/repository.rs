@@ -1,0 +1,249 @@
+//! The central repository: stores raw samples, serves hourly aggregates.
+//!
+//! §5.1: "The values from the metrics are then stored, centrally, in a
+//! repository where they are aggregated into hourly values." Hours in which
+//! every poll was lost become NaN gaps, which the pipeline later closes by
+//! linear interpolation (§5.1 again) — the repository deliberately does
+//! *not* interpolate, preserving the paper's division of labour.
+
+use crate::metrics::{Metric, MetricSample};
+use crate::{Result, WorkloadError};
+use dwcp_series::{Frequency, TimeSeries};
+use std::collections::BTreeMap;
+
+/// The central metric repository.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    /// Raw samples keyed by (instance, metric), each an ordered map from
+    /// timestamp to value.
+    store: BTreeMap<(String, Metric), BTreeMap<u64, f64>>,
+}
+
+impl Repository {
+    /// An empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    /// Ingest a batch of agent samples.
+    pub fn ingest(&mut self, samples: Vec<MetricSample>) {
+        for s in samples {
+            self.store
+                .entry((s.instance, s.metric))
+                .or_default()
+                .insert(s.timestamp, s.value);
+        }
+    }
+
+    /// Instance names present, sorted.
+    pub fn instances(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .store
+            .keys()
+            .map(|(i, _)| i.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of raw samples stored for a key.
+    pub fn sample_count(&self, instance: &str, metric: Metric) -> usize {
+        self.store
+            .get(&(instance.to_string(), metric))
+            .map_or(0, |m| m.len())
+    }
+
+    /// The hourly aggregated series for `(instance, metric)` covering
+    /// `[start, start + hours)`. Hours without any sample are NaN gaps.
+    pub fn hourly_series(
+        &self,
+        instance: &str,
+        metric: Metric,
+        start: u64,
+        hours: usize,
+    ) -> Result<TimeSeries> {
+        let samples = self
+            .store
+            .get(&(instance.to_string(), metric))
+            .ok_or_else(|| WorkloadError::NotFound {
+                context: format!("no samples for {instance}/{metric}"),
+            })?;
+        let mut values = Vec::with_capacity(hours);
+        for h in 0..hours {
+            let w0 = start + h as u64 * 3600;
+            let w1 = w0 + 3600;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for (_, &v) in samples.range(w0..w1) {
+                sum += v;
+                count += 1;
+            }
+            values.push(if count == 0 {
+                f64::NAN
+            } else {
+                sum / count as f64
+            });
+        }
+        Ok(TimeSeries::new(values, Frequency::Hourly, start))
+    }
+
+    /// Daily aggregated series: the hourly series further averaged over
+    /// 24-hour buckets (the Table 1 daily protocol's input). Days with a
+    /// few missing hours still aggregate; fully missing days stay gaps.
+    pub fn daily_series(
+        &self,
+        instance: &str,
+        metric: Metric,
+        start: u64,
+        days: usize,
+    ) -> Result<TimeSeries> {
+        let hourly = self.hourly_series(instance, metric, start, days * 24)?;
+        Ok(hourly.aggregate_mean(24, Frequency::Daily))
+    }
+
+    /// Weekly aggregated series (the Table 1 weekly protocol's input).
+    pub fn weekly_series(
+        &self,
+        instance: &str,
+        metric: Metric,
+        start: u64,
+        weeks: usize,
+    ) -> Result<TimeSeries> {
+        let hourly = self.hourly_series(instance, metric, start, weeks * 168)?;
+        Ok(hourly.aggregate_mean(168, Frequency::Weekly))
+    }
+
+    /// Hourly series for every metric of one instance.
+    pub fn hourly_all_metrics(
+        &self,
+        instance: &str,
+        start: u64,
+        hours: usize,
+    ) -> Result<Vec<(Metric, TimeSeries)>> {
+        Metric::ALL
+            .iter()
+            .map(|&m| Ok((m, self.hourly_series(instance, m, start, hours)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(instance: &str, metric: Metric, t: u64, v: f64) -> MetricSample {
+        MetricSample {
+            instance: instance.to_string(),
+            metric,
+            timestamp: t,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn hourly_aggregation_means_the_polls() {
+        let mut repo = Repository::new();
+        repo.ingest(vec![
+            sample("a", Metric::CpuPercent, 0, 10.0),
+            sample("a", Metric::CpuPercent, 900, 20.0),
+            sample("a", Metric::CpuPercent, 1800, 30.0),
+            sample("a", Metric::CpuPercent, 2700, 40.0),
+            sample("a", Metric::CpuPercent, 3600, 100.0),
+        ]);
+        let s = repo.hourly_series("a", Metric::CpuPercent, 0, 2).unwrap();
+        assert_eq!(s.values()[0], 25.0);
+        assert_eq!(s.values()[1], 100.0);
+    }
+
+    #[test]
+    fn missing_hours_are_nan_gaps() {
+        let mut repo = Repository::new();
+        repo.ingest(vec![
+            sample("a", Metric::MemoryMb, 0, 1.0),
+            sample("a", Metric::MemoryMb, 2 * 3600, 3.0),
+        ]);
+        let s = repo.hourly_series("a", Metric::MemoryMb, 0, 3).unwrap();
+        assert_eq!(s.values()[0], 1.0);
+        assert!(s.values()[1].is_nan());
+        assert_eq!(s.values()[2], 3.0);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let repo = Repository::new();
+        assert!(repo.hourly_series("a", Metric::CpuPercent, 0, 1).is_err());
+    }
+
+    #[test]
+    fn instances_are_sorted_and_deduped() {
+        let mut repo = Repository::new();
+        repo.ingest(vec![
+            sample("b", Metric::CpuPercent, 0, 1.0),
+            sample("a", Metric::CpuPercent, 0, 1.0),
+            sample("a", Metric::MemoryMb, 0, 1.0),
+        ]);
+        assert_eq!(repo.instances(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_timestamps_keep_latest() {
+        let mut repo = Repository::new();
+        repo.ingest(vec![
+            sample("a", Metric::CpuPercent, 0, 10.0),
+            sample("a", Metric::CpuPercent, 0, 50.0),
+        ]);
+        assert_eq!(repo.sample_count("a", Metric::CpuPercent), 1);
+        let s = repo.hourly_series("a", Metric::CpuPercent, 0, 1).unwrap();
+        assert_eq!(s.values()[0], 50.0);
+    }
+
+    #[test]
+    fn daily_series_averages_24_hours() {
+        let mut repo = Repository::new();
+        // Two days of hourly single samples: day 0 all 10s, day 1 all 30s.
+        for h in 0..48u64 {
+            let v = if h < 24 { 10.0 } else { 30.0 };
+            repo.ingest(vec![sample("a", Metric::CpuPercent, h * 3600, v)]);
+        }
+        let daily = repo.daily_series("a", Metric::CpuPercent, 0, 2).unwrap();
+        assert_eq!(daily.len(), 2);
+        assert_eq!(daily.values(), &[10.0, 30.0]);
+        assert_eq!(daily.frequency(), Frequency::Daily);
+    }
+
+    #[test]
+    fn weekly_series_averages_168_hours() {
+        let mut repo = Repository::new();
+        for h in 0..336u64 {
+            let v = if h < 168 { 5.0 } else { 15.0 };
+            repo.ingest(vec![sample("a", Metric::MemoryMb, h * 3600, v)]);
+        }
+        let weekly = repo.weekly_series("a", Metric::MemoryMb, 0, 2).unwrap();
+        assert_eq!(weekly.values(), &[5.0, 15.0]);
+        assert_eq!(weekly.frequency(), Frequency::Weekly);
+    }
+
+    #[test]
+    fn partially_missing_day_still_aggregates() {
+        let mut repo = Repository::new();
+        // Only hours 0..12 of one day have data.
+        for h in 0..12u64 {
+            repo.ingest(vec![sample("a", Metric::CpuPercent, h * 3600, 20.0)]);
+        }
+        let daily = repo.daily_series("a", Metric::CpuPercent, 0, 1).unwrap();
+        assert_eq!(daily.values(), &[20.0]);
+    }
+
+    #[test]
+    fn series_metadata_is_hourly_from_start() {
+        let mut repo = Repository::new();
+        repo.ingest(vec![sample("a", Metric::CpuPercent, 7200, 5.0)]);
+        let s = repo
+            .hourly_series("a", Metric::CpuPercent, 7200, 1)
+            .unwrap();
+        assert_eq!(s.frequency(), Frequency::Hourly);
+        assert_eq!(s.origin(), 7200);
+    }
+}

@@ -1,0 +1,375 @@
+//! The paper's two controlled experiments, fully assembled.
+//!
+//! * [`olap_scenario`] — Experiment One (§7.1): 40 OLAP users, TPC-H-like,
+//!   daily seasonality (C1), slight dataset growth, a nightly midnight
+//!   backup shock on node 1 (C4). Logical IOPS peak near the quoted
+//!   2.3 million.
+//! * [`oltp_scenario`] — Experiment Two (§7.2): a TPC-E-like population
+//!   growing by 50 users/day (C2), login surges at 07:00 (+1000 for 4 h)
+//!   and 09:00 (+1000 for 1 h) plus a weekly cycle (C3), and a six-hourly
+//!   backup shock (C4).
+//!
+//! A scenario runs for enough days to satisfy the Table 1 hourly protocol
+//! (1008 hourly observations = 42 days) with one spare day.
+
+use crate::agent::{Agent, FaultPlan};
+use crate::cluster::{Cluster, ResourceModel};
+use crate::metrics::Metric;
+use crate::repository::Repository;
+use crate::rng::Noise;
+use crate::shock::{BackupSchedule, Shock};
+use crate::users::{Surge, UserPopulation};
+use crate::Result;
+use dwcp_series::TimeSeries;
+
+/// Which experiment a scenario reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Experiment One: simple OLAP workload.
+    Olap,
+    /// Experiment Two: complicated OLTP workload.
+    Oltp,
+}
+
+impl ScenarioKind {
+    /// Paper-facing label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::Olap => "Experiment One (OLAP)",
+            ScenarioKind::Oltp => "Experiment Two (OLTP)",
+        }
+    }
+}
+
+/// A fully configured experiment: cluster, population, agent and duration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which experiment this is.
+    pub kind: ScenarioKind,
+    /// The cluster under load (includes the shocks).
+    pub cluster: Cluster,
+    /// The user population driving it.
+    pub population: UserPopulation,
+    /// The monitoring agent.
+    pub agent: Agent,
+    /// Simulated duration in days.
+    pub duration_days: u32,
+    /// Epoch-seconds origin of the simulation (a Monday midnight).
+    pub start: u64,
+}
+
+impl Scenario {
+    /// Total simulated hours.
+    pub fn hours(&self) -> usize {
+        self.duration_days as usize * 24
+    }
+
+    /// Run the simulation: agent polls → repository.
+    pub fn run(&self, seed: u64) -> Result<Repository> {
+        let mut noise = Noise::seeded(seed);
+        let samples = self.agent.collect(
+            &self.cluster,
+            &self.population,
+            self.start,
+            self.duration_days as u64 * 86_400,
+            &mut noise,
+        )?;
+        let mut repo = Repository::new();
+        repo.ingest(samples);
+        Ok(repo)
+    }
+
+    /// Run and extract the hourly series for `(instance, metric)`.
+    pub fn hourly(&self, seed: u64, instance: &str, metric: Metric) -> Result<TimeSeries> {
+        let repo = self.run(seed)?;
+        repo.hourly_series(instance, metric, self.start, self.hours())
+    }
+
+    /// The exogenous indicator columns for the scenario's shocks over
+    /// `len` hourly observations starting at `start` — one column per
+    /// daily occurrence slot, the paper's "4 exogenous variables" for the
+    /// six-hourly backup.
+    pub fn exogenous_columns(&self, start: u64, len: usize) -> Vec<Vec<f64>> {
+        let mut cols = Vec::new();
+        for shock in &self.cluster.shocks {
+            cols.extend(shock.slot_indicators(start, 3600, len));
+        }
+        cols
+    }
+
+    /// Names of the instances, sorted — `["cdbm011", "cdbm012"]`.
+    pub fn instance_names(&self) -> Vec<String> {
+        self.cluster
+            .instances
+            .iter()
+            .map(|i| i.name.clone())
+            .collect()
+    }
+}
+
+/// Experiment One: simple OLAP workload (challenges C1 and C4).
+///
+/// ```
+/// use dwcp_workload::{olap_scenario, Metric};
+///
+/// let mut scenario = olap_scenario();
+/// scenario.duration_days = 3; // shrink for the doctest
+/// let cpu = scenario.hourly(42, "cdbm011", Metric::CpuPercent).unwrap();
+/// assert_eq!(cpu.len(), 72);
+/// assert!(cpu.max() <= 100.0);
+/// ```
+pub fn olap_scenario() -> Scenario {
+    let resource_model = ResourceModel {
+        // 20 users per node at peak; long scan-heavy queries.
+        cpu_per_session: 2.5,
+        cpu_baseline: 3.0,
+        memory_per_session_mb: 90.0,
+        memory_baseline_mb: 2_000.0,
+        // 20 users/node × 105k ≈ 2.1M IOPS, growing toward the paper's
+        // 2.3M peak as the dataset grows.
+        iops_per_session: 105_000.0,
+        iops_baseline: 5_000.0,
+        noise_cv: 0.04,
+        // "The dataset grew by several GB per hour" — scans lengthen.
+        io_cost_growth_per_day: 0.004,
+    };
+    let cluster = Cluster::two_node(resource_model).with_shock(Shock {
+        cpu_add: 15.0,
+        memory_add_mb: 250.0,
+        iops_add: 600_000.0,
+        ..Shock::backup("cdbm011", BackupSchedule::nightly_midnight(45))
+    });
+    let population = UserPopulation::steady(40.0, 14, 0.7);
+    Scenario {
+        kind: ScenarioKind::Olap,
+        cluster,
+        population,
+        agent: Agent::with_faults(FaultPlan {
+            drop_probability: 0.005,
+            maintenance: vec![],
+        }),
+        duration_days: 43,
+        start: 0,
+    }
+}
+
+/// Experiment Two: complicated OLTP workload (challenges C1–C4).
+pub fn oltp_scenario() -> Scenario {
+    let resource_model = ResourceModel {
+        // Thousands of short transactions; CPU saturates softly as the
+        // user base grows.
+        cpu_per_session: 0.045,
+        cpu_baseline: 4.0,
+        memory_per_session_mb: 2.2,
+        memory_baseline_mb: 1_200.0,
+        iops_per_session: 38.0,
+        iops_baseline: 1_500.0,
+        noise_cv: 0.03,
+        io_cost_growth_per_day: 0.0,
+    };
+    let cluster = Cluster::two_node(resource_model).with_shock(Shock {
+        cpu_add: 10.0,
+        memory_add_mb: 150.0,
+        iops_add: 55_000.0,
+        ..Shock::backup("cdbm011", BackupSchedule::six_hourly(30))
+    });
+    let population = UserPopulation {
+        base_users: 500.0,
+        growth_per_day: 50.0,
+        daily_cycle_depth: 0.5,
+        peak_hour: 14,
+        weekly_cycle_depth: 0.2,
+        surges: vec![
+            Surge {
+                start_hour: 7,
+                duration_hours: 4,
+                extra_users: 1000.0,
+            },
+            Surge {
+                start_hour: 9,
+                duration_hours: 1,
+                extra_users: 1000.0,
+            },
+        ],
+    };
+    Scenario {
+        kind: ScenarioKind::Oltp,
+        cluster,
+        population,
+        agent: Agent::with_faults(FaultPlan {
+            drop_probability: 0.005,
+            maintenance: vec![],
+        }),
+        duration_days: 43,
+        start: 0,
+    }
+}
+
+/// A mixed estate (§9's failover discussion): OLTP-like traffic with
+/// moderate growth, a nightly backup on node 1 **and** a weekly disaster-
+/// recovery drill that takes node 2 down for an hour every Sunday 02:00 —
+/// the "system fails over to a new site to test disaster recovery" case.
+/// Node 2's metrics dip to baseline during the drill while node 1 absorbs
+/// the whole population.
+pub fn mixed_scenario() -> Scenario {
+    let mut scenario = oltp_scenario();
+    scenario.population.growth_per_day = 10.0;
+    // Weekly drill: interval 168 h, offset 26 h (day 1 is Tuesday 02:00 at
+    // origin Monday midnight… offset measured from midnight, so Sunday
+    // 02:00 of week 1 is hour 6·24 + 2 = 146).
+    scenario.cluster = scenario.cluster.with_shock(Shock::failover(
+        "cdbm012",
+        BackupSchedule {
+            interval_hours: 168,
+            offset_hours: 146,
+            duration_minutes: 60,
+        },
+    ));
+    scenario
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwcp_series::interpolate::interpolate_series;
+    use dwcp_series::{detect_seasonality, suggest_differencing};
+
+    #[test]
+    fn olap_trace_has_daily_seasonality() {
+        let scenario = olap_scenario();
+        let mut cpu = scenario.hourly(1, "cdbm012", Metric::CpuPercent).unwrap();
+        interpolate_series(&mut cpu).unwrap();
+        let report = detect_seasonality(cpu.values(), 200).unwrap();
+        assert_eq!(report.primary(), Some(24), "{:?}", report.seasons);
+    }
+
+    #[test]
+    fn olap_iops_peak_is_near_the_papers_quote() {
+        let scenario = olap_scenario();
+        let mut iops = scenario
+            .hourly(1, "cdbm012", Metric::LogicalIops)
+            .unwrap();
+        interpolate_series(&mut iops).unwrap();
+        let peak = iops.max();
+        assert!(
+            (1.8e6..3.0e6).contains(&peak),
+            "peak IOPS = {peak:.0}, expected ≈ 2.3M"
+        );
+    }
+
+    #[test]
+    fn olap_backup_spikes_node1_only() {
+        let scenario = olap_scenario();
+        let repo = scenario.run(2).unwrap();
+        let mut n1 = repo
+            .hourly_series("cdbm011", Metric::LogicalIops, 0, 48)
+            .unwrap();
+        let mut n2 = repo
+            .hourly_series("cdbm012", Metric::LogicalIops, 0, 48)
+            .unwrap();
+        interpolate_series(&mut n1).unwrap();
+        interpolate_series(&mut n2).unwrap();
+        // Midnight hours (0 and 24) on node 1 carry the backup.
+        assert!(n1.values()[0] - n2.values()[0] > 2e5);
+        assert!(n1.values()[24] - n2.values()[24] > 2e5);
+        // Midday hours match between nodes.
+        assert!((n1.values()[12] - n2.values()[12]).abs() < 2e5);
+    }
+
+    #[test]
+    fn oltp_trace_has_trend() {
+        let scenario = oltp_scenario();
+        let mut mem = scenario.hourly(3, "cdbm012", Metric::MemoryMb).unwrap();
+        interpolate_series(&mut mem).unwrap();
+        // Growth of 50 users/day × 2.2 MB / 2 nodes ≈ 55 MB/day upward.
+        let d = suggest_differencing(mem.values(), 2).unwrap();
+        assert!(d >= 1, "expected trending memory series, d = {d}");
+        let first_week: f64 =
+            mem.values()[..168].iter().sum::<f64>() / 168.0;
+        let last_week: f64 = mem.values()[mem.len() - 168..].iter().sum::<f64>() / 168.0;
+        assert!(last_week > first_week * 1.5);
+    }
+
+    #[test]
+    fn oltp_surges_shape_the_morning() {
+        let scenario = oltp_scenario();
+        let mut cpu = scenario.hourly(4, "cdbm012", Metric::CpuPercent).unwrap();
+        interpolate_series(&mut cpu).unwrap();
+        // Compare 08:00 (inside the big surge) with 03:00 on the same day.
+        let day = 10;
+        let at_8 = cpu.values()[day * 24 + 8];
+        let at_3 = cpu.values()[day * 24 + 3];
+        assert!(at_8 > at_3 + 10.0, "surge missing: {at_8} vs {at_3}");
+        // 09:00-10:00 (both surges) tops 08:00 (one surge).
+        let at_9 = cpu.values()[day * 24 + 9];
+        assert!(at_9 >= at_8 - 3.0, "double surge: {at_9} vs {at_8}");
+    }
+
+    #[test]
+    fn oltp_exogenous_columns_match_paper_count() {
+        let scenario = oltp_scenario();
+        let cols = scenario.exogenous_columns(0, 48);
+        // Six-hourly backup → 4 exogenous variables, as in §6.3.
+        assert_eq!(cols.len(), 4);
+        for col in &cols {
+            let fires: f64 = col.iter().sum();
+            assert_eq!(fires, 2.0); // once per day over two days
+        }
+    }
+
+    #[test]
+    fn scenario_covers_table1_hourly_protocol() {
+        let scenario = olap_scenario();
+        assert!(scenario.hours() >= 1008 + 24);
+    }
+
+    #[test]
+    fn mixed_scenario_failover_shifts_load_weekly() {
+        let scenario = mixed_scenario();
+        let repo = scenario.run(13).unwrap();
+        let mut n1 = repo
+            .hourly_series("cdbm011", Metric::CpuPercent, 0, scenario.hours())
+            .unwrap();
+        let mut n2 = repo
+            .hourly_series("cdbm012", Metric::CpuPercent, 0, scenario.hours())
+            .unwrap();
+        interpolate_series(&mut n1).unwrap();
+        interpolate_series(&mut n2).unwrap();
+        // Drill hour of week 2: hour 146 + 168 = 314.
+        let drill = 314usize;
+        // Node 2 collapses toward baseline; node 1 spikes above its
+        // neighbouring hours.
+        assert!(
+            n2.values()[drill] < n2.values()[drill - 3] * 0.5,
+            "node2 during drill {} vs before {}",
+            n2.values()[drill],
+            n2.values()[drill - 3]
+        );
+        assert!(
+            n1.values()[drill] > n1.values()[drill - 3] + 3.0,
+            "node1 during drill {} vs before {}",
+            n1.values()[drill],
+            n1.values()[drill - 3]
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_traces() {
+        let scenario = oltp_scenario();
+        let a = scenario.hourly(7, "cdbm011", Metric::CpuPercent).unwrap();
+        let b = scenario.hourly(7, "cdbm011", Metric::CpuPercent).unwrap();
+        // NaN != NaN, so compare finite values and gap positions.
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.values().iter().zip(b.values()) {
+            assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+    }
+
+    #[test]
+    fn agent_faults_leave_few_gaps_after_hourly_aggregation() {
+        // 0.5 % poll drops almost never kill all four polls of an hour.
+        let scenario = olap_scenario();
+        let cpu = scenario.hourly(9, "cdbm011", Metric::CpuPercent).unwrap();
+        assert!(cpu.gap_count() < cpu.len() / 50);
+    }
+}

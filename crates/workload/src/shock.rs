@@ -1,0 +1,266 @@
+//! Scheduled shocks: backups, batch jobs and failovers.
+//!
+//! §4.2: "Computationally, examples could be a batch job, backup or
+//! fail-over that would seriously influence the computational resource
+//! consumption." Both experiments use an RMAN-style backup as the shock:
+//! Experiment One runs it "from Node 1 at midnight every night"; Experiment
+//! Two runs "backups that run every 6 hours (4 exogenous variables)".
+//!
+//! A [`Shock`] knows when it is active and how strongly it multiplies each
+//! metric; it can also render itself as 0/1 indicator columns — exactly the
+//! exogenous variables SARIMAX consumes.
+
+use crate::metrics::Metric;
+use serde::{Deserialize, Serialize};
+
+/// What kind of shock this is (affects the default resource signature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShockKind {
+    /// An RMAN-style backup: heavy IO, moderate CPU, slight memory.
+    Backup,
+    /// A batch aggregation job: heavy CPU and IO.
+    BatchJob,
+    /// A failover: the affected instance drops out; peers absorb its load.
+    Failover,
+}
+
+/// A recurring schedule: every `interval_hours`, starting at
+/// `offset_hours` past midnight, lasting `duration_minutes`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackupSchedule {
+    /// Hours between occurrences (24 = nightly, 6 = the OLTP experiment).
+    pub interval_hours: u32,
+    /// Offset of the first occurrence past midnight, hours.
+    pub offset_hours: u32,
+    /// How long each occurrence lasts, minutes.
+    pub duration_minutes: u32,
+}
+
+impl BackupSchedule {
+    /// Nightly at midnight (Experiment One).
+    pub fn nightly_midnight(duration_minutes: u32) -> BackupSchedule {
+        BackupSchedule {
+            interval_hours: 24,
+            offset_hours: 0,
+            duration_minutes,
+        }
+    }
+
+    /// Every six hours (Experiment Two).
+    pub fn six_hourly(duration_minutes: u32) -> BackupSchedule {
+        BackupSchedule {
+            interval_hours: 6,
+            offset_hours: 0,
+            duration_minutes,
+        }
+    }
+
+    /// Whether the schedule is active at epoch-second `t`.
+    pub fn active_at(&self, t: u64) -> bool {
+        let interval = self.interval_hours as u64 * 3600;
+        let offset = self.offset_hours as u64 * 3600;
+        let pos = (t + interval - offset % interval.max(1)) % interval;
+        pos < self.duration_minutes as u64 * 60
+    }
+
+    /// Occurrences per day.
+    pub fn per_day(&self) -> u32 {
+        24 / self.interval_hours.max(1)
+    }
+}
+
+/// A shock bound to an instance with a resource signature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Shock {
+    /// Kind of shock.
+    pub kind: ShockKind,
+    /// Name of the instance it runs on (backups run on one node).
+    pub instance: String,
+    /// Recurrence schedule.
+    pub schedule: BackupSchedule,
+    /// Additive CPU load while active, percentage points.
+    pub cpu_add: f64,
+    /// Additive memory while active, MB.
+    pub memory_add_mb: f64,
+    /// Additive logical IOPS while active.
+    pub iops_add: f64,
+}
+
+impl Shock {
+    /// A backup shock with the conventional heavy-IO signature.
+    pub fn backup(instance: &str, schedule: BackupSchedule) -> Shock {
+        Shock {
+            kind: ShockKind::Backup,
+            instance: instance.to_string(),
+            schedule,
+            cpu_add: 12.0,
+            memory_add_mb: 150.0,
+            iops_add: 0.0, // scenario builders scale this to the workload
+        }
+    }
+
+    /// A failover shock: the instance drops out entirely for the window;
+    /// the cluster's load balancer reroutes its sessions to the peers.
+    pub fn failover(instance: &str, schedule: BackupSchedule) -> Shock {
+        Shock {
+            kind: ShockKind::Failover,
+            instance: instance.to_string(),
+            schedule,
+            cpu_add: 0.0,
+            memory_add_mb: 0.0,
+            iops_add: 0.0,
+        }
+    }
+
+    /// Additional load on `(instance, metric)` at time `t`. Failover
+    /// shocks add no load of their own — their effect is the rerouting the
+    /// cluster's load balancer applies.
+    pub fn load_at(&self, instance: &str, metric: Metric, t: u64) -> f64 {
+        if self.kind == ShockKind::Failover
+            || instance != self.instance
+            || !self.schedule.active_at(t)
+        {
+            return 0.0;
+        }
+        match metric {
+            Metric::CpuPercent => self.cpu_add,
+            Metric::MemoryMb => self.memory_add_mb,
+            Metric::LogicalIops => self.iops_add,
+        }
+    }
+
+    /// Render the shock as a 0/1 indicator over `len` observations starting
+    /// at `start` with `step` seconds per observation — the exogenous
+    /// column handed to SARIMAX. An observation is flagged when the shock
+    /// is active anywhere inside its window (hourly aggregation smears a
+    /// 30-minute backup across its hour).
+    pub fn indicator(&self, start: u64, step: u64, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let w0 = start + i as u64 * step;
+                // Sample the window at minute resolution.
+                let mut active = false;
+                let mut t = w0;
+                while t < w0 + step {
+                    if self.schedule.active_at(t) {
+                        active = true;
+                        break;
+                    }
+                    t += 60;
+                }
+                if active {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// The paper models each daily occurrence slot of a recurring shock as
+    /// its own exogenous variable ("backups that run every 6 hours (4
+    /// exogenous variables)"): slot `k` fires only for the occurrence at
+    /// `k · interval` past midnight. Returns `per_day()` indicator columns.
+    pub fn slot_indicators(&self, start: u64, step: u64, len: usize) -> Vec<Vec<f64>> {
+        let slots = self.schedule.per_day() as usize;
+        let mut columns = vec![vec![0.0; len]; slots];
+        let base = self.indicator(start, step, len);
+        for (i, &flag) in base.iter().enumerate() {
+            if flag > 0.0 {
+                let t = start + i as u64 * step;
+                let sod = t % 86_400;
+                let slot = (sod / (self.schedule.interval_hours as u64 * 3600)) as usize;
+                columns[slot.min(slots - 1)][i] = 1.0;
+            }
+        }
+        columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: u64 = 3600;
+
+    #[test]
+    fn nightly_schedule_fires_at_midnight_only() {
+        let s = BackupSchedule::nightly_midnight(30);
+        assert!(s.active_at(0));
+        assert!(s.active_at(29 * 60));
+        assert!(!s.active_at(30 * 60));
+        assert!(!s.active_at(12 * HOUR));
+        assert!(s.active_at(86_400)); // next midnight
+    }
+
+    #[test]
+    fn six_hourly_fires_four_times_a_day() {
+        let s = BackupSchedule::six_hourly(30);
+        assert_eq!(s.per_day(), 4);
+        let fires: Vec<u64> = (0..24)
+            .filter(|h| s.active_at(h * HOUR))
+            .collect();
+        assert_eq!(fires, vec![0, 6, 12, 18]);
+    }
+
+    #[test]
+    fn shock_only_loads_its_instance() {
+        let shock = Shock::backup("cdbm011", BackupSchedule::nightly_midnight(30));
+        assert!(shock.load_at("cdbm011", Metric::CpuPercent, 0) > 0.0);
+        assert_eq!(shock.load_at("cdbm012", Metric::CpuPercent, 0), 0.0);
+        assert_eq!(shock.load_at("cdbm011", Metric::CpuPercent, 12 * HOUR), 0.0);
+    }
+
+    #[test]
+    fn indicator_marks_active_hours() {
+        let shock = Shock::backup("cdbm011", BackupSchedule::six_hourly(30));
+        let ind = shock.indicator(0, HOUR, 24);
+        let active: Vec<usize> = ind
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(active, vec![0, 6, 12, 18]);
+    }
+
+    #[test]
+    fn slot_indicators_partition_the_base_indicator() {
+        let shock = Shock::backup("cdbm011", BackupSchedule::six_hourly(45));
+        let len = 48;
+        let slots = shock.slot_indicators(0, HOUR, len);
+        assert_eq!(slots.len(), 4); // the paper's "4 exogenous variables"
+        let base = shock.indicator(0, HOUR, len);
+        for i in 0..len {
+            let sum: f64 = slots.iter().map(|c| c[i]).sum();
+            assert_eq!(sum, base[i], "hour {i}");
+        }
+        // Slot 1 fires only at 06:00 hours.
+        for (i, &v) in slots[1].iter().enumerate() {
+            if v > 0.0 {
+                assert_eq!(i % 24, 6);
+            }
+        }
+    }
+
+    #[test]
+    fn offset_shifts_the_schedule() {
+        let s = BackupSchedule {
+            interval_hours: 24,
+            offset_hours: 2,
+            duration_minutes: 60,
+        };
+        assert!(!s.active_at(0));
+        assert!(s.active_at(2 * HOUR));
+        assert!(!s.active_at(3 * HOUR));
+    }
+
+    #[test]
+    fn sub_hour_shock_is_caught_by_hourly_indicator() {
+        // A 15-minute backup starting at minute 0 must still flag its hour.
+        let shock = Shock::backup("a", BackupSchedule::nightly_midnight(15));
+        let ind = shock.indicator(0, HOUR, 24);
+        assert_eq!(ind[0], 1.0);
+        assert_eq!(ind.iter().sum::<f64>(), 1.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! User populations: how many sessions hit the cluster at any moment.
+//!
+//! Experiment One: "a modest number of 40 OLAP users … users connect to a
+//! clustered database and perform OLAP activities". Experiment Two: "we
+//! allow the user base to grow per day … increasing the user base by 50
+//! users per day … Surges in users are introduced twice daily at 07:00am of
+//! 1000 users for a period of 4 hours and again at 9am for another 1000
+//! users for a period of 1 hour."
+
+use serde::{Deserialize, Serialize};
+
+/// A recurring daily login surge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Surge {
+    /// Start hour of day (0–23).
+    pub start_hour: u32,
+    /// Duration in hours.
+    pub duration_hours: u32,
+    /// Extra users active during the surge.
+    pub extra_users: f64,
+}
+
+impl Surge {
+    /// Whether the surge is active at second-of-day `sod`.
+    pub fn active_at(&self, sod: u64) -> bool {
+        let start = self.start_hour as u64 * 3600;
+        let end = start + self.duration_hours as u64 * 3600;
+        sod >= start && sod < end
+    }
+}
+
+/// A user population model producing expected concurrent active sessions as
+/// a function of absolute time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserPopulation {
+    /// Users connected at `t = 0` (before growth).
+    pub base_users: f64,
+    /// Additional users per elapsed day (Experiment Two's +50/day trend).
+    pub growth_per_day: f64,
+    /// Depth of the daily activity cycle, 0..1: at the daily trough only
+    /// `1 − depth` of users are active (overnight idling).
+    pub daily_cycle_depth: f64,
+    /// Hour of day (0–23) of peak activity.
+    pub peak_hour: u32,
+    /// Weekly modulation depth, 0..1 (weekend dips); 0 disables it.
+    pub weekly_cycle_depth: f64,
+    /// Recurring login surges.
+    pub surges: Vec<Surge>,
+}
+
+impl UserPopulation {
+    /// A flat population with a daily cycle and no growth (Experiment One).
+    pub fn steady(base_users: f64, peak_hour: u32, daily_cycle_depth: f64) -> UserPopulation {
+        UserPopulation {
+            base_users,
+            growth_per_day: 0.0,
+            daily_cycle_depth,
+            peak_hour,
+            weekly_cycle_depth: 0.0,
+            surges: vec![],
+        }
+    }
+
+    /// Expected active sessions at epoch-second `t` (noise-free; the
+    /// resource model adds stochasticity downstream).
+    pub fn active_sessions(&self, t: u64) -> f64 {
+        let days = t as f64 / 86_400.0;
+        let mut users = self.base_users + self.growth_per_day * days;
+
+        // Daily activity cycle: cosine peaking at `peak_hour`.
+        let sod = t % 86_400;
+        let phase =
+            2.0 * std::f64::consts::PI * (sod as f64 / 86_400.0 - self.peak_hour as f64 / 24.0);
+        let daily_factor = 1.0 - self.daily_cycle_depth * 0.5 * (1.0 - phase.cos());
+        users *= daily_factor;
+
+        // Weekly cycle: cosine over the week, trough mid-weekend.
+        if self.weekly_cycle_depth > 0.0 {
+            let sow = t % (7 * 86_400);
+            // Day 0 of the simulation is a Monday; weekend ≈ days 5–6.
+            let wphase = 2.0 * std::f64::consts::PI
+                * (sow as f64 / (7.0 * 86_400.0) - 5.5 / 7.0);
+            let weekly_factor =
+                1.0 - self.weekly_cycle_depth * 0.5 * (1.0 + wphase.cos());
+            users *= weekly_factor;
+        }
+
+        // Surges add users on top, unaffected by the cycles (a login storm
+        // is a login storm).
+        for surge in &self.surges {
+            if surge.active_at(sod) {
+                users += surge.extra_users;
+            }
+        }
+        users.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOUR: u64 = 3600;
+
+    #[test]
+    fn steady_population_peaks_at_peak_hour() {
+        let p = UserPopulation::steady(40.0, 14, 0.6);
+        let at_peak = p.active_sessions(14 * HOUR);
+        let at_trough = p.active_sessions(2 * HOUR);
+        assert!(at_peak > at_trough);
+        assert!((at_peak - 40.0).abs() < 1e-9, "peak should be full base");
+    }
+
+    #[test]
+    fn cycle_depth_bounds_the_trough() {
+        let p = UserPopulation::steady(100.0, 12, 0.8);
+        let trough = p.active_sessions(0); // midnight, 12h from peak
+        assert!((trough - 20.0).abs() < 1e-9, "trough = {trough}");
+    }
+
+    #[test]
+    fn growth_adds_users_per_day() {
+        let p = UserPopulation {
+            growth_per_day: 50.0,
+            ..UserPopulation::steady(100.0, 12, 0.0)
+        };
+        let day0 = p.active_sessions(12 * HOUR);
+        let day10 = p.active_sessions(10 * 86_400 + 12 * HOUR);
+        assert!((day10 - day0 - 500.0).abs() < 50.0 * 0.51); // half-day tolerance
+    }
+
+    #[test]
+    fn surge_is_active_only_in_window() {
+        let surge = Surge {
+            start_hour: 7,
+            duration_hours: 4,
+            extra_users: 1000.0,
+        };
+        assert!(!surge.active_at(6 * HOUR + 3599));
+        assert!(surge.active_at(7 * HOUR));
+        assert!(surge.active_at(10 * HOUR + 3599));
+        assert!(!surge.active_at(11 * HOUR));
+    }
+
+    #[test]
+    fn oltp_double_surge_shape() {
+        // The Experiment Two configuration: 07:00 (+1000, 4 h) and
+        // 09:00 (+1000, 1 h) overlap between 09:00 and 10:00.
+        let p = UserPopulation {
+            surges: vec![
+                Surge {
+                    start_hour: 7,
+                    duration_hours: 4,
+                    extra_users: 1000.0,
+                },
+                Surge {
+                    start_hour: 9,
+                    duration_hours: 1,
+                    extra_users: 1000.0,
+                },
+            ],
+            ..UserPopulation::steady(500.0, 12, 0.0)
+        };
+        let at_8 = p.active_sessions(8 * HOUR);
+        let at_930 = p.active_sessions(9 * HOUR + 1800);
+        let at_12 = p.active_sessions(12 * HOUR);
+        assert!((at_8 - 1500.0).abs() < 1e-9);
+        assert!((at_930 - 2500.0).abs() < 1e-9);
+        assert!((at_12 - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekly_cycle_dips_on_weekend() {
+        let p = UserPopulation {
+            weekly_cycle_depth: 0.5,
+            ..UserPopulation::steady(100.0, 12, 0.0)
+        };
+        let midweek = p.active_sessions(86_400 + 12 * HOUR); // Tuesday noon
+        let weekend = p.active_sessions(5 * 86_400 + 12 * HOUR + 43_200); // Sat night
+        assert!(weekend < midweek, "{weekend} vs {midweek}");
+    }
+
+    #[test]
+    fn sessions_never_negative() {
+        let p = UserPopulation {
+            growth_per_day: -100.0,
+            ..UserPopulation::steady(50.0, 12, 0.9)
+        };
+        for d in 0..30 {
+            assert!(p.active_sessions(d * 86_400) >= 0.0);
+        }
+    }
+}

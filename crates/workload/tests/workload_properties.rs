@@ -1,0 +1,142 @@
+//! Property-based tests of the workload substrate's invariants.
+
+use dwcp_workload::cluster::{Cluster, ResourceModel};
+use dwcp_workload::shock::{BackupSchedule, Shock};
+use dwcp_workload::users::{Surge, UserPopulation};
+use proptest::prelude::*;
+
+fn arbitrary_population() -> impl Strategy<Value = UserPopulation> {
+    (
+        1.0f64..5000.0,   // base users
+        0.0f64..100.0,    // growth/day
+        0.0f64..1.0,      // daily depth
+        0u32..24,         // peak hour
+        0.0f64..0.9,      // weekly depth
+        prop::collection::vec(
+            (0u32..24, 1u32..6, 1.0f64..2000.0).prop_map(|(h, d, u)| Surge {
+                start_hour: h,
+                duration_hours: d,
+                extra_users: u,
+            }),
+            0..3,
+        ),
+    )
+        .prop_map(|(base, growth, daily, peak, weekly, surges)| UserPopulation {
+            base_users: base,
+            growth_per_day: growth,
+            daily_cycle_depth: daily,
+            peak_hour: peak,
+            weekly_cycle_depth: weekly,
+            surges,
+        })
+}
+
+fn model() -> ResourceModel {
+    ResourceModel {
+        cpu_per_session: 0.1,
+        cpu_baseline: 2.0,
+        memory_per_session_mb: 4.0,
+        memory_baseline_mb: 800.0,
+        iops_per_session: 50.0,
+        iops_baseline: 100.0,
+        noise_cv: 0.0,
+        io_cost_growth_per_day: 0.001,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sessions_are_never_negative(pop in arbitrary_population(), t in 0u64..90*86_400) {
+        prop_assert!(pop.active_sessions(t) >= 0.0);
+    }
+
+    #[test]
+    fn load_balancer_conserves_sessions(pop in arbitrary_population(), t in 0u64..30*86_400) {
+        let cluster = Cluster::two_node(model());
+        let split = cluster.balanced_sessions(&pop, t);
+        let total: f64 = split.iter().sum();
+        prop_assert!((total - pop.active_sessions(t)).abs() < 1e-6 * (1.0 + total));
+    }
+
+    #[test]
+    fn failover_still_conserves_sessions(
+        pop in arbitrary_population(),
+        t in 0u64..30*86_400,
+        offset in 0u32..24,
+    ) {
+        let cluster = Cluster::two_node(model()).with_shock(Shock::failover(
+            "cdbm011",
+            BackupSchedule { interval_hours: 24, offset_hours: offset, duration_minutes: 90 },
+        ));
+        let split = cluster.balanced_sessions(&pop, t);
+        let total: f64 = split.iter().sum();
+        prop_assert!((total - pop.active_sessions(t)).abs() < 1e-6 * (1.0 + total));
+        // The failed node never serves load inside its window.
+        if cluster.is_down("cdbm011", t) {
+            prop_assert_eq!(split[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn cpu_metric_is_always_in_range(
+        pop in arbitrary_population(),
+        t in 0u64..30*86_400,
+    ) {
+        use dwcp_workload::Metric;
+        let cluster = Cluster::two_node(model());
+        let v = cluster.true_value("cdbm011", Metric::CpuPercent, &pop, t).unwrap();
+        prop_assert!((0.0..=100.0).contains(&v), "cpu = {}", v);
+    }
+
+    #[test]
+    fn metrics_are_monotone_in_sessions(extra in 1.0f64..2000.0, t in 0u64..86_400) {
+        use dwcp_workload::Metric;
+        let cluster = Cluster::two_node(model());
+        let small = UserPopulation::steady(10.0, 12, 0.0);
+        let large = UserPopulation::steady(10.0 + extra, 12, 0.0);
+        for metric in Metric::ALL {
+            let a = cluster.true_value("cdbm011", metric, &small, t).unwrap();
+            let b = cluster.true_value("cdbm011", metric, &large, t).unwrap();
+            prop_assert!(b >= a - 1e-9, "{metric}: {b} < {a}");
+        }
+    }
+
+    #[test]
+    fn backup_schedule_fires_expected_count_per_day(
+        interval in prop::sample::select(vec![1u32, 2, 3, 4, 6, 8, 12, 24]),
+        duration in 1u32..59,
+    ) {
+        let s = BackupSchedule { interval_hours: interval, offset_hours: 0, duration_minutes: duration };
+        // Count rising edges over one day; t = 0 is an edge when active
+        // (saturating_sub would otherwise compare t = 0 with itself).
+        let fires = (0..24 * 60)
+            .map(|m| m as u64 * 60)
+            .filter(|&t| s.active_at(t) && (t == 0 || !s.active_at(t - 60)))
+            .count() as u32;
+        prop_assert_eq!(fires, s.per_day());
+    }
+
+    #[test]
+    fn surge_users_appear_exactly_in_window(
+        start in 0u32..20,
+        duration in 1u32..4,
+        users in 1.0f64..1000.0,
+    ) {
+        let surge = Surge { start_hour: start, duration_hours: duration, extra_users: users };
+        let pop = UserPopulation {
+            surges: vec![surge],
+            ..UserPopulation::steady(100.0, 12, 0.0)
+        };
+        for hour in 0..24u64 {
+            let v = pop.active_sessions(hour * 3600);
+            let in_window = hour >= start as u64 && hour < (start + duration) as u64;
+            if in_window {
+                prop_assert!((v - 100.0 - users).abs() < 1e-9);
+            } else {
+                prop_assert!((v - 100.0).abs() < 1e-9);
+            }
+        }
+    }
+}

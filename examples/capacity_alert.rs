@@ -1,0 +1,80 @@
+//! The practice section (§8) in miniature: proactive threshold monitoring,
+//! the one-week model repository with its relearn rules, and the
+//! >3-occurrence shock policy.
+//!
+//! ```sh
+//! cargo run --release --example capacity_alert
+//! ```
+
+use dwcp::planner::{
+    MethodChoice, ModelRecord, ModelRepository, Pipeline, PipelineConfig, ShockTracker,
+    ThresholdAdvisor,
+};
+use dwcp::workload::{oltp_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = oltp_scenario();
+    let instance = "cdbm012";
+    let cpu = scenario.hourly(3, instance, Metric::CpuPercent)?;
+    let exog = scenario.exogenous_columns(scenario.start, cpu.len());
+
+    // Fit a champion for the workload.
+    let pipeline = Pipeline::new(PipelineConfig::hourly(MethodChoice::Sarimax));
+    let outcome = pipeline.run(&cpu, &exog)?;
+    let workload_key = format!("{instance}/CPU");
+    println!("champion for {workload_key}: {}", outcome.champion);
+
+    // 1. Threshold advisory: the OLTP user base grows 50/day, so CPU creeps
+    //    toward saturation. Warn before the 85 % line is crossed.
+    let advisor = ThresholdAdvisor::new(85.0);
+    match advisor.analyze(&outcome.test_forecast, outcome.test.origin(), 3600) {
+        Some(adv) => println!(
+            "ALERT: {:?} breach of the 85% CPU line at hour +{} (mean {:.1}%, upper {:.1}%)",
+            adv.severity, adv.step, adv.forecast_mean, adv.forecast_upper
+        ),
+        None => println!("no CPU threshold breach inside the 24h horizon"),
+    }
+
+    // 2. Model repository: store the champion, then replay the week.
+    let mut repo = ModelRepository::new();
+    let fitted_at = outcome.test.origin();
+    repo.store(ModelRecord {
+        workload: workload_key.clone(),
+        champion: outcome.champion.clone(),
+        granularity: dwcp::series::Granularity::Hourly,
+        baseline_rmse: outcome.accuracy.rmse,
+        fitted_at,
+    });
+    println!("\nmodel repository replay:");
+    for day in [1u64, 3, 6, 8] {
+        let now = fitted_at + day * 86_400;
+        let verdict = repo.needs_relearn(&workload_key, now, Some(outcome.accuracy.rmse * 1.1));
+        println!("  day +{day}: {}", match verdict {
+            None => "model kept (fresh, accurate)".to_string(),
+            Some(r) => format!("relearn — {r:?}"),
+        });
+    }
+    // A sudden RMSE blow-up triggers relearning even on a fresh model.
+    let verdict = repo.needs_relearn(
+        &workload_key,
+        fitted_at + 3600,
+        Some(outcome.accuracy.rmse * 5.0),
+    );
+    println!("  hot path (RMSE ×5): {:?}", verdict.expect("must relearn"));
+
+    // 3. Shock policy: crashes are discarded until they become a behaviour.
+    let mut shocks = ShockTracker::new();
+    println!("\nshock policy (threshold = {} occurrences):", shocks.threshold);
+    for occurrence in 1..=5 {
+        shocks.record("site-failover");
+        println!(
+            "  failover #{occurrence}: {}",
+            if shocks.is_behaviour("site-failover") {
+                "treated as learned behaviour — include as exogenous variable"
+            } else {
+                "discarded (not yet a behaviour)"
+            }
+        );
+    }
+    Ok(())
+}

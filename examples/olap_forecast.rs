@@ -1,0 +1,80 @@
+//! Experiment One walk-through: compare the paper's three techniques —
+//! ARIMA, SARIMAX, and SARIMAX with exogenous variables + Fourier terms —
+//! on the OLAP workload's CPU metric, reproducing the structure of
+//! Figure 6 and the OLAP half of Table 2.
+//!
+//! ```sh
+//! cargo run --release --example olap_forecast
+//! ```
+
+use dwcp::planner::{MethodChoice, ModelFamily, Pipeline, PipelineConfig};
+use dwcp::workload::{olap_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = olap_scenario();
+    let instance = "cdbm011";
+    let cpu = scenario.hourly(7, instance, Metric::CpuPercent)?;
+    let exog = scenario.exogenous_columns(scenario.start, cpu.len());
+
+    let pipeline = Pipeline::new(PipelineConfig::hourly(MethodChoice::Sarimax));
+    println!(
+        "{} — {} on {}: evaluating ARIMA vs SARIMAX vs SARIMAX+FFT+Exogenous…",
+        scenario.kind.label(),
+        Metric::CpuPercent,
+        instance
+    );
+    let report = pipeline.family_comparison(&cpu, &exog, 8)?;
+
+    println!("\n{:<40} {:>10} {:>9}", "Forecast & Model", "RMSE", "MAPE %");
+    for family in [
+        ModelFamily::Arima,
+        ModelFamily::Sarimax,
+        ModelFamily::SarimaxFftExogenous,
+    ] {
+        if let Some(best) = report.best_of_family(family) {
+            println!(
+                "{:<40} {:>10.3} {:>9.2}",
+                best.candidate.config.describe(),
+                best.accuracy.rmse,
+                best.accuracy.mape
+            );
+        }
+    }
+
+    let champion = report.champion().expect("at least one model fitted");
+    println!(
+        "\nchampion: {} (test RMSE {:.3}, {} models scored, {} infeasible)",
+        champion.candidate.config.describe(),
+        champion.accuracy.rmse,
+        report.scores.len(),
+        report.failures
+    );
+
+    // ASCII rendering of the Figure 6 idea: last two training days (the
+    // "blue" learning region) followed by the 24-hour prediction (yellow).
+    println!("\nforecast vs actual over the held-out day (one row per hour):");
+    let mut working = cpu.clone();
+    dwcp::series::interpolate::interpolate_series(&mut working)?;
+    let split = dwcp::series::TrainTestSplit::from_series(
+        &working,
+        dwcp::series::Granularity::Hourly,
+    )?;
+    let max = split
+        .test
+        .values()
+        .iter()
+        .chain(&champion.forecast.mean)
+        .fold(1.0f64, |m, &v| m.max(v));
+    for (h, (&a, &f)) in split
+        .test
+        .values()
+        .iter()
+        .zip(&champion.forecast.mean)
+        .enumerate()
+    {
+        let bar = |v: f64| "#".repeat(((v / max) * 40.0).round() as usize);
+        println!("{h:>3}h actual {a:>6.1} |{:<40}|", bar(a));
+        println!("     model  {f:>6.1} |{:<40}|", bar(f));
+    }
+    Ok(())
+}

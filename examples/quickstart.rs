@@ -1,0 +1,70 @@
+//! Quickstart: simulate a monitored database workload, run the Figure 4
+//! pipeline, and print the champion model with its held-out accuracy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dwcp::planner::{MethodChoice, Pipeline, PipelineConfig};
+use dwcp::workload::{olap_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Stand up the simulated testbed: a two-node clustered database
+    //    (cdbm011 / cdbm012) under a 40-user OLAP load with a nightly
+    //    backup shock, polled by an agent every 15 minutes into a central
+    //    repository that aggregates hourly — the paper's Experiment One.
+    let scenario = olap_scenario();
+    println!("scenario : {}", scenario.kind.label());
+    println!(
+        "cluster  : {} / {} days simulated",
+        scenario.instance_names().join(", "),
+        scenario.duration_days
+    );
+
+    // 2. Pull the hourly CPU series for one instance.
+    let cpu = scenario.hourly(42, "cdbm011", Metric::CpuPercent)?;
+    println!(
+        "series   : {} hourly observations, {} gaps from missed polls",
+        cpu.len(),
+        cpu.gap_count()
+    );
+
+    // 3. Run the pipeline: interpolate gaps, split per Table 1 (984 train /
+    //    24 test), profile the data (ADF, seasonality, correlogram), prune
+    //    the SARIMAX grid, evaluate candidates in parallel, pick the RMSE
+    //    champion.
+    let exog = scenario.exogenous_columns(scenario.start, cpu.len());
+    let pipeline = Pipeline::new(PipelineConfig::hourly(MethodChoice::Sarimax));
+    let outcome = pipeline.run(&cpu, &exog)?;
+
+    println!("\n--- pipeline outcome -------------------------------------");
+    println!("champion : {}", outcome.champion);
+    if let Some(profile) = &outcome.profile {
+        println!(
+            "profile  : d = {}, seasons = {:?}, multi-seasonal = {}",
+            profile.suggested_d, profile.seasonal_periods, profile.multi_seasonal
+        );
+    }
+    println!(
+        "models   : {} evaluated, {} infeasible",
+        outcome.evaluated, outcome.failures
+    );
+    println!(
+        "accuracy : RMSE = {:.3}  MAPE = {:.2}%  MAPA = {:.2}%",
+        outcome.accuracy.rmse, outcome.accuracy.mape, outcome.accuracy.mapa
+    );
+
+    // 4. Show the 24-hour prediction against the held-out actuals.
+    println!("\nhour  actual  forecast   [95% interval]");
+    for (h, ((&actual, &mean), (&lo, &hi))) in outcome
+        .test
+        .values()
+        .iter()
+        .zip(&outcome.test_forecast.mean)
+        .zip(outcome.test_forecast.lower.iter().zip(&outcome.test_forecast.upper))
+        .enumerate()
+    {
+        println!("{h:>4}  {actual:>6.1}  {mean:>8.1}   [{lo:>6.1}, {hi:>6.1}]");
+    }
+    Ok(())
+}

@@ -1,0 +1,478 @@
+//! The `dwcp` command-line tool: simulate workloads, forecast metric
+//! series from CSV, and raise threshold advisories — the §8 monitoring
+//! service in miniature, usable on any time-series CSV.
+//!
+//! ```text
+//! dwcp simulate --scenario oltp --instance cdbm011 --metric cpu [--seed N] [--out FILE]
+//! dwcp forecast --input FILE [--method sarimax|hes|tbats] [--granularity hourly|daily|weekly]
+//! dwcp advise   --input FILE --threshold X [--method sarimax|hes]
+//! ```
+//!
+//! CSV format: one observation per line, either `value` or
+//! `timestamp,value` (epoch seconds); `#` lines and a non-numeric header
+//! are skipped.
+
+use crate::planner::{MethodChoice, Pipeline, PipelineConfig, ThresholdAdvisor};
+use crate::series::{Frequency, Granularity, TimeSeries};
+use crate::workload::{olap_scenario, oltp_scenario, Metric, Scenario};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a simulated metric trace.
+    Simulate {
+        /// `olap` or `oltp`.
+        scenario: String,
+        /// Instance name.
+        instance: String,
+        /// `cpu`, `memory` or `iops`.
+        metric: String,
+        /// Simulation seed.
+        seed: u64,
+        /// Output path (`-` = stdout).
+        out: String,
+    },
+    /// Forecast a CSV series.
+    Forecast {
+        /// Input CSV path.
+        input: String,
+        /// Method choice.
+        method: MethodChoice,
+        /// Protocol granularity.
+        granularity: Granularity,
+        /// Auto-detect recurring shocks.
+        detect_shocks: bool,
+    },
+    /// Threshold advisory on a CSV series.
+    Advise {
+        /// Input CSV path.
+        input: String,
+        /// Capacity threshold.
+        threshold: f64,
+        /// Method choice.
+        method: MethodChoice,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors surfaced to the terminal.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s.as_str(),
+    };
+    let mut flags: std::collections::BTreeMap<String, String> = Default::default();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| err(format!("expected --flag, got `{}`", rest[i])))?;
+        if key == "detect-shocks" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| err(format!("--{key} needs a value")))?;
+        flags.insert(key.to_string(), value.to_string());
+        i += 2;
+    }
+    let get = |k: &str, default: Option<&str>| -> Result<String, CliError> {
+        flags
+            .get(k)
+            .cloned()
+            .or_else(|| default.map(str::to_string))
+            .ok_or_else(|| err(format!("missing required flag --{k}")))
+    };
+    let method_of = |s: &str| -> Result<MethodChoice, CliError> {
+        match s {
+            "sarimax" => Ok(MethodChoice::Sarimax),
+            "hes" => Ok(MethodChoice::Hes),
+            "tbats" => Ok(MethodChoice::Tbats),
+            other => Err(err(format!("unknown method `{other}` (sarimax|hes|tbats)"))),
+        }
+    };
+    let granularity_of = |s: &str| -> Result<Granularity, CliError> {
+        match s {
+            "hourly" => Ok(Granularity::Hourly),
+            "daily" => Ok(Granularity::Daily),
+            "weekly" => Ok(Granularity::Weekly),
+            other => Err(err(format!(
+                "unknown granularity `{other}` (hourly|daily|weekly)"
+            ))),
+        }
+    };
+    match sub {
+        "simulate" => Ok(Command::Simulate {
+            scenario: get("scenario", Some("oltp"))?,
+            instance: get("instance", Some("cdbm011"))?,
+            metric: get("metric", Some("cpu"))?,
+            seed: get("seed", Some("42"))?
+                .parse()
+                .map_err(|_| err("--seed must be an integer"))?,
+            out: get("out", Some("-"))?,
+        }),
+        "forecast" => Ok(Command::Forecast {
+            input: get("input", None)?,
+            method: method_of(&get("method", Some("sarimax"))?)?,
+            granularity: granularity_of(&get("granularity", Some("hourly"))?)?,
+            detect_shocks: flags.contains_key("detect-shocks"),
+        }),
+        "advise" => Ok(Command::Advise {
+            input: get("input", None)?,
+            threshold: get("threshold", None)?
+                .parse()
+                .map_err(|_| err("--threshold must be a number"))?,
+            method: method_of(&get("method", Some("sarimax"))?)?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(err(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "dwcp — database workload capacity planning (SIGMOD'20 reproduction)
+
+USAGE:
+  dwcp simulate [--scenario olap|oltp] [--instance NAME] [--metric cpu|memory|iops]
+                [--seed N] [--out FILE]
+  dwcp forecast --input FILE [--method sarimax|hes|tbats]
+                [--granularity hourly|daily|weekly] [--detect-shocks]
+  dwcp advise   --input FILE --threshold X [--method sarimax|hes|tbats]
+
+CSV input: one observation per line, `value` or `timestamp,value`.
+";
+
+/// Parse a metric CSV into a [`TimeSeries`] (assumed hourly unless
+/// timestamps imply otherwise; blank/NaN fields become gaps).
+pub fn read_csv(content: &str) -> Result<TimeSeries, CliError> {
+    let mut timestamps: Vec<Option<u64>> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let (ts, value_field) = match fields.len() {
+            1 => (None, fields[0]),
+            2 => (fields[0].parse::<u64>().ok(), fields[1]),
+            n => {
+                return Err(err(format!(
+                    "line {}: expected 1 or 2 fields, got {n}",
+                    lineno + 1
+                )))
+            }
+        };
+        let value = if value_field.is_empty() || value_field.eq_ignore_ascii_case("nan") {
+            f64::NAN
+        } else {
+            match value_field.parse::<f64>() {
+                Ok(v) => v,
+                Err(_) if lineno == 0 => continue, // header row
+                Err(_) => {
+                    return Err(err(format!(
+                        "line {}: `{value_field}` is not a number",
+                        lineno + 1
+                    )))
+                }
+            }
+        };
+        timestamps.push(ts);
+        values.push(value);
+    }
+    if values.is_empty() {
+        return Err(err("no observations in input"));
+    }
+    // Infer cadence from the first two timestamps when present.
+    let origin = timestamps.first().copied().flatten().unwrap_or(0);
+    let frequency = match (timestamps.first().copied().flatten(), timestamps.get(1).copied().flatten())
+    {
+        (Some(a), Some(b)) if b > a => match b - a {
+            900 => Frequency::QuarterHourly,
+            3_600 => Frequency::Hourly,
+            86_400 => Frequency::Daily,
+            604_800 => Frequency::Weekly,
+            _ => Frequency::Hourly,
+        },
+        _ => Frequency::Hourly,
+    };
+    Ok(TimeSeries::new(values, frequency, origin))
+}
+
+/// Render a series as `timestamp,value` CSV.
+pub fn write_csv(series: &TimeSeries) -> String {
+    let mut out = String::with_capacity(series.len() * 20);
+    out.push_str("timestamp,value\n");
+    for (i, &v) in series.values().iter().enumerate() {
+        if v.is_nan() {
+            out.push_str(&format!("{},\n", series.timestamp(i)));
+        } else {
+            out.push_str(&format!("{},{v:.6}\n", series.timestamp(i)));
+        }
+    }
+    out
+}
+
+/// Execute a parsed command, writing human output to `stdout`.
+pub fn execute(command: Command, stdout: &mut impl std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        Command::Help => {
+            write!(stdout, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Simulate {
+            scenario,
+            instance,
+            metric,
+            seed,
+            out,
+        } => {
+            let scenario = scenario_of(&scenario)?;
+            let metric = metric_of(&metric)?;
+            let series = scenario.hourly(seed, &instance, metric)?;
+            let csv = write_csv(&series);
+            if out == "-" {
+                write!(stdout, "{csv}")?;
+            } else {
+                std::fs::write(&out, csv)?;
+                writeln!(
+                    stdout,
+                    "wrote {} hourly observations of {instance}/{} to {out}",
+                    series.len(),
+                    metric.label()
+                )?;
+            }
+            Ok(())
+        }
+        Command::Forecast {
+            input,
+            method,
+            granularity,
+            detect_shocks,
+        } => {
+            let content = std::fs::read_to_string(&input)?;
+            let series = read_csv(&content)?;
+            let mut config = PipelineConfig::hourly(method);
+            config.granularity = granularity;
+            config.auto_detect_shocks = detect_shocks;
+            let pipeline = Pipeline::new(config);
+            let horizon = granularity.horizon();
+            let (outcome, future) = pipeline.refit_and_forecast(&series, &[], &[], horizon)?;
+            writeln!(stdout, "# champion: {}", outcome.champion)?;
+            writeln!(
+                stdout,
+                "# held-out accuracy: RMSE {:.4}  MAPE {:.2}%  MAPA {:.2}%  ({} models evaluated)",
+                outcome.accuracy.rmse,
+                outcome.accuracy.mape,
+                outcome.accuracy.mapa,
+                outcome.evaluated
+            )?;
+            writeln!(stdout, "step,timestamp,forecast,lower,upper")?;
+            let step_seconds = series.frequency().seconds();
+            for h in 0..future.len() {
+                writeln!(
+                    stdout,
+                    "{h},{},{:.6},{:.6},{:.6}",
+                    series.next_timestamp() + h as u64 * step_seconds,
+                    future.mean[h],
+                    future.lower[h],
+                    future.upper[h]
+                )?;
+            }
+            Ok(())
+        }
+        Command::Advise {
+            input,
+            threshold,
+            method,
+        } => {
+            let content = std::fs::read_to_string(&input)?;
+            let series = read_csv(&content)?;
+            let pipeline = Pipeline::new(PipelineConfig::hourly(method));
+            let horizon = Granularity::Hourly.horizon();
+            let (outcome, future) = pipeline.refit_and_forecast(&series, &[], &[], horizon)?;
+            writeln!(stdout, "champion: {}", outcome.champion)?;
+            let advisor = ThresholdAdvisor::new(threshold);
+            match advisor.analyze(&future, series.next_timestamp(), series.frequency().seconds())
+            {
+                Some(adv) => writeln!(
+                    stdout,
+                    "ALERT: {:?} breach of {threshold} at step +{} (ts {}): mean {:.2}, upper {:.2}",
+                    adv.severity, adv.step, adv.timestamp, adv.forecast_mean, adv.forecast_upper
+                )?,
+                None => writeln!(
+                    stdout,
+                    "no breach of {threshold} within the {horizon}-step horizon"
+                )?,
+            }
+            Ok(())
+        }
+    }
+}
+
+fn scenario_of(name: &str) -> Result<Scenario, CliError> {
+    match name {
+        "olap" => Ok(olap_scenario()),
+        "oltp" => Ok(oltp_scenario()),
+        other => Err(err(format!("unknown scenario `{other}` (olap|oltp)"))),
+    }
+}
+
+fn metric_of(name: &str) -> Result<Metric, CliError> {
+    match name {
+        "cpu" => Ok(Metric::CpuPercent),
+        "memory" | "mem" => Ok(Metric::MemoryMb),
+        "iops" | "io" => Ok(Metric::LogicalIops),
+        other => Err(err(format!("unknown metric `{other}` (cpu|memory|iops)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_simulate_with_defaults() {
+        let cmd = parse(&args("simulate")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                scenario: "oltp".into(),
+                instance: "cdbm011".into(),
+                metric: "cpu".into(),
+                seed: 42,
+                out: "-".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_forecast_flags() {
+        let cmd = parse(&args(
+            "forecast --input series.csv --method hes --granularity daily",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Forecast {
+                input: "series.csv".into(),
+                method: MethodChoice::Hes,
+                granularity: Granularity::Daily,
+                detect_shocks: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_detect_shocks_is_a_bare_flag() {
+        let cmd = parse(&args("forecast --input x.csv --detect-shocks")).unwrap();
+        match cmd {
+            Command::Forecast { detect_shocks, .. } => assert!(detect_shocks),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("advise --input x.csv")).is_err()); // missing threshold
+        assert!(parse(&args("forecast --input x.csv --method prophet")).is_err());
+        assert!(parse(&args("simulate --seed twelve")).is_err());
+        assert!(parse(&args("simulate notaflag")).is_err());
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let series = TimeSeries::new(vec![1.5, f64::NAN, 3.25], Frequency::Hourly, 7200);
+        let csv = write_csv(&series);
+        let back = read_csv(&csv).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.origin(), 7200);
+        assert_eq!(back.frequency(), Frequency::Hourly);
+        assert_eq!(back.values()[0], 1.5);
+        assert!(back.values()[1].is_nan());
+        assert_eq!(back.values()[2], 3.25);
+    }
+
+    #[test]
+    fn csv_single_column_and_comments() {
+        let series = read_csv("# cpu trace\n10.5\n11\n\n12.5\n").unwrap();
+        assert_eq!(series.values(), &[10.5, 11.0, 12.5]);
+    }
+
+    #[test]
+    fn csv_header_row_is_skipped() {
+        let series = read_csv("timestamp,value\n0,1.0\n3600,2.0\n").unwrap();
+        assert_eq!(series.len(), 2);
+    }
+
+    #[test]
+    fn csv_daily_cadence_detected() {
+        let series = read_csv("0,5\n86400,6\n172800,7\n").unwrap();
+        assert_eq!(series.frequency(), Frequency::Daily);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(read_csv("").is_err());
+        assert!(read_csv("1.0\nnot_a_number\n").is_err());
+        assert!(read_csv("1,2,3\n").is_err());
+    }
+
+    #[test]
+    fn execute_help_prints_usage() {
+        let mut out = Vec::new();
+        execute(Command::Help, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn execute_simulate_to_stdout() {
+        let mut out = Vec::new();
+        execute(
+            Command::Simulate {
+                scenario: "olap".into(),
+                instance: "cdbm012".into(),
+                metric: "cpu".into(),
+                seed: 1,
+                out: "-".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("timestamp,value\n"));
+        assert!(text.lines().count() > 1000);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dwcp — Database Workload Capacity Planning
+//!
+//! A Rust reproduction of Higginson et al., *Database Workload Capacity
+//! Planning using Time Series Analysis and Machine Learning* (SIGMOD 2020).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`math`] — numerical substrate (linear algebra, optimisation, FFT,
+//!   distributions),
+//! * [`series`] — time-series containers, diagnostics and transforms,
+//! * [`models`] — ARIMA/SARIMA/SARIMAX (+exogenous, +Fourier), exponential
+//!   smoothing (HES) and TBATS forecasting models,
+//! * [`workload`] — the simulated N-tier clustered database testbed
+//!   (agent, repository, OLAP/OLTP scenarios, shocks),
+//! * [`planner`] — the paper's contribution: automated model selection,
+//!   parallel grid search, the model repository with its staleness policy,
+//!   and the forecasting/advisory API,
+//! * [`cli`] — the `dwcp` command-line tool (`simulate` / `forecast` /
+//!   `advise` over CSV series).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub mod cli;
+
+pub use dwcp_core as planner;
+pub use dwcp_math as math;
+pub use dwcp_models as models;
+pub use dwcp_series as series;
+pub use dwcp_workload as workload;

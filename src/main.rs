@@ -1,0 +1,22 @@
+//! The `dwcp` binary: see [`dwcp::cli`] for the command grammar.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match dwcp::cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", dwcp::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match dwcp::cli::execute(command, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests of the `dwcp` command-line tool: simulate to a file,
+//! forecast it, and raise an advisory — the full operator loop without a
+//! terminal.
+
+use dwcp::cli::{execute, parse, Command};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dwcp_cli_test_{name}_{}", std::process::id()))
+}
+
+fn run(cmd: Command) -> String {
+    let mut out = Vec::new();
+    execute(cmd, &mut out).expect("command failed");
+    String::from_utf8(out).expect("utf8 output")
+}
+
+#[test]
+fn simulate_forecast_advise_loop() {
+    let csv_path = tmp("loop");
+    // 1. Simulate to a file.
+    let msg = run(Command::Simulate {
+        scenario: "olap".into(),
+        instance: "cdbm011".into(),
+        metric: "cpu".into(),
+        seed: 4,
+        out: csv_path.to_string_lossy().into_owned(),
+    });
+    assert!(msg.contains("wrote"), "{msg}");
+    let content = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(content.lines().count() > 1008);
+
+    // 2. Forecast it (HES branch is fastest for a test).
+    let cmd = parse(&[
+        "forecast".to_string(),
+        "--input".to_string(),
+        csv_path.to_string_lossy().into_owned(),
+        "--method".to_string(),
+        "hes".to_string(),
+    ])
+    .unwrap();
+    let out = run(cmd);
+    assert!(out.contains("# champion:"), "{out}");
+    assert!(out.contains("step,timestamp,forecast,lower,upper"), "{out}");
+    // 24 hourly forecast rows.
+    let rows = out
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.starts_with("step"))
+        .count();
+    assert_eq!(rows, 24, "{out}");
+
+    // 3. Advisory against an unreachable threshold: no breach expected.
+    let cmd = parse(&[
+        "advise".to_string(),
+        "--input".to_string(),
+        csv_path.to_string_lossy().into_owned(),
+        "--threshold".to_string(),
+        "1000".to_string(),
+        "--method".to_string(),
+        "hes".to_string(),
+    ])
+    .unwrap();
+    let out = run(cmd);
+    assert!(out.contains("no breach"), "{out}");
+
+    // 4. Advisory against a threshold inside the daily cycle: must alert.
+    let cmd = parse(&[
+        "advise".to_string(),
+        "--input".to_string(),
+        csv_path.to_string_lossy().into_owned(),
+        "--threshold".to_string(),
+        "30".to_string(),
+        "--method".to_string(),
+        "hes".to_string(),
+    ])
+    .unwrap();
+    let out = run(cmd);
+    assert!(out.contains("ALERT"), "{out}");
+
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
+fn forecast_rejects_missing_file() {
+    let cmd = Command::Forecast {
+        input: "/nonexistent/definitely_missing.csv".into(),
+        method: dwcp::planner::MethodChoice::Hes,
+        granularity: dwcp::series::Granularity::Hourly,
+        detect_shocks: false,
+    };
+    let mut out = Vec::new();
+    assert!(execute(cmd, &mut out).is_err());
+}
+
+#[test]
+fn forecast_on_external_csv_with_gaps() {
+    // A hand-made hourly CSV with trend + cycle + gaps, as an outside user
+    // would supply: the pipeline interpolates and forecasts.
+    let csv_path = tmp("external");
+    let mut content = String::from("timestamp,value\n");
+    for t in 0..1100u64 {
+        if t % 97 == 13 {
+            content.push_str(&format!("{},\n", t * 3600)); // gap
+        } else {
+            let v = 200.0
+                + 0.1 * t as f64
+                + 30.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin();
+            content.push_str(&format!("{},{v:.3}\n", t * 3600));
+        }
+    }
+    std::fs::write(&csv_path, content).unwrap();
+    let cmd = parse(&[
+        "forecast".to_string(),
+        "--input".to_string(),
+        csv_path.to_string_lossy().into_owned(),
+        "--method".to_string(),
+        "hes".to_string(),
+    ])
+    .unwrap();
+    let out = run(cmd);
+    assert!(out.contains("Holt-Winters"), "{out}");
+    // Forecast continues the trend: last forecast ≈ 200 + 0.1·(1100+24) ± cycle.
+    let last_line = out.lines().last().unwrap();
+    let forecast: f64 = last_line.split(',').nth(2).unwrap().parse().unwrap();
+    assert!((forecast - 312.0).abs() < 40.0, "{last_line}");
+    std::fs::remove_file(&csv_path).ok();
+}

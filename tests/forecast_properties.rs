@@ -1,0 +1,165 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary inputs, exercised through the public facade.
+
+use dwcp::math::fft::{dft_naive, fft, Complex};
+use dwcp::models::{ArimaSpec, Forecast};
+use dwcp::series::accuracy::Accuracy;
+use dwcp::series::boxcox::{boxcox, inv_boxcox};
+use dwcp::series::diff::Differencer;
+use dwcp::series::interpolate::interpolate_gaps;
+use dwcp::series::{acf, pacf};
+use proptest::prelude::*;
+
+fn finite_series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len)
+}
+
+fn positive_series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..1e5, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn acf_is_bounded_and_starts_at_one(y in finite_series(8..200)) {
+        let rho = acf(&y, 20).unwrap();
+        prop_assert_eq!(rho[0], 1.0);
+        for &v in &rho {
+            prop_assert!(v.abs() <= 1.0 + 1e-9, "acf value {} out of range", v);
+        }
+    }
+
+    #[test]
+    fn pacf_is_bounded(y in finite_series(8..200)) {
+        let p = pacf(&y, 15).unwrap();
+        for &v in &p {
+            prop_assert!(v.abs() <= 1.0 + 1e-9, "pacf value {} out of range", v);
+        }
+    }
+
+    #[test]
+    fn differencing_integration_roundtrip(
+        y in finite_series(40..120),
+        d in 0usize..3,
+        seasonal in prop::bool::ANY,
+    ) {
+        let spec = Differencer {
+            d,
+            seasonal_d: if seasonal { 1 } else { 0 },
+            period: 7,
+        };
+        prop_assume!(y.len() > spec.loss() + 10);
+        let split = y.len() - 8;
+        let diffed_full = spec.apply(&y).unwrap();
+        let diffed_train = spec.apply(&y[..split]).unwrap();
+        let future = &diffed_full.values[diffed_full.values.len() - 8..];
+        let rebuilt = spec.integrate(&diffed_train, future);
+        for (a, b) in rebuilt.iter().zip(&y[split..]) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn boxcox_roundtrip(y in positive_series(8..100), lambda in -1.0f64..2.0) {
+        let t = boxcox(&y, lambda).unwrap();
+        let back = inv_boxcox(&t, lambda);
+        for (a, b) in back.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn interpolation_preserves_finite_values_and_kills_gaps(
+        mut y in finite_series(3..60),
+        gap_idx in prop::collection::vec(0usize..60, 1..10),
+    ) {
+        let originals = y.clone();
+        let mut gapped = false;
+        for &i in &gap_idx {
+            if i < y.len() && y.len() > gap_idx.len() {
+                y[i] = f64::NAN;
+                gapped = true;
+            }
+        }
+        prop_assume!(y.iter().any(|v| v.is_finite()));
+        interpolate_gaps(&mut y).unwrap();
+        prop_assert!(y.iter().all(|v| v.is_finite()));
+        if gapped {
+            // Untouched points keep their exact values.
+            for (i, (&a, &b)) in y.iter().zip(&originals).enumerate() {
+                if !gap_idx.contains(&i) {
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(re in prop::collection::vec(-100.0f64..100.0, 2..64)) {
+        let input: Vec<Complex> = re.iter().map(|&r| Complex::new(r, 0.0)).collect();
+        let fast = fft(&input);
+        let slow = dft_naive(&input);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 * (1.0 + b.re.abs()));
+            prop_assert!((a.im - b.im).abs() < 1e-6 * (1.0 + b.im.abs()));
+        }
+    }
+
+    #[test]
+    fn accuracy_rmse_dominates_mae(
+        pairs in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 1..50)
+    ) {
+        let (actual, forecast): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let acc = Accuracy::compute(&actual, &forecast).unwrap();
+        // RMSE ≥ MAE always (Cauchy-Schwarz), MAPA ∈ [0, 100].
+        prop_assert!(acc.rmse >= acc.mae - 1e-9);
+        prop_assert!((0.0..=100.0).contains(&acc.mapa));
+    }
+
+    #[test]
+    fn forecast_intervals_are_ordered(
+        mean in prop::collection::vec(-1e4f64..1e4, 1..30),
+        se_seed in 0.01f64..100.0,
+    ) {
+        let se: Vec<f64> = (0..mean.len()).map(|i| se_seed * (1.0 + i as f64)).collect();
+        let f = Forecast::with_normal_intervals(mean, se, 0.95);
+        for h in 0..f.len() {
+            prop_assert!(f.lower[h] <= f.mean[h]);
+            prop_assert!(f.mean[h] <= f.upper[h]);
+        }
+    }
+
+    #[test]
+    fn arima_spec_display_roundtrip_shape(
+        p in 0usize..31, d in 0usize..2, q in 0usize..3,
+    ) {
+        let spec = ArimaSpec::arima(p, d, q);
+        let s = spec.to_string();
+        prop_assert_eq!(s, format!("({},{},{})", p, d, q));
+    }
+}
+
+#[test]
+fn arima_fit_on_short_seasonal_series_never_panics() {
+    // Fuzz-ish determinstic sweep: every (p,d,q) on a short series must
+    // return Ok or a clean error, never panic or hang.
+    let y: Vec<f64> = (0..60).map(|t| (t as f64 * 0.7).sin() * 5.0 + 20.0).collect();
+    for p in 0..4 {
+        for d in 0..2 {
+            for q in 0..3 {
+                let spec = ArimaSpec::arima(p, d, q);
+                let _ = dwcp::models::FittedArima::fit(
+                    &y,
+                    spec,
+                    &dwcp::models::arima::ArimaOptions {
+                        max_evals: 60,
+                        restarts: 0,
+                        interval_level: 0.95,
+                ..Default::default()
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration: workload simulator → agent → repository →
+//! Figure 4 pipeline → forecast, across both experiments and both method
+//! branches.
+
+use dwcp::planner::{
+    EvaluationOptions, MethodChoice, ModelFamily, Pipeline, PipelineConfig,
+};
+use dwcp::series::Granularity;
+use dwcp::workload::{olap_scenario, oltp_scenario, Metric};
+
+/// Reduced-budget config so the integration suite stays fast in debug.
+fn fast(method: MethodChoice) -> PipelineConfig {
+    PipelineConfig {
+        method,
+        granularity: Granularity::Hourly,
+        max_candidates: 4,
+        fourier_stage: false,
+        auto_detect_shocks: false,
+        eval: EvaluationOptions {
+            threads: 0,
+            fit: dwcp::models::arima::ArimaOptions {
+                max_evals: 120,
+                restarts: 0,
+                interval_level: 0.95,
+                ..Default::default()
+            },
+            start_index: 0,
+        },
+    }
+}
+
+#[test]
+fn olap_sarimax_end_to_end() {
+    let scenario = olap_scenario();
+    let cpu = scenario.hourly(1, "cdbm011", Metric::CpuPercent).unwrap();
+    let exog = scenario.exogenous_columns(scenario.start, cpu.len());
+    let outcome = Pipeline::new(fast(MethodChoice::Sarimax))
+        .run(&cpu, &exog)
+        .unwrap();
+    // The OLAP CPU cycle swings ~25 points peak-to-trough; a competent
+    // seasonal model must land far below that.
+    assert!(
+        outcome.accuracy.rmse < 8.0,
+        "RMSE = {} for {}",
+        outcome.accuracy.rmse,
+        outcome.champion
+    );
+    assert_eq!(outcome.test_forecast.len(), 24);
+    let profile = outcome.profile.expect("sarimax branch profiles");
+    assert_eq!(profile.primary_period(0), 24);
+}
+
+#[test]
+fn olap_hes_end_to_end() {
+    let scenario = olap_scenario();
+    let cpu = scenario.hourly(1, "cdbm012", Metric::CpuPercent).unwrap();
+    let outcome = Pipeline::new(fast(MethodChoice::Hes))
+        .run(&cpu, &[])
+        .unwrap();
+    assert!(
+        outcome.champion.contains("Holt-Winters"),
+        "champion = {}",
+        outcome.champion
+    );
+    assert!(outcome.accuracy.rmse < 8.0, "RMSE = {}", outcome.accuracy.rmse);
+}
+
+#[test]
+fn oltp_sarimax_tracks_growth() {
+    let scenario = oltp_scenario();
+    let mem = scenario.hourly(2, "cdbm012", Metric::MemoryMb).unwrap();
+    let exog = scenario.exogenous_columns(scenario.start, mem.len());
+    let outcome = Pipeline::new(fast(MethodChoice::Sarimax))
+        .run(&mem, &exog)
+        .unwrap();
+    // Memory grows ~55 MB/day; the forecast must continue above the last
+    // training level, not revert to the series mean.
+    let last_train = outcome.train.tail(24).mean();
+    let forecast_mean: f64 =
+        outcome.test_forecast.mean.iter().sum::<f64>() / outcome.test_forecast.len() as f64;
+    assert!(
+        forecast_mean > last_train * 0.95,
+        "forecast {forecast_mean:.1} fell below training level {last_train:.1}"
+    );
+    // And it must be accurate in relative terms.
+    assert!(
+        outcome.accuracy.mape < 10.0,
+        "MAPE = {}%",
+        outcome.accuracy.mape
+    );
+}
+
+#[test]
+fn oltp_family_ordering_matches_paper_shape() {
+    // Table 2(b)'s qualitative result: seasonal models beat plain ARIMA on
+    // the complicated OLTP workload, and the champion never loses to the
+    // plain ARIMA family best.
+    let scenario = oltp_scenario();
+    let cpu = scenario.hourly(3, "cdbm011", Metric::CpuPercent).unwrap();
+    let exog = scenario.exogenous_columns(scenario.start, cpu.len());
+    let report = Pipeline::new(fast(MethodChoice::Sarimax))
+        .family_comparison(&cpu, &exog, 3)
+        .unwrap();
+    let arima = report.best_of_family(ModelFamily::Arima).unwrap().accuracy.rmse;
+    let champion = report.champion().unwrap();
+    assert!(champion.accuracy.rmse <= arima);
+    assert!(report.best_of_family(ModelFamily::Sarimax).is_some());
+    assert!(report
+        .best_of_family(ModelFamily::SarimaxFftExogenous)
+        .is_some());
+}
+
+#[test]
+fn maintenance_gaps_flow_through_interpolation() {
+    use dwcp::workload::{Agent, FaultPlan};
+    let mut scenario = olap_scenario();
+    // Knock out four full hours of polling mid-capture.
+    scenario.agent = Agent::with_faults(FaultPlan {
+        drop_probability: 0.0,
+        maintenance: vec![dwcp::workload::agent::MaintenanceWindow {
+            start: 20 * 86_400,
+            end: 20 * 86_400 + 4 * 3600,
+        }],
+    });
+    let cpu = scenario.hourly(5, "cdbm011", Metric::CpuPercent).unwrap();
+    assert_eq!(cpu.gap_count(), 4, "maintenance must create hourly gaps");
+    let outcome = Pipeline::new(fast(MethodChoice::Hes)).run(&cpu, &[]).unwrap();
+    assert!(outcome.gaps_filled >= 1, "pipeline must interpolate the gaps");
+    assert!(outcome.accuracy.rmse.is_finite());
+}
+
+#[test]
+fn forecast_intervals_contain_most_actuals() {
+    let scenario = olap_scenario();
+    let cpu = scenario.hourly(8, "cdbm011", Metric::CpuPercent).unwrap();
+    let exog = scenario.exogenous_columns(scenario.start, cpu.len());
+    let outcome = Pipeline::new(fast(MethodChoice::Sarimax))
+        .run(&cpu, &exog)
+        .unwrap();
+    let inside = outcome
+        .test
+        .values()
+        .iter()
+        .zip(outcome.test_forecast.lower.iter().zip(&outcome.test_forecast.upper))
+        .filter(|(&a, (&lo, &hi))| a >= lo && a <= hi)
+        .count();
+    // 95 % nominal; demand at least 60 % to allow CSS-approximation slack
+    // without letting intervals be meaningless.
+    assert!(inside >= 15, "only {inside}/24 actuals inside the 95% band");
+}

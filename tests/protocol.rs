@@ -1,0 +1,109 @@
+//! Conformance tests for the paper's published protocol numbers: the
+//! Table 1 train/test breakdown and the §6.3 model-space cardinalities,
+//! exercised through the public facade.
+
+use dwcp::planner::{ModelFamily, ModelGrid};
+use dwcp::series::{Frequency, Granularity, TimeSeries, TrainTestSplit};
+
+#[test]
+fn table1_every_row_sums() {
+    for g in [Granularity::Hourly, Granularity::Daily, Granularity::Weekly] {
+        assert_eq!(
+            g.train_size() + g.test_size(),
+            g.observations(),
+            "{}",
+            g.label()
+        );
+        assert_eq!(g.horizon(), g.test_size(), "{}", g.label());
+    }
+}
+
+#[test]
+fn table1_exact_published_numbers() {
+    assert_eq!(
+        (
+            Granularity::Hourly.observations(),
+            Granularity::Hourly.train_size(),
+            Granularity::Hourly.test_size()
+        ),
+        (1008, 984, 24)
+    );
+    assert_eq!(
+        (
+            Granularity::Daily.observations(),
+            Granularity::Daily.train_size(),
+            Granularity::Daily.test_size()
+        ),
+        (90, 83, 7)
+    );
+    assert_eq!(
+        (
+            Granularity::Weekly.observations(),
+            Granularity::Weekly.train_size(),
+            Granularity::Weekly.test_size()
+        ),
+        (92, 88, 4)
+    );
+}
+
+#[test]
+fn section63_grid_cardinalities() {
+    // "ARIMA p,d,q = 180 models per instance (totalling 360 models)"
+    let arima = ModelGrid::arima();
+    assert_eq!(arima.len(), 180);
+    assert_eq!(arima.len() * 2, 360); // two instances
+
+    // "SARIMAX p,d,q,P,D,Q,F = 660 models per instance (totalling 1320)"
+    let sarimax = ModelGrid::sarimax(24);
+    assert_eq!(sarimax.len(), 660);
+    assert_eq!(sarimax.len() * 2, 1320);
+
+    // "SARIMAX … + Exogenous (4) + Fourier Terms (2) = 666 per instance
+    // (totalling 1332)"
+    let exo = ModelGrid::sarimax_exogenous(24, 4);
+    let fourier = ModelGrid::fourier_variants(&exo.candidates[0].config, &[24.0, 168.0]);
+    assert_eq!(exo.len() + fourier.len(), 666);
+    assert_eq!((exo.len() + fourier.len()) * 2, 1332);
+
+    // Across the two experiments and two nodes: "over 6000 models".
+    let per_instance = arima.len() + sarimax.len() + exo.len() + fourier.len();
+    let total = per_instance * 2 * 2;
+    assert!(total > 6000, "total = {total}");
+}
+
+#[test]
+fn grid_families_are_consistent() {
+    assert!(ModelGrid::arima()
+        .candidates
+        .iter()
+        .all(|c| c.family == ModelFamily::Arima && !c.config.spec.is_seasonal()));
+    assert!(ModelGrid::sarimax(24)
+        .candidates
+        .iter()
+        .all(|c| c.family == ModelFamily::Sarimax && c.config.spec.is_seasonal()));
+}
+
+#[test]
+fn protocol_split_through_facade() {
+    let series = TimeSeries::new(
+        (0..1100).map(|i| i as f64).collect(),
+        Frequency::Hourly,
+        0,
+    );
+    let split = TrainTestSplit::from_series(&series, Granularity::Hourly).unwrap();
+    assert_eq!(split.train.len(), 984);
+    assert_eq!(split.test.len(), 24);
+    // Contiguity: test follows train immediately.
+    assert_eq!(
+        split.train.values().last().copied().unwrap() + 1.0,
+        split.test.values()[0]
+    );
+}
+
+#[test]
+fn makridakis_hourly_guidance_is_satisfied_by_the_protocol() {
+    // §4.4: "for an effective hourly forecast 700 hourly data points (circa
+    // 29 days) are required" — the protocol's 984-hour training set
+    // comfortably exceeds that.
+    assert!(Granularity::Hourly.train_size() >= 700);
+}

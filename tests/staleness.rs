@@ -1,0 +1,109 @@
+//! Streaming replay of the model-repository life-cycle: the one-week
+//! staleness rule, the RMSE-degradation trigger and the shock policy, as a
+//! sliding-window simulation rather than isolated unit checks.
+
+use dwcp::planner::{ModelRecord, ModelRepository, RetentionPolicy, ShockTracker};
+use dwcp::series::Granularity;
+
+const DAY: u64 = 86_400;
+
+fn record(workload: &str, rmse: f64, fitted_at: u64) -> ModelRecord {
+    ModelRecord {
+        workload: workload.to_string(),
+        champion: "SARIMAX FFT Exogenous (4,1,2)(1,1,1,24)".to_string(),
+        granularity: Granularity::Hourly,
+        baseline_rmse: rmse,
+        fitted_at,
+    }
+}
+
+#[test]
+fn weekly_replay_relearns_exactly_on_schedule() {
+    let mut repo = ModelRepository::new();
+    let key = "cdbm011/CPU";
+    let mut relearn_days: Vec<u64> = Vec::new();
+
+    // 30-day replay with stable accuracy: the only relearn trigger is age.
+    for day in 0..30u64 {
+        let now = day * DAY;
+        if repo.needs_relearn(key, now, Some(10.0)).is_some() {
+            relearn_days.push(day);
+            repo.store(record(key, 10.0, now));
+        }
+    }
+    // Day 0 (missing), then every 8th day after (age crosses 7 days).
+    assert_eq!(relearn_days, vec![0, 8, 16, 24]);
+}
+
+#[test]
+fn degradation_preempts_the_weekly_schedule() {
+    let mut repo = ModelRepository::new();
+    let key = "cdbm011/IOPS";
+    repo.store(record(key, 100.0, 0));
+
+    // Day 2: live RMSE spikes to 5× baseline — relearn immediately.
+    let verdict = repo.needs_relearn(key, 2 * DAY, Some(500.0));
+    assert!(verdict.is_some());
+    repo.store(record(key, 480.0, 2 * DAY));
+
+    // The refreshed baseline absorbs the new level: no further trigger.
+    assert!(repo.needs_relearn(key, 3 * DAY, Some(500.0)).is_none());
+}
+
+#[test]
+fn custom_policy_changes_both_rules() {
+    let mut repo = ModelRepository::new();
+    repo.policy = RetentionPolicy {
+        max_age_seconds: 2 * DAY,
+        rmse_degradation_factor: 1.2,
+    };
+    let key = "w";
+    repo.store(record(key, 10.0, 0));
+    assert!(repo.needs_relearn(key, DAY, Some(11.0)).is_none());
+    assert!(repo.needs_relearn(key, DAY, Some(13.0)).is_some()); // > 12
+    assert!(repo.needs_relearn(key, 2 * DAY + 1, Some(10.0)).is_some()); // age
+}
+
+#[test]
+fn repository_round_trips_through_disk() {
+    let mut repo = ModelRepository::new();
+    for i in 0..10 {
+        repo.store(record(&format!("cdbm01{}/CPU", i % 2 + 1), i as f64, i * DAY));
+    }
+    let path = std::env::temp_dir().join("dwcp_staleness_roundtrip.json");
+    repo.save(&path).unwrap();
+    let loaded = ModelRepository::load(&path).unwrap();
+    assert_eq!(loaded.len(), 2); // keyed by workload: last write wins
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn crash_storm_becomes_behaviour_single_crash_does_not() {
+    // §9: "if a system crashes we discard it, however if the system
+    // continually crashes the learning engine will see it as a behaviour."
+    let mut tracker = ShockTracker::new();
+
+    // One crash in week 1: stays an anomaly.
+    tracker.record("crash");
+    assert!(!tracker.is_behaviour("crash"));
+
+    // Operator confirms the system was in fault and overrides manually.
+    tracker.discard("crash");
+    assert_eq!(tracker.count("crash"), 0);
+
+    // A crash-loop: 6 occurrences — now it is a behaviour the forecast
+    // must model.
+    for _ in 0..6 {
+        tracker.record("crash");
+    }
+    assert!(tracker.is_behaviour("crash"));
+}
+
+#[test]
+fn per_workload_isolation() {
+    let mut repo = ModelRepository::new();
+    repo.store(record("cdbm011/CPU", 10.0, 0));
+    // A different workload key is independent — still missing.
+    assert!(repo.needs_relearn("cdbm012/CPU", 0, Some(10.0)).is_some());
+    assert!(repo.needs_relearn("cdbm011/CPU", 0, Some(10.0)).is_none());
+}
