@@ -28,7 +28,54 @@ fn quick_eval(threads: usize) -> EvaluationOptions {
                 ..Default::default()
         },
         start_index: 0,
+        ..Default::default()
     }
+}
+
+/// Baseline switches the acceleration layer off (per-candidate
+/// differencing, cold starts); accelerated is the default configuration.
+/// Unlike [`quick_eval`] this uses the convergence-driven evaluation
+/// budget (`max_evals: 0`) — warm-start refinement saves evaluations, so
+/// an artificially capped budget would hide the layer's payoff.
+fn accel_eval(threads: usize, accelerated: bool) -> EvaluationOptions {
+    EvaluationOptions {
+        cache_transforms: accelerated,
+        warm_start: accelerated,
+        fit: ArimaOptions {
+            max_evals: 0,
+            restarts: 0,
+            interval_level: 0.95,
+            ..Default::default()
+        },
+        ..quick_eval(threads)
+    }
+}
+
+/// The headline number: the full 180-model ARIMA grid, baseline vs the
+/// acceleration layer, at 4 worker threads.
+fn bench_arima_grid_180(c: &mut Criterion) {
+    let y = series(504);
+    let (train, test) = y.split_at(480);
+    let grid = ModelGrid::arima();
+    let mut group = c.benchmark_group("grid/arima_180");
+    group.sample_size(10);
+    for (label, accelerated) in [("baseline_4_threads", false), ("accelerated_4_threads", true)] {
+        group.bench_function(label, |b| {
+            let opts = accel_eval(4, accelerated);
+            b.iter(|| {
+                evaluate_candidates(
+                    black_box(train),
+                    black_box(test),
+                    &[],
+                    &[],
+                    &grid.candidates,
+                    &opts,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_parallel_speedup(c: &mut Criterion) {
@@ -108,6 +155,7 @@ fn bench_grid_generation(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_arima_grid_180,
     bench_parallel_speedup,
     bench_pruning_payoff,
     bench_grid_generation

@@ -76,7 +76,7 @@ fn bench_sarimax_regression(c: &mut Criterion) {
             n_exog: 4,
         };
         b.iter(|| {
-            FittedSarimax::fit(black_box(&y), config.clone(), &exog, 0, &fit_options()).unwrap()
+            FittedSarimax::fit(black_box(&y), &config, &exog, 0, &fit_options()).unwrap()
         })
     });
     group.bench_function("exog4_fourier2x2", |b| {
@@ -87,7 +87,7 @@ fn bench_sarimax_regression(c: &mut Criterion) {
             n_exog: 4,
         };
         b.iter(|| {
-            FittedSarimax::fit(black_box(&y), config.clone(), &exog, 0, &fit_options()).unwrap()
+            FittedSarimax::fit(black_box(&y), &config, &exog, 0, &fit_options()).unwrap()
         })
     });
     group.finish();

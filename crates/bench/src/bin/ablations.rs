@@ -47,6 +47,7 @@ fn opts(include_mean: bool, hr: bool, gls: bool) -> ArimaOptions {
         include_mean,
         hannan_rissanen_init: hr,
         gls_refinement: gls,
+        ..Default::default()
     }
 }
 
@@ -112,7 +113,7 @@ fn ablation_gls(
     for (label, gls) in [("with GLS pass", true), ("plain two-step", false)] {
         let fit = FittedSarimax::fit(
             train,
-            config.clone(),
+            &config,
             &exog_train,
             offset,
             &opts(true, true, gls),

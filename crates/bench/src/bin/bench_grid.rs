@@ -1,0 +1,173 @@
+//! Grid-search acceleration snapshot: the full 180-model ARIMA grid,
+//! baseline (per-candidate differencing, cold starts) versus the
+//! acceleration layer (shared transform cache + warm-start chains), at
+//! 1/2/4/8 worker threads, in exact mode.
+//!
+//! Writes `results/BENCH_grid.json` so future PRs can track the
+//! fit-throughput trajectory, and exits non-zero if the accelerated
+//! champion ever differs from the baseline champion — exact mode must not
+//! change model selection.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin bench_grid
+//! DWCP_QUICK=1 cargo run -p dwcp-bench --release --bin bench_grid   # 1 rep
+//! ```
+
+use dwcp_bench::results_dir;
+use dwcp_core::{evaluate_candidates, EvaluationOptions, EvaluationReport, ModelGrid};
+use dwcp_models::arima::ArimaOptions;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One (mode, threads) measurement.
+#[derive(Debug, Clone, Serialize)]
+struct GridRun {
+    mode: String,
+    threads: usize,
+    /// Best-of-reps wall-clock, milliseconds.
+    wall_ms: f64,
+    champion: String,
+    champion_rmse: f64,
+    scored: usize,
+    failures: usize,
+    abandoned: usize,
+    cache_entries: usize,
+    cache_hits: usize,
+    warm_starts: usize,
+    objective_evals: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct GridSnapshot {
+    grid: String,
+    candidates: usize,
+    train_len: usize,
+    test_len: usize,
+    max_evals: usize,
+    reps: usize,
+    runs: Vec<GridRun>,
+    /// baseline / accelerated wall-clock ratio at 4 threads.
+    speedup_4_threads: f64,
+}
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            let tf = t as f64;
+            60.0 + 0.03 * tf
+                + 12.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t * 2654435761 % 89) as f64) / 25.0
+        })
+        .collect()
+}
+
+fn opts(threads: usize, accelerated: bool) -> EvaluationOptions {
+    EvaluationOptions {
+        threads,
+        fit: ArimaOptions {
+            max_evals: 0, // default: convergence-driven budget (250 + 120k)
+            restarts: 0,
+            interval_level: 0.95,
+            ..Default::default()
+        },
+        start_index: 0,
+        cache_transforms: accelerated,
+        warm_start: accelerated,
+        ..Default::default()
+    }
+}
+
+fn champion_label(report: &EvaluationReport) -> (String, f64) {
+    match report.champion() {
+        Some(c) => (c.candidate.config.describe(), c.accuracy.rmse),
+        None => ("<none>".to_string(), f64::NAN),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reps = if std::env::var("DWCP_QUICK").is_ok() { 1 } else { 3 };
+    let y = series(504);
+    let (train, test) = y.split_at(480);
+    let grid = ModelGrid::arima();
+    println!(
+        "bench_grid: {} ARIMA candidates, train {} / test {}, {} rep(s)",
+        grid.len(),
+        train.len(),
+        test.len(),
+        reps
+    );
+
+    let mut runs = Vec::new();
+    let mut wall_4t = [f64::NAN; 2]; // [baseline, accelerated]
+    let mut champions_4t = [String::new(), String::new()];
+    for (mode_idx, (mode, accelerated)) in
+        [("baseline", false), ("accelerated", true)].into_iter().enumerate()
+    {
+        for threads in [1usize, 2, 4, 8] {
+            let o = opts(threads, accelerated);
+            let mut best_ms = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let report = evaluate_candidates(train, test, &[], &[], &grid.candidates, &o)?;
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                last = Some(report);
+            }
+            let report = last.expect("at least one rep");
+            let (champion, champion_rmse) = champion_label(&report);
+            println!(
+                "  {mode:<12} {threads}t  {best_ms:>8.1} ms   champion {champion}  \
+                 (cache hits {}, warm starts {}, {} objective evals)",
+                report.stats.cache_hits, report.stats.warm_starts, report.stats.objective_evals
+            );
+            if threads == 4 {
+                wall_4t[mode_idx] = best_ms;
+                champions_4t[mode_idx] = champion.clone();
+            }
+            runs.push(GridRun {
+                mode: mode.to_string(),
+                threads,
+                wall_ms: best_ms,
+                champion,
+                champion_rmse,
+                scored: report.scores.len(),
+                failures: report.failures,
+                abandoned: report.abandoned,
+                cache_entries: report.stats.cache_entries,
+                cache_hits: report.stats.cache_hits,
+                warm_starts: report.stats.warm_starts,
+                objective_evals: report.stats.objective_evals,
+            });
+        }
+    }
+
+    let speedup = wall_4t[0] / wall_4t[1];
+    println!("\nspeedup at 4 threads: {speedup:.2}x (baseline {:.1} ms → accelerated {:.1} ms)",
+        wall_4t[0], wall_4t[1]);
+
+    let snapshot = GridSnapshot {
+        grid: "arima_180".to_string(),
+        candidates: grid.len(),
+        train_len: train.len(),
+        test_len: test.len(),
+        max_evals: 0,
+        reps,
+        runs,
+        speedup_4_threads: speedup,
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_grid.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&snapshot).expect("serializable"))?;
+    println!("wrote {}", path.display());
+
+    // Exact mode must never change model selection.
+    if champions_4t[0] != champions_4t[1] {
+        eprintln!(
+            "FAIL: accelerated champion {} != baseline champion {}",
+            champions_4t[1], champions_4t[0]
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

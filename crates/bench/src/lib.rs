@@ -92,6 +92,7 @@ pub fn experiment_pipeline() -> Pipeline {
                 ..Default::default()
             },
             start_index: 0,
+            ..Default::default()
         },
     })
 }

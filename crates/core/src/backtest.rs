@@ -120,7 +120,7 @@ pub fn backtest(
             .iter()
             .map(|c| c[origin..origin + bt.horizon].to_vec())
             .collect();
-        let fold = FittedSarimax::fit(train, config.clone(), &exog_train, 0, &bt.fit)
+        let fold = FittedSarimax::fit(train, config, &exog_train, 0, &bt.fit)
             .and_then(|fit| fit.forecast(bt.horizon, &exog_future));
         match fold {
             Ok(forecast) => {

@@ -6,18 +6,56 @@
 //! on the training segment, forecast over the held-out test segment, and
 //! scored with the full accuracy report; fit failures are recorded rather
 //! than fatal (a 660-model grid always contains infeasible corners).
+//!
+//! # The acceleration layer
+//!
+//! Three observations make the naive fit-every-candidate loop wasteful:
+//!
+//! 1. **Differencing depends only on `(d, D, s)`**, not on the ARMA orders,
+//!    so a 180-model ARIMA grid recomputes the same two differenced series
+//!    90 times each. The *transform cache* applies each distinct
+//!    [`Differencer`](dwcp_series::diff::Differencer) signature once and
+//!    shares the result across workers via
+//!    [`FittedSarimax::fit_plain_prepared`] (bit-identical to the direct
+//!    fit).
+//! 2. **Adjacent specs have adjacent optima.** The converged parameters of
+//!    ARIMA(p,d,q) are an excellent start for ARIMA(p+1,d,q). Candidates
+//!    sharing a differencing signature are ordered into *warm-start chains*
+//!    executed sequentially by one worker, each fit seeded from its
+//!    predecessor through [`ArimaOptions::warm_start`]. The optimiser races
+//!    the warm start against the cold start, so quality never regresses;
+//!    chains have a fixed maximum length independent of the thread count,
+//!    so results are identical at any parallelism.
+//! 3. **Most candidates lose.** With [`EvaluationOptions::racing`] enabled,
+//!    workers publish the incumbent best RMSE in an atomic and fits whose
+//!    partial CSS objective cannot plausibly beat it are abandoned early —
+//!    recorded as `abandoned`, not failed. This is an opt-in approximation:
+//!    the CSS-vs-RMSE bound is heuristic, so exact mode (the default) never
+//!    races.
+//!
+//! Results are collected lock-free: each worker fills a private buffer,
+//! buffers are merged after the scope, and the final sort breaks RMSE ties
+//! by candidate index so the champion is deterministic even under exact
+//! ties.
 
 use crate::grid::{CandidateModel, ModelFamily};
 use crate::{PlannerError, Result};
-use dwcp_models::arima::ArimaOptions;
-use dwcp_models::{FittedSarimax, Forecast};
+use dwcp_models::arima::{adapt_unconstrained, ArimaOptions};
+use dwcp_models::{ArimaSpec, FittedArima, FittedSarimax, Forecast, ModelError};
+use dwcp_series::diff::Differenced;
 use dwcp_series::Accuracy;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Maximum warm-start chain length. Fixed (never derived from the thread
+/// count) so the set of fits — and therefore the champion — is identical at
+/// any parallelism; small enough that a 16-worker pool stays busy on a
+/// 180-candidate grid.
+const MAX_CHAIN_LEN: usize = 12;
 
 /// Options for a grid evaluation.
 #[derive(Debug, Clone)]
-#[derive(Default)]
 pub struct EvaluationOptions {
     /// Worker threads; 0 = one per available core.
     pub threads: usize,
@@ -25,14 +63,53 @@ pub struct EvaluationOptions {
     pub fit: ArimaOptions,
     /// Absolute time index of the first training observation.
     pub start_index: usize,
+    /// Share one differenced training series per `(d, D, s)` signature
+    /// across all plain candidates (on by default; off re-differences per
+    /// candidate, for ablation and benchmarking).
+    pub cache_transforms: bool,
+    /// Seed each fit from the converged parameters of its chain
+    /// predecessor (on by default; off cold-starts every candidate). When
+    /// the warm start beats the cold start, the optimiser runs a tight
+    /// local refinement on a fraction of the global-search budget instead
+    /// of a full-width search — this is where most of the layer's speedup
+    /// comes from. Fitted parameters can therefore differ from a cold fit
+    /// in the trailing digits; champion *selection* is unchanged on every
+    /// grid we test (and asserted by `bench_grid`).
+    pub warm_start: bool,
+    /// Champion-bound racing: abandon candidates whose partial CSS
+    /// objective cannot beat the incumbent best RMSE (scaled by
+    /// [`racing_slack`](EvaluationOptions::racing_slack)). **Opt-in**: the
+    /// bound is heuristic, so the default (exact) mode leaves this off and
+    /// always selects the same champion as the sequential search.
+    pub racing: bool,
+    /// Safety factor for the racing bound: a fit is abandoned only while
+    /// its CSS exceeds `(racing_slack × incumbent RMSE)²`. Larger is more
+    /// conservative. Ignored unless `racing` is set.
+    pub racing_slack: f64,
 }
 
+impl Default for EvaluationOptions {
+    fn default() -> Self {
+        EvaluationOptions {
+            threads: 0,
+            fit: ArimaOptions::default(),
+            start_index: 0,
+            cache_transforms: true,
+            warm_start: true,
+            racing: false,
+            racing_slack: 2.0,
+        }
+    }
+}
 
 /// The score sheet of one evaluated candidate.
 #[derive(Debug, Clone)]
 pub struct ModelScore {
     /// The candidate that was evaluated.
     pub candidate: CandidateModel,
+    /// Index of the candidate in the evaluated slice; the deterministic
+    /// tie-break for equal RMSEs.
+    pub candidate_index: usize,
     /// Accuracy on the held-out test segment.
     pub accuracy: Accuracy,
     /// AIC of the fit (regression parameters included).
@@ -41,15 +118,74 @@ pub struct ModelScore {
     pub forecast: Forecast,
 }
 
+/// Per-family instrumentation from one evaluation run.
+#[derive(Debug, Clone, Default)]
+pub struct FamilyStats {
+    /// Fit attempts (scored + failed + abandoned).
+    pub attempts: usize,
+    /// Successfully scored fits.
+    pub fits: usize,
+    /// Failed fits.
+    pub failures: usize,
+    /// Racing-abandoned fits.
+    pub abandoned: usize,
+    /// Wall-clock time spent fitting and scoring this family, summed over
+    /// workers (can exceed the run's wall time under parallelism).
+    pub fit_time: Duration,
+    /// Objective (CSS) evaluations spent on this family.
+    pub objective_evals: usize,
+}
+
+/// Instrumentation for a whole evaluation run.
+#[derive(Debug, Clone, Default)]
+pub struct EvalStats {
+    /// Wall-clock duration of the evaluation (scheduling + all workers).
+    pub wall_time: Duration,
+    /// Distinct differencing signatures materialised by the transform
+    /// cache (0 when the cache is disabled).
+    pub cache_entries: usize,
+    /// Fits served from the transform cache.
+    pub cache_hits: usize,
+    /// Fits that received a warm start from their chain predecessor.
+    pub warm_starts: usize,
+    /// Total objective (CSS) evaluations across all fits, including
+    /// abandoned ones.
+    pub objective_evals: usize,
+    /// Per-family breakdown, indexed by [`ModelFamily`] discriminant order
+    /// (Arima, Sarimax, SarimaxFftExogenous).
+    pub families: [FamilyStats; 3],
+}
+
+impl EvalStats {
+    /// The stats bucket for one family.
+    pub fn family(&self, family: ModelFamily) -> &FamilyStats {
+        &self.families[family_index(family)]
+    }
+}
+
+fn family_index(family: ModelFamily) -> usize {
+    match family {
+        ModelFamily::Arima => 0,
+        ModelFamily::Sarimax => 1,
+        ModelFamily::SarimaxFftExogenous => 2,
+    }
+}
+
 /// The outcome of evaluating a candidate set.
 #[derive(Debug)]
 pub struct EvaluationReport {
-    /// Successfully scored candidates, best RMSE first.
+    /// Successfully scored candidates, best RMSE first (ties broken by
+    /// candidate index).
     pub scores: Vec<ModelScore>,
     /// Number of candidates whose fit failed.
     pub failures: usize,
+    /// Number of candidates abandoned by champion-bound racing (always 0
+    /// unless [`EvaluationOptions::racing`] was set).
+    pub abandoned: usize,
     /// Total candidates attempted.
     pub attempted: usize,
+    /// Timing, cache and optimiser instrumentation.
+    pub stats: EvalStats,
 }
 
 impl EvaluationReport {
@@ -64,6 +200,91 @@ impl EvaluationReport {
     }
 }
 
+/// A differencing signature: `(d, D, effective period)`; the effective
+/// period collapses to 1 when `D == 0`, matching what
+/// [`FittedArima::differencer_for`] builds.
+type DiffKey = (usize, usize, usize);
+
+fn diff_key(spec: &ArimaSpec) -> DiffKey {
+    let differencer = FittedArima::differencer_for(spec);
+    (differencer.d, differencer.seasonal_d, differencer.period)
+}
+
+/// One unit of work: candidate indices fitted sequentially by one worker,
+/// each seeded from its predecessor's converged parameters.
+struct Chain {
+    indices: Vec<usize>,
+}
+
+/// Group candidates into warm-start chains.
+///
+/// Candidates chain together only when they share a differencing signature
+/// *and* an identical regression design (`n_exog`, Fourier column count) —
+/// within such a group the fitted processes are close neighbours, so
+/// parameters transfer. Groups are ordered so consecutive entries differ
+/// in as few ARMA orders as possible (seasonal orders outermost, then `q`,
+/// then `p`), and split at a fixed maximum length for load balance.
+///
+/// The grouping is a pure function of the candidate list, so the fit
+/// schedule — and with it every floating-point result — is independent of
+/// the thread count.
+fn build_chains(candidates: &[CandidateModel]) -> Vec<Chain> {
+    let mut groups: BTreeMap<(DiffKey, usize, usize), Vec<usize>> = BTreeMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        let key = (
+            diff_key(&c.config.spec),
+            c.config.n_exog,
+            c.config.fourier.n_columns(),
+        );
+        groups.entry(key).or_default().push(i);
+    }
+    let mut chains = Vec::new();
+    for (_, mut indices) in groups {
+        indices.sort_by_key(|&i| {
+            let s = &candidates[i].config.spec;
+            (s.seasonal_p, s.seasonal_q, s.q, s.p, i)
+        });
+        for chunk in indices.chunks(MAX_CHAIN_LEN) {
+            chains.push(Chain {
+                indices: chunk.to_vec(),
+            });
+        }
+    }
+    chains
+}
+
+/// Atomic minimum over non-negative f64s stored as bit patterns (the IEEE
+/// ordering of non-negative floats matches their bit ordering).
+fn update_min_f64(cell: &AtomicU64, value: f64) {
+    if !value.is_finite() || value < 0.0 {
+        return;
+    }
+    let mut current = cell.load(Ordering::Relaxed);
+    while value < f64::from_bits(current) {
+        match cell.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// What one worker accumulated; merged after the scope ends.
+#[derive(Default)]
+struct WorkerOutput {
+    scores: Vec<ModelScore>,
+    failures: usize,
+    abandoned: usize,
+    cache_hits: usize,
+    warm_starts: usize,
+    objective_evals: usize,
+    families: [FamilyStats; 3],
+}
+
 /// Evaluate `candidates` on a train/test split, in parallel.
 ///
 /// * `train` / `test` — the split series values.
@@ -71,6 +292,9 @@ impl EvaluationReport {
 ///   candidate to `config.n_exog` columns (all candidates share the same
 ///   column universe).
 /// * `exog_test` — the same columns over the test segment.
+///
+/// In default (exact) mode the result — champion, scores, everything — is
+/// identical for any `threads` setting, including under exact RMSE ties.
 pub fn evaluate_candidates(
     train: &[f64],
     test: &[f64],
@@ -79,6 +303,7 @@ pub fn evaluate_candidates(
     candidates: &[CandidateModel],
     opts: &EvaluationOptions,
 ) -> Result<EvaluationReport> {
+    let started = Instant::now();
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -86,87 +311,264 @@ pub fn evaluate_candidates(
     } else {
         opts.threads
     };
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<ModelScore>> = Mutex::new(Vec::with_capacity(candidates.len()));
-    let failures = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(candidates.len()).max(1) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= candidates.len() {
-                    break;
+    // Shared transform cache: one differenced training series per distinct
+    // plain-candidate differencing signature. Signatures whose transform
+    // fails (series too short) are simply absent — those candidates fall
+    // back to the direct fit path and fail there with the right error.
+    let cache: BTreeMap<DiffKey, Differenced> = if opts.cache_transforms {
+        let mut map = BTreeMap::new();
+        for c in candidates {
+            if c.config.has_regression() {
+                continue;
+            }
+            let key = diff_key(&c.config.spec);
+            if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key) {
+                let differencer = FittedArima::differencer_for(&c.config.spec);
+                if let Ok(diffed) = differencer.apply(train) {
+                    slot.insert(diffed);
                 }
-                match score_one(
-                    train,
-                    test,
-                    exog_train,
-                    exog_test,
-                    &candidates[i],
-                    opts,
-                ) {
-                    Some(score) => results.lock().push(score),
-                    None => {
-                        failures.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
+            }
         }
-    })
-    .expect("evaluation worker panicked");
+        map
+    } else {
+        BTreeMap::new()
+    };
 
-    let mut scores = results.into_inner();
+    let chains = build_chains(candidates);
+    let next_chain = AtomicUsize::new(0);
+    // Incumbent best RMSE for racing, as f64 bits (+inf = no incumbent).
+    let best_rmse = AtomicU64::new(f64::INFINITY.to_bits());
+
+    let n_workers = threads.min(chains.len()).max(1);
+    let mut outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = WorkerOutput::default();
+                    loop {
+                        let chain_idx = next_chain.fetch_add(1, Ordering::Relaxed);
+                        let Some(chain) = chains.get(chain_idx) else {
+                            break;
+                        };
+                        run_chain(
+                            chain,
+                            train,
+                            test,
+                            exog_train,
+                            exog_test,
+                            candidates,
+                            opts,
+                            &cache,
+                            &best_rmse,
+                            &mut out,
+                        );
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+
+    let mut scores = Vec::with_capacity(candidates.len());
+    let mut stats = EvalStats {
+        cache_entries: cache.len(),
+        ..Default::default()
+    };
+    let mut failures = 0;
+    let mut abandoned = 0;
+    for out in outputs.iter_mut() {
+        scores.append(&mut out.scores);
+        failures += out.failures;
+        abandoned += out.abandoned;
+        stats.cache_hits += out.cache_hits;
+        stats.warm_starts += out.warm_starts;
+        stats.objective_evals += out.objective_evals;
+        for (total, part) in stats.families.iter_mut().zip(&out.families) {
+            total.attempts += part.attempts;
+            total.fits += part.fits;
+            total.failures += part.failures;
+            total.abandoned += part.abandoned;
+            total.fit_time += part.fit_time;
+            total.objective_evals += part.objective_evals;
+        }
+    }
+
     scores.sort_by(|a, b| {
         a.accuracy
             .rmse
             .partial_cmp(&b.accuracy.rmse)
             .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.candidate_index.cmp(&b.candidate_index))
     });
-    let failures = failures.into_inner();
     if scores.is_empty() {
         return Err(PlannerError::NoViableModel {
             attempted: candidates.len(),
         });
     }
+    stats.wall_time = started.elapsed();
     Ok(EvaluationReport {
         scores,
         failures,
+        abandoned,
         attempted: candidates.len(),
+        stats,
     })
 }
 
-/// Fit and score a single candidate; `None` on any failure.
+/// Execute one warm-start chain sequentially, threading each successful
+/// fit's converged parameters into the next candidate's options.
+#[allow(clippy::too_many_arguments)]
+fn run_chain(
+    chain: &Chain,
+    train: &[f64],
+    test: &[f64],
+    exog_train: &[Vec<f64>],
+    exog_test: &[Vec<f64>],
+    candidates: &[CandidateModel],
+    opts: &EvaluationOptions,
+    cache: &BTreeMap<DiffKey, Differenced>,
+    best_rmse: &AtomicU64,
+    out: &mut WorkerOutput,
+) {
+    let mut prev: Option<(ArimaSpec, Vec<f64>)> = None;
+    for &i in &chain.indices {
+        let candidate = &candidates[i];
+        let fam = family_index(candidate.family);
+        out.families[fam].attempts += 1;
+
+        let mut fit_opts = opts.fit.clone();
+        if opts.warm_start {
+            if let Some((prev_spec, prev_params)) = &prev {
+                if let Some(warm) =
+                    adapt_unconstrained(prev_params, prev_spec, &candidate.config.spec)
+                {
+                    fit_opts.warm_start = Some(warm);
+                    out.warm_starts += 1;
+                }
+            }
+        }
+        if opts.racing {
+            let bound = f64::from_bits(best_rmse.load(Ordering::Relaxed));
+            if bound.is_finite() {
+                let slack = opts.racing_slack.max(1.0);
+                fit_opts.abandon_css_above = Some((slack * bound).powi(2));
+            }
+        }
+
+        let cached = if candidate.config.has_regression() {
+            None
+        } else {
+            cache.get(&diff_key(&candidate.config.spec))
+        };
+        if cached.is_some() {
+            out.cache_hits += 1;
+        }
+
+        let fit_started = Instant::now();
+        let outcome = score_one(
+            train,
+            test,
+            exog_train,
+            exog_test,
+            candidate,
+            i,
+            opts.start_index,
+            &fit_opts,
+            cached,
+        );
+        out.families[fam].fit_time += fit_started.elapsed();
+
+        match outcome {
+            Ok(scored) => {
+                out.families[fam].fits += 1;
+                out.families[fam].objective_evals += scored.nm_evals;
+                out.objective_evals += scored.nm_evals;
+                update_min_f64(best_rmse, scored.score.accuracy.rmse);
+                prev = Some((candidate.config.spec, scored.warm_params));
+                out.scores.push(scored.score);
+            }
+            Err(ModelError::Abandoned { evals }) => {
+                out.abandoned += 1;
+                out.families[fam].abandoned += 1;
+                out.families[fam].objective_evals += evals;
+                out.objective_evals += evals;
+            }
+            Err(_) => {
+                out.failures += 1;
+                out.families[fam].failures += 1;
+            }
+        }
+    }
+}
+
+/// A successful fit-and-score, plus the state the chain carries forward.
+struct ScoredFit {
+    score: ModelScore,
+    warm_params: Vec<f64>,
+    nm_evals: usize,
+}
+
+/// Fit and score a single candidate.
+#[allow(clippy::too_many_arguments)]
 fn score_one(
     train: &[f64],
     test: &[f64],
     exog_train: &[Vec<f64>],
     exog_test: &[Vec<f64>],
     candidate: &CandidateModel,
-    opts: &EvaluationOptions,
-) -> Option<ModelScore> {
+    candidate_index: usize,
+    start_index: usize,
+    fit_opts: &ArimaOptions,
+    cached: Option<&Differenced>,
+) -> std::result::Result<ScoredFit, ModelError> {
     let n_exog = candidate.config.n_exog;
     if exog_train.len() < n_exog || exog_test.len() < n_exog {
-        return None;
+        return Err(ModelError::ExogenousMismatch {
+            context: format!(
+                "candidate needs {n_exog} exogenous columns, evaluation has {}",
+                exog_train.len().min(exog_test.len())
+            ),
+        });
     }
-    let fit = FittedSarimax::fit(
-        train,
-        candidate.config.clone(),
-        &exog_train[..n_exog],
-        opts.start_index,
-        &opts.fit,
-    )
-    .ok()?;
-    let future_exog: Vec<Vec<f64>> = exog_test[..n_exog].to_vec();
-    let forecast = fit.forecast(test.len(), &future_exog).ok()?;
-    let accuracy = Accuracy::compute(test, &forecast.mean).ok()?;
+    let fit = match cached {
+        Some(diffed) => FittedSarimax::fit_plain_prepared(
+            train,
+            &candidate.config,
+            diffed,
+            start_index,
+            fit_opts,
+        )?,
+        None => FittedSarimax::fit(
+            train,
+            &candidate.config,
+            &exog_train[..n_exog],
+            start_index,
+            fit_opts,
+        )?,
+    };
+    let future_exog: Vec<&[f64]> = exog_test[..n_exog].iter().map(|c| c.as_slice()).collect();
+    let forecast = fit.forecast_cols(test.len(), &future_exog)?;
+    let accuracy = Accuracy::compute(test, &forecast.mean)?;
     if !accuracy.rmse.is_finite() {
-        return None;
+        return Err(ModelError::FitFailed {
+            context: format!("non-finite test RMSE for {}", candidate.config.describe()),
+        });
     }
-    Some(ModelScore {
-        candidate: candidate.clone(),
-        accuracy,
-        aic: fit.aic(),
-        forecast,
+    Ok(ScoredFit {
+        score: ModelScore {
+            candidate: candidate.clone(),
+            candidate_index,
+            accuracy,
+            aic: fit.aic(),
+            forecast,
+        },
+        warm_params: fit.arima.params_unconstrained,
+        nm_evals: fit.nm_evals,
     })
 }
 
@@ -268,26 +670,57 @@ mod tests {
     fn single_thread_matches_parallel_champion() {
         let y = seasonal_series(240);
         let (train, test) = y.split_at(216);
-        let opts1 = EvaluationOptions {
-            threads: 1,
-            ..Default::default()
+        let mut reports = Vec::new();
+        for threads in [1, 2, 4, 8] {
+            let opts = EvaluationOptions {
+                threads,
+                ..Default::default()
+            };
+            reports.push(
+                evaluate_candidates(train, test, &[], &[], &small_candidates(), &opts).unwrap(),
+            );
+        }
+        let champ = reports[0].champion().unwrap();
+        for r in &reports[1..] {
+            let c = r.champion().unwrap();
+            assert_eq!(champ.candidate.config.spec, c.candidate.config.spec);
+            assert_eq!(champ.candidate_index, c.candidate_index);
+            // Exact mode: bit-identical, not merely close.
+            assert_eq!(
+                champ.accuracy.rmse.to_bits(),
+                c.accuracy.rmse.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn tied_rmse_resolves_to_lowest_candidate_index() {
+        // Duplicate configs produce exactly equal RMSEs; the tie must
+        // resolve to the earliest index at every thread count.
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let dup = CandidateModel {
+            family: ModelFamily::Arima,
+            config: SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0)),
         };
-        let opts4 = EvaluationOptions {
-            threads: 4,
-            ..Default::default()
-        };
-        let r1 =
-            evaluate_candidates(train, test, &[], &[], &small_candidates(), &opts1).unwrap();
-        let r4 =
-            evaluate_candidates(train, test, &[], &[], &small_candidates(), &opts4).unwrap();
-        assert_eq!(
-            r1.champion().unwrap().candidate.config.spec,
-            r4.champion().unwrap().candidate.config.spec
-        );
-        assert!(
-            (r1.champion().unwrap().accuracy.rmse - r4.champion().unwrap().accuracy.rmse).abs()
-                < 1e-9
-        );
+        let candidates = vec![dup.clone(), dup.clone(), dup];
+        for threads in [1, 2, 4, 8] {
+            let opts = EvaluationOptions {
+                threads,
+                ..Default::default()
+            };
+            let report =
+                evaluate_candidates(train, test, &[], &[], &candidates, &opts).unwrap();
+            assert_eq!(report.champion().unwrap().candidate_index, 0);
+            let indices: Vec<usize> =
+                report.scores.iter().map(|s| s.candidate_index).collect();
+            assert_eq!(indices, vec![0, 1, 2]);
+            let rmse0 = report.scores[0].accuracy.rmse;
+            assert!(report
+                .scores
+                .iter()
+                .all(|s| s.accuracy.rmse.to_bits() == rmse0.to_bits()));
+        }
     }
 
     #[test]
@@ -331,5 +764,103 @@ mod tests {
             evaluate_candidates(train, test, &[], &[], &grid.candidates, &Default::default())
                 .unwrap();
         assert!(!report.scores.is_empty());
+    }
+
+    #[test]
+    fn accelerated_run_matches_baseline_champion() {
+        // Cache + warm starts must not change which model wins in exact
+        // mode (warm starts may sharpen losers' fits, but the cache path is
+        // bit-identical and the optimiser never starts worse than cold).
+        let y = seasonal_series(300);
+        let (train, test) = y.split_at(276);
+        let corr = dwcp_series::Correlogram::compute(train, 30).unwrap();
+        let grid = ModelGrid::arima().prune(&corr, 10);
+        let baseline = EvaluationOptions {
+            cache_transforms: false,
+            warm_start: false,
+            ..Default::default()
+        };
+        let accel = EvaluationOptions::default();
+        let r_base =
+            evaluate_candidates(train, test, &[], &[], &grid.candidates, &baseline).unwrap();
+        let r_accel =
+            evaluate_candidates(train, test, &[], &[], &grid.candidates, &accel).unwrap();
+        assert_eq!(
+            r_base.champion().unwrap().candidate.config.spec,
+            r_accel.champion().unwrap().candidate.config.spec
+        );
+        assert!(r_accel.stats.cache_hits > 0);
+        assert!(r_accel.stats.cache_entries >= 1);
+        assert_eq!(r_base.stats.cache_hits, 0);
+        assert_eq!(r_base.stats.cache_entries, 0);
+        // Warm-started evaluation must not cost accuracy: the champion's
+        // test RMSE is no worse than the cold-start champion's.
+        assert!(
+            r_accel.champion().unwrap().accuracy.rmse
+                <= r_base.champion().unwrap().accuracy.rmse * (1.0 + 1e-9),
+            "warm {} vs cold {}",
+            r_accel.champion().unwrap().accuracy.rmse,
+            r_base.champion().unwrap().accuracy.rmse
+        );
+    }
+
+    #[test]
+    fn racing_accounts_for_every_candidate() {
+        let y = seasonal_series(300);
+        let (train, test) = y.split_at(276);
+        let corr = dwcp_series::Correlogram::compute(train, 30).unwrap();
+        let grid = ModelGrid::arima().prune(&corr, 12);
+        let opts = EvaluationOptions {
+            racing: true,
+            racing_slack: 1.0,
+            threads: 2,
+            ..Default::default()
+        };
+        let report =
+            evaluate_candidates(train, test, &[], &[], &grid.candidates, &opts).unwrap();
+        assert_eq!(
+            report.abandoned + report.failures + report.scores.len(),
+            report.attempted
+        );
+        // Exact mode never abandons.
+        let exact =
+            evaluate_candidates(train, test, &[], &[], &grid.candidates, &Default::default())
+                .unwrap();
+        assert_eq!(exact.abandoned, 0);
+    }
+
+    #[test]
+    fn stats_cover_all_attempts() {
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let report =
+            evaluate_candidates(train, test, &[], &[], &small_candidates(), &Default::default())
+                .unwrap();
+        let total_attempts: usize =
+            report.stats.families.iter().map(|f| f.attempts).sum();
+        assert_eq!(total_attempts, report.attempted);
+        let arima = report.stats.family(ModelFamily::Arima);
+        assert_eq!(arima.attempts, 2);
+        assert!(report.stats.objective_evals > 0);
+        assert!(report.stats.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn chains_are_independent_of_thread_count() {
+        let candidates = ModelGrid::arima().candidates;
+        let chains = build_chains(&candidates);
+        // Every candidate appears exactly once.
+        let mut seen: Vec<usize> = chains.iter().flat_map(|c| c.indices.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..candidates.len()).collect::<Vec<_>>());
+        // Chain length bound holds.
+        assert!(chains.iter().all(|c| c.indices.len() <= MAX_CHAIN_LEN));
+        // Within a chain, every candidate shares a differencing signature.
+        for chain in &chains {
+            let key = diff_key(&candidates[chain.indices[0]].config.spec);
+            for &i in &chain.indices {
+                assert_eq!(diff_key(&candidates[i].config.spec), key);
+            }
+        }
     }
 }

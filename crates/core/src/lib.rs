@@ -38,7 +38,9 @@ pub use advisor::{Advisory, ThresholdAdvisor};
 pub use backtest::{backtest, BacktestConfig, BacktestReport};
 pub use candidates::{CandidateSet, DataProfile};
 pub use diagnostics::{assess, HealthReport, HealthThresholds, HealthVerdict};
-pub use evaluate::{evaluate_candidates, EvaluationOptions, EvaluationReport, ModelScore};
+pub use evaluate::{
+    evaluate_candidates, EvalStats, EvaluationOptions, EvaluationReport, FamilyStats, ModelScore,
+};
 pub use grid::{CandidateModel, ModelFamily, ModelGrid};
 pub use pipeline::{ChampionSpec, ForecastOutcome, MethodChoice, Pipeline, PipelineConfig};
 pub use repository::{ModelRecord, ModelRepository, RetentionPolicy, ShockTracker};

@@ -255,7 +255,7 @@ impl Pipeline {
                     };
                 let fit = FittedSarimax::fit(
                     working.values(),
-                    config.clone(),
+                    config,
                     &hist_cols,
                     0,
                     &self.config.eval.fit,
@@ -417,12 +417,22 @@ impl Pipeline {
                 &eval_opts,
             ) {
                 report.failures += fourier_report.failures;
-                report.scores.extend(fourier_report.scores);
+                report.abandoned += fourier_report.abandoned;
+                // Re-index the second stage's candidates after the first so
+                // the (rmse, index) tie-break stays total across the merge.
+                let base_index = report.attempted;
+                report
+                    .scores
+                    .extend(fourier_report.scores.into_iter().map(|mut s| {
+                        s.candidate_index += base_index;
+                        s
+                    }));
                 report.scores.sort_by(|a, b| {
                     a.accuracy
                         .rmse
                         .partial_cmp(&b.accuracy.rmse)
                         .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.candidate_index.cmp(&b.candidate_index))
                 });
             }
         }
@@ -435,7 +445,7 @@ impl Pipeline {
             test_forecast: champion_score.forecast.clone(),
             test: split.test,
             train: split.train,
-            evaluated: report.attempted + extra_attempted - report.failures,
+            evaluated: report.attempted + extra_attempted - report.failures - report.abandoned,
             failures: report.failures,
             gaps_filled,
             profile: Some(set.profile),
@@ -548,7 +558,7 @@ mod tests {
                     interval_level: 0.95,
                 ..Default::default()
                 },
-                start_index: 0,
+                ..Default::default()
             },
         }
     }

@@ -448,7 +448,7 @@ mod tests {
         };
         let fit = dwcp_models::FittedSarimax::fit(
             &y[..600],
-            config,
+            &config,
             &cols_train,
             0,
             &dwcp_models::arima::ArimaOptions {

@@ -23,6 +23,45 @@ pub struct NelderMeadOptions {
     /// Number of restarts from the best point with a fresh simplex.
     /// Restarting is a cheap, classical defence against premature collapse.
     pub restarts: usize,
+    /// Caller-supplied start override: an alternative starting point,
+    /// typically the converged solution of a neighbouring problem (grid
+    /// warm-start chains). Both `x0` and the override are evaluated and the
+    /// better one anchors the initial simplex, so a bad override can never
+    /// make the start worse than the cold start.
+    pub warm_start: Option<Vec<f64>>,
+    /// Initial simplex edge length used *instead of* [`initial_step`]
+    /// (same field semantics) when the warm start wins the race. A warm
+    /// start that beats the cold start is already near a converged
+    /// neighbouring optimum, so the search is a local refinement: a tight
+    /// first simplex lets the tolerance checks fire orders of magnitude
+    /// sooner than a full-width exploratory one. Only the first simplex is
+    /// affected; restarts rebuild at the exploratory width. `None` keeps
+    /// the exploratory step everywhere.
+    ///
+    /// [`initial_step`]: NelderMeadOptions::initial_step
+    pub warm_refine_step: Option<f64>,
+    /// Evaluation budget used *instead of* [`max_evals`] when the warm
+    /// start wins the race. Refining a converged neighbouring optimum
+    /// needs a fraction of a global search's budget; the race guarantees
+    /// the capped run still starts no worse than the cold start would
+    /// have. `None` keeps the full budget.
+    ///
+    /// [`max_evals`]: NelderMeadOptions::max_evals
+    pub warm_budget: Option<usize>,
+    /// Champion-bound racing: give up when the best objective value is
+    /// still above `threshold` after `min_evals` evaluations. The result is
+    /// flagged [`NelderMeadResult::aborted`] so callers can record the
+    /// candidate as abandoned rather than failed.
+    pub abandon: Option<AbandonRule>,
+}
+
+/// Early-abandon rule for [`NelderMeadOptions::abandon`].
+#[derive(Debug, Clone, Copy)]
+pub struct AbandonRule {
+    /// Abandon while the best objective value exceeds this.
+    pub threshold: f64,
+    /// Grace period: never abandon before this many evaluations.
+    pub min_evals: usize,
 }
 
 impl Default for NelderMeadOptions {
@@ -33,6 +72,10 @@ impl Default for NelderMeadOptions {
             x_tol: 1e-10,
             initial_step: 0.1,
             restarts: 1,
+            warm_start: None,
+            warm_refine_step: None,
+            warm_budget: None,
+            abandon: None,
         }
     }
 }
@@ -48,6 +91,9 @@ pub struct NelderMeadResult {
     pub evals: usize,
     /// Whether a tolerance (rather than the evaluation budget) stopped us.
     pub converged: bool,
+    /// Whether an [`AbandonRule`] cut the run short. When set, `x`/`fx` are
+    /// the best point seen so far but the minimisation is incomplete.
+    pub aborted: bool,
 }
 
 /// Minimise `f` starting from `x0` using the Nelder-Mead simplex method.
@@ -69,6 +115,7 @@ where
             fx,
             evals: 1,
             converged: true,
+            aborted: false,
         };
     }
 
@@ -82,11 +129,55 @@ where
     let mut best_x = x0.to_vec();
     let mut best_f = sanitize(f(x0));
     evals += 1;
+    // Race the cold start against the caller's warm start (if any); the
+    // winner anchors the first simplex. A stale or mismatched override is
+    // therefore harmless — at worst it costs one evaluation.
+    let mut warm_won = false;
+    if let Some(warm) = opts.warm_start.as_deref() {
+        if warm.len() == n {
+            let f_warm = sanitize(f(warm));
+            evals += 1;
+            if f_warm < best_f {
+                best_f = f_warm;
+                best_x = warm.to_vec();
+                warm_won = true;
+            }
+        }
+    }
     let mut converged = false;
+    let mut aborted = false;
+    let max_evals = if warm_won {
+        opts.warm_budget.unwrap_or(opts.max_evals)
+    } else {
+        opts.max_evals
+    };
 
-    for restart in 0..=opts.restarts {
-        // Build the initial simplex around the current best point.
-        let step_scale = opts.initial_step / (1.0 + restart as f64);
+    // `out = from + t · (to − from)`, the simplex move primitive. A free
+    // function writing into a reused buffer: the main loop must not
+    // allocate per iteration.
+    fn lerp_into(from: &[f64], to: &[f64], t: f64, out: &mut [f64]) {
+        for ((o, &a), &b) in out.iter_mut().zip(from).zip(to) {
+            *o = a + t * (b - a);
+        }
+    }
+
+    // Reused iteration scratch (order/centroid/trial points were formerly
+    // fresh allocations on every simplex move).
+    let mut order: Vec<usize> = Vec::with_capacity(n + 1);
+    let mut centroid = vec![0.0; n];
+    let mut trial = vec![0.0; n];
+    let mut trial2 = vec![0.0; n];
+    let mut best_buf: Vec<f64> = Vec::with_capacity(n);
+
+    'restarts: for restart in 0..=opts.restarts {
+        // Build the initial simplex around the current best point. When a
+        // winning warm start is present, the first simplex is a tight local
+        // refinement around it (see `warm_refine_step`).
+        let base_step = match opts.warm_refine_step {
+            Some(refine) if restart == 0 && warm_won => refine,
+            _ => opts.initial_step,
+        };
+        let step_scale = base_step / (1.0 + restart as f64);
         let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
         let mut fvals: Vec<f64> = Vec::with_capacity(n + 1);
         simplex.push(best_x.clone());
@@ -104,9 +195,10 @@ where
             simplex.push(v);
         }
 
-        while evals < opts.max_evals {
+        while evals < max_evals {
             // Order the simplex by objective value.
-            let mut order: Vec<usize> = (0..=n).collect();
+            order.clear();
+            order.extend(0..=n);
             order.sort_by(|&a, &b| fvals[a].partial_cmp(&fvals[b]).unwrap());
             let best = order[0];
             let worst = order[n];
@@ -128,8 +220,25 @@ where
                 break;
             }
 
+            // Champion-bound racing: stop chasing a candidate that is still
+            // above the caller's threshold after the grace period.
+            if let Some(rule) = opts.abandon {
+                if evals >= rule.min_evals && fvals[best].min(best_f) > rule.threshold {
+                    for (v, &fv) in simplex.iter().zip(&fvals) {
+                        if fv < best_f {
+                            best_f = fv;
+                            best_x = v.clone();
+                        }
+                    }
+                    aborted = true;
+                    break 'restarts;
+                }
+            }
+
             // Centroid of all but the worst vertex.
-            let mut centroid = vec![0.0; n];
+            for c in centroid.iter_mut() {
+                *c = 0.0;
+            }
             for (idx, v) in simplex.iter().enumerate() {
                 if idx == worst {
                     continue;
@@ -142,57 +251,52 @@ where
                 *c /= nf;
             }
 
-            let lerp = |from: &[f64], to: &[f64], t: f64| -> Vec<f64> {
-                from.iter()
-                    .zip(to)
-                    .map(|(&a, &b)| a + t * (b - a))
-                    .collect()
-            };
-
             // Reflect.
-            let reflected = lerp(&centroid, &simplex[worst], -alpha);
-            let f_r = sanitize(f(&reflected));
+            lerp_into(&centroid, &simplex[worst], -alpha, &mut trial);
+            let f_r = sanitize(f(&trial));
             evals += 1;
 
             if f_r < fvals[best] {
                 // Expand.
-                let expanded = lerp(&centroid, &simplex[worst], -alpha * beta);
-                let f_e = sanitize(f(&expanded));
+                lerp_into(&centroid, &simplex[worst], -alpha * beta, &mut trial2);
+                let f_e = sanitize(f(&trial2));
                 evals += 1;
                 if f_e < f_r {
-                    simplex[worst] = expanded;
+                    simplex[worst].copy_from_slice(&trial2);
                     fvals[worst] = f_e;
                 } else {
-                    simplex[worst] = reflected;
+                    simplex[worst].copy_from_slice(&trial);
                     fvals[worst] = f_r;
                 }
             } else if f_r < fvals[second_worst] {
-                simplex[worst] = reflected;
+                simplex[worst].copy_from_slice(&trial);
                 fvals[worst] = f_r;
             } else {
                 // Contract (outside if the reflected point improved on the
                 // worst, inside otherwise).
-                let (point, f_p) = if f_r < fvals[worst] {
-                    let p = lerp(&centroid, &simplex[worst], -alpha * gamma);
-                    let fp = sanitize(f(&p));
-                    (p, fp)
+                let t = if f_r < fvals[worst] {
+                    -alpha * gamma
                 } else {
-                    let p = lerp(&centroid, &simplex[worst], gamma);
-                    let fp = sanitize(f(&p));
-                    (p, fp)
+                    gamma
                 };
+                lerp_into(&centroid, &simplex[worst], t, &mut trial2);
+                let f_p = sanitize(f(&trial2));
                 evals += 1;
                 if f_p < fvals[worst].min(f_r) {
-                    simplex[worst] = point;
+                    simplex[worst].copy_from_slice(&trial2);
                     fvals[worst] = f_p;
                 } else {
-                    // Shrink towards the best vertex.
-                    let best_v = simplex[best].clone();
+                    // Shrink towards the best vertex (in place — the lerp
+                    // arithmetic is unchanged).
+                    best_buf.clear();
+                    best_buf.extend_from_slice(&simplex[best]);
                     for idx in 0..=n {
                         if idx == best {
                             continue;
                         }
-                        simplex[idx] = lerp(&best_v, &simplex[idx], delta);
+                        for (v, &b) in simplex[idx].iter_mut().zip(&best_buf) {
+                            *v = b + delta * (*v - b);
+                        }
                         fvals[idx] = sanitize(f(&simplex[idx]));
                         evals += 1;
                     }
@@ -207,7 +311,7 @@ where
                 best_x = v.clone();
             }
         }
-        if evals >= opts.max_evals {
+        if evals >= max_evals {
             break;
         }
     }
@@ -217,6 +321,7 @@ where
         fx: best_f,
         evals,
         converged,
+        aborted,
     }
 }
 
@@ -310,6 +415,85 @@ mod tests {
         // Budget may be slightly exceeded inside one iteration (shrink step),
         // but never by more than the simplex size.
         assert!(r.evals <= 57 + 4);
+    }
+
+    #[test]
+    fn warm_start_beats_bad_cold_start() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let opts = NelderMeadOptions {
+            max_evals: 40,
+            restarts: 0,
+            warm_start: Some(vec![2.9, -1.1]),
+            ..Default::default()
+        };
+        // With a tiny budget, starting near the optimum is the only way to
+        // land this close.
+        let r = nelder_mead(f, &[100.0, 100.0], &opts);
+        assert!(r.fx < 0.05, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn warm_start_never_hurts() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let base = NelderMeadOptions {
+            max_evals: 200,
+            restarts: 0,
+            ..Default::default()
+        };
+        let cold = nelder_mead(f, &[0.5], &base);
+        let warm_opts = NelderMeadOptions {
+            warm_start: Some(vec![1e9]),
+            ..base
+        };
+        let warm = nelder_mead(f, &[0.5], &warm_opts);
+        // A terrible override is ignored after one probe evaluation.
+        assert!(warm.fx <= cold.fx + 1e-12);
+    }
+
+    #[test]
+    fn mismatched_warm_start_length_is_ignored() {
+        let f = |x: &[f64]| (x[0] - 1.0).powi(2);
+        let opts = NelderMeadOptions {
+            warm_start: Some(vec![1.0, 2.0, 3.0]),
+            ..Default::default()
+        };
+        let r = nelder_mead(f, &[0.0], &opts);
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+        assert!(!r.aborted);
+    }
+
+    #[test]
+    fn abandon_rule_cuts_hopeless_runs_short() {
+        let f = |x: &[f64]| 1000.0 + x.iter().map(|v| v * v).sum::<f64>();
+        let opts = NelderMeadOptions {
+            max_evals: 10_000,
+            f_tol: 0.0,
+            x_tol: 0.0,
+            restarts: 0,
+            abandon: Some(AbandonRule {
+                threshold: 10.0,
+                min_evals: 20,
+            }),
+            ..Default::default()
+        };
+        let r = nelder_mead(f, &[5.0, 5.0, 5.0], &opts);
+        assert!(r.aborted);
+        assert!(r.evals < 200, "evals = {}", r.evals);
+    }
+
+    #[test]
+    fn abandon_rule_lets_winners_finish() {
+        let f = |x: &[f64]| (x[0] - 2.0).powi(2);
+        let opts = NelderMeadOptions {
+            abandon: Some(AbandonRule {
+                threshold: 1e6,
+                min_evals: 0,
+            }),
+            ..Default::default()
+        };
+        let r = nelder_mead(f, &[0.0], &opts);
+        assert!(!r.aborted);
+        assert!((r.x[0] - 2.0).abs() < 1e-4);
     }
 
     #[test]

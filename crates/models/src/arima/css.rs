@@ -16,7 +16,7 @@ use dwcp_math::poly::LagPoly;
 
 /// Expanded coefficient form of a SARIMA's ARMA part: plain `Vec`s of the
 /// multiplied-out φ* and θ* coefficients (index 0 ↔ lag 1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ExpandedArma {
     /// φ*: coefficients of the expanded AR polynomial, lag 1 first.
     pub phi: Vec<f64>,
@@ -33,11 +33,44 @@ impl ExpandedArma {
         seasonal_theta: &[f64],
         period: usize,
     ) -> ExpandedArma {
-        let ar = LagPoly::ar(phi).mul(&LagPoly::seasonal_ar(seasonal_phi, period));
-        let ma = LagPoly::ma(theta).mul(&LagPoly::seasonal_ma(seasonal_theta, period));
-        ExpandedArma {
-            phi: ar.as_ar_params(),
-            theta: ma.coeffs()[1..].to_vec(),
+        let mut e = ExpandedArma {
+            phi: Vec::new(),
+            theta: Vec::new(),
+        };
+        e.expand_into(phi, theta, seasonal_phi, seasonal_theta, period);
+        e
+    }
+
+    /// [`ExpandedArma::expand`] into `self`'s existing buffers — the
+    /// grid-search objective calls this hundreds of thousands of times, so
+    /// it must not allocate on the steady path. Without seasonal blocks the
+    /// product polynomials equal the regular blocks verbatim (multiplying
+    /// by the constant polynomial `1`), so they are copied directly; the
+    /// results are bit-identical either way.
+    pub fn expand_into(
+        &mut self,
+        phi: &[f64],
+        theta: &[f64],
+        seasonal_phi: &[f64],
+        seasonal_theta: &[f64],
+        period: usize,
+    ) {
+        if seasonal_phi.is_empty() {
+            self.phi.clear();
+            self.phi.extend_from_slice(phi);
+        } else {
+            let ar = LagPoly::ar(phi).mul(&LagPoly::seasonal_ar(seasonal_phi, period));
+            self.phi.clear();
+            self.phi
+                .extend(ar.coeffs().iter().skip(1).map(|&c| -c));
+        }
+        if seasonal_theta.is_empty() {
+            self.theta.clear();
+            self.theta.extend_from_slice(theta);
+        } else {
+            let ma = LagPoly::ma(theta).mul(&LagPoly::seasonal_ma(seasonal_theta, period));
+            self.theta.clear();
+            self.theta.extend_from_slice(&ma.coeffs()[1..]);
         }
     }
 
@@ -58,10 +91,21 @@ impl ExpandedArma {
     /// second element of the pair is the index of the first *genuine*
     /// innovation.
     pub fn innovations(&self, w: &[f64]) -> (Vec<f64>, usize) {
+        let mut a = Vec::new();
+        let start = self.innovations_into(w, &mut a);
+        (a, start)
+    }
+
+    /// [`ExpandedArma::innovations`] into a reused buffer (cleared and
+    /// resized to `w.len()`); returns the index of the first genuine
+    /// innovation. This is the optimiser's hot loop — no allocation once
+    /// the buffer has grown to the series length.
+    pub fn innovations_into(&self, w: &[f64], a: &mut Vec<f64>) -> usize {
         let p = self.phi.len();
         let n = w.len();
         let start = p.min(n);
-        let mut a = vec![0.0; n];
+        a.clear();
+        a.resize(n, 0.0);
         for t in start..n {
             let mut v = w[t];
             for (i, &ph) in self.phi.iter().enumerate() {
@@ -74,13 +118,20 @@ impl ExpandedArma {
             }
             a[t] = v;
         }
-        (a, start)
+        start
     }
 
     /// CSS objective: mean squared innovation over the scored region.
     /// Returns `f64::INFINITY` when nothing can be scored.
     pub fn css(&self, w: &[f64]) -> f64 {
-        let (a, start) = self.innovations(w);
+        let mut a = Vec::new();
+        self.css_into(w, &mut a)
+    }
+
+    /// [`ExpandedArma::css`] with a caller-owned innovations buffer;
+    /// bit-identical, allocation-free once the buffer is warm.
+    pub fn css_into(&self, w: &[f64], a: &mut Vec<f64>) -> f64 {
+        let start = self.innovations_into(w, a);
         let scored = a.len() - start;
         if scored == 0 {
             return f64::INFINITY;

@@ -3,7 +3,8 @@
 use super::css::ExpandedArma;
 use super::spec::ArimaSpec;
 use super::transform::{
-    ar_to_unconstrained, ma_to_unconstrained, unconstrained_to_ar, unconstrained_to_ma,
+    ar_to_unconstrained, ma_to_unconstrained, unconstrained_to_ar, unconstrained_to_ar_into,
+    unconstrained_to_ma, unconstrained_to_ma_into,
 };
 use crate::{Forecast, ModelError, Result};
 use dwcp_math::ols::{design, ols};
@@ -30,6 +31,18 @@ pub struct ArimaOptions {
     /// Run the Cochrane-Orcutt GLS refinement pass in SARIMAX regression
     /// fits (off = plain two-step OLS + SARIMA, ablation).
     pub gls_refinement: bool,
+    /// Warm start for the Nelder-Mead search, in the unconstrained
+    /// parameter space (the layout of [`FittedArima::params_unconstrained`]).
+    /// Typically the converged parameters of a neighbouring spec in a grid
+    /// search. The optimiser races it against the cold start and keeps the
+    /// better, so a poor warm start costs one objective evaluation, never
+    /// accuracy. Ignored when the length does not match the spec.
+    pub warm_start: Option<Vec<f64>>,
+    /// Champion-bound racing: abandon the fit (with
+    /// [`ModelError::Abandoned`](crate::ModelError::Abandoned)) if the CSS
+    /// objective is still above this after a third of the evaluation budget.
+    /// `None` (the default) fits to completion.
+    pub abandon_css_above: Option<f64>,
 }
 
 impl Default for ArimaOptions {
@@ -41,6 +54,8 @@ impl Default for ArimaOptions {
             include_mean: true,
             hannan_rissanen_init: true,
             gls_refinement: true,
+            warm_start: None,
+            abandon_css_above: None,
         }
     }
 }
@@ -68,6 +83,13 @@ pub struct FittedArima {
     pub aic: f64,
     /// Training length on the original scale.
     pub n_obs: usize,
+    /// Objective evaluations the optimiser spent on this fit.
+    pub nm_evals: usize,
+    /// The converged parameter vector in the unconstrained search space
+    /// (layout: p regular-AR, q regular-MA, P seasonal-AR, Q seasonal-MA
+    /// entries). This is what warm-start chains feed to a neighbouring
+    /// spec via [`ArimaOptions::warm_start`].
+    pub params_unconstrained: Vec<f64>,
     // --- forecasting state ---
     diffed: dwcp_series::diff::Differenced,
     w_centered: Vec<f64>,
@@ -94,6 +116,68 @@ impl FittedArima {
     /// where the OLTP workload grows by 50 users every day and the
     /// "prediction line grows with the trend line".
     pub fn fit(y: &[f64], spec: ArimaSpec, opts: &ArimaOptions) -> Result<FittedArima> {
+        Self::validate_input(y, &spec)?;
+        let diffed = Self::differencer_for(&spec).apply(y)?;
+        Self::fit_with_diffed(y.len(), spec, opts, diffed)
+    }
+
+    /// Fit against a pre-differenced training series.
+    ///
+    /// Grid searches fit many specs that share a differencing signature
+    /// `(d, D, s)`; the differencing transform depends only on that
+    /// signature, not on the ARMA orders. Callers (the evaluation engine's
+    /// transform cache) apply the [`Differencer`] once per signature and
+    /// pass the result here, skipping the per-candidate transform.
+    ///
+    /// `diffed` must be the output of `FittedArima::differencer_for(&spec)`
+    /// applied to `y` — the signature is checked, and a mismatch is an
+    /// `InvalidSpec` error. Given that, this is **bit-identical** to
+    /// [`FittedArima::fit`]: the same floating-point operations run in the
+    /// same order on the same values.
+    pub fn fit_prepared(
+        y: &[f64],
+        spec: ArimaSpec,
+        opts: &ArimaOptions,
+        diffed: &dwcp_series::diff::Differenced,
+    ) -> Result<FittedArima> {
+        Self::validate_input(y, &spec)?;
+        let expected = Self::differencer_for(&spec);
+        if diffed.differencer() != expected {
+            return Err(ModelError::InvalidSpec {
+                context: format!(
+                    "fit_prepared: cached transform {:?} does not match the {} signature {:?}",
+                    diffed.differencer(),
+                    spec,
+                    expected
+                ),
+            });
+        }
+        if diffed.values.len() + expected.loss() != y.len() {
+            return Err(ModelError::InvalidSpec {
+                context: format!(
+                    "fit_prepared: cached transform length {} inconsistent with series length {}",
+                    diffed.values.len(),
+                    y.len()
+                ),
+            });
+        }
+        Self::fit_with_diffed(y.len(), spec, opts, diffed.clone())
+    }
+
+    /// The differencing transform implied by `spec` (what [`fit`] applies
+    /// before estimation). Public so grid-search transform caches can key
+    /// and build entries the same way `fit` would.
+    ///
+    /// [`fit`]: FittedArima::fit
+    pub fn differencer_for(spec: &ArimaSpec) -> Differencer {
+        Differencer {
+            d: spec.d,
+            seasonal_d: spec.seasonal_d,
+            period: if spec.seasonal_d > 0 { spec.period } else { 1 },
+        }
+    }
+
+    fn validate_input(y: &[f64], spec: &ArimaSpec) -> Result<()> {
         spec.validate()?;
         let needed = spec.min_observations();
         if y.len() < needed {
@@ -105,13 +189,19 @@ impl FittedArima {
         if y.iter().any(|v| !v.is_finite()) {
             return Err(ModelError::Series(dwcp_series::SeriesError::NonFinite));
         }
+        Ok(())
+    }
 
-        let differencer = Differencer {
-            d: spec.d,
-            seasonal_d: spec.seasonal_d,
-            period: if spec.seasonal_d > 0 { spec.period } else { 1 },
-        };
-        let diffed = differencer.apply(y)?;
+    /// Shared estimation path behind [`fit`] and [`fit_prepared`].
+    ///
+    /// [`fit`]: FittedArima::fit
+    /// [`fit_prepared`]: FittedArima::fit_prepared
+    fn fit_with_diffed(
+        n_obs: usize,
+        spec: ArimaSpec,
+        opts: &ArimaOptions,
+        diffed: dwcp_series::diff::Differenced,
+    ) -> Result<FittedArima> {
         let mean = if opts.include_mean {
             diffed.values.iter().sum::<f64>() / diffed.values.len() as f64
         } else {
@@ -120,23 +210,40 @@ impl FittedArima {
         let w: Vec<f64> = diffed.values.iter().map(|v| v - mean).collect();
 
         let k = spec.n_params();
-        let (blocks, best_css) = if k == 0 {
-            (vec![], ExpandedArma::expand(&[], &[], &[], &[], 0).css(&w))
+        let (blocks, best_css, nm_evals) = if k == 0 {
+            (vec![], ExpandedArma::expand(&[], &[], &[], &[], 0).css(&w), 0)
         } else {
             let start = if opts.hannan_rissanen_init {
                 initial_unconstrained(&w, &spec)
             } else {
                 vec![0.0; k]
             };
+            // The optimiser calls the objective O(budget) times per fit and
+            // the grid search runs hundreds of fits, so the evaluation path
+            // reuses one scratch workspace instead of allocating coefficient
+            // and innovation vectors on every call. Results are
+            // bit-identical to the allocating helpers.
+            let scratch = std::cell::RefCell::new(ObjectiveScratch::default());
             let objective = |u: &[f64]| {
-                let e = expand_unconstrained(u, &spec);
-                e.css(&w)
+                let mut guard = scratch.borrow_mut();
+                guard.css(u, &spec, &w)
             };
             let budget = if opts.max_evals == 0 {
                 250 + 120 * k
             } else {
                 opts.max_evals
             };
+            let warm_start = opts
+                .warm_start
+                .as_ref()
+                .filter(|ws| ws.len() == k)
+                .cloned();
+            let abandon = opts
+                .abandon_css_above
+                .map(|threshold| dwcp_math::optimize::AbandonRule {
+                    threshold,
+                    min_evals: budget / 3,
+                });
             let nm = nelder_mead(
                 objective,
                 &start,
@@ -144,10 +251,21 @@ impl FittedArima {
                     max_evals: budget,
                     restarts: opts.restarts,
                     initial_step: 0.25,
+                    // A warm start that beats the cold start sits next to a
+                    // converged neighbouring optimum, so refine locally with
+                    // a fraction of the global-search budget instead of
+                    // re-exploring at full width.
+                    warm_refine_step: warm_start.as_ref().map(|_| 0.02),
+                    warm_budget: warm_start.as_ref().map(|_| (budget / 6).max(60)),
+                    warm_start,
+                    abandon,
                     ..Default::default()
                 },
             );
-            (nm.x, nm.fx)
+            if nm.aborted {
+                return Err(ModelError::Abandoned { evals: nm.evals });
+            }
+            (nm.x, nm.fx, nm.evals)
         };
         if !best_css.is_finite() {
             return Err(ModelError::FitFailed {
@@ -177,7 +295,9 @@ impl FittedArima {
             sigma2,
             css: best_css,
             aic,
-            n_obs: y.len(),
+            n_obs,
+            nm_evals,
+            params_unconstrained: blocks,
             diffed,
             w_centered: w,
             innovations,
@@ -277,6 +397,58 @@ fn expand_unconstrained(u: &[f64], spec: &ArimaSpec) -> ExpandedArma {
     ExpandedArma::expand(&phi, &theta, &seasonal_phi, &seasonal_theta, spec.period)
 }
 
+/// Reused buffers for the CSS objective: unconstrained point → coefficient
+/// blocks → expanded ARMA → innovations, with no steady-state allocation.
+/// One instance lives for the duration of a Nelder-Mead run and is shared
+/// by every objective evaluation of that fit.
+#[derive(Default)]
+struct ObjectiveScratch {
+    phi: Vec<f64>,
+    theta: Vec<f64>,
+    seasonal_phi: Vec<f64>,
+    seasonal_theta: Vec<f64>,
+    pacs: Vec<f64>,
+    prev: Vec<f64>,
+    expanded: ExpandedArma,
+    innovations: Vec<f64>,
+}
+
+impl ObjectiveScratch {
+    /// CSS of the unconstrained point `u` — bit-identical to
+    /// `expand_unconstrained(u, spec).css(w)`.
+    fn css(&mut self, u: &[f64], spec: &ArimaSpec, w: &[f64]) -> f64 {
+        let (p, q, sp, sq) = (spec.p, spec.q, spec.seasonal_p, spec.seasonal_q);
+        debug_assert_eq!(u.len(), p + q + sp + sq);
+        unconstrained_to_ar_into(&u[..p], &mut self.phi, &mut self.pacs, &mut self.prev);
+        unconstrained_to_ma_into(
+            &u[p..p + q],
+            &mut self.theta,
+            &mut self.pacs,
+            &mut self.prev,
+        );
+        unconstrained_to_ar_into(
+            &u[p + q..p + q + sp],
+            &mut self.seasonal_phi,
+            &mut self.pacs,
+            &mut self.prev,
+        );
+        unconstrained_to_ma_into(
+            &u[p + q + sp..],
+            &mut self.seasonal_theta,
+            &mut self.pacs,
+            &mut self.prev,
+        );
+        self.expanded.expand_into(
+            &self.phi,
+            &self.theta,
+            &self.seasonal_phi,
+            &self.seasonal_theta,
+            spec.period,
+        );
+        self.expanded.css_into(w, &mut self.innovations)
+    }
+}
+
 /// Hannan-Rissanen starting values mapped to the unconstrained space;
 /// falls back to zeros (white-noise start) when the regressions fail.
 fn initial_unconstrained(w: &[f64], spec: &ArimaSpec) -> Vec<f64> {
@@ -343,6 +515,33 @@ fn hannan_rissanen(w: &[f64], p: usize, q: usize) -> Option<(Vec<f64>, Vec<f64>)
     let phi0 = fit.beta[..p].to_vec();
     let theta0 = fit.beta[p..].to_vec();
     Some((phi0, theta0))
+}
+
+/// Re-shape a converged unconstrained parameter vector from one spec's
+/// block layout to another's, so a fit can warm-start from a neighbouring
+/// grid point (p or q ±1, etc.).
+///
+/// Each of the four blocks (regular AR, regular MA, seasonal AR, seasonal
+/// MA) is truncated or zero-padded independently. Zero entries are neutral
+/// — they map to zero partial autocorrelations — so grown blocks start
+/// their new lags at "no effect". Returns `None` when `prev` does not match
+/// `from`'s layout.
+pub fn adapt_unconstrained(prev: &[f64], from: &ArimaSpec, to: &ArimaSpec) -> Option<Vec<f64>> {
+    if prev.len() != from.n_params() {
+        return None;
+    }
+    let from_blocks = [from.p, from.q, from.seasonal_p, from.seasonal_q];
+    let to_blocks = [to.p, to.q, to.seasonal_p, to.seasonal_q];
+    let mut out = Vec::with_capacity(to.n_params());
+    let mut offset = 0;
+    for (&have, &want) in from_blocks.iter().zip(&to_blocks) {
+        let block = &prev[offset..offset + have];
+        for i in 0..want {
+            out.push(if i < have { block[i] } else { 0.0 });
+        }
+        offset += have;
+    }
+    Some(out)
 }
 
 /// Automatic `d` selection helper re-exported at the ARIMA level: difference
@@ -541,6 +740,123 @@ mod tests {
         let y = noise(100, 29);
         let fit = FittedArima::fit(&y, ArimaSpec::arima(1, 0, 0), &Default::default()).unwrap();
         assert!(fit.forecast(0).is_empty());
+    }
+
+    #[test]
+    fn fit_prepared_matches_fit_bit_for_bit() {
+        let y = simulate_arma(400, &[0.6, -0.2], &[0.4], 37);
+        for spec in [
+            ArimaSpec::arima(2, 0, 1),
+            ArimaSpec::arima(1, 1, 2),
+            ArimaSpec::sarima(1, 0, 1, 1, 1, 0, 12),
+        ] {
+            let opts = ArimaOptions {
+                max_evals: 200,
+                ..Default::default()
+            };
+            let cold = FittedArima::fit(&y, spec, &opts).unwrap();
+            let diffed = FittedArima::differencer_for(&spec).apply(&y).unwrap();
+            let prepared = FittedArima::fit_prepared(&y, spec, &opts, &diffed).unwrap();
+            assert_eq!(cold.phi, prepared.phi, "{spec}");
+            assert_eq!(cold.theta, prepared.theta, "{spec}");
+            assert_eq!(cold.seasonal_phi, prepared.seasonal_phi, "{spec}");
+            assert_eq!(cold.seasonal_theta, prepared.seasonal_theta, "{spec}");
+            assert_eq!(cold.css.to_bits(), prepared.css.to_bits(), "{spec}");
+            assert_eq!(cold.aic.to_bits(), prepared.aic.to_bits(), "{spec}");
+            assert_eq!(
+                cold.forecast(12).mean,
+                prepared.forecast(12).mean,
+                "{spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_prepared_rejects_mismatched_transform() {
+        let y = simulate_arma(300, &[0.5], &[], 41);
+        let spec = ArimaSpec::arima(1, 1, 0);
+        let wrong = FittedArima::differencer_for(&ArimaSpec::arima(1, 0, 0))
+            .apply(&y)
+            .unwrap();
+        assert!(matches!(
+            FittedArima::fit_prepared(&y, spec, &Default::default(), &wrong),
+            Err(ModelError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_start_from_neighbour_is_no_worse_in_css() {
+        let y = simulate_arma(500, &[0.7, -0.1], &[0.3], 43);
+        let opts = ArimaOptions {
+            max_evals: 150,
+            restarts: 0,
+            ..Default::default()
+        };
+        let neighbour =
+            FittedArima::fit(&y, ArimaSpec::arima(1, 0, 1), &opts).unwrap();
+        let target = ArimaSpec::arima(2, 0, 1);
+        let warm = adapt_unconstrained(
+            &neighbour.params_unconstrained,
+            &neighbour.spec,
+            &target,
+        )
+        .unwrap();
+        let cold_fit = FittedArima::fit(&y, target, &opts).unwrap();
+        let warm_fit = FittedArima::fit(
+            &y,
+            target,
+            &ArimaOptions {
+                warm_start: Some(warm),
+                ..opts
+            },
+        )
+        .unwrap();
+        // The optimiser starts from the better of cold/warm, so the warm
+        // run's start is at least as good; with the same budget the final
+        // CSS should not be meaningfully worse.
+        assert!(
+            warm_fit.css <= cold_fit.css * 1.05 + 1e-9,
+            "warm {} vs cold {}",
+            warm_fit.css,
+            cold_fit.css
+        );
+    }
+
+    #[test]
+    fn adapt_unconstrained_resizes_blocks() {
+        let from = ArimaSpec::sarima(2, 0, 1, 1, 0, 0, 12);
+        let to = ArimaSpec::sarima(1, 0, 2, 1, 0, 1, 12);
+        let prev = vec![0.1, 0.2, 0.3, 0.4];
+        let adapted = adapt_unconstrained(&prev, &from, &to).unwrap();
+        // p: keep first of [0.1, 0.2]; q: pad [0.3] with 0; sp: keep [0.4];
+        // sq: new block starts at zero.
+        assert_eq!(adapted, vec![0.1, 0.3, 0.0, 0.4, 0.0]);
+        assert!(adapt_unconstrained(&[0.1], &from, &to).is_none());
+    }
+
+    #[test]
+    fn abandon_bound_reports_abandoned() {
+        let y = simulate_arma(400, &[0.8], &[], 47);
+        let opts = ArimaOptions {
+            abandon_css_above: Some(1e-12), // unbeatable bound
+            ..Default::default()
+        };
+        match FittedArima::fit(&y, ArimaSpec::arima(2, 0, 2), &opts) {
+            Err(ModelError::Abandoned { evals }) => assert!(evals > 0),
+            other => panic!("expected Abandoned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_abandon_bound_does_not_trigger() {
+        let y = simulate_arma(400, &[0.8], &[], 47);
+        let opts = ArimaOptions {
+            abandon_css_above: Some(f64::INFINITY),
+            ..Default::default()
+        };
+        let fit = FittedArima::fit(&y, ArimaSpec::arima(1, 0, 0), &opts).unwrap();
+        let plain = FittedArima::fit(&y, ArimaSpec::arima(1, 0, 0), &Default::default()).unwrap();
+        assert_eq!(fit.css.to_bits(), plain.css.to_bits());
     }
 
     #[test]

@@ -93,18 +93,23 @@ pub struct FittedSarimax {
     /// Absolute time index of the first training observation (fixes the
     /// Fourier phase).
     pub start_index: usize,
+    /// Total objective evaluations across the internal SARIMA fits
+    /// (one for plain configs, two for regression configs).
+    pub nm_evals: usize,
 }
 
 impl FittedSarimax {
     /// Fit the model.
     ///
     /// * `y` — training observations.
+    /// * `config` — borrowed; cloned into the result only on success, so
+    ///   grid searches pay no allocation for infeasible candidates.
     /// * `exog` — one `Vec` per exogenous column, each of length `y.len()`;
     ///   must match `config.n_exog`.
     /// * `start_index` — absolute index of `y[0]` (Fourier phase anchor).
     pub fn fit(
         y: &[f64],
-        config: SarimaxConfig,
+        config: &SarimaxConfig,
         exog: &[Vec<f64>],
         start_index: usize,
         opts: &ArimaOptions,
@@ -133,7 +138,8 @@ impl FittedSarimax {
         if !config.has_regression() {
             let arima = FittedArima::fit(y, config.spec, opts)?;
             return Ok(FittedSarimax {
-                config,
+                nm_evals: arima.nm_evals,
+                config: config.clone(),
                 beta: vec![],
                 arima,
                 n_obs: y.len(),
@@ -151,7 +157,8 @@ impl FittedSarimax {
         }
 
         // Stage 1: OLS on [1 | exog | fourier].
-        let x_cols = regression_columns(&config, exog, start_index, n);
+        let exog_refs: Vec<&[f64]> = exog.iter().map(|c| c.as_slice()).collect();
+        let x_cols = regression_columns(config, &exog_refs, start_index, n);
         let col_refs: Vec<&[f64]> = x_cols.iter().map(|c| c.as_slice()).collect();
         let x = design(&col_refs)?;
         let stage1 = ols(&x, y)?;
@@ -194,7 +201,10 @@ impl FittedSarimax {
         };
 
         // Refit the SARIMA on residuals from the final coefficients so the
-        // stored error model matches the stored regression.
+        // stored error model matches the stored regression. The refit is
+        // warm-started from the stage-2 solution: the two residual series
+        // differ only by the GLS coefficient update, so the converged
+        // parameters are an excellent (and deterministic) starting point.
         let fitted_reg: Vec<f64> = (0..n)
             .map(|t| {
                 beta.iter()
@@ -204,13 +214,53 @@ impl FittedSarimax {
             })
             .collect();
         let final_resid: Vec<f64> = y.iter().zip(&fitted_reg).map(|(a, b)| a - b).collect();
-        let arima = FittedArima::fit(&final_resid, config.spec, opts)?;
+        let stage2_evals = arima.nm_evals;
+        let refit_opts = ArimaOptions {
+            warm_start: Some(arima.params_unconstrained.clone()),
+            ..opts.clone()
+        };
+        let arima = FittedArima::fit(&final_resid, config.spec, &refit_opts)?;
 
         Ok(FittedSarimax {
-            config,
+            nm_evals: stage2_evals + arima.nm_evals,
+            config: config.clone(),
             beta,
             arima,
             n_obs: n,
+            start_index,
+        })
+    }
+
+    /// Fit a **plain** (no-regression) configuration against a cached
+    /// differenced series — the grid-search transform-cache entry point.
+    /// Delegates to [`FittedArima::fit_prepared`], so the result is
+    /// bit-identical to [`FittedSarimax::fit`] with the same options.
+    ///
+    /// Returns `InvalidSpec` for configurations with a regression
+    /// component: their error-process fits run on per-candidate residual
+    /// series, which a shared transform cache cannot supply.
+    pub fn fit_plain_prepared(
+        y: &[f64],
+        config: &SarimaxConfig,
+        diffed: &dwcp_series::diff::Differenced,
+        start_index: usize,
+        opts: &ArimaOptions,
+    ) -> Result<FittedSarimax> {
+        if config.has_regression() {
+            return Err(ModelError::InvalidSpec {
+                context: format!(
+                    "fit_plain_prepared: {} has a regression component",
+                    config.describe()
+                ),
+            });
+        }
+        let arima = FittedArima::fit_prepared(y, config.spec, opts, diffed)?;
+        Ok(FittedSarimax {
+            nm_evals: arima.nm_evals,
+            config: config.clone(),
+            beta: vec![],
+            arima,
+            n_obs: y.len(),
             start_index,
         })
     }
@@ -219,6 +269,14 @@ impl FittedSarimax {
     /// `config.n_exog` columns of length `horizon` (backup schedules and
     /// other planned shocks are known in advance).
     pub fn forecast(&self, horizon: usize, future_exog: &[Vec<f64>]) -> Result<Forecast> {
+        let refs: Vec<&[f64]> = future_exog.iter().map(|c| c.as_slice()).collect();
+        self.forecast_cols(horizon, &refs)
+    }
+
+    /// Like [`FittedSarimax::forecast`], but takes borrowed column slices,
+    /// so callers holding a shared exogenous matrix (the grid-search
+    /// evaluation loop) need not copy the future window per candidate.
+    pub fn forecast_cols(&self, horizon: usize, future_exog: &[&[f64]]) -> Result<Forecast> {
         if future_exog.len() != self.config.n_exog {
             return Err(ModelError::ExogenousMismatch {
                 context: format!(
@@ -242,16 +300,21 @@ impl FittedSarimax {
         if !self.config.has_regression() {
             return Ok(resid_forecast);
         }
+        // Regression mean computed directly from borrowed exogenous columns
+        // plus freshly generated Fourier columns — no copies of the caller's
+        // future window.
         let future_start = self.start_index + self.n_obs;
-        let x_future = regression_columns(&self.config, future_exog, future_start, horizon);
+        let fourier_cols = self.config.fourier.columns(future_start, horizon);
+        let n_exog = self.config.n_exog;
         let mean: Vec<f64> = (0..horizon)
             .map(|h| {
-                let reg: f64 = self
-                    .beta
-                    .iter()
-                    .zip(x_future.iter())
-                    .map(|(&b, col)| b * col[h])
-                    .sum();
+                let mut reg = self.beta[0]; // intercept
+                for (i, col) in future_exog.iter().enumerate() {
+                    reg += self.beta[1 + i] * col[h];
+                }
+                for (j, col) in fourier_cols.iter().enumerate() {
+                    reg += self.beta[1 + n_exog + j] * col[h];
+                }
                 reg + resid_forecast.mean[h]
             })
             .collect();
@@ -272,14 +335,14 @@ impl FittedSarimax {
 /// starting at absolute index `start_index`.
 fn regression_columns(
     config: &SarimaxConfig,
-    exog: &[Vec<f64>],
+    exog: &[&[f64]],
     start_index: usize,
     len: usize,
 ) -> Vec<Vec<f64>> {
     let mut cols: Vec<Vec<f64>> = Vec::with_capacity(config.n_regression_params());
     cols.push(vec![1.0; len]);
     for col in exog {
-        cols.push(col.clone());
+        cols.push(col.to_vec());
     }
     cols.extend(config.fourier.columns(start_index, len));
     cols
@@ -305,7 +368,7 @@ mod tests {
     fn plain_config_delegates_to_arima() {
         let y = noise(200, 1);
         let cfg = SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0));
-        let fit = FittedSarimax::fit(&y, cfg, &[], 0, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg,&[], 0, &Default::default()).unwrap();
         assert!(fit.beta.is_empty());
         let f = fit.forecast(5, &[]).unwrap();
         assert_eq!(f.len(), 5);
@@ -327,7 +390,7 @@ mod tests {
             fourier: FourierSpec::none(),
             n_exog: 1,
         };
-        let fit = FittedSarimax::fit(&y, cfg, std::slice::from_ref(&backup), 0, &Default::default())
+        let fit = FittedSarimax::fit(&y, &cfg,std::slice::from_ref(&backup), 0, &Default::default())
             .unwrap();
         // beta = [intercept, backup effect]
         assert!((fit.beta[0] - 10.0).abs() < 1.0, "intercept = {}", fit.beta[0]);
@@ -349,7 +412,7 @@ mod tests {
             fourier: FourierSpec::single(24.0, 2),
             n_exog: 0,
         };
-        let fit = FittedSarimax::fit(&y, cfg, &[], 0, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg,&[], 0, &Default::default()).unwrap();
         let f = fit.forecast(24, &[]).unwrap();
         // Forecast should continue the sinusoid.
         for (h, &m) in f.mean.iter().enumerate() {
@@ -372,7 +435,7 @@ mod tests {
             fourier: FourierSpec::none(),
             n_exog: 1,
         };
-        let fit = FittedSarimax::fit(&y, cfg, &[backup], 0, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg,&[backup], 0, &Default::default()).unwrap();
         // Future: a shock at step 3.
         let future = vec![vec![0.0, 0.0, 0.0, 1.0, 0.0]];
         let f = fit.forecast(5, &future).unwrap();
@@ -388,11 +451,11 @@ mod tests {
             n_exog: 1,
         };
         assert!(matches!(
-            FittedSarimax::fit(&y, cfg.clone(), &[], 0, &Default::default()),
+            FittedSarimax::fit(&y, &cfg, &[], 0, &Default::default()),
             Err(ModelError::ExogenousMismatch { .. })
         ));
         let short_col = vec![vec![0.0; 50]];
-        assert!(FittedSarimax::fit(&y, cfg, &short_col, 0, &Default::default()).is_err());
+        assert!(FittedSarimax::fit(&y, &cfg,&short_col, 0, &Default::default()).is_err());
     }
 
     #[test]
@@ -404,9 +467,62 @@ mod tests {
             n_exog: 1,
         };
         let exog = vec![(0..100).map(|t| if t % 24 == 0 { 1.0 } else { 0.0 }).collect()];
-        let fit = FittedSarimax::fit(&y, cfg, &exog, 0, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg,&exog, 0, &Default::default()).unwrap();
         assert!(fit.forecast(5, &[]).is_err());
         assert!(fit.forecast(5, &[vec![0.0; 3]]).is_err());
+    }
+
+    #[test]
+    fn plain_prepared_matches_plain_fit() {
+        let y = noise(300, 21);
+        let cfg = SarimaxConfig::plain(ArimaSpec::arima(2, 1, 1));
+        let direct = FittedSarimax::fit(&y, &cfg, &[], 0, &Default::default()).unwrap();
+        let diffed = FittedArima::differencer_for(&cfg.spec).apply(&y).unwrap();
+        let prepared =
+            FittedSarimax::fit_plain_prepared(&y, &cfg, &diffed, 0, &Default::default()).unwrap();
+        assert_eq!(direct.arima.css.to_bits(), prepared.arima.css.to_bits());
+        assert_eq!(direct.arima.phi, prepared.arima.phi);
+        assert_eq!(
+            direct.forecast(8, &[]).unwrap().mean,
+            prepared.forecast(8, &[]).unwrap().mean
+        );
+    }
+
+    #[test]
+    fn plain_prepared_rejects_regression_configs() {
+        let y = noise(200, 23);
+        let cfg = SarimaxConfig {
+            spec: ArimaSpec::arima(1, 0, 0),
+            fourier: FourierSpec::single(24.0, 1),
+            n_exog: 0,
+        };
+        let diffed = FittedArima::differencer_for(&cfg.spec).apply(&y).unwrap();
+        assert!(matches!(
+            FittedSarimax::fit_plain_prepared(&y, &cfg, &diffed, 0, &Default::default()),
+            Err(ModelError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn forecast_cols_matches_forecast() {
+        let n = 240;
+        let e = noise(n, 25);
+        let backup: Vec<f64> = (0..n).map(|t| if t % 24 == 12 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|t| 5.0 + 30.0 * backup[t] + e[t] * 0.3)
+            .collect();
+        let cfg = SarimaxConfig {
+            spec: ArimaSpec::arima(1, 0, 0),
+            fourier: FourierSpec::single(24.0, 1),
+            n_exog: 1,
+        };
+        let fit = FittedSarimax::fit(&y, &cfg, &[backup], 0, &Default::default()).unwrap();
+        let future = vec![vec![0.0, 0.0, 1.0, 0.0, 0.0, 0.0]];
+        let owned = fit.forecast(6, &future).unwrap();
+        let refs: Vec<&[f64]> = future.iter().map(|c| c.as_slice()).collect();
+        let borrowed = fit.forecast_cols(6, &refs).unwrap();
+        assert_eq!(owned.mean, borrowed.mean);
+        assert_eq!(owned.upper, borrowed.upper);
     }
 
     #[test]
@@ -443,7 +559,7 @@ mod tests {
             fourier: FourierSpec::single(24.0, 1),
             n_exog: 0,
         };
-        let fit = FittedSarimax::fit(&y, cfg, &[], start, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg,&[], start, &Default::default()).unwrap();
         let f = fit.forecast(6, &[]).unwrap();
         for h in 0..6 {
             let tf = (start + n + h) as f64;
@@ -461,7 +577,7 @@ mod tests {
         let y = noise(200, 13);
         let plain = FittedSarimax::fit(
             &y,
-            SarimaxConfig::plain(ArimaSpec::arima(0, 0, 0)),
+            &SarimaxConfig::plain(ArimaSpec::arima(0, 0, 0)),
             &[],
             0,
             &Default::default(),
@@ -469,7 +585,7 @@ mod tests {
         .unwrap();
         let with_fourier = FittedSarimax::fit(
             &y,
-            SarimaxConfig {
+            &SarimaxConfig {
                 spec: ArimaSpec::arima(0, 0, 0),
                 fourier: FourierSpec::single(24.0, 3),
                 n_exog: 0,

@@ -12,9 +12,21 @@ use dwcp_math::optimize::{squash, unsquash};
 /// Map partial autocorrelations (each in `(−1, 1)`) to AR coefficients
 /// `φ₁..φ_p` of a stationary polynomial `1 − Σ φᵢ Bⁱ` (Monahan 1984).
 pub fn pacf_to_ar(pacs: &[f64]) -> Vec<f64> {
+    let mut a = Vec::new();
+    let mut prev = Vec::new();
+    pacf_to_ar_into(pacs, &mut a, &mut prev);
+    a
+}
+
+/// [`pacf_to_ar`] into reused buffers — the grid-search objective maps
+/// every optimiser point through this, so the steady path must not
+/// allocate. `prev` is recursion scratch; both are cleared first.
+pub fn pacf_to_ar_into(pacs: &[f64], a: &mut Vec<f64>, prev: &mut Vec<f64>) {
     let p = pacs.len();
-    let mut a = vec![0.0; p];
-    let mut prev = vec![0.0; p];
+    a.clear();
+    a.resize(p, 0.0);
+    prev.clear();
+    prev.resize(p, 0.0);
     for k in 0..p {
         let pk = pacs[k];
         a[k] = pk;
@@ -23,7 +35,6 @@ pub fn pacf_to_ar(pacs: &[f64]) -> Vec<f64> {
         }
         prev[..=k].copy_from_slice(&a[..=k]);
     }
-    a
 }
 
 /// Inverse of [`pacf_to_ar`]: recover partial autocorrelations from AR
@@ -54,8 +65,23 @@ pub fn ar_to_pacf(phi: &[f64]) -> Option<Vec<f64>> {
 /// Map a block of unconstrained optimiser variables to stationary AR
 /// coefficients.
 pub fn unconstrained_to_ar(u: &[f64]) -> Vec<f64> {
-    let pacs: Vec<f64> = u.iter().map(|&v| 0.999 * squash(v)).collect();
-    pacf_to_ar(&pacs)
+    let mut out = Vec::new();
+    let (mut pacs, mut prev) = (Vec::new(), Vec::new());
+    unconstrained_to_ar_into(u, &mut out, &mut pacs, &mut prev);
+    out
+}
+
+/// [`unconstrained_to_ar`] into reused buffers (`pacs`/`prev` are
+/// scratch); allocation-free once the buffers are warm.
+pub fn unconstrained_to_ar_into(
+    u: &[f64],
+    out: &mut Vec<f64>,
+    pacs: &mut Vec<f64>,
+    prev: &mut Vec<f64>,
+) {
+    pacs.clear();
+    pacs.extend(u.iter().map(|&v| 0.999 * squash(v)));
+    pacf_to_ar_into(pacs, out, prev);
 }
 
 /// Map stationary AR coefficients back to unconstrained optimiser
@@ -81,7 +107,23 @@ pub fn ar_to_unconstrained(phi: &[f64]) -> Vec<f64> {
 /// region of `θ` equals the stationary region of `−θ` read as AR
 /// coefficients, so the AR transforms are reused with a sign flip.
 pub fn unconstrained_to_ma(u: &[f64]) -> Vec<f64> {
-    unconstrained_to_ar(u).iter().map(|&v| -v).collect()
+    let mut out = Vec::new();
+    let (mut pacs, mut prev) = (Vec::new(), Vec::new());
+    unconstrained_to_ma_into(u, &mut out, &mut pacs, &mut prev);
+    out
+}
+
+/// [`unconstrained_to_ma`] into reused buffers; allocation-free once warm.
+pub fn unconstrained_to_ma_into(
+    u: &[f64],
+    out: &mut Vec<f64>,
+    pacs: &mut Vec<f64>,
+    prev: &mut Vec<f64>,
+) {
+    unconstrained_to_ar_into(u, out, pacs, prev);
+    for v in out.iter_mut() {
+        *v = -*v;
+    }
 }
 
 /// Inverse of [`unconstrained_to_ma`].

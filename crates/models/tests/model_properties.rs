@@ -51,6 +51,23 @@ proptest! {
     }
 
     #[test]
+    fn fit_prepared_is_bit_identical_to_fit(y in series_strategy()) {
+        // The grid-search transform cache feeds fits through
+        // `fit_prepared`; whatever series proptest draws, it must be
+        // indistinguishable — to the last bit — from the plain path.
+        let spec = ArimaSpec::arima(1, 1, 1);
+        let opts = fast_opts();
+        let plain = FittedArima::fit(&y, spec, &opts).unwrap();
+        let diffed = FittedArima::differencer_for(&spec).apply(&y).unwrap();
+        let prepared = FittedArima::fit_prepared(&y, spec, &opts, &diffed).unwrap();
+        prop_assert_eq!(&plain.phi, &prepared.phi);
+        prop_assert_eq!(&plain.theta, &prepared.theta);
+        prop_assert_eq!(plain.css.to_bits(), prepared.css.to_bits());
+        prop_assert_eq!(plain.aic.to_bits(), prepared.aic.to_bits());
+        prop_assert_eq!(plain.forecast(8).mean, prepared.forecast(8).mean);
+    }
+
+    #[test]
     fn arima_sigma2_is_nonnegative(y in series_strategy()) {
         let fit = FittedArima::fit(&y, ArimaSpec::arima(2, 0, 1), &fast_opts()).unwrap();
         prop_assert!(fit.sigma2 >= 0.0);

@@ -33,6 +33,15 @@ pub struct Differenced {
     spec: Differencer,
 }
 
+impl Differenced {
+    /// The specification this transform was produced by. Lets callers that
+    /// cache differenced series (the grid-search transform cache) verify a
+    /// cached entry matches the spec they are about to fit.
+    pub fn differencer(&self) -> Differencer {
+        self.spec
+    }
+}
+
 impl Differencer {
     /// A no-op differencer.
     pub fn none() -> Differencer {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a grid-search bench smoke run.
+#
+# Usage: scripts/ci.sh
+#
+# Stages:
+#   1. release build of the whole workspace
+#   2. full workspace test suite
+#   3. grid_search criterion bench in --quick mode (smoke: the acceleration
+#      layer must still build, run, and beat nothing over — champion
+#      equality is asserted inside the evaluate tests; wall-clock numbers
+#      from this stage are indicative only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test (root package) =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== bench smoke: grid_search --quick =="
+cargo bench -p dwcp-bench --bench grid_search -- --quick
+
+echo "ci.sh: all stages passed"

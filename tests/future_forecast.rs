@@ -25,6 +25,7 @@ fn fast(method: MethodChoice) -> PipelineConfig {
                 ..Default::default()
             },
             start_index: 0,
+            ..Default::default()
         },
     }
 }

@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/struct surface the workspace benches use and a
+//! simple wall-clock measurement loop: warm up, estimate the per-iteration
+//! cost, then run enough iterations to fill a measurement window and
+//! report mean/min per iteration. `--quick` (after `--` on the cargo bench
+//! command line) shrinks the window for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            quick: self.quick,
+            _ctx: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        run_bench(&id.to_string(), self.quick, f);
+    }
+}
+
+/// A named group; `sample_size` is accepted for API compatibility but the
+/// stand-in sizes its own measurement window.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    _ctx: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.quick, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Parameterised benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the closure under measurement.
+pub struct Bencher {
+    quick: bool,
+    /// (iterations, total elapsed) recorded by `iter`.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `f` by running it repeatedly inside a timing window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, also used to size the measurement loop.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let window = if self.quick {
+            Duration::from_millis(60)
+        } else {
+            Duration::from_millis(400)
+        };
+        let iters = (window.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, quick: bool, mut f: F) {
+    let mut b = Bencher {
+        quick,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, total)) => {
+            let per_iter = total / iters.max(1) as u32;
+            println!(
+                "bench: {label:<48} {:>12} /iter  ({iters} iters)",
+                format_duration(per_iter)
+            );
+        }
+        None => println!("bench: {label:<48} (no measurement)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}

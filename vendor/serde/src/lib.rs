@@ -1,0 +1,523 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! minimal surface the workspace uses: `Serialize` / `Deserialize` traits
+//! over a small JSON value model, a derive macro (re-exported from the
+//! sibling `serde_derive` stand-in), and the JSON text round-trip consumed
+//! by the `serde_json` stand-in. Representations follow real serde's JSON
+//! conventions (externally tagged enums, structs as objects) so persisted
+//! artifacts stay readable if the real stack is ever restored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-ish value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object entries (declaration order for structs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a required object field.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            _ => Err(Error::new(format!(
+                "expected object with field `{name}`"
+            ))),
+        }
+    }
+
+    /// Look up a required array element.
+    pub fn index(&self, i: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(i)
+                .ok_or_else(|| Error::new(format!("missing array element {i}"))),
+            _ => Err(Error::new(format!("expected array with element {i}"))),
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild a value from the data model.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// --- primitive impls ---
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    _ => Err(Error::new(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    _ => Err(Error::new(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+            _ => Err(Error::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::new("expected object")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+// --- JSON text round-trip (used by the serde_json stand-in) ---
+
+impl Value {
+    /// Compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty-printed JSON text (two-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => (
+                "\n",
+                " ".repeat(w * depth),
+                " ".repeat(w * (depth + 1)),
+            ),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&write_number(*n)),
+            Value::String(s) => write_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse JSON text.
+    pub fn parse_json(text: &str) -> Result<Value, Error> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::new(format!("trailing input at byte {pos}")));
+        }
+        Ok(value)
+    }
+}
+
+fn write_number(n: f64) -> String {
+    if n.is_nan() || n.is_infinite() {
+        // JSON has no NaN/Inf; serde_json writes null.
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{n}");
+        // `{}` on f64 is shortest-roundtrip in modern Rust.
+        s
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::new(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::new(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| Error::new("invalid \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("invalid escape")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().ok_or_else(|| Error::new("unterminated string"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err(Error::new("unterminated string"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::new("invalid number"))?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| Error::new(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_of_nested_value() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("cdb\"m011".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Number(1.5), Value::Number(-3.0), Value::Null]),
+            ),
+            ("ok".into(), Value::Bool(true)),
+        ]);
+        let text = v.to_json_pretty();
+        assert_eq!(Value::parse_json(&text).unwrap(), v);
+        let compact = v.to_json();
+        assert_eq!(Value::parse_json(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn integers_write_without_fraction() {
+        assert_eq!(Value::Number(42.0).to_json(), "42");
+        assert_eq!(Value::Number(0.5).to_json(), "0.5");
+    }
+}

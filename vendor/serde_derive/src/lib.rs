@@ -1,0 +1,338 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access and an empty registry, so
+//! the real serde/syn/quote stack is unavailable. This proc-macro crate
+//! hand-parses the item token stream (no `syn`) and generates impls of the
+//! mini data model defined in the sibling `serde` stand-in:
+//!
+//! * `Serialize::to_value(&self) -> serde::Value`
+//! * `Deserialize::from_value(&serde::Value) -> Result<Self, serde::Error>`
+//!
+//! Supported shapes — everything this workspace actually derives on:
+//! named-field structs, unit enum variants, and tuple enum variants.
+//! Representation matches serde's external tagging: unit variants as
+//! strings, one-field tuple variants as `{"Variant": value}`, longer tuple
+//! variants as `{"Variant": [values…]}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}",
+                name = item.name,
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "{}::{} => ::serde::Value::String(\"{}\".to_string()),",
+                        item.name, v.name, v.name
+                    ),
+                    1 => format!(
+                        "{n}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(f0))]),",
+                        n = item.name,
+                        v = v.name
+                    ),
+                    k => {
+                        let binds: Vec<String> = (0..k).map(|i| format!("f{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{n}::{v}({binds}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                            n = item.name,
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+                 }}\n}}",
+                name = item.name,
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name} {{ {inits} }})\n\
+                 }}\n}}",
+                name = item.name,
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| format!("\"{0}\" => return Ok({1}::{0}),", v.name, item.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    if v.arity == 1 {
+                        format!(
+                            "\"{v}\" => return Ok({n}::{v}(::serde::Deserialize::from_value(payload)?)),",
+                            n = item.name,
+                            v = v.name
+                        )
+                    } else {
+                        let elems: String = (0..v.arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(payload.index({i})?)?,"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => return Ok({n}::{v}({elems})),",
+                            n = item.name,
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::serde::Value::String(s) = value {{\n\
+                 match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::serde::Value::Object(entries) = value {{\n\
+                 if entries.len() == 1 {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                 }}\n\
+                 }}\n\
+                 Err(::serde::Error::new(concat!(\"invalid \", \"{name}\", \" value\")))\n\
+                 }}\n}}",
+                name = item.name,
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named struct fields, in declaration order.
+    Struct(Vec<String>),
+    /// Enum variants with their tuple arity (0 = unit).
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+/// Parse `struct Name { fields… }` or `enum Name { variants… }` out of the
+/// raw derive input, skipping attributes, doc comments and visibility.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[…]`) and visibility (`pub`, `pub(crate)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    // No generic items are derived in this workspace.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive stand-in does not support generic items")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: item body not found"),
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(body)),
+        "enum" => Shape::Enum(parse_enum_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Skip `: Type` up to the next top-level comma. Angle
+                // brackets are bare puncts, so track their depth to avoid
+                // splitting on commas inside `BTreeMap<String, T>`.
+                let mut angle = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let mut arity = 0usize;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    match g.delimiter() {
+                        Delimiter::Parenthesis => {
+                            arity = tuple_arity(g.stream());
+                            i += 1;
+                        }
+                        Delimiter::Brace => {
+                            panic!("serde_derive stand-in does not support struct variants")
+                        }
+                        _ => {}
+                    }
+                }
+                variants.push(Variant { name, arity });
+                // Skip to past the next top-level comma (also skips
+                // explicit discriminants, which none of our enums use).
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde_derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Count the fields of a tuple variant: top-level commas outside angle
+/// brackets, plus one (empty parens are arity 0).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    commas + 1 - usize::from(trailing_comma)
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde_json`: thin wrappers over the JSON text
+//! round-trip implemented in the sibling `serde` stand-in.
+
+pub use serde::{Error, Value};
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serialize to pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&Value::parse_json(text)?)
+}
+
+/// Parse arbitrary JSON text into a [`Value`].
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    Value::parse_json(text)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn primitive_roundtrip() {
+        let v: Vec<f64> = vec![1.0, 2.5, -3.0];
+        let text = super::to_string(&v).unwrap();
+        let back: Vec<f64> = super::from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+}
