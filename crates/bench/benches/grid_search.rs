@@ -25,7 +25,7 @@ fn quick_eval(threads: usize) -> EvaluationOptions {
             max_evals: 80,
             restarts: 0,
             interval_level: 0.95,
-                ..Default::default()
+            ..Default::default()
         },
         start_index: 0,
         ..Default::default()
@@ -59,7 +59,10 @@ fn bench_arima_grid_180(c: &mut Criterion) {
     let grid = ModelGrid::arima();
     let mut group = c.benchmark_group("grid/arima_180");
     group.sample_size(10);
-    for (label, accelerated) in [("baseline_4_threads", false), ("accelerated_4_threads", true)] {
+    for (label, accelerated) in [
+        ("baseline_4_threads", false),
+        ("accelerated_4_threads", true),
+    ] {
         group.bench_function(label, |b| {
             let opts = accel_eval(4, accelerated);
             b.iter(|| {
@@ -130,15 +133,7 @@ fn bench_pruning_payoff(c: &mut Criterion) {
         let opts = quick_eval(0);
         let subset = &full.candidates[..40];
         b.iter(|| {
-            evaluate_candidates(
-                black_box(train),
-                black_box(test),
-                &[],
-                &[],
-                subset,
-                &opts,
-            )
-            .unwrap()
+            evaluate_candidates(black_box(train), black_box(test), &[], &[], subset, &opts).unwrap()
         })
     });
     group.finish();

@@ -4,11 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwcp_models::arima::ArimaOptions;
+use dwcp_models::fourier::FourierSpec;
 use dwcp_models::{
     ArimaSpec, EtsConfig, FittedArima, FittedEts, FittedSarimax, FittedTbats, SarimaxConfig,
     TbatsConfig,
 };
-use dwcp_models::fourier::FourierSpec;
 use std::hint::black_box;
 
 /// A 984-point hourly-shaped training series (the Table 1 train size) with
@@ -29,7 +29,7 @@ fn fit_options() -> ArimaOptions {
         max_evals: 300,
         restarts: 0,
         interval_level: 0.95,
-                ..Default::default()
+        ..Default::default()
     }
 }
 
@@ -40,13 +40,17 @@ fn bench_arima_family(c: &mut Criterion) {
     for (label, spec) in [
         ("arima(1,1,1)", ArimaSpec::arima(1, 1, 1)),
         ("arima(13,1,2)", ArimaSpec::arima(13, 1, 2)),
-        ("sarima(1,1,1)(0,1,1,24)", ArimaSpec::sarima(1, 1, 1, 0, 1, 1, 24)),
-        ("sarima(4,1,2)(1,1,1,24)", ArimaSpec::sarima(4, 1, 2, 1, 1, 1, 24)),
+        (
+            "sarima(1,1,1)(0,1,1,24)",
+            ArimaSpec::sarima(1, 1, 1, 0, 1, 1, 24),
+        ),
+        (
+            "sarima(4,1,2)(1,1,1,24)",
+            ArimaSpec::sarima(4, 1, 2, 1, 1, 1, 24),
+        ),
     ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                FittedArima::fit(black_box(&y), spec, &fit_options()).unwrap()
-            })
+            b.iter(|| FittedArima::fit(black_box(&y), spec, &fit_options()).unwrap())
         });
     }
     group.finish();
@@ -75,9 +79,7 @@ fn bench_sarimax_regression(c: &mut Criterion) {
             fourier: FourierSpec::none(),
             n_exog: 4,
         };
-        b.iter(|| {
-            FittedSarimax::fit(black_box(&y), &config, &exog, 0, &fit_options()).unwrap()
-        })
+        b.iter(|| FittedSarimax::fit(black_box(&y), &config, &exog, 0, &fit_options()).unwrap())
     });
     group.bench_function("exog4_fourier2x2", |b| {
         let exog = backup_slots(984);
@@ -86,9 +88,7 @@ fn bench_sarimax_regression(c: &mut Criterion) {
             fourier: FourierSpec::multi(&[24.0, 168.0], 2),
             n_exog: 4,
         };
-        b.iter(|| {
-            FittedSarimax::fit(black_box(&y), &config, &exog, 0, &fit_options()).unwrap()
-        })
+        b.iter(|| FittedSarimax::fit(black_box(&y), &config, &exog, 0, &fit_options()).unwrap())
     });
     group.finish();
 }

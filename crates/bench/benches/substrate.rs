@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwcp_models::arima::ArimaOptions;
 use dwcp_models::{ArimaSpec, FittedArima};
-use dwcp_series::{acf, pacf, detect_seasonality};
+use dwcp_series::{acf, detect_seasonality, pacf};
 use dwcp_workload::{olap_scenario, Metric};
 use std::hint::black_box;
 
@@ -66,7 +66,7 @@ fn bench_forecast_latency(c: &mut Criterion) {
             max_evals: 300,
             restarts: 0,
             interval_level: 0.95,
-                ..Default::default()
+            ..Default::default()
         },
     )
     .unwrap();
@@ -113,11 +113,8 @@ fn bench_tbats_selection(c: &mut Criterion) {
     group.bench_function("single_config_240", |b| {
         b.iter(|| {
             black_box(
-                dwcp_models::FittedTbats::fit(
-                    &y,
-                    dwcp_models::TbatsConfig::seasonal(24.0, 2),
-                )
-                .unwrap(),
+                dwcp_models::FittedTbats::fit(&y, dwcp_models::TbatsConfig::seasonal(24.0, 2))
+                    .unwrap(),
             )
         })
     });

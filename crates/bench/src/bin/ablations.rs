@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = TrainTestSplit::from_series(&series, Granularity::Hourly)?;
     let train = split.train.values();
     let test = split.test.values();
-    println!("ablations on {} — cdbm012/Memory (trending OLTP)", scenario.kind.label());
+    println!(
+        "ablations on {} — cdbm012/Memory (trending OLTP)",
+        scenario.kind.label()
+    );
 
     ablation_drift(train, test)?;
     ablation_hannan_rissanen(train)?;
@@ -60,7 +63,10 @@ fn ablation_drift(train: &[f64], test: &[f64]) -> Result<(), Box<dyn std::error:
         let fit = FittedArima::fit(train, spec, &opts(include_mean, true, true))?;
         let f = fit.forecast(test.len());
         let err = rmse(test, &f.mean)?;
-        println!("  {label:<14} RMSE {err:>10.2}   (estimated drift {:+.3}/h)", fit.mean);
+        println!(
+            "  {label:<14} RMSE {err:>10.2}   (estimated drift {:+.3}/h)",
+            fit.mean
+        );
     }
     Ok(())
 }
@@ -111,16 +117,13 @@ fn ablation_gls(
         n_exog: exog_train.len(),
     };
     for (label, gls) in [("with GLS pass", true), ("plain two-step", false)] {
-        let fit = FittedSarimax::fit(
-            train,
-            &config,
-            &exog_train,
-            offset,
-            &opts(true, true, gls),
-        )?;
+        let fit = FittedSarimax::fit(train, &config, &exog_train, offset, &opts(true, true, gls))?;
         let f = fit.forecast(test.len(), &exog_test)?;
         let err = rmse(test, &f.mean)?;
-        println!("  {label:<16} RMSE {err:>10.2}   beta[backup#1] {:+.1}", fit.beta[1]);
+        println!(
+            "  {label:<16} RMSE {err:>10.2}   beta[backup#1] {:+.1}",
+            fit.beta[1]
+        );
     }
     Ok(())
 }
@@ -129,7 +132,10 @@ fn ablation_gls(
 ///    candidate cap.
 fn ablation_pruning(train: &[f64], test: &[f64]) -> Result<(), Box<dyn std::error::Error>> {
     println!("\n[4] correlogram pruning: candidate cap sweep");
-    println!("  {:>5} {:>10} {:>12} {:>10}", "cap", "fitted", "best RMSE", "time");
+    println!(
+        "  {:>5} {:>10} {:>12} {:>10}",
+        "cap", "fitted", "best RMSE", "time"
+    );
     for cap in [4usize, 8, 16, 32] {
         let profile = DataProfile::analyze(train)?;
         let set = CandidateSet::sarimax(profile, 24, 0, cap);
@@ -145,7 +151,10 @@ fn ablation_pruning(train: &[f64], test: &[f64]) -> Result<(), Box<dyn std::erro
         println!(
             "  {cap:>5} {:>10} {:>12.2} {:>9.1?}",
             report.scores.len(),
-            report.champion().map(|c| c.accuracy.rmse).unwrap_or(f64::NAN),
+            report
+                .champion()
+                .map(|c| c.accuracy.rmse)
+                .unwrap_or(f64::NAN),
             t0.elapsed()
         );
     }

@@ -1,0 +1,283 @@
+//! Fleet-scheduler snapshot: the 2-instance × 3-metric × 2-granularity
+//! OLTP batch (12 jobs), three ways —
+//!
+//! 1. `sequential`: one `Pipeline::run` per job, cold full grid,
+//! 2. `fleet cold`: the same 12 jobs through one shared worker pool,
+//! 3. `fleet relearn`: the batch again, seeded from the stored champions
+//!    (pruned neighbourhood grid, warm-started parameters).
+//!
+//! Writes `results/BENCH_fleet.json` and exits non-zero if any relearned
+//! champion differs from its cold-run champion — champion-seeded
+//! relearning must not change model selection on unchanged data.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin bench_fleet
+//! DWCP_QUICK=1 cargo run -p dwcp-bench --release --bin bench_fleet   # 2 jobs
+//! ```
+
+use dwcp_bench::{results_dir, EXPERIMENT_SEED};
+use dwcp_core::{
+    EvaluationOptions, FleetOptions, FleetScheduler, MethodChoice, Pipeline, PipelineConfig,
+    SeriesJob,
+};
+use dwcp_models::arima::ArimaOptions;
+use dwcp_series::Granularity;
+use dwcp_workload::{oltp_scenario, Metric};
+use serde::Serialize;
+use std::time::Instant;
+
+const THREADS: usize = 4;
+
+#[derive(Debug, Clone, Serialize)]
+struct JobRow {
+    key: String,
+    granularity: String,
+    champion: String,
+    champion_relearn: String,
+    rmse_sequential: f64,
+    rmse_relearn: f64,
+    reused: bool,
+    fell_back: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct FleetSnapshot {
+    batch: String,
+    n_jobs: usize,
+    threads: usize,
+    sequential_wall_ms: f64,
+    fleet_cold_wall_ms: f64,
+    fleet_relearn_wall_ms: f64,
+    speedup_cold_vs_sequential: f64,
+    speedup_relearn_vs_sequential: f64,
+    jobs_per_second: f64,
+    reuse_hits: usize,
+    reuse_misses: usize,
+    reuse_fallbacks: usize,
+    reuse_hit_rate: f64,
+    sequential_objective_evals: usize,
+    relearn_objective_evals: usize,
+    jobs: Vec<JobRow>,
+}
+
+fn job_config(granularity: Granularity, quick: bool) -> PipelineConfig {
+    PipelineConfig {
+        method: MethodChoice::Sarimax,
+        granularity,
+        max_candidates: if quick { 4 } else { 16 },
+        fourier_stage: false,
+        auto_detect_shocks: false,
+        eval: EvaluationOptions {
+            threads: THREADS,
+            fit: ArimaOptions {
+                max_evals: 0, // convergence-driven: warm and cold fits agree
+                restarts: 0,
+                interval_level: 0.95,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    }
+}
+
+/// Build the batch: per instance × metric, one hourly job (trailing 1008
+/// observations, request-rate exogenous columns) and one daily job (98
+/// daily means, no exogenous input).
+fn build_batch(quick: bool) -> Result<Vec<SeriesJob>, Box<dyn std::error::Error>> {
+    let mut scenario = oltp_scenario();
+    scenario.duration_days = 98; // daily protocol needs >= 90 observations
+    let repo = scenario.run(EXPERIMENT_SEED)?;
+    let hours = scenario.hours();
+    let exog_full = scenario.exogenous_columns(scenario.start, hours);
+
+    let instances = if quick {
+        vec!["cdbm011".to_string()]
+    } else {
+        scenario.instance_names()
+    };
+    let metrics: &[Metric] = if quick {
+        &[Metric::CpuPercent, Metric::LogicalIops]
+    } else {
+        &Metric::ALL
+    };
+
+    let mut jobs = Vec::new();
+    for instance in &instances {
+        for &metric in metrics {
+            let hourly = repo.hourly_series(instance, metric, scenario.start, hours)?;
+            let h0 = hours - Granularity::Hourly.observations();
+            let window = hourly.slice(h0, hours);
+            let exog: Vec<Vec<f64>> = exog_full.iter().map(|c| c[h0..hours].to_vec()).collect();
+            jobs.push(
+                SeriesJob::new(
+                    format!("{instance}/{}/hourly", metric.label()),
+                    window,
+                    job_config(Granularity::Hourly, quick),
+                )
+                .with_exog(exog),
+            );
+            if quick {
+                continue; // quick mode: hourly jobs only
+            }
+            let daily = repo.daily_series(instance, metric, scenario.start, 98)?;
+            jobs.push(SeriesJob::new(
+                format!("{instance}/{}/daily", metric.label()),
+                daily,
+                job_config(Granularity::Daily, quick),
+            ));
+        }
+    }
+    Ok(jobs)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("DWCP_QUICK").is_ok();
+    let jobs = build_batch(quick)?;
+    println!(
+        "bench_fleet: {} jobs ({}), {} threads",
+        jobs.len(),
+        if quick {
+            "quick batch"
+        } else {
+            "2 instances x 3 metrics x 2 granularities"
+        },
+        THREADS
+    );
+
+    // 1. Sequential baseline: one cold Pipeline::run per job.
+    let t0 = Instant::now();
+    let mut sequential = Vec::new();
+    let mut sequential_evals = 0usize;
+    for job in &jobs {
+        let pipeline = Pipeline::new(job.config.clone());
+        let outcome = pipeline.run(&job.series, &job.exog)?;
+        sequential_evals += outcome.stats.objective_evals;
+        sequential.push(outcome);
+    }
+    let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("  sequential     {sequential_ms:>9.1} ms   ({sequential_evals} objective evals)");
+
+    // 2. Fleet cold: same jobs through one shared pool, empty repository.
+    let options = FleetOptions {
+        threads: THREADS,
+        ..Default::default()
+    };
+    let mut scheduler = FleetScheduler::new(options.clone());
+    let t0 = Instant::now();
+    let cold = scheduler.run_batch(&jobs);
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  fleet cold     {cold_ms:>9.1} ms   ({} objective evals)",
+        cold.stats.objective_evals
+    );
+
+    // 3. Fleet relearn: champion-seeded from the cold run's repository.
+    let mut relearner = FleetScheduler::with_repository(options, scheduler.repository.clone());
+    let t0 = Instant::now();
+    let relearn = relearner.run_batch(&jobs);
+    let relearn_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  fleet relearn  {relearn_ms:>9.1} ms   ({} objective evals, reuse {}h/{}m/{}f)",
+        relearn.stats.objective_evals,
+        relearn.stats.reuse_hits,
+        relearn.stats.reuse_misses,
+        relearn.stats.reuse_fallbacks
+    );
+
+    // Cross-checks. The scheduler itself must not change model selection:
+    // cold fleet vs the sequential loop is the same work, so champions and
+    // RMSEs must be identical per job. The champion-seeded relearn pass is
+    // a different (pruned, warm-started) search, so it is held to the
+    // repository contract instead: same-or-better held-out RMSE.
+    let mut rows = Vec::new();
+    let mut mismatches = 0usize;
+    for (i, job) in jobs.iter().enumerate() {
+        let seq = sequential[i].champion.clone();
+        let cold_outcome = cold.jobs[i].outcome.as_ref().expect("cold job failed");
+        let relearn_outcome = relearn.jobs[i]
+            .outcome
+            .as_ref()
+            .expect("relearn job failed");
+        if cold_outcome.champion != seq {
+            eprintln!(
+                "FAIL {}: cold fleet champion {} != sequential {}",
+                job.key, cold_outcome.champion, seq
+            );
+            mismatches += 1;
+        }
+        if (cold_outcome.accuracy.rmse - sequential[i].accuracy.rmse).abs()
+            > 1e-9 * sequential[i].accuracy.rmse.abs().max(1.0)
+        {
+            eprintln!(
+                "FAIL {}: cold fleet RMSE {} != sequential {}",
+                job.key, cold_outcome.accuracy.rmse, sequential[i].accuracy.rmse
+            );
+            mismatches += 1;
+        }
+        if relearn_outcome.accuracy.rmse > cold_outcome.accuracy.rmse * (1.0 + 1e-9) + 1e-12 {
+            eprintln!(
+                "FAIL {}: relearned RMSE {} worse than cold {}",
+                job.key, relearn_outcome.accuracy.rmse, cold_outcome.accuracy.rmse
+            );
+            mismatches += 1;
+        }
+        rows.push(JobRow {
+            key: job.key.clone(),
+            granularity: if job.key.ends_with("daily") {
+                "daily"
+            } else {
+                "hourly"
+            }
+            .to_string(),
+            champion: cold_outcome.champion.clone(),
+            champion_relearn: relearn_outcome.champion.clone(),
+            rmse_sequential: sequential[i].accuracy.rmse,
+            rmse_relearn: relearn_outcome.accuracy.rmse,
+            reused: relearn.jobs[i].reused,
+            fell_back: relearn.jobs[i].fell_back,
+        });
+    }
+
+    let snapshot = FleetSnapshot {
+        batch: if quick {
+            "oltp_quick".into()
+        } else {
+            "oltp_2x3x2".into()
+        },
+        n_jobs: jobs.len(),
+        threads: THREADS,
+        sequential_wall_ms: sequential_ms,
+        fleet_cold_wall_ms: cold_ms,
+        fleet_relearn_wall_ms: relearn_ms,
+        speedup_cold_vs_sequential: sequential_ms / cold_ms,
+        speedup_relearn_vs_sequential: sequential_ms / relearn_ms,
+        jobs_per_second: relearn.jobs_per_second(),
+        reuse_hits: relearn.stats.reuse_hits,
+        reuse_misses: relearn.stats.reuse_misses,
+        reuse_fallbacks: relearn.stats.reuse_fallbacks,
+        reuse_hit_rate: relearn.stats.reuse_rate().unwrap_or(0.0),
+        sequential_objective_evals: sequential_evals,
+        relearn_objective_evals: relearn.stats.objective_evals,
+        jobs: rows,
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_fleet.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&snapshot).expect("serializable"),
+    )?;
+    println!(
+        "\nspeedup vs sequential: cold {:.2}x, relearn {:.2}x (reuse hit rate {:.0}%)",
+        snapshot.speedup_cold_vs_sequential,
+        snapshot.speedup_relearn_vs_sequential,
+        snapshot.reuse_hit_rate * 100.0
+    );
+    println!("wrote {}", path.display());
+
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} champion/RMSE contract violations");
+        std::process::exit(1);
+    }
+    Ok(())
+}

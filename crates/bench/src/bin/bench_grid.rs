@@ -85,7 +85,11 @@ fn champion_label(report: &EvaluationReport) -> (String, f64) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let reps = if std::env::var("DWCP_QUICK").is_ok() { 1 } else { 3 };
+    let reps = if std::env::var("DWCP_QUICK").is_ok() {
+        1
+    } else {
+        3
+    };
     let y = series(504);
     let (train, test) = y.split_at(480);
     let grid = ModelGrid::arima();
@@ -100,8 +104,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut runs = Vec::new();
     let mut wall_4t = [f64::NAN; 2]; // [baseline, accelerated]
     let mut champions_4t = [String::new(), String::new()];
-    for (mode_idx, (mode, accelerated)) in
-        [("baseline", false), ("accelerated", true)].into_iter().enumerate()
+    for (mode_idx, (mode, accelerated)) in [("baseline", false), ("accelerated", true)]
+        .into_iter()
+        .enumerate()
     {
         for threads in [1usize, 2, 4, 8] {
             let o = opts(threads, accelerated);
@@ -142,8 +147,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let speedup = wall_4t[0] / wall_4t[1];
-    println!("\nspeedup at 4 threads: {speedup:.2}x (baseline {:.1} ms → accelerated {:.1} ms)",
-        wall_4t[0], wall_4t[1]);
+    println!(
+        "\nspeedup at 4 threads: {speedup:.2}x (baseline {:.1} ms → accelerated {:.1} ms)",
+        wall_4t[0], wall_4t[1]
+    );
 
     let snapshot = GridSnapshot {
         grid: "arima_180".to_string(),
@@ -158,7 +165,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("BENCH_grid.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&snapshot).expect("serializable"))?;
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&snapshot).expect("serializable"),
+    )?;
     println!("wrote {}", path.display());
 
     // Exact mode must never change model selection.

@@ -41,18 +41,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let a = corr.acf[lag];
         let p = corr.pacf[lag];
-        let sig_a = if lag > 0 && a.abs() > corr.significance { "*" } else { " " };
-        let sig_p = if lag > 0 && p.abs() > corr.significance { "*" } else { " " };
-        println!("{lag:>3} {sig_a} {} {:+.2}  {sig_p} {} {:+.2}", bar(a), a, bar(p), p);
+        let sig_a = if lag > 0 && a.abs() > corr.significance {
+            "*"
+        } else {
+            " "
+        };
+        let sig_p = if lag > 0 && p.abs() > corr.significance {
+            "*"
+        } else {
+            " "
+        };
+        println!(
+            "{lag:>3} {sig_a} {} {:+.2}  {sig_p} {} {:+.2}",
+            bar(a),
+            a,
+            bar(p),
+            p
+        );
     }
-    println!(
-        "\nsignificant ACF lags:  {:?}",
-        corr.significant_acf_lags()
-    );
-    println!(
-        "significant PACF lags: {:?}",
-        corr.significant_pacf_lags()
-    );
+    println!("\nsignificant ACF lags:  {:?}", corr.significant_acf_lags());
+    println!("significant PACF lags: {:?}", corr.significant_pacf_lags());
 
     // (b) Seasonal decomposition at the daily period.
     println!("\nFigure 1(b): classical decomposition at period 24");

@@ -21,11 +21,17 @@ fn print_topology(scenario: &dwcp_workload::Scenario) {
     for name in scenario.instance_names() {
         println!("                                      ├──> instance {name}");
     }
-    println!("  agent polls each instance every 15 min ──> central repository (hourly aggregation)\n");
+    println!(
+        "  agent polls each instance every 15 min ──> central repository (hourly aggregation)\n"
+    );
 }
 
 fn print_traces(scenario: &dwcp_workload::Scenario) -> Result<(), Box<dyn std::error::Error>> {
-    println!("Figure 2: {} key metrics, {} days hourly", scenario.kind.label(), scenario.duration_days);
+    println!(
+        "Figure 2: {} key metrics, {} days hourly",
+        scenario.kind.label(),
+        scenario.duration_days
+    );
     let repo = scenario.run(EXPERIMENT_SEED)?;
     for metric in Metric::ALL {
         println!("\n--- {metric} ({})", metric.unit());

@@ -20,8 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for metric in Metric::ALL {
         println!("--- {metric} ({})", metric.unit());
         for instance in scenario.instance_names() {
-            let mut s =
-                repo.hourly_series(&instance, metric, scenario.start, scenario.hours())?;
+            let mut s = repo.hourly_series(&instance, metric, scenario.start, scenario.hours())?;
             dwcp_series::interpolate::interpolate_series(&mut s)?;
             let first_week = s.slice(0, 168).mean();
             let last_week = s.slice(s.len() - 168, s.len()).mean();
@@ -38,10 +37,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
     // Zoom on one day to show the surge/backup microstructure.
-    let mut day = repo.hourly_series("cdbm011", Metric::LogicalIops, scenario.start, scenario.hours())?;
+    let mut day = repo.hourly_series(
+        "cdbm011",
+        Metric::LogicalIops,
+        scenario.start,
+        scenario.hours(),
+    )?;
     dwcp_series::interpolate::interpolate_series(&mut day)?;
     let d20 = &day.values()[20 * 24..21 * 24];
-    println!("day-20 zoom, cdbm011 Logical IOPS (hours 0-23; backups at 0/6/12/18, surges 7-11 & 9-10):");
+    println!(
+        "day-20 zoom, cdbm011 Logical IOPS (hours 0-23; backups at 0/6/12/18, surges 7-11 & 9-10):"
+    );
     println!("  {}", sparkline(d20, 48));
     for (h, v) in d20.iter().enumerate() {
         let marks = match h {

@@ -25,10 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut working = series.clone();
     dwcp_series::interpolate::interpolate_series(&mut working)?;
-    let split = dwcp_series::TrainTestSplit::from_series(
-        &working,
-        dwcp_series::Granularity::Hourly,
-    )?;
+    let split =
+        dwcp_series::TrainTestSplit::from_series(&working, dwcp_series::Granularity::Hourly)?;
     let actual = split.test.values();
 
     let families = [
@@ -67,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("train   : {}", sparkline(tail.values(), 72));
     eprintln!("actual  : {}", sparkline(actual, 24));
     for (f, b) in families.iter().zip(&best) {
-        eprintln!("{:<8}: {}", f.label().split(' ').next().unwrap_or(""), sparkline(&b.forecast.mean, 24));
+        eprintln!(
+            "{:<8}: {}",
+            f.label().split(' ').next().unwrap_or(""),
+            sparkline(&b.forecast.mean, 24)
+        );
     }
     Ok(())
 }

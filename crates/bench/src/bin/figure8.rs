@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  champion : {}", outcome.champion);
         println!(
             "  accuracy : RMSE {:.2}  MAPE {:.2}%  MAPA {:.2}%  ({} models evaluated)",
-            outcome.accuracy.rmse,
-            outcome.accuracy.mape,
-            outcome.accuracy.mapa,
-            outcome.evaluated
+            outcome.accuracy.rmse, outcome.accuracy.mape, outcome.accuracy.mapa, outcome.evaluated
         );
         let tail = outcome.train.tail(96);
         println!("  history  : {}", sparkline(tail.values(), 64));

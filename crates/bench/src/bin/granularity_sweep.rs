@@ -33,13 +33,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metric = Metric::CpuPercent;
 
     let hourly = repo.hourly_series(instance, metric, scenario.start, scenario.hours())?;
-    let daily = repo.daily_series(instance, metric, scenario.start, scenario.duration_days as usize)?;
-    let weekly = repo.weekly_series(instance, metric, scenario.start, scenario.duration_days as usize / 7)?;
+    let daily = repo.daily_series(
+        instance,
+        metric,
+        scenario.start,
+        scenario.duration_days as usize,
+    )?;
+    let weekly = repo.weekly_series(
+        instance,
+        metric,
+        scenario.start,
+        scenario.duration_days as usize / 7,
+    )?;
 
     println!("aggregation chain for {instance}/{metric}:");
-    println!("  hourly : {:>5} obs  {}", hourly.len(), sparkline(hourly.values(), 64));
-    println!("  daily  : {:>5} obs  {}", daily.len(), sparkline(daily.values(), 64));
-    println!("  weekly : {:>5} obs  {}", weekly.len(), sparkline(weekly.values(), 64));
+    println!(
+        "  hourly : {:>5} obs  {}",
+        hourly.len(),
+        sparkline(hourly.values(), 64)
+    );
+    println!(
+        "  daily  : {:>5} obs  {}",
+        daily.len(),
+        sparkline(daily.values(), 64)
+    );
+    println!(
+        "  weekly : {:>5} obs  {}",
+        weekly.len(),
+        sparkline(weekly.values(), 64)
+    );
 
     println!(
         "\n{:<9} {:>5} {:>6} {:>5}  {:<42} {:>8} {:>8}",

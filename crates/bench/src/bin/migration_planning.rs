@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let instance = "cdbm011";
     let horizon_days = 180usize;
 
-    eprintln!("simulating {} days of estate history…", scenario.duration_days);
+    eprintln!(
+        "simulating {} days of estate history…",
+        scenario.duration_days
+    );
     let repo = scenario.run(EXPERIMENT_SEED)?;
 
     let pipeline = Pipeline::new(PipelineConfig {
@@ -52,8 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scenario.start,
             scenario.duration_days as usize,
         )?;
-        let (outcome, future) =
-            pipeline.refit_and_forecast(&daily, &[], &[], horizon_days)?;
+        let (outcome, future) = pipeline.refit_and_forecast(&daily, &[], &[], horizon_days)?;
 
         // "Today": p95 of the trailing 30 days.
         let mut recent: Vec<f64> = daily.tail(30).values().to_vec();
@@ -63,8 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // "+6 months": the forecast's final-month mean and the capacity
         // requirement = max of the upper interval over the horizon.
-        let final_month: f64 =
-            future.mean[horizon_days - 30..].iter().sum::<f64>() / 30.0;
+        let final_month: f64 = future.mean[horizon_days - 30..].iter().sum::<f64>() / 30.0;
         let need = future
             .upper
             .iter()

@@ -37,17 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let verdict = repo.needs_relearn(&key, now, None);
         let mut label = "kept".to_string();
         if let Some(reason) = verdict {
-            let exog_window: Vec<Vec<f64>> =
-                exog.iter().map(|c| c[..upto].to_vec()).collect();
+            let exog_window: Vec<Vec<f64>> = exog.iter().map(|c| c[..upto].to_vec()).collect();
             let outcome = pipeline.run(&window, &exog_window)?;
             champion = outcome.champion.clone();
-            repo.store(ModelRecord {
-                workload: key.clone(),
-                champion: champion.clone(),
-                granularity: Granularity::Hourly,
-                baseline_rmse: outcome.accuracy.rmse,
-                fitted_at: now,
-            });
+            repo.store(ModelRecord::from_outcome(
+                &key,
+                &outcome,
+                Granularity::Hourly,
+                now,
+            ));
             relearns += 1;
             label = format!("{reason:?}");
         }
@@ -55,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let yesterday = &window.values()[upto - 48..upto - 24];
         let today = &window.values()[upto - 24..upto];
         let live = Accuracy::compute(today, yesterday)?.rmse;
-        println!(
-            "{day:>3}  {label:<11}  {champion:<52} {live:>9.2}"
-        );
+        println!("{day:>3}  {label:<11}  {champion:<52} {live:>9.2}");
     }
     println!(
         "\n{} relearn events across {} replay days (expected: day 0 + one per week)",

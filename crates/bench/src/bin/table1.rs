@@ -13,10 +13,7 @@ fn main() {
         "Forecast", "Obs", "Train Set", "Test Set", "Prediction"
     );
     println!("{}", "-".repeat(60));
-    for (method, gs) in [
-        ("SARIMAX", true),
-        ("HES", true),
-    ] {
+    for (method, gs) in [("SARIMAX", true), ("HES", true)] {
         if !gs {
             continue;
         }

@@ -53,7 +53,10 @@ impl ExperimentArtifact {
         let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )?;
         Ok(path)
     }
 }

@@ -114,8 +114,10 @@ pub fn backtest(
     while origin + bt.horizon <= values.len() {
         let train = &values[..origin];
         let actual = &values[origin..origin + bt.horizon];
-        let exog_train: Vec<Vec<f64>> =
-            exog[..n_exog].iter().map(|c| c[..origin].to_vec()).collect();
+        let exog_train: Vec<Vec<f64>> = exog[..n_exog]
+            .iter()
+            .map(|c| c[..origin].to_vec())
+            .collect();
         let exog_future: Vec<Vec<f64>> = exog[..n_exog]
             .iter()
             .map(|c| c[origin..origin + bt.horizon].to_vec())
@@ -150,7 +152,13 @@ pub fn backtest(
     let rmse_by_step = se_by_step
         .iter()
         .zip(&count_by_step)
-        .map(|(&se, &c)| if c == 0 { f64::NAN } else { (se / c as f64).sqrt() })
+        .map(|(&se, &c)| {
+            if c == 0 {
+                f64::NAN
+            } else {
+                (se / c as f64).sqrt()
+            }
+        })
         .collect();
     Ok(BacktestReport {
         overall,
@@ -232,7 +240,9 @@ mod tests {
     #[test]
     fn exogenous_columns_slide_with_the_origin() {
         let n = 400;
-        let shock: Vec<f64> = (0..n).map(|t| if t % 12 == 0 { 1.0 } else { 0.0 }).collect();
+        let shock: Vec<f64> = (0..n)
+            .map(|t| if t % 12 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let y: Vec<f64> = (0..n)
             .map(|t| 20.0 + 35.0 * shock[t] + ((t.wrapping_mul(31) % 17) as f64) / 10.0)
             .collect();

@@ -226,10 +226,7 @@ mod tests {
         let y = seasonal_trending_series(720);
         let profile = DataProfile::analyze(&y).unwrap();
         let set = CandidateSet::sarimax(profile, 99, 0, 16);
-        assert!(set
-            .models
-            .iter()
-            .all(|c| c.config.spec.period == 24));
+        assert!(set.models.iter().all(|c| c.config.spec.period == 24));
     }
 
     #[test]

@@ -41,7 +41,7 @@
 use crate::grid::{CandidateModel, ModelFamily};
 use crate::{PlannerError, Result};
 use dwcp_models::arima::{adapt_unconstrained, ArimaOptions};
-use dwcp_models::{ArimaSpec, FittedArima, FittedSarimax, Forecast, ModelError};
+use dwcp_models::{ArimaSpec, FittedArima, FittedSarimax, Forecast, ModelError, SarimaxConfig};
 use dwcp_series::diff::Differenced;
 use dwcp_series::Accuracy;
 use std::collections::BTreeMap;
@@ -116,6 +116,15 @@ pub struct ModelScore {
     pub aic: f64,
     /// The test-segment forecast that was scored.
     pub forecast: Forecast,
+    /// The fit's converged unconstrained SARIMA parameters — the warm seed
+    /// the model repository stores so the next relearn of this series can
+    /// start from the champion instead of from cold.
+    pub warm_params: Vec<f64>,
+    /// The fit's regression coefficients (`[intercept, exog…, fourier…]`,
+    /// empty for plain models), stored alongside
+    /// [`ModelScore::warm_params`] so a regression champion can be
+    /// re-scored verbatim on the next relearn.
+    pub warm_beta: Vec<f64>,
 }
 
 /// Per-family instrumentation from one evaluation run.
@@ -154,12 +163,51 @@ pub struct EvalStats {
     /// Per-family breakdown, indexed by [`ModelFamily`] discriminant order
     /// (Arima, Sarimax, SarimaxFftExogenous).
     pub families: [FamilyStats; 3],
+    /// Fleet jobs whose stored champion seeded a pruned neighbourhood
+    /// relearn (always 0 for single-grid runs).
+    pub reuse_hits: usize,
+    /// Fleet jobs that had no usable stored champion and ran the full grid
+    /// cold (always 0 for single-grid runs).
+    pub reuse_misses: usize,
+    /// Reused fleet jobs whose pruned champion degraded past the staleness
+    /// threshold and fell back to the full grid.
+    pub reuse_fallbacks: usize,
 }
 
 impl EvalStats {
     /// The stats bucket for one family.
     pub fn family(&self, family: ModelFamily) -> &FamilyStats {
         &self.families[family_index(family)]
+    }
+
+    /// Fold another run's counters into this one. `wall_time` adds, which
+    /// is the right semantics for sequential stages (primary grid then
+    /// Fourier stage) and for fleet passes; the fleet scheduler overwrites
+    /// the batch total with the true wall clock afterwards.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.wall_time += other.wall_time;
+        self.cache_entries += other.cache_entries;
+        self.cache_hits += other.cache_hits;
+        self.warm_starts += other.warm_starts;
+        self.objective_evals += other.objective_evals;
+        for (total, part) in self.families.iter_mut().zip(&other.families) {
+            total.attempts += part.attempts;
+            total.fits += part.fits;
+            total.failures += part.failures;
+            total.abandoned += part.abandoned;
+            total.fit_time += part.fit_time;
+            total.objective_evals += part.objective_evals;
+        }
+        self.reuse_hits += other.reuse_hits;
+        self.reuse_misses += other.reuse_misses;
+        self.reuse_fallbacks += other.reuse_fallbacks;
+    }
+
+    /// Champion-reuse hit rate over the jobs where reuse was possible in
+    /// principle; `None` when no such jobs ran (single-grid evaluations).
+    pub fn reuse_rate(&self) -> Option<f64> {
+        let eligible = self.reuse_hits + self.reuse_misses;
+        (eligible > 0).then(|| self.reuse_hits as f64 / eligible as f64)
     }
 }
 
@@ -198,6 +246,36 @@ impl EvaluationReport {
     pub fn best_of_family(&self, family: ModelFamily) -> Option<&ModelScore> {
         self.scores.iter().find(|s| s.candidate.family == family)
     }
+
+    /// Merge a follow-up evaluation (e.g. the Fourier-variant stage) into
+    /// this report. The other report's candidate indices are shifted past
+    /// this report's `attempted` so the deterministic RMSE tie-break keeps
+    /// preferring earlier (primary-grid) candidates, and the combined
+    /// scores are re-sorted.
+    pub fn absorb(&mut self, mut other: EvaluationReport) {
+        let base = self.attempted;
+        for mut score in other.scores.drain(..) {
+            score.candidate_index += base;
+            self.scores.push(score);
+        }
+        self.failures += other.failures;
+        self.abandoned += other.abandoned;
+        self.attempted += other.attempted;
+        self.stats.merge(&other.stats);
+        sort_scores(&mut self.scores);
+    }
+}
+
+/// The deterministic score ordering: best RMSE first, exact ties broken by
+/// candidate index.
+fn sort_scores(scores: &mut [ModelScore]) {
+    scores.sort_by(|a, b| {
+        a.accuracy
+            .rmse
+            .partial_cmp(&b.accuracy.rmse)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.candidate_index.cmp(&b.candidate_index))
+    });
 }
 
 /// A differencing signature: `(d, D, effective period)`; the effective
@@ -295,6 +373,9 @@ struct WorkerOutput {
 ///
 /// In default (exact) mode the result — champion, scores, everything — is
 /// identical for any `threads` setting, including under exact RMSE ties.
+///
+/// This is the single-grid façade over [`evaluate_fleet`]: one task, the
+/// thread count taken from `opts.threads`.
 pub fn evaluate_candidates(
     train: &[f64],
     test: &[f64],
@@ -303,65 +384,121 @@ pub fn evaluate_candidates(
     candidates: &[CandidateModel],
     opts: &EvaluationOptions,
 ) -> Result<EvaluationReport> {
+    let task = EvalTask {
+        train,
+        test,
+        exog_train,
+        exog_test,
+        candidates,
+        opts: opts.clone(),
+        seed: None,
+    };
+    evaluate_fleet(std::slice::from_ref(&task), opts.threads)
+        .pop()
+        .expect("evaluate_fleet returns one report per task")
+}
+
+/// One grid evaluation in a fleet batch: a train/test split, its exogenous
+/// columns, the candidate list, and per-task options.
+///
+/// `opts.threads` is ignored here — the pool size is global to the batch
+/// (the whole point of fleet scheduling is one concurrency cap, not one
+/// pool per series).
+pub struct EvalTask<'a> {
+    /// Training segment values.
+    pub train: &'a [f64],
+    /// Held-out test segment values.
+    pub test: &'a [f64],
+    /// Exogenous columns over the training segment.
+    pub exog_train: &'a [Vec<f64>],
+    /// The same columns over the test segment.
+    pub exog_test: &'a [Vec<f64>],
+    /// Candidate models to fit and score.
+    pub candidates: &'a [CandidateModel],
+    /// Per-task evaluation options (`threads` ignored; see type docs).
+    pub opts: EvaluationOptions,
+    /// Optional champion seed: a previously converged
+    /// `(config, params, beta)` triple. It primes each warm-start chain's
+    /// predecessor state, and the candidate whose configuration equals the
+    /// stored one is re-scored at the stored parameters verbatim (frozen)
+    /// rather than re-optimised. `None` reproduces the unseeded behaviour
+    /// exactly.
+    pub seed: Option<(SarimaxConfig, Vec<f64>, Vec<f64>)>,
+}
+
+/// Per-task shared state prepared before the pool starts.
+struct TaskState {
+    cache: BTreeMap<DiffKey, Differenced>,
+    chains: Vec<Chain>,
+    /// Incumbent best RMSE for racing, as f64 bits (+inf = no incumbent).
+    /// Per task: champions of different series must not race each other.
+    best_rmse: AtomicU64,
+}
+
+/// Evaluate many grids on **one** shared worker pool.
+///
+/// All tasks' warm-start chains are flattened into a single work queue
+/// (task order preserved) drained by `threads` workers — one global
+/// concurrency cap, no pool-per-series spin-up. Every per-task guarantee
+/// of [`evaluate_candidates`] carries over: the transform cache, chain
+/// schedule and racing incumbent are all per-task, workers buffer results
+/// per task, and each report is merged and sorted exactly as in the
+/// single-grid path — so in exact mode each task's report is identical to
+/// evaluating it alone, at any thread count.
+///
+/// Returns one result per task, in task order. A task with no viable
+/// candidate yields `Err(NoViableModel)` without affecting its neighbours.
+/// Per-report `wall_time` is the wall time of this whole pass (tasks share
+/// the pool, so per-task wall clock is not separable).
+pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<EvaluationReport>> {
     let started = Instant::now();
-    let threads = if opts.threads == 0 {
+    let threads = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
     } else {
-        opts.threads
+        threads
     };
 
-    // Shared transform cache: one differenced training series per distinct
-    // plain-candidate differencing signature. Signatures whose transform
-    // fails (series too short) are simply absent — those candidates fall
-    // back to the direct fit path and fail there with the right error.
-    let cache: BTreeMap<DiffKey, Differenced> = if opts.cache_transforms {
-        let mut map = BTreeMap::new();
-        for c in candidates {
-            if c.config.has_regression() {
-                continue;
-            }
-            let key = diff_key(&c.config.spec);
-            if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key) {
-                let differencer = FittedArima::differencer_for(&c.config.spec);
-                if let Ok(diffed) = differencer.apply(train) {
-                    slot.insert(diffed);
-                }
-            }
-        }
-        map
-    } else {
-        BTreeMap::new()
-    };
+    let states: Vec<TaskState> = tasks
+        .iter()
+        .map(|task| TaskState {
+            cache: build_transform_cache(task),
+            chains: build_chains(task.candidates),
+            best_rmse: AtomicU64::new(f64::INFINITY.to_bits()),
+        })
+        .collect();
 
-    let chains = build_chains(candidates);
-    let next_chain = AtomicUsize::new(0);
-    // Incumbent best RMSE for racing, as f64 bits (+inf = no incumbent).
-    let best_rmse = AtomicU64::new(f64::INFINITY.to_bits());
+    // The global work queue: every (task, chain) pair, in task order so
+    // early tasks finish early and the tail of the batch stays parallel.
+    let work: Vec<(usize, usize)> = states
+        .iter()
+        .enumerate()
+        .flat_map(|(t, s)| (0..s.chains.len()).map(move |c| (t, c)))
+        .collect();
+    let next_item = AtomicUsize::new(0);
 
-    let n_workers = threads.min(chains.len()).max(1);
-    let mut outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+    let n_workers = threads.min(work.len()).max(1);
+    // Worker outputs are per task so the merge below is per task.
+    let outputs: Vec<Vec<WorkerOutput>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_workers)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut out = WorkerOutput::default();
+                    let mut out: Vec<WorkerOutput> =
+                        (0..tasks.len()).map(|_| WorkerOutput::default()).collect();
                     loop {
-                        let chain_idx = next_chain.fetch_add(1, Ordering::Relaxed);
-                        let Some(chain) = chains.get(chain_idx) else {
+                        let item = next_item.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(task_idx, chain_idx)) = work.get(item) else {
                             break;
                         };
+                        let task = &tasks[task_idx];
+                        let state = &states[task_idx];
                         run_chain(
-                            chain,
-                            train,
-                            test,
-                            exog_train,
-                            exog_test,
-                            candidates,
-                            opts,
-                            &cache,
-                            &best_rmse,
-                            &mut out,
+                            &state.chains[chain_idx],
+                            task,
+                            &state.cache,
+                            &state.best_rmse,
+                            &mut out[task_idx],
                         );
                     }
                     out
@@ -374,70 +511,97 @@ pub fn evaluate_candidates(
             .collect()
     });
 
-    let mut scores = Vec::with_capacity(candidates.len());
-    let mut stats = EvalStats {
-        cache_entries: cache.len(),
-        ..Default::default()
-    };
-    let mut failures = 0;
-    let mut abandoned = 0;
-    for out in outputs.iter_mut() {
-        scores.append(&mut out.scores);
-        failures += out.failures;
-        abandoned += out.abandoned;
-        stats.cache_hits += out.cache_hits;
-        stats.warm_starts += out.warm_starts;
-        stats.objective_evals += out.objective_evals;
-        for (total, part) in stats.families.iter_mut().zip(&out.families) {
-            total.attempts += part.attempts;
-            total.fits += part.fits;
-            total.failures += part.failures;
-            total.abandoned += part.abandoned;
-            total.fit_time += part.fit_time;
-            total.objective_evals += part.objective_evals;
+    let wall_time = started.elapsed();
+    let mut outputs = outputs;
+    let mut reports = Vec::with_capacity(tasks.len());
+    for (task_idx, task) in tasks.iter().enumerate() {
+        let mut scores = Vec::with_capacity(task.candidates.len());
+        let mut stats = EvalStats {
+            cache_entries: states[task_idx].cache.len(),
+            ..Default::default()
+        };
+        let mut failures = 0;
+        let mut abandoned = 0;
+        for worker in outputs.iter_mut() {
+            let out = &mut worker[task_idx];
+            scores.append(&mut out.scores);
+            failures += out.failures;
+            abandoned += out.abandoned;
+            stats.cache_hits += out.cache_hits;
+            stats.warm_starts += out.warm_starts;
+            stats.objective_evals += out.objective_evals;
+            for (total, part) in stats.families.iter_mut().zip(&out.families) {
+                total.attempts += part.attempts;
+                total.fits += part.fits;
+                total.failures += part.failures;
+                total.abandoned += part.abandoned;
+                total.fit_time += part.fit_time;
+                total.objective_evals += part.objective_evals;
+            }
+        }
+        sort_scores(&mut scores);
+        if scores.is_empty() {
+            reports.push(Err(PlannerError::NoViableModel {
+                attempted: task.candidates.len(),
+            }));
+            continue;
+        }
+        stats.wall_time = wall_time;
+        reports.push(Ok(EvaluationReport {
+            scores,
+            failures,
+            abandoned,
+            attempted: task.candidates.len(),
+            stats,
+        }));
+    }
+    reports
+}
+
+/// Shared transform cache for one task: one differenced training series
+/// per distinct plain-candidate differencing signature. Signatures whose
+/// transform fails (series too short) are simply absent — those candidates
+/// fall back to the direct fit path and fail there with the right error.
+fn build_transform_cache(task: &EvalTask) -> BTreeMap<DiffKey, Differenced> {
+    if !task.opts.cache_transforms {
+        return BTreeMap::new();
+    }
+    let mut map = BTreeMap::new();
+    for c in task.candidates {
+        if c.config.has_regression() {
+            continue;
+        }
+        let key = diff_key(&c.config.spec);
+        if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key) {
+            let differencer = FittedArima::differencer_for(&c.config.spec);
+            if let Ok(diffed) = differencer.apply(task.train) {
+                slot.insert(diffed);
+            }
         }
     }
-
-    scores.sort_by(|a, b| {
-        a.accuracy
-            .rmse
-            .partial_cmp(&b.accuracy.rmse)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.candidate_index.cmp(&b.candidate_index))
-    });
-    if scores.is_empty() {
-        return Err(PlannerError::NoViableModel {
-            attempted: candidates.len(),
-        });
-    }
-    stats.wall_time = started.elapsed();
-    Ok(EvaluationReport {
-        scores,
-        failures,
-        abandoned,
-        attempted: candidates.len(),
-        stats,
-    })
+    map
 }
 
 /// Execute one warm-start chain sequentially, threading each successful
-/// fit's converged parameters into the next candidate's options.
-#[allow(clippy::too_many_arguments)]
+/// fit's converged parameters into the next candidate's options. When the
+/// task carries a champion seed, it primes the predecessor state so even
+/// the first fit of the chain starts warm.
 fn run_chain(
     chain: &Chain,
-    train: &[f64],
-    test: &[f64],
-    exog_train: &[Vec<f64>],
-    exog_test: &[Vec<f64>],
-    candidates: &[CandidateModel],
-    opts: &EvaluationOptions,
+    task: &EvalTask,
     cache: &BTreeMap<DiffKey, Differenced>,
     best_rmse: &AtomicU64,
     out: &mut WorkerOutput,
 ) {
-    let mut prev: Option<(ArimaSpec, Vec<f64>)> = None;
+    let (train, test) = (task.train, task.test);
+    let (exog_train, exog_test) = (task.exog_train, task.exog_test);
+    let opts = &task.opts;
+    let mut prev: Option<(ArimaSpec, Vec<f64>)> = task
+        .seed
+        .as_ref()
+        .map(|(config, params, _)| (config.spec, params.clone()));
     for &i in &chain.indices {
-        let candidate = &candidates[i];
+        let candidate = &task.candidates[i];
         let fam = family_index(candidate.family);
         out.families[fam].attempts += 1;
 
@@ -449,6 +613,23 @@ fn run_chain(
                 {
                     fit_opts.warm_start = Some(warm);
                     out.warm_starts += 1;
+                }
+            }
+        }
+        // A candidate whose configuration IS the stored seed's is the
+        // champion being reused: score the stored parameters (and, for
+        // regression models, the stored coefficients) verbatim instead of
+        // re-optimising, so reuse can never drift below the recorded
+        // baseline on unchanged data.
+        if let Some((seed_config, seed_params, seed_beta)) = &task.seed {
+            if *seed_config == candidate.config && seed_params.len() == seed_config.spec.n_params()
+            {
+                fit_opts.warm_start = Some(seed_params.clone());
+                fit_opts.freeze_warm_start = true;
+                if candidate.config.has_regression()
+                    && seed_beta.len() == candidate.config.n_regression_params()
+                {
+                    fit_opts.freeze_beta = Some(seed_beta.clone());
                 }
             }
         }
@@ -489,7 +670,7 @@ fn run_chain(
                 out.families[fam].objective_evals += scored.nm_evals;
                 out.objective_evals += scored.nm_evals;
                 update_min_f64(best_rmse, scored.score.accuracy.rmse);
-                prev = Some((candidate.config.spec, scored.warm_params));
+                prev = Some((candidate.config.spec, scored.score.warm_params.clone()));
                 out.scores.push(scored.score);
             }
             Err(ModelError::Abandoned { evals }) => {
@@ -506,10 +687,10 @@ fn run_chain(
     }
 }
 
-/// A successful fit-and-score, plus the state the chain carries forward.
+/// A successful fit-and-score, plus the evaluation count for stats (the
+/// chain's carry-forward warm seed lives in `score.warm_params`).
 struct ScoredFit {
     score: ModelScore,
-    warm_params: Vec<f64>,
     nm_evals: usize,
 }
 
@@ -559,6 +740,7 @@ fn score_one(
             context: format!("non-finite test RMSE for {}", candidate.config.describe()),
         });
     }
+    let nm_evals = fit.nm_evals;
     Ok(ScoredFit {
         score: ModelScore {
             candidate: candidate.clone(),
@@ -566,9 +748,10 @@ fn score_one(
             accuracy,
             aic: fit.aic(),
             forecast,
+            warm_beta: fit.beta.clone(),
+            warm_params: fit.arima.params_unconstrained,
         },
-        warm_params: fit.arima.params_unconstrained,
-        nm_evals: fit.nm_evals,
+        nm_evals,
     })
 }
 
@@ -610,9 +793,15 @@ mod tests {
     fn champion_is_lowest_rmse() {
         let y = seasonal_series(240);
         let (train, test) = y.split_at(216);
-        let report =
-            evaluate_candidates(train, test, &[], &[], &small_candidates(), &Default::default())
-                .unwrap();
+        let report = evaluate_candidates(
+            train,
+            test,
+            &[],
+            &[],
+            &small_candidates(),
+            &Default::default(),
+        )
+        .unwrap();
         for w in report.scores.windows(2) {
             assert!(w[0].accuracy.rmse <= w[1].accuracy.rmse);
         }
@@ -628,9 +817,15 @@ mod tests {
     fn best_of_family_respects_bucket() {
         let y = seasonal_series(240);
         let (train, test) = y.split_at(216);
-        let report =
-            evaluate_candidates(train, test, &[], &[], &small_candidates(), &Default::default())
-                .unwrap();
+        let report = evaluate_candidates(
+            train,
+            test,
+            &[],
+            &[],
+            &small_candidates(),
+            &Default::default(),
+        )
+        .unwrap();
         let best_arima = report.best_of_family(ModelFamily::Arima).unwrap();
         assert_eq!(best_arima.candidate.family, ModelFamily::Arima);
         let best_sarimax = report.best_of_family(ModelFamily::Sarimax).unwrap();
@@ -686,10 +881,7 @@ mod tests {
             assert_eq!(champ.candidate.config.spec, c.candidate.config.spec);
             assert_eq!(champ.candidate_index, c.candidate_index);
             // Exact mode: bit-identical, not merely close.
-            assert_eq!(
-                champ.accuracy.rmse.to_bits(),
-                c.accuracy.rmse.to_bits()
-            );
+            assert_eq!(champ.accuracy.rmse.to_bits(), c.accuracy.rmse.to_bits());
         }
     }
 
@@ -709,11 +901,9 @@ mod tests {
                 threads,
                 ..Default::default()
             };
-            let report =
-                evaluate_candidates(train, test, &[], &[], &candidates, &opts).unwrap();
+            let report = evaluate_candidates(train, test, &[], &[], &candidates, &opts).unwrap();
             assert_eq!(report.champion().unwrap().candidate_index, 0);
-            let indices: Vec<usize> =
-                report.scores.iter().map(|s| s.candidate_index).collect();
+            let indices: Vec<usize> = report.scores.iter().map(|s| s.candidate_index).collect();
             assert_eq!(indices, vec![0, 1, 2]);
             let rmse0 = report.scores[0].accuracy.rmse;
             assert!(report
@@ -726,7 +916,9 @@ mod tests {
     #[test]
     fn exogenous_candidates_receive_their_columns() {
         let n = 240;
-        let shock: Vec<f64> = (0..n).map(|t| if t % 12 == 0 { 1.0 } else { 0.0 }).collect();
+        let shock: Vec<f64> = (0..n)
+            .map(|t| if t % 12 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let y: Vec<f64> = (0..n)
             .map(|t| 10.0 + 40.0 * shock[t] + ((t * 31 % 17) as f64) / 10.0)
             .collect();
@@ -783,8 +975,7 @@ mod tests {
         let accel = EvaluationOptions::default();
         let r_base =
             evaluate_candidates(train, test, &[], &[], &grid.candidates, &baseline).unwrap();
-        let r_accel =
-            evaluate_candidates(train, test, &[], &[], &grid.candidates, &accel).unwrap();
+        let r_accel = evaluate_candidates(train, test, &[], &[], &grid.candidates, &accel).unwrap();
         assert_eq!(
             r_base.champion().unwrap().candidate.config.spec,
             r_accel.champion().unwrap().candidate.config.spec
@@ -816,8 +1007,7 @@ mod tests {
             threads: 2,
             ..Default::default()
         };
-        let report =
-            evaluate_candidates(train, test, &[], &[], &grid.candidates, &opts).unwrap();
+        let report = evaluate_candidates(train, test, &[], &[], &grid.candidates, &opts).unwrap();
         assert_eq!(
             report.abandoned + report.failures + report.scores.len(),
             report.attempted
@@ -833,11 +1023,16 @@ mod tests {
     fn stats_cover_all_attempts() {
         let y = seasonal_series(240);
         let (train, test) = y.split_at(216);
-        let report =
-            evaluate_candidates(train, test, &[], &[], &small_candidates(), &Default::default())
-                .unwrap();
-        let total_attempts: usize =
-            report.stats.families.iter().map(|f| f.attempts).sum();
+        let report = evaluate_candidates(
+            train,
+            test,
+            &[],
+            &[],
+            &small_candidates(),
+            &Default::default(),
+        )
+        .unwrap();
+        let total_attempts: usize = report.stats.families.iter().map(|f| f.attempts).sum();
         assert_eq!(total_attempts, report.attempted);
         let arima = report.stats.family(ModelFamily::Arima);
         assert_eq!(arima.attempts, 2);

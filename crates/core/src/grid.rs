@@ -102,6 +102,19 @@ const SEASONAL_MENU: [(usize, usize, usize, usize, usize); 22] = [
     (1, 2, 1, 1, 0),
 ];
 
+/// The family bucket a configuration reports under — regression beats
+/// seasonality beats plain ARIMA, mirroring how the generators label their
+/// candidates.
+fn family_of(config: &SarimaxConfig) -> ModelFamily {
+    if config.n_exog > 0 || !config.fourier.is_empty() {
+        ModelFamily::SarimaxFftExogenous
+    } else if config.spec.is_seasonal() {
+        ModelFamily::Sarimax
+    } else {
+        ModelFamily::Arima
+    }
+}
+
 impl ModelGrid {
     /// The ARIMA grid: `p ∈ 1..=30`, `d ∈ {0,1}`, `q ∈ {0,1,2}` —
     /// 180 models.
@@ -174,6 +187,43 @@ impl ModelGrid {
         out
     }
 
+    /// The pruned neighbourhood around a stored champion: every `(p, q)`
+    /// within `radius` of the champion's orders (clamped to the grid's
+    /// ranges, `p ∈ 1..=30`, `q ∈ 0..=2`), with the differencing, seasonal
+    /// orders and regression design held fixed — those are properties of
+    /// the data, not of last week's optimum, so re-searching them weekly
+    /// buys nothing. The champion's exact configuration comes **first**,
+    /// so an exact RMSE tie against a neighbour resolves to the stored
+    /// champion (candidate-index tie-break).
+    ///
+    /// This is the champion-seeded relearning grid: ~`(2r+1)²` candidates
+    /// instead of the full 180/660, warm-started from the stored
+    /// parameters by the fleet scheduler.
+    pub fn neighbourhood(base: &SarimaxConfig, radius: usize) -> ModelGrid {
+        let family = family_of(base);
+        let spec = &base.spec;
+        let mut candidates = vec![CandidateModel {
+            family,
+            config: base.clone(),
+        }];
+        let p_lo = spec.p.saturating_sub(radius).max(1);
+        let p_hi = (spec.p + radius).min(30);
+        let q_lo = spec.q.saturating_sub(radius);
+        let q_hi = (spec.q + radius).min(2);
+        for p in p_lo..=p_hi {
+            for q in q_lo..=q_hi {
+                if p == spec.p && q == spec.q {
+                    continue;
+                }
+                let mut config = base.clone();
+                config.spec.p = p;
+                config.spec.q = q;
+                candidates.push(CandidateModel { family, config });
+            }
+        }
+        ModelGrid { candidates }
+    }
+
     /// Number of candidates.
     pub fn len(&self) -> usize {
         self.candidates.len()
@@ -229,8 +279,7 @@ mod tests {
     #[test]
     fn fourier_stage_completes_666() {
         let grid = ModelGrid::sarimax_exogenous(24, 4);
-        let variants =
-            ModelGrid::fourier_variants(&grid.candidates[0].config, &[24.0, 168.0]);
+        let variants = ModelGrid::fourier_variants(&grid.candidates[0].config, &[24.0, 168.0]);
         assert_eq!(grid.len() + variants.len(), 666);
     }
 
@@ -314,12 +363,41 @@ mod tests {
 
     #[test]
     fn pruning_respects_cap() {
-        let y: Vec<f64> = (0..500)
-            .map(|t| (t as f64 / 12.0).sin() * 10.0)
-            .collect();
+        let y: Vec<f64> = (0..500).map(|t| (t as f64 / 12.0).sin() * 10.0).collect();
         let corr = Correlogram::compute(&y, 30).unwrap();
         let pruned = ModelGrid::sarimax(24).prune(&corr, 40);
         assert!(pruned.len() <= 40);
+    }
+
+    #[test]
+    fn neighbourhood_centres_on_champion() {
+        let base = SarimaxConfig::plain(ArimaSpec::sarima(4, 1, 2, 1, 1, 1, 24));
+        let grid = ModelGrid::neighbourhood(&base, 1);
+        // Champion first, then the surrounding (p, q) cells: p ∈ {3,4,5},
+        // q ∈ {1,2} (q clamped at the grid's cap of 2) minus the centre.
+        assert_eq!(grid.candidates[0].config, base);
+        assert_eq!(grid.len(), 6);
+        for c in &grid.candidates {
+            assert_eq!(c.family, ModelFamily::Sarimax);
+            assert_eq!(c.config.spec.d, 1);
+            assert_eq!(c.config.spec.seasonal_p, 1);
+            assert_eq!(c.config.spec.period, 24);
+            assert!(c.config.spec.p.abs_diff(4) <= 1);
+            assert!(c.config.spec.q.abs_diff(2) <= 1);
+        }
+    }
+
+    #[test]
+    fn neighbourhood_clamps_at_grid_edges() {
+        // p = 1 cannot go below 1; q = 0 cannot go below 0.
+        let base = SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0));
+        let grid = ModelGrid::neighbourhood(&base, 1);
+        assert_eq!(grid.candidates[0].config, base);
+        assert_eq!(grid.len(), 4); // p ∈ {1,2} × q ∈ {0,1}
+        assert!(grid
+            .candidates
+            .iter()
+            .all(|c| c.family == ModelFamily::Arima && c.config.spec.p >= 1));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   models"),
 //! * [`pipeline`] — the user-facing HES / SARIMAX branch of Figure 4:
 //!   gather → interpolate → split → fit → score → forecast,
+//! * [`fleet`] — batch scheduling of many (instance, metric, granularity)
+//!   series on one shared worker pool, with repository-backed
+//!   champion-seeded relearning (§5.1's weekly relearn as a local
+//!   refinement),
 //! * [`repository`] — the model repository with the one-week staleness
 //!   rule, the RMSE-degradation relearn trigger and the >3-occurrence
 //!   shock-acceptance policy (§5.1, §9),
@@ -29,6 +33,7 @@ pub mod backtest;
 pub mod candidates;
 pub mod diagnostics;
 pub mod evaluate;
+pub mod fleet;
 pub mod grid;
 pub mod pipeline;
 pub mod repository;
@@ -39,8 +44,10 @@ pub use backtest::{backtest, BacktestConfig, BacktestReport};
 pub use candidates::{CandidateSet, DataProfile};
 pub use diagnostics::{assess, HealthReport, HealthThresholds, HealthVerdict};
 pub use evaluate::{
-    evaluate_candidates, EvalStats, EvaluationOptions, EvaluationReport, FamilyStats, ModelScore,
+    evaluate_candidates, evaluate_fleet, EvalStats, EvalTask, EvaluationOptions, EvaluationReport,
+    FamilyStats, ModelScore,
 };
+pub use fleet::{FleetOptions, FleetReport, FleetScheduler, JobResult, SeriesJob};
 pub use grid::{CandidateModel, ModelFamily, ModelGrid};
 pub use pipeline::{ChampionSpec, ForecastOutcome, MethodChoice, Pipeline, PipelineConfig};
 pub use repository::{ModelRecord, ModelRepository, RetentionPolicy, ShockTracker};
@@ -66,7 +73,10 @@ impl std::fmt::Display for PlannerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlannerError::NoViableModel { attempted } => {
-                write!(f, "none of the {attempted} candidate models could be fitted")
+                write!(
+                    f,
+                    "none of the {attempted} candidate models could be fitted"
+                )
             }
             PlannerError::Model(e) => write!(f, "model error: {e}"),
             PlannerError::Series(e) => write!(f, "series error: {e}"),

@@ -9,7 +9,7 @@
 //! The model with the best RMSE is the most accurate."
 
 use crate::candidates::{CandidateSet, DataProfile};
-use crate::evaluate::{evaluate_candidates, EvaluationOptions, EvaluationReport};
+use crate::evaluate::{evaluate_candidates, EvalStats, EvaluationOptions, EvaluationReport};
 use crate::grid::{CandidateModel, ModelFamily, ModelGrid};
 use crate::{PlannerError, Result};
 use dwcp_models::ets::{EtsConfig, FittedEts};
@@ -92,6 +92,18 @@ pub struct ForecastOutcome {
     pub profile: Option<DataProfile>,
     /// The champion's machine-readable specification, for refitting.
     pub champion_spec: ChampionSpec,
+    /// Evaluation instrumentation (cache hits, warm starts, objective
+    /// evaluations, per-family timing). Default-empty for the HES/TBATS
+    /// branches, which fit a handful of closed-form models.
+    pub stats: EvalStats,
+    /// The champion's converged unconstrained SARIMA parameters — what the
+    /// model repository stores as the warm seed for champion-seeded
+    /// relearning. Empty for HES/TBATS champions.
+    pub warm_seed: Vec<f64>,
+    /// The champion's regression coefficients (empty for plain SARIMA and
+    /// HES/TBATS champions) — stored with the warm seed so a regression
+    /// champion can be re-scored verbatim.
+    pub warm_beta: Vec<f64>,
 }
 
 /// The champion's configuration, sufficient to refit it on fresh data —
@@ -104,6 +116,21 @@ pub enum ChampionSpec {
     Ets(dwcp_models::EtsConfig),
     /// A TBATS configuration.
     Tbats(dwcp_models::TbatsConfig),
+}
+
+/// Everything the SARIMAX branch prepares before fitting: the split, its
+/// aligned exogenous columns, the profiled-and-pruned candidate set and
+/// the evaluation options. Produced by [`Pipeline::plan_sarimax`] and
+/// consumed by [`Pipeline::finish_sarimax`] / the fleet scheduler.
+pub(crate) struct SarimaxPlan {
+    pub split: TrainTestSplit,
+    pub exog_train: Vec<Vec<f64>>,
+    pub exog_test: Vec<Vec<f64>>,
+    #[allow(dead_code)]
+    pub offset: usize,
+    pub gaps_filled: usize,
+    pub set: CandidateSet,
+    pub eval_opts: EvaluationOptions,
 }
 
 /// The Figure 4 pipeline.
@@ -125,6 +152,48 @@ impl Pipeline {
     /// observations as `series` (they are split alongside it); pass `&[]`
     /// when no shocks are known.
     pub fn run(&self, series: &TimeSeries, exog_full: &[Vec<f64>]) -> Result<ForecastOutcome> {
+        match self.config.method {
+            MethodChoice::Sarimax => {
+                let plan = self.plan_sarimax(series, exog_full)?;
+                let report = evaluate_candidates(
+                    plan.split.train.values(),
+                    plan.split.test.values(),
+                    &plan.exog_train,
+                    &plan.exog_test,
+                    &plan.set.models,
+                    &plan.eval_opts,
+                )?;
+                self.finish_sarimax(plan, report)
+            }
+            MethodChoice::Hes | MethodChoice::Tbats => {
+                // 1. Gather + missing-value check + interpolation (§5.1).
+                let mut working = series.clone();
+                let gaps_filled = if working.has_gaps() {
+                    interpolate_series(&mut working)?
+                } else {
+                    0
+                };
+                // 2. Table 1 split (exogenous columns play no role in the
+                // smoothing branches).
+                let split = TrainTestSplit::from_series(&working, self.config.granularity)?;
+                match self.config.method {
+                    MethodChoice::Hes => self.run_hes(split, gaps_filled),
+                    _ => self.run_tbats(split, gaps_filled),
+                }
+            }
+        }
+    }
+
+    /// Everything the SARIMAX branch does before any model is fitted:
+    /// interpolation, optional shock discovery, the Table 1 split with
+    /// aligned exogenous columns, profiling, and the pruned candidate set.
+    /// Split out so the fleet scheduler can prepare every job up front and
+    /// feed all grids through one shared worker pool.
+    pub(crate) fn plan_sarimax(
+        &self,
+        series: &TimeSeries,
+        exog_full: &[Vec<f64>],
+    ) -> Result<SarimaxPlan> {
         // 1. Gather + missing-value check + interpolation (§5.1).
         let mut working = series.clone();
         let gaps_filled = if working.has_gaps() {
@@ -137,19 +206,13 @@ impl Pipeline {
         // calendar, mine the recurring spikes from the data itself and use
         // the admitted slots as exogenous indicators.
         let detected_exog: Vec<Vec<f64>>;
-        let exog_full: &[Vec<f64>] = if exog_full.is_empty()
-            && self.config.auto_detect_shocks
-            && self.config.method == MethodChoice::Sarimax
-        {
+        let exog_full: &[Vec<f64>] = if exog_full.is_empty() && self.config.auto_detect_shocks {
             let period = self.config.granularity.seasonal_period();
             let mut detector = crate::shocks::ShockDetector::new(period);
             match detector.detect(working.values()) {
                 Ok(shocks) if !shocks.is_empty() => {
-                    detected_exog = crate::shocks::ShockDetector::indicator_columns(
-                        &shocks,
-                        0,
-                        working.len(),
-                    );
+                    detected_exog =
+                        crate::shocks::ShockDetector::indicator_columns(&shocks, 0, working.len());
                     &detected_exog
                 }
                 _ => exog_full,
@@ -172,13 +235,93 @@ impl Pipeline {
             })
             .unzip();
 
-        // 3. Branch.
-        match self.config.method {
-            MethodChoice::Hes => self.run_hes(split, gaps_filled),
-            MethodChoice::Sarimax => {
-                self.run_sarimax(split, &exog_train, &exog_test, offset, gaps_filled)
+        // 3. Profile + pruned candidate grid.
+        let profile = DataProfile::analyze(split.train.values())?;
+        let fallback_period = self.config.granularity.seasonal_period();
+        let set = CandidateSet::sarimax(
+            profile,
+            fallback_period,
+            exog_train.len(),
+            self.config.max_candidates,
+        );
+        let mut eval_opts = self.config.eval.clone();
+        eval_opts.start_index = offset;
+        Ok(SarimaxPlan {
+            split,
+            exog_train,
+            exog_test,
+            offset,
+            gaps_filled,
+            set,
+            eval_opts,
+        })
+    }
+
+    /// The §6.3 Fourier stage's candidate list: the six Fourier variants of
+    /// the current champion. Empty when the stage is disabled.
+    pub(crate) fn fourier_candidates(
+        &self,
+        plan: &SarimaxPlan,
+        report: &EvaluationReport,
+    ) -> Vec<CandidateModel> {
+        if !self.config.fourier_stage {
+            return Vec::new();
+        }
+        let Some(champion) = report.champion() else {
+            return Vec::new();
+        };
+        let fallback_period = self.config.granularity.seasonal_period();
+        let periods = plan.set.profile.fourier_periods(fallback_period);
+        ModelGrid::fourier_variants(&champion.candidate.config, &periods)
+    }
+
+    /// Complete the SARIMAX branch from an evaluated primary grid: run the
+    /// Fourier stage (when configured) and assemble the outcome.
+    pub(crate) fn finish_sarimax(
+        &self,
+        plan: SarimaxPlan,
+        mut report: EvaluationReport,
+    ) -> Result<ForecastOutcome> {
+        // §6.3 Fourier stage: take the champion and try the six Fourier
+        // variants; keep whichever wins.
+        let variants = self.fourier_candidates(&plan, &report);
+        if !variants.is_empty() {
+            if let Ok(fourier_report) = evaluate_candidates(
+                plan.split.train.values(),
+                plan.split.test.values(),
+                &plan.exog_train,
+                &plan.exog_test,
+                &variants,
+                &plan.eval_opts,
+            ) {
+                report.absorb(fourier_report);
             }
-            MethodChoice::Tbats => self.run_tbats(split, gaps_filled),
+        }
+        Ok(self.outcome_from_report(plan, report))
+    }
+
+    /// Assemble a [`ForecastOutcome`] from a finished SARIMAX evaluation.
+    pub(crate) fn outcome_from_report(
+        &self,
+        plan: SarimaxPlan,
+        report: EvaluationReport,
+    ) -> ForecastOutcome {
+        let champion_score = report.champion().expect("non-empty by construction");
+        ForecastOutcome {
+            champion: champion_score.candidate.config.describe(),
+            family: Some(champion_score.candidate.family),
+            accuracy: champion_score.accuracy,
+            test_forecast: champion_score.forecast.clone(),
+            warm_seed: champion_score.warm_params.clone(),
+            warm_beta: champion_score.warm_beta.clone(),
+            champion_spec: ChampionSpec::Sarimax(champion_score.candidate.config.clone()),
+            test: plan.split.test,
+            train: plan.split.train,
+            evaluated: report.attempted - report.failures - report.abandoned,
+            failures: report.failures,
+            gaps_filled: plan.gaps_filled,
+            profile: Some(plan.set.profile),
+            stats: report.stats,
         }
     }
 
@@ -209,40 +352,32 @@ impl Pipeline {
                 let n = config.n_exog;
                 // Auto-detected shocks: re-derive the columns over the full
                 // window and extend them into the future.
-                let (hist_cols, fut_cols): (Vec<Vec<f64>>, Vec<Vec<f64>>) =
-                    if exog_full.len() >= n {
-                        (
-                            exog_full[..n].to_vec(),
-                            future_exog
-                                .get(..n)
-                                .map(|c| c.to_vec())
-                                .ok_or_else(|| {
-                                    PlannerError::Model(
-                                        dwcp_models::ModelError::ExogenousMismatch {
-                                            context: format!(
-                                                "champion needs {n} future exogenous columns, got {}",
-                                                future_exog.len()
-                                            ),
-                                        },
-                                    )
-                                })?,
-                        )
-                    } else {
-                        let period = self.config.granularity.seasonal_period();
-                        let mut detector = crate::shocks::ShockDetector::new(period);
-                        let shocks = detector.detect(working.values())?;
-                        let hist = crate::shocks::ShockDetector::indicator_columns(
-                            &shocks,
-                            0,
-                            working.len(),
-                        );
-                        let fut = crate::shocks::ShockDetector::indicator_columns(
-                            &shocks,
-                            working.len(),
-                            horizon,
-                        );
-                        if hist.len() < n {
-                            return Err(PlannerError::Model(
+                let (hist_cols, fut_cols): (Vec<Vec<f64>>, Vec<Vec<f64>>) = if exog_full.len() >= n
+                {
+                    (
+                        exog_full[..n].to_vec(),
+                        future_exog.get(..n).map(|c| c.to_vec()).ok_or_else(|| {
+                            PlannerError::Model(dwcp_models::ModelError::ExogenousMismatch {
+                                context: format!(
+                                    "champion needs {n} future exogenous columns, got {}",
+                                    future_exog.len()
+                                ),
+                            })
+                        })?,
+                    )
+                } else {
+                    let period = self.config.granularity.seasonal_period();
+                    let mut detector = crate::shocks::ShockDetector::new(period);
+                    let shocks = detector.detect(working.values())?;
+                    let hist =
+                        crate::shocks::ShockDetector::indicator_columns(&shocks, 0, working.len());
+                    let fut = crate::shocks::ShockDetector::indicator_columns(
+                        &shocks,
+                        working.len(),
+                        horizon,
+                    );
+                    if hist.len() < n {
+                        return Err(PlannerError::Model(
                                 dwcp_models::ModelError::ExogenousMismatch {
                                     context: format!(
                                         "champion needs {n} exogenous columns, re-detection produced {}",
@@ -250,9 +385,9 @@ impl Pipeline {
                                     ),
                                 },
                             ));
-                        }
-                        (hist[..n].to_vec(), fut[..n].to_vec())
-                    };
+                    }
+                    (hist[..n].to_vec(), fut[..n].to_vec())
+                };
                 let fit = FittedSarimax::fit(
                     working.values(),
                     config,
@@ -304,6 +439,9 @@ impl Pipeline {
             gaps_filled,
             profile: Some(profile),
             champion_spec: ChampionSpec::Tbats(fitted.config),
+            stats: EvalStats::default(),
+            warm_seed: Vec::new(),
+            warm_beta: Vec::new(),
         })
     }
 
@@ -359,97 +497,9 @@ impl Pipeline {
             gaps_filled,
             profile: None,
             champion_spec: ChampionSpec::Ets(champion_config),
-        })
-    }
-
-    /// The SARIMAX branch: profile, prune, evaluate in parallel, optionally
-    /// run the Fourier-augmentation stage, keep the RMSE champion.
-    fn run_sarimax(
-        &self,
-        split: TrainTestSplit,
-        exog_train: &[Vec<f64>],
-        exog_test: &[Vec<f64>],
-        offset: usize,
-        gaps_filled: usize,
-    ) -> Result<ForecastOutcome> {
-        let train = split.train.values();
-        let test = split.test.values();
-        let profile = DataProfile::analyze(train)?;
-        let fallback_period = self.config.granularity.seasonal_period();
-        let n_exog = exog_train.len();
-        let set = CandidateSet::sarimax(
-            profile.clone(),
-            fallback_period,
-            n_exog,
-            self.config.max_candidates,
-        );
-        let mut eval_opts = self.config.eval.clone();
-        eval_opts.start_index = offset;
-        let mut report = evaluate_candidates(
-            train,
-            test,
-            exog_train,
-            exog_test,
-            &set.models,
-            &eval_opts,
-        )?;
-
-        // §6.3 Fourier stage: take the champion and try the six Fourier
-        // variants; keep whichever wins. Run when multiple seasonality was
-        // detected or unconditionally when configured.
-        let mut extra_attempted = 0usize;
-        if self.config.fourier_stage {
-            let base: SarimaxConfig = report
-                .champion()
-                .expect("non-empty by construction")
-                .candidate
-                .config
-                .clone();
-            let periods = set.profile.fourier_periods(fallback_period);
-            let variants: Vec<CandidateModel> = ModelGrid::fourier_variants(&base, &periods);
-            extra_attempted = variants.len();
-            if let Ok(fourier_report) = evaluate_candidates(
-                train,
-                test,
-                exog_train,
-                exog_test,
-                &variants,
-                &eval_opts,
-            ) {
-                report.failures += fourier_report.failures;
-                report.abandoned += fourier_report.abandoned;
-                // Re-index the second stage's candidates after the first so
-                // the (rmse, index) tie-break stays total across the merge.
-                let base_index = report.attempted;
-                report
-                    .scores
-                    .extend(fourier_report.scores.into_iter().map(|mut s| {
-                        s.candidate_index += base_index;
-                        s
-                    }));
-                report.scores.sort_by(|a, b| {
-                    a.accuracy
-                        .rmse
-                        .partial_cmp(&b.accuracy.rmse)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.candidate_index.cmp(&b.candidate_index))
-                });
-            }
-        }
-
-        let champion_score = report.champion().expect("non-empty");
-        Ok(ForecastOutcome {
-            champion: champion_score.candidate.config.describe(),
-            family: Some(champion_score.candidate.family),
-            accuracy: champion_score.accuracy,
-            test_forecast: champion_score.forecast.clone(),
-            test: split.test,
-            train: split.train,
-            evaluated: report.attempted + extra_attempted - report.failures - report.abandoned,
-            failures: report.failures,
-            gaps_filled,
-            profile: Some(set.profile),
-            champion_spec: ChampionSpec::Sarimax(champion_score.candidate.config.clone()),
+            stats: EvalStats::default(),
+            warm_seed: Vec::new(),
+            warm_beta: Vec::new(),
         })
     }
 
@@ -486,12 +536,8 @@ impl Pipeline {
         candidates.extend(arima.models);
         let sarimax = CandidateSet::sarimax(profile.clone(), fallback, 0, per_family_cap);
         candidates.extend(sarimax.models);
-        let exo = CandidateSet::sarimax(
-            profile.clone(),
-            fallback,
-            exog_train.len(),
-            per_family_cap,
-        );
+        let exo =
+            CandidateSet::sarimax(profile.clone(), fallback, exog_train.len(), per_family_cap);
         // Exogenous family also carries Fourier variants of its first few
         // members so the FFT column of Table 2 is genuinely exercised.
         let periods = profile.fourier_periods(fallback);
@@ -556,7 +602,7 @@ mod tests {
                     max_evals: 120,
                     restarts: 0,
                     interval_level: 0.95,
-                ..Default::default()
+                    ..Default::default()
                 },
                 ..Default::default()
             },
@@ -616,7 +662,9 @@ mod tests {
         let pipeline = Pipeline::new(fast_config(MethodChoice::Hes));
         assert!(matches!(
             pipeline.run(&series, &[]),
-            Err(PlannerError::Series(dwcp_series::SeriesError::TooShort { .. }))
+            Err(PlannerError::Series(
+                dwcp_series::SeriesError::TooShort { .. }
+            ))
         ));
     }
 
@@ -666,7 +714,11 @@ mod tests {
         let (series, _) = synthetic_hourly(1100);
         let pipeline = Pipeline::new(fast_config(MethodChoice::Tbats));
         let outcome = pipeline.run(&series, &[]).unwrap();
-        assert!(outcome.champion.starts_with("TBATS"), "{}", outcome.champion);
+        assert!(
+            outcome.champion.starts_with("TBATS"),
+            "{}",
+            outcome.champion
+        );
         assert_eq!(outcome.test_forecast.len(), 24);
         // TBATS must capture the dominant daily cycle: RMSE below the
         // seasonal amplitude.

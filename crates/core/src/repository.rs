@@ -7,7 +7,9 @@
 //! discard it, however if the system continually crashes the learning
 //! engine will see it as a behaviour."
 
+use crate::pipeline::{ChampionSpec, ForecastOutcome};
 use crate::{PlannerError, Result};
+use dwcp_models::SarimaxConfig;
 use dwcp_series::Granularity;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -18,9 +20,11 @@ pub const ONE_WEEK_SECONDS: u64 = 7 * 86_400;
 
 /// A stored champion model descriptor.
 ///
-/// The repository stores *descriptors*, not fitted state: re-fitting a
-/// known-good configuration on fresh data is exactly what the weekly
-/// relearn does, so persisting coefficients would only invite staleness.
+/// The repository stores descriptors plus a *warm seed*, not a serving
+/// model: re-fitting a known-good configuration on fresh data is exactly
+/// what the weekly relearn does, so persisted coefficients are never used
+/// to forecast — they only let the relearn's optimiser start from last
+/// week's optimum instead of from cold (champion-seeded relearning).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelRecord {
     /// Workload key, e.g. `cdbm011/CPU`.
@@ -34,6 +38,56 @@ pub struct ModelRecord {
     pub baseline_rmse: f64,
     /// Epoch-seconds the model was fitted.
     pub fitted_at: u64,
+    /// Machine-readable champion configuration, when the champion is a
+    /// SARIMAX-family member (`None` for HES/TBATS champions, which have
+    /// no neighbourhood grid to seed).
+    pub champion_config: Option<SarimaxConfig>,
+    /// The champion's converged unconstrained SARIMA parameters at fit
+    /// time — the warm seed for the next relearn. Empty when unknown.
+    pub warm_params: Vec<f64>,
+    /// The champion's regression coefficients at fit time (empty for
+    /// plain champions), so a regression champion is re-scored verbatim.
+    pub warm_beta: Vec<f64>,
+}
+
+impl ModelRecord {
+    /// Build the record a pipeline outcome should persist.
+    pub fn from_outcome(
+        workload: &str,
+        outcome: &ForecastOutcome,
+        granularity: Granularity,
+        now: u64,
+    ) -> ModelRecord {
+        let champion_config = match &outcome.champion_spec {
+            ChampionSpec::Sarimax(config) => Some(config.clone()),
+            _ => None,
+        };
+        ModelRecord {
+            workload: workload.to_string(),
+            champion: outcome.champion.clone(),
+            granularity,
+            baseline_rmse: outcome.accuracy.rmse,
+            fitted_at: now,
+            champion_config,
+            warm_params: outcome.warm_seed.clone(),
+            warm_beta: outcome.warm_beta.clone(),
+        }
+    }
+
+    /// The champion-seeded relearning inputs: the stored configuration to
+    /// centre the neighbourhood grid on, the converged parameters to
+    /// warm-start from, and the regression coefficients (both empty when
+    /// only the configuration is known). `None` when the champion was not
+    /// a SARIMAX-family member.
+    pub fn champion_seed(&self) -> Option<(&SarimaxConfig, &[f64], &[f64])> {
+        self.champion_config.as_ref().map(|config| {
+            (
+                config,
+                self.warm_params.as_slice(),
+                self.warm_beta.as_slice(),
+            )
+        })
+    }
 }
 
 /// Why a stored model needs relearning.
@@ -136,8 +190,8 @@ impl ModelRepository {
 
     /// Load from JSON.
     pub fn load(path: &Path) -> Result<ModelRepository> {
-        let json = std::fs::read_to_string(path)
-            .map_err(|e| PlannerError::Persistence(e.to_string()))?;
+        let json =
+            std::fs::read_to_string(path).map_err(|e| PlannerError::Persistence(e.to_string()))?;
         serde_json::from_str(&json).map_err(|e| PlannerError::Persistence(e.to_string()))
     }
 }
@@ -204,7 +258,42 @@ mod tests {
             granularity: Granularity::Hourly,
             baseline_rmse: rmse,
             fitted_at,
+            champion_config: None,
+            warm_params: Vec::new(),
+            warm_beta: Vec::new(),
         }
+    }
+
+    #[test]
+    fn champion_seed_requires_a_sarimax_config() {
+        let mut r = record("cdbm011/CPU", 10.0, 0);
+        assert!(r.champion_seed().is_none());
+        let config =
+            dwcp_models::SarimaxConfig::plain(dwcp_models::ArimaSpec::sarima(1, 1, 1, 0, 1, 1, 24));
+        r.champion_config = Some(config.clone());
+        r.warm_params = vec![0.2, -0.1, 0.05];
+        let (stored, params, beta) = r.champion_seed().unwrap();
+        assert_eq!(stored, &config);
+        assert_eq!(params, [0.2, -0.1, 0.05]);
+        assert!(beta.is_empty());
+    }
+
+    #[test]
+    fn record_with_seed_roundtrips_through_json() {
+        let mut repo = ModelRepository::new();
+        let mut r = record("cdbm011/CPU", 8.42, 1_700_000_000);
+        r.champion_config = Some(dwcp_models::SarimaxConfig::plain(
+            dwcp_models::ArimaSpec::sarima(4, 1, 2, 1, 1, 1, 24),
+        ));
+        r.warm_params = vec![0.25, -0.5, 1.5];
+        repo.store(r);
+        let dir = std::env::temp_dir().join("dwcp_repo_seed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        repo.save(&path).unwrap();
+        let back = ModelRepository::load(&path).unwrap();
+        assert_eq!(back.get("cdbm011/CPU"), repo.get("cdbm011/CPU"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

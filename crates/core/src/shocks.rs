@@ -144,11 +144,7 @@ impl ShockDetector {
                 .collect()
         };
         let deviations_of = |baseline: &[f64]| -> Vec<f64> {
-            pattern
-                .iter()
-                .zip(baseline)
-                .map(|(p, b)| p - b)
-                .collect()
+            pattern.iter().zip(baseline).map(|(p, b)| p - b).collect()
         };
         let no_suspects = vec![false; m];
         let first_baseline = baseline_pass(&no_suspects);
@@ -156,10 +152,7 @@ impl ShockDetector {
         let first_z = robust_z_scores(&first_dev);
         let prelim_scale = residual_scale(&detrended, &pattern, m);
         let suspects: Vec<bool> = (0..m)
-            .map(|k| {
-                first_z[k].abs() > self.z_threshold
-                    && first_dev[k].abs() > 3.0 * prelim_scale
-            })
+            .map(|k| first_z[k].abs() > self.z_threshold && first_dev[k].abs() > 3.0 * prelim_scale)
             .collect();
         let baseline = baseline_pass(&suspects);
         let deviations = deviations_of(&baseline);
@@ -174,11 +167,8 @@ impl ShockDetector {
         let material = 3.0 * resid_scale;
         let mut out = Vec::new();
         for k in 0..m {
-            let is_spike =
-                z[k] > self.z_threshold && deviations[k] > material;
-            let is_dip = self.detect_dips
-                && z[k] < -self.z_threshold
-                && deviations[k] < -material;
+            let is_spike = z[k] > self.z_threshold && deviations[k] > material;
+            let is_dip = self.detect_dips && z[k] < -self.z_threshold && deviations[k] < -material;
             if !is_spike && !is_dip {
                 continue;
             }
@@ -220,11 +210,7 @@ impl ShockDetector {
     }
 
     /// Indicator columns for a set of detected shocks.
-    pub fn indicator_columns(
-        shocks: &[DetectedShock],
-        start: usize,
-        len: usize,
-    ) -> Vec<Vec<f64>> {
+    pub fn indicator_columns(shocks: &[DetectedShock], start: usize, len: usize) -> Vec<Vec<f64>> {
         shocks.iter().map(|s| s.indicator(start, len)).collect()
     }
 }

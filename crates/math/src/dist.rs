@@ -136,7 +136,7 @@ fn erfc_hi(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -168,9 +168,8 @@ pub fn students_t_two_sided_p(t: f64, df: usize) -> f64 {
     }
     // Simpson integration of the t density from 0 to t, then fold.
     let v = df as f64;
-    let ln_norm = ln_gamma((v + 1.0) / 2.0)
-        - ln_gamma(v / 2.0)
-        - 0.5 * (v * std::f64::consts::PI).ln();
+    let ln_norm =
+        ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln();
     let density = |x: f64| (ln_norm - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp();
     let n_steps = 400;
     let h = t / n_steps as f64;

@@ -97,11 +97,7 @@ pub fn yule_walker(values: &[f64], order: usize) -> Result<(Vec<f64>, f64)> {
     }
     let gamma = autocovariances(values, order)?;
     let res = levinson_durbin(&gamma, order)?;
-    let sigma2 = res
-        .prediction_variance
-        .last()
-        .copied()
-        .unwrap_or(gamma[0]);
+    let sigma2 = res.prediction_variance.last().copied().unwrap_or(gamma[0]);
     Ok((res.ar, sigma2))
 }
 

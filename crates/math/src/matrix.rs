@@ -168,13 +168,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(&a, &b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(&a, &b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -381,10 +375,7 @@ mod tests {
     fn t_matvec_equals_transpose_matvec() {
         let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let v = [1.0, -2.0, 0.5];
-        assert_eq!(
-            a.t_matvec(&v).unwrap(),
-            a.transpose().matvec(&v).unwrap()
-        );
+        assert_eq!(a.t_matvec(&v).unwrap(), a.transpose().matvec(&v).unwrap());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! standard errors.
 
 use crate::solve::Qr;
-use crate::{Matrix, MathError, Result};
+use crate::{MathError, Matrix, Result};
 
 /// The result of an OLS fit `y ≈ X β`.
 #[derive(Debug, Clone)]
@@ -131,7 +131,9 @@ mod tests {
     fn residuals_orthogonal_to_design_columns() {
         // Deterministic pseudo-noise so the test is stable.
         let x_vals: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let noise: Vec<f64> = (0..50).map(|i| ((i * 37 % 11) as f64 - 5.0) / 7.0).collect();
+        let noise: Vec<f64> = (0..50)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) / 7.0)
+            .collect();
         let ones = vec![1.0; 50];
         let x = design(&[&ones, &x_vals]).unwrap();
         let y: Vec<f64> = x_vals

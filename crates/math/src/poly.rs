@@ -112,9 +112,7 @@ impl LagPoly {
 
     /// Drop trailing (near-)zero coefficients.
     pub fn trim(mut self) -> LagPoly {
-        while self.coeffs.len() > 1
-            && self.coeffs.last().is_some_and(|c| c.abs() < 1e-14)
-        {
+        while self.coeffs.len() > 1 && self.coeffs.last().is_some_and(|c| c.abs() < 1e-14) {
             self.coeffs.pop();
         }
         self

@@ -5,7 +5,7 @@
 //! solves where the design matrix is tall and possibly ill-conditioned —
 //! the Dickey-Fuller and Fourier-term regressions.
 
-use crate::{Matrix, MathError, Result, SINGULARITY_EPS};
+use crate::{MathError, Matrix, Result, SINGULARITY_EPS};
 
 /// An LU factorisation `P·A = L·U` of a square matrix with partial pivoting.
 #[derive(Debug, Clone)]
@@ -249,7 +249,11 @@ impl Qr {
             for j in (i + 1)..n {
                 let mut sum = 0.0;
                 for k in i..j {
-                    let r_kj = if k == j { self.r_diag[j] } else { self.qr[(k, j)] };
+                    let r_kj = if k == j {
+                        self.r_diag[j]
+                    } else {
+                        self.qr[(k, j)]
+                    };
                     sum += rinv[(i, k)] * r_kj;
                 }
                 rinv[(i, j)] = -sum / self.r_diag[j];
@@ -308,8 +312,7 @@ mod tests {
 
     #[test]
     fn lu_inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 7.0, 2.0], &[3.0, 6.0, 1.0], &[2.0, 5.0, 3.0]]).unwrap();
         let inv = Lu::factor(&a).unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         let i = Matrix::identity(3);
@@ -346,8 +349,7 @@ mod tests {
 
     #[test]
     fn qr_xtx_inverse_matches_lu_inverse_of_gram() {
-        let a = Matrix::from_rows(&[&[1.0, 0.5], &[1.0, 1.5], &[1.0, 2.5], &[1.0, 4.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.5], &[1.0, 1.5], &[1.0, 2.5], &[1.0, 4.0]]).unwrap();
         let via_qr = Qr::factor(&a).unwrap().xtx_inverse().unwrap();
         let via_lu = Lu::factor(&a.gram()).unwrap().inverse().unwrap();
         assert!(via_qr.sub(&via_lu).unwrap().max_abs() < 1e-10);

@@ -61,8 +61,7 @@ impl ExpandedArma {
         } else {
             let ar = LagPoly::ar(phi).mul(&LagPoly::seasonal_ar(seasonal_phi, period));
             self.phi.clear();
-            self.phi
-                .extend(ar.coeffs().iter().skip(1).map(|&c| -c));
+            self.phi.extend(ar.coeffs().iter().skip(1).map(|&c| -c));
         }
         if seasonal_theta.is_empty() {
             self.theta.clear();
@@ -218,7 +217,12 @@ mod tests {
         // First scored innovation deviates (pre-sample shock assumed zero
         // but actually... shocks[0] = 0 here, so recovery is exact).
         for t in start..w.len() {
-            assert!((a[t] - shocks[t]).abs() < 1e-10, "t = {t}: {} vs {}", a[t], shocks[t]);
+            assert!(
+                (a[t] - shocks[t]).abs() < 1e-10,
+                "t = {t}: {} vs {}",
+                a[t],
+                shocks[t]
+            );
         }
     }
 

@@ -43,6 +43,20 @@ pub struct ArimaOptions {
     /// objective is still above this after a third of the evaluation budget.
     /// `None` (the default) fits to completion.
     pub abandon_css_above: Option<f64>,
+    /// Score [`ArimaOptions::warm_start`] verbatim instead of optimising:
+    /// the fit evaluates the objective once at the given parameters and
+    /// keeps them. This is how a stored repository champion is re-scored
+    /// exactly as it was fitted (the paper's "reuse the champion"), rather
+    /// than drifting to a new optimum. Ignored without a matching
+    /// `warm_start`.
+    pub freeze_warm_start: bool,
+    /// Regression coefficients to take verbatim in a frozen SARIMAX
+    /// regression fit (see [`ArimaOptions::freeze_warm_start`]): the OLS /
+    /// GLS stages are skipped and the stored `[intercept, exog…, fourier…]`
+    /// coefficients are kept, making the reproduction of a stored
+    /// regression champion exact. Ignored for plain fits or when the
+    /// length does not match the configuration.
+    pub freeze_beta: Option<Vec<f64>>,
 }
 
 impl Default for ArimaOptions {
@@ -56,6 +70,8 @@ impl Default for ArimaOptions {
             gls_refinement: true,
             warm_start: None,
             abandon_css_above: None,
+            freeze_warm_start: false,
+            freeze_beta: None,
         }
     }
 }
@@ -211,7 +227,11 @@ impl FittedArima {
 
         let k = spec.n_params();
         let (blocks, best_css, nm_evals) = if k == 0 {
-            (vec![], ExpandedArma::expand(&[], &[], &[], &[], 0).css(&w), 0)
+            (
+                vec![],
+                ExpandedArma::expand(&[], &[], &[], &[], 0).css(&w),
+                0,
+            )
         } else {
             let start = if opts.hannan_rissanen_init {
                 initial_unconstrained(&w, &spec)
@@ -233,39 +253,48 @@ impl FittedArima {
             } else {
                 opts.max_evals
             };
-            let warm_start = opts
-                .warm_start
-                .as_ref()
-                .filter(|ws| ws.len() == k)
-                .cloned();
-            let abandon = opts
-                .abandon_css_above
-                .map(|threshold| dwcp_math::optimize::AbandonRule {
-                    threshold,
-                    min_evals: budget / 3,
-                });
-            let nm = nelder_mead(
-                objective,
-                &start,
-                &NelderMeadOptions {
-                    max_evals: budget,
-                    restarts: opts.restarts,
-                    initial_step: 0.25,
-                    // A warm start that beats the cold start sits next to a
-                    // converged neighbouring optimum, so refine locally with
-                    // a fraction of the global-search budget instead of
-                    // re-exploring at full width.
-                    warm_refine_step: warm_start.as_ref().map(|_| 0.02),
-                    warm_budget: warm_start.as_ref().map(|_| (budget / 6).max(60)),
-                    warm_start,
-                    abandon,
-                    ..Default::default()
-                },
-            );
-            if nm.aborted {
-                return Err(ModelError::Abandoned { evals: nm.evals });
+            let warm_start = opts.warm_start.as_ref().filter(|ws| ws.len() == k).cloned();
+            if opts.freeze_warm_start {
+                if let Some(ws) = warm_start {
+                    let fx = objective(&ws);
+                    (ws, fx, 1)
+                } else {
+                    return Err(ModelError::FitFailed {
+                        context: format!(
+                            "freeze_warm_start for {spec} needs a warm start of length {k}"
+                        ),
+                    });
+                }
+            } else {
+                let abandon =
+                    opts.abandon_css_above
+                        .map(|threshold| dwcp_math::optimize::AbandonRule {
+                            threshold,
+                            min_evals: budget / 3,
+                        });
+                let nm = nelder_mead(
+                    objective,
+                    &start,
+                    &NelderMeadOptions {
+                        max_evals: budget,
+                        restarts: opts.restarts,
+                        initial_step: 0.25,
+                        // A warm start that beats the cold start sits next to a
+                        // converged neighbouring optimum, so refine locally with
+                        // a fraction of the global-search budget instead of
+                        // re-exploring at full width.
+                        warm_refine_step: warm_start.as_ref().map(|_| 0.02),
+                        warm_budget: warm_start.as_ref().map(|_| (budget / 6).max(60)),
+                        warm_start,
+                        abandon,
+                        ..Default::default()
+                    },
+                );
+                if nm.aborted {
+                    return Err(ModelError::Abandoned { evals: nm.evals });
+                }
+                (nm.x, nm.fx, nm.evals)
             }
-            (nm.x, nm.fx, nm.evals)
         };
         if !best_css.is_finite() {
             return Err(ModelError::FitFailed {
@@ -276,11 +305,7 @@ impl FittedArima {
         let expanded = expand_unconstrained(&blocks, &spec);
         let (innovations, inno_start) = expanded.innovations(&w);
         let scored = (innovations.len() - inno_start).max(1);
-        let sigma2 = innovations[inno_start..]
-            .iter()
-            .map(|v| v * v)
-            .sum::<f64>()
-            / scored as f64;
+        let sigma2 = innovations[inno_start..].iter().map(|v| v * v).sum::<f64>() / scored as f64;
         // CSS-approximate AIC: n·ln σ̂² + 2(k + 2) (mean and σ² count).
         let aic = scored as f64 * sigma2.max(1e-300).ln() + 2.0 * (k as f64 + 2.0);
 
@@ -470,9 +495,7 @@ fn initial_unconstrained(w: &[f64], spec: &ArimaSpec) -> Vec<f64> {
 /// lags and lagged residuals.
 fn hannan_rissanen(w: &[f64], p: usize, q: usize) -> Option<(Vec<f64>, Vec<f64>)> {
     let n = w.len();
-    let m = ((10.0 * (n as f64).log10()) as usize)
-        .max(p + q)
-        .min(n / 4);
+    let m = ((10.0 * (n as f64).log10()) as usize).max(p + q).min(n / 4);
     if m == 0 || n < m + p.max(q) + 10 {
         return None;
     }
@@ -537,7 +560,7 @@ pub fn adapt_unconstrained(prev: &[f64], from: &ArimaSpec, to: &ArimaSpec) -> Op
     for (&have, &want) in from_blocks.iter().zip(&to_blocks) {
         let block = &prev[offset..offset + have];
         for i in 0..want {
-            out.push(if i < have { block[i] } else { 0.0 });
+            out.push(block.get(i).copied().unwrap_or(0.0));
         }
         offset += have;
     }
@@ -596,22 +619,14 @@ mod tests {
     fn fits_ar1_close_to_truth() {
         let y = simulate_arma(600, &[0.7], &[], 42);
         let fit = FittedArima::fit(&y, ArimaSpec::arima(1, 0, 0), &Default::default()).unwrap();
-        assert!(
-            (fit.phi[0] - 0.7).abs() < 0.08,
-            "phi = {:?}",
-            fit.phi
-        );
+        assert!((fit.phi[0] - 0.7).abs() < 0.08, "phi = {:?}", fit.phi);
     }
 
     #[test]
     fn fits_ma1_close_to_truth() {
         let y = simulate_arma(800, &[], &[0.5], 7);
         let fit = FittedArima::fit(&y, ArimaSpec::arima(0, 0, 1), &Default::default()).unwrap();
-        assert!(
-            (fit.theta[0] - 0.5).abs() < 0.1,
-            "theta = {:?}",
-            fit.theta
-        );
+        assert!((fit.theta[0] - 0.5).abs() < 0.1, "theta = {:?}", fit.theta);
     }
 
     #[test]
@@ -659,16 +674,16 @@ mod tests {
         let y: Vec<f64> = (0..144)
             .map(|t| pattern[t % 12] + noise(144, 9)[t] * 0.1)
             .collect();
-        let fit =
-            FittedArima::fit(&y, ArimaSpec::sarima(0, 0, 0, 0, 1, 0, 12), &Default::default())
-                .unwrap();
+        let fit = FittedArima::fit(
+            &y,
+            ArimaSpec::sarima(0, 0, 0, 0, 1, 0, 12),
+            &Default::default(),
+        )
+        .unwrap();
         let f = fit.forecast(12);
         for (h, &m) in f.mean.iter().enumerate() {
             let expected = pattern[(144 + h) % 12];
-            assert!(
-                (m - expected).abs() < 1.5,
-                "h = {h}: {m} vs {expected}"
-            );
+            assert!((m - expected).abs() < 1.5, "h = {h}: {m} vs {expected}");
         }
     }
 
@@ -708,7 +723,11 @@ mod tests {
     fn rejects_too_short_series() {
         let y = vec![1.0; 10];
         assert!(matches!(
-            FittedArima::fit(&y, ArimaSpec::sarima(1, 1, 1, 1, 1, 1, 24), &Default::default()),
+            FittedArima::fit(
+                &y,
+                ArimaSpec::sarima(1, 1, 1, 1, 1, 1, 24),
+                &Default::default()
+            ),
             Err(ModelError::TooShort { .. })
         ));
     }
@@ -723,10 +742,8 @@ mod tests {
     #[test]
     fn aic_prefers_true_order_over_overfit() {
         let y = simulate_arma(800, &[0.7], &[], 23);
-        let fit1 =
-            FittedArima::fit(&y, ArimaSpec::arima(1, 0, 0), &Default::default()).unwrap();
-        let fit5 =
-            FittedArima::fit(&y, ArimaSpec::arima(5, 0, 2), &Default::default()).unwrap();
+        let fit1 = FittedArima::fit(&y, ArimaSpec::arima(1, 0, 0), &Default::default()).unwrap();
+        let fit5 = FittedArima::fit(&y, ArimaSpec::arima(5, 0, 2), &Default::default()).unwrap();
         assert!(
             fit1.aic < fit5.aic + 5.0,
             "AIC(1,0,0) = {}, AIC(5,0,2) = {}",
@@ -763,11 +780,7 @@ mod tests {
             assert_eq!(cold.seasonal_theta, prepared.seasonal_theta, "{spec}");
             assert_eq!(cold.css.to_bits(), prepared.css.to_bits(), "{spec}");
             assert_eq!(cold.aic.to_bits(), prepared.aic.to_bits(), "{spec}");
-            assert_eq!(
-                cold.forecast(12).mean,
-                prepared.forecast(12).mean,
-                "{spec}"
-            );
+            assert_eq!(cold.forecast(12).mean, prepared.forecast(12).mean, "{spec}");
         }
     }
 
@@ -792,15 +805,10 @@ mod tests {
             restarts: 0,
             ..Default::default()
         };
-        let neighbour =
-            FittedArima::fit(&y, ArimaSpec::arima(1, 0, 1), &opts).unwrap();
+        let neighbour = FittedArima::fit(&y, ArimaSpec::arima(1, 0, 1), &opts).unwrap();
         let target = ArimaSpec::arima(2, 0, 1);
-        let warm = adapt_unconstrained(
-            &neighbour.params_unconstrained,
-            &neighbour.spec,
-            &target,
-        )
-        .unwrap();
+        let warm =
+            adapt_unconstrained(&neighbour.params_unconstrained, &neighbour.spec, &target).unwrap();
         let cold_fit = FittedArima::fit(&y, target, &opts).unwrap();
         let warm_fit = FittedArima::fit(
             &y,

@@ -19,9 +19,14 @@ use super::spec::ArimaSpec;
 use crate::fourier::FourierSpec;
 use crate::{Forecast, ModelError, Result};
 use dwcp_math::ols::{design, ols};
+use serde::{Deserialize, Serialize};
 
 /// Configuration of a SARIMAX model.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the model repository can persist a champion's exact
+/// configuration (not just its human-readable descriptor) and seed the
+/// next relearn's neighbourhood grid from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SarimaxConfig {
     /// The SARIMA order for the error process.
     pub spec: ArimaSpec,
@@ -154,6 +159,39 @@ impl FittedSarimax {
                 needed: min_rows,
                 got: n,
             });
+        }
+
+        // Frozen champion reproduction: both the regression coefficients
+        // and the SARIMA parameters are taken verbatim from the stored
+        // fit, so the re-scored model is exactly the one the repository
+        // recorded (the OLS/GLS stages and the optimiser are skipped).
+        if opts.freeze_warm_start {
+            if let Some(beta) = opts
+                .freeze_beta
+                .as_ref()
+                .filter(|b| b.len() == config.n_regression_params())
+            {
+                let exog_refs: Vec<&[f64]> = exog.iter().map(|c| c.as_slice()).collect();
+                let x_cols = regression_columns(config, &exog_refs, start_index, n);
+                let fitted_reg: Vec<f64> = (0..n)
+                    .map(|t| {
+                        beta.iter()
+                            .zip(x_cols.iter())
+                            .map(|(&b, col)| b * col[t])
+                            .sum()
+                    })
+                    .collect();
+                let final_resid: Vec<f64> = y.iter().zip(&fitted_reg).map(|(a, b)| a - b).collect();
+                let arima = FittedArima::fit(&final_resid, config.spec, opts)?;
+                return Ok(FittedSarimax {
+                    nm_evals: arima.nm_evals,
+                    config: config.clone(),
+                    beta: beta.clone(),
+                    arima,
+                    n_obs: n,
+                    start_index,
+                });
+            }
         }
 
         // Stage 1: OLS on [1 | exog | fourier].
@@ -329,6 +367,20 @@ impl FittedSarimax {
     pub fn aic(&self) -> f64 {
         self.arima.aic + 2.0 * self.config.n_regression_params() as f64
     }
+
+    /// The converged unconstrained SARIMA parameters — the warm seed a
+    /// later fit of the same (or an adjacent) spec can start from. For
+    /// regression configs these belong to the final residual SARIMA fit.
+    pub fn warm_seed(&self) -> &[f64] {
+        &self.arima.params_unconstrained
+    }
+
+    /// Adapt this fit's converged parameters into a warm seed for `to`
+    /// via [`adapt_unconstrained`](super::adapt_unconstrained); `None`
+    /// when the specs are too far apart to transfer.
+    pub fn seed_for(&self, to: &ArimaSpec) -> Option<Vec<f64>> {
+        super::model::adapt_unconstrained(&self.arima.params_unconstrained, &self.config.spec, to)
+    }
 }
 
 /// Assemble regression columns `[1 | exog… | fourier…]` for `len` rows
@@ -368,7 +420,7 @@ mod tests {
     fn plain_config_delegates_to_arima() {
         let y = noise(200, 1);
         let cfg = SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0));
-        let fit = FittedSarimax::fit(&y, &cfg,&[], 0, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg, &[], 0, &Default::default()).unwrap();
         assert!(fit.beta.is_empty());
         let f = fit.forecast(5, &[]).unwrap();
         assert_eq!(f.len(), 5);
@@ -383,17 +435,29 @@ mod tests {
         for t in 1..n {
             ar[t] = 0.5 * ar[t - 1] + e[t];
         }
-        let backup: Vec<f64> = (0..n).map(|t| if t % 24 == 0 { 1.0 } else { 0.0 }).collect();
+        let backup: Vec<f64> = (0..n)
+            .map(|t| if t % 24 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let y: Vec<f64> = (0..n).map(|t| 10.0 + 50.0 * backup[t] + ar[t]).collect();
         let cfg = SarimaxConfig {
             spec: ArimaSpec::arima(1, 0, 0),
             fourier: FourierSpec::none(),
             n_exog: 1,
         };
-        let fit = FittedSarimax::fit(&y, &cfg,std::slice::from_ref(&backup), 0, &Default::default())
-            .unwrap();
+        let fit = FittedSarimax::fit(
+            &y,
+            &cfg,
+            std::slice::from_ref(&backup),
+            0,
+            &Default::default(),
+        )
+        .unwrap();
         // beta = [intercept, backup effect]
-        assert!((fit.beta[0] - 10.0).abs() < 1.0, "intercept = {}", fit.beta[0]);
+        assert!(
+            (fit.beta[0] - 10.0).abs() < 1.0,
+            "intercept = {}",
+            fit.beta[0]
+        );
         assert!((fit.beta[1] - 50.0).abs() < 2.0, "shock = {}", fit.beta[1]);
     }
 
@@ -412,7 +476,7 @@ mod tests {
             fourier: FourierSpec::single(24.0, 2),
             n_exog: 0,
         };
-        let fit = FittedSarimax::fit(&y, &cfg,&[], 0, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg, &[], 0, &Default::default()).unwrap();
         let f = fit.forecast(24, &[]).unwrap();
         // Forecast should continue the sinusoid.
         for (h, &m) in f.mean.iter().enumerate() {
@@ -426,7 +490,9 @@ mod tests {
     fn forecast_applies_future_shock() {
         let n = 240;
         let e = noise(n, 7);
-        let backup: Vec<f64> = (0..n).map(|t| if t % 24 == 12 { 1.0 } else { 0.0 }).collect();
+        let backup: Vec<f64> = (0..n)
+            .map(|t| if t % 24 == 12 { 1.0 } else { 0.0 })
+            .collect();
         let y: Vec<f64> = (0..n)
             .map(|t| 5.0 + 30.0 * backup[t] + e[t] * 0.3)
             .collect();
@@ -435,11 +501,15 @@ mod tests {
             fourier: FourierSpec::none(),
             n_exog: 1,
         };
-        let fit = FittedSarimax::fit(&y, &cfg,&[backup], 0, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg, &[backup], 0, &Default::default()).unwrap();
         // Future: a shock at step 3.
         let future = vec![vec![0.0, 0.0, 0.0, 1.0, 0.0]];
         let f = fit.forecast(5, &future).unwrap();
-        assert!(f.mean[3] - f.mean[2] > 20.0, "shock not applied: {:?}", f.mean);
+        assert!(
+            f.mean[3] - f.mean[2] > 20.0,
+            "shock not applied: {:?}",
+            f.mean
+        );
     }
 
     #[test]
@@ -455,7 +525,7 @@ mod tests {
             Err(ModelError::ExogenousMismatch { .. })
         ));
         let short_col = vec![vec![0.0; 50]];
-        assert!(FittedSarimax::fit(&y, &cfg,&short_col, 0, &Default::default()).is_err());
+        assert!(FittedSarimax::fit(&y, &cfg, &short_col, 0, &Default::default()).is_err());
     }
 
     #[test]
@@ -466,8 +536,10 @@ mod tests {
             fourier: FourierSpec::none(),
             n_exog: 1,
         };
-        let exog = vec![(0..100).map(|t| if t % 24 == 0 { 1.0 } else { 0.0 }).collect()];
-        let fit = FittedSarimax::fit(&y, &cfg,&exog, 0, &Default::default()).unwrap();
+        let exog = vec![(0..100)
+            .map(|t| if t % 24 == 0 { 1.0 } else { 0.0 })
+            .collect()];
+        let fit = FittedSarimax::fit(&y, &cfg, &exog, 0, &Default::default()).unwrap();
         assert!(fit.forecast(5, &[]).is_err());
         assert!(fit.forecast(5, &[vec![0.0; 3]]).is_err());
     }
@@ -507,7 +579,9 @@ mod tests {
     fn forecast_cols_matches_forecast() {
         let n = 240;
         let e = noise(n, 25);
-        let backup: Vec<f64> = (0..n).map(|t| if t % 24 == 12 { 1.0 } else { 0.0 }).collect();
+        let backup: Vec<f64> = (0..n)
+            .map(|t| if t % 24 == 12 { 1.0 } else { 0.0 })
+            .collect();
         let y: Vec<f64> = (0..n)
             .map(|t| 5.0 + 30.0 * backup[t] + e[t] * 0.3)
             .collect();
@@ -559,7 +633,7 @@ mod tests {
             fourier: FourierSpec::single(24.0, 1),
             n_exog: 0,
         };
-        let fit = FittedSarimax::fit(&y, &cfg,&[], start, &Default::default()).unwrap();
+        let fit = FittedSarimax::fit(&y, &cfg, &[], start, &Default::default()).unwrap();
         let f = fit.forecast(6, &[]).unwrap();
         for h in 0..6 {
             let tf = (start + n + h) as f64;

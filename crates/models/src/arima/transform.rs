@@ -196,10 +196,7 @@ mod tests {
         ] {
             let phi = unconstrained_to_ar(&u);
             let pacs = ar_to_pacf(&phi).expect("must be stationary");
-            assert!(
-                pacs.iter().all(|p| p.abs() < 1.0),
-                "{phi:?} from {u:?}"
-            );
+            assert!(pacs.iter().all(|p| p.abs() < 1.0), "{phi:?} from {u:?}");
         }
         // Away from the boundary the impulse response must also visibly decay.
         for u in [vec![1.0], vec![-1.5, 1.5], vec![0.5, -0.5, 0.5]] {

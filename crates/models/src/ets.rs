@@ -151,9 +151,7 @@ impl EtsModel {
                 ..EtsConfig::holt()
             },
             EtsModel::HoltWintersAdditive => EtsConfig::holt_winters(period),
-            EtsModel::HoltWintersMultiplicative => {
-                EtsConfig::holt_winters_multiplicative(period)
-            }
+            EtsModel::HoltWintersMultiplicative => EtsConfig::holt_winters_multiplicative(period),
         }
     }
 }
@@ -244,8 +242,8 @@ fn run_recursion(
                 if seasonal_factor.abs() < 1e-12 {
                     return None;
                 }
-                level = alpha * (obs / seasonal_factor)
-                    + (1.0 - alpha) * (prev_level + damped_trend);
+                level =
+                    alpha * (obs / seasonal_factor) + (1.0 - alpha) * (prev_level + damped_trend);
                 if level.abs() < 1e-12 {
                     return None;
                 }
@@ -318,8 +316,7 @@ impl FittedEts {
         if y.iter().any(|v| !v.is_finite()) {
             return Err(ModelError::Series(dwcp_series::SeriesError::NonFinite));
         }
-        if matches!(config.seasonal, SeasonalKind::Multiplicative(_))
-            && y.iter().any(|&v| v <= 0.0)
+        if matches!(config.seasonal, SeasonalKind::Multiplicative(_)) && y.iter().any(|&v| v <= 0.0)
         {
             return Err(ModelError::InvalidSpec {
                 context: "multiplicative seasonality requires positive data".to_string(),
@@ -347,7 +344,6 @@ impl FittedEts {
                 1.0
             };
             let gamma = if m > 0 {
-                
                 0.0001 + 0.9998 * logistic(u[i])
             } else {
                 0.0
@@ -546,8 +542,7 @@ mod tests {
         let y: Vec<f64> = (0..160)
             .map(|t| (100.0 + t as f64) * factors[t % 4])
             .collect();
-        let fit =
-            FittedEts::fit(&y, EtsConfig::holt_winters_multiplicative(4)).unwrap();
+        let fit = FittedEts::fit(&y, EtsConfig::holt_winters_multiplicative(4)).unwrap();
         let f = fit.forecast(4);
         for h in 0..4 {
             let expected = (100.0 + (160 + h) as f64) * factors[(160 + h) % 4];
@@ -574,7 +569,9 @@ mod tests {
 
     #[test]
     fn smoothing_params_stay_in_bounds() {
-        let y: Vec<f64> = (0..80).map(|t| (t as f64 * 0.3).sin() * 5.0 + 50.0).collect();
+        let y: Vec<f64> = (0..80)
+            .map(|t| (t as f64 * 0.3).sin() * 5.0 + 50.0)
+            .collect();
         let fit = FittedEts::fit(&y, EtsConfig::holt()).unwrap();
         assert!(fit.alpha > 0.0 && fit.alpha < 1.0);
         assert!(fit.beta >= 0.0 && fit.beta < 1.0);

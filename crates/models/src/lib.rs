@@ -149,7 +149,10 @@ impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ModelError::TooShort { needed, got } => {
-                write!(f, "series too short: need {needed} observations, have {got}")
+                write!(
+                    f,
+                    "series too short: need {needed} observations, have {got}"
+                )
             }
             ModelError::InvalidSpec { context } => write!(f, "invalid model spec: {context}"),
             ModelError::FitFailed { context } => write!(f, "model fit failed: {context}"),
@@ -188,11 +191,7 @@ mod tests {
 
     #[test]
     fn normal_intervals_are_symmetric_and_widen_with_se() {
-        let f = Forecast::with_normal_intervals(
-            vec![10.0, 10.0],
-            vec![1.0, 2.0],
-            0.95,
-        );
+        let f = Forecast::with_normal_intervals(vec![10.0, 10.0], vec![1.0, 2.0], 0.95);
         let half0 = f.upper[0] - f.mean[0];
         let half1 = f.upper[1] - f.mean[1];
         assert!((half0 - (f.mean[0] - f.lower[0])).abs() < 1e-12);

@@ -198,10 +198,7 @@ impl FittedTbats {
             }
             if 2 * s.harmonics >= s.period.ceil() as usize {
                 return Err(ModelError::InvalidSpec {
-                    context: format!(
-                        "harmonics {} too high for period {}",
-                        s.harmonics, s.period
-                    ),
+                    context: format!("harmonics {} too high for period {}", s.harmonics, s.period),
                 });
             }
         }
@@ -345,10 +342,7 @@ impl FittedTbats {
                             interval_level: 0.95,
                         };
                         if let Ok(fit) = FittedTbats::fit(y, config) {
-                            let better = best
-                                .as_ref()
-                                .map(|b| fit.aic < b.aic)
-                                .unwrap_or(true);
+                            let better = best.as_ref().map(|b| fit.aic < b.aic).unwrap_or(true);
                             if better {
                                 best = Some(fit);
                             }
@@ -466,8 +460,8 @@ fn initial_state(z: &[f64], config: &TbatsConfig) -> TbatsState {
         .min(n / 2)
         .max(2);
     let level = z[..window].iter().sum::<f64>() / window as f64;
-    let second = z[window..(2 * window).min(n)].iter().sum::<f64>()
-        / window.min(n - window).max(1) as f64;
+    let second =
+        z[window..(2 * window).min(n)].iter().sum::<f64>() / window.min(n - window).max(1) as f64;
     let trend = if config.use_trend {
         (second - level) / window as f64
     } else {
@@ -564,19 +558,11 @@ fn predict_one(config: &TbatsConfig, params: &TbatsParams, state: &TbatsState) -
 }
 
 /// Advance the state given the realised `d_t = d̂_t + e_t`.
-fn advance(
-    config: &TbatsConfig,
-    params: &TbatsParams,
-    state: &mut TbatsState,
-    d_hat: f64,
-    e: f64,
-) {
+fn advance(config: &TbatsConfig, params: &TbatsParams, state: &mut TbatsState, d_hat: f64, e: f64) {
     let d = d_hat + e;
     let damped = params.phi * state.trend;
     let prev_level = state.level;
-    state.level = prev_level
-        + if config.use_trend { damped } else { 0.0 }
-        + params.alpha * d;
+    state.level = prev_level + if config.use_trend { damped } else { 0.0 } + params.alpha * d;
     if config.use_trend {
         state.trend = damped + params.beta * d;
     }
@@ -681,7 +667,8 @@ mod tests {
     fn trigonometric_season_reproduces_sinusoid() {
         let y: Vec<f64> = (0..240)
             .map(|t| {
-                100.0 + 12.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                100.0
+                    + 12.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
                     + noise(240, 5)[t] * 0.3
             })
             .collect();

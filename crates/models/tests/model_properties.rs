@@ -17,20 +17,18 @@ fn fast_opts() -> ArimaOptions {
 /// Bounded, wiggly series: a base level plus sinusoid plus deterministic
 /// pseudo-noise, parameterised so proptest explores levels and scales.
 fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
-    (10.0f64..1e4, 0.0f64..100.0, 40usize..120, 1u64..1000).prop_map(
-        |(level, amp, n, seed)| {
-            let mut state = seed;
-            (0..n)
-                .map(|t| {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
-                    level + amp * (t as f64 / 7.0).sin() + noise * level * 0.01
-                })
-                .collect()
-        },
-    )
+    (10.0f64..1e4, 0.0f64..100.0, 40usize..120, 1u64..1000).prop_map(|(level, amp, n, seed)| {
+        let mut state = seed;
+        (0..n)
+            .map(|t| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                level + amp * (t as f64 / 7.0).sin() + noise * level * 0.01
+            })
+            .collect()
+    })
 }
 
 proptest! {

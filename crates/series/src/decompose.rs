@@ -53,8 +53,7 @@ impl SeasonalDecomposition {
             return 0.0;
         }
         let mean_r = pairs.iter().map(|p| p.0).sum::<f64>() / pairs.len() as f64;
-        let mean_sr =
-            pairs.iter().map(|p| p.0 + p.1).sum::<f64>() / pairs.len() as f64;
+        let mean_sr = pairs.iter().map(|p| p.0 + p.1).sum::<f64>() / pairs.len() as f64;
         for (r, s) in pairs {
             resid_var += (r - mean_r).powi(2);
             total_var += (r + s - mean_sr).powi(2);
@@ -159,9 +158,7 @@ pub fn decompose(
             } else {
                 match model {
                     DecompositionModel::Additive => values[i] - trend[i] - seasonal[i],
-                    DecompositionModel::Multiplicative => {
-                        values[i] / (trend[i] * seasonal[i])
-                    }
+                    DecompositionModel::Multiplicative => values[i] / (trend[i] * seasonal[i]),
                 }
             }
         })
@@ -211,8 +208,7 @@ mod tests {
         (0..n)
             .map(|t| {
                 let t_f = t as f64;
-                50.0 + 0.2 * t_f
-                    + 10.0 * (2.0 * std::f64::consts::PI * t_f / period as f64).sin()
+                50.0 + 0.2 * t_f + 10.0 * (2.0 * std::f64::consts::PI * t_f / period as f64).sin()
             })
             .collect()
     }
@@ -237,8 +233,7 @@ mod tests {
         let y = synthetic(240, 24);
         let d = decompose(&y, 24, DecompositionModel::Additive).unwrap();
         for (phase, &idx) in d.seasonal_indices.iter().enumerate() {
-            let expected =
-                10.0 * (2.0 * std::f64::consts::PI * phase as f64 / 24.0).sin();
+            let expected = 10.0 * (2.0 * std::f64::consts::PI * phase as f64 / 24.0).sin();
             assert!(
                 (idx - expected).abs() < 0.6,
                 "phase {phase}: {idx} vs {expected}"
@@ -271,8 +266,7 @@ mod tests {
         let y: Vec<f64> = (0..120)
             .map(|t| {
                 let t_f = t as f64;
-                (100.0 + t_f)
-                    * (1.0 + 0.3 * (2.0 * std::f64::consts::PI * t_f / 12.0).sin())
+                (100.0 + t_f) * (1.0 + 0.3 * (2.0 * std::f64::consts::PI * t_f / 12.0).sin())
             })
             .collect();
         let d = decompose(&y, 12, DecompositionModel::Multiplicative).unwrap();
@@ -287,9 +281,7 @@ mod tests {
     #[test]
     fn multiplicative_indices_average_to_one() {
         let y: Vec<f64> = (0..96)
-            .map(|t| {
-                100.0 * (1.0 + 0.2 * (2.0 * std::f64::consts::PI * t as f64 / 8.0).cos())
-            })
+            .map(|t| 100.0 * (1.0 + 0.2 * (2.0 * std::f64::consts::PI * t as f64 / 8.0).cos()))
             .collect();
         let d = decompose(&y, 8, DecompositionModel::Multiplicative).unwrap();
         let mean: f64 = d.seasonal_indices.iter().sum::<f64>() / 8.0;
@@ -327,9 +319,7 @@ mod tests {
     fn rejects_short_series_and_bad_period() {
         assert!(decompose(&[1.0; 10], 12, DecompositionModel::Additive).is_err());
         assert!(decompose(&[1.0; 10], 1, DecompositionModel::Additive).is_err());
-        assert!(
-            decompose(&[0.0; 48], 12, DecompositionModel::Multiplicative).is_err()
-        );
+        assert!(decompose(&[0.0; 48], 12, DecompositionModel::Multiplicative).is_err());
     }
 
     #[test]

@@ -203,8 +203,7 @@ mod tests {
         ] {
             let diffed_full = spec.apply(&y).unwrap();
             let diffed_train = spec.apply(train).unwrap();
-            let future_diffs =
-                &diffed_full.values[diffed_full.values.len() - test.len()..];
+            let future_diffs = &diffed_full.values[diffed_full.values.len() - test.len()..];
             let rebuilt = spec.integrate(&diffed_train, future_diffs);
             for (a, b) in rebuilt.iter().zip(test) {
                 assert!((a - b).abs() < 1e-9, "{spec:?}: {a} vs {b}");

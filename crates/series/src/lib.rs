@@ -38,7 +38,7 @@ pub mod stationarity;
 pub mod timeseries;
 
 pub use accuracy::Accuracy;
-pub use acf::{acf, pacf, Correlogram};
+pub use acf::{acf, acf_direct, pacf, Correlogram};
 pub use decompose::{decompose, DecompositionModel, SeasonalDecomposition};
 pub use diff::Differencer;
 pub use season::{detect_seasonality, SeasonalityReport};
@@ -71,7 +71,10 @@ impl std::fmt::Display for SeriesError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SeriesError::TooShort { needed, got } => {
-                write!(f, "series too short: need {needed} observations, have {got}")
+                write!(
+                    f,
+                    "series too short: need {needed} observations, have {got}"
+                )
             }
             SeriesError::InvalidParameter { context } => {
                 write!(f, "invalid parameter: {context}")

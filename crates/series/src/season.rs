@@ -205,7 +205,9 @@ mod tests {
         let mut state = 99u64;
         let y: Vec<f64> = (0..500)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 100.0 + ((state >> 33) as f64 / (1u64 << 31) as f64)
             })
             .collect();

@@ -65,9 +65,7 @@ pub fn adf_test(
         return Err(SeriesError::NonFinite);
     }
     let max_by_schwert = (12.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
-    let lags = lags
-        .unwrap_or(max_by_schwert)
-        .min(n.saturating_sub(8) / 2);
+    let lags = lags.unwrap_or(max_by_schwert).min(n.saturating_sub(8) / 2);
 
     let dy = difference(values, 1);
     // Rows t = lags .. dy.len(): regress dy[t] on y[t] (level at t, which is
@@ -156,10 +154,7 @@ pub fn kpss_test(values: &[f64], trend: bool) -> Result<KpssResult> {
     let mut lrv: f64 = residuals.iter().map(|r| r * r).sum::<f64>() / n as f64;
     for l in 1..=bandwidth {
         let w = 1.0 - l as f64 / (bandwidth as f64 + 1.0);
-        let gamma: f64 = (l..n)
-            .map(|t| residuals[t] * residuals[t - l])
-            .sum::<f64>()
-            / n as f64;
+        let gamma: f64 = (l..n).map(|t| residuals[t] * residuals[t - l]).sum::<f64>() / n as f64;
         lrv += 2.0 * w * gamma;
     }
     if lrv <= 0.0 {
@@ -208,7 +203,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()

@@ -235,7 +235,11 @@ impl TimeSeries {
                     count += 1;
                 }
             }
-            out.push(if count == 0 { f64::NAN } else { sum / count as f64 });
+            out.push(if count == 0 {
+                f64::NAN
+            } else {
+                sum / count as f64
+            });
         }
         TimeSeries::new(out, target, self.origin)
     }
@@ -332,7 +336,17 @@ mod tests {
     #[test]
     fn aggregate_mean_skips_nan_and_drops_partial_bucket() {
         let raw = TimeSeries::new(
-            vec![1.0, f64::NAN, 3.0, f64::NAN, f64::NAN, f64::NAN, f64::NAN, f64::NAN, 9.0],
+            vec![
+                1.0,
+                f64::NAN,
+                3.0,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                9.0,
+            ],
             Frequency::QuarterHourly,
             0,
         );

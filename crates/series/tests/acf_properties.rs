@@ -1,0 +1,69 @@
+//! Property tests pinning the FFT autocovariance path to the direct-sum
+//! reference estimator.
+//!
+//! The public `acf` switches to an FFT-based autocovariance for long
+//! series (the fleet hot path); `acf_direct` remains the small-n
+//! implementation and the oracle here. The two must agree to within 1e-9
+//! on arbitrary inputs — in practice they agree to ~1e-13 relative, but
+//! 1e-9 is the contract the model grid relies on (significance-band
+//! comparisons at ±1.96/√n scale).
+
+use dwcp_series::{acf, acf_direct, pacf};
+use proptest::prelude::*;
+
+/// Series long enough to take the FFT path (crossover is 128), with a
+/// level, a seasonal swing, a trend, and LCG noise so the draw space
+/// covers flat, periodic and drifting shapes at different magnitudes.
+fn long_series() -> impl Strategy<Value = Vec<f64>> {
+    (
+        -1e3f64..1e6,
+        0.0f64..500.0,
+        -2.0f64..2.0,
+        130usize..1200,
+        1u64..10_000,
+    )
+        .prop_map(|(level, amp, slope, n, seed)| {
+            let mut state = seed;
+            (0..n)
+                .map(|t| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                    level
+                        + slope * t as f64
+                        + amp * (t as f64 / 24.0 * std::f64::consts::TAU).sin()
+                        + noise * (amp + 1.0)
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_acf_matches_direct_sum((y, max_lag) in (long_series(), 1usize..64)) {
+        let fast = acf(&y, max_lag).unwrap();
+        let slow = acf_direct(&y, max_lag).unwrap();
+        prop_assert_eq!(fast.len(), slow.len());
+        for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-9,
+                "lag {}: fft {} vs direct {} (n = {})",
+                k, a, b, y.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pacf_on_fft_path_stays_bounded(y in long_series()) {
+        // PACF consumes the ACF; the FFT path must not push the
+        // Durbin-Levinson recursion outside its domain.
+        let p = pacf(&y, 40).unwrap();
+        prop_assert_eq!(p[0], 1.0);
+        for v in &p {
+            prop_assert!(v.is_finite() && v.abs() <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -219,8 +219,7 @@ mod tests {
     #[test]
     fn heap_sawtooth_wraps_at_the_gc_ceiling() {
         let tier = ApplicationTier::standard();
-        let just_below =
-            tier.true_value(AppMetric::ContainerHeapMb, &pop(7_000.0), 0);
+        let just_below = tier.true_value(AppMetric::ContainerHeapMb, &pop(7_000.0), 0);
         let wrapped = tier.true_value(AppMetric::ContainerHeapMb, &pop(7_500.0), 0);
         assert!(just_below <= tier.heap_gc_ceiling_mb);
         assert!(wrapped >= tier.heap_floor_mb);
@@ -229,11 +228,12 @@ mod tests {
 
     #[test]
     fn san_sees_the_backup() {
-        let tier = ApplicationTier::standard()
-            .with_shock(Shock::backup("cdbm011", BackupSchedule::nightly_midnight(30)));
+        let tier = ApplicationTier::standard().with_shock(Shock::backup(
+            "cdbm011",
+            BackupSchedule::nightly_midnight(30),
+        ));
         let during = tier.true_value(AppMetric::SanThroughputMbps, &pop(500.0), 0);
-        let outside =
-            tier.true_value(AppMetric::SanThroughputMbps, &pop(500.0), 12 * 3600);
+        let outside = tier.true_value(AppMetric::SanThroughputMbps, &pop(500.0), 12 * 3600);
         assert!((during - outside - 450.0).abs() < 1e-9);
     }
 

@@ -59,9 +59,7 @@ impl ResourceModel {
                 let demand = self.cpu_baseline + self.cpu_per_session * sessions;
                 100.0 * (1.0 - (-demand / 100.0).exp()).min(1.0)
             }
-            Metric::MemoryMb => {
-                self.memory_baseline_mb + self.memory_per_session_mb * sessions
-            }
+            Metric::MemoryMb => self.memory_baseline_mb + self.memory_per_session_mb * sessions,
             Metric::LogicalIops => {
                 let growth = 1.0 + self.io_cost_growth_per_day * days;
                 self.iops_baseline + self.iops_per_session * sessions * growth
@@ -143,9 +141,7 @@ impl Cluster {
             return vec![0.0; self.instances.len()];
         }
         let share = total / n_up as f64;
-        up.iter()
-            .map(|&u| if u { share } else { 0.0 })
-            .collect()
+        up.iter().map(|&u| if u { share } else { 0.0 }).collect()
     }
 
     /// The true (noise-free) value of `metric` on `instance` at time `t`.

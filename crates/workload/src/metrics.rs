@@ -6,9 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A monitored database metric.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Metric {
     /// Host CPU consumed by the database instance, percent (0–100).
     CpuPercent,

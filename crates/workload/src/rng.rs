@@ -78,8 +78,7 @@ mod tests {
         let mut n = Noise::seeded(42);
         let samples: Vec<f64> = (0..50_000).map(|_| n.standard_normal()).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.02, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.03, "var = {var}");
     }

@@ -246,9 +246,7 @@ mod tests {
     #[test]
     fn olap_iops_peak_is_near_the_papers_quote() {
         let scenario = olap_scenario();
-        let mut iops = scenario
-            .hourly(1, "cdbm012", Metric::LogicalIops)
-            .unwrap();
+        let mut iops = scenario.hourly(1, "cdbm012", Metric::LogicalIops).unwrap();
         interpolate_series(&mut iops).unwrap();
         let peak = iops.max();
         assert!(
@@ -284,8 +282,7 @@ mod tests {
         // Growth of 50 users/day × 2.2 MB / 2 nodes ≈ 55 MB/day upward.
         let d = suggest_differencing(mem.values(), 2).unwrap();
         assert!(d >= 1, "expected trending memory series, d = {d}");
-        let first_week: f64 =
-            mem.values()[..168].iter().sum::<f64>() / 168.0;
+        let first_week: f64 = mem.values()[..168].iter().sum::<f64>() / 168.0;
         let last_week: f64 = mem.values()[mem.len() - 168..].iter().sum::<f64>() / 168.0;
         assert!(last_week > first_week * 1.5);
     }

@@ -197,9 +197,7 @@ mod tests {
     fn six_hourly_fires_four_times_a_day() {
         let s = BackupSchedule::six_hourly(30);
         assert_eq!(s.per_day(), 4);
-        let fires: Vec<u64> = (0..24)
-            .filter(|h| s.active_at(h * HOUR))
-            .collect();
+        let fires: Vec<u64> = (0..24).filter(|h| s.active_at(h * HOUR)).collect();
         assert_eq!(fires, vec![0, 6, 12, 18]);
     }
 

@@ -78,10 +78,8 @@ impl UserPopulation {
         if self.weekly_cycle_depth > 0.0 {
             let sow = t % (7 * 86_400);
             // Day 0 of the simulation is a Monday; weekend ≈ days 5–6.
-            let wphase = 2.0 * std::f64::consts::PI
-                * (sow as f64 / (7.0 * 86_400.0) - 5.5 / 7.0);
-            let weekly_factor =
-                1.0 - self.weekly_cycle_depth * 0.5 * (1.0 + wphase.cos());
+            let wphase = 2.0 * std::f64::consts::PI * (sow as f64 / (7.0 * 86_400.0) - 5.5 / 7.0);
+            let weekly_factor = 1.0 - self.weekly_cycle_depth * 0.5 * (1.0 + wphase.cos());
             users *= weekly_factor;
         }
 

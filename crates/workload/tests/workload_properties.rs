@@ -7,11 +7,11 @@ use proptest::prelude::*;
 
 fn arbitrary_population() -> impl Strategy<Value = UserPopulation> {
     (
-        1.0f64..5000.0,   // base users
-        0.0f64..100.0,    // growth/day
-        0.0f64..1.0,      // daily depth
-        0u32..24,         // peak hour
-        0.0f64..0.9,      // weekly depth
+        1.0f64..5000.0, // base users
+        0.0f64..100.0,  // growth/day
+        0.0f64..1.0,    // daily depth
+        0u32..24,       // peak hour
+        0.0f64..0.9,    // weekly depth
         prop::collection::vec(
             (0u32..24, 1u32..6, 1.0f64..2000.0).prop_map(|(h, d, u)| Surge {
                 start_hour: h,
@@ -21,14 +21,16 @@ fn arbitrary_population() -> impl Strategy<Value = UserPopulation> {
             0..3,
         ),
     )
-        .prop_map(|(base, growth, daily, peak, weekly, surges)| UserPopulation {
-            base_users: base,
-            growth_per_day: growth,
-            daily_cycle_depth: daily,
-            peak_hour: peak,
-            weekly_cycle_depth: weekly,
-            surges,
-        })
+        .prop_map(
+            |(base, growth, daily, peak, weekly, surges)| UserPopulation {
+                base_users: base,
+                growth_per_day: growth,
+                daily_cycle_depth: daily,
+                peak_hour: peak,
+                weekly_cycle_depth: weekly,
+                surges,
+            },
+        )
 }
 
 fn model() -> ResourceModel {

@@ -38,21 +38,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Model repository: store the champion, then replay the week.
     let mut repo = ModelRepository::new();
     let fitted_at = outcome.test.origin();
-    repo.store(ModelRecord {
-        workload: workload_key.clone(),
-        champion: outcome.champion.clone(),
-        granularity: dwcp::series::Granularity::Hourly,
-        baseline_rmse: outcome.accuracy.rmse,
+    repo.store(ModelRecord::from_outcome(
+        &workload_key,
+        &outcome,
+        dwcp::series::Granularity::Hourly,
         fitted_at,
-    });
+    ));
     println!("\nmodel repository replay:");
     for day in [1u64, 3, 6, 8] {
         let now = fitted_at + day * 86_400;
         let verdict = repo.needs_relearn(&workload_key, now, Some(outcome.accuracy.rmse * 1.1));
-        println!("  day +{day}: {}", match verdict {
-            None => "model kept (fresh, accurate)".to_string(),
-            Some(r) => format!("relearn — {r:?}"),
-        });
+        println!(
+            "  day +{day}: {}",
+            match verdict {
+                None => "model kept (fresh, accurate)".to_string(),
+                Some(r) => format!("relearn — {r:?}"),
+            }
+        );
     }
     // A sudden RMSE blow-up triggers relearning even on a fresh model.
     let verdict = repo.needs_relearn(
@@ -64,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Shock policy: crashes are discarded until they become a behaviour.
     let mut shocks = ShockTracker::new();
-    println!("\nshock policy (threshold = {} occurrences):", shocks.threshold);
+    println!(
+        "\nshock policy (threshold = {} occurrences):",
+        shocks.threshold
+    );
     for occurrence in 1..=5 {
         shocks.record("site-failover");
         println!(

@@ -1,0 +1,92 @@
+//! The deployment shape of §5/§8: an agent polls every instance × metric
+//! of a clustered database, and one fleet scheduler batches all of the
+//! per-series Figure-4 pipelines through a single worker pool. The second
+//! batch replays a week later, relearning each champion as a local
+//! refinement seeded from the model repository.
+//!
+//! ```sh
+//! cargo run --release --example fleet_forecast
+//! ```
+
+use dwcp::planner::{
+    EvaluationOptions, FleetOptions, FleetScheduler, MethodChoice, PipelineConfig, SeriesJob,
+};
+use dwcp::workload::{oltp_scenario, Metric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = oltp_scenario();
+    let exog = scenario.exogenous_columns(scenario.start, scenario.hours());
+
+    // One job per instance × metric: the whole OLTP cluster in one batch.
+    let mut config = PipelineConfig::hourly(MethodChoice::Sarimax);
+    config.max_candidates = 8;
+    config.eval = EvaluationOptions::default();
+    let mut jobs = Vec::new();
+    for instance in scenario.instance_names() {
+        for metric in Metric::ALL {
+            let series = scenario.hourly(7, &instance, metric)?;
+            jobs.push(
+                SeriesJob::new(
+                    format!("{instance}/{}", metric.label()),
+                    series,
+                    config.clone(),
+                )
+                .with_exog(exog.clone()),
+            );
+        }
+    }
+
+    // Monday: cold batch — every champion learned from its full grid.
+    let mut scheduler = FleetScheduler::new(FleetOptions {
+        threads: 0, // one worker per core, shared across all jobs
+        ..Default::default()
+    });
+    let report = scheduler.run_batch(&jobs);
+    println!(
+        "cold batch: {} jobs in {:.1}s ({:.2} jobs/s, {} objective evals)\n",
+        report.jobs.len(),
+        report.stats.wall_time.as_secs_f64(),
+        report.jobs_per_second(),
+        report.stats.objective_evals
+    );
+    for job in &report.jobs {
+        match &job.outcome {
+            Ok(o) => println!(
+                "  {:<28} {:<44} RMSE {:>8.2}",
+                job.key, o.champion, o.accuracy.rmse
+            ),
+            Err(e) => println!("  {:<28} failed: {e}", job.key),
+        }
+    }
+
+    // The following Monday: the repository still holds every champion, so
+    // each relearn is a pruned neighbourhood refinement around the stored
+    // orders, warm-started from the stored parameters.
+    let relearn = scheduler.run_batch(&jobs);
+    println!(
+        "\nrelearn batch: {:.1}s, {} objective evals, champion reuse {}/{} (fallbacks: {})",
+        relearn.stats.wall_time.as_secs_f64(),
+        relearn.stats.objective_evals,
+        relearn.stats.reuse_hits,
+        relearn.jobs.len(),
+        relearn.stats.reuse_fallbacks
+    );
+    for job in &relearn.jobs {
+        if let Ok(o) = &job.outcome {
+            println!(
+                "  {:<28} {:<44} RMSE {:>8.2}  {}",
+                job.key,
+                o.champion,
+                o.accuracy.rmse,
+                if job.fell_back {
+                    "full-grid fallback"
+                } else if job.reused {
+                    "seeded refinement"
+                } else {
+                    "cold"
+                }
+            );
+        }
+    }
+    Ok(())
+}

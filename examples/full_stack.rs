@@ -11,8 +11,8 @@
 use dwcp::planner::{MethodChoice, Pipeline, PipelineConfig};
 use dwcp::series::{Frequency, TimeSeries};
 use dwcp::workload::rng::Noise;
-use dwcp::workload::{oltp_scenario, AppMetric, ApplicationTier, Metric, Shock};
 use dwcp::workload::shock::BackupSchedule;
+use dwcp::workload::{oltp_scenario, AppMetric, ApplicationTier, Metric, Shock};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = oltp_scenario();
@@ -41,9 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // Hourly aggregate of four 15-minute observations.
                 let base = h as u64 * 3600;
                 (0..4)
-                    .map(|q| {
-                        tier.observe(metric, &scenario.population, base + q * 900, &mut noise)
-                    })
+                    .map(|q| tier.observe(metric, &scenario.population, base + q * 900, &mut noise))
                     .sum::<f64>()
                     / 4.0
             })

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = pipeline.family_comparison(&cpu, &exog, 8)?;
 
-    println!("\n{:<40} {:>10} {:>9}", "Forecast & Model", "RMSE", "MAPE %");
+    println!(
+        "\n{:<40} {:>10} {:>9}",
+        "Forecast & Model", "RMSE", "MAPE %"
+    );
     for family in [
         ModelFamily::Arima,
         ModelFamily::Sarimax,
@@ -55,10 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nforecast vs actual over the held-out day (one row per hour):");
     let mut working = cpu.clone();
     dwcp::series::interpolate::interpolate_series(&mut working)?;
-    let split = dwcp::series::TrainTestSplit::from_series(
-        &working,
-        dwcp::series::Granularity::Hourly,
-    )?;
+    let split =
+        dwcp::series::TrainTestSplit::from_series(&working, dwcp::series::Granularity::Hourly)?;
     let max = split
         .test
         .values()

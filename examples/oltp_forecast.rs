@@ -14,9 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = oltp_scenario();
     let instance = "cdbm011";
     println!("{} on {instance}", scenario.kind.label());
-    println!(
-        "population: 500 base users, +50/day, surges 07:00 (+1000, 4h) and 09:00 (+1000, 1h)"
-    );
+    println!("population: 500 base users, +50/day, surges 07:00 (+1000, 4h) and 09:00 (+1000, 1h)");
     println!("shock: backup every 6 hours on node 1 (4 exogenous variables)\n");
 
     let pipeline = Pipeline::new(PipelineConfig::hourly(MethodChoice::Sarimax));

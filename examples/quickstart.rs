@@ -61,7 +61,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .values()
         .iter()
         .zip(&outcome.test_forecast.mean)
-        .zip(outcome.test_forecast.lower.iter().zip(&outcome.test_forecast.upper))
+        .zip(
+            outcome
+                .test_forecast
+                .lower
+                .iter()
+                .zip(&outcome.test_forecast.upper),
+        )
         .enumerate()
     {
         println!("{h:>4}  {actual:>6.1}  {mean:>8.1}   [{lo:>6.1}, {hi:>6.1}]");

@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tracker.is_behaviour("unexplained-crash")
     );
     tracker.discard("unexplained-crash");
-    println!("operator discarded it (system was in fault); count = {}",
-        tracker.count("unexplained-crash"));
+    println!(
+        "operator discarded it (system was in fault); count = {}",
+        tracker.count("unexplained-crash")
+    );
     Ok(())
 }

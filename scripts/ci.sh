@@ -1,20 +1,30 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a grid-search bench smoke run.
+# Tier-1 verification plus lint and bench smoke runs.
 #
 # Usage: scripts/ci.sh
 #
 # Stages:
 #   1. release build of the whole workspace
-#   2. full workspace test suite
-#   3. grid_search criterion bench in --quick mode (smoke: the acceleration
+#   2. rustfmt check + clippy with warnings denied
+#   3. full workspace test suite
+#   4. grid_search criterion bench in --quick mode (smoke: the acceleration
 #      layer must still build, run, and beat nothing over — champion
 #      equality is asserted inside the evaluate tests; wall-clock numbers
 #      from this stage are indicative only)
+#   5. bench_fleet smoke on the reduced (DWCP_QUICK=1) batch, then a schema
+#      check of the written snapshot so downstream tooling can rely on its
+#      keys
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== tier-1: cargo build --release =="
 cargo build --release
+
+echo "== lint: cargo fmt --check =="
+cargo fmt --check
+
+echo "== lint: cargo clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
 
 echo "== tier-1: cargo test (root package) =="
 cargo test -q
@@ -24,5 +34,18 @@ cargo test --workspace -q
 
 echo "== bench smoke: grid_search --quick =="
 cargo bench -p dwcp-bench --bench grid_search -- --quick
+
+echo "== bench smoke: bench_fleet (DWCP_QUICK=1) =="
+DWCP_QUICK=1 cargo run -q --release -p dwcp-bench --bin bench_fleet
+
+echo "== snapshot schema: results/BENCH_fleet.json =="
+for key in batch n_jobs threads sequential_wall_ms fleet_cold_wall_ms \
+           fleet_relearn_wall_ms speedup_relearn_vs_sequential jobs_per_second \
+           reuse_hits reuse_misses reuse_fallbacks reuse_hit_rate \
+           sequential_objective_evals relearn_objective_evals jobs; do
+  grep -q "\"$key\"" results/BENCH_fleet.json \
+    || { echo "BENCH_fleet.json missing key: $key"; exit 1; }
+done
+echo "snapshot schema OK"
 
 echo "ci.sh: all stages passed"

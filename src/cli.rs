@@ -12,7 +12,10 @@
 //! `timestamp,value` (epoch seconds); `#` lines and a non-numeric header
 //! are skipped.
 
-use crate::planner::{MethodChoice, Pipeline, PipelineConfig, ThresholdAdvisor};
+use crate::planner::{
+    FleetOptions, FleetScheduler, MethodChoice, ModelRepository, Pipeline, PipelineConfig,
+    SeriesJob, ThresholdAdvisor,
+};
 use crate::series::{Frequency, Granularity, TimeSeries};
 use crate::workload::{olap_scenario, oltp_scenario, Metric, Scenario};
 
@@ -42,6 +45,21 @@ pub enum Command {
         granularity: Granularity,
         /// Auto-detect recurring shocks.
         detect_shocks: bool,
+    },
+    /// Batch-forecast many CSV series on one shared worker pool.
+    Fleet {
+        /// Input CSV paths (workload key = file stem).
+        inputs: Vec<String>,
+        /// Method choice.
+        method: MethodChoice,
+        /// Protocol granularity.
+        granularity: Granularity,
+        /// Worker threads (0 = all cores).
+        threads: usize,
+        /// Champion-neighbourhood radius for seeded relearning.
+        radius: usize,
+        /// Optional model-repository JSON for champion reuse across runs.
+        repo: Option<String>,
     },
     /// Threshold advisory on a CSV series.
     Advise {
@@ -138,6 +156,29 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             granularity: granularity_of(&get("granularity", Some("hourly"))?)?,
             detect_shocks: flags.contains_key("detect-shocks"),
         }),
+        "fleet" => {
+            let inputs: Vec<String> = get("inputs", None)?
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if inputs.is_empty() {
+                return Err(err("--inputs needs at least one CSV path"));
+            }
+            Ok(Command::Fleet {
+                inputs,
+                method: method_of(&get("method", Some("sarimax"))?)?,
+                granularity: granularity_of(&get("granularity", Some("hourly"))?)?,
+                threads: get("threads", Some("0"))?
+                    .parse()
+                    .map_err(|_| err("--threads must be an integer"))?,
+                radius: get("radius", Some("1"))?
+                    .parse()
+                    .map_err(|_| err("--radius must be an integer"))?,
+                repo: flags.get("repo").cloned(),
+            })
+        }
         "advise" => Ok(Command::Advise {
             input: get("input", None)?,
             threshold: get("threshold", None)?
@@ -158,9 +199,14 @@ USAGE:
                 [--seed N] [--out FILE]
   dwcp forecast --input FILE [--method sarimax|hes|tbats]
                 [--granularity hourly|daily|weekly] [--detect-shocks]
+  dwcp fleet    --inputs A.csv,B.csv,... [--method sarimax|hes|tbats]
+                [--granularity hourly|daily|weekly] [--threads N] [--radius N]
+                [--repo FILE]
   dwcp advise   --input FILE --threshold X [--method sarimax|hes|tbats]
 
 CSV input: one observation per line, `value` or `timestamp,value`.
+`fleet` schedules every input through one shared worker pool; with --repo it
+persists champions and seeds relearning from them on the next run.
 ";
 
 /// Parse a metric CSV into a [`TimeSeries`] (assumed hourly unless
@@ -206,8 +252,10 @@ pub fn read_csv(content: &str) -> Result<TimeSeries, CliError> {
     }
     // Infer cadence from the first two timestamps when present.
     let origin = timestamps.first().copied().flatten().unwrap_or(0);
-    let frequency = match (timestamps.first().copied().flatten(), timestamps.get(1).copied().flatten())
-    {
+    let frequency = match (
+        timestamps.first().copied().flatten(),
+        timestamps.get(1).copied().flatten(),
+    ) {
         (Some(a), Some(b)) if b > a => match b - a {
             900 => Frequency::QuarterHourly,
             3_600 => Frequency::Hourly,
@@ -235,7 +283,10 @@ pub fn write_csv(series: &TimeSeries) -> String {
 }
 
 /// Execute a parsed command, writing human output to `stdout`.
-pub fn execute(command: Command, stdout: &mut impl std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
+pub fn execute(
+    command: Command,
+    stdout: &mut impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
     match command {
         Command::Help => {
             write!(stdout, "{USAGE}")?;
@@ -288,6 +339,16 @@ pub fn execute(command: Command, stdout: &mut impl std::io::Write) -> Result<(),
                 outcome.accuracy.mapa,
                 outcome.evaluated
             )?;
+            if outcome.stats.objective_evals > 0 {
+                writeln!(
+                    stdout,
+                    "# search: {} objective evals, {} cache hits, {} warm starts, {:.0} ms wall",
+                    outcome.stats.objective_evals,
+                    outcome.stats.cache_hits,
+                    outcome.stats.warm_starts,
+                    outcome.stats.wall_time.as_secs_f64() * 1e3
+                )?;
+            }
             writeln!(stdout, "step,timestamp,forecast,lower,upper")?;
             let step_seconds = series.frequency().seconds();
             for h in 0..future.len() {
@@ -298,6 +359,91 @@ pub fn execute(command: Command, stdout: &mut impl std::io::Write) -> Result<(),
                     future.mean[h],
                     future.lower[h],
                     future.upper[h]
+                )?;
+            }
+            Ok(())
+        }
+        Command::Fleet {
+            inputs,
+            method,
+            granularity,
+            threads,
+            radius,
+            repo,
+        } => {
+            let mut jobs = Vec::with_capacity(inputs.len());
+            for input in &inputs {
+                let content = std::fs::read_to_string(input)?;
+                let series = read_csv(&content)?;
+                let key = std::path::Path::new(input)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| input.clone());
+                let mut config = PipelineConfig::hourly(method);
+                config.granularity = granularity;
+                jobs.push(SeriesJob::new(key, series, config));
+            }
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            let options = FleetOptions {
+                threads,
+                neighbourhood_radius: radius,
+                now,
+                ..Default::default()
+            };
+            let mut scheduler = match &repo {
+                Some(path) if std::path::Path::new(path).exists() => {
+                    FleetScheduler::with_repository(
+                        options,
+                        ModelRepository::load(std::path::Path::new(path))?,
+                    )
+                }
+                _ => FleetScheduler::new(options),
+            };
+            let report = scheduler.run_batch(&jobs);
+            writeln!(stdout, "workload,champion,rmse,mape,reused,fell_back")?;
+            for job in &report.jobs {
+                match &job.outcome {
+                    Ok(outcome) => writeln!(
+                        stdout,
+                        "{},{},{:.4},{:.2},{},{}",
+                        job.key,
+                        outcome.champion,
+                        outcome.accuracy.rmse,
+                        outcome.accuracy.mape,
+                        job.reused,
+                        job.fell_back
+                    )?,
+                    Err(e) => writeln!(stdout, "{},ERROR: {e},,,,", job.key)?,
+                }
+            }
+            writeln!(
+                stdout,
+                "# batch: {} jobs in {:.0} ms ({:.2} jobs/s), {} objective evals",
+                report.jobs.len(),
+                report.stats.wall_time.as_secs_f64() * 1e3,
+                report.jobs_per_second(),
+                report.stats.objective_evals
+            )?;
+            writeln!(
+                stdout,
+                "# champion reuse: {} hits, {} misses, {} fallbacks{}",
+                report.stats.reuse_hits,
+                report.stats.reuse_misses,
+                report.stats.reuse_fallbacks,
+                match report.stats.reuse_rate() {
+                    Some(rate) => format!(" (hit rate {:.0}%)", rate * 100.0),
+                    None => String::new(),
+                }
+            )?;
+            if let Some(path) = &repo {
+                scheduler.repository.save(std::path::Path::new(path))?;
+                writeln!(
+                    stdout,
+                    "# repository: {} champions saved to {path}",
+                    scheduler.repository.len()
                 )?;
             }
             Ok(())
@@ -395,6 +541,51 @@ mod tests {
             Command::Forecast { detect_shocks, .. } => assert!(detect_shocks),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_fleet_splits_inputs_and_reads_flags() {
+        let cmd = parse(&args(
+            "fleet --inputs a.csv,b.csv,c.csv --threads 4 --radius 2 --repo models.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fleet {
+                inputs: vec!["a.csv".into(), "b.csv".into(), "c.csv".into()],
+                method: MethodChoice::Sarimax,
+                granularity: Granularity::Hourly,
+                threads: 4,
+                radius: 2,
+                repo: Some("models.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_fleet_defaults() {
+        let cmd = parse(&args("fleet --inputs one.csv")).unwrap();
+        match cmd {
+            Command::Fleet {
+                inputs,
+                threads,
+                radius,
+                repo,
+                ..
+            } => {
+                assert_eq!(inputs, vec!["one.csv".to_string()]);
+                assert_eq!(threads, 0);
+                assert_eq!(radius, 1);
+                assert_eq!(repo, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_fleet_rejects_empty_inputs() {
+        assert!(parse(&args("fleet")).is_err());
+        assert!(parse(&args("fleet --inputs ,")).is_err());
     }
 
     #[test]

@@ -80,6 +80,58 @@ fn simulate_forecast_advise_loop() {
 }
 
 #[test]
+fn fleet_batches_csvs_and_persists_the_repository() {
+    // Two simulated workloads, batched through one pool, with the model
+    // repository persisted between runs.
+    let mut inputs = Vec::new();
+    for instance in ["cdbm011", "cdbm012"] {
+        let path = tmp(&format!("fleet_{instance}"));
+        run(Command::Simulate {
+            scenario: "oltp".into(),
+            instance: instance.into(),
+            metric: "cpu".into(),
+            seed: 7,
+            out: path.to_string_lossy().into_owned(),
+        });
+        inputs.push(path);
+    }
+    let repo_path = tmp("fleet_repo");
+    let cmd = parse(&[
+        "fleet".to_string(),
+        "--inputs".to_string(),
+        inputs
+            .iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join(","),
+        "--method".to_string(),
+        "hes".to_string(),
+        "--repo".to_string(),
+        repo_path.to_string_lossy().into_owned(),
+    ])
+    .unwrap();
+    let out = run(cmd.clone());
+    assert!(
+        out.contains("workload,champion,rmse,mape,reused,fell_back"),
+        "{out}"
+    );
+    assert!(out.contains("Holt-Winters"), "{out}");
+    assert!(out.contains("# batch: 2 jobs"), "{out}");
+    assert!(out.contains("# champion reuse:"), "{out}");
+    assert!(out.contains("# repository: 2 champions saved"), "{out}");
+    assert!(repo_path.exists());
+
+    // Second run loads the saved repository without error.
+    let out = run(cmd);
+    assert!(out.contains("# batch: 2 jobs"), "{out}");
+
+    for p in inputs {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_file(&repo_path).ok();
+}
+
+#[test]
 fn forecast_rejects_missing_file() {
     let cmd = Command::Forecast {
         input: "/nonexistent/definitely_missing.csv".into(),

@@ -144,7 +144,9 @@ proptest! {
 fn arima_fit_on_short_seasonal_series_never_panics() {
     // Fuzz-ish determinstic sweep: every (p,d,q) on a short series must
     // return Ok or a clean error, never panic or hang.
-    let y: Vec<f64> = (0..60).map(|t| (t as f64 * 0.7).sin() * 5.0 + 20.0).collect();
+    let y: Vec<f64> = (0..60)
+        .map(|t| (t as f64 * 0.7).sin() * 5.0 + 20.0)
+        .collect();
     for p in 0..4 {
         for d in 0..2 {
             for q in 0..3 {
@@ -156,7 +158,7 @@ fn arima_fit_on_short_seasonal_series_never_panics() {
                         max_evals: 60,
                         restarts: 0,
                         interval_level: 0.95,
-                ..Default::default()
+                        ..Default::default()
                     },
                 );
             }

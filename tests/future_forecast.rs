@@ -3,9 +3,7 @@
 //! cases ("within the next few days, what will resource usage look
 //! like?", medium-term capacity planning).
 
-use dwcp::planner::{
-    ChampionSpec, EvaluationOptions, MethodChoice, Pipeline, PipelineConfig,
-};
+use dwcp::planner::{ChampionSpec, EvaluationOptions, MethodChoice, Pipeline, PipelineConfig};
 use dwcp::series::Granularity;
 use dwcp::workload::{oltp_scenario, Metric};
 
@@ -70,12 +68,8 @@ fn sarimax_future_forecast_matches_extended_simulation() {
         .map(|(&a, &f)| (a, f))
         .collect();
     assert!(finite.len() >= 20);
-    let rmse = (finite
-        .iter()
-        .map(|(a, f)| (a - f) * (a - f))
-        .sum::<f64>()
-        / finite.len() as f64)
-        .sqrt();
+    let rmse =
+        (finite.iter().map(|(a, f)| (a - f) * (a - f)).sum::<f64>() / finite.len() as f64).sqrt();
     // The daily CPU cycle swings tens of points; a competent refit must do
     // far better than the cycle amplitude.
     assert!(rmse < 10.0, "future RMSE = {rmse}");
@@ -86,9 +80,7 @@ fn hes_future_forecast_continues_the_trend() {
     let scenario = oltp_scenario();
     let series = scenario.hourly(6, "cdbm011", Metric::MemoryMb).unwrap();
     let pipeline = Pipeline::new(fast(MethodChoice::Hes));
-    let (outcome, future) = pipeline
-        .refit_and_forecast(&series, &[], &[], 48)
-        .unwrap();
+    let (outcome, future) = pipeline.refit_and_forecast(&series, &[], &[], 48).unwrap();
     assert!(matches!(outcome.champion_spec, ChampionSpec::Ets(_)));
     assert_eq!(future.len(), 48);
     // Memory grows ~55 MB/day: the 2-day-ahead forecast must sit above the
@@ -132,9 +124,7 @@ fn auto_detected_champion_extends_its_own_indicators() {
     let pipeline = Pipeline::new(config);
     // No exogenous columns supplied at all: detection provides them for
     // history AND future.
-    let (outcome, future) = pipeline
-        .refit_and_forecast(&series, &[], &[], 24)
-        .unwrap();
+    let (outcome, future) = pipeline.refit_and_forecast(&series, &[], &[], 24).unwrap();
     assert_eq!(future.len(), 24);
     if let ChampionSpec::Sarimax(c) = &outcome.champion_spec {
         assert!(c.n_exog > 0, "expected detected shock columns");

@@ -2,9 +2,7 @@
 //! Figure 4 pipeline → forecast, across both experiments and both method
 //! branches.
 
-use dwcp::planner::{
-    EvaluationOptions, MethodChoice, ModelFamily, Pipeline, PipelineConfig,
-};
+use dwcp::planner::{EvaluationOptions, MethodChoice, ModelFamily, Pipeline, PipelineConfig};
 use dwcp::series::Granularity;
 use dwcp::workload::{olap_scenario, oltp_scenario, Metric};
 
@@ -63,7 +61,11 @@ fn olap_hes_end_to_end() {
         "champion = {}",
         outcome.champion
     );
-    assert!(outcome.accuracy.rmse < 8.0, "RMSE = {}", outcome.accuracy.rmse);
+    assert!(
+        outcome.accuracy.rmse < 8.0,
+        "RMSE = {}",
+        outcome.accuracy.rmse
+    );
 }
 
 #[test]
@@ -102,7 +104,11 @@ fn oltp_family_ordering_matches_paper_shape() {
     let report = Pipeline::new(fast(MethodChoice::Sarimax))
         .family_comparison(&cpu, &exog, 3)
         .unwrap();
-    let arima = report.best_of_family(ModelFamily::Arima).unwrap().accuracy.rmse;
+    let arima = report
+        .best_of_family(ModelFamily::Arima)
+        .unwrap()
+        .accuracy
+        .rmse;
     let champion = report.champion().unwrap();
     assert!(champion.accuracy.rmse <= arima);
     assert!(report.best_of_family(ModelFamily::Sarimax).is_some());
@@ -125,8 +131,13 @@ fn maintenance_gaps_flow_through_interpolation() {
     });
     let cpu = scenario.hourly(5, "cdbm011", Metric::CpuPercent).unwrap();
     assert_eq!(cpu.gap_count(), 4, "maintenance must create hourly gaps");
-    let outcome = Pipeline::new(fast(MethodChoice::Hes)).run(&cpu, &[]).unwrap();
-    assert!(outcome.gaps_filled >= 1, "pipeline must interpolate the gaps");
+    let outcome = Pipeline::new(fast(MethodChoice::Hes))
+        .run(&cpu, &[])
+        .unwrap();
+    assert!(
+        outcome.gaps_filled >= 1,
+        "pipeline must interpolate the gaps"
+    );
     assert!(outcome.accuracy.rmse.is_finite());
 }
 
@@ -142,7 +153,13 @@ fn forecast_intervals_contain_most_actuals() {
         .test
         .values()
         .iter()
-        .zip(outcome.test_forecast.lower.iter().zip(&outcome.test_forecast.upper))
+        .zip(
+            outcome
+                .test_forecast
+                .lower
+                .iter()
+                .zip(&outcome.test_forecast.upper),
+        )
         .filter(|(&a, (&lo, &hi))| a >= lo && a <= hi)
         .count();
     // 95 % nominal; demand at least 60 % to allow CSS-approximation slack

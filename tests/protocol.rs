@@ -85,11 +85,7 @@ fn grid_families_are_consistent() {
 
 #[test]
 fn protocol_split_through_facade() {
-    let series = TimeSeries::new(
-        (0..1100).map(|i| i as f64).collect(),
-        Frequency::Hourly,
-        0,
-    );
+    let series = TimeSeries::new((0..1100).map(|i| i as f64).collect(), Frequency::Hourly, 0);
     let split = TrainTestSplit::from_series(&series, Granularity::Hourly).unwrap();
     assert_eq!(split.train.len(), 984);
     assert_eq!(split.test.len(), 24);

@@ -14,6 +14,9 @@ fn record(workload: &str, rmse: f64, fitted_at: u64) -> ModelRecord {
         granularity: Granularity::Hourly,
         baseline_rmse: rmse,
         fitted_at,
+        champion_config: None,
+        warm_params: Vec::new(),
+        warm_beta: Vec::new(),
     }
 }
 
@@ -68,7 +71,11 @@ fn custom_policy_changes_both_rules() {
 fn repository_round_trips_through_disk() {
     let mut repo = ModelRepository::new();
     for i in 0..10 {
-        repo.store(record(&format!("cdbm01{}/CPU", i % 2 + 1), i as f64, i * DAY));
+        repo.store(record(
+            &format!("cdbm01{}/CPU", i % 2 + 1),
+            i as f64,
+            i * DAY,
+        ));
     }
     let path = std::env::temp_dir().join("dwcp_staleness_roundtrip.json");
     repo.save(&path).unwrap();
@@ -106,4 +113,92 @@ fn per_workload_isolation() {
     // A different workload key is independent — still missing.
     assert!(repo.needs_relearn("cdbm012/CPU", 0, Some(10.0)).is_some());
     assert!(repo.needs_relearn("cdbm011/CPU", 0, Some(10.0)).is_none());
+}
+
+// ---------------------------------------------------------------------------
+// Champion-seeded relearning (fleet scheduler × repository life-cycle).
+// ---------------------------------------------------------------------------
+
+use dwcp::planner::{FleetOptions, FleetScheduler, MethodChoice, PipelineConfig, SeriesJob};
+use dwcp::series::{Frequency, TimeSeries};
+
+fn fleet_series() -> TimeSeries {
+    let values: Vec<f64> = (0..1100u64)
+        .map(|t| {
+            let tf = t as f64;
+            90.0 + 0.03 * tf
+                + 22.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t.wrapping_mul(2_654_435_761) % 83) as f64) / 18.0
+        })
+        .collect();
+    TimeSeries::new(values, Frequency::Hourly, 0)
+}
+
+fn fleet_job(key: &str) -> SeriesJob {
+    let mut config = PipelineConfig::hourly(MethodChoice::Sarimax);
+    config.max_candidates = 3;
+    config.fourier_stage = false;
+    config.eval.fit.max_evals = 120;
+    config.eval.fit.restarts = 0;
+    SeriesJob::new(key, fleet_series(), config)
+}
+
+#[test]
+fn fresh_stored_champion_relearns_without_full_grid_fallback() {
+    let jobs = vec![fleet_job("cdbm011/CPU/hourly")];
+    let mut scheduler = FleetScheduler::new(FleetOptions {
+        threads: 2,
+        ..Default::default()
+    });
+    scheduler.run_batch(&jobs); // cold learn populates the repository
+    assert!(scheduler
+        .repository
+        .get("cdbm011/CPU/hourly")
+        .unwrap()
+        .champion_seed()
+        .is_some());
+
+    let relearn = scheduler.run_batch(&jobs);
+    assert_eq!(relearn.stats.reuse_hits, 1);
+    assert_eq!(relearn.stats.reuse_fallbacks, 0);
+    assert!(relearn.jobs[0].reused);
+    assert!(
+        !relearn.jobs[0].fell_back,
+        "a fresh, accurate champion must not trigger the full-grid fallback"
+    );
+}
+
+#[test]
+fn degraded_stored_champion_triggers_full_grid_fallback() {
+    let jobs = vec![fleet_job("cdbm011/IOPS/hourly")];
+    let mut scheduler = FleetScheduler::new(FleetOptions {
+        threads: 2,
+        ..Default::default()
+    });
+    scheduler.run_batch(&jobs);
+
+    // Sabotage the stored baseline: any relearn RMSE now exceeds
+    // baseline × rmse_degradation_factor, i.e. the champion is "rendered
+    // useless" in the paper's terms.
+    let mut record = scheduler
+        .repository
+        .get("cdbm011/IOPS/hourly")
+        .unwrap()
+        .clone();
+    record.baseline_rmse /= 1e6;
+    scheduler.repository.store(record);
+
+    let relearn = scheduler.run_batch(&jobs);
+    assert_eq!(relearn.stats.reuse_hits, 1);
+    assert_eq!(relearn.stats.reuse_fallbacks, 1);
+    assert!(relearn.jobs[0].reused);
+    assert!(
+        relearn.jobs[0].fell_back,
+        "a degraded champion must fall back to the full grid"
+    );
+    // The fallback refreshed the baseline, so the next batch reuses again
+    // without falling back.
+    let after = scheduler.run_batch(&jobs);
+    assert_eq!(after.stats.reuse_fallbacks, 0);
+    assert!(after.jobs[0].reused && !after.jobs[0].fell_back);
 }

@@ -35,9 +35,7 @@ impl Value {
                 .find(|(k, _)| k == name)
                 .map(|(_, v)| v)
                 .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
-            _ => Err(Error::new(format!(
-                "expected object with field `{name}`"
-            ))),
+            _ => Err(Error::new(format!("expected object with field `{name}`"))),
         }
     }
 
@@ -240,11 +238,7 @@ impl Value {
 
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, pad_in) = match indent {
-            Some(w) => (
-                "\n",
-                " ".repeat(w * depth),
-                " ".repeat(w * (depth + 1)),
-            ),
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
             None => ("", String::new(), String::new()),
         };
         match self {
@@ -470,7 +464,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 // Consume one UTF-8 character.
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| Error::new("invalid UTF-8 in string"))?;
-                let c = rest.chars().next().ok_or_else(|| Error::new("unterminated string"))?;
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| Error::new("unterminated string"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -488,8 +485,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
             break;
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| Error::new("invalid number"))?;
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
     text.parse::<f64>()
         .map(Value::Number)
         .map_err(|_| Error::new(format!("invalid number `{text}`")))

@@ -76,7 +76,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive: generated Serialize impl must parse")
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
@@ -86,11 +87,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Struct(fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"
-                    )
-                })
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -150,7 +147,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive: generated Deserialize impl must parse")
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
 }
 
 struct Item {
