@@ -36,9 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             MethodChoice::Sarimax => "SARIMAX",
             MethodChoice::Hes => "HES",
             MethodChoice::Tbats => "TBATS",
+            MethodChoice::Auto => "AUTO",
         };
         println!("\n▼ model selection: {label}");
-        println!("  champion : {}", outcome.champion);
+        // The family actually chosen can differ from the menu label under
+        // AUTO, so the UI surfaces it next to the champion.
+        let chosen = outcome
+            .family
+            .map(|f| f.label())
+            .unwrap_or("(unknown family)");
+        println!("  champion : {}  [{chosen}]", outcome.champion);
         println!(
             "  accuracy : RMSE {:.2}  MAPE {:.2}%  MAPA {:.2}%  ({} models evaluated)",
             outcome.accuracy.rmse, outcome.accuracy.mape, outcome.accuracy.mapa, outcome.evaluated

@@ -97,11 +97,8 @@ impl CandidateSet {
         // values to the front so truncation keeps them.
         let mut models = grid.candidates;
         models.sort_by_key(|c| {
-            (
-                c.config.spec.d != profile.suggested_d.min(1),
-                c.config.spec.p,
-                c.config.spec.q,
-            )
+            let spec = &c.as_sarimax().expect("ARIMA grid candidate").spec;
+            (spec.d != profile.suggested_d.min(1), spec.p, spec.q)
         });
         models.truncate(max_candidates);
         CandidateSet { models, profile }
@@ -124,10 +121,11 @@ impl CandidateSet {
         let grid = grid.prune(&profile.correlogram, max_candidates * 4);
         let mut models = grid.candidates;
         models.sort_by_key(|c| {
+            let spec = &c.as_sarimax().expect("SARIMAX grid candidate").spec;
             (
-                c.config.spec.d != profile.suggested_d.min(1),
-                c.config.spec.p,
-                c.config.spec.q + c.config.spec.seasonal_p + c.config.spec.seasonal_q,
+                spec.d != profile.suggested_d.min(1),
+                spec.p,
+                spec.q + spec.seasonal_p + spec.seasonal_q,
             )
         });
         models.truncate(max_candidates);
@@ -183,7 +181,7 @@ mod tests {
         assert!(!set.models.is_empty());
         assert!(set.models.len() <= 12);
         // The first candidates carry the suggested differencing.
-        assert_eq!(set.models[0].config.spec.d, 1);
+        assert_eq!(set.models[0].as_sarimax().unwrap().spec.d, 1);
     }
 
     #[test]
@@ -226,7 +224,10 @@ mod tests {
         let y = seasonal_trending_series(720);
         let profile = DataProfile::analyze(&y).unwrap();
         let set = CandidateSet::sarimax(profile, 99, 0, 16);
-        assert!(set.models.iter().all(|c| c.config.spec.period == 24));
+        assert!(set
+            .models
+            .iter()
+            .all(|c| c.as_sarimax().unwrap().spec.period == 24));
     }
 
     #[test]
@@ -234,7 +235,10 @@ mod tests {
         let y = seasonal_trending_series(720);
         let profile = DataProfile::analyze(&y).unwrap();
         let set = CandidateSet::sarimax(profile, 24, 4, 10);
-        assert!(set.models.iter().all(|c| c.config.n_exog == 4));
+        assert!(set
+            .models
+            .iter()
+            .all(|c| c.as_sarimax().unwrap().n_exog == 4));
     }
 
     #[test]

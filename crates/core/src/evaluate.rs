@@ -7,6 +7,13 @@
 //! scored with the full accuracy report; fit failures are recorded rather
 //! than fatal (a 660-model grid always contains infeasible corners).
 //!
+//! The engine is family-agnostic: a [`CandidateModel`] may carry an
+//! ARIMA-family, ETS (HES) or TBATS configuration, and every candidate
+//! flows through the same work queue, per-family stats, deterministic
+//! `(rmse, index)` tie-break and champion-seeded freeze logic. Scoring is
+//! routed through the [`Forecaster`] trait, so downstream of the fit no
+//! code knows which family won.
+//!
 //! # The acceleration layer
 //!
 //! Three observations make the naive fit-every-candidate loop wasteful:
@@ -19,29 +26,36 @@
 //!    [`FittedSarimax::fit_plain_prepared`] (bit-identical to the direct
 //!    fit).
 //! 2. **Adjacent specs have adjacent optima.** The converged parameters of
-//!    ARIMA(p,d,q) are an excellent start for ARIMA(p+1,d,q). Candidates
-//!    sharing a differencing signature are ordered into *warm-start chains*
-//!    executed sequentially by one worker, each fit seeded from its
-//!    predecessor through [`ArimaOptions::warm_start`]. The optimiser races
-//!    the warm start against the cold start, so quality never regresses;
-//!    chains have a fixed maximum length independent of the thread count,
-//!    so results are identical at any parallelism.
+//!    ARIMA(p,d,q) are an excellent start for ARIMA(p+1,d,q), and the
+//!    converged smoothing parameters of one ETS or TBATS configuration
+//!    seed its structural neighbours. Candidates sharing a chain key
+//!    (differencing signature + regression design for the ARIMA family;
+//!    family-wide for ETS; the Box-Cox half for TBATS) are ordered into
+//!    *warm-start chains* executed sequentially by one worker, each fit
+//!    seeded from its predecessor. The optimiser races the warm start
+//!    against the cold start, so quality never regresses; chains have a
+//!    fixed maximum length independent of the thread count, so results
+//!    are identical at any parallelism.
 //! 3. **Most candidates lose.** With [`EvaluationOptions::racing`] enabled,
-//!    workers publish the incumbent best RMSE in an atomic and fits whose
-//!    partial CSS objective cannot plausibly beat it are abandoned early —
-//!    recorded as `abandoned`, not failed. This is an opt-in approximation:
-//!    the CSS-vs-RMSE bound is heuristic, so exact mode (the default) never
-//!    races.
+//!    workers publish the incumbent best RMSE in an atomic and ARIMA-family
+//!    fits whose partial CSS objective cannot plausibly beat it are
+//!    abandoned early — recorded as `abandoned`, not failed. This is an
+//!    opt-in approximation: the CSS-vs-RMSE bound is heuristic, so exact
+//!    mode (the default) never races.
 //!
 //! Results are collected lock-free: each worker fills a private buffer,
 //! buffers are merged after the scope, and the final sort breaks RMSE ties
 //! by candidate index so the champion is deterministic even under exact
 //! ties.
 
-use crate::grid::{CandidateModel, ModelFamily};
+use crate::grid::{CandidateModel, ModelConfig, ModelFamily};
 use crate::{PlannerError, Result};
 use dwcp_models::arima::{adapt_unconstrained, ArimaOptions};
-use dwcp_models::{ArimaSpec, FittedArima, FittedSarimax, Forecast, ModelError, SarimaxConfig};
+use dwcp_models::{
+    adapt_ets_unconstrained, adapt_tbats_unconstrained, EtsFitOptions, TbatsFitOptions,
+};
+use dwcp_models::{ArimaSpec, FittedArima, FittedEts, FittedSarimax, FittedTbats};
+use dwcp_models::{Forecast, Forecaster, ModelError};
 use dwcp_series::diff::Differenced;
 use dwcp_series::Accuracy;
 use std::collections::BTreeMap;
@@ -59,7 +73,9 @@ const MAX_CHAIN_LEN: usize = 12;
 pub struct EvaluationOptions {
     /// Worker threads; 0 = one per available core.
     pub threads: usize,
-    /// Per-model fit options.
+    /// Per-model fit options for the ARIMA family (ETS and TBATS fits set
+    /// their own optimiser budgets; they honour the warm-start and freeze
+    /// flags the engine threads through).
     pub fit: ArimaOptions,
     /// Absolute time index of the first training observation.
     pub start_index: usize,
@@ -76,8 +92,8 @@ pub struct EvaluationOptions {
     /// in the trailing digits; champion *selection* is unchanged on every
     /// grid we test (and asserted by `bench_grid`).
     pub warm_start: bool,
-    /// Champion-bound racing: abandon candidates whose partial CSS
-    /// objective cannot beat the incumbent best RMSE (scaled by
+    /// Champion-bound racing: abandon ARIMA-family candidates whose
+    /// partial CSS objective cannot beat the incumbent best RMSE (scaled by
     /// [`racing_slack`](EvaluationOptions::racing_slack)). **Opt-in**: the
     /// bound is heuristic, so the default (exact) mode leaves this off and
     /// always selects the same champion as the sequential search.
@@ -116,12 +132,14 @@ pub struct ModelScore {
     pub aic: f64,
     /// The test-segment forecast that was scored.
     pub forecast: Forecast,
-    /// The fit's converged unconstrained SARIMA parameters — the warm seed
-    /// the model repository stores so the next relearn of this series can
-    /// start from the champion instead of from cold.
+    /// The fit's converged unconstrained optimiser parameters — the warm
+    /// seed the model repository stores so the next relearn of this series
+    /// can start from the champion instead of from cold. For the ARIMA
+    /// family these are the SARIMA parameters; for ETS/TBATS the smoothing
+    /// (and ARMA-error) parameters.
     pub warm_params: Vec<f64>,
     /// The fit's regression coefficients (`[intercept, exog…, fourier…]`,
-    /// empty for plain models), stored alongside
+    /// empty for plain and non-ARIMA models), stored alongside
     /// [`ModelScore::warm_params`] so a regression champion can be
     /// re-scored verbatim on the next relearn.
     pub warm_beta: Vec<f64>,
@@ -141,7 +159,7 @@ pub struct FamilyStats {
     /// Wall-clock time spent fitting and scoring this family, summed over
     /// workers (can exceed the run's wall time under parallelism).
     pub fit_time: Duration,
-    /// Objective (CSS) evaluations spent on this family.
+    /// Objective (CSS/SSE) evaluations spent on this family.
     pub objective_evals: usize,
 }
 
@@ -157,12 +175,11 @@ pub struct EvalStats {
     pub cache_hits: usize,
     /// Fits that received a warm start from their chain predecessor.
     pub warm_starts: usize,
-    /// Total objective (CSS) evaluations across all fits, including
-    /// abandoned ones.
+    /// Total objective evaluations across all fits, including abandoned
+    /// ones.
     pub objective_evals: usize,
-    /// Per-family breakdown, indexed by [`ModelFamily`] discriminant order
-    /// (Arima, Sarimax, SarimaxFftExogenous).
-    pub families: [FamilyStats; 3],
+    /// Per-family breakdown, indexed by position in [`ModelFamily::ALL`].
+    pub families: [FamilyStats; ModelFamily::COUNT],
     /// Fleet jobs whose stored champion seeded a pruned neighbourhood
     /// relearn (always 0 for single-grid runs).
     pub reuse_hits: usize,
@@ -177,7 +194,7 @@ pub struct EvalStats {
 impl EvalStats {
     /// The stats bucket for one family.
     pub fn family(&self, family: ModelFamily) -> &FamilyStats {
-        &self.families[family_index(family)]
+        &self.families[family.index()]
     }
 
     /// Fold another run's counters into this one. `wall_time` adds, which
@@ -208,14 +225,6 @@ impl EvalStats {
     pub fn reuse_rate(&self) -> Option<f64> {
         let eligible = self.reuse_hits + self.reuse_misses;
         (eligible > 0).then(|| self.reuse_hits as f64 / eligible as f64)
-    }
-}
-
-fn family_index(family: ModelFamily) -> usize {
-    match family {
-        ModelFamily::Arima => 0,
-        ModelFamily::Sarimax => 1,
-        ModelFamily::SarimaxFftExogenous => 2,
     }
 }
 
@@ -288,6 +297,33 @@ fn diff_key(spec: &ArimaSpec) -> DiffKey {
     (differencer.d, differencer.seasonal_d, differencer.period)
 }
 
+/// The grouping key for warm-start chains. Parameters only transfer within
+/// a family, so each family contributes its own variants; `Sarimax` is the
+/// **first** variant so that on all-SARIMAX grids the `BTreeMap` iteration
+/// order — and with it the chain schedule and every floating-point result —
+/// is identical to the engine before ETS/TBATS joined the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ChainKey {
+    /// ARIMA family: differencing signature + regression design
+    /// (`n_exog`, Fourier column count).
+    Sarimax(DiffKey, usize, usize),
+    /// ETS: the whole menu shares smoothing parameters.
+    Ets,
+    /// TBATS: one chain per Box-Cox half — λ changes the objective's
+    /// scale, so parameters don't transfer across the transform boundary.
+    Tbats(bool),
+}
+
+fn chain_key(config: &ModelConfig) -> ChainKey {
+    match config {
+        ModelConfig::Sarimax(c) => {
+            ChainKey::Sarimax(diff_key(&c.spec), c.n_exog, c.fourier.n_columns())
+        }
+        ModelConfig::Ets(_) => ChainKey::Ets,
+        ModelConfig::Tbats(c) => ChainKey::Tbats(c.lambda.is_some()),
+    }
+}
+
 /// One unit of work: candidate indices fitted sequentially by one worker,
 /// each seeded from its predecessor's converged parameters.
 struct Chain {
@@ -296,31 +332,29 @@ struct Chain {
 
 /// Group candidates into warm-start chains.
 ///
-/// Candidates chain together only when they share a differencing signature
-/// *and* an identical regression design (`n_exog`, Fourier column count) —
-/// within such a group the fitted processes are close neighbours, so
-/// parameters transfer. Groups are ordered so consecutive entries differ
+/// Candidates chain together only when they share a [`ChainKey`] — within
+/// such a group the fitted processes are close neighbours, so parameters
+/// transfer. ARIMA-family groups are ordered so consecutive entries differ
 /// in as few ARMA orders as possible (seasonal orders outermost, then `q`,
-/// then `p`), and split at a fixed maximum length for load balance.
+/// then `p`); ETS and TBATS groups keep their menu/lattice order (simplest
+/// first). Groups are split at a fixed maximum length for load balance.
 ///
 /// The grouping is a pure function of the candidate list, so the fit
 /// schedule — and with it every floating-point result — is independent of
 /// the thread count.
 fn build_chains(candidates: &[CandidateModel]) -> Vec<Chain> {
-    let mut groups: BTreeMap<(DiffKey, usize, usize), Vec<usize>> = BTreeMap::new();
+    let mut groups: BTreeMap<ChainKey, Vec<usize>> = BTreeMap::new();
     for (i, c) in candidates.iter().enumerate() {
-        let key = (
-            diff_key(&c.config.spec),
-            c.config.n_exog,
-            c.config.fourier.n_columns(),
-        );
-        groups.entry(key).or_default().push(i);
+        groups.entry(chain_key(&c.config)).or_default().push(i);
     }
     let mut chains = Vec::new();
     for (_, mut indices) in groups {
-        indices.sort_by_key(|&i| {
-            let s = &candidates[i].config.spec;
-            (s.seasonal_p, s.seasonal_q, s.q, s.p, i)
+        indices.sort_by_key(|&i| match &candidates[i].config {
+            ModelConfig::Sarimax(c) => {
+                let s = &c.spec;
+                (s.seasonal_p, s.seasonal_q, s.q, s.p, i)
+            }
+            _ => (0, 0, 0, 0, i),
         });
         for chunk in indices.chunks(MAX_CHAIN_LEN) {
             chains.push(Chain {
@@ -360,7 +394,7 @@ struct WorkerOutput {
     cache_hits: usize,
     warm_starts: usize,
     objective_evals: usize,
-    families: [FamilyStats; 3],
+    families: [FamilyStats; ModelFamily::COUNT],
 }
 
 /// Evaluate `candidates` on a train/test split, in parallel.
@@ -418,12 +452,12 @@ pub struct EvalTask<'a> {
     /// Per-task evaluation options (`threads` ignored; see type docs).
     pub opts: EvaluationOptions,
     /// Optional champion seed: a previously converged
-    /// `(config, params, beta)` triple. It primes each warm-start chain's
-    /// predecessor state, and the candidate whose configuration equals the
-    /// stored one is re-scored at the stored parameters verbatim (frozen)
-    /// rather than re-optimised. `None` reproduces the unseeded behaviour
-    /// exactly.
-    pub seed: Option<(SarimaxConfig, Vec<f64>, Vec<f64>)>,
+    /// `(config, params, beta)` triple, any family. It primes each
+    /// same-family warm-start chain's predecessor state, and the candidate
+    /// whose configuration equals the stored one is re-scored at the
+    /// stored parameters verbatim (frozen) rather than re-optimised.
+    /// `None` reproduces the unseeded behaviour exactly.
+    pub seed: Option<(ModelConfig, Vec<f64>, Vec<f64>)>,
 }
 
 /// Per-task shared state prepared before the pool starts.
@@ -559,21 +593,26 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
 }
 
 /// Shared transform cache for one task: one differenced training series
-/// per distinct plain-candidate differencing signature. Signatures whose
-/// transform fails (series too short) are simply absent — those candidates
-/// fall back to the direct fit path and fail there with the right error.
+/// per distinct plain-ARIMA-candidate differencing signature. Signatures
+/// whose transform fails (series too short) are simply absent — those
+/// candidates fall back to the direct fit path and fail there with the
+/// right error. ETS/TBATS candidates never touch the cache: their state
+/// recursions run on the raw series.
 fn build_transform_cache(task: &EvalTask) -> BTreeMap<DiffKey, Differenced> {
     if !task.opts.cache_transforms {
         return BTreeMap::new();
     }
     let mut map = BTreeMap::new();
     for c in task.candidates {
-        if c.config.has_regression() {
+        let Some(config) = c.as_sarimax() else {
+            continue;
+        };
+        if config.has_regression() {
             continue;
         }
-        let key = diff_key(&c.config.spec);
+        let key = diff_key(&config.spec);
         if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key) {
-            let differencer = FittedArima::differencer_for(&c.config.spec);
+            let differencer = FittedArima::differencer_for(&config.spec);
             if let Ok(diffed) = differencer.apply(task.train) {
                 slot.insert(diffed);
             }
@@ -582,10 +621,33 @@ fn build_transform_cache(task: &EvalTask) -> BTreeMap<DiffKey, Differenced> {
     map
 }
 
+/// Adapt a predecessor's converged parameters to the next candidate's
+/// layout. Parameters only transfer within a family; a cross-family pair
+/// (possible only through the champion seed, since chains are
+/// family-homogeneous) yields `None` and the fit starts cold.
+fn adapt_params(
+    prev_config: &ModelConfig,
+    prev_params: &[f64],
+    next: &ModelConfig,
+) -> Option<Vec<f64>> {
+    match (prev_config, next) {
+        (ModelConfig::Sarimax(p), ModelConfig::Sarimax(n)) => {
+            adapt_unconstrained(prev_params, &p.spec, &n.spec)
+        }
+        (ModelConfig::Ets(p), ModelConfig::Ets(n)) => {
+            Some(adapt_ets_unconstrained(prev_params, p, n))
+        }
+        (ModelConfig::Tbats(p), ModelConfig::Tbats(n)) => {
+            Some(adapt_tbats_unconstrained(prev_params, p, n))
+        }
+        _ => None,
+    }
+}
+
 /// Execute one warm-start chain sequentially, threading each successful
 /// fit's converged parameters into the next candidate's options. When the
-/// task carries a champion seed, it primes the predecessor state so even
-/// the first fit of the chain starts warm.
+/// task carries a champion seed of the chain's family, it primes the
+/// predecessor state so even the first fit of the chain starts warm.
 fn run_chain(
     chain: &Chain,
     task: &EvalTask,
@@ -596,21 +658,19 @@ fn run_chain(
     let (train, test) = (task.train, task.test);
     let (exog_train, exog_test) = (task.exog_train, task.exog_test);
     let opts = &task.opts;
-    let mut prev: Option<(ArimaSpec, Vec<f64>)> = task
+    let mut prev: Option<(ModelConfig, Vec<f64>)> = task
         .seed
         .as_ref()
-        .map(|(config, params, _)| (config.spec, params.clone()));
+        .map(|(config, params, _)| (config.clone(), params.clone()));
     for &i in &chain.indices {
         let candidate = &task.candidates[i];
-        let fam = family_index(candidate.family);
+        let fam = candidate.family.index();
         out.families[fam].attempts += 1;
 
         let mut fit_opts = opts.fit.clone();
         if opts.warm_start {
-            if let Some((prev_spec, prev_params)) = &prev {
-                if let Some(warm) =
-                    adapt_unconstrained(prev_params, prev_spec, &candidate.config.spec)
-                {
+            if let Some((prev_config, prev_params)) = &prev {
+                if let Some(warm) = adapt_params(prev_config, prev_params, &candidate.config) {
                     fit_opts.warm_start = Some(warm);
                     out.warm_starts += 1;
                 }
@@ -622,14 +682,15 @@ fn run_chain(
         // re-optimising, so reuse can never drift below the recorded
         // baseline on unchanged data.
         if let Some((seed_config, seed_params, seed_beta)) = &task.seed {
-            if *seed_config == candidate.config && seed_params.len() == seed_config.spec.n_params()
+            if *seed_config == candidate.config
+                && seed_params.len() == seed_config.n_optimiser_params()
             {
                 fit_opts.warm_start = Some(seed_params.clone());
                 fit_opts.freeze_warm_start = true;
-                if candidate.config.has_regression()
-                    && seed_beta.len() == candidate.config.n_regression_params()
-                {
-                    fit_opts.freeze_beta = Some(seed_beta.clone());
+                if let Some(config) = candidate.as_sarimax() {
+                    if config.has_regression() && seed_beta.len() == config.n_regression_params() {
+                        fit_opts.freeze_beta = Some(seed_beta.clone());
+                    }
                 }
             }
         }
@@ -641,11 +702,10 @@ fn run_chain(
             }
         }
 
-        let cached = if candidate.config.has_regression() {
-            None
-        } else {
-            cache.get(&diff_key(&candidate.config.spec))
-        };
+        let cached = candidate
+            .as_sarimax()
+            .filter(|config| !config.has_regression())
+            .and_then(|config| cache.get(&diff_key(&config.spec)));
         if cached.is_some() {
             out.cache_hits += 1;
         }
@@ -670,7 +730,7 @@ fn run_chain(
                 out.families[fam].objective_evals += scored.nm_evals;
                 out.objective_evals += scored.nm_evals;
                 update_min_f64(best_rmse, scored.score.accuracy.rmse);
-                prev = Some((candidate.config.spec, scored.score.warm_params.clone()));
+                prev = Some((candidate.config.clone(), scored.score.warm_params.clone()));
                 out.scores.push(scored.score);
             }
             Err(ModelError::Abandoned { evals }) => {
@@ -694,7 +754,9 @@ struct ScoredFit {
     nm_evals: usize,
 }
 
-/// Fit and score a single candidate.
+/// Fit and score a single candidate, dispatching on its family. The
+/// family-specific half ends at the fitted model; everything after the fit
+/// goes through the [`Forecaster`] trait in [`finish_score`].
 #[allow(clippy::too_many_arguments)]
 fn score_one(
     train: &[f64],
@@ -707,40 +769,69 @@ fn score_one(
     fit_opts: &ArimaOptions,
     cached: Option<&Differenced>,
 ) -> std::result::Result<ScoredFit, ModelError> {
-    let n_exog = candidate.config.n_exog;
-    if exog_train.len() < n_exog || exog_test.len() < n_exog {
-        return Err(ModelError::ExogenousMismatch {
-            context: format!(
-                "candidate needs {n_exog} exogenous columns, evaluation has {}",
-                exog_train.len().min(exog_test.len())
-            ),
-        });
+    match &candidate.config {
+        ModelConfig::Sarimax(config) => {
+            let n_exog = config.n_exog;
+            if exog_train.len() < n_exog || exog_test.len() < n_exog {
+                return Err(ModelError::ExogenousMismatch {
+                    context: format!(
+                        "candidate needs {n_exog} exogenous columns, evaluation has {}",
+                        exog_train.len().min(exog_test.len())
+                    ),
+                });
+            }
+            let fit = match cached {
+                Some(diffed) => {
+                    FittedSarimax::fit_plain_prepared(train, config, diffed, start_index, fit_opts)?
+                }
+                None => {
+                    FittedSarimax::fit(train, config, &exog_train[..n_exog], start_index, fit_opts)?
+                }
+            };
+            let future_exog: Vec<&[f64]> =
+                exog_test[..n_exog].iter().map(|c| c.as_slice()).collect();
+            let forecast = fit.forecast_cols(test.len(), &future_exog)?;
+            let warm_beta = fit.beta.clone();
+            finish_score(&fit, forecast, warm_beta, test, candidate, candidate_index)
+        }
+        ModelConfig::Ets(config) => {
+            let ets_opts = EtsFitOptions {
+                warm_start: fit_opts.warm_start.clone(),
+                freeze_warm_start: fit_opts.freeze_warm_start,
+            };
+            let fit = FittedEts::fit_with(train, *config, &ets_opts)?;
+            let forecast = fit.forecast(test.len());
+            finish_score(&fit, forecast, Vec::new(), test, candidate, candidate_index)
+        }
+        ModelConfig::Tbats(config) => {
+            let tbats_opts = TbatsFitOptions {
+                warm_start: fit_opts.warm_start.clone(),
+                freeze_warm_start: fit_opts.freeze_warm_start,
+            };
+            let fit = FittedTbats::fit_with(train, config.clone(), &tbats_opts)?;
+            let forecast = fit.forecast(test.len());
+            finish_score(&fit, forecast, Vec::new(), test, candidate, candidate_index)
+        }
     }
-    let fit = match cached {
-        Some(diffed) => FittedSarimax::fit_plain_prepared(
-            train,
-            &candidate.config,
-            diffed,
-            start_index,
-            fit_opts,
-        )?,
-        None => FittedSarimax::fit(
-            train,
-            &candidate.config,
-            &exog_train[..n_exog],
-            start_index,
-            fit_opts,
-        )?,
-    };
-    let future_exog: Vec<&[f64]> = exog_test[..n_exog].iter().map(|c| c.as_slice()).collect();
-    let forecast = fit.forecast_cols(test.len(), &future_exog)?;
+}
+
+/// Score a fitted model's test-segment forecast — the family-agnostic half
+/// of [`score_one`], written against the [`Forecaster`] trait.
+fn finish_score<F: Forecaster>(
+    fit: &F,
+    forecast: Forecast,
+    warm_beta: Vec<f64>,
+    test: &[f64],
+    candidate: &CandidateModel,
+    candidate_index: usize,
+) -> std::result::Result<ScoredFit, ModelError> {
     let accuracy = Accuracy::compute(test, &forecast.mean)?;
     if !accuracy.rmse.is_finite() {
         return Err(ModelError::FitFailed {
             context: format!("non-finite test RMSE for {}", candidate.config.describe()),
         });
     }
-    let nm_evals = fit.nm_evals;
+    let nm_evals = fit.objective_evals();
     Ok(ScoredFit {
         score: ModelScore {
             candidate: candidate.clone(),
@@ -748,8 +839,8 @@ fn score_one(
             accuracy,
             aic: fit.aic(),
             forecast,
-            warm_beta: fit.beta.clone(),
-            warm_params: fit.arima.params_unconstrained,
+            warm_beta,
+            warm_params: fit.converged_params().to_vec(),
         },
         nm_evals,
     })
@@ -759,7 +850,7 @@ fn score_one(
 mod tests {
     use super::*;
     use crate::grid::ModelGrid;
-    use dwcp_models::{ArimaSpec, SarimaxConfig};
+    use dwcp_models::{ArimaSpec, EtsConfig, SarimaxConfig};
 
     fn seasonal_series(n: usize) -> Vec<f64> {
         (0..n)
@@ -772,20 +863,15 @@ mod tests {
             .collect()
     }
 
+    fn plain(spec: ArimaSpec) -> CandidateModel {
+        CandidateModel::new(ModelConfig::Sarimax(SarimaxConfig::plain(spec)))
+    }
+
     fn small_candidates() -> Vec<CandidateModel> {
         vec![
-            CandidateModel {
-                family: ModelFamily::Arima,
-                config: SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0)),
-            },
-            CandidateModel {
-                family: ModelFamily::Arima,
-                config: SarimaxConfig::plain(ArimaSpec::arima(2, 1, 1)),
-            },
-            CandidateModel {
-                family: ModelFamily::Sarimax,
-                config: SarimaxConfig::plain(ArimaSpec::sarima(1, 0, 0, 0, 1, 1, 12)),
-            },
+            plain(ArimaSpec::arima(1, 0, 0)),
+            plain(ArimaSpec::arima(2, 1, 1)),
+            plain(ArimaSpec::sarima(1, 0, 0, 0, 1, 1, 12)),
         ]
     }
 
@@ -837,10 +923,7 @@ mod tests {
         let y = seasonal_series(60); // too short for big seasonal models
         let (train, test) = y.split_at(48);
         let mut candidates = small_candidates();
-        candidates.push(CandidateModel {
-            family: ModelFamily::Sarimax,
-            config: SarimaxConfig::plain(ArimaSpec::sarima(20, 1, 2, 1, 1, 1, 24)),
-        });
+        candidates.push(plain(ArimaSpec::sarima(20, 1, 2, 1, 1, 1, 24)));
         let report =
             evaluate_candidates(train, test, &[], &[], &candidates, &Default::default()).unwrap();
         assert!(report.failures >= 1);
@@ -851,10 +934,7 @@ mod tests {
     fn all_infeasible_is_an_error() {
         let y = seasonal_series(30);
         let (train, test) = y.split_at(24);
-        let candidates = vec![CandidateModel {
-            family: ModelFamily::Sarimax,
-            config: SarimaxConfig::plain(ArimaSpec::sarima(20, 1, 2, 1, 1, 1, 24)),
-        }];
+        let candidates = vec![plain(ArimaSpec::sarima(20, 1, 2, 1, 1, 1, 24))];
         assert!(matches!(
             evaluate_candidates(train, test, &[], &[], &candidates, &Default::default()),
             Err(PlannerError::NoViableModel { attempted: 1 })
@@ -878,11 +958,121 @@ mod tests {
         let champ = reports[0].champion().unwrap();
         for r in &reports[1..] {
             let c = r.champion().unwrap();
-            assert_eq!(champ.candidate.config.spec, c.candidate.config.spec);
+            assert_eq!(champ.candidate.config, c.candidate.config);
             assert_eq!(champ.candidate_index, c.candidate_index);
             // Exact mode: bit-identical, not merely close.
             assert_eq!(champ.accuracy.rmse.to_bits(), c.accuracy.rmse.to_bits());
         }
+    }
+
+    #[test]
+    fn mixed_family_fleet_is_deterministic_across_threads() {
+        // A fleet batch containing an HES task next to a SARIMAX task must
+        // produce bit-identical champions at every thread count.
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let hes_grid = ModelGrid::ets(12, true, 0.95);
+        let sarimax_candidates = small_candidates();
+        let mut baseline: Option<Vec<(ModelConfig, u64)>> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let tasks = vec![
+                EvalTask {
+                    train,
+                    test,
+                    exog_train: &[],
+                    exog_test: &[],
+                    candidates: &hes_grid.candidates,
+                    opts: Default::default(),
+                    seed: None,
+                },
+                EvalTask {
+                    train,
+                    test,
+                    exog_train: &[],
+                    exog_test: &[],
+                    candidates: &sarimax_candidates,
+                    opts: Default::default(),
+                    seed: None,
+                },
+            ];
+            let reports = evaluate_fleet(&tasks, threads);
+            let champions: Vec<(ModelConfig, u64)> = reports
+                .iter()
+                .map(|r| {
+                    let c = r.as_ref().unwrap().champion().unwrap();
+                    (c.candidate.config.clone(), c.accuracy.rmse.to_bits())
+                })
+                .collect();
+            match &baseline {
+                None => baseline = Some(champions),
+                Some(expected) => assert_eq!(expected, &champions, "threads={threads}"),
+            }
+        }
+        let (hes_champion, _) = &baseline.unwrap()[0];
+        assert!(hes_champion.as_ets().is_some());
+    }
+
+    #[test]
+    fn hes_candidates_flow_through_engine() {
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let grid = ModelGrid::ets(12, true, 0.95);
+        let report =
+            evaluate_candidates(train, test, &[], &[], &grid.candidates, &Default::default())
+                .unwrap();
+        // Strong seasonality: a Holt-Winters variant must win the menu.
+        let champion = report.champion().unwrap();
+        assert_eq!(champion.candidate.family, ModelFamily::Hes);
+        assert!(champion
+            .candidate
+            .config
+            .describe()
+            .contains("Holt-Winters"));
+        assert!(!champion.warm_params.is_empty());
+        let hes = report.stats.family(ModelFamily::Hes);
+        assert_eq!(hes.attempts, grid.len());
+        assert!(hes.fits >= 4);
+        assert!(hes.objective_evals > 0);
+    }
+
+    #[test]
+    fn hes_seed_freezes_champion_re_score() {
+        // Re-evaluating with the stored champion as seed must reproduce
+        // the stored parameters (frozen re-score) and the stored RMSE.
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let grid = ModelGrid::ets(12, true, 0.95);
+        let cold =
+            evaluate_candidates(train, test, &[], &[], &grid.candidates, &Default::default())
+                .unwrap();
+        let champion = cold.champion().unwrap().clone();
+        let task = EvalTask {
+            train,
+            test,
+            exog_train: &[],
+            exog_test: &[],
+            candidates: &grid.candidates,
+            opts: Default::default(),
+            seed: Some((
+                champion.candidate.config.clone(),
+                champion.warm_params.clone(),
+                champion.warm_beta.clone(),
+            )),
+        };
+        let seeded = evaluate_fleet(std::slice::from_ref(&task), 1)
+            .pop()
+            .unwrap()
+            .unwrap();
+        let re_scored = seeded
+            .scores
+            .iter()
+            .find(|s| s.candidate.config == champion.candidate.config)
+            .unwrap();
+        assert_eq!(
+            re_scored.accuracy.rmse.to_bits(),
+            champion.accuracy.rmse.to_bits()
+        );
+        assert_eq!(re_scored.warm_params, champion.warm_params);
     }
 
     #[test]
@@ -891,10 +1081,7 @@ mod tests {
         // resolve to the earliest index at every thread count.
         let y = seasonal_series(240);
         let (train, test) = y.split_at(216);
-        let dup = CandidateModel {
-            family: ModelFamily::Arima,
-            config: SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0)),
-        };
+        let dup = plain(ArimaSpec::arima(1, 0, 0));
         let candidates = vec![dup.clone(), dup.clone(), dup];
         for threads in [1, 2, 4, 8] {
             let opts = EvaluationOptions {
@@ -926,11 +1113,11 @@ mod tests {
         let (shock_train, shock_test) = shock.split_at(216);
         let candidates = vec![CandidateModel {
             family: ModelFamily::SarimaxFftExogenous,
-            config: SarimaxConfig {
+            config: ModelConfig::Sarimax(SarimaxConfig {
                 spec: ArimaSpec::arima(1, 0, 0),
                 fourier: Default::default(),
                 n_exog: 1,
-            },
+            }),
         }];
         let report = evaluate_candidates(
             train,
@@ -977,8 +1164,8 @@ mod tests {
             evaluate_candidates(train, test, &[], &[], &grid.candidates, &baseline).unwrap();
         let r_accel = evaluate_candidates(train, test, &[], &[], &grid.candidates, &accel).unwrap();
         assert_eq!(
-            r_base.champion().unwrap().candidate.config.spec,
-            r_accel.champion().unwrap().candidate.config.spec
+            r_base.champion().unwrap().candidate.config,
+            r_accel.champion().unwrap().candidate.config
         );
         assert!(r_accel.stats.cache_hits > 0);
         assert!(r_accel.stats.cache_entries >= 1);
@@ -1050,12 +1237,48 @@ mod tests {
         assert_eq!(seen, (0..candidates.len()).collect::<Vec<_>>());
         // Chain length bound holds.
         assert!(chains.iter().all(|c| c.indices.len() <= MAX_CHAIN_LEN));
-        // Within a chain, every candidate shares a differencing signature.
+        // Within a chain, every candidate shares a chain key.
         for chain in &chains {
-            let key = diff_key(&candidates[chain.indices[0]].config.spec);
+            let key = chain_key(&candidates[chain.indices[0]].config);
             for &i in &chain.indices {
-                assert_eq!(diff_key(&candidates[i].config.spec), key);
+                assert_eq!(chain_key(&candidates[i].config), key);
             }
+        }
+    }
+
+    #[test]
+    fn chains_never_mix_families() {
+        let mut candidates = ModelGrid::ets(12, true, 0.95).candidates;
+        candidates.extend(small_candidates());
+        candidates.extend(ModelGrid::tbats(&[12.0], Some(0.3), 0.95).candidates);
+        let chains = build_chains(&candidates);
+        let mut seen: Vec<usize> = chains.iter().flat_map(|c| c.indices.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..candidates.len()).collect::<Vec<_>>());
+        for chain in &chains {
+            let family = candidates[chain.indices[0]].family;
+            assert!(chain
+                .indices
+                .iter()
+                .all(|&i| candidates[i].family == family));
+        }
+    }
+
+    #[test]
+    fn ets_menu_tie_break_prefers_simpler_model() {
+        // Two copies of the same ETS config: exact tie resolves to the
+        // earlier candidate at any thread count.
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let dup = CandidateModel::new(ModelConfig::Ets(EtsConfig::holt()));
+        let candidates = vec![dup.clone(), dup];
+        for threads in [1, 4] {
+            let opts = EvaluationOptions {
+                threads,
+                ..Default::default()
+            };
+            let report = evaluate_candidates(train, test, &[], &[], &candidates, &opts).unwrap();
+            assert_eq!(report.champion().unwrap().candidate_index, 0);
         }
     }
 }

@@ -16,22 +16,24 @@
 //!   so champions and RMSEs are bit-identical at any thread count.
 //! * **Champion-seeded relearning**: when the [`ModelRepository`] holds a
 //!   fresh champion for a job, the scheduler fits only the pruned
-//!   neighbourhood grid around the stored orders
-//!   ([`ModelGrid::neighbourhood`]), warm-started from the stored
-//!   converged parameters. Only when the pruned champion's held-out RMSE
-//!   degrades past the staleness threshold (`baseline ×
-//!   rmse_degradation_factor`) does the job fall back to the full grid —
-//!   turning the weekly relearn into a local refinement.
+//!   neighbourhood grid around the stored configuration
+//!   ([`ModelGrid::neighbourhood_of`]), warm-started from the stored
+//!   converged parameters — whichever family the champion belongs to.
+//!   Only when the pruned champion's held-out RMSE degrades past the
+//!   staleness threshold (`baseline × rmse_degradation_factor`) does the
+//!   job fall back to the full grid — turning the weekly relearn into a
+//!   local refinement.
 //!
-//! HES/TBATS jobs have no candidate grid to interleave (a handful of
-//! closed-form fits each); they run inline through [`Pipeline::run`].
+//! HES and TBATS jobs are first-class batch citizens: their candidate
+//! menus interleave through the same shared pool, persist champions with
+//! frozen converged parameters, and relearn from the stored seed exactly
+//! like SARIMAX jobs.
 
 use crate::evaluate::{evaluate_fleet, EvalStats, EvalTask, EvaluationReport};
-use crate::grid::{CandidateModel, ModelGrid};
-use crate::pipeline::{ForecastOutcome, MethodChoice, Pipeline, PipelineConfig, SarimaxPlan};
+use crate::grid::{CandidateModel, ModelConfig, ModelGrid};
+use crate::pipeline::{EvalPlan, ForecastOutcome, MethodChoice, Pipeline, PipelineConfig};
 use crate::repository::{ModelRecord, ModelRepository};
 use crate::PlannerError;
-use dwcp_models::SarimaxConfig;
 use dwcp_series::TimeSeries;
 use std::time::Instant;
 
@@ -140,14 +142,14 @@ impl FleetReport {
     }
 }
 
-/// A SARIMAX job after planning, carried across the batch passes.
+/// A job after planning, carried across the batch passes.
 struct PreparedJob {
     /// Index into the batch's result vector.
     job_idx: usize,
     pipeline: Pipeline,
-    plan: SarimaxPlan,
+    plan: EvalPlan,
     /// Champion seed priming every chain of the primary grid.
-    seed: Option<(SarimaxConfig, Vec<f64>, Vec<f64>)>,
+    seed: Option<(ModelConfig, Vec<f64>, Vec<f64>)>,
     /// The full grid to fall back to; `Some` exactly when the primary grid
     /// is a champion neighbourhood.
     fallback_models: Option<Vec<CandidateModel>>,
@@ -204,21 +206,11 @@ impl FleetScheduler {
         let mut prepared: Vec<PreparedJob> = Vec::new();
         let mut batch = EvalStats::default();
 
-        // Phase A — plan every SARIMAX job (interpolate, split, profile,
-        // prune) and decide reuse; run HES/TBATS jobs inline.
+        // Phase A — plan every job (interpolate, split, profile, build
+        // the method's candidate grid) and decide champion reuse.
         for (job_idx, job) in jobs.iter().enumerate() {
-            if job.config.method != MethodChoice::Sarimax {
-                let outcome = Pipeline::new(job.config.clone()).run(&job.series, &job.exog);
-                results[job_idx] = Some(JobResult {
-                    key: job.key.clone(),
-                    outcome,
-                    reused: false,
-                    fell_back: false,
-                });
-                continue;
-            }
             let pipeline = Pipeline::new(job.config.clone());
-            let mut plan = match pipeline.plan_sarimax(&job.series, &job.exog) {
+            let mut plan = match pipeline.plan(&job.series, &job.exog) {
                 Ok(plan) => plan,
                 Err(e) => {
                     results[job_idx] = Some(JobResult {
@@ -236,10 +228,13 @@ impl FleetScheduler {
             let mut fallback_threshold = f64::INFINITY;
             if self.options.reuse_champions {
                 if let Some((record, config)) = self.usable_champion(job) {
-                    // Swap the full pruned grid for the champion
-                    // neighbourhood; keep the full grid for the fallback.
-                    let neighbourhood =
-                        ModelGrid::neighbourhood(&config, self.options.neighbourhood_radius);
+                    // Swap the full grid for the champion neighbourhood;
+                    // keep the full grid for the fallback.
+                    let neighbourhood = ModelGrid::neighbourhood_of(
+                        &config,
+                        self.options.neighbourhood_radius,
+                        job.config.granularity.seasonal_period(),
+                    );
                     fallback_models = Some(std::mem::replace(
                         &mut plan.set.models,
                         neighbourhood.candidates,
@@ -384,25 +379,6 @@ impl FleetScheduler {
                 fell_back: job.fell_back,
             });
         }
-        // HES/TBATS outcomes also land in the repository (with no seed —
-        // there is no grid to neighbourhood-prune next time).
-        for (job, result) in jobs.iter().zip(results.iter()) {
-            if job.config.method != MethodChoice::Sarimax {
-                if let Some(JobResult {
-                    outcome: Ok(outcome),
-                    ..
-                }) = result
-                {
-                    self.repository.store(ModelRecord::from_outcome(
-                        &job.key,
-                        outcome,
-                        job.config.granularity,
-                        self.options.now,
-                    ));
-                }
-            }
-        }
-
         batch.wall_time = started.elapsed();
         FleetReport {
             jobs: results
@@ -415,12 +391,9 @@ impl FleetScheduler {
 
     /// The stored champion to seed a job from, if there is one and it is
     /// usable: same granularity, not past the one-week staleness horizon,
-    /// a SARIMAX-family configuration, and no more exogenous columns than
-    /// the job supplies.
-    fn usable_champion(
-        &self,
-        job: &SeriesJob,
-    ) -> Option<(ModelRecord, dwcp_models::SarimaxConfig)> {
+    /// a family the job's method would search, and (for SARIMAX) no more
+    /// exogenous columns than the job supplies.
+    fn usable_champion(&self, job: &SeriesJob) -> Option<(ModelRecord, ModelConfig)> {
         let record = self.repository.get(&job.key)?;
         if record.granularity != job.config.granularity {
             return None;
@@ -431,8 +404,20 @@ impl FleetScheduler {
             return None;
         }
         let (config, ..) = record.champion_seed()?;
-        if config.n_exog > job.exog.len() {
+        let compatible = matches!(
+            (config, job.config.method),
+            (_, MethodChoice::Auto)
+                | (ModelConfig::Sarimax(_), MethodChoice::Sarimax)
+                | (ModelConfig::Ets(_), MethodChoice::Hes)
+                | (ModelConfig::Tbats(_), MethodChoice::Tbats)
+        );
+        if !compatible {
             return None;
+        }
+        if let Some(sarimax) = config.as_sarimax() {
+            if sarimax.n_exog > job.exog.len() {
+                return None;
+            }
         }
         Some((record.clone(), config.clone()))
     }
@@ -531,7 +516,17 @@ mod tests {
 
     #[test]
     fn batch_is_deterministic_across_thread_counts() {
-        let jobs = batch(3);
+        // Mixed-family batch: two SARIMAX grids and one HES menu racing
+        // through the same shared pool must stay bit-identical at any
+        // thread count.
+        let mut jobs = batch(2);
+        let mut hes = fast_config();
+        hes.method = MethodChoice::Hes;
+        jobs.push(SeriesJob::new(
+            "cdbm013/Memory/hourly",
+            hourly_series(1100, 5),
+            hes,
+        ));
         let baseline = FleetScheduler::new(FleetOptions {
             threads: 1,
             ..Default::default()
@@ -644,14 +639,46 @@ mod tests {
         let report = scheduler.run_batch(&jobs);
         assert_eq!(report.jobs.len(), 2);
         assert!(report.jobs.iter().all(|j| j.outcome.is_ok()));
-        // Both land in the repository; the HES record carries no seed.
+        // Both land in the repository; the HES record now carries a full
+        // champion seed (frozen converged smoothing parameters).
         assert_eq!(scheduler.repository.len(), 2);
-        assert!(scheduler
-            .repository
-            .get("cdbm011/Memory/hourly")
-            .unwrap()
+        let record = scheduler.repository.get("cdbm011/Memory/hourly").unwrap();
+        let (config, params, _) = record
             .champion_seed()
-            .is_none());
+            .expect("HES champion persists a seed");
+        assert!(config.as_ets().is_some(), "stored config: {config:?}");
+        assert!(!params.is_empty());
+    }
+
+    #[test]
+    fn smoothing_champions_reuse_like_sarimax_ones() {
+        // An HES job's second batch must be a reuse hit seeded from the
+        // stored champion, and on unchanged data the seeded relearn must
+        // keep (or beat) the cold champion's held-out RMSE.
+        let mut hes = fast_config();
+        hes.method = MethodChoice::Hes;
+        let jobs = vec![SeriesJob::new(
+            "cdbm011/Memory/hourly",
+            hourly_series(1100, 3),
+            hes,
+        )];
+        let mut scheduler = FleetScheduler::new(FleetOptions::default());
+        let cold = scheduler.run_batch(&jobs);
+        let relearn = scheduler.run_batch(&jobs);
+        assert_eq!(relearn.stats.reuse_hits, 1);
+        assert_eq!(relearn.stats.reuse_fallbacks, 0);
+        assert!(relearn.jobs[0].reused && !relearn.jobs[0].fell_back);
+        let (c, r) = (
+            cold.jobs[0].outcome.as_ref().unwrap(),
+            relearn.jobs[0].outcome.as_ref().unwrap(),
+        );
+        assert!(
+            r.accuracy.rmse <= c.accuracy.rmse * (1.0 + 1e-9),
+            "reuse {} vs cold {}",
+            r.accuracy.rmse,
+            c.accuracy.rmse
+        );
+        assert!(r.champion.starts_with(&c.champion[..4]), "{}", r.champion);
     }
 
     #[test]

@@ -14,15 +14,24 @@
 //! Fourier-augmentation stage adds 6 variants of the RMSE-best SARIMAX
 //! (+Exogenous) model, giving 666.
 //!
+//! Beyond the ARIMA family the grid also enumerates the §4.3 methods as
+//! first-class candidates: the HES menu (SES, Holt, damped Holt,
+//! Holt-Winters additive/multiplicative) and the TBATS configuration
+//! lattice. Every candidate — whatever its family — carries a
+//! [`ModelConfig`] and flows through the same evaluation engine, champion
+//! selection and repository persistence.
+//!
 //! The correlogram-based pruning ("looking at where the data points
 //! intersect with the shaded areas … reducing the thousands of potential
 //! models considerably") lives here too.
 
 use dwcp_models::fourier::FourierSpec;
-use dwcp_models::{ArimaSpec, SarimaxConfig};
+use dwcp_models::{ArimaSpec, EtsConfig, SarimaxConfig, TbatsConfig, TbatsSeason};
+use dwcp_models::{SeasonalKind, TrendKind};
 use dwcp_series::Correlogram;
+use serde::{Deserialize, Serialize};
 
-/// Which of the paper's three techniques a candidate belongs to.
+/// Which of the paper's techniques a candidate belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelFamily {
     /// Plain ARIMA(p,d,q).
@@ -31,16 +40,130 @@ pub enum ModelFamily {
     Sarimax,
     /// SARIMAX with exogenous shock indicators and Fourier terms.
     SarimaxFftExogenous,
+    /// The exponential-smoothing family the paper calls HES (§4.3).
+    Hes,
+    /// TBATS (§4.3, equations 7-14).
+    Tbats,
 }
 
 impl ModelFamily {
+    /// Every family, in the canonical reporting order. Per-family stats
+    /// arrays are sized and indexed from this list, so adding a family is
+    /// a one-site change.
+    pub const ALL: [ModelFamily; 5] = [
+        ModelFamily::Arima,
+        ModelFamily::Sarimax,
+        ModelFamily::SarimaxFftExogenous,
+        ModelFamily::Hes,
+        ModelFamily::Tbats,
+    ];
+
+    /// Number of families (the size of per-family stats arrays).
+    pub const COUNT: usize = ModelFamily::ALL.len();
+
+    /// Position of this family in [`ModelFamily::ALL`].
+    pub fn index(self) -> usize {
+        ModelFamily::ALL
+            .iter()
+            .position(|&f| f == self)
+            .expect("every family is in ModelFamily::ALL")
+    }
+
     /// The label used in the paper's result tables.
     pub fn label(self) -> &'static str {
         match self {
             ModelFamily::Arima => "ARIMA",
             ModelFamily::Sarimax => "SARIMAX",
             ModelFamily::SarimaxFftExogenous => "SARIMAX FFT Exogenous",
+            ModelFamily::Hes => "HES",
+            ModelFamily::Tbats => "TBATS",
         }
+    }
+}
+
+/// A family-agnostic model configuration: everything the evaluation
+/// engine, the repository and the fleet scheduler need to fit, persist and
+/// relearn a candidate, whatever its family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelConfig {
+    /// An ARIMA-family configuration (plain, seasonal, or with regression).
+    Sarimax(SarimaxConfig),
+    /// An exponential-smoothing configuration (the paper's HES).
+    Ets(EtsConfig),
+    /// A TBATS configuration.
+    Tbats(TbatsConfig),
+}
+
+impl ModelConfig {
+    /// Human-readable descriptor (the champion column of the tables).
+    pub fn describe(&self) -> String {
+        match self {
+            ModelConfig::Sarimax(c) => c.describe(),
+            ModelConfig::Ets(c) => c.name(),
+            ModelConfig::Tbats(c) => c.describe(),
+        }
+    }
+
+    /// The family bucket this configuration reports under.
+    pub fn family(&self) -> ModelFamily {
+        match self {
+            ModelConfig::Sarimax(c) => sarimax_family_of(c),
+            ModelConfig::Ets(_) => ModelFamily::Hes,
+            ModelConfig::Tbats(_) => ModelFamily::Tbats,
+        }
+    }
+
+    /// The SARIMAX configuration, when this is an ARIMA-family candidate.
+    pub fn as_sarimax(&self) -> Option<&SarimaxConfig> {
+        match self {
+            ModelConfig::Sarimax(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The ETS configuration, when this is an HES candidate.
+    pub fn as_ets(&self) -> Option<&EtsConfig> {
+        match self {
+            ModelConfig::Ets(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The TBATS configuration, when this is a TBATS candidate.
+    pub fn as_tbats(&self) -> Option<&TbatsConfig> {
+        match self {
+            ModelConfig::Tbats(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Number of unconstrained optimiser parameters a fit of this
+    /// configuration converges — the length a stored warm seed must have
+    /// to be frozen-re-scored verbatim.
+    pub fn n_optimiser_params(&self) -> usize {
+        match self {
+            ModelConfig::Sarimax(c) => c.spec.n_params(),
+            ModelConfig::Ets(c) => c.n_params(),
+            ModelConfig::Tbats(c) => c.n_params(),
+        }
+    }
+}
+
+impl From<SarimaxConfig> for ModelConfig {
+    fn from(c: SarimaxConfig) -> ModelConfig {
+        ModelConfig::Sarimax(c)
+    }
+}
+
+impl From<EtsConfig> for ModelConfig {
+    fn from(c: EtsConfig) -> ModelConfig {
+        ModelConfig::Ets(c)
+    }
+}
+
+impl From<TbatsConfig> for ModelConfig {
+    fn from(c: TbatsConfig) -> ModelConfig {
+        ModelConfig::Tbats(c)
     }
 }
 
@@ -49,8 +172,23 @@ impl ModelFamily {
 pub struct CandidateModel {
     /// Family bucket for reporting.
     pub family: ModelFamily,
-    /// Full configuration (spec + regressors).
-    pub config: SarimaxConfig,
+    /// Full configuration.
+    pub config: ModelConfig,
+}
+
+impl CandidateModel {
+    /// Build a candidate, deriving its family from the configuration.
+    pub fn new(config: ModelConfig) -> CandidateModel {
+        CandidateModel {
+            family: config.family(),
+            config,
+        }
+    }
+
+    /// The SARIMAX configuration, for ARIMA-family candidates.
+    pub fn as_sarimax(&self) -> Option<&SarimaxConfig> {
+        self.config.as_sarimax()
+    }
 }
 
 /// A generated model grid.
@@ -62,7 +200,8 @@ pub struct CandidateModel {
 /// assert_eq!(ModelGrid::arima().len(), 180);
 /// assert_eq!(ModelGrid::sarimax(24).len(), 660);
 /// let exo = ModelGrid::sarimax_exogenous(24, 4);
-/// let variants = ModelGrid::fourier_variants(&exo.candidates[0].config, &[24.0, 168.0]);
+/// let base = exo.candidates[0].as_sarimax().unwrap();
+/// let variants = ModelGrid::fourier_variants(base, &[24.0, 168.0]);
 /// assert_eq!(exo.len() + variants.len(), 666);
 /// ```
 #[derive(Debug, Clone)]
@@ -102,10 +241,10 @@ const SEASONAL_MENU: [(usize, usize, usize, usize, usize); 22] = [
     (1, 2, 1, 1, 0),
 ];
 
-/// The family bucket a configuration reports under — regression beats
-/// seasonality beats plain ARIMA, mirroring how the generators label their
-/// candidates.
-fn family_of(config: &SarimaxConfig) -> ModelFamily {
+/// The family bucket a SARIMAX configuration reports under — regression
+/// beats seasonality beats plain ARIMA, mirroring how the generators label
+/// their candidates.
+fn sarimax_family_of(config: &SarimaxConfig) -> ModelFamily {
     if config.n_exog > 0 || !config.fourier.is_empty() {
         ModelFamily::SarimaxFftExogenous
     } else if config.spec.is_seasonal() {
@@ -125,7 +264,9 @@ impl ModelGrid {
                 for q in 0..=2 {
                     candidates.push(CandidateModel {
                         family: ModelFamily::Arima,
-                        config: SarimaxConfig::plain(ArimaSpec::arima(p, d, q)),
+                        config: ModelConfig::Sarimax(SarimaxConfig::plain(ArimaSpec::arima(
+                            p, d, q,
+                        ))),
                     });
                 }
             }
@@ -141,7 +282,9 @@ impl ModelGrid {
             for &(d, q, sp, sd, sq) in &SEASONAL_MENU {
                 candidates.push(CandidateModel {
                     family: ModelFamily::Sarimax,
-                    config: SarimaxConfig::plain(ArimaSpec::sarima(p, d, q, sp, sd, sq, period)),
+                    config: ModelConfig::Sarimax(SarimaxConfig::plain(ArimaSpec::sarima(
+                        p, d, q, sp, sd, sq, period,
+                    ))),
                 });
             }
         }
@@ -158,9 +301,98 @@ impl ModelGrid {
         let mut grid = Self::sarimax(period);
         for c in grid.candidates.iter_mut() {
             c.family = ModelFamily::SarimaxFftExogenous;
-            c.config.n_exog = n_exog;
+            if let ModelConfig::Sarimax(config) = &mut c.config {
+                config.n_exog = n_exog;
+            }
         }
         grid
+    }
+
+    /// The HES candidate menu (§4.3), simplest first: SES, Holt, damped
+    /// Holt, Holt-Winters additive at `period`, and — when
+    /// `allow_multiplicative` says the training data is strictly positive —
+    /// Holt-Winters multiplicative. Deterministic order, so an exact RMSE
+    /// tie resolves to the simpler method.
+    pub fn ets(period: usize, allow_multiplicative: bool, interval_level: f64) -> ModelGrid {
+        let mut configs = vec![
+            EtsConfig::ses(),
+            EtsConfig::holt(),
+            EtsConfig {
+                trend: TrendKind::Damped,
+                seasonal: SeasonalKind::None,
+                interval_level: 0.95,
+            },
+        ];
+        if period >= 2 {
+            configs.push(EtsConfig::holt_winters(period));
+            if allow_multiplicative {
+                configs.push(EtsConfig::holt_winters_multiplicative(period));
+            }
+        }
+        let candidates = configs
+            .into_iter()
+            .map(|mut c| {
+                c.interval_level = interval_level;
+                CandidateModel {
+                    family: ModelFamily::Hes,
+                    config: ModelConfig::Ets(c),
+                }
+            })
+            .collect();
+        ModelGrid { candidates }
+    }
+
+    /// The TBATS configuration lattice (§4.3): Box-Cox off/on (`lambda`
+    /// supplies the fixed λ when on; `None` drops the Box-Cox half),
+    /// trend/damping `{(off,off),(on,off),(on,on)}`, ARMA error orders
+    /// `{(0,0),(1,0),(1,1)}` and harmonic counts `{1,2,3}` per seasonal
+    /// block — the same lattice `FittedTbats::select` walks, expressed as
+    /// grid candidates so the engine's RMSE champion selection, stats and
+    /// persistence apply. Periods below the Nyquist floor of 4 are dropped;
+    /// harmonics are capped per block and duplicate configurations (from
+    /// the cap) appear once.
+    pub fn tbats(periods: &[f64], lambda: Option<f64>, interval_level: f64) -> ModelGrid {
+        let periods: Vec<f64> = periods.iter().copied().filter(|&p| p >= 4.0).collect();
+        let mut candidates: Vec<CandidateModel> = Vec::new();
+        let harmonic_options: &[usize] = &[1, 2, 3];
+        let arma_options: &[(usize, usize)] = &[(0, 0), (1, 0), (1, 1)];
+        for &use_boxcox in &[false, true] {
+            if use_boxcox && lambda.is_none() {
+                continue;
+            }
+            for &(use_trend, use_damping) in &[(false, false), (true, false), (true, true)] {
+                for &arma in arma_options {
+                    for &k in harmonic_options {
+                        let seasons: Vec<TbatsSeason> = periods
+                            .iter()
+                            .map(|&period| TbatsSeason {
+                                period,
+                                harmonics: k.min((period.ceil() as usize - 1) / 2),
+                            })
+                            .filter(|s| s.harmonics >= 1)
+                            .collect();
+                        let config = ModelConfig::Tbats(TbatsConfig {
+                            lambda: if use_boxcox { lambda } else { None },
+                            use_trend,
+                            use_damping,
+                            arma,
+                            seasons,
+                            interval_level,
+                        });
+                        if !candidates.iter().any(|c| c.config == config) {
+                            candidates.push(CandidateModel {
+                                family: ModelFamily::Tbats,
+                                config,
+                            });
+                        }
+                        if periods.is_empty() {
+                            break; // harmonics irrelevant without seasons
+                        }
+                    }
+                }
+            }
+        }
+        ModelGrid { candidates }
     }
 
     /// The six Fourier-augmented variants of a base configuration: harmonic
@@ -180,31 +412,31 @@ impl ModelGrid {
                 config.fourier = spec;
                 out.push(CandidateModel {
                     family: ModelFamily::SarimaxFftExogenous,
-                    config,
+                    config: ModelConfig::Sarimax(config),
                 });
             }
         }
         out
     }
 
-    /// The pruned neighbourhood around a stored champion: every `(p, q)`
-    /// within `radius` of the champion's orders (clamped to the grid's
-    /// ranges, `p ∈ 1..=30`, `q ∈ 0..=2`), with the differencing, seasonal
-    /// orders and regression design held fixed — those are properties of
-    /// the data, not of last week's optimum, so re-searching them weekly
-    /// buys nothing. The champion's exact configuration comes **first**,
-    /// so an exact RMSE tie against a neighbour resolves to the stored
-    /// champion (candidate-index tie-break).
+    /// The pruned neighbourhood around a stored SARIMAX champion: every
+    /// `(p, q)` within `radius` of the champion's orders (clamped to the
+    /// grid's ranges, `p ∈ 1..=30`, `q ∈ 0..=2`), with the differencing,
+    /// seasonal orders and regression design held fixed — those are
+    /// properties of the data, not of last week's optimum, so re-searching
+    /// them weekly buys nothing. The champion's exact configuration comes
+    /// **first**, so an exact RMSE tie against a neighbour resolves to the
+    /// stored champion (candidate-index tie-break).
     ///
     /// This is the champion-seeded relearning grid: ~`(2r+1)²` candidates
     /// instead of the full 180/660, warm-started from the stored
     /// parameters by the fleet scheduler.
     pub fn neighbourhood(base: &SarimaxConfig, radius: usize) -> ModelGrid {
-        let family = family_of(base);
+        let family = sarimax_family_of(base);
         let spec = &base.spec;
         let mut candidates = vec![CandidateModel {
             family,
-            config: base.clone(),
+            config: ModelConfig::Sarimax(base.clone()),
         }];
         let p_lo = spec.p.saturating_sub(radius).max(1);
         let p_hi = (spec.p + radius).min(30);
@@ -218,10 +450,85 @@ impl ModelGrid {
                 let mut config = base.clone();
                 config.spec.p = p;
                 config.spec.q = q;
-                candidates.push(CandidateModel { family, config });
+                candidates.push(CandidateModel {
+                    family,
+                    config: ModelConfig::Sarimax(config),
+                });
             }
         }
         ModelGrid { candidates }
+    }
+
+    /// The family-agnostic champion neighbourhood: the stored champion
+    /// first (so exact ties keep it), then its close variants.
+    ///
+    /// * SARIMAX — delegates to [`ModelGrid::neighbourhood`].
+    /// * HES — the champion plus the rest of the HES menu at the
+    ///   champion's period (falling back to `fallback_period` for
+    ///   non-seasonal champions); the menu is already neighbourhood-sized.
+    /// * TBATS — the champion plus its ARMA-order lattice variants and
+    ///   harmonic-count ±1 variants, with Box-Cox, trend and damping held
+    ///   fixed (like differencing, they are properties of the data).
+    pub fn neighbourhood_of(
+        base: &ModelConfig,
+        radius: usize,
+        fallback_period: usize,
+    ) -> ModelGrid {
+        match base {
+            ModelConfig::Sarimax(config) => Self::neighbourhood(config, radius),
+            ModelConfig::Ets(config) => {
+                let period = match config.seasonal.period() {
+                    0 => fallback_period,
+                    m => m,
+                };
+                let mut candidates = vec![CandidateModel {
+                    family: ModelFamily::Hes,
+                    config: ModelConfig::Ets(*config),
+                }];
+                for c in Self::ets(period, true, config.interval_level).candidates {
+                    if c.config != candidates[0].config {
+                        candidates.push(c);
+                    }
+                }
+                ModelGrid { candidates }
+            }
+            ModelConfig::Tbats(config) => {
+                let mut candidates = vec![CandidateModel {
+                    family: ModelFamily::Tbats,
+                    config: ModelConfig::Tbats(config.clone()),
+                }];
+                let push = |candidates: &mut Vec<CandidateModel>, cfg: TbatsConfig| {
+                    let config = ModelConfig::Tbats(cfg);
+                    if !candidates.iter().any(|c| c.config == config) {
+                        candidates.push(CandidateModel {
+                            family: ModelFamily::Tbats,
+                            config,
+                        });
+                    }
+                };
+                for &arma in &[(0, 0), (1, 0), (1, 1)] {
+                    if arma != config.arma {
+                        let mut cfg = config.clone();
+                        cfg.arma = arma;
+                        push(&mut candidates, cfg);
+                    }
+                }
+                for (i, season) in config.seasons.iter().enumerate() {
+                    let cap = (season.period.ceil() as usize).saturating_sub(1) / 2;
+                    let lo = season.harmonics.saturating_sub(1).max(1);
+                    let hi = (season.harmonics + 1).min(cap.max(1));
+                    for harmonics in lo..=hi {
+                        if harmonics == season.harmonics {
+                            continue;
+                        }
+                        let mut cfg = config.clone();
+                        cfg.seasons[i].harmonics = harmonics;
+                        push(&mut candidates, cfg);
+                    }
+                }
+                ModelGrid { candidates }
+            }
+        }
     }
 
     /// Number of candidates.
@@ -234,17 +541,22 @@ impl ModelGrid {
         self.candidates.is_empty()
     }
 
-    /// Correlogram pruning (§6.3): keep only candidates whose AR order `p`
-    /// is a significant PACF lag (or 1), and cap the total. This is the
-    /// "tuning" that turns thousands of models into a tractable set; the
-    /// full grid remains available for the exhaustive evaluation mode.
+    /// Correlogram pruning (§6.3): keep only ARIMA-family candidates whose
+    /// AR order `p` is a significant PACF lag (or 1), and cap the total.
+    /// Candidates without an AR order (HES, TBATS) pass through — the PACF
+    /// says nothing about smoothing parameters. This is the "tuning" that
+    /// turns thousands of models into a tractable set; the full grid
+    /// remains available for the exhaustive evaluation mode.
     pub fn prune(&self, correlogram: &Correlogram, max_candidates: usize) -> ModelGrid {
         let significant: Vec<usize> = correlogram.significant_pacf_lags();
         let keep_p = |p: usize| p == 1 || significant.contains(&p);
         let mut kept: Vec<CandidateModel> = self
             .candidates
             .iter()
-            .filter(|c| keep_p(c.config.spec.p))
+            .filter(|c| match &c.config {
+                ModelConfig::Sarimax(cfg) => keep_p(cfg.spec.p),
+                _ => true,
+            })
             .cloned()
             .collect();
         if kept.is_empty() {
@@ -253,7 +565,10 @@ impl ModelGrid {
             kept = self
                 .candidates
                 .iter()
-                .filter(|c| c.config.spec.p <= 2)
+                .filter(|c| match &c.config {
+                    ModelConfig::Sarimax(cfg) => cfg.spec.p <= 2,
+                    _ => true,
+                })
                 .cloned()
                 .collect();
         }
@@ -265,6 +580,10 @@ impl ModelGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn spec_of(c: &CandidateModel) -> &ArimaSpec {
+        &c.as_sarimax().expect("ARIMA-family candidate").spec
+    }
 
     #[test]
     fn arima_grid_has_exactly_180_models() {
@@ -279,7 +598,8 @@ mod tests {
     #[test]
     fn fourier_stage_completes_666() {
         let grid = ModelGrid::sarimax_exogenous(24, 4);
-        let variants = ModelGrid::fourier_variants(&grid.candidates[0].config, &[24.0, 168.0]);
+        let base = grid.candidates[0].as_sarimax().unwrap();
+        let variants = ModelGrid::fourier_variants(base, &[24.0, 168.0]);
         assert_eq!(grid.len() + variants.len(), 666);
     }
 
@@ -297,7 +617,7 @@ mod tests {
             assert!(
                 grid.candidates
                     .iter()
-                    .any(|c| c.config.spec == ArimaSpec::arima(p, d, q)),
+                    .any(|c| *spec_of(c) == ArimaSpec::arima(p, d, q)),
                 "({p},{d},{q}) missing"
             );
         }
@@ -315,7 +635,7 @@ mod tests {
         ] {
             let spec = ArimaSpec::sarima(p, d, q, sp, sd, sq, 24);
             assert!(
-                grid.candidates.iter().any(|c| c.config.spec == spec),
+                grid.candidates.iter().any(|c| *spec_of(c) == spec),
                 "{spec} missing"
             );
         }
@@ -325,7 +645,7 @@ mod tests {
     fn every_candidate_validates() {
         for grid in [ModelGrid::arima(), ModelGrid::sarimax(24)] {
             for c in &grid.candidates {
-                assert!(c.config.spec.validate().is_ok(), "{}", c.config.spec);
+                assert!(spec_of(c).validate().is_ok(), "{}", spec_of(c));
             }
         }
     }
@@ -334,11 +654,56 @@ mod tests {
     fn exogenous_grid_carries_columns() {
         let grid = ModelGrid::sarimax_exogenous(24, 4);
         assert_eq!(grid.len(), 660);
-        assert!(grid.candidates.iter().all(|c| c.config.n_exog == 4));
+        assert!(grid
+            .candidates
+            .iter()
+            .all(|c| c.as_sarimax().unwrap().n_exog == 4));
         assert!(grid
             .candidates
             .iter()
             .all(|c| c.family == ModelFamily::SarimaxFftExogenous));
+    }
+
+    #[test]
+    fn ets_menu_is_simplest_first() {
+        let grid = ModelGrid::ets(24, true, 0.9);
+        let names: Vec<String> = grid
+            .candidates
+            .iter()
+            .map(|c| c.config.describe())
+            .collect();
+        assert_eq!(names[0], "SES");
+        assert_eq!(names[1], "Holt");
+        assert!(names[2].contains("damped"));
+        assert!(names[3].contains("additive"));
+        assert!(names[4].contains("multiplicative"));
+        assert!(grid.candidates.iter().all(|c| c.family == ModelFamily::Hes));
+        assert!(grid
+            .candidates
+            .iter()
+            .all(|c| c.config.as_ets().unwrap().interval_level == 0.9));
+        // Non-positive data drops the multiplicative member.
+        assert_eq!(ModelGrid::ets(24, false, 0.95).len(), 4);
+        // No usable period drops the seasonal members entirely.
+        assert_eq!(ModelGrid::ets(0, true, 0.95).len(), 3);
+    }
+
+    #[test]
+    fn tbats_lattice_matches_select() {
+        // One period, λ available: 2 (boxcox) × 3 (trend) × 3 (arma) ×
+        // 3 (harmonics) = 54 distinct configurations.
+        let grid = ModelGrid::tbats(&[24.0], Some(0.5), 0.95);
+        assert_eq!(grid.len(), 54);
+        assert!(grid
+            .candidates
+            .iter()
+            .all(|c| c.family == ModelFamily::Tbats));
+        // No λ halves the lattice; sub-Nyquist periods drop their blocks
+        // and the harmonic dimension collapses.
+        assert_eq!(ModelGrid::tbats(&[24.0], None, 0.95).len(), 27);
+        assert_eq!(ModelGrid::tbats(&[3.0], None, 0.95).len(), 9);
+        // Period 4 caps harmonics at 1, deduplicating the k dimension.
+        assert_eq!(ModelGrid::tbats(&[4.0], None, 0.95).len(), 9);
     }
 
     #[test]
@@ -358,7 +723,10 @@ mod tests {
         assert!(pruned.len() < 180);
         assert!(!pruned.is_empty());
         // Lag 1 always survives.
-        assert!(pruned.candidates.iter().any(|c| c.config.spec.p == 1));
+        assert!(pruned.candidates.iter().any(|c| spec_of(c).p == 1));
+        // Non-ARIMA candidates pass through untouched.
+        let hes = ModelGrid::ets(24, true, 0.95);
+        assert_eq!(hes.prune(&corr, 1000).len(), hes.len());
     }
 
     #[test]
@@ -375,15 +743,15 @@ mod tests {
         let grid = ModelGrid::neighbourhood(&base, 1);
         // Champion first, then the surrounding (p, q) cells: p ∈ {3,4,5},
         // q ∈ {1,2} (q clamped at the grid's cap of 2) minus the centre.
-        assert_eq!(grid.candidates[0].config, base);
+        assert_eq!(*grid.candidates[0].as_sarimax().unwrap(), base);
         assert_eq!(grid.len(), 6);
         for c in &grid.candidates {
             assert_eq!(c.family, ModelFamily::Sarimax);
-            assert_eq!(c.config.spec.d, 1);
-            assert_eq!(c.config.spec.seasonal_p, 1);
-            assert_eq!(c.config.spec.period, 24);
-            assert!(c.config.spec.p.abs_diff(4) <= 1);
-            assert!(c.config.spec.q.abs_diff(2) <= 1);
+            assert_eq!(spec_of(c).d, 1);
+            assert_eq!(spec_of(c).seasonal_p, 1);
+            assert_eq!(spec_of(c).period, 24);
+            assert!(spec_of(c).p.abs_diff(4) <= 1);
+            assert!(spec_of(c).q.abs_diff(2) <= 1);
         }
     }
 
@@ -392,12 +760,62 @@ mod tests {
         // p = 1 cannot go below 1; q = 0 cannot go below 0.
         let base = SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0));
         let grid = ModelGrid::neighbourhood(&base, 1);
-        assert_eq!(grid.candidates[0].config, base);
+        assert_eq!(*grid.candidates[0].as_sarimax().unwrap(), base);
         assert_eq!(grid.len(), 4); // p ∈ {1,2} × q ∈ {0,1}
         assert!(grid
             .candidates
             .iter()
-            .all(|c| c.family == ModelFamily::Arima && c.config.spec.p >= 1));
+            .all(|c| c.family == ModelFamily::Arima && spec_of(c).p >= 1));
+    }
+
+    #[test]
+    fn neighbourhood_of_hes_keeps_champion_first() {
+        let champion = ModelConfig::Ets(EtsConfig::holt_winters(24));
+        let grid = ModelGrid::neighbourhood_of(&champion, 1, 24);
+        assert_eq!(grid.candidates[0].config, champion);
+        assert_eq!(grid.len(), 5); // the full menu, champion hoisted first
+        assert!(grid.candidates.iter().all(|c| c.family == ModelFamily::Hes));
+        // A non-seasonal champion falls back to the supplied period.
+        let ses = ModelConfig::Ets(EtsConfig::ses());
+        let grid = ModelGrid::neighbourhood_of(&ses, 1, 12);
+        assert_eq!(grid.candidates[0].config, ses);
+        assert!(grid.candidates.iter().any(|c| {
+            matches!(
+                c.config.as_ets().map(|e| e.seasonal),
+                Some(SeasonalKind::Additive(12))
+            )
+        }));
+    }
+
+    #[test]
+    fn neighbourhood_of_tbats_varies_arma_and_harmonics() {
+        let mut champion = TbatsConfig::seasonal(24.0, 2);
+        champion.arma = (1, 0);
+        let base = ModelConfig::Tbats(champion.clone());
+        let grid = ModelGrid::neighbourhood_of(&base, 1, 24);
+        assert_eq!(grid.candidates[0].config, base);
+        // 2 other ARMA orders + harmonics {1, 3}.
+        assert_eq!(grid.len(), 5);
+        for c in &grid.candidates {
+            let cfg = c.config.as_tbats().unwrap();
+            assert_eq!(cfg.use_trend, champion.use_trend);
+            assert_eq!(cfg.lambda, champion.lambda);
+        }
+    }
+
+    #[test]
+    fn neighbourhood_of_sarimax_delegates() {
+        let base = SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0));
+        let via_enum = ModelGrid::neighbourhood_of(&ModelConfig::Sarimax(base.clone()), 1, 24);
+        assert_eq!(via_enum.len(), ModelGrid::neighbourhood(&base, 1).len());
+    }
+
+    #[test]
+    fn family_index_follows_all_order() {
+        for (i, family) in ModelFamily::ALL.iter().enumerate() {
+            assert_eq!(family.index(), i);
+        }
+        assert_eq!(ModelFamily::COUNT, 5);
     }
 
     #[test]
@@ -408,5 +826,23 @@ mod tests {
             ModelFamily::SarimaxFftExogenous.label(),
             "SARIMAX FFT Exogenous"
         );
+        assert_eq!(ModelFamily::Hes.label(), "HES");
+        assert_eq!(ModelFamily::Tbats.label(), "TBATS");
+    }
+
+    #[test]
+    fn model_config_round_trips_through_serde() {
+        let configs = [
+            ModelConfig::Sarimax(SarimaxConfig::plain(ArimaSpec::sarima(
+                2, 1, 1, 1, 1, 1, 24,
+            ))),
+            ModelConfig::Ets(EtsConfig::holt_winters_multiplicative(12)),
+            ModelConfig::Tbats(TbatsConfig::seasonal(24.0, 3)),
+        ];
+        for config in &configs {
+            let json = serde_json::to_string(config).unwrap();
+            let back: ModelConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, config, "{json}");
+        }
     }
 }

@@ -48,7 +48,7 @@ pub use evaluate::{
     FamilyStats, ModelScore,
 };
 pub use fleet::{FleetOptions, FleetReport, FleetScheduler, JobResult, SeriesJob};
-pub use grid::{CandidateModel, ModelFamily, ModelGrid};
+pub use grid::{CandidateModel, ModelConfig, ModelFamily, ModelGrid};
 pub use pipeline::{ChampionSpec, ForecastOutcome, MethodChoice, Pipeline, PipelineConfig};
 pub use repository::{ModelRecord, ModelRepository, RetentionPolicy, ShockTracker};
 pub use shocks::{DetectedShock, ShockDetector};

@@ -1,5 +1,5 @@
-//! The Figure 4 workflow: gather → interpolate → split → branch on
-//! HES / SARIMAX → profile → candidate grid → parallel evaluation → champion.
+//! The Figure 4 workflow: gather → interpolate → split → candidate grid →
+//! parallel evaluation → champion, for **every** model family.
 //!
 //! "Depending on whether the user chooses Holt-Winters Exponential
 //! Smoothing (HES) … or SARIMAX, a different branch of the algorithm will
@@ -7,13 +7,20 @@
 //! series data … and computes the ACF/PACF to determine which models are
 //! probably a good fit … each model is then computed to obtain an RMSE.
 //! The model with the best RMSE is the most accurate."
+//!
+//! Where the paper branches per family, this implementation unifies: the
+//! method choice only decides which candidate configurations enter the
+//! grid ([`ModelGrid::ets`], [`ModelGrid::tbats`], the pruned SARIMAX set,
+//! or all of them for [`MethodChoice::Auto`]); evaluation, champion
+//! selection, persistence and champion-seeded relearning are one
+//! family-agnostic plane.
 
 use crate::candidates::{CandidateSet, DataProfile};
 use crate::evaluate::{evaluate_candidates, EvalStats, EvaluationOptions, EvaluationReport};
-use crate::grid::{CandidateModel, ModelFamily, ModelGrid};
+use crate::grid::{CandidateModel, ModelConfig, ModelFamily, ModelGrid};
 use crate::{PlannerError, Result};
-use dwcp_models::ets::{EtsConfig, FittedEts};
-use dwcp_models::{Forecast, SarimaxConfig};
+use dwcp_models::Forecast;
+use dwcp_series::boxcox::{select_lambda, shift_to_positive};
 use dwcp_series::interpolate::interpolate_series;
 use dwcp_series::{Accuracy, Granularity, TimeSeries, TrainTestSplit};
 
@@ -27,21 +34,42 @@ pub enum MethodChoice {
     /// terms).
     Sarimax,
     /// TBATS (§4.3): Box-Cox, trend damping, trigonometric seasonality and
-    /// ARMA errors, configuration chosen by AIC over the paper's lattice.
+    /// ARMA errors over the paper's configuration lattice.
     Tbats,
+    /// Race every family through one grid and keep the best held-out RMSE
+    /// — the fully self-selecting mode of §5.
+    Auto,
+}
+
+impl MethodChoice {
+    /// Whether SARIMAX-family candidates participate in this method's grid.
+    fn includes_sarimax(self) -> bool {
+        matches!(self, MethodChoice::Sarimax | MethodChoice::Auto)
+    }
+
+    /// Whether exponential-smoothing candidates participate.
+    fn includes_hes(self) -> bool {
+        matches!(self, MethodChoice::Hes | MethodChoice::Auto)
+    }
+
+    /// Whether TBATS candidates participate.
+    fn includes_tbats(self) -> bool {
+        matches!(self, MethodChoice::Tbats | MethodChoice::Auto)
+    }
 }
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
-    /// Which branch of Figure 4 to take.
+    /// Which families enter the candidate grid.
     pub method: MethodChoice,
     /// Table 1 protocol row to apply.
     pub granularity: Granularity,
     /// Cap on SARIMAX candidates after correlogram pruning.
     pub max_candidates: usize,
     /// Whether to run the §6.3 Fourier-augmentation stage on the champion
-    /// when the series is multi-seasonal.
+    /// when the series is multi-seasonal (SARIMAX champions only — the
+    /// smoothing families have no exogenous regressors to augment).
     pub fourier_stage: bool,
     /// Discover recurring shocks from the data itself when the caller
     /// supplies no exogenous columns (§5.1's shock analysis + §9's
@@ -88,41 +116,33 @@ pub struct ForecastOutcome {
     pub failures: usize,
     /// How many gaps interpolation filled.
     pub gaps_filled: usize,
-    /// The data profile (SARIMAX branch only).
+    /// The data profile the candidate grid was derived from.
     pub profile: Option<DataProfile>,
     /// The champion's machine-readable specification, for refitting.
     pub champion_spec: ChampionSpec,
     /// Evaluation instrumentation (cache hits, warm starts, objective
-    /// evaluations, per-family timing). Default-empty for the HES/TBATS
-    /// branches, which fit a handful of closed-form models.
+    /// evaluations, per-family timing).
     pub stats: EvalStats,
-    /// The champion's converged unconstrained SARIMA parameters — what the
-    /// model repository stores as the warm seed for champion-seeded
-    /// relearning. Empty for HES/TBATS champions.
+    /// The champion's converged unconstrained optimiser parameters — what
+    /// the model repository stores as the warm seed for champion-seeded
+    /// relearning, whichever family the champion belongs to.
     pub warm_seed: Vec<f64>,
-    /// The champion's regression coefficients (empty for plain SARIMA and
-    /// HES/TBATS champions) — stored with the warm seed so a regression
-    /// champion can be re-scored verbatim.
+    /// The champion's regression coefficients (empty for every family
+    /// except regression SARIMAX) — stored with the warm seed so a
+    /// regression champion can be re-scored verbatim.
     pub warm_beta: Vec<f64>,
 }
 
 /// The champion's configuration, sufficient to refit it on fresh data —
-/// what the model repository conceptually stores alongside the descriptor.
-#[derive(Debug, Clone)]
-pub enum ChampionSpec {
-    /// A SARIMAX family member (covers plain ARIMA and SARIMA too).
-    Sarimax(SarimaxConfig),
-    /// An exponential-smoothing family member.
-    Ets(dwcp_models::EtsConfig),
-    /// A TBATS configuration.
-    Tbats(dwcp_models::TbatsConfig),
-}
+/// what the model repository stores alongside the descriptor. Since every
+/// family is a [`ModelConfig`] variant, this is just that enum.
+pub type ChampionSpec = ModelConfig;
 
-/// Everything the SARIMAX branch prepares before fitting: the split, its
-/// aligned exogenous columns, the profiled-and-pruned candidate set and
-/// the evaluation options. Produced by [`Pipeline::plan_sarimax`] and
-/// consumed by [`Pipeline::finish_sarimax`] / the fleet scheduler.
-pub(crate) struct SarimaxPlan {
+/// Everything the pipeline prepares before fitting: the split, its aligned
+/// exogenous columns, the profiled candidate set for the configured method
+/// and the evaluation options. Produced by [`Pipeline::plan`] and consumed
+/// by [`Pipeline::finish`] / the fleet scheduler.
+pub(crate) struct EvalPlan {
     pub split: TrainTestSplit,
     pub exog_train: Vec<Vec<f64>>,
     pub exog_test: Vec<Vec<f64>>,
@@ -150,50 +170,28 @@ impl Pipeline {
     ///
     /// `exog_full` are the exogenous indicator columns spanning the same
     /// observations as `series` (they are split alongside it); pass `&[]`
-    /// when no shocks are known.
+    /// when no shocks are known. Only SARIMAX candidates consume them.
     pub fn run(&self, series: &TimeSeries, exog_full: &[Vec<f64>]) -> Result<ForecastOutcome> {
-        match self.config.method {
-            MethodChoice::Sarimax => {
-                let plan = self.plan_sarimax(series, exog_full)?;
-                let report = evaluate_candidates(
-                    plan.split.train.values(),
-                    plan.split.test.values(),
-                    &plan.exog_train,
-                    &plan.exog_test,
-                    &plan.set.models,
-                    &plan.eval_opts,
-                )?;
-                self.finish_sarimax(plan, report)
-            }
-            MethodChoice::Hes | MethodChoice::Tbats => {
-                // 1. Gather + missing-value check + interpolation (§5.1).
-                let mut working = series.clone();
-                let gaps_filled = if working.has_gaps() {
-                    interpolate_series(&mut working)?
-                } else {
-                    0
-                };
-                // 2. Table 1 split (exogenous columns play no role in the
-                // smoothing branches).
-                let split = TrainTestSplit::from_series(&working, self.config.granularity)?;
-                match self.config.method {
-                    MethodChoice::Hes => self.run_hes(split, gaps_filled),
-                    _ => self.run_tbats(split, gaps_filled),
-                }
-            }
-        }
+        let plan = self.plan(series, exog_full)?;
+        let report = evaluate_candidates(
+            plan.split.train.values(),
+            plan.split.test.values(),
+            &plan.exog_train,
+            &plan.exog_test,
+            &plan.set.models,
+            &plan.eval_opts,
+        )?;
+        self.finish(plan, report)
     }
 
-    /// Everything the SARIMAX branch does before any model is fitted:
+    /// Everything the pipeline does before any model is fitted:
     /// interpolation, optional shock discovery, the Table 1 split with
-    /// aligned exogenous columns, profiling, and the pruned candidate set.
-    /// Split out so the fleet scheduler can prepare every job up front and
-    /// feed all grids through one shared worker pool.
-    pub(crate) fn plan_sarimax(
-        &self,
-        series: &TimeSeries,
-        exog_full: &[Vec<f64>],
-    ) -> Result<SarimaxPlan> {
+    /// aligned exogenous columns, profiling, and the candidate grid for
+    /// the configured method. Split out so the fleet scheduler can prepare
+    /// every job up front and feed all grids through one shared worker
+    /// pool.
+    pub(crate) fn plan(&self, series: &TimeSeries, exog_full: &[Vec<f64>]) -> Result<EvalPlan> {
+        let method = self.config.method;
         // 1. Gather + missing-value check + interpolation (§5.1).
         let mut working = series.clone();
         let gaps_filled = if working.has_gaps() {
@@ -202,11 +200,22 @@ impl Pipeline {
             0
         };
 
+        // Exogenous columns only matter when SARIMAX candidates are in
+        // play; the smoothing families ignore them entirely.
+        let exog_full: &[Vec<f64>] = if method.includes_sarimax() {
+            exog_full
+        } else {
+            &[]
+        };
+
         // 1b. Optional shock discovery: when the caller has no shock
         // calendar, mine the recurring spikes from the data itself and use
         // the admitted slots as exogenous indicators.
         let detected_exog: Vec<Vec<f64>>;
-        let exog_full: &[Vec<f64>] = if exog_full.is_empty() && self.config.auto_detect_shocks {
+        let exog_full: &[Vec<f64>] = if exog_full.is_empty()
+            && self.config.auto_detect_shocks
+            && method.includes_sarimax()
+        {
             let period = self.config.granularity.seasonal_period();
             let mut detector = crate::shocks::ShockDetector::new(period);
             match detector.detect(working.values()) {
@@ -235,18 +244,39 @@ impl Pipeline {
             })
             .unzip();
 
-        // 3. Profile + pruned candidate grid.
-        let profile = DataProfile::analyze(split.train.values())?;
+        // 3. Profile + the candidate grid for the chosen families.
+        let train = split.train.values();
+        let profile = DataProfile::analyze(train)?;
         let fallback_period = self.config.granularity.seasonal_period();
-        let set = CandidateSet::sarimax(
-            profile,
-            fallback_period,
-            exog_train.len(),
-            self.config.max_candidates,
-        );
+        let mut models: Vec<CandidateModel> = Vec::new();
+        if method.includes_sarimax() {
+            let set = CandidateSet::sarimax(
+                profile.clone(),
+                fallback_period,
+                exog_train.len(),
+                self.config.max_candidates,
+            );
+            models.extend(set.models);
+        }
+        let interval_level = self.config.eval.fit.interval_level;
+        if method.includes_hes() {
+            let period = profile.primary_period(fallback_period);
+            let positive = train.iter().all(|&v| v > 0.0);
+            models.extend(ModelGrid::ets(period, positive, interval_level).candidates);
+        }
+        if method.includes_tbats() {
+            let periods = tbats_periods(&profile, fallback_period);
+            // Same Box-Cox λ the standalone TBATS selector would estimate.
+            let lambda = {
+                let (shifted, _) = shift_to_positive(train, 1.0);
+                select_lambda(&shifted, 0.0, 1.0).ok()
+            };
+            models.extend(ModelGrid::tbats(&periods, lambda, interval_level).candidates);
+        }
+        let set = CandidateSet { models, profile };
         let mut eval_opts = self.config.eval.clone();
         eval_opts.start_index = offset;
-        Ok(SarimaxPlan {
+        Ok(EvalPlan {
             split,
             exog_train,
             exog_test,
@@ -258,10 +288,12 @@ impl Pipeline {
     }
 
     /// The §6.3 Fourier stage's candidate list: the six Fourier variants of
-    /// the current champion. Empty when the stage is disabled.
+    /// the current champion. Empty when the stage is disabled or the
+    /// champion is not a SARIMAX-family member (the smoothing families
+    /// carry no exogenous regressors).
     pub(crate) fn fourier_candidates(
         &self,
-        plan: &SarimaxPlan,
+        plan: &EvalPlan,
         report: &EvaluationReport,
     ) -> Vec<CandidateModel> {
         if !self.config.fourier_stage {
@@ -270,16 +302,20 @@ impl Pipeline {
         let Some(champion) = report.champion() else {
             return Vec::new();
         };
+        let Some(config) = champion.candidate.as_sarimax() else {
+            return Vec::new();
+        };
         let fallback_period = self.config.granularity.seasonal_period();
         let periods = plan.set.profile.fourier_periods(fallback_period);
-        ModelGrid::fourier_variants(&champion.candidate.config, &periods)
+        ModelGrid::fourier_variants(config, &periods)
     }
 
-    /// Complete the SARIMAX branch from an evaluated primary grid: run the
-    /// Fourier stage (when configured) and assemble the outcome.
-    pub(crate) fn finish_sarimax(
+    /// Complete a run from an evaluated primary grid: run the Fourier
+    /// stage (when configured and the champion is SARIMAX) and assemble
+    /// the outcome.
+    pub(crate) fn finish(
         &self,
-        plan: SarimaxPlan,
+        plan: EvalPlan,
         mut report: EvaluationReport,
     ) -> Result<ForecastOutcome> {
         // §6.3 Fourier stage: take the champion and try the six Fourier
@@ -300,10 +336,10 @@ impl Pipeline {
         Ok(self.outcome_from_report(plan, report))
     }
 
-    /// Assemble a [`ForecastOutcome`] from a finished SARIMAX evaluation.
+    /// Assemble a [`ForecastOutcome`] from a finished evaluation.
     pub(crate) fn outcome_from_report(
         &self,
-        plan: SarimaxPlan,
+        plan: EvalPlan,
         report: EvaluationReport,
     ) -> ForecastOutcome {
         let champion_score = report.champion().expect("non-empty by construction");
@@ -314,7 +350,7 @@ impl Pipeline {
             test_forecast: champion_score.forecast.clone(),
             warm_seed: champion_score.warm_params.clone(),
             warm_beta: champion_score.warm_beta.clone(),
-            champion_spec: ChampionSpec::Sarimax(champion_score.candidate.config.clone()),
+            champion_spec: champion_score.candidate.config.clone(),
             test: plan.split.test,
             train: plan.split.train,
             evaluated: report.attempted - report.failures - report.abandoned,
@@ -341,7 +377,7 @@ impl Pipeline {
         future_exog: &[Vec<f64>],
         horizon: usize,
     ) -> Result<(ForecastOutcome, Forecast)> {
-        use dwcp_models::{FittedSarimax, FittedTbats};
+        use dwcp_models::{FittedEts, FittedSarimax, FittedTbats};
         let outcome = self.run(series, exog_full)?;
         let mut working = series.clone();
         if working.has_gaps() {
@@ -407,105 +443,9 @@ impl Pipeline {
         Ok((outcome, future))
     }
 
-    /// The TBATS branch: detect the seasonal periods, run the §4.3 AIC
-    /// lattice, score on the held-out segment.
-    fn run_tbats(&self, split: TrainTestSplit, gaps_filled: usize) -> Result<ForecastOutcome> {
-        use dwcp_models::FittedTbats;
-        let train = split.train.values();
-        let test = split.test.values();
-        let profile = DataProfile::analyze(train)?;
-        let periods = if profile.seasonal_periods.is_empty() {
-            vec![self.config.granularity.seasonal_period() as f64]
-        } else {
-            // TBATS handles at most a couple of seasonal blocks gracefully.
-            profile
-                .fourier_periods(self.config.granularity.seasonal_period())
-                .into_iter()
-                .take(2)
-                .collect()
-        };
-        let fitted = FittedTbats::select(train, &periods)?;
-        let forecast = fitted.forecast(test.len());
-        let accuracy = Accuracy::compute(test, &forecast.mean)?;
-        Ok(ForecastOutcome {
-            champion: fitted.config.describe(),
-            family: None,
-            accuracy,
-            test_forecast: forecast,
-            test: split.test,
-            train: split.train,
-            evaluated: 1,
-            failures: 0,
-            gaps_filled,
-            profile: Some(profile),
-            champion_spec: ChampionSpec::Tbats(fitted.config),
-            stats: EvalStats::default(),
-            warm_seed: Vec::new(),
-            warm_beta: Vec::new(),
-        })
-    }
-
-    /// The HES branch: try the exponential-smoothing family and keep the
-    /// best test RMSE.
-    fn run_hes(&self, split: TrainTestSplit, gaps_filled: usize) -> Result<ForecastOutcome> {
-        let period = self.config.granularity.seasonal_period();
-        let train = split.train.values();
-        let test = split.test.values();
-        let mut configs = vec![
-            EtsConfig::ses(),
-            EtsConfig::holt(),
-            EtsConfig::holt_winters(period),
-        ];
-        if train.iter().all(|&v| v > 0.0) {
-            configs.push(EtsConfig::holt_winters_multiplicative(period));
-        }
-        let mut best: Option<(String, Accuracy, Forecast, EtsConfig)> = None;
-        let mut failures = 0usize;
-        let attempted = configs.len();
-        for config in configs {
-            let fitted = match FittedEts::fit(train, config) {
-                Ok(f) => f,
-                Err(_) => {
-                    failures += 1;
-                    continue;
-                }
-            };
-            let forecast = fitted.forecast(test.len());
-            let Ok(accuracy) = Accuracy::compute(test, &forecast.mean) else {
-                failures += 1;
-                continue;
-            };
-            let better = best
-                .as_ref()
-                .map(|(_, a, _, _)| accuracy.rmse < a.rmse)
-                .unwrap_or(true);
-            if better {
-                best = Some((config.name(), accuracy, forecast, config));
-            }
-        }
-        let (champion, accuracy, test_forecast, champion_config) =
-            best.ok_or(PlannerError::NoViableModel { attempted })?;
-        Ok(ForecastOutcome {
-            champion,
-            family: None,
-            accuracy,
-            test_forecast,
-            test: split.test,
-            train: split.train,
-            evaluated: attempted - failures,
-            failures,
-            gaps_filled,
-            profile: None,
-            champion_spec: ChampionSpec::Ets(champion_config),
-            stats: EvalStats::default(),
-            warm_seed: Vec::new(),
-            warm_beta: Vec::new(),
-        })
-    }
-
     /// Score every family over the same split and return the per-family
-    /// best — the Table 2 rows. The families are ARIMA, SARIMAX, and
-    /// SARIMAX + Exogenous + Fourier.
+    /// best — the Table 2 rows. The families are ARIMA, SARIMAX,
+    /// SARIMAX + Exogenous + Fourier, HES and TBATS.
     pub fn family_comparison(
         &self,
         series: &TimeSeries,
@@ -545,10 +485,26 @@ impl Pipeline {
         let fourier_extra: Vec<CandidateModel> = exo_models
             .iter()
             .take(3)
-            .flat_map(|m| ModelGrid::fourier_variants(&m.config, &periods))
+            .flat_map(|m| {
+                m.as_sarimax()
+                    .map(|c| ModelGrid::fourier_variants(c, &periods))
+                    .unwrap_or_default()
+            })
             .collect();
         exo_models.extend(fourier_extra);
         candidates.extend(exo_models);
+
+        // The smoothing families fill their own Table 2 rows.
+        let interval_level = self.config.eval.fit.interval_level;
+        let period = profile.primary_period(fallback);
+        let positive = train.iter().all(|&v| v > 0.0);
+        let mut ets_models = ModelGrid::ets(period, positive, interval_level).candidates;
+        ets_models.truncate(per_family_cap);
+        candidates.extend(ets_models);
+        let mut tbats_models =
+            ModelGrid::tbats(&tbats_periods(&profile, fallback), None, interval_level).candidates;
+        tbats_models.truncate(per_family_cap);
+        candidates.extend(tbats_models);
 
         let mut eval_opts = self.config.eval.clone();
         eval_opts.start_index = offset;
@@ -560,6 +516,22 @@ impl Pipeline {
             &candidates,
             &eval_opts,
         )
+    }
+}
+
+/// The seasonal periods TBATS candidates model: the detected cycles
+/// (strongest first, at most two — TBATS handles at most a couple of
+/// seasonal blocks gracefully), or the granularity's natural period when
+/// nothing was detected.
+fn tbats_periods(profile: &DataProfile, fallback_period: usize) -> Vec<f64> {
+    if profile.seasonal_periods.is_empty() {
+        vec![fallback_period as f64]
+    } else {
+        profile
+            .fourier_periods(fallback_period)
+            .into_iter()
+            .take(2)
+            .collect()
     }
 }
 
@@ -615,9 +587,13 @@ mod tests {
         let pipeline = Pipeline::new(fast_config(MethodChoice::Hes));
         let outcome = pipeline.run(&series, &[]).unwrap();
         assert!(!outcome.champion.is_empty());
+        assert_eq!(outcome.family, Some(ModelFamily::Hes));
         assert_eq!(outcome.test.len(), 24);
         assert_eq!(outcome.test_forecast.len(), 24);
         assert!(outcome.accuracy.rmse.is_finite());
+        // The HES champion now carries its converged smoothing parameters
+        // for the repository's warm seed.
+        assert!(!outcome.warm_seed.is_empty());
         // Holt-Winters should handily beat SES on seasonal data, so the
         // champion must be seasonal.
         assert!(
@@ -669,7 +645,7 @@ mod tests {
     }
 
     #[test]
-    fn family_comparison_ranks_three_families() {
+    fn family_comparison_ranks_five_families() {
         let (series, exog) = synthetic_hourly(1100);
         let pipeline = Pipeline::new(fast_config(MethodChoice::Sarimax));
         let report = pipeline.family_comparison(&series, &exog, 3).unwrap();
@@ -678,6 +654,9 @@ mod tests {
         assert!(report
             .best_of_family(ModelFamily::SarimaxFftExogenous)
             .is_some());
+        // The smoothing families report their own Table 2 rows too.
+        assert!(report.best_of_family(ModelFamily::Hes).is_some());
+        assert!(report.best_of_family(ModelFamily::Tbats).is_some());
         // On seasonal data with explicit shocks, seasonal/exogenous models
         // should not lose to plain ARIMA.
         let arima = report.best_of_family(ModelFamily::Arima).unwrap();
@@ -719,13 +698,43 @@ mod tests {
             "{}",
             outcome.champion
         );
+        assert_eq!(outcome.family, Some(ModelFamily::Tbats));
         assert_eq!(outcome.test_forecast.len(), 24);
+        assert!(!outcome.warm_seed.is_empty());
         // TBATS must capture the dominant daily cycle: RMSE below the
         // seasonal amplitude.
         assert!(
             outcome.accuracy.rmse < 30.0,
             "rmse = {}",
             outcome.accuracy.rmse
+        );
+    }
+
+    #[test]
+    fn auto_method_races_every_family() {
+        let (series, _) = synthetic_hourly(1100);
+        let pipeline = Pipeline::new(fast_config(MethodChoice::Auto));
+        let outcome = pipeline.run(&series, &[]).unwrap();
+        let family = outcome.family.expect("auto run has a champion family");
+        // The union grid was actually raced: per-family stats show at
+        // least one smoothing candidate and one SARIMAX candidate fitted.
+        let stats = &outcome.stats;
+        assert!(stats.families[ModelFamily::Hes.index()].fits > 0);
+        assert!(stats.families[ModelFamily::Tbats.index()].fits > 0);
+        assert!(
+            stats.families[ModelFamily::Sarimax.index()].fits > 0
+                || stats.families[ModelFamily::Arima.index()].fits > 0
+        );
+        // Whatever won, the champion must at least match every family's
+        // dedicated branch on the same data (same split, superset grid).
+        let hes = Pipeline::new(fast_config(MethodChoice::Hes))
+            .run(&series, &[])
+            .unwrap();
+        assert!(
+            outcome.accuracy.rmse <= hes.accuracy.rmse * (1.0 + 1e-9),
+            "auto ({family:?}) {} vs hes {}",
+            outcome.accuracy.rmse,
+            hes.accuracy.rmse
         );
     }
 

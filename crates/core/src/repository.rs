@@ -7,9 +7,9 @@
 //! discard it, however if the system continually crashes the learning
 //! engine will see it as a behaviour."
 
-use crate::pipeline::{ChampionSpec, ForecastOutcome};
+use crate::grid::ModelConfig;
+use crate::pipeline::ForecastOutcome;
 use crate::{PlannerError, Result};
-use dwcp_models::SarimaxConfig;
 use dwcp_series::Granularity;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -38,11 +38,11 @@ pub struct ModelRecord {
     pub baseline_rmse: f64,
     /// Epoch-seconds the model was fitted.
     pub fitted_at: u64,
-    /// Machine-readable champion configuration, when the champion is a
-    /// SARIMAX-family member (`None` for HES/TBATS champions, which have
-    /// no neighbourhood grid to seed).
-    pub champion_config: Option<SarimaxConfig>,
-    /// The champion's converged unconstrained SARIMA parameters at fit
+    /// Machine-readable champion configuration — any model family
+    /// (`None` only in legacy records that predate family-agnostic
+    /// persistence).
+    pub champion_config: Option<ModelConfig>,
+    /// The champion's converged unconstrained optimiser parameters at fit
     /// time — the warm seed for the next relearn. Empty when unknown.
     pub warm_params: Vec<f64>,
     /// The champion's regression coefficients at fit time (empty for
@@ -58,17 +58,13 @@ impl ModelRecord {
         granularity: Granularity,
         now: u64,
     ) -> ModelRecord {
-        let champion_config = match &outcome.champion_spec {
-            ChampionSpec::Sarimax(config) => Some(config.clone()),
-            _ => None,
-        };
         ModelRecord {
             workload: workload.to_string(),
             champion: outcome.champion.clone(),
             granularity,
             baseline_rmse: outcome.accuracy.rmse,
             fitted_at: now,
-            champion_config,
+            champion_config: Some(outcome.champion_spec.clone()),
             warm_params: outcome.warm_seed.clone(),
             warm_beta: outcome.warm_beta.clone(),
         }
@@ -77,9 +73,9 @@ impl ModelRecord {
     /// The champion-seeded relearning inputs: the stored configuration to
     /// centre the neighbourhood grid on, the converged parameters to
     /// warm-start from, and the regression coefficients (both empty when
-    /// only the configuration is known). `None` when the champion was not
-    /// a SARIMAX-family member.
-    pub fn champion_seed(&self) -> Option<(&SarimaxConfig, &[f64], &[f64])> {
+    /// only the configuration is known). `None` only for legacy records
+    /// with no stored configuration.
+    pub fn champion_seed(&self) -> Option<(&ModelConfig, &[f64], &[f64])> {
         self.champion_config.as_ref().map(|config| {
             (
                 config,
@@ -265,15 +261,15 @@ mod tests {
     }
 
     #[test]
-    fn champion_seed_requires_a_sarimax_config() {
+    fn champion_seed_requires_a_stored_config() {
         let mut r = record("cdbm011/CPU", 10.0, 0);
-        assert!(r.champion_seed().is_none());
+        assert!(r.champion_seed().is_none(), "legacy records have no seed");
         let config =
             dwcp_models::SarimaxConfig::plain(dwcp_models::ArimaSpec::sarima(1, 1, 1, 0, 1, 1, 24));
-        r.champion_config = Some(config.clone());
+        r.champion_config = Some(config.clone().into());
         r.warm_params = vec![0.2, -0.1, 0.05];
         let (stored, params, beta) = r.champion_seed().unwrap();
-        assert_eq!(stored, &config);
+        assert_eq!(stored.as_sarimax(), Some(&config));
         assert_eq!(params, [0.2, -0.1, 0.05]);
         assert!(beta.is_empty());
     }
@@ -282,9 +278,10 @@ mod tests {
     fn record_with_seed_roundtrips_through_json() {
         let mut repo = ModelRepository::new();
         let mut r = record("cdbm011/CPU", 8.42, 1_700_000_000);
-        r.champion_config = Some(dwcp_models::SarimaxConfig::plain(
-            dwcp_models::ArimaSpec::sarima(4, 1, 2, 1, 1, 1, 24),
-        ));
+        r.champion_config = Some(
+            dwcp_models::SarimaxConfig::plain(dwcp_models::ArimaSpec::sarima(4, 1, 2, 1, 1, 1, 24))
+                .into(),
+        );
         r.warm_params = vec![0.25, -0.5, 1.5];
         repo.store(r);
         let dir = std::env::temp_dir().join("dwcp_repo_seed_test");
@@ -294,6 +291,87 @@ mod tests {
         let back = ModelRepository::load(&path).unwrap();
         assert_eq!(back.get("cdbm011/CPU"), repo.get("cdbm011/CPU"));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A short seasonal trace for the smoothing-family round-trip tests.
+    fn seasonal_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let tf = t as f64;
+                60.0 + 10.0 * (2.0 * std::f64::consts::PI * tf / 12.0).sin()
+                    + ((t * 7919 % 101) as f64) / 50.0
+            })
+            .collect()
+    }
+
+    /// Store a champion, round-trip it through JSON, then re-score the
+    /// loaded seed frozen: the stored RMSE must reproduce bit-for-bit.
+    fn roundtrip_and_rescore_frozen(workload: &str, candidates: Vec<crate::grid::CandidateModel>) {
+        use crate::evaluate::{evaluate_candidates, evaluate_fleet, EvalTask};
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let cold =
+            evaluate_candidates(train, test, &[], &[], &candidates, &Default::default()).unwrap();
+        let champion = cold.champion().unwrap().clone();
+        let mut repo = ModelRepository::new();
+        repo.store(ModelRecord {
+            workload: workload.to_string(),
+            champion: champion.candidate.config.describe(),
+            granularity: Granularity::Hourly,
+            baseline_rmse: champion.accuracy.rmse,
+            fitted_at: 7,
+            champion_config: Some(champion.candidate.config.clone()),
+            warm_params: champion.warm_params.clone(),
+            warm_beta: champion.warm_beta.clone(),
+        });
+        let dir = std::env::temp_dir().join("dwcp_repo_family_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}.json", workload.replace('/', "_")));
+        repo.save(&path).unwrap();
+        let back = ModelRepository::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let loaded = back.get(workload).unwrap();
+        assert_eq!(loaded, repo.get(workload).unwrap());
+        let (config, params, beta) = loaded.champion_seed().unwrap();
+        assert_eq!(config, &champion.candidate.config);
+        // Frozen re-score from the loaded seed reproduces the stored RMSE.
+        let task = EvalTask {
+            train,
+            test,
+            exog_train: &[],
+            exog_test: &[],
+            candidates: &candidates,
+            opts: Default::default(),
+            seed: Some((config.clone(), params.to_vec(), beta.to_vec())),
+        };
+        let seeded = evaluate_fleet(std::slice::from_ref(&task), 1)
+            .pop()
+            .unwrap()
+            .unwrap();
+        let re_scored = seeded
+            .scores
+            .iter()
+            .find(|s| s.candidate.config == champion.candidate.config)
+            .unwrap();
+        assert_eq!(
+            re_scored.accuracy.rmse.to_bits(),
+            loaded.baseline_rmse.to_bits()
+        );
+        assert_eq!(re_scored.warm_params, loaded.warm_params);
+    }
+
+    #[test]
+    fn hes_champion_roundtrips_and_rescores_frozen() {
+        let grid = crate::grid::ModelGrid::ets(12, true, 0.95);
+        roundtrip_and_rescore_frozen("cdbm014/CPU/hourly", grid.candidates);
+    }
+
+    #[test]
+    fn tbats_champion_roundtrips_and_rescores_frozen() {
+        use crate::grid::{CandidateModel, ModelConfig};
+        let config = dwcp_models::TbatsConfig::seasonal(12.0, 2);
+        let candidates = vec![CandidateModel::new(ModelConfig::Tbats(config))];
+        roundtrip_and_rescore_frozen("cdbm014/IOPS/hourly", candidates);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub struct ArimaOptions {
     /// accuracy. Ignored when the length does not match the spec.
     pub warm_start: Option<Vec<f64>>,
     /// Champion-bound racing: abandon the fit (with
-    /// [`ModelError::Abandoned`](crate::ModelError::Abandoned)) if the CSS
+    /// [`crate::ModelError::Abandoned`]) if the CSS
     /// objective is still above this after a third of the evaluation budget.
     /// `None` (the default) fits to completion.
     pub abandon_css_above: Option<f64>,

@@ -156,6 +156,59 @@ impl EtsModel {
     }
 }
 
+/// Options controlling the ETS optimiser: warm-start seeding and the
+/// frozen re-score used by champion-seeded relearning.
+#[derive(Debug, Clone, Default)]
+pub struct EtsFitOptions {
+    /// Unconstrained Nelder-Mead parameters from a previous fit (same
+    /// layout as [`FittedEts::params_unconstrained`]) used to seed the
+    /// simplex instead of the generic midpoint start.
+    pub warm_start: Option<Vec<f64>>,
+    /// Evaluate the recursion at `warm_start` verbatim without optimising —
+    /// reproduces a stored champion's fit bit-exactly in one evaluation.
+    pub freeze_warm_start: bool,
+}
+
+/// Map a previous fit's unconstrained parameters onto another ETS config's
+/// layout: shared components (α always; β when both have trend; φ when both
+/// damp; γ when both are seasonal) carry over, new components start at the
+/// logistic midpoint (0.0).
+pub fn adapt_ets_unconstrained(
+    prev: &[f64],
+    prev_config: &EtsConfig,
+    next_config: &EtsConfig,
+) -> Vec<f64> {
+    let slot = |config: &EtsConfig, want: usize| -> Option<usize> {
+        // Component ids: 0 = alpha, 1 = beta, 2 = phi, 3 = gamma.
+        let mut i = 0;
+        let mut pos = [None; 4];
+        pos[0] = Some(i);
+        i += 1;
+        if config.trend != TrendKind::None {
+            pos[1] = Some(i);
+            i += 1;
+        }
+        if config.trend == TrendKind::Damped {
+            pos[2] = Some(i);
+            i += 1;
+        }
+        if config.seasonal.period() > 0 {
+            pos[3] = Some(i);
+        }
+        pos[want]
+    };
+    let mut out = vec![0.0; next_config.n_params()];
+    for component in 0..4 {
+        if let (Some(dst), Some(src)) = (slot(next_config, component), slot(prev_config, component))
+        {
+            if src < prev.len() {
+                out[dst] = prev[src];
+            }
+        }
+    }
+    out
+}
+
 /// A fitted exponential-smoothing model.
 #[derive(Debug, Clone)]
 pub struct FittedEts {
@@ -184,6 +237,11 @@ pub struct FittedEts {
     pub n_obs: usize,
     /// AIC (SSE approximation).
     pub aic: f64,
+    /// Converged unconstrained optimiser parameters (warm-start seed for a
+    /// subsequent fit; layout `[α, β?, φ?, γ?]` before the logistic map).
+    pub params_unconstrained: Vec<f64>,
+    /// Objective evaluations spent by the optimiser (1 for a frozen fit).
+    pub nm_evals: usize,
 }
 
 /// Internal: run the smoothing recursion, returning (sse, final states,
@@ -305,6 +363,11 @@ fn initial_states(y: &[f64], config: &EtsConfig) -> Option<(f64, f64, Vec<f64>)>
 impl FittedEts {
     /// Fit by minimising the one-step SSE over the smoothing parameters.
     pub fn fit(y: &[f64], config: EtsConfig) -> Result<FittedEts> {
+        Self::fit_with(y, config, &EtsFitOptions::default())
+    }
+
+    /// Fit with warm-start / freeze control (the evaluation-engine entry).
+    pub fn fit_with(y: &[f64], config: EtsConfig, options: &EtsFitOptions) -> Result<FittedEts> {
         let m = config.seasonal.period();
         let needed = if m > 0 { 2 * m + 4 } else { 6 };
         if y.len() < needed {
@@ -359,18 +422,30 @@ impl FittedEts {
             }
         };
         let k = config.n_params();
-        let start = vec![0.0; k]; // logistic(0) = 0.5 everywhere
-        let nm = nelder_mead(
-            objective,
-            &start,
-            &NelderMeadOptions {
-                max_evals: 400 + 150 * k,
-                restarts: 2,
-                initial_step: 1.0,
-                ..Default::default()
-            },
-        );
-        let (alpha, beta, gamma, phi) = unpack(&nm.x);
+        let warm = options
+            .warm_start
+            .as_ref()
+            .filter(|w| w.len() == k)
+            .cloned();
+        let (params_unconstrained, nm_evals) = match warm {
+            // Champion-seeded frozen re-score: one recursion, verbatim.
+            Some(w) if options.freeze_warm_start => (w, 1),
+            warm => {
+                let start = warm.unwrap_or_else(|| vec![0.0; k]); // logistic(0) = 0.5
+                let nm = nelder_mead(
+                    objective,
+                    &start,
+                    &NelderMeadOptions {
+                        max_evals: 400 + 150 * k,
+                        restarts: 2,
+                        initial_step: 1.0,
+                        ..Default::default()
+                    },
+                );
+                (nm.x, nm.evals)
+            }
+        };
+        let (alpha, beta, gamma, phi) = unpack(&params_unconstrained);
         let rec = run_recursion(y, &config, alpha, beta, gamma, phi).ok_or_else(|| {
             ModelError::FitFailed {
                 context: "ETS recursion diverged at the optimum".to_string(),
@@ -392,6 +467,8 @@ impl FittedEts {
             sigma2,
             n_obs: y.len(),
             aic,
+            params_unconstrained,
+            nm_evals,
         })
     }
 

@@ -26,9 +26,11 @@ pub mod tbats;
 
 pub use arima::spec::ArimaSpec;
 pub use arima::{FittedArima, FittedSarimax, SarimaxConfig};
-pub use ets::{EtsConfig, EtsModel, FittedEts, SeasonalKind, TrendKind};
+pub use ets::{adapt_ets_unconstrained, EtsConfig, EtsFitOptions, EtsModel, FittedEts};
+pub use ets::{SeasonalKind, TrendKind};
 pub use fourier::FourierSpec;
-pub use tbats::{FittedTbats, TbatsConfig};
+pub use tbats::TbatsSeason;
+pub use tbats::{adapt_tbats_unconstrained, FittedTbats, TbatsConfig, TbatsFitOptions};
 
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +105,125 @@ impl Forecast {
             std_error: self.std_error.clone(),
             level: self.level,
         }
+    }
+}
+
+/// The family-agnostic contract every fitted model offers the search and
+/// persistence plane: a descriptor, interval forecasts, and the converged
+/// optimiser parameters that warm-start (or frozen-re-score) a later fit
+/// of the same configuration.
+///
+/// Implemented by the ARIMA family ([`FittedSarimax`], [`FittedArima`]),
+/// exponential smoothing ([`FittedEts`]) and [`FittedTbats`]. Fitting
+/// stays on the inherent per-family constructors — configurations differ
+/// too much (exogenous columns, Fourier phase anchors) for a useful
+/// trait-level `fit` — but everything downstream of a fit is uniform.
+pub trait Forecaster {
+    /// Human-readable model descriptor (what the champion column prints).
+    fn describe_model(&self) -> String;
+
+    /// Forecast `horizon` steps ahead with symmetric normal intervals.
+    /// `future_exog` carries the future exogenous columns for SARIMAX
+    /// regression configs; families without exogenous inputs ignore it.
+    fn forecast_with_intervals(&self, horizon: usize, future_exog: &[&[f64]]) -> Result<Forecast>;
+
+    /// Converged unconstrained optimiser parameters — the warm-start seed
+    /// for (and frozen verbatim re-score of) a later fit of the same
+    /// configuration.
+    fn converged_params(&self) -> &[f64];
+
+    /// Objective evaluations the fit consumed.
+    fn objective_evals(&self) -> usize;
+
+    /// Akaike information criterion of the fit.
+    fn aic(&self) -> f64;
+}
+
+impl Forecaster for FittedArima {
+    fn describe_model(&self) -> String {
+        format!("ARIMA{}", self.spec)
+    }
+
+    fn forecast_with_intervals(&self, horizon: usize, _future_exog: &[&[f64]]) -> Result<Forecast> {
+        Ok(self.forecast(horizon))
+    }
+
+    fn converged_params(&self) -> &[f64] {
+        &self.params_unconstrained
+    }
+
+    fn objective_evals(&self) -> usize {
+        self.nm_evals
+    }
+
+    fn aic(&self) -> f64 {
+        self.aic
+    }
+}
+
+impl Forecaster for FittedSarimax {
+    fn describe_model(&self) -> String {
+        self.config.describe()
+    }
+
+    fn forecast_with_intervals(&self, horizon: usize, future_exog: &[&[f64]]) -> Result<Forecast> {
+        self.forecast_cols(horizon, future_exog)
+    }
+
+    fn converged_params(&self) -> &[f64] {
+        self.warm_seed()
+    }
+
+    fn objective_evals(&self) -> usize {
+        self.nm_evals
+    }
+
+    fn aic(&self) -> f64 {
+        FittedSarimax::aic(self)
+    }
+}
+
+impl Forecaster for FittedEts {
+    fn describe_model(&self) -> String {
+        self.config.name()
+    }
+
+    fn forecast_with_intervals(&self, horizon: usize, _future_exog: &[&[f64]]) -> Result<Forecast> {
+        Ok(self.forecast(horizon))
+    }
+
+    fn converged_params(&self) -> &[f64] {
+        &self.params_unconstrained
+    }
+
+    fn objective_evals(&self) -> usize {
+        self.nm_evals
+    }
+
+    fn aic(&self) -> f64 {
+        self.aic
+    }
+}
+
+impl Forecaster for FittedTbats {
+    fn describe_model(&self) -> String {
+        self.config.describe()
+    }
+
+    fn forecast_with_intervals(&self, horizon: usize, _future_exog: &[&[f64]]) -> Result<Forecast> {
+        Ok(self.forecast(horizon))
+    }
+
+    fn converged_params(&self) -> &[f64] {
+        &self.params_unconstrained
+    }
+
+    fn objective_evals(&self) -> usize {
+        self.nm_evals
+    }
+
+    fn aic(&self) -> f64 {
+        self.aic
     }
 }
 

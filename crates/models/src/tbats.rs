@@ -22,9 +22,10 @@ use crate::arima::transform::{unconstrained_to_ar, unconstrained_to_ma};
 use crate::{Forecast, ModelError, Result};
 use dwcp_math::optimize::{nelder_mead, NelderMeadOptions};
 use dwcp_series::boxcox::{boxcox, inv_boxcox, select_lambda, shift_to_positive};
+use serde::{Deserialize, Serialize};
 
 /// One seasonal block of a TBATS configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TbatsSeason {
     /// Period length (may be non-integer).
     pub period: f64,
@@ -33,7 +34,7 @@ pub struct TbatsSeason {
 }
 
 /// A TBATS model configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TbatsConfig {
     /// Box-Cox λ: `None` disables the transform, `Some(λ)` fixes it.
     pub lambda: Option<f64>,
@@ -141,6 +142,58 @@ struct TbatsParams {
     ma: Vec<f64>,
 }
 
+/// Options controlling the TBATS optimiser: warm-start seeding and the
+/// frozen re-score used by champion-seeded relearning.
+#[derive(Debug, Clone, Default)]
+pub struct TbatsFitOptions {
+    /// Unconstrained Nelder-Mead parameters from a previous fit (layout
+    /// `[α, β?, Φ?, (γ₁,γ₂)×seasons, ar…, ma…]`) seeding the simplex.
+    pub warm_start: Option<Vec<f64>>,
+    /// Run the filter at `warm_start` verbatim without optimising —
+    /// reproduces a stored champion's fit bit-exactly in one evaluation.
+    pub freeze_warm_start: bool,
+}
+
+/// Map a previous fit's unconstrained parameters onto another TBATS
+/// config's layout: shared components carry over positionally (α always;
+/// β/Φ when both configs have them; seasonal γ pairs and AR/MA
+/// coefficients up to the shorter of the two lists), new components start
+/// at the logistic midpoint (0.0).
+pub fn adapt_tbats_unconstrained(
+    prev: &[f64],
+    prev_config: &TbatsConfig,
+    next_config: &TbatsConfig,
+) -> Vec<f64> {
+    let segments = |c: &TbatsConfig| -> Vec<(usize, usize)> {
+        // (offset, len) for: alpha, beta, phi, gammas, ar, ma.
+        let mut offs = Vec::with_capacity(6);
+        let mut i = 0;
+        for len in [
+            1,
+            usize::from(c.use_trend),
+            usize::from(c.use_damping),
+            2 * c.seasons.len(),
+            c.arma.0,
+            c.arma.1,
+        ] {
+            offs.push((i, len));
+            i += len;
+        }
+        offs
+    };
+    let prev_seg = segments(prev_config);
+    let next_seg = segments(next_config);
+    let mut out = vec![0.0; next_config.n_params()];
+    for ((po, pl), (no, nl)) in prev_seg.into_iter().zip(next_seg) {
+        for j in 0..pl.min(nl) {
+            if po + j < prev.len() {
+                out[no + j] = prev[po + j];
+            }
+        }
+    }
+    out
+}
+
 /// A fitted TBATS model.
 #[derive(Debug, Clone)]
 pub struct FittedTbats {
@@ -164,6 +217,11 @@ pub struct FittedTbats {
     pub aic: f64,
     /// Training length.
     pub n_obs: usize,
+    /// Converged unconstrained optimiser parameters (warm-start seed for a
+    /// subsequent fit).
+    pub params_unconstrained: Vec<f64>,
+    /// Objective evaluations spent by the optimiser (1 for a frozen fit).
+    pub nm_evals: usize,
     state: TbatsState,
     /// Positivity shift applied before Box-Cox (0 when unused).
     shift: f64,
@@ -172,6 +230,15 @@ pub struct FittedTbats {
 impl FittedTbats {
     /// Fit `config` to `y`.
     pub fn fit(y: &[f64], config: TbatsConfig) -> Result<FittedTbats> {
+        Self::fit_with(y, config, &TbatsFitOptions::default())
+    }
+
+    /// Fit with warm-start / freeze control (the evaluation-engine entry).
+    pub fn fit_with(
+        y: &[f64],
+        config: TbatsConfig,
+        options: &TbatsFitOptions,
+    ) -> Result<FittedTbats> {
         let max_period = config
             .seasons
             .iter()
@@ -262,17 +329,30 @@ impl FittedTbats {
             }
         };
         let k = config.n_params();
-        let nm = nelder_mead(
-            objective,
-            &vec![0.0; k],
-            &NelderMeadOptions {
-                max_evals: 400 + 150 * k,
-                restarts: 1,
-                initial_step: 1.0,
-                ..Default::default()
-            },
-        );
-        let params = unpack(&nm.x);
+        let warm = options
+            .warm_start
+            .as_ref()
+            .filter(|w| w.len() == k)
+            .cloned();
+        let (params_unconstrained, nm_evals) = match warm {
+            // Champion-seeded frozen re-score: one filter pass, verbatim.
+            Some(w) if options.freeze_warm_start => (w, 1),
+            warm => {
+                let start = warm.unwrap_or_else(|| vec![0.0; k]);
+                let nm = nelder_mead(
+                    objective,
+                    &start,
+                    &NelderMeadOptions {
+                        max_evals: 400 + 150 * k,
+                        restarts: 1,
+                        initial_step: 1.0,
+                        ..Default::default()
+                    },
+                );
+                (nm.x, nm.evals)
+            }
+        };
+        let params = unpack(&params_unconstrained);
         let (sse, state) =
             filter(&z, &config, &params, init).ok_or_else(|| ModelError::FitFailed {
                 context: format!("TBATS filter diverged for {}", config.describe()),
@@ -291,6 +371,8 @@ impl FittedTbats {
             sigma2,
             aic,
             n_obs: y.len(),
+            params_unconstrained,
+            nm_evals,
             state,
             shift,
             config,

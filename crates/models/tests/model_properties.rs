@@ -92,6 +92,44 @@ proptest! {
     }
 
     #[test]
+    fn multiplicative_holt_winters_guards_nonpositive_series(
+        y in series_strategy(),
+        dip in -50.0f64..1.0,
+        at in 0usize..120,
+    ) {
+        let dip = dip.min(0.0); // zero is as forbidden as negative
+        // Drive one observation to zero or below: the multiplicative
+        // seasonal fit must refuse up front (never NaN, never panic),
+        // while the same series stays fittable additively.
+        let mut y = y;
+        let idx = at % y.len();
+        y[idx] = dip;
+        let period = 12.min(y.len() / 3).max(2);
+        match FittedEts::fit(&y, EtsConfig::holt_winters_multiplicative(period)) {
+            Err(dwcp_models::ModelError::InvalidSpec { context }) => {
+                prop_assert!(context.contains("positive"), "unexpected context: {context}");
+            }
+            Err(other) => prop_assert!(false, "expected InvalidSpec, got {other}"),
+            Ok(fit) => prop_assert!(false, "fit accepted non-positive data: {}", fit.config.name()),
+        }
+        let additive = FittedEts::fit(&y, EtsConfig::holt_winters(period)).unwrap();
+        prop_assert!(additive.forecast(8).mean.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn multiplicative_holt_winters_accepts_positive_series(y in series_strategy()) {
+        // series_strategy draws level >= 10 with |noise| <= 1% of level and
+        // amplitude damped by sin, but clamp anyway so the precondition is
+        // explicit rather than inherited.
+        let y: Vec<f64> = y.into_iter().map(|v| v.max(0.5)).collect();
+        let period = 12.min(y.len() / 3).max(2);
+        let fit = FittedEts::fit(&y, EtsConfig::holt_winters_multiplicative(period)).unwrap();
+        let f = fit.forecast(period);
+        prop_assert!(f.mean.iter().all(|v| v.is_finite()));
+        prop_assert!(f.std_error.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
     fn fourier_rows_are_bounded(period in 2.0f64..500.0, k in 1usize..5, t in 0usize..10_000) {
         let spec = FourierSpec::single(period, k);
         for v in spec.row(t) {

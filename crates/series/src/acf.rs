@@ -34,7 +34,7 @@ const FFT_ACF_MIN_LEN: usize = 128;
 /// autocorrelation (|ρ| ≤ 1 and positive semi-definite), as R's `acf` and
 /// statsmodels do. `result[0]` is always 1.
 ///
-/// Series of [`FFT_ACF_MIN_LEN`] observations or more go through an
+/// Series of `FFT_ACF_MIN_LEN` (128) observations or more go through an
 /// FFT-based autocovariance (zero-padded circular correlation); shorter
 /// series use the direct sum. Both paths compute the same estimator and
 /// agree to well within `1e-9` (property-tested in this module); the

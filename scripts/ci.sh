@@ -14,6 +14,10 @@
 #   5. bench_fleet smoke on the reduced (DWCP_QUICK=1) batch, then a schema
 #      check of the written snapshot so downstream tooling can rely on its
 #      keys
+#   6. CLI smoke: `dwcp forecast --method auto` on a simulated OLAP series
+#      must race the families and report the chosen champion family in the
+#      `# summary:` JSON line
+#   7. cargo doc --no-deps must build warning-free
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,5 +51,25 @@ for key in batch n_jobs threads sequential_wall_ms fleet_cold_wall_ms \
     || { echo "BENCH_fleet.json missing key: $key"; exit 1; }
 done
 echo "snapshot schema OK"
+
+echo "== cli smoke: dwcp forecast --method auto =="
+auto_csv="$(mktemp /tmp/dwcp_ci_auto_XXXXXX.csv)"
+auto_out="$(mktemp /tmp/dwcp_ci_auto_out_XXXXXX.txt)"
+trap 'rm -f "$auto_csv" "$auto_out"' EXIT
+cargo run -q --release -- simulate --scenario olap --instance cdbm011 \
+  --metric cpu --seed 11 --out "$auto_csv"
+cargo run -q --release -- forecast --input "$auto_csv" --method auto \
+  > "$auto_out"
+grep -q '^# summary: {"champion":' "$auto_out" \
+  || { echo "forecast --method auto: missing # summary JSON line"; exit 1; }
+family=$(sed -n 's/.*"family":"\([^"]*\)".*/\1/p' "$auto_out" | head -1)
+case "$family" in
+  ARIMA|SARIMAX|"SARIMAX FFT Exogenous"|HES|TBATS)
+    echo "auto picked champion family: $family" ;;
+  *) echo "forecast --method auto: unexpected family '$family'"; exit 1 ;;
+esac
+
+echo "== docs: cargo doc --no-deps (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "ci.sh: all stages passed"

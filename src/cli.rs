@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! dwcp simulate --scenario oltp --instance cdbm011 --metric cpu [--seed N] [--out FILE]
-//! dwcp forecast --input FILE [--method sarimax|hes|tbats] [--granularity hourly|daily|weekly]
-//! dwcp advise   --input FILE --threshold X [--method sarimax|hes]
+//! dwcp forecast --input FILE [--method sarimax|hes|tbats|auto] [--granularity hourly|daily|weekly]
+//! dwcp advise   --input FILE --threshold X [--method sarimax|hes|tbats|auto]
 //! ```
 //!
 //! CSV format: one observation per line, either `value` or
@@ -127,7 +127,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             "sarimax" => Ok(MethodChoice::Sarimax),
             "hes" => Ok(MethodChoice::Hes),
             "tbats" => Ok(MethodChoice::Tbats),
-            other => Err(err(format!("unknown method `{other}` (sarimax|hes|tbats)"))),
+            "auto" => Ok(MethodChoice::Auto),
+            other => Err(err(format!(
+                "unknown method `{other}` (sarimax|hes|tbats|auto)"
+            ))),
         }
     };
     let granularity_of = |s: &str| -> Result<Granularity, CliError> {
@@ -197,16 +200,18 @@ pub const USAGE: &str = "dwcp — database workload capacity planning (SIGMOD'20
 USAGE:
   dwcp simulate [--scenario olap|oltp] [--instance NAME] [--metric cpu|memory|iops]
                 [--seed N] [--out FILE]
-  dwcp forecast --input FILE [--method sarimax|hes|tbats]
+  dwcp forecast --input FILE [--method sarimax|hes|tbats|auto]
                 [--granularity hourly|daily|weekly] [--detect-shocks]
-  dwcp fleet    --inputs A.csv,B.csv,... [--method sarimax|hes|tbats]
+  dwcp fleet    --inputs A.csv,B.csv,... [--method sarimax|hes|tbats|auto]
                 [--granularity hourly|daily|weekly] [--threads N] [--radius N]
                 [--repo FILE]
-  dwcp advise   --input FILE --threshold X [--method sarimax|hes|tbats]
+  dwcp advise   --input FILE --threshold X [--method sarimax|hes|tbats|auto]
 
 CSV input: one observation per line, `value` or `timestamp,value`.
-`fleet` schedules every input through one shared worker pool; with --repo it
-persists champions and seeds relearning from them on the next run.
+`--method auto` races every family through one grid and keeps the best
+held-out RMSE. `fleet` schedules every input through one shared worker
+pool; with --repo it persists champions (any family) and seeds relearning
+from them on the next run.
 ";
 
 /// Parse a metric CSV into a [`TimeSeries`] (assumed hourly unless
@@ -330,7 +335,14 @@ pub fn execute(
             let pipeline = Pipeline::new(config);
             let horizon = granularity.horizon();
             let (outcome, future) = pipeline.refit_and_forecast(&series, &[], &[], horizon)?;
+            let family = outcome.family.map(|f| f.label()).unwrap_or("unknown");
             writeln!(stdout, "# champion: {}", outcome.champion)?;
+            writeln!(stdout, "# method: {method:?} -> chosen family: {family}")?;
+            writeln!(
+                stdout,
+                "# summary: {{\"champion\":\"{}\",\"family\":\"{}\",\"rmse\":{:.6}}}",
+                outcome.champion, family, outcome.accuracy.rmse
+            )?;
             writeln!(
                 stdout,
                 "# held-out accuracy: RMSE {:.4}  MAPE {:.2}%  MAPA {:.2}%  ({} models evaluated)",
@@ -403,20 +415,24 @@ pub fn execute(
                 _ => FleetScheduler::new(options),
             };
             let report = scheduler.run_batch(&jobs);
-            writeln!(stdout, "workload,champion,rmse,mape,reused,fell_back")?;
+            writeln!(
+                stdout,
+                "workload,champion,rmse,mape,reused,fell_back,family"
+            )?;
             for job in &report.jobs {
                 match &job.outcome {
                     Ok(outcome) => writeln!(
                         stdout,
-                        "{},{},{:.4},{:.2},{},{}",
+                        "{},{},{:.4},{:.2},{},{},{}",
                         job.key,
                         outcome.champion,
                         outcome.accuracy.rmse,
                         outcome.accuracy.mape,
                         job.reused,
-                        job.fell_back
+                        job.fell_back,
+                        outcome.family.map(|f| f.label()).unwrap_or("unknown")
                     )?,
-                    Err(e) => writeln!(stdout, "{},ERROR: {e},,,,", job.key)?,
+                    Err(e) => writeln!(stdout, "{},ERROR: {e},,,,,", job.key)?,
                 }
             }
             writeln!(
@@ -532,6 +548,15 @@ mod tests {
                 detect_shocks: false,
             }
         );
+    }
+
+    #[test]
+    fn parse_method_auto() {
+        let cmd = parse(&args("forecast --input x.csv --method auto")).unwrap();
+        match cmd {
+            Command::Forecast { method, .. } => assert_eq!(method, MethodChoice::Auto),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

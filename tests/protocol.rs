@@ -61,7 +61,10 @@ fn section63_grid_cardinalities() {
     // "SARIMAX … + Exogenous (4) + Fourier Terms (2) = 666 per instance
     // (totalling 1332)"
     let exo = ModelGrid::sarimax_exogenous(24, 4);
-    let fourier = ModelGrid::fourier_variants(&exo.candidates[0].config, &[24.0, 168.0]);
+    let fourier = ModelGrid::fourier_variants(
+        exo.candidates[0].as_sarimax().expect("SARIMAX grid"),
+        &[24.0, 168.0],
+    );
     assert_eq!(exo.len() + fourier.len(), 666);
     assert_eq!((exo.len() + fourier.len()) * 2, 1332);
 
@@ -76,11 +79,11 @@ fn grid_families_are_consistent() {
     assert!(ModelGrid::arima()
         .candidates
         .iter()
-        .all(|c| c.family == ModelFamily::Arima && !c.config.spec.is_seasonal()));
+        .all(|c| c.family == ModelFamily::Arima && !c.as_sarimax().unwrap().spec.is_seasonal()));
     assert!(ModelGrid::sarimax(24)
         .candidates
         .iter()
-        .all(|c| c.family == ModelFamily::Sarimax && c.config.spec.is_seasonal()));
+        .all(|c| c.family == ModelFamily::Sarimax && c.as_sarimax().unwrap().spec.is_seasonal()));
 }
 
 #[test]
