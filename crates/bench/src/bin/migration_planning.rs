@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // "Today": p95 of the trailing 30 days.
         let mut recent: Vec<f64> = daily.tail(30).values().to_vec();
         recent.retain(|v| v.is_finite());
-        recent.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        recent.sort_by(|a, b| dwcp_math::total_cmp_f64(*a, *b));
         let today_p95 = recent[(recent.len() as f64 * 0.95) as usize - 1];
 
         // "+6 months": the forecast's final-month mean and the capacity

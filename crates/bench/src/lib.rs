@@ -3,6 +3,7 @@
 //!
 //! Each binary prints the paper-shaped output to stdout and, where the
 //! artefact feeds EXPERIMENTS.md, writes a JSON record under `results/`.
+#![forbid(unsafe_code)]
 
 use dwcp_core::{EvaluationOptions, MethodChoice, Pipeline, PipelineConfig};
 use dwcp_series::Granularity;

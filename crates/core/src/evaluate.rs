@@ -194,6 +194,7 @@ pub struct EvalStats {
 impl EvalStats {
     /// The stats bucket for one family.
     pub fn family(&self, family: ModelFamily) -> &FamilyStats {
+        // lint: allow(indexing) — index() < ModelFamily::COUNT by construction
         &self.families[family.index()]
     }
 
@@ -276,14 +277,15 @@ impl EvaluationReport {
 }
 
 /// The deterministic score ordering: best RMSE first, exact ties broken by
-/// candidate index.
+/// candidate index (see [`crate::protocol::score_order`]).
 fn sort_scores(scores: &mut [ModelScore]) {
     scores.sort_by(|a, b| {
-        a.accuracy
-            .rmse
-            .partial_cmp(&b.accuracy.rmse)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.candidate_index.cmp(&b.candidate_index))
+        crate::protocol::score_order(
+            a.accuracy.rmse,
+            a.candidate_index,
+            b.accuracy.rmse,
+            b.candidate_index,
+        )
     });
 }
 
@@ -349,8 +351,8 @@ fn build_chains(candidates: &[CandidateModel]) -> Vec<Chain> {
     }
     let mut chains = Vec::new();
     for (_, mut indices) in groups {
-        indices.sort_by_key(|&i| match &candidates[i].config {
-            ModelConfig::Sarimax(c) => {
+        indices.sort_by_key(|&i| match candidates.get(i).map(|c| &c.config) {
+            Some(ModelConfig::Sarimax(c)) => {
                 let s = &c.spec;
                 (s.seasonal_p, s.seasonal_q, s.q, s.p, i)
             }
@@ -365,24 +367,11 @@ fn build_chains(candidates: &[CandidateModel]) -> Vec<Chain> {
     chains
 }
 
-/// Atomic minimum over non-negative f64s stored as bit patterns (the IEEE
-/// ordering of non-negative floats matches their bit ordering).
+/// Atomic minimum over non-negative f64s stored as bit patterns; delegates
+/// to [`crate::protocol::publish_min_rmse`], the model-checked incumbent
+/// protocol.
 fn update_min_f64(cell: &AtomicU64, value: f64) {
-    if !value.is_finite() || value < 0.0 {
-        return;
-    }
-    let mut current = cell.load(Ordering::Relaxed);
-    while value < f64::from_bits(current) {
-        match cell.compare_exchange_weak(
-            current,
-            value.to_bits(),
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
-            Ok(_) => return,
-            Err(seen) => current = seen,
-        }
-    }
+    crate::protocol::publish_min_rmse(cell, value);
 }
 
 /// What one worker accumulated; merged after the scope ends.
@@ -395,6 +384,14 @@ struct WorkerOutput {
     warm_starts: usize,
     objective_evals: usize,
     families: [FamilyStats; ModelFamily::COUNT],
+}
+
+impl WorkerOutput {
+    /// The per-family stats bucket.
+    fn family_mut(&mut self, family: ModelFamily) -> &mut FamilyStats {
+        // lint: allow(indexing) — index() < ModelFamily::COUNT by construction
+        &mut self.families[family.index()]
+    }
 }
 
 /// Evaluate `candidates` on a train/test split, in parallel.
@@ -429,7 +426,9 @@ pub fn evaluate_candidates(
     };
     evaluate_fleet(std::slice::from_ref(&task), opts.threads)
         .pop()
-        .expect("evaluate_fleet returns one report per task")
+        .unwrap_or(Err(PlannerError::Internal {
+            context: "evaluate_fleet returned no report for its single task",
+        }))
 }
 
 /// One grid evaluation in a fleet batch: a train/test split, its exogenous
@@ -514,7 +513,7 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
 
     let n_workers = threads.min(work.len()).max(1);
     // Worker outputs are per task so the merge below is per task.
-    let outputs: Vec<Vec<WorkerOutput>> = std::thread::scope(|scope| {
+    let outputs: (Vec<Vec<WorkerOutput>>, bool) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -525,39 +524,63 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
                         let Some(&(task_idx, chain_idx)) = work.get(item) else {
                             break;
                         };
-                        let task = &tasks[task_idx];
-                        let state = &states[task_idx];
-                        run_chain(
-                            &state.chains[chain_idx],
-                            task,
-                            &state.cache,
-                            &state.best_rmse,
-                            &mut out[task_idx],
-                        );
+                        // The work queue is built from `states` (same length
+                        // as `tasks`), so these lookups only miss if that
+                        // construction is broken — skip rather than panic.
+                        let (Some(task), Some(state), Some(slot)) = (
+                            tasks.get(task_idx),
+                            states.get(task_idx),
+                            out.get_mut(task_idx),
+                        ) else {
+                            continue;
+                        };
+                        let Some(chain) = state.chains.get(chain_idx) else {
+                            continue;
+                        };
+                        run_chain(chain, task, &state.cache, &state.best_rmse, slot);
                     }
                     out
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .collect()
+        let mut outs = Vec::with_capacity(handles.len());
+        let mut panicked = false;
+        for handle in handles {
+            match handle.join() {
+                Ok(out) => outs.push(out),
+                Err(_) => panicked = true,
+            }
+        }
+        (outs, panicked)
     });
+    let (mut outputs, worker_panicked) = outputs;
+    if worker_panicked {
+        // A worker died mid-batch; its partial scores are gone, so every
+        // task's report would under-count. Fail all of them typed instead.
+        return tasks
+            .iter()
+            .map(|_| {
+                Err(PlannerError::Internal {
+                    context: "an evaluation worker panicked mid-batch",
+                })
+            })
+            .collect();
+    }
 
     let wall_time = started.elapsed();
-    let mut outputs = outputs;
     let mut reports = Vec::with_capacity(tasks.len());
-    for (task_idx, task) in tasks.iter().enumerate() {
+    for ((task_idx, task), state) in tasks.iter().enumerate().zip(&states) {
         let mut scores = Vec::with_capacity(task.candidates.len());
         let mut stats = EvalStats {
-            cache_entries: states[task_idx].cache.len(),
+            cache_entries: state.cache.len(),
             ..Default::default()
         };
         let mut failures = 0;
         let mut abandoned = 0;
         for worker in outputs.iter_mut() {
-            let out = &mut worker[task_idx];
+            let Some(out) = worker.get_mut(task_idx) else {
+                continue;
+            };
             scores.append(&mut out.scores);
             failures += out.failures;
             abandoned += out.abandoned;
@@ -663,9 +686,13 @@ fn run_chain(
         .as_ref()
         .map(|(config, params, _)| (config.clone(), params.clone()));
     for &i in &chain.indices {
-        let candidate = &task.candidates[i];
-        let fam = candidate.family.index();
-        out.families[fam].attempts += 1;
+        // Chains are built from candidate indices, so a miss here means the
+        // chain builder is broken — skip the entry rather than panic.
+        let Some(candidate) = task.candidates.get(i) else {
+            continue;
+        };
+        let fam = candidate.family;
+        out.family_mut(fam).attempts += 1;
 
         let mut fit_opts = opts.fit.clone();
         if opts.warm_start {
@@ -722,12 +749,12 @@ fn run_chain(
             &fit_opts,
             cached,
         );
-        out.families[fam].fit_time += fit_started.elapsed();
+        out.family_mut(fam).fit_time += fit_started.elapsed();
 
         match outcome {
             Ok(scored) => {
-                out.families[fam].fits += 1;
-                out.families[fam].objective_evals += scored.nm_evals;
+                out.family_mut(fam).fits += 1;
+                out.family_mut(fam).objective_evals += scored.nm_evals;
                 out.objective_evals += scored.nm_evals;
                 update_min_f64(best_rmse, scored.score.accuracy.rmse);
                 prev = Some((candidate.config.clone(), scored.score.warm_params.clone()));
@@ -735,16 +762,31 @@ fn run_chain(
             }
             Err(ModelError::Abandoned { evals }) => {
                 out.abandoned += 1;
-                out.families[fam].abandoned += 1;
-                out.families[fam].objective_evals += evals;
+                out.family_mut(fam).abandoned += 1;
+                out.family_mut(fam).objective_evals += evals;
                 out.objective_evals += evals;
             }
             Err(_) => {
                 out.failures += 1;
-                out.families[fam].failures += 1;
+                out.family_mut(fam).failures += 1;
             }
         }
     }
+}
+
+/// The first `n` exogenous columns, or a typed mismatch error when the
+/// task supplies fewer than the candidate's regression design needs.
+fn exog_slice<'a>(
+    cols: &'a [Vec<f64>],
+    n: usize,
+    segment: &str,
+) -> std::result::Result<&'a [Vec<f64>], ModelError> {
+    cols.get(..n).ok_or_else(|| ModelError::ExogenousMismatch {
+        context: format!(
+            "candidate needs {n} {segment} exogenous columns, task supplies {}",
+            cols.len()
+        ),
+    })
 }
 
 /// A successful fit-and-score, plus the evaluation count for stats (the
@@ -785,11 +827,14 @@ fn score_one(
                     FittedSarimax::fit_plain_prepared(train, config, diffed, start_index, fit_opts)?
                 }
                 None => {
-                    FittedSarimax::fit(train, config, &exog_train[..n_exog], start_index, fit_opts)?
+                    let cols = exog_slice(exog_train, n_exog, "training")?;
+                    FittedSarimax::fit(train, config, cols, start_index, fit_opts)?
                 }
             };
-            let future_exog: Vec<&[f64]> =
-                exog_test[..n_exog].iter().map(|c| c.as_slice()).collect();
+            let future_exog: Vec<&[f64]> = exog_slice(exog_test, n_exog, "test")?
+                .iter()
+                .map(|c| c.as_slice())
+                .collect();
             let forecast = fit.forecast_cols(test.len(), &future_exog)?;
             let warm_beta = fit.beta.clone();
             finish_score(&fit, forecast, warm_beta, test, candidate, candidate_index)

@@ -213,12 +213,14 @@ impl FleetScheduler {
             let mut plan = match pipeline.plan(&job.series, &job.exog) {
                 Ok(plan) => plan,
                 Err(e) => {
-                    results[job_idx] = Some(JobResult {
-                        key: job.key.clone(),
-                        outcome: Err(e),
-                        reused: false,
-                        fell_back: false,
-                    });
+                    if let Some(slot) = results.get_mut(job_idx) {
+                        *slot = Some(JobResult {
+                            key: job.key.clone(),
+                            outcome: Err(e),
+                            reused: false,
+                            fell_back: false,
+                        });
+                    }
                     continue;
                 }
             };
@@ -292,12 +294,17 @@ impl FleetScheduler {
                     .map(|c| c.accuracy.rmse > job.fallback_threshold)
                     .unwrap_or(true),
             };
+            // `fallback_models` was checked non-None above; `take` moves the
+            // grid out so a job can only fall back once.
             if degraded {
+                let Some(models) = job.fallback_models.take() else {
+                    continue;
+                };
                 job.fell_back = true;
                 if let Some(report) = job.report.take() {
                     job.wasted.merge(&report.stats);
                 }
-                job.plan.set.models = job.fallback_models.take().unwrap();
+                job.plan.set.models = models;
                 job.seed = None;
             }
         }
@@ -327,9 +334,9 @@ impl FleetScheduler {
                 .collect();
             let tasks: Vec<EvalTask> = staged
                 .iter()
-                .map(|(i, variants)| {
-                    let job = &prepared[*i];
-                    EvalTask {
+                .filter_map(|(i, variants)| {
+                    let job = prepared.get(*i)?;
+                    Some(EvalTask {
                         train: job.plan.split.train.values(),
                         test: job.plan.split.test.values(),
                         exog_train: &job.plan.exog_train,
@@ -337,28 +344,32 @@ impl FleetScheduler {
                         candidates: variants,
                         opts: job.plan.eval_opts.clone(),
                         seed: None,
-                    }
+                    })
                 })
                 .collect();
             let reports = evaluate_fleet(&tasks, self.options.threads);
             drop(tasks);
+            // Staged indices come from enumerating `prepared`, and only
+            // jobs with a report are staged — both lookups hold by
+            // construction, so a miss just drops the variant scores.
             for ((i, _), report) in staged.into_iter().zip(reports) {
                 if let Ok(fourier_report) = report {
-                    prepared[i]
-                        .report
-                        .as_mut()
-                        .expect("staged jobs have a report")
-                        .absorb(fourier_report);
+                    if let Some(target) = prepared.get_mut(i).and_then(|job| job.report.as_mut()) {
+                        target.absorb(fourier_report);
+                    }
                 }
             }
         }
 
         // Phase B — assemble outcomes, update the repository, aggregate.
         for job in prepared {
-            let key = &jobs[job.job_idx].key;
+            let Some(source) = jobs.get(job.job_idx) else {
+                continue;
+            };
+            let key = &source.key;
             batch.merge(&job.wasted);
             let outcome = match job.report {
-                Some(report) => Ok(job.pipeline.outcome_from_report(job.plan, report)),
+                Some(report) => job.pipeline.outcome_from_report(job.plan, report),
                 None => Err(PlannerError::NoViableModel {
                     attempted: job.plan.set.models.len(),
                 }),
@@ -368,22 +379,37 @@ impl FleetScheduler {
                 self.repository.store(ModelRecord::from_outcome(
                     key,
                     outcome,
-                    jobs[job.job_idx].config.granularity,
+                    source.config.granularity,
                     self.options.now,
                 ));
             }
-            results[job.job_idx] = Some(JobResult {
-                key: key.clone(),
-                outcome,
-                reused: job.reused,
-                fell_back: job.fell_back,
-            });
+            if let Some(slot) = results.get_mut(job.job_idx) {
+                *slot = Some(JobResult {
+                    key: key.clone(),
+                    outcome,
+                    reused: job.reused,
+                    fell_back: job.fell_back,
+                });
+            }
         }
         batch.wall_time = started.elapsed();
         FleetReport {
             jobs: results
                 .into_iter()
-                .map(|r| r.expect("every job produced a result"))
+                .zip(jobs)
+                .map(|(result, job)| {
+                    // Every job is either planned (phase A failure slot) or
+                    // prepared (phase B slot); an empty slot is a scheduler
+                    // bug, reported as a typed per-job error.
+                    result.unwrap_or_else(|| JobResult {
+                        key: job.key.clone(),
+                        outcome: Err(PlannerError::Internal {
+                            context: "fleet job produced no result",
+                        }),
+                        reused: false,
+                        fell_back: false,
+                    })
+                })
                 .collect(),
             stats: batch,
         }

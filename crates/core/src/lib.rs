@@ -27,6 +27,7 @@
 //!   shock-acceptance policy (§5.1, §9),
 //! * [`advisor`] — proactive threshold-breach warnings (§8's short-term
 //!   monitoring use case).
+#![forbid(unsafe_code)]
 
 pub mod advisor;
 pub mod backtest;
@@ -36,6 +37,7 @@ pub mod evaluate;
 pub mod fleet;
 pub mod grid;
 pub mod pipeline;
+pub mod protocol;
 pub mod repository;
 pub mod shocks;
 
@@ -67,6 +69,13 @@ pub enum PlannerError {
     Series(dwcp_series::SeriesError),
     /// Repository persistence failure.
     Persistence(String),
+    /// An internal invariant was violated (a "cannot happen" path reached
+    /// through a bug). Surfaced as a typed error instead of a panic so one
+    /// broken job can never abort a whole fleet batch.
+    Internal {
+        /// What was expected to hold.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for PlannerError {
@@ -81,6 +90,9 @@ impl std::fmt::Display for PlannerError {
             PlannerError::Model(e) => write!(f, "model error: {e}"),
             PlannerError::Series(e) => write!(f, "series error: {e}"),
             PlannerError::Persistence(e) => write!(f, "persistence error: {e}"),
+            PlannerError::Internal { context } => {
+                write!(f, "internal invariant violated: {context}")
+            }
         }
     }
 }

@@ -236,13 +236,7 @@ impl Pipeline {
         let window = self.config.granularity.observations();
         let offset = working.len() - window;
         let train_len = split.train.len();
-        let (exog_train, exog_test): (Vec<Vec<f64>>, Vec<Vec<f64>>) = exog_full
-            .iter()
-            .map(|col| {
-                let w = &col[offset..offset + window];
-                (w[..train_len].to_vec(), w[train_len..].to_vec())
-            })
-            .unzip();
+        let (exog_train, exog_test) = split_exog_window(exog_full, offset, window, train_len)?;
 
         // 3. Profile + the candidate grid for the chosen families.
         let train = split.train.values();
@@ -333,17 +327,22 @@ impl Pipeline {
                 report.absorb(fourier_report);
             }
         }
-        Ok(self.outcome_from_report(plan, report))
+        self.outcome_from_report(plan, report)
     }
 
-    /// Assemble a [`ForecastOutcome`] from a finished evaluation.
+    /// Assemble a [`ForecastOutcome`] from a finished evaluation. A report
+    /// with no champion (every candidate failed) is `NoViableModel`.
     pub(crate) fn outcome_from_report(
         &self,
         plan: EvalPlan,
         report: EvaluationReport,
-    ) -> ForecastOutcome {
-        let champion_score = report.champion().expect("non-empty by construction");
-        ForecastOutcome {
+    ) -> Result<ForecastOutcome> {
+        let Some(champion_score) = report.champion() else {
+            return Err(PlannerError::NoViableModel {
+                attempted: report.attempted,
+            });
+        };
+        Ok(ForecastOutcome {
             champion: champion_score.candidate.config.describe(),
             family: Some(champion_score.candidate.family),
             accuracy: champion_score.accuracy,
@@ -358,7 +357,7 @@ impl Pipeline {
             gaps_filled: plan.gaps_filled,
             profile: Some(plan.set.profile),
             stats: report.stats,
-        }
+        })
     }
 
     /// Run the pipeline, then refit the champion on the **full** series
@@ -388,10 +387,11 @@ impl Pipeline {
                 let n = config.n_exog;
                 // Auto-detected shocks: re-derive the columns over the full
                 // window and extend them into the future.
-                let (hist_cols, fut_cols): (Vec<Vec<f64>>, Vec<Vec<f64>>) = if exog_full.len() >= n
+                let (hist_cols, fut_cols): (Vec<Vec<f64>>, Vec<Vec<f64>>) = if let Some(hist) =
+                    exog_full.get(..n)
                 {
                     (
-                        exog_full[..n].to_vec(),
+                        hist.to_vec(),
                         future_exog.get(..n).map(|c| c.to_vec()).ok_or_else(|| {
                             PlannerError::Model(dwcp_models::ModelError::ExogenousMismatch {
                                 context: format!(
@@ -412,17 +412,17 @@ impl Pipeline {
                         working.len(),
                         horizon,
                     );
-                    if hist.len() < n {
+                    let (Some(hist_n), Some(fut_n)) = (hist.get(..n), fut.get(..n)) else {
                         return Err(PlannerError::Model(
-                                dwcp_models::ModelError::ExogenousMismatch {
-                                    context: format!(
-                                        "champion needs {n} exogenous columns, re-detection produced {}",
-                                        hist.len()
-                                    ),
-                                },
-                            ));
-                    }
-                    (hist[..n].to_vec(), fut[..n].to_vec())
+                            dwcp_models::ModelError::ExogenousMismatch {
+                                context: format!(
+                                    "champion needs {n} exogenous columns, re-detection produced {}",
+                                    hist.len()
+                                ),
+                            },
+                        ));
+                    };
+                    (hist_n.to_vec(), fut_n.to_vec())
                 };
                 let fit = FittedSarimax::fit(
                     working.values(),
@@ -460,13 +460,7 @@ impl Pipeline {
         let window = self.config.granularity.observations();
         let offset = working.len() - window;
         let train_len = split.train.len();
-        let (exog_train, exog_test): (Vec<Vec<f64>>, Vec<Vec<f64>>) = exog_full
-            .iter()
-            .map(|col| {
-                let w = &col[offset..offset + window];
-                (w[..train_len].to_vec(), w[train_len..].to_vec())
-            })
-            .unzip();
+        let (exog_train, exog_test) = split_exog_window(exog_full, offset, window, train_len)?;
         let train = split.train.values();
         let profile = DataProfile::analyze(train)?;
         let fallback = self.config.granularity.seasonal_period();
@@ -533,6 +527,39 @@ fn tbats_periods(profile: &DataProfile, fallback_period: usize) -> Vec<f64> {
             .take(2)
             .collect()
     }
+}
+
+/// Exogenous columns split at the train/test boundary.
+type ExogSplit = (Vec<Vec<f64>>, Vec<Vec<f64>>);
+
+/// Slice each full-history exogenous column to the trailing evaluation
+/// window and split it at the train/test boundary. A column shorter than
+/// the window is a caller error, reported as `ExogenousMismatch` instead
+/// of a slice panic.
+fn split_exog_window(
+    exog_full: &[Vec<f64>],
+    offset: usize,
+    window: usize,
+    train_len: usize,
+) -> Result<ExogSplit> {
+    let mut exog_train = Vec::with_capacity(exog_full.len());
+    let mut exog_test = Vec::with_capacity(exog_full.len());
+    for (idx, col) in exog_full.iter().enumerate() {
+        let w = col.get(offset..offset + window).ok_or_else(|| {
+            PlannerError::Model(dwcp_models::ModelError::ExogenousMismatch {
+                context: format!(
+                    "exogenous column {idx} has {} observations, the evaluation window needs {}",
+                    col.len(),
+                    offset + window
+                ),
+            })
+        })?;
+        let train = w.get(..train_len).unwrap_or(w);
+        let test = w.get(train_len..).unwrap_or(&[]);
+        exog_train.push(train.to_vec());
+        exog_test.push(test.to_vec());
+    }
+    Ok((exog_train, exog_test))
 }
 
 #[cfg(test)]

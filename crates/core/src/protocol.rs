@@ -1,0 +1,119 @@
+//! The lock-free champion-selection protocol, isolated from the engine.
+//!
+//! Two pieces of `evaluate.rs` carry the entire correctness burden of the
+//! parallel grid search:
+//!
+//! 1. the **atomic incumbent** — workers racing candidate fits publish
+//!    their best RMSE into a shared `AtomicU64` so slower fits can be
+//!    abandoned, and
+//! 2. the **deterministic tie-break** — the final champion is the minimum
+//!    under `(rmse, candidate_index)` order, so exact RMSE ties resolve to
+//!    the earlier candidate regardless of which worker finished first.
+//!
+//! Both are defined here, generic over the atomic cell, so the bounded
+//! model checker in `tests/model_check.rs` can drive the *same code* (not
+//! a transcription of it) through every interleaving of its atomic
+//! operations via the `interleave` scheduler, while the engine runs it on
+//! a plain `std` atomic with uncontended `Relaxed` ordering.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The one capability the incumbent protocol needs from its storage cell:
+/// a 64-bit load and compare-exchange. `evaluate.rs` provides a plain
+/// [`AtomicU64`]; the model checker provides an instrumented cell whose
+/// operations are scheduling points.
+pub trait IncumbentCell {
+    /// Load the current bit pattern.
+    fn load_bits(&self) -> u64;
+    /// Compare-exchange: replace `current` with `new`, returning the
+    /// previously-stored bits on failure. May fail spuriously (the weak
+    /// variant is permitted); the caller retries.
+    fn compare_exchange_bits(&self, current: u64, new: u64) -> std::result::Result<u64, u64>;
+}
+
+impl IncumbentCell for AtomicU64 {
+    fn load_bits(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+
+    fn compare_exchange_bits(&self, current: u64, new: u64) -> std::result::Result<u64, u64> {
+        // Relaxed suffices: the incumbent is a monotone scalar used only as
+        // a pruning hint, never as a synchronisation edge.
+        self.compare_exchange_weak(current, new, Ordering::Relaxed, Ordering::Relaxed)
+    }
+}
+
+/// Publish `value` as a candidate incumbent RMSE: atomic minimum over
+/// non-negative finite f64s stored as bit patterns (the IEEE ordering of
+/// non-negative floats matches their bit ordering, so the integer CAS
+/// implements the float minimum).
+///
+/// NaN, infinities and negative values are rejected at the door — a
+/// poisoned score can never become the incumbent, so racing can never
+/// abandon fits against a bogus bound.
+pub fn publish_min_rmse<C: IncumbentCell>(cell: &C, value: f64) {
+    if !value.is_finite() || value < 0.0 {
+        return;
+    }
+    let mut current = cell.load_bits();
+    while value < f64::from_bits(current) {
+        match cell.compare_exchange_bits(current, value.to_bits()) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// The deterministic champion order: best RMSE first under the total f64
+/// order (NaN greatest, so a poisoned score can never win), exact ties
+/// broken by candidate index so the earlier grid entry wins regardless of
+/// worker scheduling.
+pub fn score_order(a_rmse: f64, a_index: usize, b_rmse: f64, b_index: usize) -> CmpOrdering {
+    dwcp_math::total_cmp_f64(a_rmse, b_rmse).then(a_index.cmp(&b_index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_monotone_minimum() {
+        let cell = AtomicU64::new(f64::INFINITY.to_bits());
+        publish_min_rmse(&cell, 5.0);
+        assert_eq!(f64::from_bits(cell.load_bits()), 5.0);
+        publish_min_rmse(&cell, 7.0);
+        assert_eq!(f64::from_bits(cell.load_bits()), 5.0);
+        publish_min_rmse(&cell, 2.5);
+        assert_eq!(f64::from_bits(cell.load_bits()), 2.5);
+    }
+
+    #[test]
+    fn rejects_nan_inf_and_negative() {
+        let cell = AtomicU64::new(f64::INFINITY.to_bits());
+        publish_min_rmse(&cell, f64::NAN);
+        publish_min_rmse(&cell, f64::NEG_INFINITY);
+        publish_min_rmse(&cell, -1.0);
+        assert_eq!(f64::from_bits(cell.load_bits()), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_is_a_legal_incumbent() {
+        let cell = AtomicU64::new(f64::INFINITY.to_bits());
+        publish_min_rmse(&cell, 0.0);
+        assert_eq!(f64::from_bits(cell.load_bits()), 0.0);
+    }
+
+    #[test]
+    fn tie_break_prefers_earlier_index() {
+        assert_eq!(score_order(1.0, 3, 1.0, 7), CmpOrdering::Less);
+        assert_eq!(score_order(1.0, 7, 1.0, 3), CmpOrdering::Greater);
+        assert_eq!(score_order(0.5, 9, 1.0, 0), CmpOrdering::Less);
+    }
+
+    #[test]
+    fn nan_sorts_after_every_real_score() {
+        assert_eq!(score_order(f64::NAN, 0, 1e12, 99), CmpOrdering::Greater);
+        assert_eq!(score_order(1e12, 99, f64::NAN, 0), CmpOrdering::Less);
+    }
+}

@@ -190,6 +190,23 @@ impl ModelRepository {
             std::fs::read_to_string(path).map_err(|e| PlannerError::Persistence(e.to_string()))?;
         serde_json::from_str(&json).map_err(|e| PlannerError::Persistence(e.to_string()))
     }
+
+    /// Load from JSON, degrading gracefully: a corrupt or truncated file
+    /// (interrupted write, disk fault) yields an **empty** repository plus
+    /// the parse error, instead of aborting the scheduler run. Losing the
+    /// repository is recoverable by design — every workload simply takes
+    /// the full-relearn path, exactly as on first boot (§5.1's weekly
+    /// relearn needs no history to proceed). A *missing* file is not
+    /// degradation at all, just first boot: `(empty, None)`.
+    pub fn load_lenient(path: &Path) -> (ModelRepository, Option<PlannerError>) {
+        if !path.exists() {
+            return (ModelRepository::new(), None);
+        }
+        match ModelRepository::load(path) {
+            Ok(repo) => (repo, None),
+            Err(err) => (ModelRepository::new(), Some(err)),
+        }
+    }
 }
 
 /// The >3-occurrence shock policy (§9): an anomalous event is discarded
@@ -430,6 +447,68 @@ mod tests {
         repo.save(&path).unwrap();
         let back = ModelRepository::load(&path).unwrap();
         assert_eq!(back.len(), 2);
+        assert_eq!(back.get("cdbm011/CPU"), repo.get("cdbm011/CPU"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_repository_file_degrades_to_full_relearn() {
+        // Simulate an interrupted write: persist a real repository, then
+        // chop the JSON mid-record. The lenient load must hand back an
+        // empty repository (every workload relearns from scratch) and
+        // surface the parse error — never abort.
+        let mut repo = ModelRepository::new();
+        repo.store(record("cdbm011/CPU", 8.42, 1_700_000_000));
+        let dir = std::env::temp_dir().join("dwcp_repo_truncated_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        repo.save(&path).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        assert!(ModelRepository::load(&path).is_err(), "strict load fails");
+        let (recovered, warning) = ModelRepository::load_lenient(&path);
+        assert!(recovered.is_empty(), "corrupt file yields an empty repo");
+        assert!(warning.is_some(), "the parse error is surfaced, not eaten");
+        assert_eq!(
+            recovered.needs_relearn("cdbm011/CPU", 0, None),
+            Some(RelearnReason::Missing),
+            "every workload takes the full-relearn path"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_repository_file_degrades_to_full_relearn() {
+        let dir = std::env::temp_dir().join("dwcp_repo_garbage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        let (recovered, warning) = ModelRepository::load_lenient(&path);
+        assert!(recovered.is_empty());
+        assert!(warning.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_repository_file_is_first_boot_not_degradation() {
+        let path = std::env::temp_dir().join("dwcp_repo_never_written.json");
+        std::fs::remove_file(&path).ok();
+        let (repo, warning) = ModelRepository::load_lenient(&path);
+        assert!(repo.is_empty());
+        assert!(warning.is_none(), "a missing file is not a warning");
+    }
+
+    #[test]
+    fn intact_repository_file_loads_leniently_without_warning() {
+        let mut repo = ModelRepository::new();
+        repo.store(record("cdbm011/CPU", 8.42, 1_700_000_000));
+        let dir = std::env::temp_dir().join("dwcp_repo_lenient_ok_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("models.json");
+        repo.save(&path).unwrap();
+        let (back, warning) = ModelRepository::load_lenient(&path);
+        assert!(warning.is_none());
         assert_eq!(back.get("cdbm011/CPU"), repo.get("cdbm011/CPU"));
         std::fs::remove_file(&path).ok();
     }

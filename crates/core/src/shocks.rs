@@ -200,12 +200,7 @@ impl ShockDetector {
                 out.push(shock);
             }
         }
-        out.sort_by(|a, b| {
-            b.magnitude
-                .abs()
-                .partial_cmp(&a.magnitude.abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        out.sort_by(|a, b| dwcp_math::total_cmp_f64(b.magnitude.abs(), a.magnitude.abs()));
         Ok(out)
     }
 

@@ -1,0 +1,193 @@
+//! Bounded model checking of the lock-free evaluator protocol.
+//!
+//! These tests drive the *production* champion-selection code —
+//! [`dwcp_core::protocol::publish_min_rmse`] and
+//! [`dwcp_core::protocol::score_order`] — through **every** interleaving of
+//! their atomic operations (up to a schedule budget) using the vendored
+//! `interleave` scheduler. Shared state lives in an instrumented atomic
+//! whose each operation is a scheduling point, so the exploration
+//! enumerates every serialisation of the load/CAS traffic the racing
+//! workers can generate.
+//!
+//! What is proven (within the bounds):
+//!
+//! * the incumbent cell converges to the true minimum RMSE no matter how
+//!   the publishers interleave;
+//! * NaN / infinite / negative scores can never become the incumbent;
+//! * an exact RMSE tie yields exactly one champion — the lower candidate
+//!   index — under every interleaving of the result merge;
+//! * the `fetch_add` work queue dispenses each candidate exactly once and
+//!   workers on different tasks never touch each other's incumbents.
+
+use dwcp_core::protocol::{publish_min_rmse, score_order, IncumbentCell};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// The instrumented incumbent cell: `interleave::AtomicU64` with every
+/// operation a scheduling point. Newtype because both the trait and the
+/// atomic are foreign to this test crate.
+#[derive(Debug)]
+struct CheckedCell(interleave::AtomicU64);
+
+impl CheckedCell {
+    fn new() -> Self {
+        CheckedCell(interleave::AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    fn value(&self) -> f64 {
+        f64::from_bits(self.0.load())
+    }
+}
+
+impl IncumbentCell for CheckedCell {
+    fn load_bits(&self) -> u64 {
+        self.0.load()
+    }
+
+    fn compare_exchange_bits(&self, current: u64, new: u64) -> Result<u64, u64> {
+        self.0.compare_exchange(current, new)
+    }
+}
+
+/// Exhaustive-exploration budget. Every scenario below asserts
+/// `report.complete`, so this is a ceiling, not a sample size: if the
+/// state space outgrew it the test would fail loudly rather than pass on
+/// a subset.
+const BUDGET: usize = 500_000;
+
+#[test]
+fn incumbent_is_exact_minimum_under_all_interleavings_of_two_publishers() {
+    let report = interleave::explore(BUDGET, |sch| {
+        let cell = Arc::new(CheckedCell::new());
+        for rmse in [3.0_f64, 1.5_f64] {
+            let cell = Arc::clone(&cell);
+            sch.thread(move || publish_min_rmse(&*cell, rmse));
+        }
+        let cell = Arc::clone(&cell);
+        sch.check(move || assert_eq!(cell.value(), 1.5));
+    });
+    assert!(report.complete, "state space exceeded the budget");
+    assert!(report.schedules_explored >= 2);
+}
+
+#[test]
+fn incumbent_is_exact_minimum_under_all_interleavings_of_three_publishers() {
+    // Three workers race distinct scores; the published order the CAS
+    // traffic resolves in varies per schedule, the final value must not.
+    let report = interleave::explore(BUDGET, |sch| {
+        let cell = Arc::new(CheckedCell::new());
+        for rmse in [4.0_f64, 0.25_f64, 2.0_f64] {
+            let cell = Arc::clone(&cell);
+            sch.thread(move || publish_min_rmse(&*cell, rmse));
+        }
+        let cell = Arc::clone(&cell);
+        sch.check(move || assert_eq!(cell.value(), 0.25));
+    });
+    assert!(report.complete, "state space exceeded the budget");
+}
+
+#[test]
+fn poisoned_scores_never_become_the_incumbent() {
+    // One worker publishes garbage (NaN, -inf, negative) around a single
+    // honest score; under no interleaving may the garbage land.
+    let report = interleave::explore(BUDGET, |sch| {
+        let cell = Arc::new(CheckedCell::new());
+        let honest = Arc::clone(&cell);
+        sch.thread(move || publish_min_rmse(&*honest, 2.0));
+        let poison = Arc::clone(&cell);
+        sch.thread(move || {
+            publish_min_rmse(&*poison, f64::NAN);
+            publish_min_rmse(&*poison, f64::NEG_INFINITY);
+            publish_min_rmse(&*poison, -1.0);
+        });
+        let cell = Arc::clone(&cell);
+        sch.check(move || assert_eq!(cell.value(), 2.0));
+    });
+    assert!(report.complete, "state space exceeded the budget");
+}
+
+#[test]
+fn exact_tie_yields_one_champion_the_lower_index() {
+    // Two workers score candidates with bit-identical RMSE and publish
+    // concurrently; whatever order the cell sees them in, the *champion
+    // sort* must name candidate 3 (the lower index), and exactly one
+    // champion exists.
+    let report = interleave::explore(BUDGET, |sch| {
+        let cell = Arc::new(CheckedCell::new());
+        for _ in 0..2 {
+            let cell = Arc::clone(&cell);
+            sch.thread(move || publish_min_rmse(&*cell, 1.0));
+        }
+        let cell = Arc::clone(&cell);
+        sch.check(move || {
+            assert_eq!(cell.value(), 1.0);
+            // The merge phase sorts (rmse, index); the tie resolves the
+            // same way regardless of the publication order just explored.
+            let mut scores = vec![(1.0_f64, 7_usize), (1.0_f64, 3_usize)];
+            scores.sort_by(|a, b| score_order(a.0, a.1, b.0, b.1));
+            let champions: Vec<usize> = scores
+                .iter()
+                .take_while(|s| score_order(s.0, s.1, scores[0].0, scores[0].1) == Ordering::Equal)
+                .map(|s| s.1)
+                .collect();
+            assert_eq!(champions, vec![3], "exactly one champion, lower index");
+        });
+    });
+    assert!(report.complete, "state space exceeded the budget");
+}
+
+#[test]
+fn work_queue_dispenses_each_candidate_exactly_once() {
+    // The evaluator's chain queue is a fetch_add ticket dispenser. Under
+    // every interleaving of two workers pulling from a 3-item queue, each
+    // item is claimed exactly once and nothing is skipped.
+    const ITEMS: usize = 3;
+    let report = interleave::explore(BUDGET, |sch| {
+        let next = Arc::new(interleave::AtomicUsize::new(0));
+        let claims: Arc<Vec<interleave::AtomicUsize>> = Arc::new(
+            (0..ITEMS)
+                .map(|_| interleave::AtomicUsize::new(0))
+                .collect(),
+        );
+        for _ in 0..2 {
+            let next = Arc::clone(&next);
+            let claims = Arc::clone(&claims);
+            sch.thread(move || loop {
+                let ticket = next.fetch_add(1);
+                if ticket >= ITEMS {
+                    break;
+                }
+                if let Some(slot) = claims.get(ticket) {
+                    slot.fetch_add(1);
+                }
+            });
+        }
+        let claims = Arc::clone(&claims);
+        sch.check(move || {
+            for (i, slot) in claims.iter().enumerate() {
+                assert_eq!(slot.load(), 1, "candidate {i} not claimed exactly once");
+            }
+        });
+    });
+    assert!(report.complete, "state space exceeded the budget");
+}
+
+#[test]
+fn per_task_incumbents_are_isolated() {
+    // Fleet jobs each own an incumbent cell; a worker publishing into one
+    // task's cell must never perturb another's, under any interleaving.
+    let report = interleave::explore(BUDGET, |sch| {
+        let task_a = Arc::new(CheckedCell::new());
+        let task_b = Arc::new(CheckedCell::new());
+        let a = Arc::clone(&task_a);
+        sch.thread(move || publish_min_rmse(&*a, 1.0));
+        let b = Arc::clone(&task_b);
+        sch.thread(move || publish_min_rmse(&*b, 9.0));
+        let (a, b) = (Arc::clone(&task_a), Arc::clone(&task_b));
+        sch.check(move || {
+            assert_eq!(a.value(), 1.0);
+            assert_eq!(b.value(), 9.0);
+        });
+    });
+    assert!(report.complete, "state space exceeded the budget");
+}

@@ -5,6 +5,7 @@
 //! * [`chi_squared_cdf`] — Ljung-Box test p-values.
 //! * [`students_t_two_sided_p`] — coefficient significance in the test
 //!   regressions (normal approximation for large df, exact-ish otherwise).
+// lint: allow-file(indexing) — rational-approximation kernels indexing fixed-size coefficient tables with literal constants
 
 use crate::special::{erf, gamma_p, ln_gamma};
 use crate::{MathError, Result};

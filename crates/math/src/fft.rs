@@ -5,6 +5,7 @@
 //! (seasons within seasons) before deciding to add Fourier terms to the
 //! SARIMAX model — is a periodogram computation, which needs an FFT of a
 //! series whose length (e.g. 720 hourly points) is rarely a power of two.
+// lint: allow-file(indexing) — radix-2 butterfly and bit-reversal kernel; indices are derived from the power-of-two length the entry checks establish
 
 /// A complex number as a `(re, im)` pair; kept minimal on purpose.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -6,6 +6,7 @@
 //! places: as an ablation baseline against the CSS estimator, and as an
 //! optional warm start for high-order AR candidates (lag-30 models are
 //! exactly where Nelder-Mead needs help).
+// lint: allow-file(indexing) — Levinson-Durbin Toeplitz recursion; lag indices run over 0..=k within buffers sized to the order on entry
 
 use crate::{MathError, Result};
 

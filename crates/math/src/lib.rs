@@ -21,6 +21,7 @@
 //! Index-based loops are used deliberately in the factorisation kernels —
 //! the triangular access patterns read more clearly as indices than as
 //! iterator chains — so the `needless_range_loop` lint is opted out here.
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)]
 
 pub mod dist;
@@ -32,11 +33,13 @@ pub mod optimize;
 pub mod poly;
 pub mod solve;
 pub mod special;
+pub mod totalord;
 
 pub use dist::Normal;
 pub use matrix::Matrix;
 pub use ols::{ols, OlsFit};
 pub use optimize::{nelder_mead, NelderMeadOptions, NelderMeadResult};
+pub use totalord::total_cmp_f64;
 
 /// Machine-epsilon-scaled tolerance used by the decompositions when deciding
 /// whether a pivot is effectively zero.
@@ -83,3 +86,23 @@ impl std::error::Error for MathError {}
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, MathError>;
+
+/// Boundary invariant check, compiled in only under the
+/// `strict-invariants` cargo feature.
+///
+/// Because `cfg!(feature = …)` resolves in the *calling* crate, every
+/// workspace member that uses this macro declares its own
+/// `strict-invariants` feature; the root `dwcp` package forwards the
+/// feature to all of them so `cargo test --workspace --features
+/// strict-invariants` turns the whole layer on at once. Without the
+/// feature the check compiles to nothing — production builds pay zero
+/// cost and degrade per the documented fallback paths instead of
+/// aborting.
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr, $($msg:tt)+) => {
+        if cfg!(feature = "strict-invariants") {
+            assert!($cond, $($msg)+);
+        }
+    };
+}

@@ -4,6 +4,7 @@
 //! matrices with a few thousand rows and a few dozen columns), so a simple
 //! contiguous row-major layout with straightforward loops is both the
 //! simplest and — at these sizes — a perfectly fast representation.
+// lint: allow-file(indexing) — row-major dense-matrix kernel; (i, j) accesses are bounded by the checked rows/cols dimensions
 
 use crate::{MathError, Result};
 

@@ -5,6 +5,7 @@
 //! SARIMAX, the Dickey-Fuller test regression, and the KPSS detrending
 //! regression. All need coefficients, residuals and (for the tests)
 //! standard errors.
+// lint: allow-file(indexing) — least-squares kernel; coefficient indices are bounded by the design-matrix column count checked on entry
 
 use crate::solve::Qr;
 use crate::{MathError, Matrix, Result};

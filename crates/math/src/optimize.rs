@@ -7,6 +7,7 @@
 //! a TBATS state space. Nelder-Mead over a handful of parameters (rarely
 //! more than ~10) is exactly what `scipy.optimize.minimize(method="Nelder-
 //! Mead")`, used implicitly by the Python stacks the paper relies on, does.
+// lint: allow-file(indexing) — Nelder-Mead simplex kernel; vertex and coordinate indices are bounded by the n+1 simplex built on entry
 
 /// Options controlling a [`nelder_mead`] run.
 #[derive(Debug, Clone)]
@@ -199,7 +200,7 @@ where
             // Order the simplex by objective value.
             order.clear();
             order.extend(0..=n);
-            order.sort_by(|&a, &b| fvals[a].partial_cmp(&fvals[b]).unwrap());
+            order.sort_by(|&a, &b| crate::total_cmp_f64(fvals[a], fvals[b]));
             let best = order[0];
             let worst = order[n];
             let second_worst = order[n - 1];

@@ -7,6 +7,7 @@
 //! the ψ-weights for forecast variances, or the combined AR representation
 //! for recursive forecasting) is ordinary polynomial arithmetic, collected
 //! here.
+// lint: allow-file(indexing) — lag-polynomial convolution kernel; product/spread indices are in bounds by the output-length arithmetic that allocates them
 
 /// A polynomial in the backshift operator, stored as coefficients
 /// `c[0] + c[1]·B + c[2]·B² + …` with `c[0]` conventionally 1 for the

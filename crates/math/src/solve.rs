@@ -4,6 +4,7 @@
 //! Durbin-Levinson fallback, state-space updates). QR backs the least-squares
 //! solves where the design matrix is tall and possibly ill-conditioned —
 //! the Dickey-Fuller and Fourier-term regressions.
+// lint: allow-file(indexing) — dense LU/Cholesky/QR factorisation kernel; triangular index patterns run over 0..n bounds established by the dimension checks on entry
 
 use crate::{MathError, Matrix, Result, SINGULARITY_EPS};
 

@@ -26,6 +26,7 @@ pub fn ln_gamma(x: f64) -> f64 {
         return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
+    // lint: allow(indexing) — literal index into a fixed-size coefficient table
     let mut acc = COEFFS[0];
     for (i, &c) in COEFFS.iter().enumerate().skip(1) {
         acc += c / (x + i as f64);

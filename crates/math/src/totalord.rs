@@ -1,0 +1,89 @@
+//! The one blessed total order on `f64`.
+//!
+//! Champion selection, simplex ordering and every other float sort in the
+//! workspace routes through [`total_cmp_f64`] so that NaN has a single,
+//! deterministic position: **last**. A NaN score therefore sorts behind
+//! every finite (and infinite) competitor and can never win a tie — the
+//! quarantine property the grid search and fleet scheduler rely on.
+//!
+//! The float-ordering lint (`cargo xtask analyze`) denies raw
+//! `partial_cmp`/`total_cmp` on floats everywhere except this module.
+
+use std::cmp::Ordering;
+
+/// Compare two `f64` under a total order with NaN greatest.
+///
+/// * Ordinary values compare numerically (`-0.0 < +0.0`, per IEEE-754
+///   `totalOrder`, which keeps the order antisymmetric).
+/// * Any NaN — regardless of sign or payload — compares greater than every
+///   non-NaN value, and equal to any other NaN.
+///
+/// This differs from [`f64::total_cmp`], which places negative NaNs *below*
+/// `-inf`; for score ordering we want "NaN loses to everything", full stop.
+pub fn total_cmp_f64(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_values_order_numerically() {
+        assert_eq!(total_cmp_f64(1.0, 2.0), Ordering::Less);
+        assert_eq!(total_cmp_f64(2.0, 1.0), Ordering::Greater);
+        assert_eq!(total_cmp_f64(1.5, 1.5), Ordering::Equal);
+        assert_eq!(
+            total_cmp_f64(f64::NEG_INFINITY, f64::INFINITY),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn nan_is_greatest_regardless_of_sign() {
+        let neg_nan = -f64::NAN;
+        assert!(neg_nan.is_nan() && neg_nan.is_sign_negative());
+        for v in [0.0, -1.0, 1e300, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(total_cmp_f64(f64::NAN, v), Ordering::Greater);
+            assert_eq!(total_cmp_f64(neg_nan, v), Ordering::Greater);
+            assert_eq!(total_cmp_f64(v, f64::NAN), Ordering::Less);
+            assert_eq!(total_cmp_f64(v, neg_nan), Ordering::Less);
+        }
+        assert_eq!(total_cmp_f64(f64::NAN, neg_nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn sorting_quarantines_nan_last() {
+        let mut v = [f64::NAN, 3.0, f64::NEG_INFINITY, -0.0, 0.0, 2.0];
+        v.sort_by(|a, b| total_cmp_f64(*a, *b));
+        assert!(v[5].is_nan());
+        assert_eq!(&v[..5], &[f64::NEG_INFINITY, -0.0, 0.0, 2.0, 3.0]);
+        // -0.0 ordered before +0.0: check the sign bits survived the sort.
+        assert!(v[1].is_sign_negative() && v[2].is_sign_positive());
+    }
+
+    #[test]
+    fn order_is_total_and_antisymmetric() {
+        let vals = [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            1.0,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                let ab = total_cmp_f64(a, b);
+                let ba = total_cmp_f64(b, a);
+                assert_eq!(ab, ba.reverse(), "antisymmetry violated for {a} vs {b}");
+            }
+        }
+    }
+}

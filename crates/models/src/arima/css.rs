@@ -11,6 +11,7 @@
 //! ```
 //!
 //! and the CSS objective is `Σ a_t²` — the `method="css"` of statsmodels.
+// lint: allow-file(indexing) — conditional-sum-of-squares recursion; lag offsets are bounded by the max-lag guard at the top of the loop
 
 use dwcp_math::poly::LagPoly;
 

@@ -1,4 +1,5 @@
 //! SARIMA estimation (CSS + Nelder-Mead) and forecasting.
+// lint: allow-file(indexing) — ARIMA forecast/filter recursions; lag indices are guarded by the min(t, order) loop bounds
 
 use super::css::ExpandedArma;
 use super::spec::ArimaSpec;
@@ -310,6 +311,17 @@ impl FittedArima {
         let aic = scored as f64 * sigma2.max(1e-300).ln() + 2.0 * (k as f64 + 2.0);
 
         let (phi, theta, seasonal_phi, seasonal_theta) = split_params(&blocks, &spec);
+        // The unconstrained→PACF transform guarantees stationary AR and
+        // invertible MA blocks by construction (MA invertibility is AR
+        // stationarity of −θ); assert it at the fit boundary.
+        let neg = |c: &[f64]| c.iter().map(|v| -v).collect::<Vec<f64>>();
+        dwcp_math::invariant!(
+            super::transform::ar_to_pacf(&phi).is_some()
+                && super::transform::ar_to_pacf(&seasonal_phi).is_some()
+                && super::transform::ar_to_pacf(&neg(&theta)).is_some()
+                && super::transform::ar_to_pacf(&neg(&seasonal_theta)).is_some(),
+            "fit produced a non-stationary or non-invertible {spec}"
+        );
         Ok(FittedArima {
             spec,
             phi,

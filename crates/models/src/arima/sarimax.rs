@@ -13,6 +13,7 @@
 //! structure is known. Forecasts combine the regression extrapolation
 //! (future exogenous values must be supplied by the caller — backup
 //! schedules are known in advance) with the SARIMA residual forecast.
+// lint: allow-file(indexing) — regression-design and AR-filter kernels; column/lag indices are bounded by the beta/exog shape checks on entry
 
 use super::model::{ArimaOptions, FittedArima};
 use super::spec::ArimaSpec;

@@ -6,6 +6,7 @@
 //! Durbin-Levinson/Monahan recursion. Every point of ℝⁿ therefore maps to a
 //! stationary AR (respectively invertible MA) polynomial, exactly the
 //! `enforce_stationarity` device of statsmodels' SARIMAX.
+// lint: allow-file(indexing) — PACF<->AR triangular recursions; indices run over 0..=k within buffers resized to the order on entry
 
 use dwcp_math::optimize::{squash, unsquash};
 

@@ -18,6 +18,7 @@
 //! symmetric normal error bars, matching the paper's problem definition
 //! ("the prediction z consists of the predicted values and associated
 //! error bars").
+#![forbid(unsafe_code)]
 
 pub mod arima;
 pub mod ets;

@@ -75,7 +75,7 @@ impl Accuracy {
         } else {
             100.0 * ape / ape_n as f64
         };
-        Ok(Accuracy {
+        let accuracy = Accuracy {
             rmse: (se / nf).sqrt(),
             mae: ae / nf,
             me: e / nf,
@@ -87,7 +87,21 @@ impl Accuracy {
                 100.0 * sape / sape_n as f64
             },
             n,
-        })
+        };
+        // Inputs were checked finite above, so every error metric must come
+        // out finite and the magnitude metrics non-negative.
+        dwcp_math::invariant!(
+            accuracy.rmse.is_finite()
+                && accuracy.rmse >= 0.0
+                && accuracy.mae.is_finite()
+                && accuracy.mae >= 0.0
+                && accuracy.mape.is_finite()
+                && accuracy.mape >= 0.0
+                && accuracy.me.is_finite()
+                && accuracy.smape.is_finite(),
+            "Accuracy::compute produced a non-finite or negative metric: {accuracy:?}"
+        );
+        Ok(accuracy)
     }
 }
 
@@ -110,7 +124,14 @@ pub fn rmse(actual: &[f64], forecast: &[f64]) -> Result<f64> {
         }
         se += err * err;
     }
-    Ok((se / actual.len() as f64).sqrt())
+    let rmse = (se / actual.len() as f64).sqrt();
+    // Every per-point error was checked finite, so the aggregate must be a
+    // finite non-negative number — the champion comparisons depend on it.
+    dwcp_math::invariant!(
+        rmse.is_finite() && rmse >= 0.0,
+        "rmse produced a non-finite or negative value: {rmse}"
+    );
+    Ok(rmse)
 }
 
 #[cfg(test)]

@@ -41,11 +41,18 @@ const FFT_ACF_MIN_LEN: usize = 128;
 /// direct path remains available as [`acf_direct`] for reference.
 pub fn acf(values: &[f64], max_lag: usize) -> Result<Vec<f64>> {
     let n = values.len();
-    if n >= FFT_ACF_MIN_LEN {
+    let rho = if n >= FFT_ACF_MIN_LEN {
         acf_fft(values, max_lag)
     } else {
         acf_direct(values, max_lag)
-    }
+    }?;
+    // Sample autocorrelations (biased estimator) are bounded by lag 0; the
+    // tolerance absorbs FFT round-off on the boundary.
+    dwcp_math::invariant!(
+        rho.iter().all(|r| r.abs() <= 1.0 + 1e-8),
+        "acf produced a correlation outside [-1, 1]"
+    );
+    Ok(rho)
 }
 
 /// The direct-sum reference implementation of [`acf`]: `O(n·k)`, one pass
@@ -165,6 +172,12 @@ pub fn pacf(values: &[f64], max_lag: usize) -> Result<Vec<f64>> {
         phi_prev[..=k].copy_from_slice(&phi_curr[..=k]);
         out.push(pk.clamp(-1.0, 1.0));
     }
+    // Partial autocorrelations are clamped above; lag 1 is the raw ACF,
+    // bounded up to FFT round-off.
+    dwcp_math::invariant!(
+        out.iter().all(|v| v.abs() <= 1.0 + 1e-8),
+        "pacf produced a value outside [-1, 1]"
+    );
     Ok(out)
 }
 

@@ -75,6 +75,12 @@ pub fn interpolate_gaps(values: &mut [f64]) -> Result<usize> {
         }
         i = end + 1;
     }
+    // Leading, trailing and interior passes together cover every index, so
+    // the output must be gap-free.
+    dwcp_math::invariant!(
+        values.iter().all(|v| v.is_finite()),
+        "interpolate_gaps left a non-finite value behind"
+    );
     Ok(filled)
 }
 

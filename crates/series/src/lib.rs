@@ -22,7 +22,7 @@
 //! * [`interpolate`] — linear interpolation of missing agent samples (§5.1),
 //! * [`accuracy`] — RMSE / MAPE / MAPA and friends (§7),
 //! * [`split`] — the Table 1 train/test protocol.
-
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // triangular/windowed kernels read best as indices
 
 pub mod accuracy;

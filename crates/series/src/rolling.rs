@@ -57,7 +57,7 @@ pub fn median(values: &[f64]) -> f64 {
         return f64::NAN;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| dwcp_math::total_cmp_f64(*a, *b));
     let n = sorted.len();
     if n % 2 == 1 {
         sorted[n / 2]

@@ -76,7 +76,7 @@ pub fn detect_seasonality(values: &[f64], max_period: usize) -> Result<Seasonali
 
     // Rank periodogram bins by power.
     let mut bins: Vec<(f64, f64)> = pg;
-    bins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    bins.sort_by(|a, b| dwcp_math::total_cmp_f64(b.1, a.1));
 
     let mut seasons: Vec<DetectedSeason> = Vec::new();
     for (freq, power) in bins.into_iter().take(24) {

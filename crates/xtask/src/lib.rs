@@ -1,0 +1,350 @@
+//! Workspace static analysis for the dwcp capacity planner.
+//!
+//! `cargo xtask analyze` runs four passes over the workspace (see
+//! `DESIGN.md` §"Correctness tooling"):
+//!
+//! 1. panic-freedom lint over the designated hot-path modules,
+//! 2. float-ordering lint (NaN-deterministic champion selection),
+//! 3. unsafety audit (`#![forbid(unsafe_code)]` + `// SAFETY:` comments)
+//!    and invariant-layer wiring checks,
+//! 4. the bounded-interleaving model checker for the lock-free evaluator
+//!    (a cargo test suite the binary shells out to).
+//!
+//! Everything except pass 4 is a pure function of the source tree, exposed
+//! here as a library so the self-tests can seed violations in fixture
+//! trees and assert they are caught.
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::Finding;
+
+use std::path::{Path, PathBuf};
+
+/// Files (by workspace-relative prefix) subject to the panic-freedom pass:
+/// the parallel evaluator, the fleet scheduler, the pipeline driver, the
+/// ARIMA-family fit stack and every numerical kernel — the code that runs
+/// unattended inside the weekly relearn loop.
+pub const HOT_PATH_PREFIXES: &[&str] = &[
+    "crates/core/src/evaluate.rs",
+    "crates/core/src/fleet.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/protocol.rs",
+    "crates/models/src/arima/",
+    "crates/math/src/",
+];
+
+/// The one module allowed to call `total_cmp` directly: the definition
+/// site of `dwcp_math::total_cmp_f64`.
+pub const BLESSED_FLOAT_ORDER_MODULE: &str = "crates/math/src/totalord.rs";
+
+/// Module-boundary files that must wire at least one `invariant!` check
+/// (the strict-invariants layer).
+pub const INVARIANT_BOUNDARY_FILES: &[&str] = &[
+    "crates/series/src/accuracy.rs",
+    "crates/series/src/acf.rs",
+    "crates/series/src/interpolate.rs",
+    "crates/models/src/arima/model.rs",
+];
+
+/// Crates that must declare the `strict-invariants` cargo feature.
+pub const INVARIANT_FEATURE_MANIFESTS: &[&str] = &[
+    "Cargo.toml",
+    "crates/math/Cargo.toml",
+    "crates/series/Cargo.toml",
+    "crates/models/Cargo.toml",
+    "crates/workload/Cargo.toml",
+    "crates/core/Cargo.toml",
+    "crates/bench/Cargo.toml",
+    "crates/xtask/Cargo.toml",
+];
+
+/// Directories whose `.rs` files the first-party passes scan.
+const FIRST_PARTY_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// A loaded source tree: workspace-relative paths and file contents.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// `(relative path, contents)`, sorted by path for stable reports.
+    pub files: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Load every tracked `.rs` and `Cargo.toml` file under `root`
+    /// (first-party directories plus `vendor/`), skipping build output.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut roots: Vec<PathBuf> = FIRST_PARTY_ROOTS.iter().map(|d| root.join(d)).collect();
+        roots.push(root.join("vendor"));
+        for dir in roots {
+            collect_files(&dir, root, &mut files)?;
+        }
+        let manifest = root.join("Cargo.toml");
+        if manifest.is_file() {
+            files.push((
+                "Cargo.toml".to_string(),
+                std::fs::read_to_string(&manifest)?,
+            ));
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Workspace { files })
+    }
+
+    fn get(&self, path: &str) -> Option<&str> {
+        self.files
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, s)| s.as_str())
+    }
+
+    /// `.rs` files under first-party roots (vendored stand-ins excluded).
+    fn first_party_rs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().filter_map(|(p, s)| {
+            (p.ends_with(".rs") && !p.starts_with("vendor/")).then_some((p.as_str(), s.as_str()))
+        })
+    }
+}
+
+fn collect_files(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_files(&path, root, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Whether a path falls under the panic-freedom pass.
+pub fn is_hot_path(path: &str) -> bool {
+    HOT_PATH_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// Run the three static passes over a loaded workspace and return every
+/// finding, sorted by path and line.
+pub fn analyze(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Directive hygiene everywhere first-party.
+    for (path, src) in ws.first_party_rs() {
+        findings.extend(rules::check_directives(path, src));
+    }
+
+    // Pass 1 — panic freedom on hot paths.
+    for (path, src) in ws.first_party_rs() {
+        if is_hot_path(path) {
+            findings.extend(rules::check_panic_freedom(path, src));
+        }
+    }
+
+    // Pass 2 — float ordering, workspace-wide minus the blessed module.
+    for (path, src) in ws.first_party_rs() {
+        if path != BLESSED_FLOAT_ORDER_MODULE {
+            findings.extend(rules::check_float_ordering(path, src));
+        }
+    }
+
+    // Pass 3a — SAFETY comments, including the vendored stand-ins.
+    for (path, src) in &ws.files {
+        if path.ends_with(".rs") {
+            findings.extend(rules::check_safety_comments(path, src));
+        }
+    }
+
+    // Pass 3b — forbid(unsafe_code) per crate, including vendored ones.
+    for krate in discover_crates(ws) {
+        let sources: Vec<(String, String)> = ws
+            .files
+            .iter()
+            .filter(|(p, _)| p.starts_with(&krate.src_prefix) && p.ends_with(".rs"))
+            .cloned()
+            .collect();
+        if sources.is_empty() {
+            continue;
+        }
+        findings.extend(rules::check_forbid_unsafe(
+            &krate.name,
+            &krate.root_module,
+            &sources,
+        ));
+    }
+
+    // Pass 3c — invariant-layer wiring.
+    findings.extend(check_invariant_wiring(ws));
+
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}
+
+/// A crate discovered in the workspace tree.
+struct CrateInfo {
+    name: String,
+    src_prefix: String,
+    root_module: String,
+}
+
+/// Every crate with a manifest: the root package plus `crates/*` and
+/// `vendor/*` members.
+fn discover_crates(ws: &Workspace) -> Vec<CrateInfo> {
+    let mut out = Vec::new();
+    for (path, _) in &ws.files {
+        let Some(dir) = path.strip_suffix("Cargo.toml") else {
+            continue;
+        };
+        let dir = dir.trim_end_matches('/');
+        let src_prefix = if dir.is_empty() {
+            "src/".to_string()
+        } else {
+            format!("{dir}/src/")
+        };
+        let lib = format!("{src_prefix}lib.rs");
+        let main = format!("{src_prefix}main.rs");
+        let root_module = if ws.get(&lib).is_some() {
+            lib
+        } else if ws.get(&main).is_some() {
+            main
+        } else {
+            continue; // virtual manifest or binary-only layout we don't audit
+        };
+        let name = if dir.is_empty() {
+            "dwcp".to_string()
+        } else {
+            dir.rsplit('/').next().unwrap_or(dir).to_string()
+        };
+        out.push(CrateInfo {
+            name,
+            src_prefix,
+            root_module,
+        });
+    }
+    out
+}
+
+/// The invariant layer must stay wired: each boundary module carries at
+/// least one `invariant!` check and each manifest declares the
+/// `strict-invariants` feature (so `cargo test --workspace --features
+/// strict-invariants` resolves). Only meaningful for the real workspace
+/// tree, so fixture trees (no root `[workspace]` manifest) skip it.
+fn check_invariant_wiring(ws: &Workspace) -> Vec<Finding> {
+    let is_real_tree = ws
+        .get("Cargo.toml")
+        .map(|toml| toml.contains("[workspace]"))
+        .unwrap_or(false);
+    if !is_real_tree {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for path in INVARIANT_BOUNDARY_FILES {
+        match ws.get(path) {
+            Some(src) if src.contains("invariant!") => {}
+            Some(_) => findings.push(Finding {
+                path: path.to_string(),
+                line: 0,
+                rule: "invariant-wiring".into(),
+                message: "boundary module has no `invariant!` check — the \
+                          strict-invariants layer is unwired here"
+                    .into(),
+            }),
+            None => findings.push(Finding {
+                path: path.to_string(),
+                line: 0,
+                rule: "invariant-wiring".into(),
+                message: "designated invariant boundary file is missing".into(),
+            }),
+        }
+    }
+    for manifest in INVARIANT_FEATURE_MANIFESTS {
+        match ws.get(manifest) {
+            Some(toml) if toml.contains("strict-invariants") => {}
+            Some(_) => findings.push(Finding {
+                path: manifest.to_string(),
+                line: 0,
+                rule: "invariant-wiring".into(),
+                message: "manifest does not declare the `strict-invariants` feature".into(),
+            }),
+            None => {} // tree without this crate (fixture trees in tests)
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn hot_path_classification() {
+        assert!(is_hot_path("crates/core/src/evaluate.rs"));
+        assert!(is_hot_path("crates/math/src/solve.rs"));
+        assert!(is_hot_path("crates/models/src/arima/css.rs"));
+        assert!(!is_hot_path("crates/core/src/advisor.rs"));
+        assert!(!is_hot_path("crates/series/src/acf.rs"));
+    }
+
+    #[test]
+    fn seeded_violation_in_hot_path_is_reported() {
+        let tree = ws(&[(
+            "crates/math/src/bad.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+        )]);
+        let findings = analyze(&tree);
+        assert!(findings.iter().any(|f| f.rule == "unwrap"));
+    }
+
+    #[test]
+    fn same_code_outside_hot_path_is_not_a_panic_finding() {
+        let tree = ws(&[(
+            "crates/workload/src/ok.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+        )]);
+        let findings = analyze(&tree);
+        assert!(findings.iter().all(|f| f.rule != "unwrap"));
+    }
+
+    #[test]
+    fn float_ordering_applies_everywhere_but_blessed_module() {
+        let tree = ws(&[
+            (
+                "crates/workload/src/sortish.rs",
+                "pub fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+            ),
+            (
+                "crates/math/src/totalord.rs",
+                "pub fn total_cmp_f64(a: f64, b: f64) -> core::cmp::Ordering { a.total_cmp(&b) }",
+            ),
+        ]);
+        let findings = analyze(&tree);
+        let float: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "float-ordering")
+            .collect();
+        assert_eq!(float.len(), 1);
+        assert_eq!(float[0].path, "crates/workload/src/sortish.rs");
+    }
+}

@@ -1,0 +1,154 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Currently one subcommand: `analyze`, the four-pass static-analysis
+//! gate described in `DESIGN.md` §"Correctness tooling".
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "\
+cargo xtask — workspace automation
+
+USAGE:
+    cargo xtask analyze [--root DIR] [--skip-model-check]
+
+PASSES:
+    1. panic-freedom lint over hot-path modules
+       (rules: unwrap, expect, panic, todo, indexing)
+    2. float-ordering lint: partial_cmp/total_cmp must go through
+       dwcp_math::total_cmp_f64 (rule: float-ordering)
+    3. unsafety audit (forbid-unsafe, safety-comment) and
+       invariant-layer wiring (invariant-wiring)
+    4. bounded-interleaving model check of the lock-free evaluator
+       (runs `cargo test -p dwcp-core --test model_check`)
+
+Escape hatch: `// lint: allow(<rule>) — <reason>` on the offending line
+or the line above; `// lint: allow-file(<rule>) — <reason>` for a file."
+    );
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut root = workspace_root();
+    let mut skip_model_check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => {
+                        eprintln!("xtask analyze: --root needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--skip-model-check" => skip_model_check = true,
+            other => {
+                eprintln!("xtask analyze: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let ws = match xtask::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "xtask analyze: cannot load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "xtask analyze: scanning {} files under {}",
+        ws.files.len(),
+        root.display()
+    );
+    let findings = xtask::analyze(&ws);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    let static_ok = findings.is_empty();
+    if static_ok {
+        println!("passes 1-3 (panic freedom, float ordering, unsafety/invariants): clean");
+    } else {
+        println!("passes 1-3: {} finding(s)", findings.len());
+    }
+
+    let model_ok = if skip_model_check {
+        println!("pass 4 (model check): skipped");
+        true
+    } else {
+        println!("pass 4 (model check): cargo test -p dwcp-core --release --test model_check");
+        run_model_check(&root)
+    };
+
+    if static_ok && model_ok {
+        println!("xtask analyze: all passes clean");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Pass 4: the bounded-interleaving exploration of the incumbent-racing
+/// protocol lives in dwcp-core's `model_check` test suite (it needs the
+/// real protocol code plus the vendored `interleave` explorer).
+fn run_model_check(root: &std::path::Path) -> bool {
+    let status = std::process::Command::new(env!("CARGO"))
+        .args([
+            "test",
+            "-p",
+            "dwcp-core",
+            "--release",
+            "--test",
+            "model_check",
+            "-q",
+        ])
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("xtask analyze: model check failed ({s})");
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask analyze: could not run cargo: {e}");
+            false
+        }
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`, two levels
+/// below it.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
+}

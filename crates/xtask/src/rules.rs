@@ -1,0 +1,446 @@
+//! The analysis rules applied to scanned sources.
+//!
+//! Three textual passes run here (the fourth `analyze` pass — the bounded
+//! model checker — is a cargo test suite the binary shells out to):
+//!
+//! 1. **Panic freedom** (`unwrap`, `expect`, `panic`, `todo`, `indexing`)
+//!    over the designated hot-path modules: code that runs unattended for
+//!    weeks must degrade through typed errors, never data-dependent
+//!    panics.
+//! 2. **Float ordering** (`float-ordering`) workspace-wide: every f64
+//!    comparison used for sorting or champion selection must go through
+//!    `dwcp_math::total_cmp_f64` so NaN scores order deterministically
+//!    (quarantined last, never champion).
+//! 3. **Unsafety audit** (`safety-comment`, `forbid-unsafe`): crates that
+//!    compile without `unsafe` must say so with `#![forbid(unsafe_code)]`;
+//!    any `unsafe` that remains requires a `// SAFETY:` justification.
+//!
+//! Every rule honours the escape hatch convention — a comment of the form
+//! `lint:` + `allow(<rule>) — <reason>` on the offending line or the line
+//! above, or the `allow-file` variant for a whole file. A directive
+//! without a reason is itself a finding.
+
+use crate::scan::{parse_directives, scan, AllowDirective, ScannedFile};
+
+/// One rule violation (or directive problem) at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line, or 0 for file/crate-level findings.
+    pub line: usize,
+    /// Rule identifier (the name the escape hatch uses).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.path, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// The rule identifiers the escape hatch recognises.
+pub const KNOWN_RULES: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "todo",
+    "indexing",
+    "float-ordering",
+    "safety-comment",
+    "forbid-unsafe",
+];
+
+/// Occurrences of `needle` in `code` at token boundaries (the characters
+/// around the match must not be identifier characters).
+fn token_occurrences(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(at) = code[from..].find(needle) {
+        let at = from + at;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + 1;
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether a finding for `rule` at `line_idx` is suppressed by an allow
+/// directive (which must carry a reason to count).
+fn is_allowed(
+    file: &ScannedFile,
+    file_allows: &[AllowDirective],
+    line_idx: usize,
+    rule: &str,
+) -> bool {
+    let mut local = parse_directives(&file.lines[line_idx].comment);
+    if line_idx > 0 {
+        local.extend(parse_directives(&file.lines[line_idx - 1].comment));
+    }
+    local
+        .iter()
+        .chain(file_allows.iter())
+        .any(|d| d.rule == rule && d.has_reason)
+}
+
+/// Collect the file-scoped allow directives.
+fn file_allows(file: &ScannedFile) -> Vec<AllowDirective> {
+    file.lines
+        .iter()
+        .flat_map(|l| parse_directives(&l.comment))
+        .filter(|d| d.file_scope)
+        .collect()
+}
+
+/// Validate every directive in a file: unknown rules and missing reasons
+/// are findings so the escape hatch stays auditable.
+pub fn check_directives(path: &str, source: &str) -> Vec<Finding> {
+    let file = scan(source);
+    let mut findings = Vec::new();
+    for line in &file.lines {
+        for d in parse_directives(&line.comment) {
+            if !KNOWN_RULES.contains(&d.rule.as_str()) {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: line.number,
+                    rule: "allow-unknown-rule".into(),
+                    message: format!("escape hatch names unknown rule `{}`", d.rule),
+                });
+            }
+            if !d.has_reason {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: line.number,
+                    rule: "allow-missing-reason".into(),
+                    message: format!(
+                        "escape hatch for `{}` has no justification — write \
+                         `lint: allow({}) — <reason>`",
+                        d.rule, d.rule
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Pass 1 — panic freedom over a hot-path file.
+///
+/// Denies `.unwrap()`, `.expect(`, `panic!`, `todo!` / `unimplemented!`
+/// and direct slice/array indexing in non-test code.
+pub fn check_panic_freedom(path: &str, source: &str) -> Vec<Finding> {
+    let file = scan(source);
+    let allows = file_allows(&file);
+    let mut findings = Vec::new();
+    let mut push = |idx: usize, number: usize, rule: &str, message: String| {
+        if !is_allowed(&file, &allows, idx, rule) {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: number,
+                rule: rule.to_string(),
+                message,
+            });
+        }
+    };
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        if !token_occurrences(code, "unwrap").is_empty() && code.contains(".unwrap()") {
+            push(
+                idx,
+                line.number,
+                "unwrap",
+                "`.unwrap()` in a hot-path module — return a typed error instead".into(),
+            );
+        }
+        if code.contains(".expect(") {
+            push(
+                idx,
+                line.number,
+                "expect",
+                "`.expect(…)` in a hot-path module — return a typed error instead".into(),
+            );
+        }
+        if !token_occurrences(code, "panic").is_empty() && code.contains("panic!") {
+            push(
+                idx,
+                line.number,
+                "panic",
+                "`panic!` in a hot-path module — return a typed error instead".into(),
+            );
+        }
+        if code.contains("todo!") || code.contains("unimplemented!") {
+            push(
+                idx,
+                line.number,
+                "todo",
+                "`todo!`/`unimplemented!` in a hot-path module".into(),
+            );
+        }
+        // One finding per line is enough signal, however many sites it has.
+        if !indexing_sites(code).is_empty() {
+            push(
+                idx,
+                line.number,
+                "indexing",
+                "direct slice/array indexing in a hot-path module — use `get`, \
+                 iterators, or justify with the escape hatch"
+                    .into(),
+            );
+        }
+    }
+    findings
+}
+
+/// Positions of `[` that open an index/slice expression: the previous
+/// non-space character is an identifier character, `)` or `]` (ruling out
+/// attributes `#[`, macros `vec![`, types `&[f64]`, and array literals).
+fn indexing_sites(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if is_ident_byte(prev) || prev == b')' || prev == b']' {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Pass 2 — float ordering.
+///
+/// Flags `partial_cmp` and raw `total_cmp` in non-test code; the only
+/// blessed call site is `dwcp_math::total_cmp_f64`, whose defining module
+/// is exempted by the caller.
+pub fn check_float_ordering(path: &str, source: &str) -> Vec<Finding> {
+    let file = scan(source);
+    let allows = file_allows(&file);
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for (needle, what) in [
+            ("partial_cmp", "`partial_cmp`"),
+            ("total_cmp", "raw `total_cmp`"),
+        ] {
+            if token_occurrences(code, needle).is_empty() {
+                continue;
+            }
+            // `total_cmp_f64` itself is the blessed helper, not a raw call.
+            if needle == "total_cmp" && code.contains("total_cmp_f64") {
+                let stripped = code.replace("total_cmp_f64", "");
+                if token_occurrences(&stripped, "total_cmp").is_empty() {
+                    continue;
+                }
+            }
+            if !is_allowed(&file, &allows, idx, "float-ordering") {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: line.number,
+                    rule: "float-ordering".into(),
+                    message: format!(
+                        "{what} on floats — use `dwcp_math::total_cmp_f64` so NaN \
+                         orders deterministically (last, never champion)"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Pass 3a — every `unsafe` needs a `// SAFETY:` justification on the same
+/// line or within the three lines above.
+pub fn check_safety_comments(path: &str, source: &str) -> Vec<Finding> {
+    let file = scan(source);
+    let allows = file_allows(&file);
+    let mut findings = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if token_occurrences(&line.code, "unsafe").is_empty() {
+            continue;
+        }
+        // `#![forbid(unsafe_code)]` and friends mention the token but are
+        // attributes, not unsafe blocks.
+        if line.code.contains("unsafe_code") {
+            continue;
+        }
+        let justified =
+            (idx.saturating_sub(3)..=idx).any(|j| file.lines[j].comment.contains("SAFETY:"));
+        if !justified && !is_allowed(&file, &allows, idx, "safety-comment") {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: line.number,
+                rule: "safety-comment".into(),
+                message: "`unsafe` without a `// SAFETY:` justification".into(),
+            });
+        }
+    }
+    findings
+}
+
+/// Pass 3b — a crate with no `unsafe` anywhere must carry
+/// `#![forbid(unsafe_code)]` in its root module. `crate_sources` are
+/// `(relative path, contents)` pairs; `root_module` is the crate's
+/// `lib.rs` (or `main.rs` for binary-only crates).
+pub fn check_forbid_unsafe(
+    crate_name: &str,
+    root_module: &str,
+    crate_sources: &[(String, String)],
+) -> Vec<Finding> {
+    let uses_unsafe = crate_sources.iter().any(|(_, src)| {
+        scan(src).lines.iter().any(|l| {
+            !token_occurrences(&l.code, "unsafe").is_empty() && !l.code.contains("unsafe_code")
+        })
+    });
+    if uses_unsafe {
+        return Vec::new(); // pass 3a audits the SAFETY comments instead
+    }
+    let has_forbid = crate_sources
+        .iter()
+        .find(|(p, _)| p == root_module)
+        .map(|(_, src)| src.contains("#![forbid(unsafe_code)]"))
+        .unwrap_or(false);
+    if has_forbid {
+        Vec::new()
+    } else {
+        vec![Finding {
+            path: root_module.to_string(),
+            line: 0,
+            rule: "forbid-unsafe".into(),
+            message: format!(
+                "crate `{crate_name}` compiles without unsafe — add `#![forbid(unsafe_code)]`"
+            ),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_unwrap_is_found() {
+        let findings = check_panic_freedom("hot.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unwrap");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}";
+        assert!(check_panic_freedom("hot.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f() {\n    // lint: allow(unwrap) — proven Some above\n    x.unwrap();\n}";
+        assert!(check_panic_freedom("hot.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress_and_is_flagged() {
+        let src = "fn f() {\n    x.unwrap(); // lint: allow(unwrap)\n}";
+        assert_eq!(check_panic_freedom("hot.rs", src).len(), 1);
+        let directive_findings = check_directives("hot.rs", src);
+        assert!(directive_findings
+            .iter()
+            .any(|f| f.rule == "allow-missing-reason"));
+    }
+
+    #[test]
+    fn file_scope_allow_covers_every_line() {
+        let src = "// lint: allow-file(indexing) — dense kernel, bounds proven\n\
+                   fn f(a: &[f64]) -> f64 { a[0] + a[1] }";
+        assert!(check_panic_freedom("hot.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_is_flagged_but_not_attributes_or_types() {
+        let findings = check_panic_freedom("hot.rs", "fn f(a: &[f64]) -> f64 { a[0] }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "indexing");
+        assert!(check_panic_freedom("hot.rs", "#[derive(Debug)]\nstruct S(Vec<f64>);").is_empty());
+        assert!(check_panic_freedom("hot.rs", "fn f() { let v = vec![1, 2]; }").is_empty());
+        assert!(check_panic_freedom("hot.rs", "fn f(x: &[f64]) {}").is_empty());
+    }
+
+    #[test]
+    fn panic_and_todo_are_flagged() {
+        let f = check_panic_freedom("hot.rs", "fn f() { panic!(\"boom\"); }");
+        assert_eq!(f[0].rule, "panic");
+        let f = check_panic_freedom("hot.rs", "fn f() { todo!() }");
+        assert_eq!(f[0].rule, "todo");
+    }
+
+    #[test]
+    fn unwrap_inside_string_literal_is_ignored() {
+        assert!(check_panic_freedom("hot.rs", "let s = \"x.unwrap()\";").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_is_flagged_outside_blessed_module() {
+        let f = check_float_ordering("a.rs", "v.sort_by(|a, b| a.partial_cmp(b).unwrap());");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "float-ordering");
+    }
+
+    #[test]
+    fn total_cmp_f64_helper_calls_are_blessed() {
+        assert!(check_float_ordering(
+            "a.rs",
+            "v.sort_by(|a, b| dwcp_math::total_cmp_f64(*a, *b));"
+        )
+        .is_empty());
+        let f = check_float_ordering("a.rs", "v.sort_by(|a, b| a.total_cmp(b));");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let f = check_safety_comments("a.rs", "fn f() { unsafe { g(); } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "safety-comment");
+        let ok = "// SAFETY: g has no preconditions\nfn f() { unsafe { g(); } }";
+        assert!(check_safety_comments("a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unsafe_free_crate_requires_forbid() {
+        let sources = vec![("src/lib.rs".to_string(), "pub fn f() {}".to_string())];
+        let f = check_forbid_unsafe("demo", "src/lib.rs", &sources);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "forbid-unsafe");
+        let sources = vec![(
+            "src/lib.rs".to_string(),
+            "#![forbid(unsafe_code)]\npub fn f() {}".to_string(),
+        )];
+        assert!(check_forbid_unsafe("demo", "src/lib.rs", &sources).is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! A comment/string-aware line scanner for Rust sources.
+//!
+//! The analysis passes need three things real parsing would give them —
+//! code text with comments and literal contents removed, the comment text
+//! itself (for lint allow-directives and `// SAFETY:` audits),
+//! and a per-line "is this inside `#[cfg(test)]`" flag — without pulling a
+//! full Rust parser into the workspace. This module implements exactly
+//! that: a small state machine over the byte stream that understands line
+//! comments, nested block comments, string / raw-string / char literals,
+//! and a brace-matching pass that marks `#[cfg(test)]` regions.
+//!
+//! The scanner is deliberately conservative: when a construct is ambiguous
+//! (lifetimes vs. char literals, say) it errs on the side of treating text
+//! as code, so lint rules may report a rare false positive — which the
+//! escape-hatch directive then documents — but never silently skip code.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code text: comments stripped, string/char literal
+    /// *contents* blanked (quotes kept so token adjacency is preserved).
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A scanned file: its lines plus the file-level allow directives.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Scanned lines, in order.
+    pub lines: Vec<Line>,
+}
+
+/// Scan Rust source text into comment-aware lines.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines = split_literals(source);
+    mark_test_regions(&mut lines);
+    ScannedFile { lines }
+}
+
+/// Lexer states for [`split_literals`].
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(usize),
+    Str,
+    /// Number of `#` marks delimiting the raw string.
+    RawStr(usize),
+    CharLit,
+}
+
+/// Split source into per-line (code, comment) pairs.
+fn split_literals(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut number = 1usize;
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if let State::LineComment = state {
+                state = State::Code;
+            }
+            lines.push(Line {
+                number,
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            number += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    i += 2;
+                } else if let Some(hashes) = raw_string_at(&chars, i) {
+                    // Keep the opening `r#"` as code so adjacency survives,
+                    // then blank the contents.
+                    for _ in 0..(raw_prefix_len(&chars, i)) {
+                        code.push(chars[i]);
+                        i += 1;
+                    }
+                    state = State::RawStr(hashes);
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == '\'' && char_literal_at(&chars, i) {
+                    code.push('\'');
+                    state = State::CharLit;
+                    i += 1;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped character
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        code.push(chars[i]);
+                        i += 1;
+                    }
+                    state = State::Code;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(Line {
+        number,
+        code,
+        comment,
+        in_test: false,
+    });
+    lines
+}
+
+/// Length of the raw-string prefix (`r`, `br`, plus hashes, plus the
+/// opening quote) when one starts at `i`.
+fn raw_prefix_len(chars: &[char], i: usize) -> usize {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    j + 1 - i // include the opening quote
+}
+
+/// Whether a raw string literal starts at `i`; returns its hash count.
+fn raw_string_at(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    // `r` must not be the tail of an identifier (e.g. `var"`).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether the quote at `i` closes a raw string with `hashes` hash marks.
+fn raw_string_closes(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguish a char literal from a lifetime at the `'` at position `i`.
+fn char_literal_at(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item.
+///
+/// After a `#[cfg(test)]` attribute the gated item is either brace-bounded
+/// (a `mod`, `fn`, `impl` …) or ends at the first `;` before any brace (a
+/// gated `use`). Brace matching runs on blanked code text, so braces in
+/// strings and comments cannot confuse it.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0usize;
+    while i < lines.len() {
+        if !lines[i].code.contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Walk forward from the attribute, marking until the item closes.
+        let mut depth = 0usize;
+        let mut seen_brace = false;
+        let mut j = i;
+        'region: while j < lines.len() {
+            lines[j].in_test = true;
+            // Only consider code *after* the attribute on its own line.
+            let code: String = if j == i {
+                match lines[j].code.find("#[cfg(test)]") {
+                    Some(at) => lines[j].code[at + "#[cfg(test)]".len()..].to_string(),
+                    None => lines[j].code.clone(),
+                }
+            } else {
+                lines[j].code.clone()
+            };
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        seen_brace = true;
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if seen_brace && depth == 0 {
+                            break 'region;
+                        }
+                    }
+                    ';' if !seen_brace => break 'region,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// A parsed `lint: allow` escape-hatch directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// The rule being allowed (e.g. `unwrap`, `indexing`).
+    pub rule: String,
+    /// Whether this is a whole-file allow (`allow-file`).
+    pub file_scope: bool,
+    /// Whether the directive carries a non-empty justification.
+    pub has_reason: bool,
+}
+
+/// Parse every `lint:` + `allow(<rule>) — <reason>` (or `allow-file`
+/// variant) directive in a comment.
+pub fn parse_directives(comment: &str) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint: allow") {
+        let tail = &rest[at + "lint: allow".len()..];
+        let (file_scope, tail) = match tail.strip_prefix("-file") {
+            Some(t) => (true, t),
+            None => (false, tail),
+        };
+        let Some(tail) = tail.strip_prefix('(') else {
+            rest = &rest[at + 1..];
+            continue;
+        };
+        let Some(close) = tail.find(')') else {
+            rest = &rest[at + 1..];
+            continue;
+        };
+        let rule = tail[..close].trim().to_string();
+        let after = tail[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '-', ':'])
+            .trim();
+        out.push(AllowDirective {
+            rule,
+            file_scope,
+            has_reason: !after.is_empty(),
+        });
+        rest = &rest[at + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped_from_code() {
+        let scanned = scan("let x = \"unwrap()\"; // a panic! note\nlet y = 1;");
+        assert!(!scanned.lines[0].code.contains("unwrap"));
+        assert!(scanned.lines[0].code.contains("let x ="));
+        assert!(scanned.lines[0].comment.contains("panic!"));
+        assert_eq!(scanned.lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let scanned = scan("/* outer /* inner */ still comment */ let z = 2;");
+        assert!(scanned.lines[0].code.contains("let z = 2;"));
+        assert!(!scanned.lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let scanned = scan("let s = r#\"a.unwrap()\"#; let t = 3;");
+        assert!(!scanned.lines[0].code.contains("unwrap"));
+        assert!(scanned.lines[0].code.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let scanned = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(scanned.lines[0].code.contains("fn f<'a>"));
+        let scanned = scan("let c = 'x'; let d = '\\n'; let e = 4;");
+        assert!(scanned.lines[0].code.contains("let e = 4;"));
+        assert!(!scanned.lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn also_hot() {}";
+        let scanned = scan(src);
+        let flags: Vec<bool> = scanned.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_use_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn hot() {}";
+        let scanned = scan(src);
+        let flags: Vec<bool> = scanned.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![true, true, false]);
+    }
+
+    #[test]
+    fn directives_parse_rule_scope_and_reason() {
+        let d = parse_directives(" lint: allow(unwrap) — join of a scoped thread");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unwrap");
+        assert!(!d[0].file_scope);
+        assert!(d[0].has_reason);
+
+        let d = parse_directives(" lint: allow-file(indexing) - dense kernel");
+        assert!(d[0].file_scope);
+        assert!(d[0].has_reason);
+
+        let d = parse_directives(" lint: allow(expect)");
+        assert!(!d[0].has_reason);
+    }
+}

@@ -1,0 +1,137 @@
+//! Self-test: the analyzer must catch seeded violations in a fixture tree
+//! and stay clean on compliant sources — the acceptance gate for
+//! `cargo xtask analyze` exiting non-zero on violations.
+
+use xtask::{analyze, Workspace};
+
+fn tree(files: &[(&str, &str)]) -> Workspace {
+    Workspace {
+        files: files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect(),
+    }
+}
+
+/// A minimal compliant workspace skeleton the seeded trees build on.
+fn clean_files() -> Vec<(&'static str, &'static str)> {
+    vec![(
+        "crates/core/src/evaluate.rs",
+        "#![forbid(unsafe_code)]\npub fn hot(x: Option<u8>) -> Option<u8> { x }\n",
+    )]
+}
+
+#[test]
+fn clean_tree_has_no_findings() {
+    let ws = tree(&clean_files());
+    assert!(analyze(&ws).is_empty());
+}
+
+#[test]
+fn seeded_unwrap_in_hot_path_fails_analysis() {
+    let mut files = clean_files();
+    files.push((
+        "crates/math/src/seeded.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    ));
+    let findings = analyze(&tree(&files));
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "unwrap" && f.path == "crates/math/src/seeded.rs"),
+        "seeded unwrap not caught: {findings:?}"
+    );
+}
+
+#[test]
+fn seeded_panic_and_indexing_fail_analysis() {
+    let mut files = clean_files();
+    files.push((
+        "crates/models/src/arima/seeded.rs",
+        "pub fn f(v: &[f64]) -> f64 {\n    if v.is_empty() { panic!(\"empty\"); }\n    v[0]\n}\n",
+    ));
+    let findings = analyze(&tree(&files));
+    assert!(findings.iter().any(|f| f.rule == "panic"));
+    assert!(findings.iter().any(|f| f.rule == "indexing"));
+}
+
+#[test]
+fn seeded_partial_cmp_fails_analysis_anywhere() {
+    let mut files = clean_files();
+    files.push((
+        "crates/workload/src/seeded.rs",
+        "pub fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+    ));
+    let findings = analyze(&tree(&files));
+    assert!(findings.iter().any(|f| f.rule == "float-ordering"));
+    // Outside a hot path the unwrap rule stays quiet; the float rule is
+    // the workspace-wide one.
+    assert!(findings.iter().all(|f| f.rule != "unwrap"));
+}
+
+#[test]
+fn escape_hatch_with_reason_passes_without_one_fails() {
+    let mut files = clean_files();
+    files.push((
+        "crates/math/src/hatch.rs",
+        "pub fn f(v: &[f64]) -> f64 {\n    // lint: allow(indexing) — caller guarantees non-empty\n    v[0]\n}\n",
+    ));
+    assert!(analyze(&tree(&files)).is_empty());
+
+    let mut files = clean_files();
+    files.push((
+        "crates/math/src/hatch.rs",
+        "pub fn f(v: &[f64]) -> f64 {\n    v[0] // lint: allow(indexing)\n}\n",
+    ));
+    let findings = analyze(&tree(&files));
+    assert!(findings.iter().any(|f| f.rule == "indexing"));
+    assert!(findings.iter().any(|f| f.rule == "allow-missing-reason"));
+}
+
+#[test]
+fn missing_forbid_unsafe_is_reported() {
+    let files = vec![
+        ("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n"),
+        ("crates/demo/src/lib.rs", "pub fn f() {}\n"),
+    ];
+    let findings = analyze(&tree(&files));
+    assert!(findings.iter().any(|f| f.rule == "forbid-unsafe"));
+}
+
+#[test]
+fn unsafe_with_safety_comment_passes_audit() {
+    let files = vec![
+        ("crates/demo/Cargo.toml", "[package]\nname = \"demo\"\n"),
+        (
+            "crates/demo/src/lib.rs",
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller contract — p is valid\n    unsafe { *p }\n}\n",
+        ),
+    ];
+    let findings = analyze(&tree(&files));
+    assert!(findings.iter().all(|f| f.rule != "safety-comment"));
+    // A crate that *does* use unsafe is exempt from forbid-unsafe.
+    assert!(findings.iter().all(|f| f.rule != "forbid-unsafe"));
+}
+
+#[test]
+fn analysis_of_the_real_workspace_is_clean() {
+    // The migrated workspace must pass its own gate. Walks the actual
+    // source tree this test compiled from.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let ws = Workspace::load(root).expect("load workspace");
+    assert!(ws.files.len() > 50, "workspace walk looks too small");
+    let findings = analyze(&ws);
+    assert!(
+        findings.is_empty(),
+        "workspace has {} static-analysis findings:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -18,6 +18,15 @@
 #      must race the families and report the chosen champion family in the
 #      `# summary:` JSON line
 #   7. cargo doc --no-deps must build warning-free
+#
+# Correctness tooling (see DESIGN.md §10):
+#   * `cargo xtask analyze` — panic-freedom + float-ordering + invariant
+#     wiring lints, then the bounded model check of the lock-free evaluator
+#   * the full test suite re-runs with `--features strict-invariants` so
+#     every boundary invariant is armed
+#   * an *advisory* clippy pass surfaces unwrap/expect anywhere in the
+#     workspace (the hot-path subset is already denied by xtask; this
+#     stage never fails the build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,11 +39,25 @@ cargo fmt --check
 echo "== lint: cargo clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
 
+echo "== lint (advisory): clippy unwrap/expect census =="
+cargo clippy --workspace -q -- -W clippy::unwrap_used -W clippy::expect_used \
+  2>&1 | grep -E "warning: used" | sort | uniq -c | sort -rn || true
+echo "advisory census done (never fails the build)"
+
+echo "== static analysis: cargo xtask analyze =="
+cargo xtask analyze
+
 echo "== tier-1: cargo test (root package) =="
 cargo test -q
 
 echo "== workspace tests =="
 cargo test --workspace -q
+
+echo "== workspace tests (strict-invariants armed) =="
+cargo test --workspace -q --features strict-invariants
+
+echo "== vendored model-checker self-tests =="
+cargo test -q -p interleave --release
 
 echo "== bench smoke: grid_search --quick =="
 cargo bench -p dwcp-bench --bench grid_search -- --quick

@@ -406,13 +406,22 @@ pub fn execute(
                 ..Default::default()
             };
             let mut scheduler = match &repo {
-                Some(path) if std::path::Path::new(path).exists() => {
-                    FleetScheduler::with_repository(
-                        options,
-                        ModelRepository::load(std::path::Path::new(path))?,
-                    )
+                Some(path) => {
+                    // Lenient by design: a corrupt or truncated repository
+                    // file degrades to a full relearn of every workload
+                    // (first-boot behaviour) rather than aborting the run.
+                    let (repository, warning) =
+                        ModelRepository::load_lenient(std::path::Path::new(path));
+                    if let Some(err) = warning {
+                        writeln!(
+                            stdout,
+                            "# warning: model repository {path} is unreadable ({err}); \
+                             relearning every workload from scratch"
+                        )?;
+                    }
+                    FleetScheduler::with_repository(options, repository)
                 }
-                _ => FleetScheduler::new(options),
+                None => FleetScheduler::new(options),
             };
             let report = scheduler.run_batch(&jobs);
             writeln!(

@@ -19,6 +19,7 @@
 //!   `advise` over CSV series).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
+#![forbid(unsafe_code)]
 
 pub mod cli;
 

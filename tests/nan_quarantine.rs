@@ -1,0 +1,169 @@
+//! Non-finite data must never reach the champion: NaN/Inf observations are
+//! either interpolated away at the pipeline boundary (§5.1 gap filling),
+//! rejected with a typed error, or quarantined by the scoring order — a
+//! NaN-RMSE candidate can never win a grid search.
+
+use dwcp::planner::{
+    evaluate_candidates, EvaluationOptions, MethodChoice, ModelGrid, Pipeline, PipelineConfig,
+    PlannerError,
+};
+use dwcp::series::{Frequency, Granularity, TimeSeries};
+
+fn fast_config(method: MethodChoice) -> PipelineConfig {
+    PipelineConfig {
+        method,
+        granularity: Granularity::Hourly,
+        max_candidates: 4,
+        fourier_stage: false,
+        auto_detect_shocks: false,
+        eval: EvaluationOptions {
+            threads: 0,
+            fit: dwcp::models::arima::ArimaOptions {
+                max_evals: 120,
+                restarts: 0,
+                interval_level: 0.95,
+                ..Default::default()
+            },
+            start_index: 0,
+            ..Default::default()
+        },
+    }
+}
+
+fn hourly_series(n: usize) -> TimeSeries {
+    let values: Vec<f64> = (0..n)
+        .map(|t| {
+            let tf = t as f64;
+            55.0 + 12.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t * 7919 % 101) as f64) / 40.0
+        })
+        .collect();
+    TimeSeries::new(values, Frequency::Hourly, 0)
+}
+
+#[test]
+fn nan_gaps_are_interpolated_and_the_champion_is_finite() {
+    let mut series = hourly_series(1100);
+    // Scatter missing polls through the training region, including a run.
+    for idx in [30, 31, 32, 150, 277] {
+        series.values_mut()[idx] = f64::NAN;
+    }
+    let outcome = Pipeline::new(fast_config(MethodChoice::Hes))
+        .run(&series, &[])
+        .unwrap();
+    assert!(
+        outcome.accuracy.rmse.is_finite() && outcome.accuracy.rmse >= 0.0,
+        "champion RMSE must be a real score, got {}",
+        outcome.accuracy.rmse
+    );
+    assert!(outcome.accuracy.mape.is_finite());
+    assert!(outcome.test_forecast.mean.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn infinities_are_treated_as_gaps_not_scores() {
+    let mut series = hourly_series(1100);
+    series.values_mut()[100] = f64::INFINITY;
+    series.values_mut()[200] = f64::NEG_INFINITY;
+    let outcome = Pipeline::new(fast_config(MethodChoice::Hes))
+        .run(&series, &[])
+        .unwrap();
+    assert!(
+        outcome.accuracy.rmse.is_finite() && outcome.accuracy.rmse >= 0.0,
+        "champion RMSE must be a real score, got {}",
+        outcome.accuracy.rmse
+    );
+}
+
+#[test]
+fn gaps_in_the_held_out_window_are_filled_before_scoring() {
+    // The last `granularity.observations()` points form the test segment;
+    // NaN there would poison every candidate's RMSE if it leaked through.
+    let mut series = hourly_series(1100);
+    let n = series.len();
+    series.values_mut()[n - 5] = f64::NAN;
+    series.values_mut()[n - 12] = f64::NAN;
+    let outcome = Pipeline::new(fast_config(MethodChoice::Hes))
+        .run(&series, &[])
+        .unwrap();
+    assert!(
+        outcome.accuracy.rmse.is_finite() && outcome.accuracy.rmse >= 0.0,
+        "champion RMSE must be a real score, got {}",
+        outcome.accuracy.rmse
+    );
+}
+
+#[test]
+fn an_all_missing_series_is_an_error_not_a_nan_champion() {
+    let series = TimeSeries::new(vec![f64::NAN; 400], Frequency::Hourly, 0);
+    let err = Pipeline::new(fast_config(MethodChoice::Hes))
+        .run(&series, &[])
+        .unwrap_err();
+    // Any typed error is acceptable; a NaN-RMSE "success" is not.
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+}
+
+#[test]
+fn nan_in_the_test_segment_fails_candidates_instead_of_crowning_them() {
+    // Drive the grid search directly with a poisoned held-out segment —
+    // bypassing the pipeline's interpolation — and require that scoring
+    // degrades to failures / NoViableModel, never a NaN-RMSE champion.
+    let y: Vec<f64> = hourly_series(264).values().to_vec();
+    let (train, test_clean) = y.split_at(240);
+    let mut test = test_clean.to_vec();
+    test[3] = f64::NAN;
+    let grid = ModelGrid::ets(24, false, 0.95);
+    match evaluate_candidates(
+        train,
+        &test,
+        &[],
+        &[],
+        &grid.candidates,
+        &EvaluationOptions::default(),
+    ) {
+        Ok(report) => {
+            assert_eq!(
+                report.scores.len(),
+                0,
+                "every candidate must fail against a NaN test segment"
+            );
+            assert!(report.champion().is_none(), "no champion may be crowned");
+            assert_eq!(report.failures, report.attempted);
+        }
+        Err(PlannerError::NoViableModel { .. }) => {}
+        Err(other) => panic!("unexpected error kind: {other}"),
+    }
+}
+
+#[test]
+fn nan_exogenous_columns_fail_the_fit_not_the_process() {
+    // A poisoned exogenous regressor must surface as candidate failures
+    // (or a typed error), never as a champion with non-finite accuracy.
+    let y: Vec<f64> = hourly_series(264).values().to_vec();
+    let (train, test) = y.split_at(240);
+    let mut exog: Vec<f64> = (0..264).map(|t| (t % 24) as f64 / 24.0).collect();
+    exog[100] = f64::NAN;
+    let (exog_train, exog_test) = exog.split_at(240);
+    let grid = ModelGrid::sarimax_exogenous(24, 1);
+    match evaluate_candidates(
+        train,
+        test,
+        &[exog_train.to_vec()],
+        &[exog_test.to_vec()],
+        &grid.candidates,
+        &EvaluationOptions::default(),
+    ) {
+        Ok(report) => {
+            if let Some(champion) = report.champion() {
+                assert!(
+                    champion.accuracy.rmse.is_finite() && champion.accuracy.rmse >= 0.0,
+                    "champion RMSE must be finite, got {}",
+                    champion.accuracy.rmse
+                );
+            }
+        }
+        Err(PlannerError::NoViableModel { .. }) => {}
+        Err(other) => panic!("unexpected error kind: {other}"),
+    }
+}

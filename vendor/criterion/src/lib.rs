@@ -5,6 +5,7 @@
 //! cost, then run enough iterations to fill a measurement window and
 //! report mean/min per iteration. `--quick` (after `--` on the cargo bench
 //! command line) shrinks the window for CI smoke runs.
+#![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
 

@@ -6,6 +6,7 @@
 //! `prop::bool::ANY`. Cases are generated from a deterministic per-test
 //! RNG (seeded by the test name) so failures are reproducible; there is no
 //! shrinking — the failing inputs are printed instead.
+#![forbid(unsafe_code)]
 
 pub mod strategy {
     use crate::test_runner::TestRng;

@@ -7,6 +7,7 @@
 //! implementation; streams differ from the real `StdRng` (ChaCha12) but
 //! are deterministic per seed, which is the property the simulator and
 //! tests rely on.
+#![forbid(unsafe_code)]
 
 /// Core source of random 64-bit words.
 pub trait RngCore {

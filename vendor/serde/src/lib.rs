@@ -7,6 +7,7 @@
 //! by the `serde_json` stand-in. Representations follow real serde's JSON
 //! conventions (externally tagged enums, structs as objects) so persisted
 //! artifacts stay readable if the real stack is ever restored.
+#![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
 use std::fmt;

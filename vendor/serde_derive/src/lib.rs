@@ -13,6 +13,7 @@
 //! Representation matches serde's external tagging: unit variants as
 //! strings, one-field tuple variants as `{"Variant": value}`, longer tuple
 //! variants as `{"Variant": [values…]}`.
+#![forbid(unsafe_code)]
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 

@@ -1,5 +1,6 @@
 //! Offline stand-in for `serde_json`: thin wrappers over the JSON text
 //! round-trip implemented in the sibling `serde` stand-in.
+#![forbid(unsafe_code)]
 
 pub use serde::{Error, Value};
 
