@@ -63,6 +63,7 @@ struct FleetSnapshot {
 fn job_config(granularity: Granularity, quick: bool) -> PipelineConfig {
     PipelineConfig {
         method: MethodChoice::Sarimax,
+        grid: Default::default(),
         granularity,
         max_candidates: if quick { 4 } else { 16 },
         fourier_stage: false,

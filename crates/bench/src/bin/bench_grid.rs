@@ -14,7 +14,10 @@
 //! ```
 
 use dwcp_bench::results_dir;
-use dwcp_core::{evaluate_candidates, EvaluationOptions, EvaluationReport, ModelGrid};
+use dwcp_core::{
+    evaluate_auto_order, evaluate_candidates, AutoOrderOptions, EvaluationOptions,
+    EvaluationReport, ModelGrid,
+};
 use dwcp_models::arima::ArimaOptions;
 use serde::Serialize;
 use std::time::Instant;
@@ -35,6 +38,34 @@ struct GridRun {
     cache_hits: usize,
     warm_starts: usize,
     objective_evals: usize,
+    /// Per-phase lockstep timing (ms): cursor advance, point staging,
+    /// batched CSS kernel, optimiser tell. All zero for baseline runs.
+    lockstep_rounds: usize,
+    lockstep_batched_evals: usize,
+    lockstep_advance_ms: f64,
+    lockstep_stage_ms: f64,
+    lockstep_batch_css_ms: f64,
+    lockstep_tell_ms: f64,
+}
+
+/// The `--grid auto-order` measurement: the ACF/PACF-seeded grid against
+/// the same 180-model sweep, with the naive-benchmark fallback armed.
+#[derive(Debug, Clone, Serialize)]
+struct AutoOrderRun {
+    wall_ms: f64,
+    champion: String,
+    champion_rmse: f64,
+    /// Seeded candidates attempted (including a fallback sweep, if any).
+    attempted: usize,
+    /// attempted / 180.
+    candidate_fraction: f64,
+    objective_evals: usize,
+    /// objective evals / the accelerated full sweep's at the same threads.
+    eval_fraction: f64,
+    fell_back: bool,
+    d: usize,
+    q_max: usize,
+    p_set: Vec<usize>,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -48,6 +79,7 @@ struct GridSnapshot {
     runs: Vec<GridRun>,
     /// baseline / accelerated wall-clock ratio at 4 threads.
     speedup_4_threads: f64,
+    auto_order: AutoOrderRun,
 }
 
 fn series(n: usize) -> Vec<f64> {
@@ -125,6 +157,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  (cache hits {}, warm starts {}, {} objective evals)",
                 report.stats.cache_hits, report.stats.warm_starts, report.stats.objective_evals
             );
+            let ls = &report.stats.lockstep;
+            if ls.rounds > 0 {
+                println!(
+                    "               lockstep: {} rounds / {} evals, advance {:.0} ms, \
+                     stage {:.0} ms, batch-css {:.0} ms, tell {:.0} ms",
+                    ls.rounds,
+                    ls.batched_evals,
+                    ls.advance.as_secs_f64() * 1e3,
+                    ls.stage.as_secs_f64() * 1e3,
+                    ls.batch_css.as_secs_f64() * 1e3,
+                    ls.tell.as_secs_f64() * 1e3,
+                );
+            }
             if threads == 4 {
                 wall_4t[mode_idx] = best_ms;
                 champions_4t[mode_idx] = champion.clone();
@@ -142,6 +187,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cache_hits: report.stats.cache_hits,
                 warm_starts: report.stats.warm_starts,
                 objective_evals: report.stats.objective_evals,
+                lockstep_rounds: ls.rounds,
+                lockstep_batched_evals: ls.batched_evals,
+                lockstep_advance_ms: ls.advance.as_secs_f64() * 1e3,
+                lockstep_stage_ms: ls.stage.as_secs_f64() * 1e3,
+                lockstep_batch_css_ms: ls.batch_css.as_secs_f64() * 1e3,
+                lockstep_tell_ms: ls.tell.as_secs_f64() * 1e3,
             });
         }
     }
@@ -150,6 +201,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nspeedup at 4 threads: {speedup:.2}x (baseline {:.1} ms → accelerated {:.1} ms)",
         wall_4t[0], wall_4t[1]
+    );
+
+    // Third mode: the ACF/PACF-seeded auto-order grid against the same
+    // sweep, accelerated, 4 threads. Acceptance: same-or-better held-out
+    // RMSE than the full sweep at a fraction of the objective evaluations
+    // (or an explicit fallback that still ends same-or-better).
+    let full_evals = runs
+        .iter()
+        .find(|r| r.mode == "accelerated" && r.threads == 4)
+        .map(|r| r.objective_evals)
+        .unwrap_or(0);
+    let full_rmse = runs
+        .iter()
+        .find(|r| r.mode == "accelerated" && r.threads == 4)
+        .map(|r| r.champion_rmse)
+        .unwrap_or(f64::NAN);
+    let o = opts(4, true);
+    let auto_opts = AutoOrderOptions::default();
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let auto = evaluate_auto_order(train, test, &[], &[], &grid.candidates, &o, &auto_opts)?;
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(auto);
+    }
+    let auto = last.expect("at least one rep");
+    let (auto_champion, auto_rmse) = champion_label(&auto.report);
+    let auto_run = AutoOrderRun {
+        wall_ms: best_ms,
+        champion: auto_champion.clone(),
+        champion_rmse: auto_rmse,
+        attempted: auto.report.attempted,
+        candidate_fraction: auto.report.attempted as f64 / grid.len() as f64,
+        objective_evals: auto.report.stats.objective_evals,
+        eval_fraction: auto.report.stats.objective_evals as f64 / full_evals.max(1) as f64,
+        fell_back: auto.fell_back,
+        d: auto.plan.d,
+        q_max: auto.plan.q_max,
+        p_set: auto.plan.p_set.clone(),
+    };
+    println!(
+        "  auto-order   4t  {best_ms:>8.1} ms   champion {auto_champion}  \
+         ({} of {} candidates = {:.0}%, {} objective evals = {:.0}%, fell_back {})",
+        auto_run.attempted,
+        grid.len(),
+        100.0 * auto_run.candidate_fraction,
+        auto_run.objective_evals,
+        100.0 * auto_run.eval_fraction,
+        auto_run.fell_back,
+    );
+    println!(
+        "               diagnostics: d={} q_max={} p_set={:?}  rmse {auto_rmse:.4} vs full {full_rmse:.4}",
+        auto_run.d, auto_run.q_max, auto_run.p_set
     );
 
     let snapshot = GridSnapshot {
@@ -161,6 +266,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reps,
         runs,
         speedup_4_threads: speedup,
+        auto_order: auto_run,
     };
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
@@ -177,6 +283,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "FAIL: accelerated champion {} != baseline champion {}",
             champions_4t[1], champions_4t[0]
         );
+        std::process::exit(1);
+    }
+    // The auto-order mode must never end up worse than the full sweep:
+    // either its seeded champion stands, or the fallback absorbed the full
+    // grid and the best of both won.
+    if dwcp_math::total_cmp_f64(auto_rmse, full_rmse * (1.0 + 1e-9)).is_gt() {
+        eprintln!("FAIL: auto-order champion rmse {auto_rmse} worse than full sweep {full_rmse}");
         std::process::exit(1);
     }
     Ok(())

@@ -1,0 +1,192 @@
+//! Micro-benchmark of the evaluation kernels: the scalar reference CSS
+//! recursion versus the vectorised kernel versus the batched
+//! multi-candidate kernel, plus the unconstrained-parameter transform and
+//! the full objective path (transform + polynomial expansion + CSS) so the
+//! per-evaluation cost can be attributed layer by layer.
+//!
+//! Writes `results/BENCH_kernels.json`.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin bench_kernels
+//! DWCP_QUICK=1 cargo run -p dwcp-bench --release --bin bench_kernels   # fewer iters
+//! ```
+
+use dwcp_bench::results_dir;
+use dwcp_math::kernels;
+use dwcp_models::arima::css::ExpandedArma;
+use dwcp_models::arima::transform::{unconstrained_to_ar_into, unconstrained_to_ma_into};
+use serde::Serialize;
+use std::time::Instant;
+
+const SERIES_LEN: usize = 480;
+const BATCH: usize = 12;
+
+#[derive(Debug, Clone, Serialize)]
+struct KernelRow {
+    /// Candidate order (p, q) of the expanded ARMA.
+    p: usize,
+    q: usize,
+    /// Scalar reference recursion, ns per evaluation.
+    reference_ns: f64,
+    /// Vectorised kernel, ns per evaluation.
+    kernel_ns: f64,
+    /// Batched kernel (batch of 12 sharing one series), ns per candidate.
+    batch_ns: f64,
+    /// Unconstrained→(AR, MA) transform alone, ns.
+    transform_ns: f64,
+    /// Full objective path (transform + expansion + CSS), ns.
+    objective_ns: f64,
+    /// reference / kernel speedup.
+    kernel_speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct KernelSnapshot {
+    series_len: usize,
+    batch: usize,
+    iters: usize,
+    rows: Vec<KernelRow>,
+}
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            let tf = t as f64;
+            0.03 * tf
+                + 12.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t * 2654435761 % 89) as f64) / 25.0
+        })
+        .collect()
+}
+
+/// Unconstrained parameter vector for an order-k block, mildly varied so
+/// the transform does real work.
+fn u_block(k: usize, offset: f64) -> Vec<f64> {
+    (0..k)
+        .map(|i| 0.3 * ((i as f64) * 0.7 + offset).sin())
+        .collect()
+}
+
+/// Best-of-3 timing of `iters` runs of `f`, returning ns per run.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    best
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iters = if std::env::var("DWCP_QUICK").is_ok() {
+        2_000
+    } else {
+        20_000
+    };
+    let w = series(SERIES_LEN);
+    let specs = [
+        (1usize, 0usize),
+        (13, 0), // pure AR at the champion's order: isolates the AR fill
+        (0, 2),  // pure MA: isolates the serial recurrence
+        (5, 1),
+        (13, 2),
+        (30, 2),
+    ];
+    let mut rows = Vec::new();
+
+    for &(p, q) in &specs {
+        let u_ar = u_block(p, 0.1);
+        let u_ma = u_block(q, 0.9);
+        let (mut phi, mut theta) = (Vec::new(), Vec::new());
+        let (mut pacs, mut prev) = (Vec::new(), Vec::new());
+        unconstrained_to_ar_into(&u_ar, &mut phi, &mut pacs, &mut prev);
+        unconstrained_to_ma_into(&u_ma, &mut theta, &mut pacs, &mut prev);
+
+        let mut a = Vec::new();
+        let mut sink = 0.0f64;
+        let reference_ns = time_ns(iters, || {
+            sink += kernels::reference::css(&phi, &theta, &w, &mut a);
+        });
+        let kernel_ns = time_ns(iters, || {
+            sink += kernels::css(&phi, &theta, &w, &mut a);
+        });
+
+        // Batch of 12 candidates with slightly different coefficients but
+        // the same differencing signature (one shared series).
+        let batch_coeffs: Vec<(Vec<f64>, Vec<f64>)> = (0..BATCH)
+            .map(|c| {
+                let mut ph = phi.clone();
+                let mut th = theta.clone();
+                for v in ph.iter_mut() {
+                    *v *= 1.0 - 0.01 * c as f64;
+                }
+                for v in th.iter_mut() {
+                    *v *= 1.0 - 0.01 * c as f64;
+                }
+                (ph, th)
+            })
+            .collect();
+        let batch_refs: Vec<(&[f64], &[f64], &[f64])> = batch_coeffs
+            .iter()
+            .map(|(ph, th)| (ph.as_slice(), th.as_slice(), w.as_slice()))
+            .collect();
+        let mut scratch = kernels::CssBatchScratch::default();
+        let mut out = Vec::new();
+        let batch_iters = (iters / BATCH).max(1);
+        let batch_ns = time_ns(batch_iters, || {
+            kernels::css_batch(&batch_refs, &mut scratch, &mut out);
+            sink += out[0];
+        }) / BATCH as f64;
+
+        let transform_ns = time_ns(iters, || {
+            unconstrained_to_ar_into(&u_ar, &mut phi, &mut pacs, &mut prev);
+            unconstrained_to_ma_into(&u_ma, &mut theta, &mut pacs, &mut prev);
+            sink += phi.first().copied().unwrap_or(0.0);
+        });
+
+        let mut expanded = ExpandedArma::default();
+        let objective_ns = time_ns(iters, || {
+            unconstrained_to_ar_into(&u_ar, &mut phi, &mut pacs, &mut prev);
+            unconstrained_to_ma_into(&u_ma, &mut theta, &mut pacs, &mut prev);
+            expanded.expand_into(&phi, &theta, &[], &[], 0);
+            sink += expanded.css_into(&w, &mut a);
+        });
+
+        println!(
+            "  ({p:>2},{q})  reference {reference_ns:>7.0} ns  kernel {kernel_ns:>7.0} ns  \
+             batch {batch_ns:>7.0} ns/cand  transform {transform_ns:>6.0} ns  \
+             objective {objective_ns:>7.0} ns  ({:.2}x)",
+            reference_ns / kernel_ns
+        );
+        rows.push(KernelRow {
+            p,
+            q,
+            reference_ns,
+            kernel_ns,
+            batch_ns,
+            transform_ns,
+            objective_ns,
+            kernel_speedup: reference_ns / kernel_ns,
+        });
+        std::hint::black_box(sink);
+    }
+
+    let snapshot = KernelSnapshot {
+        series_len: SERIES_LEN,
+        batch: BATCH,
+        iters,
+        rows,
+    };
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_kernels.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&snapshot).expect("serializable"),
+    )?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -93,6 +93,7 @@ fn run_protocol(
 ) -> Result<dwcp_core::ForecastOutcome, Box<dyn std::error::Error>> {
     let pipeline = Pipeline::new(PipelineConfig {
         method: MethodChoice::Sarimax,
+        grid: Default::default(),
         granularity,
         max_candidates: 12,
         fourier_stage: true,

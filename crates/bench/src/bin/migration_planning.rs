@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pipeline = Pipeline::new(PipelineConfig {
         method: MethodChoice::Sarimax,
+        grid: Default::default(),
         granularity: Granularity::Daily,
         max_candidates: 12,
         fourier_stage: true,

@@ -1,0 +1,167 @@
+//! Throwaway per-eval cost breakdown: how much of one CSS objective
+//! evaluation is transform/expand (`stage`), how much is the CSS kernel,
+//! and how much is the Nelder-Mead driver itself.
+
+use dwcp_models::arima::{ArimaFitSession, ArimaOptions, ArimaSpec, FittedArima};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            let tf = t as f64;
+            60.0 + 0.03 * tf
+                + 12.0 * (2.0 * std::f64::consts::PI * tf / 24.0).sin()
+                + ((t * 2654435761 % 89) as f64) / 25.0
+        })
+        .collect()
+}
+
+fn main() {
+    // Pure driver overhead: trivial objective at grid-like dimensions.
+    for dim in [4usize, 10, 16] {
+        let opts = dwcp_math::optimize::NelderMeadOptions {
+            max_evals: 20_000,
+            ..Default::default()
+        };
+        let x0 = vec![0.1; dim];
+        let started = Instant::now();
+        let mut driver = dwcp_math::optimize::NelderMeadDriver::new(&x0, opts.clone());
+        let mut evals = 0usize;
+        while let Some(x) = driver.pending_point() {
+            let fx = x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum();
+            driver.tell(fx);
+            evals += 1;
+        }
+        let result = driver.into_result();
+        let elapsed = started.elapsed();
+        println!(
+            "driver dim {dim:>2}: {evals} evals, {:>5.0}ns/eval (f* {:.2e})",
+            elapsed.as_secs_f64() * 1e9 / evals.max(1) as f64,
+            result.fx,
+        );
+    }
+
+    // Lockstep batch of 8 sessions, driven like run_chain_group.
+    {
+        let y = series(480);
+        let spec0 = ArimaSpec::arima(1, 1, 0);
+        let differencer = FittedArima::differencer_for(&spec0);
+        let diffed = differencer.apply(&y).expect("differencing");
+        let opts = ArimaOptions::default();
+        let specs: Vec<ArimaSpec> = (0..8)
+            .map(|i| ArimaSpec::arima(3 + i, 1, (i % 3).min(2)))
+            .collect();
+        // Solo baseline.
+        let started = Instant::now();
+        let mut solo_evals = 0usize;
+        for &spec in &specs {
+            let mut s = ArimaFitSession::new(&y, spec, &opts, &diffed).expect("session");
+            while s.step_solo() {
+                solo_evals += 1;
+            }
+            s.finish().expect("fit");
+        }
+        let solo = started.elapsed();
+        // Lockstep.
+        let started = Instant::now();
+        let mut sessions: Vec<ArimaFitSession> = specs
+            .iter()
+            .map(|&spec| ArimaFitSession::new(&y, spec, &opts, &diffed).expect("session"))
+            .collect();
+        let mut batch_evals = 0usize;
+        let mut scratch = dwcp_math::kernels::CssBatchScratch::default();
+        let mut css_out: Vec<f64> = Vec::new();
+        let mut staged: Vec<usize> = Vec::new();
+        loop {
+            staged.clear();
+            for (i, s) in sessions.iter_mut().enumerate() {
+                if s.stage_pending() {
+                    staged.push(i);
+                }
+            }
+            if staged.is_empty() {
+                break;
+            }
+            {
+                let mut coeffs: Vec<(&[f64], &[f64], &[f64])> = Vec::with_capacity(staged.len());
+                for &i in staged.iter() {
+                    let s = &sessions[i];
+                    coeffs.push((s.staged_phi(), s.staged_theta(), s.w()));
+                }
+                dwcp_math::kernels::css_batch(&coeffs, &mut scratch, &mut css_out);
+            }
+            for (j, &i) in staged.iter().enumerate() {
+                sessions[i].tell_css(css_out[j]);
+                batch_evals += 1;
+            }
+        }
+        for s in sessions {
+            s.finish().expect("fit");
+        }
+        let batch = started.elapsed();
+        println!(
+            "lockstep x8: solo {:>7.1}ms / {solo_evals} evals = {:>5.0}ns/eval | batch {:>7.1}ms / {batch_evals} evals = {:>5.0}ns/eval",
+            solo.as_secs_f64() * 1e3,
+            solo.as_secs_f64() * 1e9 / solo_evals.max(1) as f64,
+            batch.as_secs_f64() * 1e3,
+            batch.as_secs_f64() * 1e9 / batch_evals.max(1) as f64,
+        );
+    }
+
+    let y = series(480);
+    for (p, d, q) in [(13usize, 1usize, 2usize), (7, 1, 2), (3, 0, 1)] {
+        let spec = ArimaSpec::arima(p, d, q);
+        let differencer = FittedArima::differencer_for(&spec);
+        let diffed = differencer.apply(&y).expect("differencing");
+        let opts = ArimaOptions::default();
+
+        // Full solo fit: wall time and eval count.
+        let started = Instant::now();
+        let mut session = ArimaFitSession::new(&y, spec, &opts, &diffed).expect("session");
+        let mut evals = 0usize;
+        while session.step_solo() {
+            evals += 1;
+        }
+        let fit = session.finish().expect("fit");
+        let full = started.elapsed();
+
+        // Stage-only loop: transform + expand at a fixed point.
+        let mut probe = ArimaFitSession::new(&y, spec, &opts, &diffed).expect("session");
+        probe.stage_pending();
+        let reps = 100_000usize;
+        let started = Instant::now();
+        for _ in 0..reps {
+            black_box(probe.stage_pending());
+        }
+        let stage = started.elapsed();
+
+        // Direct CSS via kernels on the staged coefficients:
+        let w: Vec<f64> = probe.w().to_vec();
+        let phi: Vec<f64> = probe.staged_phi().to_vec();
+        let theta: Vec<f64> = probe.staged_theta().to_vec();
+        let mut a: Vec<f64> = Vec::new();
+        let started = Instant::now();
+        for _ in 0..reps {
+            black_box(dwcp_math::kernels::css(
+                black_box(&phi),
+                black_box(&theta),
+                black_box(&w),
+                &mut a,
+            ));
+        }
+        let css = started.elapsed();
+
+        println!(
+            "ARIMA({p},{d},{q}): fit {:>8.1}ms / {evals} evals = {:>6.0}ns/eval | stage {:>6.0}ns | css {:>6.0}ns | other {:>6.0}ns  (nm_evals {})",
+            full.as_secs_f64() * 1e3,
+            full.as_secs_f64() * 1e9 / evals.max(1) as f64,
+            stage.as_secs_f64() * 1e9 / reps as f64,
+            css.as_secs_f64() * 1e9 / reps as f64,
+            full.as_secs_f64() * 1e9 / evals.max(1) as f64
+                - stage.as_secs_f64() * 1e9 / reps as f64
+                - css.as_secs_f64() * 1e9 / reps as f64,
+            fit.nm_evals,
+        );
+    }
+}

@@ -83,6 +83,7 @@ pub fn experiment_pipeline() -> Pipeline {
     let quick = std::env::var("DWCP_QUICK").is_ok();
     Pipeline::new(PipelineConfig {
         method: MethodChoice::Sarimax,
+        grid: Default::default(),
         granularity: Granularity::Hourly,
         max_candidates: if quick { 4 } else { 16 },
         fourier_stage: true,

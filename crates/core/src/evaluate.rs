@@ -50,7 +50,8 @@
 
 use crate::grid::{CandidateModel, ModelConfig, ModelFamily};
 use crate::{PlannerError, Result};
-use dwcp_models::arima::{adapt_unconstrained, ArimaOptions};
+use dwcp_math::kernels;
+use dwcp_models::arima::{adapt_unconstrained, ArimaFitSession, ArimaOptions};
 use dwcp_models::{
     adapt_ets_unconstrained, adapt_tbats_unconstrained, EtsFitOptions, TbatsFitOptions,
 };
@@ -163,6 +164,38 @@ pub struct FamilyStats {
     pub objective_evals: usize,
 }
 
+/// Where lockstep (batched-kernel) evaluation time goes, summed over
+/// workers. All-zero when no batched units ran (racing mode, cache off,
+/// non-ARIMA grids).
+#[derive(Debug, Clone, Default)]
+pub struct LockstepStats {
+    /// Batched kernel rounds executed.
+    pub rounds: usize,
+    /// Objective evaluations served by batched kernel passes.
+    pub batched_evals: usize,
+    /// Time in cursor advancement: optimiser bookkeeping, session
+    /// open/settle, forecasting and scoring completed fits.
+    pub advance: Duration,
+    /// Time staging pending points (unconstrained → constrained transform
+    /// + polynomial expansion).
+    pub stage: Duration,
+    /// Time inside [`kernels::css_batch`] passes.
+    pub batch_css: Duration,
+    /// Time feeding objective values back into the optimisers.
+    pub tell: Duration,
+}
+
+impl LockstepStats {
+    fn merge(&mut self, other: &LockstepStats) {
+        self.rounds += other.rounds;
+        self.batched_evals += other.batched_evals;
+        self.advance += other.advance;
+        self.stage += other.stage;
+        self.batch_css += other.batch_css;
+        self.tell += other.tell;
+    }
+}
+
 /// Instrumentation for a whole evaluation run.
 #[derive(Debug, Clone, Default)]
 pub struct EvalStats {
@@ -189,6 +222,8 @@ pub struct EvalStats {
     /// Reused fleet jobs whose pruned champion degraded past the staleness
     /// threshold and fell back to the full grid.
     pub reuse_fallbacks: usize,
+    /// Lockstep (batched-kernel) phase timing.
+    pub lockstep: LockstepStats,
 }
 
 impl EvalStats {
@@ -219,6 +254,7 @@ impl EvalStats {
         self.reuse_hits += other.reuse_hits;
         self.reuse_misses += other.reuse_misses;
         self.reuse_fallbacks += other.reuse_fallbacks;
+        self.lockstep.merge(&other.lockstep);
     }
 
     /// Champion-reuse hit rate over the jobs where reuse was possible in
@@ -367,6 +403,66 @@ fn build_chains(candidates: &[CandidateModel]) -> Vec<Chain> {
     chains
 }
 
+/// One entry in the fleet work queue: a single chain run sequentially, or
+/// a group of plain-ARIMA chains with cached differenced series, executed
+/// in lockstep over the batched CSS kernel ([`kernels::css_batch`]).
+///
+/// Batching is a wall-time optimisation only: the batched kernel preserves
+/// each candidate's exact per-element arithmetic, and every chain keeps its
+/// own warm-start thread, so a batched unit produces bit-identical scores
+/// to running its chains through [`run_chain`] one by one.
+enum WorkUnit {
+    /// Run `chains[i]` sequentially.
+    Single(usize),
+    /// Run this set of chain indices in lockstep; each chain scores
+    /// against its own cached differenced series (the batched kernel takes
+    /// per-candidate series, so one group spans every differencing
+    /// signature — the wider the group, the longer the lockstep stays at
+    /// full batch width as chains drain unevenly).
+    Batched(Vec<usize>),
+}
+
+/// The differencing signature a chain would batch under, if it is a plain
+/// ARIMA-family chain at all. Chains within one chain key are homogeneous
+/// by construction, so the first candidate decides for the whole chain.
+fn chain_batch_key(task: &EvalTask, chain: &Chain) -> Option<DiffKey> {
+    chain
+        .indices
+        .first()
+        .and_then(|&i| task.candidates.get(i))
+        .and_then(CandidateModel::as_sarimax)
+        .filter(|config| !config.has_regression())
+        .map(|config| diff_key(&config.spec))
+}
+
+/// Partition a task's chains into work units. A chain joins the batched
+/// group only in exact mode (racing loads the shared incumbent mid-fit;
+/// interleaving fits would reorder those loads) and only when it is a
+/// plain ARIMA-family chain whose differenced series is in the transform
+/// cache; the group needs at least two chains to be worth a lockstep pass.
+fn build_units(
+    task: &EvalTask,
+    cache: &BTreeMap<DiffKey, Differenced>,
+    chains: &[Chain],
+) -> Vec<WorkUnit> {
+    let mut units = Vec::new();
+    let mut batchable: Vec<usize> = Vec::new();
+    for (ci, chain) in chains.iter().enumerate() {
+        let key =
+            chain_batch_key(task, chain).filter(|key| !task.opts.racing && cache.contains_key(key));
+        match key {
+            Some(_) => batchable.push(ci),
+            None => units.push(WorkUnit::Single(ci)),
+        }
+    }
+    if batchable.len() > 1 {
+        units.push(WorkUnit::Batched(batchable));
+    } else {
+        units.extend(batchable.into_iter().map(WorkUnit::Single));
+    }
+    units
+}
+
 /// Atomic minimum over non-negative f64s stored as bit patterns; delegates
 /// to [`crate::protocol::publish_min_rmse`], the model-checked incumbent
 /// protocol.
@@ -384,6 +480,7 @@ struct WorkerOutput {
     warm_starts: usize,
     objective_evals: usize,
     families: [FamilyStats; ModelFamily::COUNT],
+    lockstep: LockstepStats,
 }
 
 impl WorkerOutput {
@@ -463,6 +560,7 @@ pub struct EvalTask<'a> {
 struct TaskState {
     cache: BTreeMap<DiffKey, Differenced>,
     chains: Vec<Chain>,
+    units: Vec<WorkUnit>,
     /// Incumbent best RMSE for racing, as f64 bits (+inf = no incumbent).
     /// Per task: champions of different series must not race each other.
     best_rmse: AtomicU64,
@@ -495,19 +593,25 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
 
     let states: Vec<TaskState> = tasks
         .iter()
-        .map(|task| TaskState {
-            cache: build_transform_cache(task),
-            chains: build_chains(task.candidates),
-            best_rmse: AtomicU64::new(f64::INFINITY.to_bits()),
+        .map(|task| {
+            let cache = build_transform_cache(task);
+            let chains = build_chains(task.candidates);
+            let units = build_units(task, &cache, &chains);
+            TaskState {
+                cache,
+                chains,
+                units,
+                best_rmse: AtomicU64::new(f64::INFINITY.to_bits()),
+            }
         })
         .collect();
 
-    // The global work queue: every (task, chain) pair, in task order so
+    // The global work queue: every (task, unit) pair, in task order so
     // early tasks finish early and the tail of the batch stays parallel.
     let work: Vec<(usize, usize)> = states
         .iter()
         .enumerate()
-        .flat_map(|(t, s)| (0..s.chains.len()).map(move |c| (t, c)))
+        .flat_map(|(t, s)| (0..s.units.len()).map(move |u| (t, u)))
         .collect();
     let next_item = AtomicUsize::new(0);
 
@@ -521,7 +625,7 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
                         (0..tasks.len()).map(|_| WorkerOutput::default()).collect();
                     loop {
                         let item = next_item.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(task_idx, chain_idx)) = work.get(item) else {
+                        let Some(&(task_idx, unit_idx)) = work.get(item) else {
                             break;
                         };
                         // The work queue is built from `states` (same length
@@ -534,10 +638,40 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
                         ) else {
                             continue;
                         };
-                        let Some(chain) = state.chains.get(chain_idx) else {
-                            continue;
-                        };
-                        run_chain(chain, task, &state.cache, &state.best_rmse, slot);
+                        match state.units.get(unit_idx) {
+                            Some(WorkUnit::Single(chain_idx)) => {
+                                let Some(chain) = state.chains.get(*chain_idx) else {
+                                    continue;
+                                };
+                                run_chain(chain, task, &state.cache, &state.best_rmse, slot);
+                            }
+                            Some(WorkUnit::Batched(chain_ids)) => {
+                                let mut chains: Vec<(&Chain, &Differenced)> = Vec::new();
+                                for &ci in chain_ids {
+                                    let Some(chain) = state.chains.get(ci) else {
+                                        continue;
+                                    };
+                                    match chain_batch_key(task, chain)
+                                        .and_then(|key| state.cache.get(&key))
+                                    {
+                                        Some(diffed) => chains.push((chain, diffed)),
+                                        // Unreachable by construction (units
+                                        // only batch cached keys); degrade to
+                                        // the sequential path rather than
+                                        // drop work.
+                                        None => run_chain(
+                                            chain,
+                                            task,
+                                            &state.cache,
+                                            &state.best_rmse,
+                                            slot,
+                                        ),
+                                    }
+                                }
+                                run_chain_group(&chains, task, &state.best_rmse, slot);
+                            }
+                            None => continue,
+                        }
                     }
                     out
                 })
@@ -587,6 +721,7 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
             stats.cache_hits += out.cache_hits;
             stats.warm_starts += out.warm_starts;
             stats.objective_evals += out.objective_evals;
+            stats.lockstep.merge(&out.lockstep);
             for (total, part) in stats.families.iter_mut().zip(&out.families) {
                 total.attempts += part.attempts;
                 total.fits += part.fits;
@@ -772,6 +907,284 @@ fn run_chain(
             }
         }
     }
+}
+
+/// One chain's position inside a batched lockstep group: where it is in
+/// its candidate list, the warm-start predecessor it threads forward, and
+/// the fit session currently being optimised (if any).
+struct GroupCursor<'c> {
+    chain: &'c Chain,
+    /// The cached differenced series for this chain's signature.
+    diffed: &'c Differenced,
+    /// Next unopened entry in `chain.indices`.
+    pos: usize,
+    /// The chain's warm-start predecessor `(config, converged params)`.
+    prev: Option<(ModelConfig, Vec<f64>)>,
+    /// The open fit: `(candidate index, session)`.
+    active: Option<(usize, ArimaFitSession)>,
+    /// Wall time attributed to the open candidate so far (its share of
+    /// each batched kernel round plus its own open/settle work); flushed
+    /// into the family's `fit_time` when the candidate completes.
+    spent: Duration,
+}
+
+/// Execute a group of plain-ARIMA warm-start chains in lockstep: each
+/// round stages every active chain's pending optimiser point and scores
+/// all of them in one streaming [`kernels::css_batch`] pass. Each session
+/// carries its own cached differenced series, and the batched kernel
+/// preserves each candidate's exact per-element arithmetic, so every score
+/// is bit-identical to the sequential [`run_chain`] path — batching
+/// changes wall time, never results.
+fn run_chain_group(
+    chains: &[(&Chain, &Differenced)],
+    task: &EvalTask,
+    best_rmse: &AtomicU64,
+    out: &mut WorkerOutput,
+) {
+    let mut cursors: Vec<GroupCursor> = chains
+        .iter()
+        .map(|&(chain, diffed)| GroupCursor {
+            chain,
+            diffed,
+            pos: 0,
+            prev: task
+                .seed
+                .as_ref()
+                .map(|(config, params, _)| (config.clone(), params.clone())),
+            active: None,
+            spent: Duration::ZERO,
+        })
+        .collect();
+    let mut scratch = kernels::CssBatchScratch::default();
+    let mut css_out: Vec<f64> = Vec::new();
+    let mut staged: Vec<usize> = Vec::new();
+    loop {
+        // Phase A: bring every cursor to a pending optimiser point —
+        // settle finished fits, open the next candidate, repeat (fits
+        // decided without an optimiser run settle immediately).
+        let advance_started = Instant::now();
+        for cursor in cursors.iter_mut() {
+            pump_group_cursor(cursor, task, best_rmse, out);
+        }
+        out.lockstep.advance += advance_started.elapsed();
+        let round_started = Instant::now();
+        staged.clear();
+        for (ci, cursor) in cursors.iter_mut().enumerate() {
+            if let Some((_, session)) = cursor.active.as_mut() {
+                if session.stage_pending() {
+                    staged.push(ci);
+                }
+            }
+        }
+        if staged.is_empty() {
+            return;
+        }
+        let staged_at = Instant::now();
+        out.lockstep.stage += staged_at - round_started;
+        // Phase B: one batched kernel pass over all staged points, each
+        // against its session's own centered series.
+        {
+            let mut cands: Vec<(&[f64], &[f64], &[f64])> = Vec::with_capacity(staged.len());
+            for &ci in staged.iter() {
+                if let Some((_, session)) = cursors.get(ci).and_then(|c| c.active.as_ref()) {
+                    cands.push((session.staged_phi(), session.staged_theta(), session.w()));
+                }
+            }
+            kernels::css_batch(&cands, &mut scratch, &mut css_out);
+        }
+        let batched_at = Instant::now();
+        out.lockstep.batch_css += batched_at - staged_at;
+        // Phase C: feed each objective value back to its optimiser.
+        for (j, &ci) in staged.iter().enumerate() {
+            let Some(&css) = css_out.get(j) else {
+                continue;
+            };
+            if let Some((_, session)) = cursors.get_mut(ci).and_then(|c| c.active.as_mut()) {
+                session.tell_css(css);
+            }
+        }
+        out.lockstep.tell += batched_at.elapsed();
+        out.lockstep.rounds += 1;
+        out.lockstep.batched_evals += staged.len();
+        // The round served every staged candidate at once; attribute its
+        // wall time in equal shares (timing only — results don't depend
+        // on this split).
+        let share = round_started.elapsed() / staged.len() as u32;
+        for &ci in staged.iter() {
+            if let Some(cursor) = cursors.get_mut(ci) {
+                cursor.spent += share;
+            }
+        }
+    }
+}
+
+/// Advance one lockstep cursor until it exposes a pending optimiser point
+/// or exhausts its chain: settle a finished session, open the next
+/// candidate, and loop (frozen champion re-scores and zero-parameter specs
+/// are decided at open and settle in the same pass).
+fn pump_group_cursor(
+    cursor: &mut GroupCursor,
+    task: &EvalTask,
+    best_rmse: &AtomicU64,
+    out: &mut WorkerOutput,
+) {
+    loop {
+        // The common round-to-round case — the open fit still has a point
+        // pending — must not move the session struct (a take/put-back
+        // memcpys it twice per cursor per round, which profiling showed
+        // dominated the advance phase).
+        if let Some((_, session)) = cursor.active.as_ref() {
+            if session.is_pending() {
+                return;
+            }
+        }
+        if let Some((candidate_index, session)) = cursor.active.take() {
+            let step_started = Instant::now();
+            if let Some(prev) = settle_group_fit(candidate_index, session, task, best_rmse, out) {
+                cursor.prev = Some(prev);
+            }
+            cursor.spent += step_started.elapsed();
+            if let Some(candidate) = task.candidates.get(candidate_index) {
+                out.family_mut(candidate.family).fit_time += cursor.spent;
+            }
+            cursor.spent = Duration::ZERO;
+        }
+        // Chains are built from candidate indices, so a miss here means the
+        // chain builder is broken — skip the entry rather than panic.
+        let Some(&i) = cursor.chain.indices.get(cursor.pos) else {
+            return;
+        };
+        cursor.pos += 1;
+        let Some(candidate) = task.candidates.get(i) else {
+            continue;
+        };
+        let step_started = Instant::now();
+        match open_group_fit(candidate, &cursor.prev, task, cursor.diffed, out) {
+            Ok(session) => {
+                cursor.spent += step_started.elapsed();
+                cursor.active = Some((i, session));
+            }
+            Err(_) => {
+                cursor.spent += step_started.elapsed();
+                out.failures += 1;
+                out.family_mut(candidate.family).failures += 1;
+                out.family_mut(candidate.family).fit_time += cursor.spent;
+                cursor.spent = Duration::ZERO;
+            }
+        }
+    }
+}
+
+/// Open a fit session for one batched candidate, mirroring the sequential
+/// path's per-candidate bookkeeping: the attempt count, the chain warm
+/// start, the frozen champion re-score, and the cache hit (batched groups
+/// exist only for cached plain candidates, and only in exact mode, so the
+/// racing bound and the regression `freeze_beta` never apply here).
+fn open_group_fit(
+    candidate: &CandidateModel,
+    prev: &Option<(ModelConfig, Vec<f64>)>,
+    task: &EvalTask,
+    diffed: &Differenced,
+    out: &mut WorkerOutput,
+) -> std::result::Result<ArimaFitSession, ModelError> {
+    let opts = &task.opts;
+    out.family_mut(candidate.family).attempts += 1;
+    let mut fit_opts = opts.fit.clone();
+    if opts.warm_start {
+        if let Some((prev_config, prev_params)) = prev {
+            if let Some(warm) = adapt_params(prev_config, prev_params, &candidate.config) {
+                fit_opts.warm_start = Some(warm);
+                out.warm_starts += 1;
+            }
+        }
+    }
+    if let Some((seed_config, seed_params, _)) = &task.seed {
+        if *seed_config == candidate.config && seed_params.len() == seed_config.n_optimiser_params()
+        {
+            fit_opts.warm_start = Some(seed_params.clone());
+            fit_opts.freeze_warm_start = true;
+        }
+    }
+    out.cache_hits += 1;
+    let Some(config) = candidate.as_sarimax() else {
+        return Err(ModelError::FitFailed {
+            context: "batched chain group contains a non-ARIMA candidate".to_string(),
+        });
+    };
+    ArimaFitSession::new(task.train, config.spec, &fit_opts, diffed)
+}
+
+/// Finalise one batched candidate's completed session — the lockstep
+/// equivalent of [`run_chain`]'s post-[`score_one`] bookkeeping. Returns
+/// the `(config, converged params)` pair to thread into the chain's next
+/// warm start on success.
+fn settle_group_fit(
+    candidate_index: usize,
+    session: ArimaFitSession,
+    task: &EvalTask,
+    best_rmse: &AtomicU64,
+    out: &mut WorkerOutput,
+) -> Option<(ModelConfig, Vec<f64>)> {
+    let candidate = task.candidates.get(candidate_index)?;
+    let fam = candidate.family;
+    match score_group_fit(candidate, candidate_index, session, task) {
+        Ok(scored) => {
+            out.family_mut(fam).fits += 1;
+            out.family_mut(fam).objective_evals += scored.nm_evals;
+            out.objective_evals += scored.nm_evals;
+            update_min_f64(best_rmse, scored.score.accuracy.rmse);
+            let prev = (candidate.config.clone(), scored.score.warm_params.clone());
+            out.scores.push(scored.score);
+            Some(prev)
+        }
+        Err(ModelError::Abandoned { evals }) => {
+            out.abandoned += 1;
+            out.family_mut(fam).abandoned += 1;
+            out.family_mut(fam).objective_evals += evals;
+            out.objective_evals += evals;
+            None
+        }
+        Err(_) => {
+            out.failures += 1;
+            out.family_mut(fam).failures += 1;
+            None
+        }
+    }
+}
+
+/// Score one batched candidate's finished fit: wrap the ARIMA fit in the
+/// plain SARIMAX shell (exactly as [`FittedSarimax::fit_plain_prepared`]
+/// does), forecast the test segment and hand off to [`finish_score`].
+fn score_group_fit(
+    candidate: &CandidateModel,
+    candidate_index: usize,
+    session: ArimaFitSession,
+    task: &EvalTask,
+) -> std::result::Result<ScoredFit, ModelError> {
+    let Some(config) = candidate.as_sarimax() else {
+        return Err(ModelError::FitFailed {
+            context: "batched chain group contains a non-ARIMA candidate".to_string(),
+        });
+    };
+    let arima = session.finish()?;
+    let fit = FittedSarimax {
+        nm_evals: arima.nm_evals,
+        config: config.clone(),
+        beta: vec![],
+        arima,
+        n_obs: task.train.len(),
+        start_index: task.opts.start_index,
+    };
+    let forecast = fit.forecast_cols(task.test.len(), &[])?;
+    let warm_beta = fit.beta.clone();
+    finish_score(
+        &fit,
+        forecast,
+        warm_beta,
+        task.test,
+        candidate,
+        candidate_index,
+    )
 }
 
 /// The first `n` exogenous columns, or a typed mismatch error when the

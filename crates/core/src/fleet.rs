@@ -484,6 +484,7 @@ mod tests {
     fn fast_config() -> PipelineConfig {
         PipelineConfig {
             method: MethodChoice::Sarimax,
+            grid: Default::default(),
             granularity: Granularity::Hourly,
             max_candidates: 3,
             fourier_stage: false,

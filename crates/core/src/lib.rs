@@ -13,6 +13,9 @@
 //!   models considerably",
 //! * [`candidates`] — data-driven self-configuration: ADF-chosen
 //!   differencing, detected seasonality, significant ACF/PACF lags,
+//! * [`auto_order`] — interpretable auto order selection: ADF/KPSS-chosen
+//!   differencing and PACF/ACF cut-offs seed a small neighbourhood grid in
+//!   place of the 180-model sweep, insured by a naive-benchmark fallback,
 //! * [`evaluate`] — parallel fitting of a candidate set and RMSE champion
 //!   selection ("gains are also achieved by parallel processing the
 //!   models"),
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod advisor;
+pub mod auto_order;
 pub mod backtest;
 pub mod candidates;
 pub mod diagnostics;
@@ -42,6 +46,7 @@ pub mod repository;
 pub mod shocks;
 
 pub use advisor::{Advisory, ThresholdAdvisor};
+pub use auto_order::{evaluate_auto_order, AutoOrderOptions, AutoOrderPlan, AutoOrderReport};
 pub use backtest::{backtest, BacktestConfig, BacktestReport};
 pub use candidates::{CandidateSet, DataProfile};
 pub use diagnostics::{assess, HealthReport, HealthThresholds, HealthVerdict};
@@ -51,7 +56,9 @@ pub use evaluate::{
 };
 pub use fleet::{FleetOptions, FleetReport, FleetScheduler, JobResult, SeriesJob};
 pub use grid::{CandidateModel, ModelConfig, ModelFamily, ModelGrid};
-pub use pipeline::{ChampionSpec, ForecastOutcome, MethodChoice, Pipeline, PipelineConfig};
+pub use pipeline::{
+    ChampionSpec, ForecastOutcome, GridStrategy, MethodChoice, Pipeline, PipelineConfig,
+};
 pub use repository::{ModelRecord, ModelRepository, RetentionPolicy, ShockTracker};
 pub use shocks::{DetectedShock, ShockDetector};
 

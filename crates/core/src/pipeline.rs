@@ -15,6 +15,7 @@
 //! selection, persistence and champion-seeded relearning are one
 //! family-agnostic plane.
 
+use crate::auto_order::{naive_benchmark_rmse, AutoOrderOptions, AutoOrderPlan};
 use crate::candidates::{CandidateSet, DataProfile};
 use crate::evaluate::{evaluate_candidates, EvalStats, EvaluationOptions, EvaluationReport};
 use crate::grid::{CandidateModel, ModelConfig, ModelFamily, ModelGrid};
@@ -58,11 +59,28 @@ impl MethodChoice {
     }
 }
 
+/// How the SARIMAX-family candidate grid is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridStrategy {
+    /// The standard correlogram-pruned sweep ([`CandidateSet::sarimax`]).
+    #[default]
+    Full,
+    /// Interpretable auto order selection ([`crate::auto_order`]):
+    /// ADF/KPSS-chosen differencing plus PACF/ACF cut-offs seed a small
+    /// neighbourhood grid. If the seeded champion cannot beat the naive
+    /// benchmark forecast, the run falls back to the full strategy — the
+    /// `--grid auto-order` CLI mode.
+    AutoOrder,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Which families enter the candidate grid.
     pub method: MethodChoice,
+    /// How the SARIMAX-family grid is built (ignored by the pure smoothing
+    /// methods, which have no order grid to prune).
+    pub grid: GridStrategy,
     /// Table 1 protocol row to apply.
     pub granularity: Granularity,
     /// Cap on SARIMAX candidates after correlogram pruning.
@@ -84,6 +102,7 @@ impl PipelineConfig {
     pub fn hourly(method: MethodChoice) -> PipelineConfig {
         PipelineConfig {
             method,
+            grid: GridStrategy::Full,
             granularity: Granularity::Hourly,
             max_candidates: 24,
             fourier_stage: true,
@@ -151,6 +170,19 @@ pub(crate) struct EvalPlan {
     pub gaps_filled: usize,
     pub set: CandidateSet,
     pub eval_opts: EvaluationOptions,
+    /// Present only under [`GridStrategy::AutoOrder`]: the differencing
+    /// order the seeded grid was built with (for the drift benchmark) and
+    /// the full-strategy SARIMAX models to fall back to when the seeded
+    /// champion degrades past the naive benchmark.
+    pub auto_fallback: Option<AutoFallback>,
+}
+
+/// The insurance attached to an auto-order plan (see [`EvalPlan`]).
+pub(crate) struct AutoFallback {
+    /// Differencing order the auto plan diagnosed.
+    pub d: usize,
+    /// The full-strategy candidates to evaluate on degradation.
+    pub models: Vec<CandidateModel>,
 }
 
 /// The Figure 4 pipeline.
@@ -172,8 +204,8 @@ impl Pipeline {
     /// observations as `series` (they are split alongside it); pass `&[]`
     /// when no shocks are known. Only SARIMAX candidates consume them.
     pub fn run(&self, series: &TimeSeries, exog_full: &[Vec<f64>]) -> Result<ForecastOutcome> {
-        let plan = self.plan(series, exog_full)?;
-        let report = evaluate_candidates(
+        let mut plan = self.plan(series, exog_full)?;
+        let mut report = evaluate_candidates(
             plan.split.train.values(),
             plan.split.test.values(),
             &plan.exog_train,
@@ -181,6 +213,40 @@ impl Pipeline {
             &plan.set.models,
             &plan.eval_opts,
         )?;
+        // Auto-order insurance: a seeded champion that cannot beat the
+        // naive benchmark (seasonal repeat at the detected period) forfeits
+        // the pruning bet, and the full-strategy grid is raced too. Both
+        // passes' work is counted; the champion is the best of both.
+        if let Some(fallback) = plan.auto_fallback.take() {
+            let auto_opts = AutoOrderOptions::default();
+            let period = plan
+                .set
+                .profile
+                .primary_period(self.config.granularity.seasonal_period());
+            let benchmark = naive_benchmark_rmse(
+                plan.split.train.values(),
+                plan.split.test.values(),
+                fallback.d,
+                Some(period),
+            );
+            let threshold = benchmark * auto_opts.degradation_factor;
+            // NaN-greatest ordering: a NaN champion RMSE counts as degraded.
+            let degraded = report
+                .champion()
+                .map(|c| dwcp_math::total_cmp_f64(c.accuracy.rmse, threshold).is_gt())
+                .unwrap_or(true);
+            if degraded {
+                let full = evaluate_candidates(
+                    plan.split.train.values(),
+                    plan.split.test.values(),
+                    &plan.exog_train,
+                    &plan.exog_test,
+                    &fallback.models,
+                    &plan.eval_opts,
+                )?;
+                report.absorb(full);
+            }
+        }
         self.finish(plan, report)
     }
 
@@ -243,6 +309,7 @@ impl Pipeline {
         let profile = DataProfile::analyze(train)?;
         let fallback_period = self.config.granularity.seasonal_period();
         let mut models: Vec<CandidateModel> = Vec::new();
+        let mut auto_fallback = None;
         if method.includes_sarimax() {
             let set = CandidateSet::sarimax(
                 profile.clone(),
@@ -250,7 +317,20 @@ impl Pipeline {
                 exog_train.len(),
                 self.config.max_candidates,
             );
-            models.extend(set.models);
+            match self.config.grid {
+                GridStrategy::Full => models.extend(set.models),
+                GridStrategy::AutoOrder => {
+                    // Seed the grid from the order diagnostics; keep the
+                    // full strategy's models as the degradation fallback.
+                    let auto =
+                        AutoOrderPlan::analyze(train, AutoOrderOptions::default().max_candidates)?;
+                    models.extend(auto.grid.candidates);
+                    auto_fallback = Some(AutoFallback {
+                        d: auto.d,
+                        models: set.models,
+                    });
+                }
+            }
         }
         let interval_level = self.config.eval.fit.interval_level;
         if method.includes_hes() {
@@ -278,6 +358,7 @@ impl Pipeline {
             gaps_filled,
             set,
             eval_opts,
+            auto_fallback,
         })
     }
 
@@ -591,6 +672,7 @@ mod tests {
     fn fast_config(method: MethodChoice) -> PipelineConfig {
         PipelineConfig {
             method,
+            grid: GridStrategy::Full,
             granularity: Granularity::Hourly,
             max_candidates: 4,
             fourier_stage: false,
@@ -762,6 +844,27 @@ mod tests {
             "auto ({family:?}) {} vs hes {}",
             outcome.accuracy.rmse,
             hes.accuracy.rmse
+        );
+    }
+
+    #[test]
+    fn auto_order_grid_produces_a_champion() {
+        let (series, _) = synthetic_hourly(1100);
+        let mut config = fast_config(MethodChoice::Sarimax);
+        config.grid = GridStrategy::AutoOrder;
+        let auto = Pipeline::new(config).run(&series, &[]).unwrap();
+        assert!(auto.family.is_some());
+        assert!(auto.accuracy.rmse.is_finite());
+        // Whether or not the naive-benchmark fallback fired, the run must
+        // track the strong daily cycle about as well as the full strategy.
+        let full = Pipeline::new(fast_config(MethodChoice::Sarimax))
+            .run(&series, &[])
+            .unwrap();
+        assert!(
+            auto.accuracy.rmse <= full.accuracy.rmse * 2.0,
+            "auto {} vs full {}",
+            auto.accuracy.rmse,
+            full.accuracy.rmse
         );
     }
 

@@ -1,0 +1,1002 @@
+//! Hot-loop f64 kernels for the model-evaluation engine.
+//!
+//! The grid search evaluates the conditional-sum-of-squares (CSS) objective
+//! hundreds of thousands of times per sweep; profiling showed that almost
+//! all of that time is the innovation recursion itself. This module
+//! restructures the recursion into a shape the autovectoriser can take:
+//!
+//! * **Fused blocked AR pass** — instead of walking `t` and accumulating
+//!   all lags into one scalar (a serial FP dependency chain, ~4 cycles per
+//!   term), the AR part processes 16 time steps at once (`ar_phase`):
+//!   the block's partial innovations stay in four independent 4-lane
+//!   register chains while the lag loop runs, so the latency chains
+//!   overlap, AVX2 processes four lanes per instruction, and the output
+//!   buffer is written once instead of once per lag (the per-lag sweep
+//!   alternative, [`axpy_neg`], is store-port-bound at grid AR orders).
+//!   The per-element subtraction order (lag 1 first) is exactly the order
+//!   of the scalar loop, so results are **bit-identical** to the
+//!   reference.
+//! * **MA recursion with hoisted guard** — the MA part is inherently serial
+//!   (`a_t` depends on `a_{t-1}`), but the per-iteration conditioning guard
+//!   is hoisted into the loop bound (`ma_block`), leaving a tight
+//!   branch-free inner loop.
+//! * **Chunked reduction** — [`sum_sq`] accumulates in four independent
+//!   lanes (combined pairwise, serial tail), breaking the add-latency chain
+//!   of a naive serial sum. This *is* a different (fixed, canonical)
+//!   summation order from a plain serial sum; it is the one order used
+//!   everywhere, so all evaluation modes agree bitwise.
+//! * **Batched scoring** — [`css_batch`] scores several candidates (each
+//!   with its own differenced series) in one block-streamed pass:
+//!   innovations live only in small per-lane windows, the serial MA
+//!   recurrences interleave across candidates, and the whole round's
+//!   working set stays L1-resident. Per-candidate arithmetic is
+//!   element-for-element identical to the solo kernel, so batch membership
+//!   never changes a score.
+//!
+//! Everything is plain safe indexing over pre-sized slices — bounds are
+//! established once at the top of each kernel (`start = p.min(n)`, block
+//! ranges clamped to `n`), after which every index is in range by
+//! construction; the slice-level operations (`copy_from_slice`, subslice
+//! `zip`s) let LLVM elide the checks. A scalar [`mod@reference`] implementation
+//! is kept for parity testing. The layout (lane-count-4 chunks, per-lag
+//! passes) is chosen so `std::simd` can replace the inner loops without
+//! changing any call site once it stabilises.
+// lint: allow-file(indexing) — kernel hot loops; every index is bounded by
+// construction: `start = p.min(n)` caps lag offsets, block ranges are
+// clamped to `n`, and the MA loop bound `theta.len().min(t - start)` keeps
+// `t - 1 - j >= start - 1 >= 0` within the initialised prefix.
+
+/// Fused multiply-subtract pass: `dst[i] -= scale * src[i]`.
+///
+/// The zipped-slice form compiles to bounds-check-free code; with
+/// `target-cpu=native` LLVM vectorises it to 4-lane AVX2 `vmulpd`/`vsubpd`
+/// (no FMA contraction — Rust does not fuse `a - b * c`, keeping results
+/// bit-identical to the scalar reference).
+#[inline]
+pub fn axpy_neg(dst: &mut [f64], scale: f64, src: &[f64]) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&mut dst[..n], &src[..n]);
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] -= scale * sc[0];
+        dc[1] -= scale * sc[1];
+        dc[2] -= scale * sc[2];
+        dc[3] -= scale * sc[3];
+    }
+    for (dv, &sv) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *dv -= scale * sv;
+    }
+}
+
+/// Sum of squares with four independent accumulator lanes.
+///
+/// Canonical order: lanes over `chunks_exact(4)`, combined as
+/// `(l0 + l1) + (l2 + l3)`, then the serial tail. This is the one
+/// summation order used by every CSS path (scalar, vectorised, batched),
+/// so scores agree bitwise across evaluation modes.
+#[inline]
+pub fn sum_sq(xs: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut chunks = xs.chunks_exact(4);
+    for c in &mut chunks {
+        lanes[0] += c[0] * c[0];
+        lanes[1] += c[1] * c[1];
+        lanes[2] += c[2] * c[2];
+        lanes[3] += c[3] * c[3];
+    }
+    let mut tail = 0.0;
+    for &v in chunks.remainder() {
+        tail += v * v;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// Fused AR fill: `dst[i] = w[t0+i] − Σₖ φₖ·w[t0+i−1−k]`, subtractions in
+/// ascending lag order, for any window `[t0, t0 + dst.len())` of the
+/// series. Callers guarantee `t0 >= phi.len()` and
+/// `t0 + dst.len() <= w.len()`, so no lag index underflows.
+///
+/// One blocked pass over `t` replaces the per-lag [`axpy_neg`] sweeps: each
+/// 16-element block holds its partial innovations in registers while the
+/// lag loop runs, so the destination is written once instead of once per
+/// lag (the per-lag sweep is store-port-bound — `p` read-modify-write
+/// passes over the whole buffer). The block accumulators are four
+/// independent 4-lane chains, enough to hide the multiply-subtract
+/// latency. Per element the arithmetic is
+/// `((w[t] − φ₁w[t−1]) − φ₂w[t−2]) − …` — exactly the per-lag sweep's
+/// order — so innovations are bit-identical to both the sweep form and the
+/// scalar reference, and independent of how the series is windowed.
+#[inline]
+fn ar_fill(phi: &[f64], w: &[f64], t0: usize, dst: &mut [f64]) {
+    const BLOCK: usize = 16;
+    let len = dst.len().min(w.len().saturating_sub(t0));
+    let mut i = 0usize;
+    while i + BLOCK <= len {
+        let t = t0 + i;
+        let mut acc = [0.0f64; BLOCK];
+        acc.copy_from_slice(&w[t..t + BLOCK]);
+        for (k, &ph) in phi.iter().enumerate() {
+            let lag = k + 1;
+            let src = &w[t - lag..t - lag + BLOCK];
+            for (av, &sv) in acc.iter_mut().zip(src) {
+                *av -= ph * sv;
+            }
+        }
+        dst[i..i + BLOCK].copy_from_slice(&acc);
+        i += BLOCK;
+    }
+    while i < len {
+        let t = t0 + i;
+        let mut v = w[t];
+        for (k, &ph) in phi.iter().enumerate() {
+            v -= ph * w[t - 1 - k];
+        }
+        dst[i] = v;
+        i += 1;
+    }
+}
+
+/// Fused AR phase over a full innovation buffer: `a[t] = w[t] − Σᵢ
+/// φᵢ·w[t−1−i]` for `t` in `start..n` — the whole-buffer view of
+/// `ar_fill`.
+#[inline]
+fn ar_phase(phi: &[f64], w: &[f64], a: &mut [f64], start: usize) {
+    let n = w.len().min(a.len());
+    if start >= n {
+        return;
+    }
+    // `start = p.min(n)` at every caller, so `t0 >= phi.len()` holds.
+    ar_fill(phi, w, start, &mut a[start..n]);
+}
+
+/// Serial MA recursion over `a[lo..hi]` with the conditioning guard hoisted
+/// into the loop bound.
+///
+/// `start` is the conditioning point: entries `a[..start]` are zero
+/// pre-sample slots, and innovation `t` may only reference innovations from
+/// `start` onwards, i.e. `j < min(q, t - start)`. The recursion reads
+/// values this same pass has just written, so it cannot vectorise — but
+/// the hoisted bound removes the per-term branch of the reference loop,
+/// and the grid's only MA orders (q = 1, 2) get dedicated loops with the
+/// ramp-up steps peeled, leaving nothing but the irreducible
+/// multiply-subtract dependency chain. Each specialisation performs the
+/// subtractions in the same ascending-`j` order as the general loop, so
+/// innovations are bit-identical.
+#[inline]
+fn ma_block(theta: &[f64], a: &mut [f64], start: usize, lo: usize, hi: usize) {
+    match theta.len() {
+        0 => {}
+        1 => {
+            let th0 = theta[0];
+            let t0 = lo.max(start + 1);
+            if t0 >= hi {
+                return;
+            }
+            // Carry the recurrence in a register so each step pays only the
+            // multiply-subtract latency, not a store-to-load round trip.
+            let mut prev = a[t0 - 1];
+            for t in t0..hi {
+                let v = a[t] - th0 * prev;
+                a[t] = v;
+                prev = v;
+            }
+        }
+        2 => {
+            let th0 = theta[0];
+            let th1 = theta[1];
+            let mut t = lo.max(start + 1);
+            if t >= hi {
+                return;
+            }
+            if t == start + 1 {
+                // Ramp-up step: only one prior innovation exists.
+                a[t] -= th0 * a[t - 1];
+                t += 1;
+            }
+            if t >= hi {
+                return;
+            }
+            let mut x1 = a[t - 1];
+            let mut x2 = a[t - 2];
+            while t < hi {
+                let v = a[t] - th0 * x1 - th1 * x2;
+                a[t] = v;
+                x2 = x1;
+                x1 = v;
+                t += 1;
+            }
+        }
+        _ => {
+            for t in lo..hi {
+                let m = theta.len().min(t - start);
+                let mut v = a[t];
+                for (j, &th) in theta[..m].iter().enumerate() {
+                    v -= th * a[t - 1 - j];
+                }
+                a[t] = v;
+            }
+        }
+    }
+}
+
+/// CSS innovations of `w` under the expanded ARMA `(phi, theta)` (lag 1
+/// first), written into `a` (cleared and resized to `w.len()`; entries
+/// before the conditioning point stay zero). Returns the index of the
+/// first genuine innovation.
+///
+/// Bit-identical to [`reference::arma_innovations`]: the AR part runs as
+/// the fused blocked `ar_phase` (lag order preserved per element), the
+/// MA part as the serial `ma_block` recursion.
+pub fn arma_innovations(phi: &[f64], theta: &[f64], w: &[f64], a: &mut Vec<f64>) -> usize {
+    let n = w.len();
+    let start = phi.len().min(n);
+    a.clear();
+    a.resize(n, 0.0);
+    if start >= n {
+        return start;
+    }
+    ar_phase(phi, w, a, start);
+    if !theta.is_empty() {
+        ma_block(theta, a, start, start, n);
+    }
+    start
+}
+
+/// CSS objective: mean squared innovation over the scored region, or
+/// `f64::INFINITY` when nothing can be scored.
+pub fn css(phi: &[f64], theta: &[f64], w: &[f64], a: &mut Vec<f64>) -> f64 {
+    let start = arma_innovations(phi, theta, w, a);
+    let scored = w.len() - start;
+    if scored == 0 {
+        return f64::INFINITY;
+    }
+    sum_sq(&a[start..]) / scored as f64
+}
+
+/// History slots kept per streaming lane in [`css_batch`] — the widest MA
+/// order the streamed path supports. Wider candidates (long seasonal θ*
+/// expansions) fall back to the solo kernel inside the same call, with
+/// identical results.
+const MA_HIST: usize = 16;
+
+/// Payload elements per streamed block in [`css_batch`]: a multiple of 16
+/// (the `ar_fill` register block) and of 4 (the [`sum_sq`] reduction
+/// chunk), sized so a full batch of windows plus the series stays
+/// L1-resident.
+const BATCH_BLOCK: usize = 96;
+
+/// One streamed candidate's in-flight state inside [`css_batch`]: its slot
+/// in the call's candidate list, its conditioning point, its streaming
+/// window (owned, recycled through the scratch pool), the register-carried
+/// MA trailing state, and the canonical four-lane reduction accumulators
+/// (same lanes, same fold order as [`sum_sq`]).
+///
+/// Lanes are built grouped by MA class (`q = 0`, `1`, `2`, wide) so the
+/// interleaved MA loop runs over contiguous subslices with direct field
+/// access — no per-step indirection through a shared window table, which
+/// profiling showed ate the interleave's gain.
+#[derive(Debug, Default, Clone)]
+struct LaneState {
+    cand: usize,
+    start: usize,
+    scored: usize,
+    q: usize,
+    th0: f64,
+    th1: f64,
+    x1: f64,
+    x2: f64,
+    sums: [f64; 4],
+    tail: f64,
+    window: Vec<f64>,
+}
+
+/// Reusable workspace for [`css_batch`]: the lane list plus a pool of
+/// recycled window buffers, kept allocated across calls so the evaluation
+/// hot loop never touches the allocator.
+#[derive(Debug, Default)]
+pub struct CssBatchScratch {
+    lanes: Vec<LaneState>,
+    pool: Vec<Vec<f64>>,
+    /// Full-length innovation buffer for wide-θ* solo fallbacks.
+    solo: Vec<f64>,
+}
+
+/// Serial uniform MA steps over block-relative `[i0, i1)` of a streaming
+/// window: `win[H+i] -= Σⱼ θⱼ·win[H+i−1−j]`, reads reaching into the
+/// `MA_HIST`-slot history prefix for `i < q`. Valid once the lane's
+/// absolute position has cleared its ramp (all `q` predecessors exist);
+/// per-element arithmetic identical to the interleaved loops and
+/// `ma_block`.
+#[inline]
+fn ma_serial(theta: &[f64], win: &mut [f64], i0: usize, i1: usize) {
+    for i in i0..i1 {
+        let mut v = win[MA_HIST + i];
+        for (j, &th) in theta.iter().enumerate() {
+            v -= th * win[MA_HIST + i - 1 - j];
+        }
+        win[MA_HIST + i] = v;
+    }
+}
+
+/// Score a batch of expanded ARMA candidates `(φ*, θ*, w)` in one
+/// streaming pass, writing one CSS value per candidate into `out`.
+/// Candidates need **not** share a differenced series: each lane carries
+/// its own `w`, so one call can span every differencing signature in a
+/// scheduling group.
+///
+/// Instead of materialising each candidate's full innovation buffer (which
+/// streams `batch × n` doubles through cache every call), the kernel is
+/// **block-streamed**: innovations live only in a small per-lane window —
+/// `BATCH_BLOCK` payload slots plus `MA_HIST` history slots — and each
+/// block round runs four fused stages:
+///
+/// 1. **AR fill**, candidate-outer: the block's innovations via the fused
+///    blocked `ar_fill` pass over the lane's own `w`.
+/// 2. **MA recursion**, time-outer / candidate-inner: each lane's
+///    recursion is an independent serial multiply-subtract dependency
+///    chain (~8 cycles per step on its own). After the first block's short
+///    per-lane ramp (the reference loop's `min(q, t−start)` guard region),
+///    the uniform region is one interleaved loop — one step of every
+///    lane's recurrence per time index — so the out-of-order core overlaps
+///    the chains, turning a latency-bound loop into a throughput-bound
+///    one. This is where batching beats scoring candidates one at a time.
+/// 3. **Reduction**: the block's squares fold into the lane's four
+///    accumulator lanes — the same `chunks_exact(4)` grid and fold order
+///    as [`sum_sq`] over the full scored region, because every block
+///    payload is a multiple of 4 except the final partial one.
+/// 4. **History carry**: the last `MA_HIST` innovations slide to the
+///    window head for the next block's MA reads.
+///
+/// Per element, every lane executes exactly the statements of the solo
+/// [`css`] kernel in the same order — scores are **independent of batch
+/// membership and order**, which keeps champion selection deterministic at
+/// any thread count. The whole round's working set (windows + series)
+/// stays L1-resident, so batching no longer evicts the optimiser and
+/// transform state between evaluations.
+///
+/// `scratch` is reusable across calls; `out` is cleared and refilled.
+pub fn css_batch(
+    cands: &[(&[f64], &[f64], &[f64])],
+    scratch: &mut CssBatchScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(cands.len(), f64::INFINITY);
+    for lane in scratch.lanes.drain(..) {
+        scratch.pool.push(lane.window);
+    }
+    // Build lanes grouped by MA class (q = 0, 1, 2, wide) so each
+    // interleave group below is one contiguous subslice. Wide-θ*
+    // candidates beyond the history window fall back to the solo kernel
+    // (identical results by definition); unscoreable ones stay +inf, as in
+    // the solo kernel.
+    let mut b0 = 0usize;
+    let mut b1 = 0usize;
+    let mut b2 = 0usize;
+    for class in 0..4usize {
+        for (idx, &(phi, theta, w)) in cands.iter().enumerate() {
+            let q = theta.len();
+            if q.min(3) != class {
+                continue;
+            }
+            let n = w.len();
+            let start = phi.len().min(n);
+            let scored = n - start;
+            if scored == 0 {
+                continue;
+            }
+            if q > MA_HIST {
+                out[idx] = css(phi, theta, w, &mut scratch.solo);
+                continue;
+            }
+            let mut window = scratch.pool.pop().unwrap_or_default();
+            if window.len() < MA_HIST + BATCH_BLOCK {
+                window.resize(MA_HIST + BATCH_BLOCK, 0.0);
+            }
+            scratch.lanes.push(LaneState {
+                cand: idx,
+                start,
+                scored,
+                q,
+                th0: theta.first().copied().unwrap_or(0.0),
+                th1: theta.get(1).copied().unwrap_or(0.0),
+                x1: 0.0,
+                x2: 0.0,
+                sums: [0.0; 4],
+                tail: 0.0,
+                window,
+            });
+        }
+        match class {
+            0 => b0 = scratch.lanes.len(),
+            1 => b1 = scratch.lanes.len(),
+            2 => b2 = scratch.lanes.len(),
+            _ => {}
+        }
+    }
+    // A lone lane has no recurrences to interleave with; the solo kernel
+    // (bit-identical per candidate by construction) skips the window
+    // streaming overhead. Common in the tail of a lockstep sweep, when one
+    // long warm-start chain outlives the rest.
+    if scratch.lanes.len() == 1 {
+        if let Some(lane) = scratch.lanes.pop() {
+            let (phi, theta, w) = cands[lane.cand];
+            out[lane.cand] = css(phi, theta, w, &mut scratch.solo);
+            scratch.pool.push(lane.window);
+        }
+        return;
+    }
+    let max_blocks = scratch
+        .lanes
+        .iter()
+        .map(|l| l.scored.div_ceil(BATCH_BLOCK))
+        .max()
+        .unwrap_or(0);
+    for r in 0..max_blocks {
+        let off = r * BATCH_BLOCK;
+        // Stage 1: AR fill, one fused vectorised pass per live lane.
+        for lane in scratch.lanes.iter_mut() {
+            if off >= lane.scored {
+                continue;
+            }
+            let len = (lane.scored - off).min(BATCH_BLOCK);
+            let (phi, _, w) = cands[lane.cand];
+            // `start + off >= phi.len()`, the `ar_fill` precondition.
+            ar_fill(
+                phi,
+                w,
+                lane.start + off,
+                &mut lane.window[MA_HIST..MA_HIST + len],
+            );
+        }
+        // Stage 2: MA. First-block ramps run per lane (innovation `i` has
+        // only `i` predecessors -- the reference loop's guard region), then
+        // the uniform region interleaves across lanes. `i_lo` is where
+        // every live MA lane has cleared its ramp; `common` the shortest
+        // live block.
+        let mut i_lo = 0usize;
+        let mut common = usize::MAX;
+        for lane in scratch.lanes[b0..].iter_mut() {
+            if off >= lane.scored {
+                continue;
+            }
+            let len = (lane.scored - off).min(BATCH_BLOCK);
+            let u0 = if r == 0 {
+                let theta = cands[lane.cand].1;
+                let u0 = lane.q.min(len);
+                for i in 0..u0 {
+                    let mut v = lane.window[MA_HIST + i];
+                    for (j, &th) in theta[..i].iter().enumerate() {
+                        v -= th * lane.window[MA_HIST + i - 1 - j];
+                    }
+                    lane.window[MA_HIST + i] = v;
+                }
+                u0
+            } else {
+                0
+            };
+            i_lo = i_lo.max(u0);
+            common = common.min(len);
+        }
+        if common != usize::MAX && common > i_lo {
+            // Pre-roll (first block only): lanes whose ramp ended before
+            // the group's interleave start catch up serially; then refresh
+            // the register-carried trailing state (at `i_lo = 0`, every
+            // block after the first, it comes from the history prefix).
+            if r == 0 {
+                for lane in scratch.lanes[b0..].iter_mut() {
+                    if off < lane.scored && lane.q < i_lo {
+                        let theta = cands[lane.cand].1;
+                        ma_serial(theta, &mut lane.window, lane.q, i_lo);
+                    }
+                }
+            }
+            for lane in scratch.lanes[b0..b2].iter_mut() {
+                if off >= lane.scored {
+                    continue;
+                }
+                lane.x1 = lane.window[MA_HIST + i_lo - 1];
+                if lane.q == 2 {
+                    lane.x2 = lane.window[MA_HIST + i_lo - 2];
+                }
+            }
+            // The interleaved uniform region: one step of every lane's
+            // recurrence per time index, each group a contiguous slice
+            // with direct field access. A lane already drained this round
+            // (shorter scored region) may be stepped on stale data --
+            // harmless: its accumulators are final and its window is
+            // rewritten before any future read, so only live lanes'
+            // results exist.
+            let (head, wides) = scratch.lanes.split_at_mut(b2);
+            let (head, twos) = head.split_at_mut(b1);
+            let ones = &mut head[b0..];
+            for i in i_lo..common {
+                for lane in ones.iter_mut() {
+                    let v = lane.window[MA_HIST + i] - lane.th0 * lane.x1;
+                    lane.window[MA_HIST + i] = v;
+                    lane.x1 = v;
+                }
+                for lane in twos.iter_mut() {
+                    let v = lane.window[MA_HIST + i] - lane.th0 * lane.x1 - lane.th1 * lane.x2;
+                    lane.window[MA_HIST + i] = v;
+                    lane.x2 = lane.x1;
+                    lane.x1 = v;
+                }
+                for lane in wides.iter_mut() {
+                    let theta = cands[lane.cand].1;
+                    let mut v = lane.window[MA_HIST + i];
+                    for (j, &th) in theta.iter().enumerate() {
+                        v -= th * lane.window[MA_HIST + i - 1 - j];
+                    }
+                    lane.window[MA_HIST + i] = v;
+                }
+            }
+            // Post-roll: lanes whose block outlasts the shortest finish
+            // serially (only final blocks differ in length).
+            for lane in scratch.lanes[b0..].iter_mut() {
+                if off >= lane.scored {
+                    continue;
+                }
+                let len = (lane.scored - off).min(BATCH_BLOCK);
+                if len > common {
+                    let theta = cands[lane.cand].1;
+                    ma_serial(theta, &mut lane.window, common, len);
+                }
+            }
+        } else if common != usize::MAX {
+            // Degenerate round (a lane ends inside another's ramp): every
+            // live lane runs serially -- same per-element arithmetic.
+            for lane in scratch.lanes[b0..].iter_mut() {
+                if off >= lane.scored {
+                    continue;
+                }
+                let len = (lane.scored - off).min(BATCH_BLOCK);
+                let u0 = if r == 0 { lane.q.min(len) } else { 0 };
+                let theta = cands[lane.cand].1;
+                ma_serial(theta, &mut lane.window, u0, len);
+            }
+        }
+        // Stages 3 + 4: fold the block into the canonical reduction lanes
+        // and slide the MA history to the window head.
+        for lane in scratch.lanes.iter_mut() {
+            if off >= lane.scored {
+                continue;
+            }
+            let len = (lane.scored - off).min(BATCH_BLOCK);
+            let mut chunks = lane.window[MA_HIST..MA_HIST + len].chunks_exact(4);
+            for c in &mut chunks {
+                lane.sums[0] += c[0] * c[0];
+                lane.sums[1] += c[1] * c[1];
+                lane.sums[2] += c[2] * c[2];
+                lane.sums[3] += c[3] * c[3];
+            }
+            for &v in chunks.remainder() {
+                lane.tail += v * v;
+            }
+            if off + len < lane.scored && lane.q > 0 {
+                lane.window.copy_within(len..len + MA_HIST, 0);
+            }
+        }
+    }
+    for lane in scratch.lanes.iter() {
+        out[lane.cand] =
+            ((lane.sums[0] + lane.sums[1]) + (lane.sums[2] + lane.sums[3]) + lane.tail)
+                / lane.scored as f64;
+    }
+}
+
+/// Scalar reference implementations: the naive per-`t` loops the kernels
+/// replaced, kept for bit-for-bit parity tests.
+pub mod reference {
+    /// The original per-`t` innovation recursion: one scalar accumulator,
+    /// all lags folded in per time step, per-term MA guard.
+    pub fn arma_innovations(phi: &[f64], theta: &[f64], w: &[f64], a: &mut Vec<f64>) -> usize {
+        let p = phi.len();
+        let n = w.len();
+        let start = p.min(n);
+        a.clear();
+        a.resize(n, 0.0);
+        for t in start..n {
+            let mut v = w[t];
+            for (i, &ph) in phi.iter().enumerate() {
+                v -= ph * w[t - 1 - i];
+            }
+            for (j, &th) in theta.iter().enumerate() {
+                if t >= start + 1 + j {
+                    v -= th * a[t - 1 - j];
+                }
+            }
+            a[t] = v;
+        }
+        start
+    }
+
+    /// Reference CSS using the recursion above and the *canonical* chunked
+    /// [`super::sum_sq`] reduction (the reduction order is part of the
+    /// engine's numeric contract, so the reference shares it).
+    pub fn css(phi: &[f64], theta: &[f64], w: &[f64], a: &mut Vec<f64>) -> f64 {
+        let start = arma_innovations(phi, theta, w, a);
+        let scored = w.len() - start;
+        if scored == 0 {
+            return f64::INFINITY;
+        }
+        super::sum_sq(&a[start..]) / scored as f64
+    }
+
+    /// Plain serial sum of squares (the pre-kernel reduction), kept to
+    /// document and measure the reduction-order change.
+    pub fn sum_sq_serial(xs: &[f64]) -> f64 {
+        xs.iter().map(|v| v * v).sum()
+    }
+}
+
+/// Monomorphic Holt-Winters recursion kernels. The per-step `match` on the
+/// seasonal kind that the model layer used to run once per observation per
+/// objective call is hoisted out here: one fused, branch-light loop per
+/// seasonal variant (trend stays a runtime flag — one well-predicted
+/// branch — while seasonal dispatch cost a pattern match plus
+/// seasonal-index arithmetic even for non-seasonal configs). The
+/// arithmetic is transcribed statement-for-statement from the model
+/// layer's recursion, so fits are bit-identical.
+pub mod holt_winters {
+    /// Final state of a recursion pass.
+    #[derive(Debug, Clone)]
+    pub struct HwState {
+        /// Final level.
+        pub level: f64,
+        /// Final trend (0 when trend is off).
+        pub trend: f64,
+        /// Sum of squared one-step errors, or `None` if the recursion
+        /// diverged (non-finite error or degenerate multiplicative state).
+        pub sse: Option<f64>,
+    }
+
+    impl HwState {
+        fn diverged(level: f64, trend: f64) -> HwState {
+            HwState {
+                level,
+                trend,
+                sse: None,
+            }
+        }
+    }
+
+    /// Non-seasonal recursion: SES / Holt / damped-Holt depending on
+    /// `(has_trend, beta, phi)`.
+    pub fn run_none(
+        y: &[f64],
+        alpha: f64,
+        beta: f64,
+        phi: f64,
+        mut level: f64,
+        mut trend: f64,
+        has_trend: bool,
+    ) -> HwState {
+        let mut sse = 0.0;
+        for &obs in y {
+            let damped = phi * trend;
+            let fitted = level + damped;
+            let err = obs - fitted;
+            if !err.is_finite() {
+                return HwState::diverged(level, trend);
+            }
+            sse += err * err;
+            let prev_level = level;
+            level = alpha * obs + (1.0 - alpha) * (prev_level + damped);
+            if has_trend {
+                trend = beta * (level - prev_level) + (1.0 - beta) * damped;
+            }
+        }
+        HwState {
+            level,
+            trend,
+            sse: Some(sse),
+        }
+    }
+
+    /// Additive-seasonal recursion; `seasonal` holds the `m` per-phase
+    /// offsets and is updated in place (the seasonal update reads the
+    /// freshly updated level, as in the classical formulation).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_additive(
+        y: &[f64],
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        phi: f64,
+        mut level: f64,
+        mut trend: f64,
+        has_trend: bool,
+        seasonal: &mut [f64],
+    ) -> HwState {
+        let m = seasonal.len();
+        if m == 0 {
+            return HwState::diverged(level, trend);
+        }
+        let mut sse = 0.0;
+        for (t, &obs) in y.iter().enumerate() {
+            let s_idx = t % m;
+            let damped = phi * trend;
+            let s = seasonal[s_idx];
+            let fitted = level + damped + s;
+            let err = obs - fitted;
+            if !err.is_finite() {
+                return HwState::diverged(level, trend);
+            }
+            sse += err * err;
+            let prev_level = level;
+            level = alpha * (obs - s) + (1.0 - alpha) * (prev_level + damped);
+            seasonal[s_idx] = gamma * (obs - level) + (1.0 - gamma) * s;
+            if has_trend {
+                trend = beta * (level - prev_level) + (1.0 - beta) * damped;
+            }
+        }
+        HwState {
+            level,
+            trend,
+            sse: Some(sse),
+        }
+    }
+
+    /// Multiplicative-seasonal recursion; diverges on a near-zero seasonal
+    /// factor or level, matching the model layer's guards.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_multiplicative(
+        y: &[f64],
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        phi: f64,
+        mut level: f64,
+        mut trend: f64,
+        has_trend: bool,
+        seasonal: &mut [f64],
+    ) -> HwState {
+        let m = seasonal.len();
+        if m == 0 {
+            return HwState::diverged(level, trend);
+        }
+        let mut sse = 0.0;
+        for (t, &obs) in y.iter().enumerate() {
+            let s_idx = t % m;
+            let damped = phi * trend;
+            let s = seasonal[s_idx];
+            let fitted = (level + damped) * s;
+            let err = obs - fitted;
+            if !err.is_finite() {
+                return HwState::diverged(level, trend);
+            }
+            sse += err * err;
+            let prev_level = level;
+            if s.abs() < 1e-12 {
+                return HwState::diverged(level, trend);
+            }
+            level = alpha * (obs / s) + (1.0 - alpha) * (prev_level + damped);
+            if level.abs() < 1e-12 {
+                return HwState::diverged(level, trend);
+            }
+            seasonal[s_idx] = gamma * (obs / level) + (1.0 - gamma) * s;
+            if has_trend {
+                trend = beta * (level - prev_level) + (1.0 - beta) * damped;
+            }
+        }
+        HwState {
+            level,
+            trend,
+            sse: Some(sse),
+        }
+    }
+}
+
+/// Trigonometric-seasonal rotation kernel for the TBATS filter.
+///
+/// A TBATS seasonal block of `h` harmonics is a length-`2h` interleaved
+/// state `[s₁, s₁*, s₂, s₂*, …]` advanced each step by a fixed rotation
+/// plus an innovation nudge. The rotation angles depend only on the
+/// period, so the caller precomputes `(cos λⱼ, sin λⱼ)` once per filter
+/// pass (`rotation_table`) instead of evaluating `cos`/`sin` per
+/// harmonic *per observation* — the dominant cost of the original filter.
+pub mod trig_seasonal {
+    /// Precompute `(cos λⱼ, sin λⱼ)` for harmonics `j = 1..=h` of the given
+    /// period, `λⱼ = 2πj / period`.
+    pub fn rotation_table(period: f64, harmonics: usize) -> Vec<(f64, f64)> {
+        (1..=harmonics)
+            .map(|j| {
+                let lambda = 2.0 * std::f64::consts::PI * j as f64 / period;
+                (lambda.cos(), lambda.sin())
+            })
+            .collect()
+    }
+
+    /// Sum of the even-indexed (in-phase) states — the block's contribution
+    /// to the one-step prediction.
+    #[inline]
+    pub fn in_phase_sum(block: &[f64]) -> f64 {
+        block.chunks_exact(2).map(|pair| pair[0]).sum()
+    }
+
+    /// Advance one interleaved seasonal block by its rotation table plus
+    /// the innovation nudge `(g1·d, g2·d)` per harmonic. `block.len()`
+    /// must be `2 * table.len()`.
+    #[inline]
+    pub fn advance_block(block: &mut [f64], table: &[(f64, f64)], g1: f64, g2: f64, d: f64) {
+        for (pair, &(cos_l, sin_l)) in block.chunks_exact_mut(2).zip(table) {
+            let s = pair[0];
+            let s_star = pair[1];
+            pair[0] = s * cos_l + s_star * sin_l + g1 * d;
+            pair[1] = -s * sin_l + s_star * cos_l + g2 * d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn coeffs(k: usize, seed: u64, scale: f64) -> Vec<f64> {
+        series(k, seed).into_iter().map(|v| v * scale).collect()
+    }
+
+    #[test]
+    fn axpy_neg_matches_scalar() {
+        let src = series(101, 1);
+        let mut dst = series(101, 2);
+        let mut expect = dst.clone();
+        axpy_neg(&mut dst, 0.37, &src);
+        for (e, s) in expect.iter_mut().zip(&src) {
+            *e -= 0.37 * s;
+        }
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn sum_sq_handles_all_tail_lengths() {
+        for n in 0..9 {
+            let xs = series(n, 3);
+            let got = sum_sq(&xs);
+            let want: f64 = xs.iter().map(|v| v * v).sum();
+            assert!((got - want).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn innovations_bit_identical_to_reference() {
+        let w = series(480, 7);
+        for p in 0..=30 {
+            for q in 0..=3 {
+                let phi = coeffs(p, 11 + p as u64, 0.8 / (p.max(1) as f64));
+                let theta = coeffs(q, 13 + q as u64, 0.5);
+                let mut fast = Vec::new();
+                let mut slow = Vec::new();
+                let s1 = arma_innovations(&phi, &theta, &w, &mut fast);
+                let s2 = reference::arma_innovations(&phi, &theta, &w, &mut slow);
+                assert_eq!(s1, s2);
+                assert!(
+                    fast.iter()
+                        .zip(&slow)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "bit mismatch at p={p} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn innovations_short_series_and_empty_model() {
+        let w = series(3, 17);
+        let mut a = Vec::new();
+        // p > n: everything is conditioning, nothing scored.
+        let start = arma_innovations(&coeffs(5, 19, 0.1), &[], &w, &mut a);
+        assert_eq!(start, 3);
+        assert!(a.iter().all(|&v| v == 0.0));
+        assert_eq!(css(&coeffs(5, 19, 0.1), &[], &w, &mut a), f64::INFINITY);
+        // Empty model: innovations are the series itself.
+        let start = arma_innovations(&[], &[], &w, &mut a);
+        assert_eq!(start, 0);
+        assert_eq!(a, w);
+    }
+
+    #[test]
+    fn css_batch_matches_solo_bitwise() {
+        let w = series(480, 23);
+        let specs: Vec<(Vec<f64>, Vec<f64>)> = (0..12)
+            .map(|c| {
+                (
+                    coeffs(c % 7, 29 + c as u64, 0.1),
+                    coeffs(c % 3, 31 + c as u64, 0.3),
+                )
+            })
+            .collect();
+        let refs: Vec<(&[f64], &[f64], &[f64])> = specs
+            .iter()
+            .map(|(p, q)| (p.as_slice(), q.as_slice(), w.as_slice()))
+            .collect();
+        let mut scratch = CssBatchScratch::default();
+        let mut out = Vec::new();
+        css_batch(&refs, &mut scratch, &mut out);
+        let mut solo_buf = Vec::new();
+        for (c, &(phi, theta, w)) in refs.iter().enumerate() {
+            let solo = css(phi, theta, w, &mut solo_buf);
+            assert_eq!(out[c].to_bits(), solo.to_bits(), "candidate {c}");
+        }
+    }
+
+    #[test]
+    fn css_batch_mixed_series_lengths() {
+        // Lanes with different series (the merged multi-signature group):
+        // per-candidate w, uneven lengths, wide θ* fallback in the same
+        // call, plus a scored-region-shorter-than-one-block lane.
+        let w_long = series(609, 37);
+        let w_short = series(479, 29);
+        let w_tiny = series(21, 31);
+        let phi_a = coeffs(4, 41, 0.15);
+        let theta_a = coeffs(2, 43, 0.4);
+        let phi_b = coeffs(13, 47, 0.12);
+        let theta_b = coeffs(1, 53, 0.5);
+        let phi_c = coeffs(2, 59, 0.2);
+        let theta_wide = coeffs(26, 61, 0.05); // > MA_HIST: solo fallback
+        let phi_d = coeffs(5, 67, 0.1);
+        let theta_d = coeffs(3, 71, 0.2); // wide lane (3..=MA_HIST)
+        let cands: Vec<(&[f64], &[f64], &[f64])> = vec![
+            (&phi_a, &theta_a, &w_long),
+            (&phi_b, &theta_b, &w_short),
+            (&phi_c, &theta_wide, &w_long),
+            (&phi_d, &theta_d, &w_tiny),
+            (&[], &[], &w_short),
+        ];
+        let mut scratch = CssBatchScratch::default();
+        let mut out = Vec::new();
+        css_batch(&cands, &mut scratch, &mut out);
+        let mut solo_buf = Vec::new();
+        for (c, &(phi, theta, w)) in cands.iter().enumerate() {
+            let solo = css(phi, theta, w, &mut solo_buf);
+            assert_eq!(out[c].to_bits(), solo.to_bits(), "candidate {c}");
+        }
+        // Scratch reuse across calls must not leak state.
+        css_batch(&cands, &mut scratch, &mut out);
+        for (c, &(phi, theta, w)) in cands.iter().enumerate() {
+            let solo = css(phi, theta, w, &mut solo_buf);
+            assert_eq!(
+                out[c].to_bits(),
+                solo.to_bits(),
+                "candidate {c} (reused scratch)"
+            );
+        }
+    }
+
+    #[test]
+    fn rotation_table_and_advance_match_direct_form() {
+        let table = trig_seasonal::rotation_table(24.0, 3);
+        let mut block = vec![0.5, -0.2, 0.1, 0.7, -0.3, 0.4];
+        let expect: Vec<f64> = {
+            let mut out = Vec::new();
+            for (j, pair) in block.chunks_exact(2).enumerate() {
+                let lambda = 2.0 * std::f64::consts::PI * (j as f64 + 1.0) / 24.0;
+                out.push(pair[0] * lambda.cos() + pair[1] * lambda.sin() + 0.01 * 2.0);
+                out.push(-pair[0] * lambda.sin() + pair[1] * lambda.cos() + 0.02 * 2.0);
+            }
+            out
+        };
+        trig_seasonal::advance_block(&mut block, &table, 0.01, 0.02, 2.0);
+        assert!(block
+            .iter()
+            .zip(&expect)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(
+            (trig_seasonal::in_phase_sum(&block) - (block[0] + block[2] + block[4])).abs() == 0.0
+        );
+    }
+}

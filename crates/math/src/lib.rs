@@ -26,6 +26,7 @@
 
 pub mod dist;
 pub mod fft;
+pub mod kernels;
 pub mod levinson;
 pub mod matrix;
 pub mod ols;

@@ -102,227 +102,469 @@ pub struct NelderMeadResult {
 /// Returns the best point seen. Objective values of `NaN` are treated as
 /// `+inf`, so objectives may signal infeasible regions that way (the ARMA
 /// CSS objective does this for non-invertible parameter vectors).
+///
+/// This is a thin synchronous wrapper over [`NelderMeadDriver`] — the same
+/// state machine, driven to completion against a closure. Callers that need
+/// to interleave several searches (the batched grid-evaluation engine) use
+/// the driver directly.
 pub fn nelder_mead<F>(f: F, x0: &[f64], opts: &NelderMeadOptions) -> NelderMeadResult
 where
     F: Fn(&[f64]) -> f64,
 {
-    let sanitize = |v: f64| if v.is_nan() { f64::INFINITY } else { v };
-    let n = x0.len();
-    let mut evals = 0usize;
-    if n == 0 {
-        let fx = sanitize(f(x0));
-        return NelderMeadResult {
-            x: vec![],
-            fx,
-            evals: 1,
-            converged: true,
-            aborted: false,
-        };
+    let mut driver = NelderMeadDriver::new(x0, opts.clone());
+    while let Some(x) = driver.pending_point() {
+        let fx = f(x);
+        driver.tell(fx);
     }
+    driver.into_result()
+}
 
+/// Where the driver's state machine is between objective evaluations. The
+/// variants mirror the phases of the classic loop: probing the start and
+/// warm points, building a restart's simplex, then the
+/// reflect → expand / contract → shrink cascade of one iteration.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Evaluating the cold start `x0`.
+    ColdStart,
+    /// Racing the caller's warm-start override against the cold start.
+    WarmProbe,
+    /// Building vertex `i` (0-based offset coordinate) of a fresh simplex.
+    Build { i: usize },
+    /// Evaluating the reflected point (`trial`).
+    Reflect,
+    /// Evaluating the expanded point (`trial2`); carries the reflected
+    /// point's objective value.
+    Expand { f_r: f64 },
+    /// Evaluating the contracted point (`trial2`); carries the reflected
+    /// point's objective value.
+    Contract { f_r: f64 },
+    /// Evaluating shrunk vertex `idx` (already moved in place).
+    Shrink { idx: usize },
+    /// No more evaluations needed.
+    Finished,
+}
+
+/// Poll-style (ask/tell) Nelder-Mead: [`pending_point`] exposes the next
+/// point whose objective value the search needs, [`tell`] feeds the value
+/// back and advances the state machine. [`nelder_mead`] is the loop
+/// `while let Some(x) = pending_point() { tell(f(x)) }` — a driver stepped
+/// that way performs **exactly** the evaluation sequence of the classic
+/// recursive implementation, in the same order, with the same tolerance,
+/// abandon and budget checks between the same evaluations.
+///
+/// The point of the split is batching: an evaluation engine can hold one
+/// driver per concurrent model fit, collect every driver's pending point,
+/// score them all in one fused kernel pass, and feed the results back —
+/// without threads, and without perturbing any individual search's
+/// trajectory.
+///
+/// [`pending_point`]: NelderMeadDriver::pending_point
+/// [`tell`]: NelderMeadDriver::tell
+#[derive(Debug, Clone)]
+pub struct NelderMeadDriver {
+    opts: NelderMeadOptions,
+    n: usize,
+    nf: f64,
     // Adaptive coefficients (Gao & Han 2012) behave better in >2 dimensions.
-    let nf = n as f64;
-    let alpha = 1.0;
-    let beta = 1.0 + 2.0 / nf;
-    let gamma = 0.75 - 1.0 / (2.0 * nf);
-    let delta = 1.0 - 1.0 / nf;
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    delta: f64,
+    evals: usize,
+    /// Effective budget; resolved after the warm-start race (a winning warm
+    /// start may substitute `warm_budget`).
+    max_evals: usize,
+    best_x: Vec<f64>,
+    best_f: f64,
+    warm_won: bool,
+    converged: bool,
+    aborted: bool,
+    restart: usize,
+    step_scale: f64,
+    simplex: Vec<Vec<f64>>,
+    fvals: Vec<f64>,
+    // Reused iteration scratch — the steady state allocates nothing.
+    order: Vec<usize>,
+    centroid: Vec<f64>,
+    trial: Vec<f64>,
+    trial2: Vec<f64>,
+    best_buf: Vec<f64>,
+    probe: Vec<f64>,
+    i_best: usize,
+    i_worst: usize,
+    i_second: usize,
+    phase: Phase,
+}
 
-    let mut best_x = x0.to_vec();
-    let mut best_f = sanitize(f(x0));
-    evals += 1;
-    // Race the cold start against the caller's warm start (if any); the
-    // winner anchors the first simplex. A stale or mismatched override is
-    // therefore harmless — at worst it costs one evaluation.
-    let mut warm_won = false;
-    if let Some(warm) = opts.warm_start.as_deref() {
-        if warm.len() == n {
-            let f_warm = sanitize(f(warm));
-            evals += 1;
-            if f_warm < best_f {
-                best_f = f_warm;
-                best_x = warm.to_vec();
-                warm_won = true;
-            }
-        }
+/// `out = from + t · (to − from)`, the simplex move primitive.
+fn lerp_into(from: &[f64], to: &[f64], t: f64, out: &mut [f64]) {
+    for ((o, &a), &b) in out.iter_mut().zip(from).zip(to) {
+        *o = a + t * (b - a);
     }
-    let mut converged = false;
-    let mut aborted = false;
-    let max_evals = if warm_won {
-        opts.warm_budget.unwrap_or(opts.max_evals)
+}
+
+#[inline]
+fn sanitize(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
     } else {
-        opts.max_evals
-    };
+        v
+    }
+}
 
-    // `out = from + t · (to − from)`, the simplex move primitive. A free
-    // function writing into a reused buffer: the main loop must not
-    // allocate per iteration.
-    fn lerp_into(from: &[f64], to: &[f64], t: f64, out: &mut [f64]) {
-        for ((o, &a), &b) in out.iter_mut().zip(from).zip(to) {
-            *o = a + t * (b - a);
+impl NelderMeadDriver {
+    /// Start a minimisation of an objective over `x0.len()` parameters.
+    /// The first [`pending_point`](NelderMeadDriver::pending_point) is `x0`
+    /// itself.
+    pub fn new(x0: &[f64], opts: NelderMeadOptions) -> NelderMeadDriver {
+        let n = x0.len();
+        let nf = n as f64;
+        NelderMeadDriver {
+            n,
+            nf,
+            alpha: 1.0,
+            beta: 1.0 + 2.0 / nf,
+            gamma: 0.75 - 1.0 / (2.0 * nf),
+            delta: 1.0 - 1.0 / nf,
+            evals: 0,
+            max_evals: opts.max_evals,
+            best_x: x0.to_vec(),
+            best_f: f64::INFINITY,
+            warm_won: false,
+            converged: false,
+            aborted: false,
+            restart: 0,
+            step_scale: opts.initial_step,
+            simplex: Vec::with_capacity(n + 1),
+            fvals: Vec::with_capacity(n + 1),
+            order: Vec::with_capacity(n + 1),
+            centroid: vec![0.0; n],
+            trial: vec![0.0; n],
+            trial2: vec![0.0; n],
+            best_buf: Vec::with_capacity(n),
+            probe: x0.to_vec(),
+            i_best: 0,
+            i_worst: 0,
+            i_second: 0,
+            opts,
+            phase: Phase::ColdStart,
         }
     }
 
-    // Reused iteration scratch (order/centroid/trial points were formerly
-    // fresh allocations on every simplex move).
-    let mut order: Vec<usize> = Vec::with_capacity(n + 1);
-    let mut centroid = vec![0.0; n];
-    let mut trial = vec![0.0; n];
-    let mut trial2 = vec![0.0; n];
-    let mut best_buf: Vec<f64> = Vec::with_capacity(n);
-
-    'restarts: for restart in 0..=opts.restarts {
-        // Build the initial simplex around the current best point. When a
-        // winning warm start is present, the first simplex is a tight local
-        // refinement around it (see `warm_refine_step`).
-        let base_step = match opts.warm_refine_step {
-            Some(refine) if restart == 0 && warm_won => refine,
-            _ => opts.initial_step,
-        };
-        let step_scale = base_step / (1.0 + restart as f64);
-        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-        let mut fvals: Vec<f64> = Vec::with_capacity(n + 1);
-        simplex.push(best_x.clone());
-        fvals.push(best_f);
-        for i in 0..n {
-            let mut v = best_x.clone();
-            let h = if v[i].abs() > 1e-8 {
-                v[i].abs() * step_scale
-            } else {
-                step_scale * 0.1
-            };
-            v[i] += h;
-            fvals.push(sanitize(f(&v)));
-            evals += 1;
-            simplex.push(v);
+    /// The point whose objective value the search needs next, or `None`
+    /// when the search is complete. Stable between calls: the same point is
+    /// returned until [`tell`](NelderMeadDriver::tell) advances the state.
+    pub fn pending_point(&self) -> Option<&[f64]> {
+        match self.phase {
+            Phase::ColdStart | Phase::WarmProbe | Phase::Build { .. } => Some(&self.probe),
+            Phase::Reflect => Some(&self.trial),
+            Phase::Expand { .. } | Phase::Contract { .. } => Some(&self.trial2),
+            Phase::Shrink { idx } => self.simplex.get(idx).map(|v| v.as_slice()),
+            Phase::Finished => None,
         }
+    }
 
-        while evals < max_evals {
-            // Order the simplex by objective value.
-            order.clear();
-            order.extend(0..=n);
-            order.sort_by(|&a, &b| crate::total_cmp_f64(fvals[a], fvals[b]));
-            let best = order[0];
-            let worst = order[n];
-            let second_worst = order[n - 1];
+    /// Whether the search has finished (no pending point remains).
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Finished)
+    }
 
-            // Convergence checks.
-            let f_spread = fvals[worst] - fvals[best];
-            let x_spread = simplex
-                .iter()
-                .map(|v| {
-                    v.iter()
-                        .zip(&simplex[best])
-                        .map(|(a, b)| (a - b).abs())
-                        .fold(0.0f64, f64::max)
-                })
-                .fold(0.0f64, f64::max);
-            if (f_spread.is_finite() && f_spread < opts.f_tol) || x_spread < opts.x_tol {
-                converged = true;
-                break;
-            }
+    /// Objective evaluations consumed so far.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
 
-            // Champion-bound racing: stop chasing a candidate that is still
-            // above the caller's threshold after the grace period.
-            if let Some(rule) = opts.abandon {
-                if evals >= rule.min_evals && fvals[best].min(best_f) > rule.threshold {
-                    for (v, &fv) in simplex.iter().zip(&fvals) {
-                        if fv < best_f {
-                            best_f = fv;
-                            best_x = v.clone();
-                        }
+    /// Feed back the objective value of the current pending point and
+    /// advance to the next one. `NaN` is treated as `+inf` (infeasible).
+    /// Calling after completion is a no-op.
+    pub fn tell(&mut self, fx: f64) {
+        let fx = sanitize(fx);
+        match self.phase {
+            Phase::ColdStart => {
+                self.best_f = fx;
+                self.evals += 1;
+                if self.n == 0 {
+                    self.converged = true;
+                    self.phase = Phase::Finished;
+                    return;
+                }
+                // Race the cold start against the caller's warm start (if
+                // any); the winner anchors the first simplex. A stale or
+                // mismatched override is therefore harmless — at worst it
+                // costs one evaluation.
+                match self
+                    .opts
+                    .warm_start
+                    .as_deref()
+                    .filter(|w| w.len() == self.n)
+                {
+                    Some(warm) => {
+                        self.probe.clear();
+                        self.probe.extend_from_slice(warm);
+                        self.phase = Phase::WarmProbe;
                     }
-                    aborted = true;
-                    break 'restarts;
+                    None => self.begin_restart(0),
                 }
             }
-
-            // Centroid of all but the worst vertex.
-            for c in centroid.iter_mut() {
-                *c = 0.0;
-            }
-            for (idx, v) in simplex.iter().enumerate() {
-                if idx == worst {
-                    continue;
+            Phase::WarmProbe => {
+                self.evals += 1;
+                if fx < self.best_f {
+                    self.best_f = fx;
+                    self.best_x.clear();
+                    self.best_x.extend_from_slice(&self.probe);
+                    self.warm_won = true;
                 }
-                for (c, &vi) in centroid.iter_mut().zip(v) {
-                    *c += vi;
+                if self.warm_won {
+                    self.max_evals = self.opts.warm_budget.unwrap_or(self.opts.max_evals);
                 }
+                self.begin_restart(0);
             }
-            for c in centroid.iter_mut() {
-                *c /= nf;
-            }
-
-            // Reflect.
-            lerp_into(&centroid, &simplex[worst], -alpha, &mut trial);
-            let f_r = sanitize(f(&trial));
-            evals += 1;
-
-            if f_r < fvals[best] {
-                // Expand.
-                lerp_into(&centroid, &simplex[worst], -alpha * beta, &mut trial2);
-                let f_e = sanitize(f(&trial2));
-                evals += 1;
-                if f_e < f_r {
-                    simplex[worst].copy_from_slice(&trial2);
-                    fvals[worst] = f_e;
+            Phase::Build { i } => {
+                self.evals += 1;
+                self.fvals.push(fx);
+                self.simplex.push(self.probe.clone());
+                if i + 1 < self.n {
+                    self.stage_vertex(i + 1);
+                    self.phase = Phase::Build { i: i + 1 };
                 } else {
-                    simplex[worst].copy_from_slice(&trial);
-                    fvals[worst] = f_r;
+                    self.enter_iteration();
                 }
-            } else if f_r < fvals[second_worst] {
-                simplex[worst].copy_from_slice(&trial);
-                fvals[worst] = f_r;
-            } else {
-                // Contract (outside if the reflected point improved on the
-                // worst, inside otherwise).
-                let t = if f_r < fvals[worst] {
-                    -alpha * gamma
+            }
+            Phase::Reflect => {
+                self.evals += 1;
+                let f_r = fx;
+                if f_r < self.fvals[self.i_best] {
+                    // Expand.
+                    lerp_into(
+                        &self.centroid,
+                        &self.simplex[self.i_worst],
+                        -self.alpha * self.beta,
+                        &mut self.trial2,
+                    );
+                    self.phase = Phase::Expand { f_r };
+                } else if f_r < self.fvals[self.i_second] {
+                    self.simplex[self.i_worst].copy_from_slice(&self.trial);
+                    self.fvals[self.i_worst] = f_r;
+                    self.enter_iteration();
                 } else {
-                    gamma
-                };
-                lerp_into(&centroid, &simplex[worst], t, &mut trial2);
-                let f_p = sanitize(f(&trial2));
-                evals += 1;
-                if f_p < fvals[worst].min(f_r) {
-                    simplex[worst].copy_from_slice(&trial2);
-                    fvals[worst] = f_p;
+                    // Contract (outside if the reflected point improved on
+                    // the worst, inside otherwise).
+                    let t = if f_r < self.fvals[self.i_worst] {
+                        -self.alpha * self.gamma
+                    } else {
+                        self.gamma
+                    };
+                    lerp_into(
+                        &self.centroid,
+                        &self.simplex[self.i_worst],
+                        t,
+                        &mut self.trial2,
+                    );
+                    self.phase = Phase::Contract { f_r };
+                }
+            }
+            Phase::Expand { f_r } => {
+                self.evals += 1;
+                if fx < f_r {
+                    self.simplex[self.i_worst].copy_from_slice(&self.trial2);
+                    self.fvals[self.i_worst] = fx;
+                } else {
+                    self.simplex[self.i_worst].copy_from_slice(&self.trial);
+                    self.fvals[self.i_worst] = f_r;
+                }
+                self.enter_iteration();
+            }
+            Phase::Contract { f_r } => {
+                self.evals += 1;
+                if fx < self.fvals[self.i_worst].min(f_r) {
+                    self.simplex[self.i_worst].copy_from_slice(&self.trial2);
+                    self.fvals[self.i_worst] = fx;
+                    self.enter_iteration();
                 } else {
                     // Shrink towards the best vertex (in place — the lerp
-                    // arithmetic is unchanged).
-                    best_buf.clear();
-                    best_buf.extend_from_slice(&simplex[best]);
-                    for idx in 0..=n {
-                        if idx == best {
-                            continue;
-                        }
-                        for (v, &b) in simplex[idx].iter_mut().zip(&best_buf) {
-                            *v = b + delta * (*v - b);
-                        }
-                        fvals[idx] = sanitize(f(&simplex[idx]));
-                        evals += 1;
-                    }
+                    // arithmetic is unchanged). The n shrunk vertices are
+                    // evaluated one by one, budget unchecked, exactly like
+                    // the classic inner loop.
+                    self.best_buf.clear();
+                    self.best_buf.extend_from_slice(&self.simplex[self.i_best]);
+                    let first = if self.i_best == 0 { 1 } else { 0 };
+                    self.shrink_vertex(first);
+                    self.phase = Phase::Shrink { idx: first };
                 }
             }
-        }
-
-        // Harvest the best vertex of this round.
-        for (v, &fv) in simplex.iter().zip(&fvals) {
-            if fv < best_f {
-                best_f = fv;
-                best_x = v.clone();
+            Phase::Shrink { idx } => {
+                self.evals += 1;
+                self.fvals[idx] = fx;
+                let mut next = idx + 1;
+                if next == self.i_best {
+                    next += 1;
+                }
+                if next <= self.n {
+                    self.shrink_vertex(next);
+                    self.phase = Phase::Shrink { idx: next };
+                } else {
+                    self.enter_iteration();
+                }
             }
-        }
-        if evals >= max_evals {
-            break;
+            Phase::Finished => {}
         }
     }
 
-    NelderMeadResult {
-        x: best_x,
-        fx: best_f,
-        evals,
-        converged,
-        aborted,
+    /// The final result. Callable at any time; meaningful once
+    /// [`is_done`](NelderMeadDriver::is_done) is true.
+    pub fn into_result(self) -> NelderMeadResult {
+        NelderMeadResult {
+            x: self.best_x,
+            fx: self.best_f,
+            evals: self.evals,
+            converged: self.converged,
+            aborted: self.aborted,
+        }
+    }
+
+    /// Begin restart `r`: stage a fresh simplex around the current best
+    /// point. When a winning warm start is present, the first simplex is a
+    /// tight local refinement around it (see
+    /// [`NelderMeadOptions::warm_refine_step`]).
+    fn begin_restart(&mut self, r: usize) {
+        self.restart = r;
+        let base_step = match self.opts.warm_refine_step {
+            Some(refine) if r == 0 && self.warm_won => refine,
+            _ => self.opts.initial_step,
+        };
+        self.step_scale = base_step / (1.0 + r as f64);
+        self.simplex.clear();
+        self.fvals.clear();
+        self.simplex.push(self.best_x.clone());
+        self.fvals.push(self.best_f);
+        self.stage_vertex(0);
+        self.phase = Phase::Build { i: 0 };
+    }
+
+    /// Stage simplex vertex `i`: the best point with coordinate `i`
+    /// perturbed by the restart's step.
+    fn stage_vertex(&mut self, i: usize) {
+        self.probe.clear();
+        self.probe.extend_from_slice(&self.best_x);
+        let h = if self.probe[i].abs() > 1e-8 {
+            self.probe[i].abs() * self.step_scale
+        } else {
+            self.step_scale * 0.1
+        };
+        self.probe[i] += h;
+    }
+
+    /// Move vertex `idx` towards the best vertex in place (δ-lerp); its new
+    /// objective value arrives through the next `tell`.
+    fn shrink_vertex(&mut self, idx: usize) {
+        for (v, &b) in self.simplex[idx].iter_mut().zip(&self.best_buf) {
+            *v = b + self.delta * (*v - b);
+        }
+    }
+
+    /// Top of the classic `while evals < max_evals` loop: order the
+    /// simplex, run the convergence / abandon checks, and stage the
+    /// reflection — or harvest and move to the next restart / finish.
+    fn enter_iteration(&mut self) {
+        if self.evals >= self.max_evals {
+            self.harvest();
+            self.phase = Phase::Finished;
+            return;
+        }
+        let n = self.n;
+        // Order the simplex by objective value.
+        self.order.clear();
+        self.order.extend(0..=n);
+        let fvals = &self.fvals;
+        self.order
+            .sort_by(|&a, &b| crate::total_cmp_f64(fvals[a], fvals[b]));
+        self.i_best = self.order[0];
+        self.i_worst = self.order[n];
+        self.i_second = self.order[n - 1];
+
+        // Convergence checks. The x-spread test only needs the boolean
+        // `max |simplex − best| < x_tol`, so it short-circuits on the first
+        // coordinate pair at or past the tolerance instead of computing the
+        // exact O(n²) max — same decision (a NaN difference fails the `>=`
+        // and is skipped, exactly as `f64::max` ignores NaN), but the
+        // common still-moving case exits after one comparison. It is also
+        // skipped entirely when the f-spread test already decides.
+        let f_spread = self.fvals[self.i_worst] - self.fvals[self.i_best];
+        let converged = (f_spread.is_finite() && f_spread < self.opts.f_tol) || {
+            let best = &self.simplex[self.i_best];
+            !self.simplex.iter().any(|v| {
+                v.iter()
+                    .zip(best)
+                    .any(|(a, b)| (a - b).abs() >= self.opts.x_tol)
+            })
+        };
+        if converged {
+            self.converged = true;
+            self.harvest();
+            self.after_round();
+            return;
+        }
+
+        // Champion-bound racing: stop chasing a candidate that is still
+        // above the caller's threshold after the grace period.
+        if let Some(rule) = self.opts.abandon {
+            if self.evals >= rule.min_evals
+                && self.fvals[self.i_best].min(self.best_f) > rule.threshold
+            {
+                self.harvest();
+                self.aborted = true;
+                self.phase = Phase::Finished;
+                return;
+            }
+        }
+
+        // Centroid of all but the worst vertex.
+        for c in self.centroid.iter_mut() {
+            *c = 0.0;
+        }
+        for (idx, v) in self.simplex.iter().enumerate() {
+            if idx == self.i_worst {
+                continue;
+            }
+            for (c, &vi) in self.centroid.iter_mut().zip(v) {
+                *c += vi;
+            }
+        }
+        for c in self.centroid.iter_mut() {
+            *c /= self.nf;
+        }
+
+        // Reflect.
+        lerp_into(
+            &self.centroid,
+            &self.simplex[self.i_worst],
+            -self.alpha,
+            &mut self.trial,
+        );
+        self.phase = Phase::Reflect;
+    }
+
+    /// Fold the current simplex's best into the running best.
+    fn harvest(&mut self) {
+        for (v, &fv) in self.simplex.iter().zip(&self.fvals) {
+            if fv < self.best_f {
+                self.best_f = fv;
+                self.best_x.clear();
+                self.best_x.extend_from_slice(v);
+            }
+        }
+    }
+
+    /// A restart's while-loop ended (tolerance hit): budget permitting,
+    /// start the next restart, else finish.
+    fn after_round(&mut self) {
+        if self.evals >= self.max_evals || self.restart >= self.opts.restarts {
+            self.phase = Phase::Finished;
+        } else {
+            let next = self.restart + 1;
+            self.begin_restart(next);
+        }
     }
 }
 

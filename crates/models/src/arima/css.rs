@@ -13,6 +13,7 @@
 //! and the CSS objective is `Σ a_t²` — the `method="css"` of statsmodels.
 // lint: allow-file(indexing) — conditional-sum-of-squares recursion; lag offsets are bounded by the max-lag guard at the top of the loop
 
+use dwcp_math::kernels;
 use dwcp_math::poly::LagPoly;
 
 /// Expanded coefficient form of a SARIMA's ARMA part: plain `Vec`s of the
@@ -99,26 +100,12 @@ impl ExpandedArma {
     /// [`ExpandedArma::innovations`] into a reused buffer (cleared and
     /// resized to `w.len()`); returns the index of the first genuine
     /// innovation. This is the optimiser's hot loop — no allocation once
-    /// the buffer has grown to the series length.
+    /// the buffer has grown to the series length. The recursion itself
+    /// lives in [`dwcp_math::kernels`] as per-lag vectorisable passes,
+    /// bit-identical to the scalar per-`t` form (see
+    /// `kernels::reference`).
     pub fn innovations_into(&self, w: &[f64], a: &mut Vec<f64>) -> usize {
-        let p = self.phi.len();
-        let n = w.len();
-        let start = p.min(n);
-        a.clear();
-        a.resize(n, 0.0);
-        for t in start..n {
-            let mut v = w[t];
-            for (i, &ph) in self.phi.iter().enumerate() {
-                v -= ph * w[t - 1 - i];
-            }
-            for (j, &th) in self.theta.iter().enumerate() {
-                if t >= start + 1 + j {
-                    v -= th * a[t - 1 - j];
-                }
-            }
-            a[t] = v;
-        }
-        start
+        kernels::arma_innovations(&self.phi, &self.theta, w, a)
     }
 
     /// CSS objective: mean squared innovation over the scored region.
@@ -129,14 +116,11 @@ impl ExpandedArma {
     }
 
     /// [`ExpandedArma::css`] with a caller-owned innovations buffer;
-    /// bit-identical, allocation-free once the buffer is warm.
+    /// bit-identical, allocation-free once the buffer is warm. Delegates
+    /// to the kernel layer (chunked four-lane reduction — the canonical
+    /// summation order shared by all evaluation modes).
     pub fn css_into(&self, w: &[f64], a: &mut Vec<f64>) -> f64 {
-        let start = self.innovations_into(w, a);
-        let scored = a.len() - start;
-        if scored == 0 {
-            return f64::INFINITY;
-        }
-        a[start..].iter().map(|v| v * v).sum::<f64>() / scored as f64
+        kernels::css(&self.phi, &self.theta, w, a)
     }
 
     /// Recursive point forecast on the differenced scale.

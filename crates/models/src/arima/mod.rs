@@ -19,6 +19,8 @@ pub mod sarimax;
 pub mod spec;
 pub mod transform;
 
-pub use model::{adapt_unconstrained, auto_d, spec_feasible, ArimaOptions, FittedArima};
+pub use model::{
+    adapt_unconstrained, auto_d, spec_feasible, ArimaFitSession, ArimaOptions, FittedArima,
+};
 pub use sarimax::{FittedSarimax, SarimaxConfig};
 pub use spec::ArimaSpec;

@@ -9,9 +9,9 @@ use super::transform::{
 };
 use crate::{Forecast, ModelError, Result};
 use dwcp_math::ols::{design, ols};
-use dwcp_math::optimize::{nelder_mead, NelderMeadOptions};
+use dwcp_math::optimize::{NelderMeadDriver, NelderMeadOptions};
 use dwcp_math::poly::LagPoly;
-use dwcp_series::diff::Differencer;
+use dwcp_series::diff::{Differenced, Differencer};
 
 /// Knobs for the CSS fit.
 #[derive(Debug, Clone)]
@@ -209,7 +209,10 @@ impl FittedArima {
         Ok(())
     }
 
-    /// Shared estimation path behind [`fit`] and [`fit_prepared`].
+    /// Shared estimation path behind [`fit`] and [`fit_prepared`]: start a
+    /// fit session, drive its optimiser to completion against the solo CSS
+    /// kernel, finalise. The batched grid engine uses the same session type
+    /// but interleaves many of them over the multi-candidate kernel.
     ///
     /// [`fit`]: FittedArima::fit
     /// [`fit_prepared`]: FittedArima::fit_prepared
@@ -219,127 +222,9 @@ impl FittedArima {
         opts: &ArimaOptions,
         diffed: dwcp_series::diff::Differenced,
     ) -> Result<FittedArima> {
-        let mean = if opts.include_mean {
-            diffed.values.iter().sum::<f64>() / diffed.values.len() as f64
-        } else {
-            0.0
-        };
-        let w: Vec<f64> = diffed.values.iter().map(|v| v - mean).collect();
-
-        let k = spec.n_params();
-        let (blocks, best_css, nm_evals) = if k == 0 {
-            (
-                vec![],
-                ExpandedArma::expand(&[], &[], &[], &[], 0).css(&w),
-                0,
-            )
-        } else {
-            let start = if opts.hannan_rissanen_init {
-                initial_unconstrained(&w, &spec)
-            } else {
-                vec![0.0; k]
-            };
-            // The optimiser calls the objective O(budget) times per fit and
-            // the grid search runs hundreds of fits, so the evaluation path
-            // reuses one scratch workspace instead of allocating coefficient
-            // and innovation vectors on every call. Results are
-            // bit-identical to the allocating helpers.
-            let scratch = std::cell::RefCell::new(ObjectiveScratch::default());
-            let objective = |u: &[f64]| {
-                let mut guard = scratch.borrow_mut();
-                guard.css(u, &spec, &w)
-            };
-            let budget = if opts.max_evals == 0 {
-                250 + 120 * k
-            } else {
-                opts.max_evals
-            };
-            let warm_start = opts.warm_start.as_ref().filter(|ws| ws.len() == k).cloned();
-            if opts.freeze_warm_start {
-                if let Some(ws) = warm_start {
-                    let fx = objective(&ws);
-                    (ws, fx, 1)
-                } else {
-                    return Err(ModelError::FitFailed {
-                        context: format!(
-                            "freeze_warm_start for {spec} needs a warm start of length {k}"
-                        ),
-                    });
-                }
-            } else {
-                let abandon =
-                    opts.abandon_css_above
-                        .map(|threshold| dwcp_math::optimize::AbandonRule {
-                            threshold,
-                            min_evals: budget / 3,
-                        });
-                let nm = nelder_mead(
-                    objective,
-                    &start,
-                    &NelderMeadOptions {
-                        max_evals: budget,
-                        restarts: opts.restarts,
-                        initial_step: 0.25,
-                        // A warm start that beats the cold start sits next to a
-                        // converged neighbouring optimum, so refine locally with
-                        // a fraction of the global-search budget instead of
-                        // re-exploring at full width.
-                        warm_refine_step: warm_start.as_ref().map(|_| 0.02),
-                        warm_budget: warm_start.as_ref().map(|_| (budget / 6).max(60)),
-                        warm_start,
-                        abandon,
-                        ..Default::default()
-                    },
-                );
-                if nm.aborted {
-                    return Err(ModelError::Abandoned { evals: nm.evals });
-                }
-                (nm.x, nm.fx, nm.evals)
-            }
-        };
-        if !best_css.is_finite() {
-            return Err(ModelError::FitFailed {
-                context: format!("CSS objective diverged for {spec}"),
-            });
-        }
-
-        let expanded = expand_unconstrained(&blocks, &spec);
-        let (innovations, inno_start) = expanded.innovations(&w);
-        let scored = (innovations.len() - inno_start).max(1);
-        let sigma2 = innovations[inno_start..].iter().map(|v| v * v).sum::<f64>() / scored as f64;
-        // CSS-approximate AIC: n·ln σ̂² + 2(k + 2) (mean and σ² count).
-        let aic = scored as f64 * sigma2.max(1e-300).ln() + 2.0 * (k as f64 + 2.0);
-
-        let (phi, theta, seasonal_phi, seasonal_theta) = split_params(&blocks, &spec);
-        // The unconstrained→PACF transform guarantees stationary AR and
-        // invertible MA blocks by construction (MA invertibility is AR
-        // stationarity of −θ); assert it at the fit boundary.
-        let neg = |c: &[f64]| c.iter().map(|v| -v).collect::<Vec<f64>>();
-        dwcp_math::invariant!(
-            super::transform::ar_to_pacf(&phi).is_some()
-                && super::transform::ar_to_pacf(&seasonal_phi).is_some()
-                && super::transform::ar_to_pacf(&neg(&theta)).is_some()
-                && super::transform::ar_to_pacf(&neg(&seasonal_theta)).is_some(),
-            "fit produced a non-stationary or non-invertible {spec}"
-        );
-        Ok(FittedArima {
-            spec,
-            phi,
-            theta,
-            seasonal_phi,
-            seasonal_theta,
-            mean,
-            sigma2,
-            css: best_css,
-            aic,
-            n_obs,
-            nm_evals,
-            params_unconstrained: blocks,
-            diffed,
-            w_centered: w,
-            innovations,
-            interval_level: opts.interval_level,
-        })
+        let mut session = ArimaFitSession::start(n_obs, spec, opts, diffed)?;
+        while session.step_solo() {}
+        session.finish()
     }
 
     /// The expanded (multiplied-out) ARMA coefficients.
@@ -438,7 +323,7 @@ fn expand_unconstrained(u: &[f64], spec: &ArimaSpec) -> ExpandedArma {
 /// blocks → expanded ARMA → innovations, with no steady-state allocation.
 /// One instance lives for the duration of a Nelder-Mead run and is shared
 /// by every objective evaluation of that fit.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct ObjectiveScratch {
     phi: Vec<f64>,
     theta: Vec<f64>,
@@ -451,9 +336,10 @@ struct ObjectiveScratch {
 }
 
 impl ObjectiveScratch {
-    /// CSS of the unconstrained point `u` — bit-identical to
-    /// `expand_unconstrained(u, spec).css(w)`.
-    fn css(&mut self, u: &[f64], spec: &ArimaSpec, w: &[f64]) -> f64 {
+    /// Map the unconstrained point `u` to expanded `(φ*, θ*)` coefficients
+    /// in `self.expanded` — the per-candidate half of an objective
+    /// evaluation (the CSS half can then run solo or batched).
+    fn stage(&mut self, u: &[f64], spec: &ArimaSpec) {
         let (p, q, sp, sq) = (spec.p, spec.q, spec.seasonal_p, spec.seasonal_q);
         debug_assert_eq!(u.len(), p + q + sp + sq);
         unconstrained_to_ar_into(&u[..p], &mut self.phi, &mut self.pacs, &mut self.prev);
@@ -482,7 +368,323 @@ impl ObjectiveScratch {
             &self.seasonal_theta,
             spec.period,
         );
+    }
+
+    /// CSS of the unconstrained point `u` — bit-identical to
+    /// `expand_unconstrained(u, spec).css(w)`.
+    fn css(&mut self, u: &[f64], spec: &ArimaSpec, w: &[f64]) -> f64 {
+        self.stage(u, spec);
         self.expanded.css_into(w, &mut self.innovations)
+    }
+}
+
+/// A single SARIMA CSS fit, opened up as a poll-style state machine so an
+/// evaluation engine can interleave many fits over the batched CSS kernel
+/// ([`dwcp_math::kernels::css_batch`]).
+///
+/// Lifecycle: `start` (or the validating [`new`]) prepares the centered
+/// differenced series and the Nelder-Mead driver; then, while
+/// [`is_pending`] holds, either [`step_solo`] evaluates the pending point
+/// against the solo kernel, or the batched caller runs
+/// [`stage_pending`] → CSS of ([`staged_phi`], [`staged_theta`]) over
+/// [`w`] → [`tell_css`]; finally [`finish`] produces the [`FittedArima`].
+///
+/// Driving a session entirely through `step_solo` is **exactly**
+/// [`FittedArima::fit_prepared`] — `fit_with_diffed` is implemented that
+/// way — and because the batched kernel is bit-identical per candidate to
+/// the solo kernel, a session stepped through any mixture of solo and
+/// batched evaluations converges to bit-identical parameters, CSS and
+/// evaluation count.
+///
+/// [`new`]: ArimaFitSession::new
+/// [`is_pending`]: ArimaFitSession::is_pending
+/// [`step_solo`]: ArimaFitSession::step_solo
+/// [`stage_pending`]: ArimaFitSession::stage_pending
+/// [`staged_phi`]: ArimaFitSession::staged_phi
+/// [`staged_theta`]: ArimaFitSession::staged_theta
+/// [`w`]: ArimaFitSession::w
+/// [`tell_css`]: ArimaFitSession::tell_css
+/// [`finish`]: ArimaFitSession::finish
+#[derive(Debug)]
+pub struct ArimaFitSession {
+    spec: ArimaSpec,
+    n_obs: usize,
+    diffed: Differenced,
+    mean: f64,
+    w: Vec<f64>,
+    k: usize,
+    interval_level: f64,
+    scratch: ObjectiveScratch,
+    driver: Option<NelderMeadDriver>,
+    /// `(blocks, css, evals)` for fits decided without an optimiser run
+    /// (zero-parameter specs, frozen champion re-scores).
+    outcome: Option<(Vec<f64>, f64, usize)>,
+}
+
+impl ArimaFitSession {
+    /// Open a fit session against a cached differenced series, with the
+    /// same validation as [`FittedArima::fit_prepared`].
+    pub fn new(
+        y: &[f64],
+        spec: ArimaSpec,
+        opts: &ArimaOptions,
+        diffed: &Differenced,
+    ) -> Result<ArimaFitSession> {
+        FittedArima::validate_input(y, &spec)?;
+        let expected = FittedArima::differencer_for(&spec);
+        if diffed.differencer() != expected {
+            return Err(ModelError::InvalidSpec {
+                context: format!(
+                    "fit session: cached transform {:?} does not match the {} signature {:?}",
+                    diffed.differencer(),
+                    spec,
+                    expected
+                ),
+            });
+        }
+        if diffed.values.len() + expected.loss() != y.len() {
+            return Err(ModelError::InvalidSpec {
+                context: format!(
+                    "fit session: cached transform length {} inconsistent with series length {}",
+                    diffed.values.len(),
+                    y.len()
+                ),
+            });
+        }
+        Self::start(y.len(), spec, opts, diffed.clone())
+    }
+
+    /// Open a session on an already-validated differenced series — the
+    /// statement-for-statement head of the former `fit_with_diffed`.
+    fn start(
+        n_obs: usize,
+        spec: ArimaSpec,
+        opts: &ArimaOptions,
+        diffed: Differenced,
+    ) -> Result<ArimaFitSession> {
+        let mean = if opts.include_mean {
+            diffed.values.iter().sum::<f64>() / diffed.values.len() as f64
+        } else {
+            0.0
+        };
+        let w: Vec<f64> = diffed.values.iter().map(|v| v - mean).collect();
+
+        let k = spec.n_params();
+        let mut scratch = ObjectiveScratch::default();
+        let mut driver = None;
+        let mut outcome = None;
+        if k == 0 {
+            outcome = Some((
+                vec![],
+                ExpandedArma::expand(&[], &[], &[], &[], 0).css(&w),
+                0,
+            ));
+        } else {
+            let start = if opts.hannan_rissanen_init {
+                initial_unconstrained(&w, &spec)
+            } else {
+                vec![0.0; k]
+            };
+            let budget = if opts.max_evals == 0 {
+                250 + 120 * k
+            } else {
+                opts.max_evals
+            };
+            let warm_start = opts.warm_start.as_ref().filter(|ws| ws.len() == k).cloned();
+            if opts.freeze_warm_start {
+                if let Some(ws) = warm_start {
+                    let fx = scratch.css(&ws, &spec, &w);
+                    outcome = Some((ws, fx, 1));
+                } else {
+                    return Err(ModelError::FitFailed {
+                        context: format!(
+                            "freeze_warm_start for {spec} needs a warm start of length {k}"
+                        ),
+                    });
+                }
+            } else {
+                let abandon =
+                    opts.abandon_css_above
+                        .map(|threshold| dwcp_math::optimize::AbandonRule {
+                            threshold,
+                            min_evals: budget / 3,
+                        });
+                driver = Some(NelderMeadDriver::new(
+                    &start,
+                    NelderMeadOptions {
+                        max_evals: budget,
+                        restarts: opts.restarts,
+                        initial_step: 0.25,
+                        // A warm start that beats the cold start sits next to a
+                        // converged neighbouring optimum, so refine locally with
+                        // a fraction of the global-search budget instead of
+                        // re-exploring at full width.
+                        warm_refine_step: warm_start.as_ref().map(|_| 0.02),
+                        warm_budget: warm_start.as_ref().map(|_| (budget / 6).max(60)),
+                        warm_start,
+                        abandon,
+                        ..Default::default()
+                    },
+                ));
+            }
+        }
+        Ok(ArimaFitSession {
+            spec,
+            n_obs,
+            diffed,
+            mean,
+            w,
+            k,
+            interval_level: opts.interval_level,
+            scratch,
+            driver,
+            outcome,
+        })
+    }
+
+    /// Whether the optimiser still needs an objective evaluation.
+    pub fn is_pending(&self) -> bool {
+        self.driver.as_ref().is_some_and(|d| !d.is_done())
+    }
+
+    /// Evaluate the pending point against the solo CSS kernel and feed it
+    /// back; returns `false` when nothing was pending. Driving a session
+    /// with `while session.step_solo() {}` reproduces the sequential fit
+    /// exactly.
+    pub fn step_solo(&mut self) -> bool {
+        let Some(driver) = self.driver.as_mut() else {
+            return false;
+        };
+        let Some(u) = driver.pending_point() else {
+            return false;
+        };
+        let fx = self.scratch.css(u, &self.spec, &self.w);
+        driver.tell(fx);
+        true
+    }
+
+    /// Map the pending unconstrained point to expanded `(φ*, θ*)` in the
+    /// session scratch (the per-candidate half of one objective
+    /// evaluation); the caller computes CSS of the staged coefficients
+    /// over [`w`](ArimaFitSession::w) — typically for several sessions in
+    /// one batched kernel pass — and answers with
+    /// [`tell_css`](ArimaFitSession::tell_css). Returns `false` when no
+    /// evaluation is pending.
+    pub fn stage_pending(&mut self) -> bool {
+        let Some(driver) = self.driver.as_ref() else {
+            return false;
+        };
+        let Some(u) = driver.pending_point() else {
+            return false;
+        };
+        self.scratch.stage(u, &self.spec);
+        true
+    }
+
+    /// Expanded AR coefficients staged by
+    /// [`stage_pending`](ArimaFitSession::stage_pending).
+    pub fn staged_phi(&self) -> &[f64] {
+        &self.scratch.expanded.phi
+    }
+
+    /// Expanded MA coefficients staged by
+    /// [`stage_pending`](ArimaFitSession::stage_pending).
+    pub fn staged_theta(&self) -> &[f64] {
+        &self.scratch.expanded.theta
+    }
+
+    /// The centered differenced series the CSS objective scores against.
+    /// Sessions sharing a differencing signature (and mean policy) hold
+    /// bit-identical copies, so a batched caller may score all of them
+    /// against any one session's `w`.
+    pub fn w(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Feed back the CSS value of the staged point and advance the
+    /// optimiser.
+    pub fn tell_css(&mut self, css: f64) {
+        if let Some(driver) = self.driver.as_mut() {
+            driver.tell(css);
+        }
+    }
+
+    /// Finalise the fit. Any evaluations still pending are driven against
+    /// the solo kernel first, so `finish` is always well-defined.
+    pub fn finish(mut self) -> Result<FittedArima> {
+        while self.step_solo() {}
+        let ArimaFitSession {
+            spec,
+            n_obs,
+            diffed,
+            mean,
+            w,
+            k,
+            interval_level,
+            driver,
+            outcome,
+            ..
+        } = self;
+        let (blocks, best_css, nm_evals) = match outcome {
+            Some(decided) => decided,
+            None => {
+                let nm = match driver {
+                    Some(driver) => driver.into_result(),
+                    None => {
+                        return Err(ModelError::FitFailed {
+                            context: format!("fit session for {spec} lost its optimiser state"),
+                        })
+                    }
+                };
+                if nm.aborted {
+                    return Err(ModelError::Abandoned { evals: nm.evals });
+                }
+                (nm.x, nm.fx, nm.evals)
+            }
+        };
+        if !best_css.is_finite() {
+            return Err(ModelError::FitFailed {
+                context: format!("CSS objective diverged for {spec}"),
+            });
+        }
+
+        let expanded = expand_unconstrained(&blocks, &spec);
+        let (innovations, inno_start) = expanded.innovations(&w);
+        let scored = (innovations.len() - inno_start).max(1);
+        let sigma2 = innovations[inno_start..].iter().map(|v| v * v).sum::<f64>() / scored as f64;
+        // CSS-approximate AIC: n·ln σ̂² + 2(k + 2) (mean and σ² count).
+        let aic = scored as f64 * sigma2.max(1e-300).ln() + 2.0 * (k as f64 + 2.0);
+
+        let (phi, theta, seasonal_phi, seasonal_theta) = split_params(&blocks, &spec);
+        // The unconstrained→PACF transform guarantees stationary AR and
+        // invertible MA blocks by construction (MA invertibility is AR
+        // stationarity of −θ); assert it at the fit boundary.
+        let neg = |c: &[f64]| c.iter().map(|v| -v).collect::<Vec<f64>>();
+        dwcp_math::invariant!(
+            super::transform::ar_to_pacf(&phi).is_some()
+                && super::transform::ar_to_pacf(&seasonal_phi).is_some()
+                && super::transform::ar_to_pacf(&neg(&theta)).is_some()
+                && super::transform::ar_to_pacf(&neg(&seasonal_theta)).is_some(),
+            "fit produced a non-stationary or non-invertible {spec}"
+        );
+        Ok(FittedArima {
+            spec,
+            phi,
+            theta,
+            seasonal_phi,
+            seasonal_theta,
+            mean,
+            sigma2,
+            css: best_css,
+            aic,
+            n_obs,
+            nm_evals,
+            params_unconstrained: blocks,
+            diffed,
+            w_centered: w,
+            innovations,
+            interval_level,
+        })
     }
 }
 

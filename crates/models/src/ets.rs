@@ -12,6 +12,7 @@
 //! ETS implementation uses.
 
 use crate::{Forecast, ModelError, Result};
+use dwcp_math::kernels::holt_winters;
 use dwcp_math::optimize::{nelder_mead, NelderMeadOptions};
 use serde::{Deserialize, Serialize};
 
@@ -261,62 +262,43 @@ fn run_recursion(
     gamma: f64,
     phi: f64,
 ) -> Option<Recursion> {
-    let m = config.seasonal.period();
-    let n = y.len();
     // State initialisation (classical heuristics).
-    let (mut level, mut trend, mut seasonal) = initial_states(y, config)?;
-    let mut sse = 0.0;
-    for (t, &obs) in y.iter().enumerate() {
-        let s_idx = if m > 0 { t % m } else { 0 };
-        let damped_trend = phi * trend;
-        let (fitted, seasonal_factor) = match config.seasonal {
-            SeasonalKind::None => (level + damped_trend, 0.0),
-            SeasonalKind::Additive(_) => {
-                let s = seasonal[s_idx];
-                (level + damped_trend + s, s)
-            }
-            SeasonalKind::Multiplicative(_) => {
-                let s = seasonal[s_idx];
-                ((level + damped_trend) * s, s)
-            }
-        };
-        let err = obs - fitted;
-        if !err.is_finite() {
-            return None;
-        }
-        sse += err * err;
-
-        let prev_level = level;
-        match config.seasonal {
-            SeasonalKind::None => {
-                level = alpha * obs + (1.0 - alpha) * (prev_level + damped_trend);
-            }
-            SeasonalKind::Additive(_) => {
-                level =
-                    alpha * (obs - seasonal_factor) + (1.0 - alpha) * (prev_level + damped_trend);
-                seasonal[s_idx] = gamma * (obs - level) + (1.0 - gamma) * seasonal_factor;
-            }
-            SeasonalKind::Multiplicative(_) => {
-                if seasonal_factor.abs() < 1e-12 {
-                    return None;
-                }
-                level =
-                    alpha * (obs / seasonal_factor) + (1.0 - alpha) * (prev_level + damped_trend);
-                if level.abs() < 1e-12 {
-                    return None;
-                }
-                seasonal[s_idx] = gamma * (obs / level) + (1.0 - gamma) * seasonal_factor;
-            }
-        }
-        if config.trend != TrendKind::None {
-            trend = beta * (level - prev_level) + (1.0 - beta) * damped_trend;
-        }
-        let _ = n;
-    }
+    let (level, trend, mut seasonal) = initial_states(y, config)?;
+    // The per-observation update loops are monomorphic kernels in
+    // `dwcp_math::kernels::holt_winters` — one fused loop per seasonal
+    // variant instead of a per-step `match`, transcribed
+    // statement-for-statement so fits stay bit-identical.
+    let has_trend = config.trend != TrendKind::None;
+    let state = match config.seasonal {
+        SeasonalKind::None => holt_winters::run_none(y, alpha, beta, phi, level, trend, has_trend),
+        SeasonalKind::Additive(_) => holt_winters::run_additive(
+            y,
+            alpha,
+            beta,
+            gamma,
+            phi,
+            level,
+            trend,
+            has_trend,
+            &mut seasonal,
+        ),
+        SeasonalKind::Multiplicative(_) => holt_winters::run_multiplicative(
+            y,
+            alpha,
+            beta,
+            gamma,
+            phi,
+            level,
+            trend,
+            has_trend,
+            &mut seasonal,
+        ),
+    };
+    let sse = state.sse?;
     Some(Recursion {
         sse,
-        level,
-        trend,
+        level: state.level,
+        trend: state.trend,
         seasonal,
     })
 }

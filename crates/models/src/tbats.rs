@@ -20,6 +20,7 @@
 
 use crate::arima::transform::{unconstrained_to_ar, unconstrained_to_ma};
 use crate::{Forecast, ModelError, Result};
+use dwcp_math::kernels::trig_seasonal;
 use dwcp_math::optimize::{nelder_mead, NelderMeadOptions};
 use dwcp_series::boxcox::{boxcox, inv_boxcox, select_lambda, shift_to_positive};
 use serde::{Deserialize, Serialize};
@@ -454,26 +455,27 @@ impl FittedTbats {
             ma: self.ma.clone(),
         };
         // Point forecasts: propagate with future e = 0.
+        let tables = rotation_tables(&self.config);
         let mut state = self.state.clone();
         let mut mean_z = Vec::with_capacity(horizon);
         for _ in 0..horizon {
             let (yhat, d_hat) = predict_one(&self.config, &params, &state);
             mean_z.push(yhat);
-            advance(&self.config, &params, &mut state, d_hat, 0.0);
+            advance(&self.config, &params, &tables, &mut state, d_hat, 0.0);
         }
 
         // Impulse response of a unit innovation: difference of two runs is
         // equivalent to running the homogeneous system from the impulse.
         let mut imp_state = zero_state(&self.config, &params);
         // e = 1 at step 0.
-        advance(&self.config, &params, &mut imp_state, 1.0, 1.0);
+        advance(&self.config, &params, &tables, &mut imp_state, 1.0, 1.0);
         let mut c = Vec::with_capacity(horizon);
         c.push(1.0); // contemporaneous effect on y
         let mut state_i = imp_state;
         for _ in 1..horizon {
             let (yimp, d_hat) = predict_one(&self.config, &params, &state_i);
             c.push(yimp);
-            advance(&self.config, &params, &mut state_i, d_hat, 0.0);
+            advance(&self.config, &params, &tables, &mut state_i, d_hat, 0.0);
         }
         let mut acc = 0.0;
         let std_error_z: Vec<f64> = c
@@ -639,8 +641,29 @@ fn predict_one(config: &TbatsConfig, params: &TbatsParams, state: &TbatsState) -
     (yhat + d_hat, d_hat)
 }
 
-/// Advance the state given the realised `d_t = d̂_t + e_t`.
-fn advance(config: &TbatsConfig, params: &TbatsParams, state: &mut TbatsState, d_hat: f64, e: f64) {
+/// Precompute the per-block seasonal rotation tables `(cos λⱼ, sin λⱼ)`.
+/// The angles depend only on the configuration, so one table serves an
+/// entire filter or forecast pass — the original `advance` re-evaluated
+/// `cos`/`sin` per harmonic *per observation*, which profiling showed was
+/// the dominant cost of the TBATS objective.
+fn rotation_tables(config: &TbatsConfig) -> Vec<Vec<(f64, f64)>> {
+    config
+        .seasons
+        .iter()
+        .map(|s| trig_seasonal::rotation_table(s.period, s.harmonics))
+        .collect()
+}
+
+/// Advance the state given the realised `d_t = d̂_t + e_t`. `tables` must
+/// come from [`rotation_tables`] for the same `config`.
+fn advance(
+    config: &TbatsConfig,
+    params: &TbatsParams,
+    tables: &[Vec<(f64, f64)>],
+    state: &mut TbatsState,
+    d_hat: f64,
+    e: f64,
+) {
     let d = d_hat + e;
     let damped = params.phi * state.trend;
     let prev_level = state.level;
@@ -648,34 +671,23 @@ fn advance(config: &TbatsConfig, params: &TbatsParams, state: &mut TbatsState, d
     if config.use_trend {
         state.trend = damped + params.beta * d;
     }
-    for (block, (season, &(g1, g2))) in state
+    for (block, (table, &(g1, g2))) in state
         .seasonal
         .iter_mut()
-        .zip(config.seasons.iter().zip(&params.gammas))
+        .zip(tables.iter().zip(&params.gammas))
     {
-        for j in 0..block.len() / 2 {
-            let lambda_j = 2.0 * std::f64::consts::PI * (j + 1) as f64 / season.period;
-            let s = block[2 * j];
-            let s_star = block[2 * j + 1];
-            block[2 * j] = s * lambda_j.cos() + s_star * lambda_j.sin() + g1 * d;
-            block[2 * j + 1] = -s * lambda_j.sin() + s_star * lambda_j.cos() + g2 * d;
-        }
+        trig_seasonal::advance_block(block, table, g1, g2, d);
     }
+    // The histories keep a fixed length (`ar.len()` / `ma.len()`) from the
+    // moment the filter initialises them, so the shift-in is a rotate plus
+    // a front overwrite — no element-wise insert/remove.
     if !params.ar.is_empty() {
-        state.d_hist.pop();
-        state.d_hist.insert(0, d);
-        state.d_hist.truncate(params.ar.len());
-        while state.d_hist.len() < params.ar.len() {
-            state.d_hist.push(0.0);
-        }
+        state.d_hist.rotate_right(1);
+        state.d_hist[0] = d;
     }
     if !params.ma.is_empty() {
-        state.e_hist.pop();
-        state.e_hist.insert(0, e);
-        state.e_hist.truncate(params.ma.len());
-        while state.e_hist.len() < params.ma.len() {
-            state.e_hist.push(0.0);
-        }
+        state.e_hist.rotate_right(1);
+        state.e_hist[0] = e;
     }
 }
 
@@ -689,6 +701,7 @@ fn filter(
 ) -> Option<(f64, TbatsState)> {
     state.d_hist = vec![0.0; params.ar.len()];
     state.e_hist = vec![0.0; params.ma.len()];
+    let tables = rotation_tables(config);
     let mut sse = 0.0;
     for &obs in z {
         let (yhat, d_hat) = predict_one(config, params, &state);
@@ -697,7 +710,7 @@ fn filter(
             return None;
         }
         sse += e * e;
-        advance(config, params, &mut state, d_hat, e);
+        advance(config, params, &tables, &mut state, d_hat, e);
     }
     Some((sse, state))
 }

@@ -11,9 +11,12 @@
 #      layer must still build, run, and beat nothing over — champion
 #      equality is asserted inside the evaluate tests; wall-clock numbers
 #      from this stage are indicative only)
-#   5. bench_fleet smoke on the reduced (DWCP_QUICK=1) batch, then a schema
-#      check of the written snapshot so downstream tooling can rely on its
-#      keys
+#   5. bench_grid perf-regression smoke: the accelerated 4-thread wall must
+#      stay within 25% of the checked-in results/BENCH_grid.json (the run
+#      also re-asserts champion parity and the auto-order RMSE guard), then
+#      bench_fleet smoke on the reduced (DWCP_QUICK=1) batch and a schema
+#      check of the written snapshots so downstream tooling can rely on
+#      their keys
 #   6. CLI smoke: `dwcp forecast --method auto` on a simulated OLAP series
 #      must race the families and report the chosen champion family in the
 #      `# summary:` JSON line
@@ -61,6 +64,31 @@ cargo test -q -p interleave --release
 
 echo "== bench smoke: grid_search --quick =="
 cargo bench -p dwcp-bench --bench grid_search -- --quick
+
+echo "== perf smoke: bench_grid vs checked-in reference =="
+# Guard the acceleration layer against silent regressions: the accelerated
+# 4-thread wall must stay within 25% of the checked-in snapshot. Full reps
+# (best-of-3) to damp single-core scheduler noise; bench_grid itself
+# asserts champion parity across modes/threads and that the auto-order
+# champion is never worse than the full sweep.
+ref_wall=$(python3 -c '
+import json
+snap = json.load(open("results/BENCH_grid.json"))
+print(next(r["wall_ms"] for r in snap["runs"]
+           if r["mode"] == "accelerated" and r["threads"] == 4))')
+cargo run -q --release -p dwcp-bench --bin bench_grid
+new_wall=$(python3 -c '
+import json
+snap = json.load(open("results/BENCH_grid.json"))
+print(next(r["wall_ms"] for r in snap["runs"]
+           if r["mode"] == "accelerated" and r["threads"] == 4))')
+python3 -c "
+ref, new = float('$ref_wall'), float('$new_wall')
+limit = ref * 1.25
+print(f'accelerated 4t: {new:.1f} ms vs reference {ref:.1f} ms (limit {limit:.1f} ms)')
+raise SystemExit(1 if new > limit else 0)" \
+  || { echo "bench_grid: accelerated wall regressed >25% vs reference"; exit 1; }
+git checkout -- results/BENCH_grid.json 2>/dev/null || true
 
 echo "== bench smoke: bench_fleet (DWCP_QUICK=1) =="
 DWCP_QUICK=1 cargo run -q --release -p dwcp-bench --bin bench_fleet

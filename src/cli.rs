@@ -13,8 +13,8 @@
 //! are skipped.
 
 use crate::planner::{
-    FleetOptions, FleetScheduler, MethodChoice, ModelRepository, Pipeline, PipelineConfig,
-    SeriesJob, ThresholdAdvisor,
+    FleetOptions, FleetScheduler, GridStrategy, MethodChoice, ModelRepository, Pipeline,
+    PipelineConfig, SeriesJob, ThresholdAdvisor,
 };
 use crate::series::{Frequency, Granularity, TimeSeries};
 use crate::workload::{olap_scenario, oltp_scenario, Metric, Scenario};
@@ -45,6 +45,9 @@ pub enum Command {
         granularity: Granularity,
         /// Auto-detect recurring shocks.
         detect_shocks: bool,
+        /// SARIMAX grid strategy: the full pruned sweep, or the
+        /// ACF/PACF-seeded auto-order grid with full-sweep fallback.
+        grid: GridStrategy,
     },
     /// Batch-forecast many CSV series on one shared worker pool.
     Fleet {
@@ -158,6 +161,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             method: method_of(&get("method", Some("sarimax"))?)?,
             granularity: granularity_of(&get("granularity", Some("hourly"))?)?,
             detect_shocks: flags.contains_key("detect-shocks"),
+            grid: match get("grid", Some("full"))?.as_str() {
+                "full" => GridStrategy::Full,
+                "auto-order" => GridStrategy::AutoOrder,
+                other => {
+                    return Err(err(format!("unknown grid `{other}` (full|auto-order)")));
+                }
+            },
         }),
         "fleet" => {
             let inputs: Vec<String> = get("inputs", None)?
@@ -202,6 +212,7 @@ USAGE:
                 [--seed N] [--out FILE]
   dwcp forecast --input FILE [--method sarimax|hes|tbats|auto]
                 [--granularity hourly|daily|weekly] [--detect-shocks]
+                [--grid full|auto-order]
   dwcp fleet    --inputs A.csv,B.csv,... [--method sarimax|hes|tbats|auto]
                 [--granularity hourly|daily|weekly] [--threads N] [--radius N]
                 [--repo FILE]
@@ -209,9 +220,12 @@ USAGE:
 
 CSV input: one observation per line, `value` or `timestamp,value`.
 `--method auto` races every family through one grid and keeps the best
-held-out RMSE. `fleet` schedules every input through one shared worker
-pool; with --repo it persists champions (any family) and seeds relearning
-from them on the next run.
+held-out RMSE. `--grid auto-order` replaces the SARIMAX sweep with an
+ACF/PACF-seeded neighbourhood grid (ADF/KPSS pick the differencing) and
+falls back to the full sweep if the seeded champion cannot beat a naive
+benchmark forecast. `fleet` schedules every input through one shared
+worker pool; with --repo it persists champions (any family) and seeds
+relearning from them on the next run.
 ";
 
 /// Parse a metric CSV into a [`TimeSeries`] (assumed hourly unless
@@ -326,12 +340,14 @@ pub fn execute(
             method,
             granularity,
             detect_shocks,
+            grid,
         } => {
             let content = std::fs::read_to_string(&input)?;
             let series = read_csv(&content)?;
             let mut config = PipelineConfig::hourly(method);
             config.granularity = granularity;
             config.auto_detect_shocks = detect_shocks;
+            config.grid = grid;
             let pipeline = Pipeline::new(config);
             let horizon = granularity.horizon();
             let (outcome, future) = pipeline.refit_and_forecast(&series, &[], &[], horizon)?;
@@ -555,8 +571,19 @@ mod tests {
                 method: MethodChoice::Hes,
                 granularity: Granularity::Daily,
                 detect_shocks: false,
+                grid: GridStrategy::Full,
             }
         );
+    }
+
+    #[test]
+    fn parse_grid_strategy() {
+        let cmd = parse(&args("forecast --input x.csv --grid auto-order")).unwrap();
+        match cmd {
+            Command::Forecast { grid, .. } => assert_eq!(grid, GridStrategy::AutoOrder),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("forecast --input x.csv --grid nope")).is_err());
     }
 
     #[test]

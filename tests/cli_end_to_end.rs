@@ -138,6 +138,7 @@ fn forecast_rejects_missing_file() {
         method: dwcp::planner::MethodChoice::Hes,
         granularity: dwcp::series::Granularity::Hourly,
         detect_shocks: false,
+        grid: Default::default(),
     };
     let mut out = Vec::new();
     assert!(execute(cmd, &mut out).is_err());

@@ -10,6 +10,7 @@ use dwcp::workload::{oltp_scenario, Metric};
 fn fast(method: MethodChoice) -> PipelineConfig {
     PipelineConfig {
         method,
+        grid: Default::default(),
         granularity: Granularity::Hourly,
         max_candidates: 4,
         fourier_stage: false,

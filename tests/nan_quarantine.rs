@@ -12,6 +12,7 @@ use dwcp::series::{Frequency, Granularity, TimeSeries};
 fn fast_config(method: MethodChoice) -> PipelineConfig {
     PipelineConfig {
         method,
+        grid: Default::default(),
         granularity: Granularity::Hourly,
         max_candidates: 4,
         fourier_stage: false,
