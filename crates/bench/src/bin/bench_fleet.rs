@@ -15,14 +15,8 @@
 //! DWCP_QUICK=1 cargo run -p dwcp-bench --release --bin bench_fleet   # 2 jobs
 //! ```
 
-use dwcp_bench::{results_dir, EXPERIMENT_SEED};
-use dwcp_core::{
-    EvaluationOptions, FleetOptions, FleetScheduler, MethodChoice, Pipeline, PipelineConfig,
-    SeriesJob,
-};
-use dwcp_models::arima::ArimaOptions;
-use dwcp_series::Granularity;
-use dwcp_workload::{oltp_scenario, Metric};
+use dwcp_bench::{oltp_fleet_batch, results_dir};
+use dwcp_core::{FleetOptions, FleetScheduler, Pipeline, SeriesJob};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -60,80 +54,9 @@ struct FleetSnapshot {
     jobs: Vec<JobRow>,
 }
 
-fn job_config(granularity: Granularity, quick: bool) -> PipelineConfig {
-    PipelineConfig {
-        method: MethodChoice::Sarimax,
-        grid: Default::default(),
-        granularity,
-        max_candidates: if quick { 4 } else { 16 },
-        fourier_stage: false,
-        auto_detect_shocks: false,
-        eval: EvaluationOptions {
-            threads: THREADS,
-            fit: ArimaOptions {
-                max_evals: 0, // convergence-driven: warm and cold fits agree
-                restarts: 0,
-                interval_level: 0.95,
-                ..Default::default()
-            },
-            ..Default::default()
-        },
-    }
-}
-
-/// Build the batch: per instance × metric, one hourly job (trailing 1008
-/// observations, request-rate exogenous columns) and one daily job (98
-/// daily means, no exogenous input).
-fn build_batch(quick: bool) -> Result<Vec<SeriesJob>, Box<dyn std::error::Error>> {
-    let mut scenario = oltp_scenario();
-    scenario.duration_days = 98; // daily protocol needs >= 90 observations
-    let repo = scenario.run(EXPERIMENT_SEED)?;
-    let hours = scenario.hours();
-    let exog_full = scenario.exogenous_columns(scenario.start, hours);
-
-    let instances = if quick {
-        vec!["cdbm011".to_string()]
-    } else {
-        scenario.instance_names()
-    };
-    let metrics: &[Metric] = if quick {
-        &[Metric::CpuPercent, Metric::LogicalIops]
-    } else {
-        &Metric::ALL
-    };
-
-    let mut jobs = Vec::new();
-    for instance in &instances {
-        for &metric in metrics {
-            let hourly = repo.hourly_series(instance, metric, scenario.start, hours)?;
-            let h0 = hours - Granularity::Hourly.observations();
-            let window = hourly.slice(h0, hours);
-            let exog: Vec<Vec<f64>> = exog_full.iter().map(|c| c[h0..hours].to_vec()).collect();
-            jobs.push(
-                SeriesJob::new(
-                    format!("{instance}/{}/hourly", metric.label()),
-                    window,
-                    job_config(Granularity::Hourly, quick),
-                )
-                .with_exog(exog),
-            );
-            if quick {
-                continue; // quick mode: hourly jobs only
-            }
-            let daily = repo.daily_series(instance, metric, scenario.start, 98)?;
-            jobs.push(SeriesJob::new(
-                format!("{instance}/{}/daily", metric.label()),
-                daily,
-                job_config(Granularity::Daily, quick),
-            ));
-        }
-    }
-    Ok(jobs)
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::var("DWCP_QUICK").is_ok();
-    let jobs = build_batch(quick)?;
+    let jobs: Vec<SeriesJob> = oltp_fleet_batch(quick, THREADS)?;
     println!(
         "bench_fleet: {} jobs ({}), {} threads",
         jobs.len(),

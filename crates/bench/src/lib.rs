@@ -5,14 +5,105 @@
 //! artefact feeds EXPERIMENTS.md, writes a JSON record under `results/`.
 #![forbid(unsafe_code)]
 
-use dwcp_core::{EvaluationOptions, MethodChoice, Pipeline, PipelineConfig};
+use dwcp_core::{EvaluationOptions, MethodChoice, Pipeline, PipelineConfig, SeriesJob};
 use dwcp_series::Granularity;
-use dwcp_workload::{Metric, Scenario};
+use dwcp_workload::{oltp_scenario, Metric, Scenario};
 use serde::Serialize;
 use std::path::PathBuf;
 
 /// Seed used by every experiment binary, so reruns are identical.
 pub const EXPERIMENT_SEED: u64 = 20200614; // SIGMOD'20 opening day
+
+/// Current peak resident set size (`VmHWM`) of this process in bytes, or
+/// `None` off Linux / when `/proc` is unavailable. Process-monotonic: it
+/// never decreases, so benches that compare scenarios must measure each
+/// scenario in a fresh child process.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// The SARIMAX pipeline configuration shared by the fleet benches
+/// (`bench_fleet`, `bench_estate` parity scenario).
+pub fn fleet_job_config(granularity: Granularity, quick: bool, threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        method: MethodChoice::Sarimax,
+        grid: Default::default(),
+        granularity,
+        max_candidates: if quick { 4 } else { 16 },
+        fourier_stage: false,
+        auto_detect_shocks: false,
+        eval: EvaluationOptions {
+            threads,
+            fit: dwcp_models::arima::ArimaOptions {
+                max_evals: 0, // convergence-driven: warm and cold fits agree
+                restarts: 0,
+                interval_level: 0.95,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    }
+}
+
+/// The 12-job OLTP fleet batch (2 instances × 3 metrics × hourly+daily;
+/// quick mode: 1 instance × 2 metrics, hourly only) used by `bench_fleet`
+/// and reused by `bench_estate`'s bit-identity parity scenario.
+pub fn oltp_fleet_batch(
+    quick: bool,
+    threads: usize,
+) -> Result<Vec<SeriesJob>, Box<dyn std::error::Error>> {
+    let mut scenario = oltp_scenario();
+    scenario.duration_days = 98; // daily protocol needs >= 90 observations
+    let repo = scenario.run(EXPERIMENT_SEED)?;
+    let hours = scenario.hours();
+    let exog_full = scenario.exogenous_columns(scenario.start, hours);
+
+    let instances = if quick {
+        vec!["cdbm011".to_string()]
+    } else {
+        scenario.instance_names()
+    };
+    let metrics: &[Metric] = if quick {
+        &[Metric::CpuPercent, Metric::LogicalIops]
+    } else {
+        &Metric::ALL
+    };
+
+    let mut jobs = Vec::new();
+    for instance in &instances {
+        for &metric in metrics {
+            let hourly = repo.hourly_series(instance, metric, scenario.start, hours)?;
+            let h0 = hours - Granularity::Hourly.observations();
+            let window = hourly.slice(h0, hours);
+            let exog: Vec<Vec<f64>> = exog_full.iter().map(|c| c[h0..hours].to_vec()).collect();
+            jobs.push(
+                SeriesJob::new(
+                    format!("{instance}/{}/hourly", metric.label()),
+                    window,
+                    fleet_job_config(Granularity::Hourly, quick, threads),
+                )
+                .with_exog(exog),
+            );
+            if quick {
+                continue; // quick mode: hourly jobs only
+            }
+            let daily = repo.daily_series(instance, metric, scenario.start, 98)?;
+            jobs.push(SeriesJob::new(
+                format!("{instance}/{}/daily", metric.label()),
+                daily,
+                fleet_job_config(Granularity::Daily, quick, threads),
+            ));
+        }
+    }
+    Ok(jobs)
+}
 
 /// One row of a regenerated Table 2.
 #[derive(Debug, Clone, Serialize)]

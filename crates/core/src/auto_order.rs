@@ -47,6 +47,11 @@ pub struct AutoOrderOptions {
     /// drift only). A seasonal benchmark makes the degradation guard catch
     /// pruned grids that missed the seasonality.
     pub benchmark_period: Option<usize>,
+    /// Seasonal period for order seeding (`None` = plain ARIMA orders
+    /// only, the legacy behaviour). When set, the seasonal-lag ACF/PACF
+    /// seed `(P, D, Q)` the same way the non-seasonal correlogram seeds
+    /// `(p, d, q)` — see [`AutoOrderPlan::analyze_seasonal`].
+    pub seasonal_period: Option<usize>,
 }
 
 impl Default for AutoOrderOptions {
@@ -55,7 +60,44 @@ impl Default for AutoOrderOptions {
             max_candidates: 72,
             degradation_factor: 1.0,
             benchmark_period: None,
+            seasonal_period: None,
         }
+    }
+}
+
+/// The seasonal order decisions read off the seasonal-lag correlogram —
+/// the §6.3 lattice's `(P, D, Q)`, diagnosed instead of enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeasonalDiagnostics {
+    /// The seasonal period `m` the lags were read at.
+    pub period: usize,
+    /// Seasonal differencing order: 1 when the ACF at lags `m` and `2m`
+    /// is significantly positive at both (a persistent seasonal level),
+    /// else 0.
+    pub seasonal_d: usize,
+    /// Whether the PACF at lag `m` of the (seasonally) differenced series
+    /// is significant — admits `P = 1` candidates.
+    pub p_seasonal: bool,
+    /// Whether the ACF at lag `m` of the (seasonally) differenced series
+    /// is significant — admits `Q = 1` candidates.
+    pub q_seasonal: bool,
+}
+
+impl SeasonalDiagnostics {
+    /// The `(P, D, Q)` variants the diagnostics admit, plain `(0,0,0)`
+    /// always first (the non-seasonal bet stays on the table).
+    fn variants(&self) -> Vec<(usize, usize, usize)> {
+        let mut out = vec![(0, 0, 0)];
+        let p_opts: &[usize] = if self.p_seasonal { &[0, 1] } else { &[0] };
+        let q_opts: &[usize] = if self.q_seasonal { &[0, 1] } else { &[0] };
+        for &sp in p_opts {
+            for &sq in q_opts {
+                if (sp, self.seasonal_d, sq) != (0, 0, 0) {
+                    out.push((sp, self.seasonal_d, sq));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -76,6 +118,9 @@ pub struct AutoOrderPlan {
     pub p_set: Vec<usize>,
     /// MA ceiling: the largest significant ACF lag ≤ 2.
     pub q_max: usize,
+    /// Seasonal order diagnostics, present when a period was supplied and
+    /// the series is long enough to read the seasonal lags.
+    pub seasonal: Option<SeasonalDiagnostics>,
     /// The seeded candidate grid, deterministic order.
     pub grid: ModelGrid,
 }
@@ -94,20 +139,79 @@ impl AutoOrderPlan {
     ///   matching [`ModelGrid::prune`]'s degenerate case.
     /// * `q` — the classical ACF cut-off, capped at the grid's `q ≤ 2`.
     pub fn analyze(train: &[f64], max_candidates: usize) -> Result<AutoOrderPlan> {
+        AutoOrderPlan::analyze_seasonal(train, max_candidates, None)
+    }
+
+    /// [`AutoOrderPlan::analyze`] plus seasonal order seeding: with a
+    /// period `m`, the seasonal lags of the correlogram are read the same
+    /// way the short lags seed `(p, d, q)`:
+    ///
+    /// * `D` — 1 when the ACF is significantly **positive** at both `m`
+    ///   and `2m` (a seasonal pattern that persists across cycles, the
+    ///   seasonal analogue of a unit root), else 0.
+    /// * `P` — `{0, 1}` when the PACF at lag `m` of the seasonally
+    ///   differenced series is still significant, else `{0}`.
+    /// * `Q` — `{0, 1}` when the ACF at lag `m` is still significant,
+    ///   else `{0}`.
+    ///
+    /// The admitted `(P, D, Q)` variants multiply the non-seasonal grid
+    /// (plain `(0,0,0)` always stays in the race), and the AR budget
+    /// shrinks to keep the total under `max_candidates`. A series too
+    /// short to read lag `2m` (fewer than `4m + 2` differenced points)
+    /// falls back to the non-seasonal analysis. `period = None` is
+    /// exactly the legacy [`AutoOrderPlan::analyze`].
+    pub fn analyze_seasonal(
+        train: &[f64],
+        max_candidates: usize,
+        period: Option<usize>,
+    ) -> Result<AutoOrderPlan> {
         let adf_stationary = adf_test(train, None, AdfRegression::Constant)
             .map(|r| r.stationary)
             .unwrap_or(false);
         let kpss_rejected = kpss_test(train, false).map(|r| r.rejected).unwrap_or(true);
         let d = usize::from(!adf_stationary || kpss_rejected);
 
-        let differenced;
-        let w: &[f64] = if d == 0 {
-            train
+        let mut w: Vec<f64> = if d == 0 {
+            train.to_vec()
         } else {
-            differenced = difference(train, 1);
-            &differenced
+            difference(train, 1)
         };
-        let corr = Correlogram::compute(w, MAX_P)?;
+
+        // Seasonal diagnostics: read lags m and 2m off the d-differenced
+        // series, decide D, then (on the seasonally differenced series if
+        // D = 1) whether P and Q candidates are warranted. Guarded so the
+        // non-seasonal correlogram below always has enough points.
+        let mut seasonal = None;
+        if let Some(m) = period {
+            if m >= 2 && w.len() >= 4 * m + 2 && w.len() - m > MAX_P + 1 {
+                let c1 = Correlogram::compute(&w, 2 * m)?;
+                let acf_m = c1.acf.get(m).copied().unwrap_or(0.0);
+                let acf_2m = c1.acf.get(2 * m).copied().unwrap_or(0.0);
+                let seasonal_d = usize::from(acf_m > c1.significance && acf_2m > c1.significance);
+                let c2;
+                let c_after = if seasonal_d == 1 {
+                    w = difference(&w, m);
+                    c2 = Correlogram::compute(&w, m)?;
+                    &c2
+                } else {
+                    &c1
+                };
+                let significant =
+                    |v: Option<&f64>| v.map(|v| v.abs() > c_after.significance).unwrap_or(false);
+                seasonal = Some(SeasonalDiagnostics {
+                    period: m,
+                    seasonal_d,
+                    p_seasonal: significant(c_after.pacf.get(m)),
+                    q_seasonal: significant(c_after.acf.get(m)),
+                });
+            }
+        }
+        let variants = seasonal
+            .as_ref()
+            .map(SeasonalDiagnostics::variants)
+            .unwrap_or_else(|| vec![(0, 0, 0)]);
+
+        let corr = Correlogram::compute(&w, MAX_P)?;
         let q_max = corr.suggested_ma_order(MAX_Q);
 
         // Rank significant PACF lags strongest first (ties to the shorter
@@ -120,7 +224,7 @@ impl AutoOrderPlan {
             .collect();
         let strength = |lag: usize| corr.pacf.get(lag).map(|v| v.abs()).unwrap_or(0.0);
         ranked.sort_by(|&a, &b| dwcp_math::total_cmp_f64(strength(b), strength(a)).then(a.cmp(&b)));
-        let budget = (max_candidates / (q_max + 1)).max(1);
+        let budget = (max_candidates / ((q_max + 1) * variants.len())).max(1);
         let mut p_set: Vec<usize> = Vec::new();
         let admit = |p_set: &mut Vec<usize>, p: usize| {
             if (1..=MAX_P).contains(&p) && p_set.len() < budget && !p_set.contains(&p) {
@@ -139,13 +243,24 @@ impl AutoOrderPlan {
         }
         p_set.sort_unstable();
 
-        let mut candidates = Vec::with_capacity(p_set.len() * (q_max + 1));
+        let mut candidates = Vec::with_capacity(p_set.len() * (q_max + 1) * variants.len());
         for &p in &p_set {
             for q in 0..=q_max {
-                candidates.push(CandidateModel {
-                    family: ModelFamily::Arima,
-                    config: ModelConfig::Sarimax(SarimaxConfig::plain(ArimaSpec::arima(p, d, q))),
-                });
+                for &(sp, sd, sq) in &variants {
+                    let (family, spec) = if (sp, sd, sq) == (0, 0, 0) {
+                        (ModelFamily::Arima, ArimaSpec::arima(p, d, q))
+                    } else {
+                        let m = seasonal.map(|s| s.period).unwrap_or(1);
+                        (
+                            ModelFamily::Sarimax,
+                            ArimaSpec::sarima(p, d, q, sp, sd, sq, m),
+                        )
+                    };
+                    candidates.push(CandidateModel {
+                        family,
+                        config: ModelConfig::Sarimax(SarimaxConfig::plain(spec)),
+                    });
+                }
             }
         }
         Ok(AutoOrderPlan {
@@ -154,6 +269,7 @@ impl AutoOrderPlan {
             kpss_rejected,
             p_set,
             q_max,
+            seasonal,
             grid: ModelGrid { candidates },
         })
     }
@@ -191,7 +307,11 @@ pub fn evaluate_auto_order(
     eval_opts: &EvaluationOptions,
     auto_opts: &AutoOrderOptions,
 ) -> Result<AutoOrderReport> {
-    let plan = AutoOrderPlan::analyze(train, auto_opts.max_candidates)?;
+    let plan = AutoOrderPlan::analyze_seasonal(
+        train,
+        auto_opts.max_candidates,
+        auto_opts.seasonal_period,
+    )?;
     let mut report = evaluate_candidates(
         train,
         test,
@@ -430,6 +550,65 @@ mod tests {
         let seeded = auto.plan.grid.len();
         assert_eq!(auto.report.attempted, seeded + full.len());
         assert!(auto.report.champion().is_some());
+    }
+
+    #[test]
+    fn seasonal_period_seeds_seasonal_orders() {
+        let plan =
+            AutoOrderPlan::analyze_seasonal(&seasonal_ar_series(1200, 12), 72, Some(12)).unwrap();
+        let seasonal = plan.seasonal.expect("long seasonal series is diagnosed");
+        assert_eq!(seasonal.period, 12);
+        assert_eq!(
+            seasonal.seasonal_d, 1,
+            "persistent positive ACF at m and 2m must difference seasonally"
+        );
+        // At least one candidate carries diagnosed seasonal orders, and
+        // the plain non-seasonal bet stays in the race.
+        let specs: Vec<_> = plan
+            .grid
+            .candidates
+            .iter()
+            .map(|c| c.as_sarimax().unwrap().spec)
+            .collect();
+        assert!(
+            specs.iter().any(|s| s.seasonal_d == 1 && s.period == 12),
+            "no seasonal candidate in {specs:?}"
+        );
+        assert!(
+            specs
+                .iter()
+                .any(|s| (s.seasonal_p, s.seasonal_d, s.seasonal_q) == (0, 0, 0)),
+            "plain variant dropped from {specs:?}"
+        );
+        assert!(plan.grid.len() <= 72, "budget blown: {}", plan.grid.len());
+    }
+
+    #[test]
+    fn non_seasonal_series_with_period_matches_legacy_grid() {
+        // White noise shows nothing at the seasonal lags, so supplying a
+        // period must not change the seeded grid at all.
+        let mut state = 23u64;
+        let y: Vec<f64> = (0..1200).map(|_| noise(&mut state)).collect();
+        let legacy = AutoOrderPlan::analyze(&y, 72).unwrap();
+        let seasonal = AutoOrderPlan::analyze_seasonal(&y, 72, Some(12)).unwrap();
+        let diag = seasonal.seasonal.expect("diagnostics still recorded");
+        assert_eq!(diag.seasonal_d, 0);
+        assert!(!diag.p_seasonal && !diag.q_seasonal);
+        assert_eq!(legacy.p_set, seasonal.p_set);
+        assert_eq!(legacy.q_max, seasonal.q_max);
+        assert_eq!(legacy.grid.len(), seasonal.grid.len());
+        for (a, b) in legacy.grid.candidates.iter().zip(&seasonal.grid.candidates) {
+            assert_eq!(a.as_sarimax().unwrap().spec, b.as_sarimax().unwrap().spec);
+        }
+    }
+
+    #[test]
+    fn short_series_skips_seasonal_diagnostics() {
+        // Fewer than 4m + 2 differenced points: seasonal reading declined,
+        // plain analysis still succeeds.
+        let plan = AutoOrderPlan::analyze_seasonal(&ar2_series(60), 72, Some(24)).unwrap();
+        assert!(plan.seasonal.is_none());
+        assert!(!plan.grid.is_empty());
     }
 
     #[test]

@@ -32,10 +32,14 @@
 use crate::evaluate::{evaluate_fleet, EvalStats, EvalTask, EvaluationReport};
 use crate::grid::{CandidateModel, ModelConfig, ModelGrid};
 use crate::pipeline::{EvalPlan, ForecastOutcome, MethodChoice, Pipeline, PipelineConfig};
-use crate::repository::{ModelRecord, ModelRepository};
-use crate::PlannerError;
+use crate::repository::{
+    shard_of, ChampionStore, ModelRecord, ModelRepository, RetentionPolicy, ShardedRepository,
+};
+use crate::{PlannerError, Result};
 use dwcp_series::TimeSeries;
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// One series to forecast: a workload key (repository identity), the
 /// observations, optional exogenous indicator columns, and the pipeline
@@ -109,7 +113,7 @@ pub struct JobResult {
     pub key: String,
     /// The forecast outcome, or why the job failed (a failed job never
     /// poisons its batch neighbours).
-    pub outcome: Result<ForecastOutcome, PlannerError>,
+    pub outcome: Result<ForecastOutcome>,
     /// Whether a stored champion seeded this job's relearn.
     pub reused: bool,
     /// Whether the seeded relearn degraded past the staleness threshold
@@ -195,257 +199,273 @@ impl FleetScheduler {
     /// Run a batch. Returns per-job results in input order and updates the
     /// repository with every successful champion.
     ///
-    /// Three pool passes, all deterministic at any thread count:
-    /// 1. every job's primary grid (champion neighbourhood when a fresh
-    ///    stored champion exists, the full pruned grid otherwise),
-    /// 2. full-grid fallbacks for seeded jobs whose champion degraded,
-    /// 3. the §6.3 Fourier-variant stage for every job that wants it.
+    /// Delegates to [`run_batch_on`] with the in-memory repository as the
+    /// champion store; see there for the pass structure.
     pub fn run_batch(&mut self, jobs: &[SeriesJob]) -> FleetReport {
-        let started = Instant::now();
-        let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
-        let mut prepared: Vec<PreparedJob> = Vec::new();
-        let mut batch = EvalStats::default();
+        run_batch_on(&self.options, &mut self.repository, jobs)
+    }
+}
 
-        // Phase A — plan every job (interpolate, split, profile, build
-        // the method's candidate grid) and decide champion reuse.
-        for (job_idx, job) in jobs.iter().enumerate() {
-            let pipeline = Pipeline::new(job.config.clone());
-            let mut plan = match pipeline.plan(&job.series, &job.exog) {
-                Ok(plan) => plan,
-                Err(e) => {
-                    if let Some(slot) = results.get_mut(job_idx) {
-                        *slot = Some(JobResult {
-                            key: job.key.clone(),
-                            outcome: Err(e),
-                            reused: false,
-                            fell_back: false,
-                        });
-                    }
-                    continue;
-                }
-            };
-
-            let mut seed = None;
-            let mut fallback_models = None;
-            let mut fallback_threshold = f64::INFINITY;
-            if self.options.reuse_champions {
-                if let Some((record, config)) = self.usable_champion(job) {
-                    // Swap the full grid for the champion neighbourhood;
-                    // keep the full grid for the fallback.
-                    let neighbourhood = ModelGrid::neighbourhood_of(
-                        &config,
-                        self.options.neighbourhood_radius,
-                        job.config.granularity.seasonal_period(),
-                    );
-                    fallback_models = Some(std::mem::replace(
-                        &mut plan.set.models,
-                        neighbourhood.candidates,
-                    ));
-                    fallback_threshold =
-                        record.baseline_rmse * self.repository.policy.rmse_degradation_factor;
-                    if !record.warm_params.is_empty() {
-                        seed = Some((
-                            config.clone(),
-                            record.warm_params.clone(),
-                            record.warm_beta.clone(),
-                        ));
-                    }
-                }
-            }
-            prepared.push(PreparedJob {
-                job_idx,
-                pipeline,
-                reused: fallback_models.is_some(),
-                fell_back: false,
-                plan,
-                seed,
-                fallback_models,
-                fallback_threshold,
-                report: None,
-                wasted: EvalStats::default(),
-            });
+/// The stored champion to seed a job from, if there is one and it is
+/// usable: same granularity, not past the one-week staleness horizon,
+/// a family the job's method would search, and (for SARIMAX) no more
+/// exogenous columns than the job supplies.
+fn usable_champion(
+    options: &FleetOptions,
+    store: &mut dyn ChampionStore,
+    job: &SeriesJob,
+) -> Option<(ModelRecord, ModelConfig)> {
+    let record = store.fetch(&job.key)?;
+    if record.granularity != job.config.granularity {
+        return None;
+    }
+    if options.now.saturating_sub(record.fitted_at) > store.retention().max_age_seconds {
+        return None;
+    }
+    let (config, ..) = record.champion_seed()?;
+    let compatible = matches!(
+        (config, job.config.method),
+        (_, MethodChoice::Auto)
+            | (ModelConfig::Sarimax(_), MethodChoice::Sarimax)
+            | (ModelConfig::Ets(_), MethodChoice::Hes)
+            | (ModelConfig::Tbats(_), MethodChoice::Tbats)
+    );
+    if !compatible {
+        return None;
+    }
+    if let Some(sarimax) = config.as_sarimax() {
+        if sarimax.n_exog > job.exog.len() {
+            return None;
         }
+    }
+    let config = config.clone();
+    Some((record, config))
+}
 
-        batch.reuse_hits = prepared.iter().filter(|p| p.reused).count();
-        batch.reuse_misses = prepared.len() - batch.reuse_hits;
+/// Run a batch of jobs against any [`ChampionStore`]. Returns per-job
+/// results in input order and `put`s every successful champion back into
+/// the store.
+///
+/// Three pool passes, all deterministic at any thread count:
+/// 1. every job's primary grid (champion neighbourhood when a fresh
+///    stored champion exists, the full pruned grid otherwise),
+/// 2. full-grid fallbacks for seeded jobs whose champion degraded,
+/// 3. the §6.3 Fourier-variant stage for every job that wants it.
+pub fn run_batch_on(
+    options: &FleetOptions,
+    store: &mut dyn ChampionStore,
+    jobs: &[SeriesJob],
+) -> FleetReport {
+    let started = Instant::now();
+    let mut results: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+    let mut prepared: Vec<PreparedJob> = Vec::new();
+    let mut batch = EvalStats::default();
 
-        // Pass 1 — every primary grid through one shared pool.
-        {
-            let tasks: Vec<EvalTask> = prepared.iter().map(primary_task).collect();
-            let reports = evaluate_fleet(&tasks, self.options.threads);
-            drop(tasks);
-            for (job, report) in prepared.iter_mut().zip(reports) {
-                job.report = report.ok();
-            }
-        }
-
-        // Pass 2 — full-grid fallback for seeded jobs whose neighbourhood
-        // champion degraded past the staleness threshold (or produced no
-        // viable model at all). The fallback is unseeded, so its result is
-        // exactly what a cold `Pipeline::run` would have selected.
-        for job in prepared.iter_mut() {
-            if job.fallback_models.is_none() {
-                continue;
-            }
-            let degraded = match &job.report {
-                None => true,
-                Some(report) => report
-                    .champion()
-                    .map(|c| c.accuracy.rmse > job.fallback_threshold)
-                    .unwrap_or(true),
-            };
-            // `fallback_models` was checked non-None above; `take` moves the
-            // grid out so a job can only fall back once.
-            if degraded {
-                let Some(models) = job.fallback_models.take() else {
-                    continue;
-                };
-                job.fell_back = true;
-                if let Some(report) = job.report.take() {
-                    job.wasted.merge(&report.stats);
-                }
-                job.plan.set.models = models;
-                job.seed = None;
-            }
-        }
-        batch.reuse_fallbacks = prepared.iter().filter(|p| p.fell_back).count();
-        {
-            let fallback: Vec<&mut PreparedJob> =
-                prepared.iter_mut().filter(|p| p.fell_back).collect();
-            let tasks: Vec<EvalTask> = fallback.iter().map(|p| primary_task(p)).collect();
-            let reports = evaluate_fleet(&tasks, self.options.threads);
-            drop(tasks);
-            for (job, report) in fallback.into_iter().zip(reports) {
-                job.report = report.ok();
-            }
-        }
-
-        // Pass 3 — the Fourier-variant stage for every job that wants it,
-        // again through one shared pool.
-        {
-            let staged: Vec<(usize, Vec<CandidateModel>)> = prepared
-                .iter()
-                .enumerate()
-                .filter_map(|(i, job)| {
-                    let report = job.report.as_ref()?;
-                    let variants = job.pipeline.fourier_candidates(&job.plan, report);
-                    (!variants.is_empty()).then_some((i, variants))
-                })
-                .collect();
-            let tasks: Vec<EvalTask> = staged
-                .iter()
-                .filter_map(|(i, variants)| {
-                    let job = prepared.get(*i)?;
-                    Some(EvalTask {
-                        train: job.plan.split.train.values(),
-                        test: job.plan.split.test.values(),
-                        exog_train: &job.plan.exog_train,
-                        exog_test: &job.plan.exog_test,
-                        candidates: variants,
-                        opts: job.plan.eval_opts.clone(),
-                        seed: None,
-                    })
-                })
-                .collect();
-            let reports = evaluate_fleet(&tasks, self.options.threads);
-            drop(tasks);
-            // Staged indices come from enumerating `prepared`, and only
-            // jobs with a report are staged — both lookups hold by
-            // construction, so a miss just drops the variant scores.
-            for ((i, _), report) in staged.into_iter().zip(reports) {
-                if let Ok(fourier_report) = report {
-                    if let Some(target) = prepared.get_mut(i).and_then(|job| job.report.as_mut()) {
-                        target.absorb(fourier_report);
-                    }
-                }
-            }
-        }
-
-        // Phase B — assemble outcomes, update the repository, aggregate.
-        for job in prepared {
-            let Some(source) = jobs.get(job.job_idx) else {
-                continue;
-            };
-            let key = &source.key;
-            batch.merge(&job.wasted);
-            let outcome = match job.report {
-                Some(report) => job.pipeline.outcome_from_report(job.plan, report),
-                None => Err(PlannerError::NoViableModel {
-                    attempted: job.plan.set.models.len(),
-                }),
-            };
-            if let Ok(outcome) = &outcome {
-                batch.merge(&outcome.stats);
-                self.repository.store(ModelRecord::from_outcome(
-                    key,
-                    outcome,
-                    source.config.granularity,
-                    self.options.now,
-                ));
-            }
-            if let Some(slot) = results.get_mut(job.job_idx) {
-                *slot = Some(JobResult {
-                    key: key.clone(),
-                    outcome,
-                    reused: job.reused,
-                    fell_back: job.fell_back,
-                });
-            }
-        }
-        batch.wall_time = started.elapsed();
-        FleetReport {
-            jobs: results
-                .into_iter()
-                .zip(jobs)
-                .map(|(result, job)| {
-                    // Every job is either planned (phase A failure slot) or
-                    // prepared (phase B slot); an empty slot is a scheduler
-                    // bug, reported as a typed per-job error.
-                    result.unwrap_or_else(|| JobResult {
+    // Phase A — plan every job (interpolate, split, profile, build
+    // the method's candidate grid) and decide champion reuse.
+    for (job_idx, job) in jobs.iter().enumerate() {
+        let pipeline = Pipeline::new(job.config.clone());
+        let mut plan = match pipeline.plan(&job.series, &job.exog) {
+            Ok(plan) => plan,
+            Err(e) => {
+                if let Some(slot) = results.get_mut(job_idx) {
+                    *slot = Some(JobResult {
                         key: job.key.clone(),
-                        outcome: Err(PlannerError::Internal {
-                            context: "fleet job produced no result",
-                        }),
+                        outcome: Err(e),
                         reused: false,
                         fell_back: false,
-                    })
-                })
-                .collect(),
-            stats: batch,
+                    });
+                }
+                continue;
+            }
+        };
+
+        let mut seed = None;
+        let mut fallback_models = None;
+        let mut fallback_threshold = f64::INFINITY;
+        if options.reuse_champions {
+            if let Some((record, config)) = usable_champion(options, store, job) {
+                // Swap the full grid for the champion neighbourhood;
+                // keep the full grid for the fallback.
+                let neighbourhood = ModelGrid::neighbourhood_of(
+                    &config,
+                    options.neighbourhood_radius,
+                    job.config.granularity.seasonal_period(),
+                );
+                fallback_models = Some(std::mem::replace(
+                    &mut plan.set.models,
+                    neighbourhood.candidates,
+                ));
+                fallback_threshold =
+                    record.baseline_rmse * store.retention().rmse_degradation_factor;
+                if !record.warm_params.is_empty() {
+                    seed = Some((
+                        config.clone(),
+                        record.warm_params.clone(),
+                        record.warm_beta.clone(),
+                    ));
+                }
+            }
+        }
+        prepared.push(PreparedJob {
+            job_idx,
+            pipeline,
+            reused: fallback_models.is_some(),
+            fell_back: false,
+            plan,
+            seed,
+            fallback_models,
+            fallback_threshold,
+            report: None,
+            wasted: EvalStats::default(),
+        });
+    }
+
+    batch.reuse_hits = prepared.iter().filter(|p| p.reused).count();
+    batch.reuse_misses = prepared.len() - batch.reuse_hits;
+
+    // Pass 1 — every primary grid through one shared pool.
+    {
+        let tasks: Vec<EvalTask> = prepared.iter().map(primary_task).collect();
+        let reports = evaluate_fleet(&tasks, options.threads);
+        drop(tasks);
+        for (job, report) in prepared.iter_mut().zip(reports) {
+            job.report = report.ok();
         }
     }
 
-    /// The stored champion to seed a job from, if there is one and it is
-    /// usable: same granularity, not past the one-week staleness horizon,
-    /// a family the job's method would search, and (for SARIMAX) no more
-    /// exogenous columns than the job supplies.
-    fn usable_champion(&self, job: &SeriesJob) -> Option<(ModelRecord, ModelConfig)> {
-        let record = self.repository.get(&job.key)?;
-        if record.granularity != job.config.granularity {
-            return None;
+    // Pass 2 — full-grid fallback for seeded jobs whose neighbourhood
+    // champion degraded past the staleness threshold (or produced no
+    // viable model at all). The fallback is unseeded, so its result is
+    // exactly what a cold `Pipeline::run` would have selected.
+    for job in prepared.iter_mut() {
+        if job.fallback_models.is_none() {
+            continue;
         }
-        if self.options.now.saturating_sub(record.fitted_at)
-            > self.repository.policy.max_age_seconds
-        {
-            return None;
+        let degraded = match &job.report {
+            None => true,
+            Some(report) => report
+                .champion()
+                .map(|c| c.accuracy.rmse > job.fallback_threshold)
+                .unwrap_or(true),
+        };
+        // `fallback_models` was checked non-None above; `take` moves the
+        // grid out so a job can only fall back once.
+        if degraded {
+            let Some(models) = job.fallback_models.take() else {
+                continue;
+            };
+            job.fell_back = true;
+            if let Some(report) = job.report.take() {
+                job.wasted.merge(&report.stats);
+            }
+            job.plan.set.models = models;
+            job.seed = None;
         }
-        let (config, ..) = record.champion_seed()?;
-        let compatible = matches!(
-            (config, job.config.method),
-            (_, MethodChoice::Auto)
-                | (ModelConfig::Sarimax(_), MethodChoice::Sarimax)
-                | (ModelConfig::Ets(_), MethodChoice::Hes)
-                | (ModelConfig::Tbats(_), MethodChoice::Tbats)
-        );
-        if !compatible {
-            return None;
+    }
+    batch.reuse_fallbacks = prepared.iter().filter(|p| p.fell_back).count();
+    {
+        let fallback: Vec<&mut PreparedJob> = prepared.iter_mut().filter(|p| p.fell_back).collect();
+        let tasks: Vec<EvalTask> = fallback.iter().map(|p| primary_task(p)).collect();
+        let reports = evaluate_fleet(&tasks, options.threads);
+        drop(tasks);
+        for (job, report) in fallback.into_iter().zip(reports) {
+            job.report = report.ok();
         }
-        if let Some(sarimax) = config.as_sarimax() {
-            if sarimax.n_exog > job.exog.len() {
-                return None;
+    }
+
+    // Pass 3 — the Fourier-variant stage for every job that wants it,
+    // again through one shared pool.
+    {
+        let staged: Vec<(usize, Vec<CandidateModel>)> = prepared
+            .iter()
+            .enumerate()
+            .filter_map(|(i, job)| {
+                let report = job.report.as_ref()?;
+                let variants = job.pipeline.fourier_candidates(&job.plan, report);
+                (!variants.is_empty()).then_some((i, variants))
+            })
+            .collect();
+        let tasks: Vec<EvalTask> = staged
+            .iter()
+            .filter_map(|(i, variants)| {
+                let job = prepared.get(*i)?;
+                Some(EvalTask {
+                    train: job.plan.split.train.values(),
+                    test: job.plan.split.test.values(),
+                    exog_train: &job.plan.exog_train,
+                    exog_test: &job.plan.exog_test,
+                    candidates: variants,
+                    opts: job.plan.eval_opts.clone(),
+                    seed: None,
+                })
+            })
+            .collect();
+        let reports = evaluate_fleet(&tasks, options.threads);
+        drop(tasks);
+        // Staged indices come from enumerating `prepared`, and only
+        // jobs with a report are staged — both lookups hold by
+        // construction, so a miss just drops the variant scores.
+        for ((i, _), report) in staged.into_iter().zip(reports) {
+            if let Ok(fourier_report) = report {
+                if let Some(target) = prepared.get_mut(i).and_then(|job| job.report.as_mut()) {
+                    target.absorb(fourier_report);
+                }
             }
         }
-        Some((record.clone(), config.clone()))
+    }
+
+    // Phase B — assemble outcomes, update the store, aggregate.
+    for job in prepared {
+        let Some(source) = jobs.get(job.job_idx) else {
+            continue;
+        };
+        let key = &source.key;
+        batch.merge(&job.wasted);
+        let outcome = match job.report {
+            Some(report) => job.pipeline.outcome_from_report(job.plan, report),
+            None => Err(PlannerError::NoViableModel {
+                attempted: job.plan.set.models.len(),
+            }),
+        };
+        if let Ok(outcome) = &outcome {
+            batch.merge(&outcome.stats);
+            store.put(ModelRecord::from_outcome(
+                key,
+                outcome,
+                source.config.granularity,
+                options.now,
+            ));
+        }
+        if let Some(slot) = results.get_mut(job.job_idx) {
+            *slot = Some(JobResult {
+                key: key.clone(),
+                outcome,
+                reused: job.reused,
+                fell_back: job.fell_back,
+            });
+        }
+    }
+    batch.wall_time = started.elapsed();
+    FleetReport {
+        jobs: results
+            .into_iter()
+            .zip(jobs)
+            .map(|(result, job)| {
+                // Every job is either planned (phase A failure slot) or
+                // prepared (phase B slot); an empty slot is a scheduler
+                // bug, reported as a typed per-job error.
+                result.unwrap_or_else(|| JobResult {
+                    key: job.key.clone(),
+                    outcome: Err(PlannerError::Internal {
+                        context: "fleet job produced no result",
+                    }),
+                    reused: false,
+                    fell_back: false,
+                })
+            })
+            .collect(),
+        stats: batch,
     }
 }
 
@@ -460,6 +480,408 @@ fn primary_task(job: &PreparedJob) -> EvalTask<'_> {
         candidates: &job.plan.set.models,
         opts: job.plan.eval_opts.clone(),
         seed: job.seed.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Estate-scale wave scheduling
+// ---------------------------------------------------------------------------
+
+/// Where an estate scan's jobs come from. The scheduler asks for the full
+/// key list up front (cheap: keys are strings), then materialises each
+/// job's series only when its wave starts — so a million-job estate is
+/// never resident at once.
+pub trait JobSource {
+    /// Every workload key the scan covers, in the source's natural order.
+    fn keys(&self) -> Vec<String>;
+    /// Materialise one job (load/generate its series and config).
+    fn load(&self, key: &str) -> Result<SeriesJob>;
+}
+
+/// A [`JobSource`] over jobs already in memory — adapts the legacy
+/// all-at-once batch shape (and tests) to the wave scheduler.
+pub struct SliceJobSource<'a> {
+    jobs: &'a [SeriesJob],
+}
+
+impl<'a> SliceJobSource<'a> {
+    /// Wrap a slice of in-memory jobs.
+    pub fn new(jobs: &'a [SeriesJob]) -> SliceJobSource<'a> {
+        SliceJobSource { jobs }
+    }
+}
+
+impl JobSource for SliceJobSource<'_> {
+    fn keys(&self) -> Vec<String> {
+        self.jobs.iter().map(|j| j.key.clone()).collect()
+    }
+
+    fn load(&self, key: &str) -> Result<SeriesJob> {
+        self.jobs
+            .iter()
+            .find(|j| j.key == key)
+            .cloned()
+            .ok_or(PlannerError::Internal {
+                context: "job source asked for an unknown key",
+            })
+    }
+}
+
+/// Wave scheduling knobs.
+#[derive(Debug, Clone, Default)]
+pub struct WaveOptions {
+    /// Jobs materialised per wave; 0 falls back to 1024. Peak memory is
+    /// O(`wave_size` × series length), independent of the estate size.
+    pub wave_size: usize,
+    /// Checkpoint file recording completed job keys; a scan restarted with
+    /// the same path skips them (resume without refitting). `None` runs
+    /// uncheckpointed.
+    pub checkpoint: Option<PathBuf>,
+    /// Stop after this many waves (0 = run to completion) — the hook
+    /// that lets tests and benches simulate a killed nightly relearn.
+    pub max_waves: usize,
+}
+
+impl WaveOptions {
+    fn effective_wave_size(&self) -> usize {
+        if self.wave_size == 0 {
+            1024
+        } else {
+            self.wave_size
+        }
+    }
+}
+
+/// Progress snapshot delivered to the wave callback after each wave
+/// retires.
+#[derive(Debug, Clone)]
+pub struct WaveProgress {
+    /// 1-based index of the wave that just retired.
+    pub wave: usize,
+    /// Total waves in this scan (after checkpoint skips).
+    pub total_waves: usize,
+    /// Jobs finished so far (completed + failed), excluding skips.
+    pub jobs_done: usize,
+    /// Jobs this scan will run (excluding checkpoint skips).
+    pub jobs_total: usize,
+    /// Wall time of the wave that just retired.
+    pub wave_wall: Duration,
+    /// Bytes of series + exogenous data resident during the wave.
+    pub wave_bytes: usize,
+}
+
+/// The outcome of an estate scan.
+#[derive(Debug)]
+pub struct WaveReport {
+    /// Keys yielded by the source (after de-duplication).
+    pub total_jobs: usize,
+    /// Jobs skipped because the checkpoint already recorded them.
+    pub skipped: usize,
+    /// Waves actually run.
+    pub waves: usize,
+    /// Jobs that produced (and persisted) a champion.
+    pub completed: usize,
+    /// Jobs that failed (plan/load errors); never checkpointed, so a
+    /// resumed scan retries them.
+    pub failed: usize,
+    /// Evaluation stats aggregated over every wave; `wall_time` is the
+    /// whole scan's wall clock.
+    pub stats: EvalStats,
+    /// Largest series+exog working set any wave held — the bounded-memory
+    /// claim, measurable.
+    pub peak_wave_bytes: usize,
+    /// True when `max_waves` stopped the scan before the job list was
+    /// drained (the checkpoint lets the next run resume).
+    pub stopped_early: bool,
+}
+
+impl WaveReport {
+    /// Successfully forecast jobs per second of scan wall time.
+    pub fn jobs_per_second(&self) -> f64 {
+        let secs = self.stats.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The per-wave champion store handed to [`run_batch_on`]: champions
+/// prefetched from the sharded repository before the wave, fresh champions
+/// collected for one batched flush after it. Keeps the wave's repository
+/// traffic to one load + one append per touched shard.
+struct WaveStore {
+    policy: RetentionPolicy,
+    records: BTreeMap<String, ModelRecord>,
+    fresh: Vec<ModelRecord>,
+}
+
+impl ChampionStore for WaveStore {
+    fn retention(&self) -> RetentionPolicy {
+        self.policy
+    }
+
+    fn fetch(&mut self, workload: &str) -> Option<ModelRecord> {
+        self.records.get(workload).cloned()
+    }
+
+    fn put(&mut self, record: ModelRecord) {
+        self.fresh.push(record);
+    }
+}
+
+/// Resumable-scan checkpoint file: a header line
+/// `{"dwcp_checkpoint":1,"total":N}` followed by one JSON string per
+/// completed workload key. Appended after each wave's repository flush —
+/// a checkpointed key's champion is guaranteed on disk — and loaded
+/// leniently (a torn tail line just means that one job refits).
+pub struct Checkpoint;
+
+impl Checkpoint {
+    /// Completed keys recorded at `path`. A missing file is an empty
+    /// checkpoint (fresh scan); unparseable lines are skipped.
+    pub fn load(path: &Path) -> BTreeSet<String> {
+        let mut done = BTreeSet::new();
+        let Ok(content) = std::fs::read_to_string(path) else {
+            return done;
+        };
+        for line in content.lines() {
+            if let Ok(key) = serde_json::from_str::<String>(line) {
+                done.insert(key);
+            }
+        }
+        done
+    }
+
+    /// Append `keys` to the checkpoint at `path`, creating it (with its
+    /// header) on first use. `total` is the scan's de-duplicated job
+    /// count, recorded for progress display.
+    pub fn append(path: &Path, total: usize, keys: &[String]) -> Result<()> {
+        let mut batch = String::new();
+        match std::fs::metadata(path) {
+            Ok(meta) => {
+                // Guard against a torn tail from a previous crash: if the
+                // file does not end in a newline, start on a fresh line so
+                // the torn line cannot swallow the first new key.
+                if meta.len() > 0 {
+                    let Ok(content) = std::fs::read_to_string(path) else {
+                        return Err(PlannerError::Persistence(format!(
+                            "checkpoint {} is unreadable",
+                            path.display()
+                        )));
+                    };
+                    if !content.ends_with('\n') {
+                        batch.push('\n');
+                    }
+                } else {
+                    batch.push_str(&format!("{{\"dwcp_checkpoint\":1,\"total\":{total}}}\n"));
+                }
+            }
+            Err(_) => {
+                batch.push_str(&format!("{{\"dwcp_checkpoint\":1,\"total\":{total}}}\n"));
+            }
+        }
+        for key in keys {
+            match serde_json::to_string(key) {
+                Ok(line) => {
+                    batch.push_str(&line);
+                    batch.push('\n');
+                }
+                Err(e) => return Err(PlannerError::Persistence(e.to_string())),
+            }
+        }
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| PlannerError::Persistence(e.to_string()))?;
+        file.write_all(batch.as_bytes())
+            .map_err(|e| PlannerError::Persistence(e.to_string()))
+    }
+
+    /// Cancel a checkpointed scan by deleting its file. Returns whether a
+    /// checkpoint existed.
+    pub fn cancel(path: &Path) -> bool {
+        std::fs::remove_file(path).is_ok()
+    }
+}
+
+/// Streams an estate of jobs through the shared worker pool in
+/// bounded-memory waves against a [`ShardedRepository`].
+///
+/// Each wave: materialise `wave_size` jobs from the [`JobSource`],
+/// prefetch their stored champions (only the shards those keys hash to),
+/// run the wave through [`run_batch_on`] — the exact legacy batch code
+/// path, so champions are bit-identical to the all-at-once scheduler at
+/// any thread count — then flush fresh champions, evict clean shards,
+/// and append completed keys to the checkpoint. Waves are ordered
+/// stalest-first (missing champions, then oldest `fitted_at`), with ties
+/// broken by shard so a wave's repository traffic clusters on few shards.
+pub struct EstateScheduler {
+    /// Batch scheduling knobs (threads, reuse, staleness clock).
+    pub fleet: FleetOptions,
+    /// Wave size, checkpointing, early stop.
+    pub waves: WaveOptions,
+    /// The sharded champion store scanned and updated by each wave.
+    pub repository: ShardedRepository,
+}
+
+impl EstateScheduler {
+    /// A scheduler over an existing sharded repository.
+    pub fn new(
+        fleet: FleetOptions,
+        waves: WaveOptions,
+        repository: ShardedRepository,
+    ) -> EstateScheduler {
+        EstateScheduler {
+            fleet,
+            waves,
+            repository,
+        }
+    }
+
+    /// Run the scan without observing per-wave progress.
+    pub fn run(&mut self, source: &dyn JobSource) -> Result<WaveReport> {
+        self.run_with_progress(source, &mut |_, _| {})
+    }
+
+    /// Run the scan, invoking `on_wave` after each wave retires with a
+    /// progress snapshot and the wave's per-job results (dropped when the
+    /// callback returns — holding them all would unbound memory again).
+    pub fn run_with_progress(
+        &mut self,
+        source: &dyn JobSource,
+        on_wave: &mut dyn FnMut(&WaveProgress, &[JobResult]),
+    ) -> Result<WaveReport> {
+        let started = Instant::now();
+        let wave_size = self.waves.effective_wave_size();
+
+        // De-duplicate keys, first occurrence wins.
+        let mut seen = BTreeSet::new();
+        let keys: Vec<String> = source
+            .keys()
+            .into_iter()
+            .filter(|k| seen.insert(k.clone()))
+            .collect();
+        let total_jobs = keys.len();
+
+        // Checkpoint skips.
+        let done: BTreeSet<String> = match &self.waves.checkpoint {
+            Some(path) => Checkpoint::load(path),
+            None => BTreeSet::new(),
+        };
+        let remaining: Vec<String> = keys.into_iter().filter(|k| !done.contains(k)).collect();
+        let skipped = total_jobs - remaining.len();
+
+        // Staleness scan: one pass over the involved shards, O(keys) memory.
+        let fitted = self.repository.fitted_at_many(&remaining)?;
+
+        // Stalest first — missing champions (None sorts before Some), then
+        // oldest fitted_at; ties cluster by shard then key so each wave's
+        // prefetch and flush touch as few shard files as possible.
+        let n_shards = self.repository.n_shards();
+        let mut ordered: Vec<(Option<u64>, usize, String)> = remaining
+            .into_iter()
+            .zip(fitted)
+            .map(|(key, fitted_at)| (fitted_at, shard_of(&key, n_shards), key))
+            .collect();
+        ordered.sort_unstable();
+
+        let jobs_total = ordered.len();
+        let total_waves = jobs_total.div_ceil(wave_size.max(1));
+        let mut report = WaveReport {
+            total_jobs,
+            skipped,
+            waves: 0,
+            completed: 0,
+            failed: 0,
+            stats: EvalStats::default(),
+            peak_wave_bytes: 0,
+            stopped_early: false,
+        };
+
+        for (wave_idx, wave) in ordered.chunks(wave_size).enumerate() {
+            if self.waves.max_waves > 0 && wave_idx >= self.waves.max_waves {
+                report.stopped_early = true;
+                break;
+            }
+            let wave_started = Instant::now();
+
+            // Materialise the wave's jobs; a load failure fails that job
+            // only (and leaves it un-checkpointed for the next run).
+            let mut jobs: Vec<SeriesJob> = Vec::with_capacity(wave.len());
+            let mut prefetch: Vec<String> = Vec::new();
+            for (fitted_at, _, key) in wave {
+                match source.load(key) {
+                    Ok(job) => {
+                        if fitted_at.is_some() {
+                            // Only keys with a stored record can hit the
+                            // prefetch; cold keys must not load shards.
+                            prefetch.push(key.clone());
+                        }
+                        jobs.push(job);
+                    }
+                    Err(_) => report.failed += 1,
+                }
+            }
+            let wave_bytes: usize = jobs
+                .iter()
+                .map(|j| {
+                    (j.series.values().len() + j.exog.iter().map(Vec::len).sum::<usize>())
+                        * std::mem::size_of::<f64>()
+                })
+                .sum();
+            report.peak_wave_bytes = report.peak_wave_bytes.max(wave_bytes);
+
+            let mut store = WaveStore {
+                policy: self.repository.policy,
+                records: self.repository.fetch_many(&prefetch)?,
+                fresh: Vec::new(),
+            };
+            let batch = run_batch_on(&self.fleet, &mut store, &jobs);
+            drop(jobs);
+
+            // Persist the wave's champions, then checkpoint — in that
+            // order, so a checkpointed key's champion is always on disk.
+            for record in store.fresh.drain(..) {
+                self.repository.store(record)?;
+            }
+            self.repository.flush()?;
+            self.repository.evict_clean();
+
+            let ok_keys: Vec<String> = batch
+                .jobs
+                .iter()
+                .filter(|j| j.outcome.is_ok())
+                .map(|j| j.key.clone())
+                .collect();
+            report.completed += ok_keys.len();
+            report.failed += batch.jobs.len() - ok_keys.len();
+            if let Some(path) = &self.waves.checkpoint {
+                Checkpoint::append(path, total_jobs, &ok_keys)?;
+            }
+
+            report.stats.merge(&batch.stats);
+            report.waves += 1;
+            let progress = WaveProgress {
+                wave: wave_idx + 1,
+                total_waves,
+                jobs_done: report.completed + report.failed,
+                jobs_total,
+                wave_wall: wave_started.elapsed(),
+                wave_bytes,
+            };
+            on_wave(&progress, &batch.jobs);
+        }
+        if report.waves < total_waves && !report.stopped_early {
+            // Unreachable today (the loop only exits early via max_waves),
+            // but keep the invariant: waves < total ⇒ stopped_early.
+            report.stopped_early = true;
+        }
+        report.stats.wall_time = started.elapsed();
+        Ok(report)
     }
 }
 
@@ -721,5 +1143,201 @@ mod tests {
         assert!(report.jobs[0].outcome.is_ok());
         assert!(report.jobs[1].outcome.is_err());
         assert_eq!(scheduler.repository.len(), 1);
+    }
+
+    /// Fresh scratch directory for a wave-scheduler test.
+    fn estate_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dwcp_waves_{}_{}", name, std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn estate_scheduler(dir: &Path, threads: usize, waves: WaveOptions) -> EstateScheduler {
+        let repository = ShardedRepository::open_or_create(dir, 4).unwrap();
+        EstateScheduler::new(
+            FleetOptions {
+                threads,
+                ..Default::default()
+            },
+            waves,
+            repository,
+        )
+    }
+
+    #[test]
+    fn wave_scheduler_matches_legacy_batch_at_all_thread_counts() {
+        // Mixed-family batch through waves of 2: champions and RMSEs must
+        // be bit-identical to the legacy all-at-once scheduler, whatever
+        // the thread count.
+        let mut jobs = batch(2);
+        let mut hes = fast_config();
+        hes.method = MethodChoice::Hes;
+        jobs.push(SeriesJob::new(
+            "cdbm013/Memory/hourly",
+            hourly_series(1100, 5),
+            hes,
+        ));
+        let mut legacy = FleetScheduler::new(FleetOptions {
+            threads: 1,
+            ..Default::default()
+        });
+        let baseline = legacy.run_batch(&jobs);
+
+        for threads in [1, 2, 4, 8] {
+            let dir = estate_dir(&format!("parity{threads}"));
+            let mut estate = estate_scheduler(
+                &dir,
+                threads,
+                WaveOptions {
+                    wave_size: 2,
+                    ..Default::default()
+                },
+            );
+            let mut by_key: BTreeMap<String, (String, u64)> = BTreeMap::new();
+            let report = estate
+                .run_with_progress(&SliceJobSource::new(&jobs), &mut |_, results| {
+                    for r in results {
+                        let outcome = r.outcome.as_ref().unwrap();
+                        by_key.insert(
+                            r.key.clone(),
+                            (outcome.champion.clone(), outcome.accuracy.rmse.to_bits()),
+                        );
+                    }
+                })
+                .unwrap();
+            assert_eq!(report.waves, 2);
+            assert_eq!(report.completed, 3);
+            assert!(report.peak_wave_bytes <= 2 * (1100 + 1) * 8);
+            for b in &baseline.jobs {
+                let outcome = b.outcome.as_ref().unwrap();
+                let (champion, rmse_bits) = by_key.get(&b.key).unwrap();
+                assert_eq!(champion, &outcome.champion, "threads = {threads}");
+                assert_eq!(
+                    *rmse_bits,
+                    outcome.accuracy.rmse.to_bits(),
+                    "threads = {threads}"
+                );
+            }
+            // The persisted shard records match the legacy repository's.
+            let mut back = ShardedRepository::open(&dir).unwrap();
+            for b in &baseline.jobs {
+                assert_eq!(
+                    back.get(&b.key).unwrap(),
+                    legacy.repository.get(&b.key),
+                    "threads = {threads}"
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn killed_scan_resumes_from_checkpoint_without_refitting() {
+        let jobs = batch(4);
+        let dir = estate_dir("resume");
+        let checkpoint = dir.join("relearn.ckpt");
+
+        // First run is "killed" after one wave of two jobs.
+        let mut first = estate_scheduler(
+            &dir,
+            1,
+            WaveOptions {
+                wave_size: 2,
+                checkpoint: Some(checkpoint.clone()),
+                max_waves: 1,
+            },
+        );
+        let killed = first.run(&SliceJobSource::new(&jobs)).unwrap();
+        assert!(killed.stopped_early);
+        assert_eq!(killed.waves, 1);
+        assert_eq!(killed.completed, 2);
+        assert_eq!(Checkpoint::load(&checkpoint).len(), 2);
+
+        // Resume: the two checkpointed jobs are skipped, the other two fit.
+        let mut resumed = estate_scheduler(
+            &dir,
+            1,
+            WaveOptions {
+                wave_size: 2,
+                checkpoint: Some(checkpoint.clone()),
+                max_waves: 0,
+            },
+        );
+        let finished = resumed.run(&SliceJobSource::new(&jobs)).unwrap();
+        assert!(!finished.stopped_early);
+        assert_eq!(finished.skipped, 2, "checkpointed jobs are not refit");
+        assert_eq!(finished.completed, 2);
+        assert_eq!(resumed.repository.count_records().unwrap(), 4);
+
+        // Cancel deletes the checkpoint; a fresh scan skips nothing.
+        assert!(Checkpoint::cancel(&checkpoint));
+        assert!(!Checkpoint::cancel(&checkpoint), "already gone");
+        assert!(Checkpoint::load(&checkpoint).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_jobs_are_not_checkpointed_and_retry_on_resume() {
+        let mut jobs = batch(2);
+        jobs.push(SeriesJob::new(
+            "cdbm019/CPU/hourly",
+            hourly_series(100, 0), // far too short: plan fails
+            fast_config(),
+        ));
+        let dir = estate_dir("retry");
+        let checkpoint = dir.join("relearn.ckpt");
+        let opts = WaveOptions {
+            wave_size: 8,
+            checkpoint: Some(checkpoint.clone()),
+            max_waves: 0,
+        };
+        let first = estate_scheduler(&dir, 1, opts.clone())
+            .run(&SliceJobSource::new(&jobs))
+            .unwrap();
+        assert_eq!(first.completed, 2);
+        assert_eq!(first.failed, 1);
+        assert_eq!(Checkpoint::load(&checkpoint).len(), 2);
+
+        let second = estate_scheduler(&dir, 1, opts)
+            .run(&SliceJobSource::new(&jobs))
+            .unwrap();
+        assert_eq!(second.skipped, 2);
+        assert_eq!(second.failed, 1, "the broken job is retried, not buried");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_survives_a_torn_tail() {
+        let dir = estate_dir("ckpt_torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.ckpt");
+        let keys: Vec<String> = (0..3).map(|i| format!("w{i}/CPU")).collect();
+        Checkpoint::append(&path, 10, &keys).unwrap();
+
+        // Chop the file mid-line (a crash during append).
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let done = Checkpoint::load(&path);
+        assert_eq!(done.len(), 2, "torn key dropped, prefix kept");
+
+        // Appending after the tear must not merge into the torn line.
+        Checkpoint::append(&path, 10, &["w9/CPU".to_string()]).unwrap();
+        let done = Checkpoint::load(&path);
+        assert!(done.contains("w9/CPU"));
+        assert_eq!(done.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_keys_run_once() {
+        let mut jobs = batch(1);
+        let dup = jobs[0].clone();
+        jobs.push(dup);
+        let dir = estate_dir("dup");
+        let mut estate = estate_scheduler(&dir, 1, WaveOptions::default());
+        let report = estate.run(&SliceJobSource::new(&jobs)).unwrap();
+        assert_eq!(report.total_jobs, 1);
+        assert_eq!(report.completed, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -46,7 +46,9 @@ pub mod repository;
 pub mod shocks;
 
 pub use advisor::{Advisory, ThresholdAdvisor};
-pub use auto_order::{evaluate_auto_order, AutoOrderOptions, AutoOrderPlan, AutoOrderReport};
+pub use auto_order::{
+    evaluate_auto_order, AutoOrderOptions, AutoOrderPlan, AutoOrderReport, SeasonalDiagnostics,
+};
 pub use backtest::{backtest, BacktestConfig, BacktestReport};
 pub use candidates::{CandidateSet, DataProfile};
 pub use diagnostics::{assess, HealthReport, HealthThresholds, HealthVerdict};
@@ -54,12 +56,18 @@ pub use evaluate::{
     evaluate_candidates, evaluate_fleet, EvalStats, EvalTask, EvaluationOptions, EvaluationReport,
     FamilyStats, ModelScore,
 };
-pub use fleet::{FleetOptions, FleetReport, FleetScheduler, JobResult, SeriesJob};
+pub use fleet::{
+    run_batch_on, Checkpoint, EstateScheduler, FleetOptions, FleetReport, FleetScheduler,
+    JobResult, JobSource, SeriesJob, SliceJobSource, WaveOptions, WaveProgress, WaveReport,
+};
 pub use grid::{CandidateModel, ModelConfig, ModelFamily, ModelGrid};
 pub use pipeline::{
     ChampionSpec, ForecastOutcome, GridStrategy, MethodChoice, Pipeline, PipelineConfig,
 };
-pub use repository::{ModelRecord, ModelRepository, RetentionPolicy, ShockTracker};
+pub use repository::{
+    shard_of, ChampionStore, CompactionPolicy, ModelRecord, ModelRepository, RetentionPolicy,
+    ShardIoStats, ShardedRepository, ShockTracker,
+};
 pub use shocks::{DetectedShock, ShockDetector};
 
 /// Errors from the planner.

@@ -320,10 +320,16 @@ impl Pipeline {
             match self.config.grid {
                 GridStrategy::Full => models.extend(set.models),
                 GridStrategy::AutoOrder => {
-                    // Seed the grid from the order diagnostics; keep the
-                    // full strategy's models as the degradation fallback.
-                    let auto =
-                        AutoOrderPlan::analyze(train, AutoOrderOptions::default().max_candidates)?;
+                    // Seed the grid from the order diagnostics — seasonal
+                    // orders included when the granularity names a period —
+                    // and keep the full strategy's models as the
+                    // degradation fallback.
+                    let period = profile.primary_period(fallback_period);
+                    let auto = AutoOrderPlan::analyze_seasonal(
+                        train,
+                        AutoOrderOptions::default().max_candidates,
+                        (period >= 2).then_some(period),
+                    )?;
                     models.extend(auto.grid.candidates);
                     auto_fallback = Some(AutoFallback {
                         d: auto.d,

@@ -13,7 +13,7 @@ use crate::{PlannerError, Result};
 use dwcp_series::Granularity;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// One week in seconds — the paper's staleness horizon.
 pub const ONE_WEEK_SECONDS: u64 = 7 * 86_400;
@@ -207,6 +207,550 @@ impl ModelRepository {
             Err(err) => (ModelRepository::new(), Some(err)),
         }
     }
+}
+
+/// Anything the fleet scheduler can read champions from and write
+/// champions to: the in-memory [`ModelRepository`], the on-disk
+/// [`ShardedRepository`], or a per-wave working set extracted from one.
+///
+/// `fetch` hands back an owned record (a sharded store may have to load
+/// and later evict the shard the record lives in, so borrowed returns
+/// are impossible); `put` replaces the stored champion for the record's
+/// workload key.
+pub trait ChampionStore {
+    /// The retention policy relearn decisions are made under.
+    fn retention(&self) -> RetentionPolicy;
+    /// The stored champion for a workload, if any.
+    fn fetch(&mut self, workload: &str) -> Option<ModelRecord>;
+    /// Store (or replace) the champion for the record's workload.
+    fn put(&mut self, record: ModelRecord);
+}
+
+impl ChampionStore for ModelRepository {
+    fn retention(&self) -> RetentionPolicy {
+        self.policy
+    }
+
+    fn fetch(&mut self, workload: &str) -> Option<ModelRecord> {
+        self.get(workload).cloned()
+    }
+
+    fn put(&mut self, record: ModelRecord) {
+        self.store(record);
+    }
+}
+
+/// Stable FNV-1a 64-bit hash of a workload key. The shard assignment must
+/// never change across builds or platforms — records written by one
+/// version of the binary must be found by every later one — so the hash
+/// is pinned here rather than delegated to `std`'s unspecified hasher.
+pub fn shard_of(workload: &str, n_shards: usize) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in workload.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    (hash % n_shards.max(1) as u64) as usize
+}
+
+/// When an append-only shard log is rewritten in place.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompactionPolicy {
+    /// Logs below this many entries are never compacted (rewriting a tiny
+    /// file buys nothing).
+    pub min_log_entries: usize,
+    /// Compact once the log holds more than `live × ratio` entries — i.e.
+    /// once at least half the log (at the default 2.0) is dead weight
+    /// (superseded records and tombstones).
+    pub max_dead_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            min_log_entries: 1024,
+            max_dead_ratio: 2.0,
+        }
+    }
+}
+
+/// One line of a shard log: a champion record, or a tombstone for a
+/// removed workload. Append-only — replaying the log in order with
+/// latest-wins semantics reconstructs the shard's live records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum LogEntry {
+    /// Store (or supersede) the champion for the record's workload.
+    Put(ModelRecord),
+    /// Remove the workload's champion.
+    Del(String),
+}
+
+/// I/O counters for a sharded repository — what the lazy loading actually
+/// did, so benches and examples can show their working set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardIoStats {
+    /// Shard log files read and replayed.
+    pub shard_loads: usize,
+    /// Log entries appended across all flushes.
+    pub entries_appended: usize,
+    /// Compaction rewrites performed.
+    pub compactions: usize,
+    /// Unparseable log lines skipped by the lenient per-shard load.
+    pub lenient_skips: usize,
+    /// Resident shards dropped by eviction.
+    pub evictions: usize,
+}
+
+/// One resident shard: the replayed live records plus not-yet-flushed
+/// mutations.
+#[derive(Debug)]
+struct ShardState {
+    /// Live records after latest-wins replay of the on-disk log and every
+    /// pending mutation.
+    records: BTreeMap<String, ModelRecord>,
+    /// Entries currently in the on-disk log (drives the compaction
+    /// trigger).
+    log_entries: usize,
+    /// Mutations not yet appended to the log.
+    pending: Vec<LogEntry>,
+    /// The on-disk log ends without a trailing newline (torn tail); the
+    /// next append must start with one so the first new entry is not
+    /// swallowed by the torn line.
+    needs_newline: bool,
+}
+
+impl ShardState {
+    fn empty() -> ShardState {
+        ShardState {
+            records: BTreeMap::new(),
+            log_entries: 0,
+            pending: Vec::new(),
+            needs_newline: false,
+        }
+    }
+}
+
+/// The manifest persisted at the root of a sharded repository. The shard
+/// count is fixed at creation (re-hashing an estate in place is a
+/// migration, not a config change), the policies travel with the data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EstateManifest {
+    version: u32,
+    n_shards: usize,
+    policy: RetentionPolicy,
+    compaction: CompactionPolicy,
+}
+
+/// The estate-scale model repository: champions hashed across `N`
+/// append-only shard logs, loaded lazily one shard at a time.
+///
+/// Looking up or persisting one champion touches exactly one shard file;
+/// a full-estate scan loads shards one at a time and evicts them clean —
+/// peak memory is one shard, never the estate. The [`ModelRepository`]'s
+/// lenient-load semantics hold **per shard**: a corrupt or truncated
+/// shard log degrades only its own workloads to the full-relearn path
+/// (the parseable prefix of the log is kept, the torn tail is skipped
+/// with a warning) while every other shard is untouched.
+///
+/// Each shard is an append-only JSON-lines log of put/delete entries with
+/// tombstones; once a log exceeds [`CompactionPolicy`]'s dead-entry
+/// ratio it is rewritten to just its live records via a temp-file +
+/// atomic-rename pass, so a crash mid-compaction can never leave a
+/// half-written shard — the old log stays in place until the rename.
+#[derive(Debug)]
+pub struct ShardedRepository {
+    root: PathBuf,
+    n_shards: usize,
+    /// Policy applied by [`ShardedRepository::needs_relearn`].
+    pub policy: RetentionPolicy,
+    /// When shard logs are compacted.
+    pub compaction: CompactionPolicy,
+    shards: Vec<Option<ShardState>>,
+    warnings: Vec<String>,
+    io: ShardIoStats,
+}
+
+impl ShardedRepository {
+    /// Manifest version written by this build.
+    const VERSION: u32 = 1;
+
+    /// Create a new sharded repository at `root` (the directory is
+    /// created; an existing manifest there is an error — use
+    /// [`ShardedRepository::open`] or [`ShardedRepository::open_or_create`]).
+    pub fn create(root: &Path, n_shards: usize) -> Result<ShardedRepository> {
+        let n_shards = n_shards.max(1);
+        let manifest_path = root.join("MANIFEST.json");
+        if manifest_path.exists() {
+            return Err(PlannerError::Persistence(format!(
+                "sharded repository already exists at {}",
+                root.display()
+            )));
+        }
+        std::fs::create_dir_all(root.join("shards")).map_err(persistence)?;
+        let manifest = EstateManifest {
+            version: Self::VERSION,
+            n_shards,
+            policy: RetentionPolicy::default(),
+            compaction: CompactionPolicy::default(),
+        };
+        let json = serde_json::to_string_pretty(&manifest).map_err(persistence)?;
+        write_atomic(&manifest_path, json.as_bytes())?;
+        Ok(ShardedRepository {
+            root: root.to_path_buf(),
+            n_shards,
+            policy: manifest.policy,
+            compaction: manifest.compaction,
+            shards: (0..n_shards).map(|_| None).collect(),
+            warnings: Vec::new(),
+            io: ShardIoStats::default(),
+        })
+    }
+
+    /// Open an existing sharded repository. The manifest is the one file
+    /// read strictly: without the shard count nothing can be located, so
+    /// a corrupt manifest is an error rather than a degradation.
+    pub fn open(root: &Path) -> Result<ShardedRepository> {
+        let manifest_path = root.join("MANIFEST.json");
+        let json = std::fs::read_to_string(&manifest_path).map_err(persistence)?;
+        let manifest: EstateManifest = serde_json::from_str(&json).map_err(persistence)?;
+        if manifest.version != Self::VERSION || manifest.n_shards == 0 {
+            return Err(PlannerError::Persistence(format!(
+                "unsupported repository manifest at {} (version {}, {} shards)",
+                manifest_path.display(),
+                manifest.version,
+                manifest.n_shards
+            )));
+        }
+        Ok(ShardedRepository {
+            root: root.to_path_buf(),
+            n_shards: manifest.n_shards,
+            policy: manifest.policy,
+            compaction: manifest.compaction,
+            shards: (0..manifest.n_shards).map(|_| None).collect(),
+            warnings: Vec::new(),
+            io: ShardIoStats::default(),
+        })
+    }
+
+    /// Open the repository at `root`, creating it with `n_shards` shards
+    /// if no manifest exists yet (first boot). An existing repository
+    /// keeps its own shard count — `n_shards` is only a creation default.
+    pub fn open_or_create(root: &Path, n_shards: usize) -> Result<ShardedRepository> {
+        if root.join("MANIFEST.json").exists() {
+            ShardedRepository::open(root)
+        } else {
+            ShardedRepository::create(root, n_shards)
+        }
+    }
+
+    /// The repository's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The fixed shard count.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Cumulative I/O counters.
+    pub fn io_stats(&self) -> ShardIoStats {
+        self.io
+    }
+
+    /// Drain the warnings accumulated by lenient shard loads.
+    pub fn take_warnings(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.warnings)
+    }
+
+    /// Number of currently resident (loaded) shards.
+    pub fn resident_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn shard_log_path(&self, idx: usize) -> PathBuf {
+        self.root.join("shards").join(format!("shard-{idx:04}.log"))
+    }
+
+    /// Load shard `idx` if it is not already resident, replaying its log
+    /// leniently: unreadable files and unparseable lines degrade to
+    /// warnings and skipped entries, never to an error — exactly the
+    /// [`ModelRepository::load_lenient`] contract, scoped to one shard.
+    fn load_shard(&mut self, idx: usize) -> Result<&mut ShardState> {
+        let path = self.shard_log_path(idx);
+        let slot = self.shards.get_mut(idx).ok_or(PlannerError::Internal {
+            context: "shard index out of range",
+        })?;
+        if slot.is_none() {
+            let mut state = ShardState::empty();
+            // A stale `.tmp` from a crashed compaction is dead weight: the
+            // rename never happened, so the original log is authoritative.
+            let tmp = path.with_extension("log.tmp");
+            if tmp.exists() {
+                std::fs::remove_file(&tmp).ok();
+            }
+            match std::fs::read_to_string(&path) {
+                Ok(content) => {
+                    self.io.shard_loads += 1;
+                    state.needs_newline = !content.is_empty() && !content.ends_with('\n');
+                    let mut skipped = 0usize;
+                    for line in content.lines() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        state.log_entries += 1;
+                        match serde_json::from_str::<LogEntry>(line) {
+                            Ok(LogEntry::Put(record)) => {
+                                state.records.insert(record.workload.clone(), record);
+                            }
+                            Ok(LogEntry::Del(workload)) => {
+                                state.records.remove(&workload);
+                            }
+                            Err(_) => skipped += 1,
+                        }
+                    }
+                    if skipped > 0 {
+                        self.io.lenient_skips += skipped;
+                        self.warnings.push(format!(
+                            "shard {idx}: skipped {skipped} unparseable log line(s); \
+                             the affected workloads relearn from scratch"
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    self.warnings.push(format!(
+                        "shard {idx}: unreadable ({e}); its workloads relearn from scratch"
+                    ));
+                }
+            }
+            *slot = Some(state);
+        }
+        slot.as_mut().ok_or(PlannerError::Internal {
+            context: "shard vanished after load",
+        })
+    }
+
+    /// Fetch the stored champion for a workload, loading only its shard.
+    pub fn get(&mut self, workload: &str) -> Result<Option<&ModelRecord>> {
+        let idx = shard_of(workload, self.n_shards);
+        Ok(self.load_shard(idx)?.records.get(workload))
+    }
+
+    /// Store (or replace) the champion for a workload. The mutation is
+    /// buffered in the shard until [`ShardedRepository::flush`].
+    pub fn store(&mut self, record: ModelRecord) -> Result<()> {
+        let idx = shard_of(&record.workload, self.n_shards);
+        let shard = self.load_shard(idx)?;
+        shard
+            .records
+            .insert(record.workload.clone(), record.clone());
+        shard.pending.push(LogEntry::Put(record));
+        Ok(())
+    }
+
+    /// Remove a workload's champion (a tombstone is appended on flush).
+    /// Returns whether a record existed.
+    pub fn remove(&mut self, workload: &str) -> Result<bool> {
+        let idx = shard_of(workload, self.n_shards);
+        let shard = self.load_shard(idx)?;
+        let existed = shard.records.remove(workload).is_some();
+        shard.pending.push(LogEntry::Del(workload.to_string()));
+        Ok(existed)
+    }
+
+    /// Apply the Figure 4 retention rules against the sharded store —
+    /// same contract as [`ModelRepository::needs_relearn`], loading only
+    /// the workload's shard.
+    pub fn needs_relearn(
+        &mut self,
+        workload: &str,
+        now: u64,
+        current_rmse: Option<f64>,
+    ) -> Result<Option<RelearnReason>> {
+        let policy = self.policy;
+        let record = match self.get(workload)? {
+            None => return Ok(Some(RelearnReason::Missing)),
+            Some(r) => r,
+        };
+        if now.saturating_sub(record.fitted_at) > policy.max_age_seconds {
+            return Ok(Some(RelearnReason::Stale));
+        }
+        if let Some(rmse) = current_rmse {
+            if rmse > record.baseline_rmse * policy.rmse_degradation_factor {
+                return Ok(Some(RelearnReason::Degraded));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Append every pending mutation to its shard log (one write per
+    /// dirty shard), then compact any log that crossed the dead-entry
+    /// threshold. Nothing is rewritten unless compaction triggers.
+    pub fn flush(&mut self) -> Result<()> {
+        for idx in 0..self.n_shards {
+            let path = self.shard_log_path(idx);
+            let Some(Some(shard)) = self.shards.get_mut(idx) else {
+                continue;
+            };
+            if shard.pending.is_empty() {
+                continue;
+            }
+            let mut batch = String::new();
+            if shard.needs_newline {
+                batch.push('\n');
+                shard.needs_newline = false;
+            }
+            for entry in &shard.pending {
+                batch.push_str(&serde_json::to_string(entry).map_err(persistence)?);
+                batch.push('\n');
+            }
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(persistence)?;
+            file.write_all(batch.as_bytes()).map_err(persistence)?;
+            let appended = shard.pending.len();
+            shard.log_entries += appended;
+            shard.pending.clear();
+            self.io.entries_appended += appended;
+
+            let live = shard.records.len();
+            let dead_heavy =
+                shard.log_entries as f64 > (live as f64) * self.compaction.max_dead_ratio;
+            if shard.log_entries >= self.compaction.min_log_entries && dead_heavy {
+                let mut rewritten = String::new();
+                for record in shard.records.values() {
+                    rewritten.push_str(
+                        &serde_json::to_string(&LogEntry::Put(record.clone()))
+                            .map_err(persistence)?,
+                    );
+                    rewritten.push('\n');
+                }
+                write_atomic(&path, rewritten.as_bytes())?;
+                shard.log_entries = live;
+                self.io.compactions += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every resident shard with no pending mutations. Call after
+    /// [`ShardedRepository::flush`] to keep a long scan's memory bounded
+    /// by one wave's shards instead of the whole estate.
+    pub fn evict_clean(&mut self) {
+        for slot in self.shards.iter_mut() {
+            if slot.as_ref().is_some_and(|s| s.pending.is_empty()) {
+                *slot = None;
+                self.io.evictions += 1;
+            }
+        }
+    }
+
+    /// Clone the stored records for `workloads`, loading each involved
+    /// shard at most once and evicting every clean shard afterwards —
+    /// the per-wave champion prefetch. Memory is O(result + one shard).
+    pub fn fetch_many(&mut self, workloads: &[String]) -> Result<BTreeMap<String, ModelRecord>> {
+        let mut by_shard: BTreeMap<usize, Vec<&String>> = BTreeMap::new();
+        for key in workloads {
+            by_shard
+                .entry(shard_of(key, self.n_shards))
+                .or_default()
+                .push(key);
+        }
+        let mut out = BTreeMap::new();
+        for (idx, keys) in by_shard {
+            let shard = self.load_shard(idx)?;
+            for key in keys {
+                if let Some(record) = shard.records.get(key.as_str()) {
+                    out.insert(key.clone(), record.clone());
+                }
+            }
+            self.evict_clean();
+        }
+        Ok(out)
+    }
+
+    /// `fitted_at` for each workload (`None` when no record exists),
+    /// aligned with the input order. Loads each involved shard at most
+    /// once and evicts clean shards as it goes — the staleness scan for
+    /// wave prioritisation, O(keys × 8 bytes) instead of O(records).
+    pub fn fitted_at_many(&mut self, workloads: &[String]) -> Result<Vec<Option<u64>>> {
+        let mut out = vec![None; workloads.len()];
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, key) in workloads.iter().enumerate() {
+            by_shard
+                .entry(shard_of(key, self.n_shards))
+                .or_default()
+                .push(i);
+        }
+        for (idx, positions) in by_shard {
+            let shard = self.load_shard(idx)?;
+            for pos in positions {
+                let (Some(key), Some(slot)) = (workloads.get(pos), out.get_mut(pos)) else {
+                    continue;
+                };
+                *slot = shard.records.get(key.as_str()).map(|r| r.fitted_at);
+            }
+            self.evict_clean();
+        }
+        Ok(out)
+    }
+
+    /// Total live records across every shard, loading (and evicting)
+    /// shards one at a time.
+    pub fn count_records(&mut self) -> Result<usize> {
+        let mut total = 0usize;
+        for idx in 0..self.n_shards {
+            total += self.load_shard(idx)?.records.len();
+            self.evict_clean();
+        }
+        Ok(total)
+    }
+}
+
+impl ChampionStore for ShardedRepository {
+    fn retention(&self) -> RetentionPolicy {
+        self.policy
+    }
+
+    /// Lenient by design: an I/O failure degrades the workload to the
+    /// full-relearn path (`None`) instead of aborting the batch — the
+    /// shard's warning records what happened.
+    fn fetch(&mut self, workload: &str) -> Option<ModelRecord> {
+        match self.get(workload) {
+            Ok(record) => record.cloned(),
+            Err(_) => None,
+        }
+    }
+
+    fn put(&mut self, record: ModelRecord) {
+        if self.store(record).is_err() {
+            // Unreachable in practice (store only errors on an
+            // out-of-range shard index); the record is simply not
+            // persisted and the workload relearns next run.
+        }
+    }
+}
+
+fn persistence(e: impl std::fmt::Display) -> PlannerError {
+    PlannerError::Persistence(e.to_string())
+}
+
+/// Write via a temp file + atomic rename: readers never observe a
+/// half-written file, and a crash leaves either the old file or the new
+/// one — never a hybrid.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.tmp"),
+        None => "tmp".to_string(),
+    });
+    std::fs::write(&tmp, bytes).map_err(persistence)?;
+    std::fs::rename(&tmp, path).map_err(persistence)
 }
 
 /// The >3-occurrence shock policy (§9): an anomalous event is discarded
@@ -557,5 +1101,265 @@ mod tests {
         tracker.record("b");
         assert!(tracker.is_behaviour("a"));
         assert!(!tracker.is_behaviour("b"));
+    }
+
+    /// Fresh scratch directory for a sharded-repository test.
+    fn estate_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dwcp_estate_{}_{}", name, std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn shard_hash_is_pinned() {
+        // The on-disk shard assignment must never move between builds:
+        // these are FNV-1a 64 values computed once and frozen here.
+        assert_eq!(shard_of("cdbm011/CPU/hourly", 16), 10);
+        assert_eq!(shard_of("cdbm011/Memory/hourly", 16), 9);
+        assert_eq!(shard_of("est000000/CPU/daily", 64), 36);
+        assert_eq!(shard_of("", 16), shard_of("", 16));
+        assert_eq!(shard_of("anything", 1), 0);
+        assert_eq!(shard_of("anything", 0), 0, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn sharded_roundtrip_touches_one_shard_per_lookup() {
+        let dir = estate_dir("roundtrip");
+        let mut repo = ShardedRepository::create(&dir, 8).unwrap();
+        for i in 0..40 {
+            repo.store(record(&format!("w{i:03}/CPU"), 5.0 + i as f64, 100))
+                .unwrap();
+        }
+        repo.flush().unwrap();
+
+        let mut back = ShardedRepository::open(&dir).unwrap();
+        assert_eq!(back.n_shards(), 8);
+        let got = back.get("w007/CPU").unwrap().cloned().unwrap();
+        assert_eq!(got.baseline_rmse, 12.0);
+        assert_eq!(
+            back.io_stats().shard_loads,
+            1,
+            "one lookup must load exactly one shard, not the estate"
+        );
+        assert_eq!(back.count_records().unwrap(), 40);
+        back.evict_clean();
+        assert_eq!(back.resident_shards(), 0);
+        assert!(back.take_warnings().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_degrades_only_its_own_workloads() {
+        let dir = estate_dir("corrupt");
+        let mut repo = ShardedRepository::create(&dir, 4).unwrap();
+        for i in 0..20 {
+            repo.store(record(&format!("w{i:03}/CPU"), 1.0, 100))
+                .unwrap();
+        }
+        repo.flush().unwrap();
+
+        // Garbage one shard log wholesale.
+        let victim = dir.join("shards").join("shard-0002.log");
+        assert!(victim.exists());
+        std::fs::write(&victim, b"this is not json\nneither is this\n").unwrap();
+
+        let mut back = ShardedRepository::open(&dir).unwrap();
+        let survivors = back.count_records().unwrap();
+        let lost = (0..20)
+            .filter(|i| shard_of(&format!("w{i:03}/CPU"), 4) == 2)
+            .count();
+        assert!(lost > 0, "test needs at least one key in the victim shard");
+        assert_eq!(
+            survivors,
+            20 - lost,
+            "only the corrupt shard's records vanish"
+        );
+        let warnings = back.take_warnings();
+        assert_eq!(warnings.len(), 1, "one warning for the one bad shard");
+        assert!(
+            warnings.iter().any(|w| w.contains("shard 2")),
+            "{warnings:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_keeps_parseable_prefix_and_later_appends_survive() {
+        let dir = estate_dir("torn");
+        let mut repo = ShardedRepository::create(&dir, 1).unwrap();
+        repo.store(record("a/CPU", 1.0, 100)).unwrap();
+        repo.store(record("b/CPU", 2.0, 100)).unwrap();
+        repo.flush().unwrap();
+
+        // Simulate a crash mid-append: chop the log mid-line.
+        let log = dir.join("shards").join("shard-0000.log");
+        let bytes = std::fs::read(&log).unwrap();
+        std::fs::write(&log, &bytes[..bytes.len() - 30]).unwrap();
+
+        // Appending after the torn tail must not merge into the torn line.
+        let mut again = ShardedRepository::open(&dir).unwrap();
+        again.store(record("c/CPU", 3.0, 100)).unwrap();
+        again.flush().unwrap();
+
+        let mut back = ShardedRepository::open(&dir).unwrap();
+        assert!(
+            back.get("a/CPU").unwrap().is_some(),
+            "parseable prefix kept"
+        );
+        assert!(back.get("b/CPU").unwrap().is_none(), "torn record lost");
+        assert!(
+            back.get("c/CPU").unwrap().is_some(),
+            "post-tear append intact"
+        );
+        assert_eq!(back.io_stats().lenient_skips, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_latest_wins_and_tombstones() {
+        let dir = estate_dir("compact");
+        let mut repo = ShardedRepository::create(&dir, 1).unwrap();
+        repo.compaction = CompactionPolicy {
+            min_log_entries: 8,
+            max_dead_ratio: 2.0,
+        };
+        // Rewrite the same two keys repeatedly, delete a third.
+        repo.store(record("gone/CPU", 9.0, 50)).unwrap();
+        for round in 0..6u64 {
+            repo.store(record("a/CPU", 1.0 + round as f64, 100 + round))
+                .unwrap();
+            repo.store(record("b/CPU", 2.0 + round as f64, 200 + round))
+                .unwrap();
+            repo.flush().unwrap();
+        }
+        repo.remove("gone/CPU").unwrap();
+        repo.flush().unwrap();
+        assert!(
+            repo.io_stats().compactions > 0,
+            "dead-heavy log must compact"
+        );
+
+        // The compacted log holds exactly the live records.
+        let log = dir.join("shards").join("shard-0000.log");
+        let content = std::fs::read_to_string(&log).unwrap();
+        assert_eq!(
+            content.lines().count(),
+            2,
+            "two live records after compaction"
+        );
+
+        let mut back = ShardedRepository::open(&dir).unwrap();
+        assert_eq!(back.get("a/CPU").unwrap().unwrap().fitted_at, 105);
+        assert_eq!(back.get("b/CPU").unwrap().unwrap().fitted_at, 205);
+        assert!(
+            back.get("gone/CPU").unwrap().is_none(),
+            "tombstone honoured"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_compaction_tmp_is_ignored_and_cleaned() {
+        let dir = estate_dir("staletmp");
+        let mut repo = ShardedRepository::create(&dir, 1).unwrap();
+        repo.store(record("a/CPU", 1.0, 100)).unwrap();
+        repo.flush().unwrap();
+
+        // A crash between writing the temp file and the rename leaves a
+        // `.tmp` next to the authoritative log.
+        let tmp = dir.join("shards").join("shard-0000.log.tmp");
+        std::fs::write(&tmp, b"half-written garbage").unwrap();
+
+        let mut back = ShardedRepository::open(&dir).unwrap();
+        assert!(back.get("a/CPU").unwrap().is_some(), "original log wins");
+        assert!(
+            back.take_warnings().is_empty(),
+            "stale tmp is not a warning"
+        );
+        assert!(!tmp.exists(), "stale tmp removed on load");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fetch_many_and_fitted_at_many_stay_lazy() {
+        let dir = estate_dir("fetchmany");
+        let mut repo = ShardedRepository::create(&dir, 8).unwrap();
+        for i in 0..30 {
+            repo.store(record(&format!("w{i:03}/CPU"), 1.0, 100 + i as u64))
+                .unwrap();
+        }
+        repo.flush().unwrap();
+
+        let mut back = ShardedRepository::open(&dir).unwrap();
+        let keys: Vec<String> = vec![
+            "w001/CPU".to_string(),
+            "w002/CPU".to_string(),
+            "missing/CPU".to_string(),
+        ];
+        let fetched = back.fetch_many(&keys).unwrap();
+        assert_eq!(fetched.len(), 2);
+        assert!(fetched.contains_key("w001/CPU"));
+        let ages = back.fitted_at_many(&keys).unwrap();
+        assert_eq!(ages, vec![Some(101), Some(102), None]);
+        assert_eq!(back.resident_shards(), 0, "scans evict as they go");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn champion_store_trait_matches_direct_access() {
+        let dir = estate_dir("trait");
+        let mut sharded = ShardedRepository::create(&dir, 4).unwrap();
+        let mut in_memory = ModelRepository::new();
+        let r = record("w/CPU", 3.0, 100);
+        ChampionStore::put(&mut sharded, r.clone());
+        ChampionStore::put(&mut in_memory, r.clone());
+        assert_eq!(ChampionStore::fetch(&mut sharded, "w/CPU"), Some(r.clone()));
+        assert_eq!(ChampionStore::fetch(&mut in_memory, "w/CPU"), Some(r));
+        assert_eq!(ChampionStore::fetch(&mut sharded, "absent"), None);
+        assert_eq!(
+            sharded.retention().max_age_seconds,
+            in_memory.retention().max_age_seconds
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_needs_relearn_applies_figure4_rules() {
+        let dir = estate_dir("relearn");
+        let mut repo = ShardedRepository::create(&dir, 2).unwrap();
+        repo.store(record("fresh/CPU", 10.0, 1_000_000)).unwrap();
+        repo.flush().unwrap();
+        let now = 1_000_000 + 3600;
+        assert_eq!(
+            repo.needs_relearn("absent/CPU", now, None).unwrap(),
+            Some(RelearnReason::Missing)
+        );
+        assert_eq!(
+            repo.needs_relearn("fresh/CPU", now, Some(10.0)).unwrap(),
+            None
+        );
+        assert_eq!(
+            repo.needs_relearn("fresh/CPU", now, Some(25.0)).unwrap(),
+            Some(RelearnReason::Degraded)
+        );
+        assert_eq!(
+            repo.needs_relearn("fresh/CPU", 1_000_000 + ONE_WEEK_SECONDS + 1, None)
+                .unwrap(),
+            Some(RelearnReason::Stale)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber_and_open_or_create_reopens() {
+        let dir = estate_dir("manifest");
+        let mut repo = ShardedRepository::create(&dir, 8).unwrap();
+        repo.store(record("w/CPU", 1.0, 100)).unwrap();
+        repo.flush().unwrap();
+        assert!(ShardedRepository::create(&dir, 8).is_err());
+        // Reopen keeps the persisted shard count, ignoring the default.
+        let back = ShardedRepository::open_or_create(&dir, 99).unwrap();
+        assert_eq!(back.n_shards(), 8);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,121 @@
+//! Million-job simulated estate generator.
+//!
+//! The paper's deployment target is every (instance, metric, granularity)
+//! triple in a database estate — §5.1's agent polls *all* of them. This
+//! module generates that estate lazily: [`EstateSpec`] maps a job index to
+//! a stable workload key and any key to a deterministic daily series, so a
+//! scheduler can stream a million jobs through bounded-memory waves
+//! without the generator ever materialising more than one series at a
+//! time.
+//!
+//! Every series is seeded by `fnv64(key) ^ seed`: the same key always
+//! yields the same observations (checkpoint resume refits identical data),
+//! and neighbouring keys are statistically independent.
+
+use crate::rng::Noise;
+use dwcp_series::{Frequency, TimeSeries};
+
+/// The three paper metrics every estate instance reports (§5.1).
+pub const ESTATE_METRICS: [&str; 3] = ["CPU", "Memory", "IOPS"];
+
+/// A lazily generated estate of daily capacity series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstateSpec {
+    /// Total jobs: `⌈n_jobs / 3⌉` instances × 3 metrics (the tail instance
+    /// may carry fewer metrics).
+    pub n_jobs: usize,
+    /// Observations per series (daily cadence).
+    pub observations: usize,
+    /// Estate-level seed XOR-ed into every per-key series seed.
+    pub seed: u64,
+}
+
+impl EstateSpec {
+    /// An estate of `n_jobs` series of `observations` daily points.
+    pub fn new(n_jobs: usize, observations: usize, seed: u64) -> EstateSpec {
+        EstateSpec {
+            n_jobs,
+            observations,
+            seed,
+        }
+    }
+
+    /// The workload key of job `idx`: `est{instance:06}/{metric}/daily`,
+    /// metrics cycling per instance.
+    pub fn key(&self, idx: usize) -> String {
+        let metric = ESTATE_METRICS[idx % ESTATE_METRICS.len()];
+        format!("est{:06}/{}/daily", idx / ESTATE_METRICS.len(), metric)
+    }
+
+    /// Every workload key, in index order. This is the only whole-estate
+    /// allocation the generator ever makes (keys only, ~25 bytes each —
+    /// the series stay lazy).
+    pub fn keys(&self) -> Vec<String> {
+        (0..self.n_jobs).map(|i| self.key(i)).collect()
+    }
+
+    /// Generate the series for a key: a level + slight trend + weekly
+    /// cycle + Gaussian noise, fully determined by `fnv64(key) ^ seed`.
+    pub fn series(&self, key: &str) -> TimeSeries {
+        let mut noise = Noise::seeded(fnv64(key) ^ self.seed);
+        let level = 35.0 + 40.0 * noise.uniform();
+        let trend = 0.08 * (noise.uniform() - 0.35);
+        let amplitude = 4.0 + 10.0 * noise.uniform();
+        let phase = noise.uniform() * std::f64::consts::TAU;
+        let values: Vec<f64> = (0..self.observations)
+            .map(|t| {
+                let tf = t as f64;
+                let seasonal = amplitude * (std::f64::consts::TAU * tf / 7.0 + phase).sin();
+                (level + trend * tf + seasonal + noise.normal(0.0, 1.5)).max(0.0)
+            })
+            .collect();
+        TimeSeries::new(values, Frequency::Daily, 0)
+    }
+}
+
+/// Stable FNV-1a 64 hash — the key → seed map must never change across
+/// builds, or checkpointed estates would resume onto different data.
+fn fnv64(key: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in key.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_cycle_metrics() {
+        let estate = EstateSpec::new(7, 30, 1);
+        assert_eq!(estate.key(0), "est000000/CPU/daily");
+        assert_eq!(estate.key(1), "est000000/Memory/daily");
+        assert_eq!(estate.key(2), "est000000/IOPS/daily");
+        assert_eq!(estate.key(3), "est000001/CPU/daily");
+        assert_eq!(estate.keys().len(), 7);
+    }
+
+    #[test]
+    fn series_are_deterministic_per_key_and_distinct_across_keys() {
+        let estate = EstateSpec::new(6, 97, 42);
+        let a1 = estate.series("est000000/CPU/daily");
+        let a2 = estate.series("est000000/CPU/daily");
+        let b = estate.series("est000000/Memory/daily");
+        assert_eq!(a1.values(), a2.values(), "same key, same data");
+        assert_ne!(a1.values(), b.values(), "different keys diverge");
+        assert_eq!(a1.len(), 97);
+        assert!(a1.values().iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn seed_shifts_the_whole_estate() {
+        let a = EstateSpec::new(3, 50, 1).series("est000000/CPU/daily");
+        let b = EstateSpec::new(3, 50, 2).series("est000000/CPU/daily");
+        assert_ne!(a.values(), b.values());
+    }
+}

@@ -31,6 +31,7 @@ pub const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/core/src/fleet.rs",
     "crates/core/src/pipeline.rs",
     "crates/core/src/protocol.rs",
+    "crates/core/src/repository.rs",
     "crates/models/src/arima/",
     "crates/math/src/",
 ];
@@ -301,6 +302,7 @@ mod tests {
     #[test]
     fn hot_path_classification() {
         assert!(is_hot_path("crates/core/src/evaluate.rs"));
+        assert!(is_hot_path("crates/core/src/repository.rs"));
         assert!(is_hot_path("crates/math/src/solve.rs"));
         assert!(is_hot_path("crates/models/src/arima/css.rs"));
         assert!(!is_hot_path("crates/core/src/advisor.rs"));

@@ -7,7 +7,7 @@
 //! ```
 
 use dwcp::planner::{
-    MethodChoice, ModelRecord, ModelRepository, Pipeline, PipelineConfig, ShockTracker,
+    shard_of, MethodChoice, ModelRecord, Pipeline, PipelineConfig, ShardedRepository, ShockTracker,
     ThresholdAdvisor,
 };
 use dwcp::workload::{oltp_scenario, Metric};
@@ -35,19 +35,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => println!("no CPU threshold breach inside the 24h horizon"),
     }
 
-    // 2. Model repository: store the champion, then replay the week.
-    let mut repo = ModelRepository::new();
+    // 2. Model repository: persist the champion into the sharded on-disk
+    //    store, reopen it cold (as next week's scan would), then replay
+    //    the retention rules — only the one shard the key hashes to is
+    //    ever loaded.
+    let repo_dir = std::env::temp_dir().join(format!("dwcp-alert-example-{}", std::process::id()));
+    let n_shards = 8;
     let fitted_at = outcome.test.origin();
-    repo.store(ModelRecord::from_outcome(
-        &workload_key,
-        &outcome,
-        dwcp::series::Granularity::Hourly,
-        fitted_at,
-    ));
-    println!("\nmodel repository replay:");
+    {
+        let mut repo = ShardedRepository::open_or_create(&repo_dir, n_shards)?;
+        repo.store(ModelRecord::from_outcome(
+            &workload_key,
+            &outcome,
+            dwcp::series::Granularity::Hourly,
+            fitted_at,
+        ))?;
+        repo.flush()?;
+    }
+    let mut repo = ShardedRepository::open(&repo_dir)?;
+    println!(
+        "\nmodel repository replay ({workload_key} lives in shard {} of {n_shards}):",
+        shard_of(&workload_key, n_shards)
+    );
     for day in [1u64, 3, 6, 8] {
         let now = fitted_at + day * 86_400;
-        let verdict = repo.needs_relearn(&workload_key, now, Some(outcome.accuracy.rmse * 1.1));
+        let verdict = repo.needs_relearn(&workload_key, now, Some(outcome.accuracy.rmse * 1.1))?;
         println!(
             "  day +{day}: {}",
             match verdict {
@@ -61,8 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &workload_key,
         fitted_at + 3600,
         Some(outcome.accuracy.rmse * 5.0),
-    );
+    )?;
     println!("  hot path (RMSE ×5): {:?}", verdict.expect("must relearn"));
+    let io = repo.io_stats();
+    println!(
+        "  shard traffic for the whole replay: {} of {n_shards} shards loaded ({} resident)",
+        io.shard_loads,
+        repo.resident_shards()
+    );
+    let _ = std::fs::remove_dir_all(&repo_dir);
 
     // 3. Shock policy: crashes are discarded until they become a behaviour.
     let mut shocks = ShockTracker::new();

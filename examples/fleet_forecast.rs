@@ -1,15 +1,17 @@
 //! The deployment shape of §5/§8: an agent polls every instance × metric
-//! of a clustered database, and one fleet scheduler batches all of the
-//! per-series Figure-4 pipelines through a single worker pool. The second
-//! batch replays a week later, relearning each champion as a local
-//! refinement seeded from the model repository.
+//! of a clustered database, and the estate scheduler streams all of the
+//! per-series Figure-4 pipelines through bounded-memory waves over a
+//! sharded on-disk model repository. The second scan replays a week
+//! later, relearning each champion as a local refinement seeded from the
+//! repository — this time touching only the shards its waves need.
 //!
 //! ```sh
 //! cargo run --release --example fleet_forecast
 //! ```
 
 use dwcp::planner::{
-    EvaluationOptions, FleetOptions, FleetScheduler, MethodChoice, PipelineConfig, SeriesJob,
+    EstateScheduler, EvaluationOptions, FleetOptions, MethodChoice, PipelineConfig, SeriesJob,
+    ShardedRepository, SliceJobSource, WaveOptions,
 };
 use dwcp::workload::{oltp_scenario, Metric};
 
@@ -17,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = oltp_scenario();
     let exog = scenario.exogenous_columns(scenario.start, scenario.hours());
 
-    // One job per instance × metric: the whole OLTP cluster in one batch.
+    // One job per instance × metric: the whole OLTP cluster in one scan.
     let mut config = PipelineConfig::hourly(MethodChoice::Sarimax);
     config.max_candidates = 8;
     config.eval = EvaluationOptions::default();
@@ -36,57 +38,102 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // Monday: cold batch — every champion learned from its full grid.
-    let mut scheduler = FleetScheduler::new(FleetOptions {
-        threads: 0, // one worker per core, shared across all jobs
-        ..Default::default()
-    });
-    let report = scheduler.run_batch(&jobs);
+    // The champion store: a sharded, append-only repository on disk. A
+    // real estate would point this at a persistent path and let nightly
+    // scans accumulate champions; the example uses a scratch directory.
+    let repo_dir = std::env::temp_dir().join(format!("dwcp-fleet-example-{}", std::process::id()));
+    let repository = ShardedRepository::open_or_create(&repo_dir, 8)?;
+    let monday = 1_700_000_000u64; // any fixed clock; staleness is relative
+
+    // Monday: cold scan — every champion learned from its full grid,
+    // streamed through waves of three jobs (the batch is small; an estate
+    // would use thousands per wave and identical code).
+    let mut scheduler = EstateScheduler::new(
+        FleetOptions {
+            threads: 0, // one worker per core, shared across all jobs
+            now: monday,
+            ..Default::default()
+        },
+        WaveOptions {
+            wave_size: 3,
+            ..Default::default()
+        },
+        repository,
+    );
+    let source = SliceJobSource::new(&jobs);
+    println!("cold scan ({} jobs, waves of 3):", jobs.len());
+    let report = scheduler.run_with_progress(&source, &mut |progress, results| {
+        for job in results {
+            match &job.outcome {
+                Ok(o) => println!(
+                    "  {:<28} {:<44} RMSE {:>8.2}",
+                    job.key, o.champion, o.accuracy.rmse
+                ),
+                Err(e) => println!("  {:<28} failed: {e}", job.key),
+            }
+        }
+        println!(
+            "  # wave {}/{}: {:.1}s, {} series bytes resident",
+            progress.wave,
+            progress.total_waves,
+            progress.wave_wall.as_secs_f64(),
+            progress.wave_bytes
+        );
+    })?;
+    let io = scheduler.repository.io_stats();
     println!(
-        "cold batch: {} jobs in {:.1}s ({:.2} jobs/s, {} objective evals)\n",
-        report.jobs.len(),
+        "cold scan: {} fitted in {} waves, {:.1}s ({:.2} jobs/s), peak wave {} bytes\n\
+         repository: {} champions across {} shards ({} loads, {} appends, {} evictions)\n",
+        report.completed,
+        report.waves,
         report.stats.wall_time.as_secs_f64(),
         report.jobs_per_second(),
-        report.stats.objective_evals
+        report.peak_wave_bytes,
+        scheduler.repository.count_records()?,
+        scheduler.repository.n_shards(),
+        io.shard_loads,
+        io.entries_appended,
+        io.evictions
     );
-    for job in &report.jobs {
-        match &job.outcome {
-            Ok(o) => println!(
-                "  {:<28} {:<44} RMSE {:>8.2}",
-                job.key, o.champion, o.accuracy.rmse
-            ),
-            Err(e) => println!("  {:<28} failed: {e}", job.key),
-        }
-    }
 
-    // The following Monday: the repository still holds every champion, so
-    // each relearn is a pruned neighbourhood refinement around the stored
-    // orders, warm-started from the stored parameters.
-    let relearn = scheduler.run_batch(&jobs);
+    // The following Monday: the shards still hold every champion, so each
+    // relearn is a pruned neighbourhood refinement around the stored
+    // orders, warm-started from the stored parameters — and each wave
+    // only loads the shards its keys hash to.
+    scheduler.fleet.now = monday + 6 * 86_400;
+    let relearn = scheduler.run_with_progress(&source, &mut |_, results| {
+        for job in results {
+            if let Ok(o) = &job.outcome {
+                println!(
+                    "  {:<28} {:<44} RMSE {:>8.2}  {}",
+                    job.key,
+                    o.champion,
+                    o.accuracy.rmse,
+                    if job.fell_back {
+                        "full-grid fallback"
+                    } else if job.reused {
+                        "seeded refinement"
+                    } else {
+                        "cold"
+                    }
+                );
+            }
+        }
+    })?;
+    let io = scheduler.repository.io_stats();
     println!(
-        "\nrelearn batch: {:.1}s, {} objective evals, champion reuse {}/{} (fallbacks: {})",
+        "\nrelearn scan: {:.1}s, {} objective evals, champion reuse {}/{} (fallbacks: {})\n\
+         repository after both scans: {} shard loads, {} appends, {} compactions, {} evictions",
         relearn.stats.wall_time.as_secs_f64(),
         relearn.stats.objective_evals,
         relearn.stats.reuse_hits,
-        relearn.jobs.len(),
-        relearn.stats.reuse_fallbacks
+        relearn.completed,
+        relearn.stats.reuse_fallbacks,
+        io.shard_loads,
+        io.entries_appended,
+        io.compactions,
+        io.evictions
     );
-    for job in &relearn.jobs {
-        if let Ok(o) = &job.outcome {
-            println!(
-                "  {:<28} {:<44} RMSE {:>8.2}  {}",
-                job.key,
-                o.champion,
-                o.accuracy.rmse,
-                if job.fell_back {
-                    "full-grid fallback"
-                } else if job.reused {
-                    "seeded refinement"
-                } else {
-                    "cold"
-                }
-            );
-        }
-    }
+    let _ = std::fs::remove_dir_all(&repo_dir);
     Ok(())
 }

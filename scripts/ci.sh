@@ -16,7 +16,9 @@
 #      also re-asserts champion parity and the auto-order RMSE guard), then
 #      bench_fleet smoke on the reduced (DWCP_QUICK=1) batch and a schema
 #      check of the written snapshots so downstream tooling can rely on
-#      their keys
+#      their keys, then bench_estate smoke (reduced estate through the
+#      sharded wave scheduler: RSS flatness ≤2× across wave sizes,
+#      wave/legacy champion parity at 1/2/4/8 threads, checkpoint resume)
 #   6. CLI smoke: `dwcp forecast --method auto` on a simulated OLAP series
 #      must race the families and report the chosen champion family in the
 #      `# summary:` JSON line
@@ -102,6 +104,30 @@ for key in batch n_jobs threads sequential_wall_ms fleet_cold_wall_ms \
     || { echo "BENCH_fleet.json missing key: $key"; exit 1; }
 done
 echo "snapshot schema OK"
+
+echo "== bench smoke: bench_estate (DWCP_QUICK=1) =="
+# The estate path's live contracts (wave/legacy champion parity at
+# 1/2/4/8 threads, checkpoint resume, ~100% relearn reuse) are asserted
+# inside the binary, which exits non-zero on any violation.
+DWCP_QUICK=1 cargo run -q --release -p dwcp-bench --bin bench_estate
+
+echo "== snapshot schema: results/BENCH_estate.json =="
+for key in estate n_jobs shards quick throughput jobs_per_second \
+           rss_by_wave_size peak_rss_bytes rss_flatness_ratio allatonce \
+           bytes_per_job extrapolated_1m_bytes relearn reuse_hit_rate \
+           resume resume_skipped refit_only_unfinished parity bit_identical; do
+  grep -q "\"$key\"" results/BENCH_estate.json \
+    || { echo "BENCH_estate.json missing key: $key"; exit 1; }
+done
+python3 -c '
+import json
+snap = json.load(open("results/BENCH_estate.json"))
+ratio = snap["rss_flatness_ratio"]
+assert ratio <= 2.0, f"peak RSS not flat across wave sizes: {ratio:.2f}x > 2x"
+assert snap["parity"]["bit_identical"], "wave/legacy champion parity broken"
+assert snap["resume"]["refit_only_unfinished"], "resume refit more than the unfinished jobs"
+print(f"estate snapshot OK (RSS flatness {ratio:.2f}x, parity bit-identical)")'
+git checkout -- results/BENCH_estate.json 2>/dev/null || true
 
 echo "== cli smoke: dwcp forecast --method auto =="
 auto_csv="$(mktemp /tmp/dwcp_ci_auto_XXXXXX.csv)"

@@ -13,8 +13,9 @@
 //! are skipped.
 
 use crate::planner::{
-    FleetOptions, FleetScheduler, GridStrategy, MethodChoice, ModelRepository, Pipeline,
-    PipelineConfig, SeriesJob, ThresholdAdvisor,
+    Checkpoint, EstateScheduler, FleetOptions, FleetScheduler, GridStrategy, MethodChoice,
+    ModelRepository, Pipeline, PipelineConfig, SeriesJob, ShardedRepository, SliceJobSource,
+    ThresholdAdvisor, WaveOptions,
 };
 use crate::series::{Frequency, Granularity, TimeSeries};
 use crate::workload::{olap_scenario, oltp_scenario, Metric, Scenario};
@@ -63,6 +64,18 @@ pub enum Command {
         radius: usize,
         /// Optional model-repository JSON for champion reuse across runs.
         repo: Option<String>,
+        /// Optional sharded-repository directory; selects the estate wave
+        /// scheduler instead of the all-at-once batch.
+        repo_dir: Option<String>,
+        /// Jobs per wave (0 = the scheduler's default wave size).
+        wave: usize,
+        /// Shard count when `repo_dir` is created fresh.
+        shards: usize,
+        /// Checkpoint file: completed jobs are recorded after each wave
+        /// and skipped by the next scan using the same file.
+        checkpoint: Option<String>,
+        /// Cancel (delete) the checkpoint instead of scanning.
+        cancel_checkpoint: bool,
     },
     /// Threshold advisory on a CSV series.
     Advise {
@@ -107,7 +120,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| err(format!("expected --flag, got `{}`", rest[i])))?;
-        if key == "detect-shocks" {
+        if key == "detect-shocks" || key == "cancel-checkpoint" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -170,13 +183,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             },
         }),
         "fleet" => {
-            let inputs: Vec<String> = get("inputs", None)?
+            let cancel_checkpoint = flags.contains_key("cancel-checkpoint");
+            // `--cancel-checkpoint` is an administrative action on the
+            // checkpoint file alone; it needs no inputs.
+            let inputs: Vec<String> = get("inputs", cancel_checkpoint.then_some(""))?
                 .split(',')
                 .map(str::trim)
                 .filter(|s| !s.is_empty())
                 .map(str::to_string)
                 .collect();
-            if inputs.is_empty() {
+            if inputs.is_empty() && !cancel_checkpoint {
                 return Err(err("--inputs needs at least one CSV path"));
             }
             Ok(Command::Fleet {
@@ -190,6 +206,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| err("--radius must be an integer"))?,
                 repo: flags.get("repo").cloned(),
+                repo_dir: flags.get("repo-dir").cloned(),
+                wave: get("wave", Some("0"))?
+                    .parse()
+                    .map_err(|_| err("--wave must be an integer"))?,
+                shards: get("shards", Some("16"))?
+                    .parse()
+                    .map_err(|_| err("--shards must be an integer"))?,
+                checkpoint: flags.get("checkpoint").cloned(),
+                cancel_checkpoint,
             })
         }
         "advise" => Ok(Command::Advise {
@@ -215,7 +240,9 @@ USAGE:
                 [--grid full|auto-order]
   dwcp fleet    --inputs A.csv,B.csv,... [--method sarimax|hes|tbats|auto]
                 [--granularity hourly|daily|weekly] [--threads N] [--radius N]
-                [--repo FILE]
+                [--repo FILE | --repo-dir DIR [--wave N] [--shards N]
+                 [--checkpoint FILE]]
+  dwcp fleet    --checkpoint FILE --cancel-checkpoint
   dwcp advise   --input FILE --threshold X [--method sarimax|hes|tbats|auto]
 
 CSV input: one observation per line, `value` or `timestamp,value`.
@@ -225,7 +252,11 @@ ACF/PACF-seeded neighbourhood grid (ADF/KPSS pick the differencing) and
 falls back to the full sweep if the seeded champion cannot beat a naive
 benchmark forecast. `fleet` schedules every input through one shared
 worker pool; with --repo it persists champions (any family) and seeds
-relearning from them on the next run.
+relearning from them on the next run. With --repo-dir it runs the
+estate path instead: stalest-first waves of --wave jobs over a sharded
+on-disk repository (created with --shards shards), optionally recording
+finished jobs in --checkpoint so a killed scan resumes where it stopped;
+--cancel-checkpoint deletes that file and exits.
 ";
 
 /// Parse a metric CSV into a [`TimeSeries`] (assumed hourly unless
@@ -398,7 +429,30 @@ pub fn execute(
             threads,
             radius,
             repo,
+            repo_dir,
+            wave,
+            shards,
+            checkpoint,
+            cancel_checkpoint,
         } => {
+            if cancel_checkpoint {
+                let path = checkpoint
+                    .as_deref()
+                    .ok_or_else(|| err("--cancel-checkpoint needs --checkpoint FILE"))?;
+                let existed = Checkpoint::cancel(std::path::Path::new(path));
+                writeln!(
+                    stdout,
+                    "# checkpoint {path}: {}",
+                    if existed { "cancelled" } else { "not found" }
+                )?;
+                return Ok(());
+            }
+            if repo.is_some() && repo_dir.is_some() {
+                return Err(err("--repo and --repo-dir are mutually exclusive").into());
+            }
+            if (wave > 0 || checkpoint.is_some()) && repo_dir.is_none() {
+                return Err(err("--wave/--checkpoint need --repo-dir DIR").into());
+            }
             let mut jobs = Vec::with_capacity(inputs.len());
             for input in &inputs {
                 let content = std::fs::read_to_string(input)?;
@@ -421,6 +475,17 @@ pub fn execute(
                 now,
                 ..Default::default()
             };
+            if let Some(dir) = &repo_dir {
+                return execute_fleet_waves(
+                    stdout,
+                    &jobs,
+                    options,
+                    dir,
+                    wave,
+                    shards,
+                    checkpoint.as_deref(),
+                );
+            }
             let mut scheduler = match &repo {
                 Some(path) => {
                     // Lenient by design: a corrupt or truncated repository
@@ -516,6 +581,110 @@ pub fn execute(
             Ok(())
         }
     }
+}
+
+/// The `fleet --repo-dir` path: stream the jobs through the estate wave
+/// scheduler over a sharded on-disk repository, printing per-job rows as
+/// each wave retires plus `# wave i/n:` progress lines.
+fn execute_fleet_waves(
+    stdout: &mut impl std::io::Write,
+    jobs: &[SeriesJob],
+    options: FleetOptions,
+    repo_dir: &str,
+    wave: usize,
+    shards: usize,
+    checkpoint: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut repository = ShardedRepository::open_or_create(std::path::Path::new(repo_dir), shards)?;
+    for warning in repository.take_warnings() {
+        writeln!(stdout, "# warning: {warning}")?;
+    }
+    let mut scheduler = EstateScheduler::new(
+        options,
+        WaveOptions {
+            wave_size: wave,
+            checkpoint: checkpoint.map(std::path::PathBuf::from),
+            max_waves: 0,
+        },
+        repository,
+    );
+    let source = SliceJobSource::new(jobs);
+    writeln!(
+        stdout,
+        "workload,champion,rmse,mape,reused,fell_back,family"
+    )?;
+    let report = scheduler.run_with_progress(&source, &mut |progress, results| {
+        for job in results {
+            let _ = match &job.outcome {
+                Ok(outcome) => writeln!(
+                    stdout,
+                    "{},{},{:.4},{:.2},{},{},{}",
+                    job.key,
+                    outcome.champion,
+                    outcome.accuracy.rmse,
+                    outcome.accuracy.mape,
+                    job.reused,
+                    job.fell_back,
+                    outcome.family.map(|f| f.label()).unwrap_or("unknown")
+                ),
+                Err(e) => writeln!(stdout, "{},ERROR: {e},,,,,", job.key),
+            };
+        }
+        let _ = writeln!(
+            stdout,
+            "# wave {}/{}: {}/{} jobs, {:.0} ms, {} series bytes resident",
+            progress.wave,
+            progress.total_waves,
+            progress.jobs_done,
+            progress.jobs_total,
+            progress.wave_wall.as_secs_f64() * 1e3,
+            progress.wave_bytes
+        );
+    })?;
+    writeln!(
+        stdout,
+        "# scan: {} fitted, {} skipped (checkpoint), {} failed in {} wave(s), {:.2} jobs/s",
+        report.completed,
+        report.skipped,
+        report.failed,
+        report.waves,
+        report.jobs_per_second()
+    )?;
+    writeln!(
+        stdout,
+        "# champion reuse: {} hits, {} misses, {} fallbacks{}",
+        report.stats.reuse_hits,
+        report.stats.reuse_misses,
+        report.stats.reuse_fallbacks,
+        match report.stats.reuse_rate() {
+            Some(rate) => format!(" (hit rate {:.0}%)", rate * 100.0),
+            None => String::new(),
+        }
+    )?;
+    let champions = scheduler.repository.count_records()?;
+    let io = scheduler.repository.io_stats();
+    writeln!(
+        stdout,
+        "# repository: {champions} champions in {} shard(s) at {repo_dir} \
+         ({} shard loads, {} appends, {} compactions, {} evictions)",
+        scheduler.repository.n_shards(),
+        io.shard_loads,
+        io.entries_appended,
+        io.compactions,
+        io.evictions
+    )?;
+    for warning in scheduler.repository.take_warnings() {
+        writeln!(stdout, "# warning: {warning}")?;
+    }
+    if let Some(path) = checkpoint {
+        writeln!(
+            stdout,
+            "# checkpoint: {path} ({} job(s) recorded; rerun to resume, \
+             --cancel-checkpoint to discard)",
+            report.skipped + report.completed
+        )?;
+    }
+    Ok(())
 }
 
 fn scenario_of(name: &str) -> Result<Scenario, CliError> {
@@ -619,6 +788,11 @@ mod tests {
                 threads: 4,
                 radius: 2,
                 repo: Some("models.json".into()),
+                repo_dir: None,
+                wave: 0,
+                shards: 16,
+                checkpoint: None,
+                cancel_checkpoint: false,
             }
         );
     }
@@ -632,12 +806,22 @@ mod tests {
                 threads,
                 radius,
                 repo,
+                repo_dir,
+                wave,
+                shards,
+                checkpoint,
+                cancel_checkpoint,
                 ..
             } => {
                 assert_eq!(inputs, vec!["one.csv".to_string()]);
                 assert_eq!(threads, 0);
                 assert_eq!(radius, 1);
                 assert_eq!(repo, None);
+                assert_eq!(repo_dir, None);
+                assert_eq!(wave, 0);
+                assert_eq!(shards, 16);
+                assert_eq!(checkpoint, None);
+                assert!(!cancel_checkpoint);
             }
             other => panic!("{other:?}"),
         }
@@ -647,6 +831,100 @@ mod tests {
     fn parse_fleet_rejects_empty_inputs() {
         assert!(parse(&args("fleet")).is_err());
         assert!(parse(&args("fleet --inputs ,")).is_err());
+    }
+
+    #[test]
+    fn parse_fleet_wave_flags() {
+        let cmd = parse(&args(
+            "fleet --inputs a.csv --repo-dir estate --wave 512 --shards 32 \
+             --checkpoint scan.ckpt",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Fleet {
+                repo_dir,
+                wave,
+                shards,
+                checkpoint,
+                cancel_checkpoint,
+                ..
+            } => {
+                assert_eq!(repo_dir, Some("estate".to_string()));
+                assert_eq!(wave, 512);
+                assert_eq!(shards, 32);
+                assert_eq!(checkpoint, Some("scan.ckpt".to_string()));
+                assert!(!cancel_checkpoint);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&args("fleet --inputs a.csv --wave twelve")).is_err());
+    }
+
+    #[test]
+    fn parse_cancel_checkpoint_is_bare_and_needs_no_inputs() {
+        let cmd = parse(&args("fleet --checkpoint scan.ckpt --cancel-checkpoint")).unwrap();
+        match cmd {
+            Command::Fleet {
+                inputs,
+                checkpoint,
+                cancel_checkpoint,
+                ..
+            } => {
+                assert!(inputs.is_empty());
+                assert_eq!(checkpoint, Some("scan.ckpt".to_string()));
+                assert!(cancel_checkpoint);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_fleet_flag_combinations_are_validated() {
+        let fleet = |repo: Option<&str>, repo_dir: Option<&str>, wave: usize| Command::Fleet {
+            inputs: vec!["x.csv".into()],
+            method: MethodChoice::Hes,
+            granularity: Granularity::Hourly,
+            threads: 1,
+            radius: 1,
+            repo: repo.map(str::to_string),
+            repo_dir: repo_dir.map(str::to_string),
+            wave,
+            shards: 4,
+            checkpoint: None,
+            cancel_checkpoint: false,
+        };
+        let mut out = Vec::new();
+        assert!(execute(fleet(Some("m.json"), Some("dir"), 0), &mut out).is_err());
+        assert!(execute(fleet(None, None, 8), &mut out).is_err());
+    }
+
+    #[test]
+    fn execute_cancel_checkpoint_reports_missing_and_deleted() {
+        let dir = std::env::temp_dir().join(format!("dwcp-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.ckpt");
+        let cancel = Command::Fleet {
+            inputs: Vec::new(),
+            method: MethodChoice::Hes,
+            granularity: Granularity::Hourly,
+            threads: 1,
+            radius: 1,
+            repo: None,
+            repo_dir: None,
+            wave: 0,
+            shards: 16,
+            checkpoint: Some(path.display().to_string()),
+            cancel_checkpoint: true,
+        };
+        let mut out = Vec::new();
+        execute(cancel.clone(), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("not found"));
+        std::fs::write(&path, "{\"dwcp_checkpoint\":1,\"total\":1}\n").unwrap();
+        let mut out = Vec::new();
+        execute(cancel, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("cancelled"));
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
