@@ -1,0 +1,335 @@
+//! Resident-engine snapshot: the incremental ingest→score→alert path
+//! behind `dwcp serve`, measured and contract-checked —
+//!
+//! 1. `ingest`: raw 15-minute points folded into hourly buckets
+//!    (points/second through [`IngestBuffer`]),
+//! 2. `engine`: the first full grid fit versus the frozen re-score per
+//!    appended hour — the incremental contract is that every appended
+//!    hour scores without a per-point refit: frozen re-scores dominate
+//!    (grid searches happen only on a relearn reason, and are rare)
+//!    and the mean re-score is cheaper than the first fit,
+//! 3. `serve_http`: the same flow through the real daemon — one bulk CSV
+//!    push over loopback TCP, then repeated `GET /forecast` reads.
+//!
+//! Writes `results/BENCH_serve.json` and exits non-zero on any contract
+//! violation.
+//!
+//! ```sh
+//! cargo run -p dwcp-bench --release --bin bench_serve
+//! DWCP_QUICK=1 cargo run -p dwcp-bench --release --bin bench_serve
+//! ```
+
+use dwcp::serve;
+use dwcp_core::{
+    AlertRule, Engine, EngineConfig, EvaluationOptions, GridStrategy, MethodChoice, PipelineConfig,
+    ScoreAction, StepOutcome,
+};
+use dwcp_math::total_cmp_f64;
+use dwcp_models::arima::ArimaOptions;
+use dwcp_series::{Granularity, IngestBuffer};
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Hours of history before the first score (the hourly Table 1 row needs
+/// 1008 complete aggregates, plus one live bucket).
+const WARMUP_HOURS: usize = 1009;
+
+/// The single-threaded HES configuration every scenario fits under: the
+/// re-score path must be cheap relative to *this* grid, so the grid stays
+/// the small deterministic one.
+fn bench_config() -> PipelineConfig {
+    PipelineConfig {
+        method: MethodChoice::Hes,
+        grid: GridStrategy::Full,
+        granularity: Granularity::Hourly,
+        max_candidates: 4,
+        fourier_stage: false,
+        auto_detect_shocks: false,
+        eval: EvaluationOptions {
+            threads: 1,
+            fit: ArimaOptions {
+                max_evals: 120,
+                restarts: 0,
+                interval_level: 0.95,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    }
+}
+
+/// Quarter-hour agent points whose hourly means form a daily cycle.
+fn quarter_hour_points(from_hour: usize, hours: usize) -> Vec<(u64, f64)> {
+    let mut pts = Vec::with_capacity(hours * 4);
+    for h in from_hour..from_hour + hours {
+        let base = 60.0
+            + 20.0 * (2.0 * std::f64::consts::PI * h as f64 / 24.0).sin()
+            + ((h * 2654435761 % 97) as f64) / 25.0;
+        for q in 0..4 {
+            let ts = (h * 3600 + q * 900) as u64;
+            pts.push((ts, base + (q as f64 - 1.5) * 0.2));
+        }
+    }
+    pts
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct IngestInfo {
+    points: usize,
+    wall_s: f64,
+    points_per_second: f64,
+    complete_hours: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct EngineInfo {
+    warmup_hours: usize,
+    first_fit_ms: f64,
+    appended_hours: usize,
+    rescored_hours: usize,
+    relearned_hours: usize,
+    rescore_ms_mean: f64,
+    rescore_ms_p95: f64,
+    rescore_ms_max: f64,
+    rescore_speedup_vs_fit: f64,
+    relearn_ms_mean: f64,
+    relearns: u64,
+    rescores: u64,
+    alerts_fired: usize,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ServeHttpInfo {
+    push_points: usize,
+    push_wall_s: f64,
+    push_points_per_second: f64,
+    forecast_gets: usize,
+    forecast_get_ms_mean: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ServeSnapshot {
+    quick: bool,
+    method: String,
+    ingest: IngestInfo,
+    engine: EngineInfo,
+    serve_http: ServeHttpInfo,
+}
+
+/// One raw HTTP exchange over an open loopback connection.
+fn http(addr: std::net::SocketAddr, request: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("DWCP_QUICK").is_ok();
+    let ingest_points = if quick { 100_000 } else { 1_000_000 };
+    let appended_hours = if quick { 12 } else { 48 };
+    let forecast_gets = if quick { 20 } else { 200 };
+    println!(
+        "bench_serve: {ingest_points} ingest points, {appended_hours} appended hours{}",
+        if quick { ", quick mode" } else { "" }
+    );
+    let mut failures = 0usize;
+
+    // 1. Raw ingest throughput: fold 15-minute points into hourly buckets.
+    let pts = quarter_hour_points(0, ingest_points / 4);
+    let mut buffer = IngestBuffer::hourly();
+    let t0 = Instant::now();
+    for &(ts, v) in &pts {
+        buffer.push(ts, v)?;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let ingest = IngestInfo {
+        points: pts.len(),
+        wall_s: wall,
+        points_per_second: pts.len() as f64 / wall.max(1e-9),
+        complete_hours: buffer.complete_buckets(),
+    };
+    println!(
+        "  ingest: {} points in {:.3}s ({:.0} points/s, {} complete hours)",
+        ingest.points, ingest.wall_s, ingest.points_per_second, ingest.complete_hours
+    );
+
+    // 2. Engine: one grid fit, then frozen re-scores per appended hour.
+    let mut config = EngineConfig::new(bench_config());
+    config.rules = vec![AlertRule::new("cpu-50", 50.0)];
+    let mut engine = Engine::new(config);
+    let warmup = quarter_hour_points(0, WARMUP_HOURS + 1);
+    let t0 = Instant::now();
+    let outcome = engine.push_batch("bench/CPU", &warmup)?;
+    let first_fit_ms = t0.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        StepOutcome::Scored(ref s) if s.action == ScoreAction::Learned => {}
+        other => {
+            eprintln!("FAIL engine: warmup step was {other:?}, expected a Learned score");
+            failures += 1;
+        }
+    }
+    println!("  engine: first fit {first_fit_ms:.1} ms");
+
+    // Frozen re-scores are the common case; a grid search is allowed only
+    // when the repository names a relearn reason (stale / degraded), and
+    // those must stay rare. Latency stats cover the re-scored hours; the
+    // relearned hours are reported separately.
+    let mut rescore_ms: Vec<f64> = Vec::with_capacity(appended_hours);
+    let mut relearn_ms: Vec<f64> = Vec::new();
+    for hour in 0..appended_hours {
+        let batch = quarter_hour_points(WARMUP_HOURS + 1 + hour, 1);
+        let t0 = Instant::now();
+        let outcome = engine.push_batch("bench/CPU", &batch)?;
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        match outcome {
+            StepOutcome::Scored(ref s) if s.action == ScoreAction::Rescored => {
+                rescore_ms.push(elapsed_ms);
+            }
+            StepOutcome::Scored(ref s) if matches!(s.action, ScoreAction::Relearned(_)) => {
+                relearn_ms.push(elapsed_ms);
+            }
+            other => {
+                eprintln!("FAIL engine: appended hour {hour} was {other:?}, expected a score");
+                failures += 1;
+            }
+        }
+    }
+    rescore_ms.sort_by(|a, b| total_cmp_f64(*a, *b));
+    let mean = rescore_ms.iter().sum::<f64>() / rescore_ms.len().max(1) as f64;
+    let p95 = rescore_ms
+        .get(((rescore_ms.len() as f64 * 0.95) as usize).min(rescore_ms.len().saturating_sub(1)))
+        .copied()
+        .unwrap_or(0.0);
+    let max = rescore_ms.last().copied().unwrap_or(0.0);
+    let relearn_mean = relearn_ms.iter().sum::<f64>() / relearn_ms.len().max(1) as f64;
+    let status = engine
+        .status("bench/CPU")
+        .ok_or("engine lost the benched workload")?;
+    println!(
+        "  engine: re-score per appended hour mean {mean:.2} ms, p95 {p95:.2} ms, max {max:.2} ms \
+         ({} rescores, {} relearns, {} alerts)",
+        status.rescores, status.relearns, status.alerts_fired
+    );
+    if status.rescores != rescore_ms.len() as u64 {
+        eprintln!(
+            "FAIL engine: status counts {} rescores, observed {}",
+            status.rescores,
+            rescore_ms.len()
+        );
+        failures += 1;
+    }
+    // First fit + one grid search per relearned hour, nothing hidden.
+    if status.relearns != 1 + relearn_ms.len() as u64 {
+        eprintln!(
+            "FAIL engine: status counts {} grid searches, observed 1 + {} relearned hours",
+            status.relearns,
+            relearn_ms.len()
+        );
+        failures += 1;
+    }
+    if rescore_ms.len() * 4 < appended_hours * 3 {
+        eprintln!(
+            "FAIL engine: only {} of {appended_hours} appended hours were frozen re-scores — \
+             the incremental path is not the common case",
+            rescore_ms.len()
+        );
+        failures += 1;
+    }
+    if mean >= first_fit_ms {
+        eprintln!(
+            "FAIL engine: mean re-score {mean:.2} ms is not cheaper than the first fit \
+             {first_fit_ms:.1} ms"
+        );
+        failures += 1;
+    }
+    let engine_info = EngineInfo {
+        warmup_hours: WARMUP_HOURS,
+        first_fit_ms,
+        appended_hours,
+        rescored_hours: rescore_ms.len(),
+        relearned_hours: relearn_ms.len(),
+        rescore_ms_mean: mean,
+        rescore_ms_p95: p95,
+        rescore_ms_max: max,
+        rescore_speedup_vs_fit: first_fit_ms / mean.max(1e-9),
+        relearn_ms_mean: relearn_mean,
+        relearns: status.relearns,
+        rescores: status.rescores,
+        alerts_fired: status.alerts_fired,
+    };
+
+    // 3. The same flow through the real daemon over loopback TCP.
+    let mut config = EngineConfig::new(bench_config());
+    config.rules = vec![AlertRule::new("cpu-50", 50.0)];
+    let handle = serve::start(Engine::new(config), "127.0.0.1:0", 2)?;
+    let addr = handle.addr();
+    let push_pts = quarter_hour_points(0, WARMUP_HOURS + 1);
+    let mut body = String::with_capacity(push_pts.len() * 16);
+    for (ts, v) in &push_pts {
+        body.push_str(&format!("{ts},{v}\n"));
+    }
+    let request = format!(
+        "POST /push?workload=bench HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let t0 = Instant::now();
+    let response = http(addr, &request)?;
+    let push_wall = t0.elapsed().as_secs_f64();
+    if !response.contains("\"action\":\"learned\"") {
+        eprintln!("FAIL serve: bulk push did not produce a learned score: {response}");
+        failures += 1;
+    }
+    let t0 = Instant::now();
+    for _ in 0..forecast_gets {
+        let response = http(
+            addr,
+            "GET /forecast?workload=bench HTTP/1.1\r\nHost: b\r\n\r\n",
+        )?;
+        if !response.contains("\"mean\"") {
+            eprintln!("FAIL serve: forecast read failed: {response}");
+            failures += 1;
+            break;
+        }
+    }
+    let get_ms_mean = t0.elapsed().as_secs_f64() * 1e3 / forecast_gets as f64;
+    let serve_http = ServeHttpInfo {
+        push_points: push_pts.len(),
+        push_wall_s: push_wall,
+        push_points_per_second: push_pts.len() as f64 / push_wall.max(1e-9),
+        forecast_gets,
+        forecast_get_ms_mean: get_ms_mean,
+    };
+    println!(
+        "  serve: bulk push of {} points in {:.2}s ({:.0} points/s incl. fit), \
+         GET /forecast {:.2} ms mean",
+        serve_http.push_points,
+        serve_http.push_wall_s,
+        serve_http.push_points_per_second,
+        serve_http.forecast_get_ms_mean
+    );
+    let _ = http(addr, "POST /shutdown HTTP/1.1\r\nHost: b\r\n\r\n")?;
+    handle.wait();
+
+    let snapshot = ServeSnapshot {
+        quick,
+        method: "hes/hourly".into(),
+        ingest,
+        engine: engine_info,
+        serve_http,
+    };
+    let dir = dwcp_bench::results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&snapshot)?)?;
+    println!("wrote {}", path.display());
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} resident-engine contract violations");
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -1,0 +1,299 @@
+//! Capacity alerting from live forecasts (§8, §9).
+//!
+//! The paper's deployment goal is *proactive* monitoring: "utilising these
+//! techniques to predict when a threshold is likely to be breached is an
+//! advisable way to implement this approach". [`crate::advisor`] owns the
+//! single-forecast breach scan; this module is the resident layer above it
+//! — named [`AlertRule`]s evaluated against each re-forecast of each
+//! workload, with de-duplication so a daemon re-scoring every hour does
+//! not re-fire an identical alert every hour.
+//!
+//! Firing policy: an alert fires when a rule first detects a breach, and
+//! again only when the situation *worsens* — the breach moves earlier,
+//! escalates from [`BreachSeverity::Possible`] to
+//! [`BreachSeverity::Expected`], or reappears after a clear scan. A
+//! breach that merely persists unchanged stays silent.
+
+use crate::advisor::{Advisory, BreachSeverity, ThresholdAdvisor};
+use dwcp_models::Forecast;
+use std::collections::BTreeMap;
+
+/// A named capacity threshold watched by the alert engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Rule name, echoed on every alert (e.g. `"cpu-85"`).
+    pub name: String,
+    /// The capacity threshold being watched.
+    pub threshold: f64,
+}
+
+impl AlertRule {
+    /// A rule named `name` watching `threshold`.
+    pub fn new(name: impl Into<String>, threshold: f64) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            threshold,
+        }
+    }
+}
+
+/// A fired capacity alert: one rule breached by one workload's forecast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityAlert {
+    /// Workload key the forecast belongs to (e.g. `"cdbm012/CPU"`).
+    pub workload: String,
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Threshold that was breached.
+    pub threshold: f64,
+    /// Severity of the breach call.
+    pub severity: BreachSeverity,
+    /// Horizon step (0-based) of the first crossing.
+    pub step: usize,
+    /// Epoch-seconds timestamp of the crossing.
+    pub timestamp: u64,
+    /// Forecast mean at the crossing.
+    pub forecast_mean: f64,
+    /// Upper interval bound at the crossing.
+    pub forecast_upper: f64,
+}
+
+impl CapacityAlert {
+    fn from_advisory(workload: &str, rule: &AlertRule, adv: &Advisory) -> CapacityAlert {
+        CapacityAlert {
+            workload: workload.to_string(),
+            rule: rule.name.clone(),
+            threshold: rule.threshold,
+            severity: adv.severity,
+            step: adv.step,
+            timestamp: adv.timestamp,
+            forecast_mean: adv.forecast_mean,
+            forecast_upper: adv.forecast_upper,
+        }
+    }
+}
+
+/// The last breach state seen per (workload, rule), for de-duplication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BreachState {
+    step: usize,
+    severity: BreachSeverity,
+}
+
+/// Resident alert stage: rules × workloads, with re-fire hysteresis.
+///
+/// ```
+/// use dwcp_core::alerts::{AlertEngine, AlertRule};
+/// use dwcp_models::Forecast;
+///
+/// let mut engine = AlertEngine::new(vec![AlertRule::new("cpu-85", 85.0)]);
+/// let forecast =
+///     Forecast::with_normal_intervals(vec![70.0, 90.0], vec![1.0, 1.0], 0.95);
+/// let fired = engine.scan("db1/CPU", &forecast, 0, 3600);
+/// assert_eq!(fired.len(), 1);
+/// assert_eq!(fired[0].rule, "cpu-85");
+/// // The identical breach on the next scan is de-duplicated.
+/// assert!(engine.scan("db1/CPU", &forecast, 0, 3600).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    /// Last-fired breach per `(workload, rule)` pair.
+    last: BTreeMap<(String, String), BreachState>,
+    fired: u64,
+    suppressed: u64,
+}
+
+impl AlertEngine {
+    /// An engine evaluating `rules` on every scan.
+    pub fn new(rules: Vec<AlertRule>) -> AlertEngine {
+        AlertEngine {
+            rules,
+            last: BTreeMap::new(),
+            fired: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Add a rule to subsequent scans.
+    pub fn add_rule(&mut self, rule: AlertRule) {
+        self.rules.push(rule);
+    }
+
+    /// Total alerts fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Breach detections suppressed as duplicates of the last fired state.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Evaluate every rule against one workload's fresh forecast
+    /// (`start_ts` = timestamp of horizon step 0, `step_seconds` between
+    /// steps). Returns the alerts that fire — breaches that are new,
+    /// earlier, or escalated relative to the last fired state. A clear
+    /// scan resets the rule so a returning breach fires again.
+    pub fn scan(
+        &mut self,
+        workload: &str,
+        forecast: &Forecast,
+        start_ts: u64,
+        step_seconds: u64,
+    ) -> Vec<CapacityAlert> {
+        let mut alerts = Vec::new();
+        for rule in &self.rules {
+            let advisor = ThresholdAdvisor::new(rule.threshold);
+            let key = (workload.to_string(), rule.name.clone());
+            match advisor.analyze(forecast, start_ts, step_seconds) {
+                Some(adv) => {
+                    let state = BreachState {
+                        step: adv.step,
+                        severity: adv.severity,
+                    };
+                    let worsened = match self.last.get(&key) {
+                        None => true,
+                        Some(prev) => {
+                            state.step < prev.step
+                                || (prev.severity == BreachSeverity::Possible
+                                    && state.severity == BreachSeverity::Expected)
+                        }
+                    };
+                    if worsened {
+                        self.last.insert(key, state);
+                        self.fired += 1;
+                        alerts.push(CapacityAlert::from_advisory(workload, rule, &adv));
+                    } else {
+                        self.suppressed += 1;
+                    }
+                }
+                None => {
+                    // Breach cleared: forget it so a recurrence re-fires.
+                    self.last.remove(&key);
+                }
+            }
+        }
+        alerts
+    }
+
+    /// Evaluate every rule against a forecast without recording state —
+    /// the one-shot (batch CLI / example) view of the same rules.
+    pub fn evaluate(
+        &self,
+        workload: &str,
+        forecast: &Forecast,
+        start_ts: u64,
+        step_seconds: u64,
+    ) -> Vec<CapacityAlert> {
+        self.rules
+            .iter()
+            .filter_map(|rule| {
+                ThresholdAdvisor::new(rule.threshold)
+                    .analyze(forecast, start_ts, step_seconds)
+                    .map(|adv| CapacityAlert::from_advisory(workload, rule, &adv))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rising() -> Forecast {
+        Forecast::with_normal_intervals(
+            vec![70.0, 80.0, 90.0, 100.0],
+            vec![5.0, 5.0, 5.0, 5.0],
+            0.95,
+        )
+    }
+
+    fn flat(level: f64) -> Forecast {
+        Forecast::with_normal_intervals(vec![level; 4], vec![1.0; 4], 0.95)
+    }
+
+    #[test]
+    fn first_breach_fires_duplicate_is_suppressed() {
+        let mut engine = AlertEngine::new(vec![AlertRule::new("cpu-85", 85.0)]);
+        let fired = engine.scan("db1/CPU", &rising(), 0, 3600);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].workload, "db1/CPU");
+        assert_eq!(fired[0].rule, "cpu-85");
+        assert_eq!(fired[0].severity, BreachSeverity::Possible);
+        assert!(engine.scan("db1/CPU", &rising(), 0, 3600).is_empty());
+        assert_eq!(engine.fired(), 1);
+        assert_eq!(engine.suppressed(), 1);
+    }
+
+    #[test]
+    fn escalation_to_expected_refires() {
+        let mut engine = AlertEngine::new(vec![AlertRule::new("cpu-85", 85.0)]);
+        // First scan: upper band crosses at step 1 (Possible).
+        let first = engine.scan("db1/CPU", &rising(), 0, 3600);
+        assert_eq!(first[0].severity, BreachSeverity::Possible);
+        // Mean now crosses at the same step: escalation fires.
+        let hotter =
+            Forecast::with_normal_intervals(vec![70.0, 90.0, 95.0, 100.0], vec![5.0; 4], 0.95);
+        let second = engine.scan("db1/CPU", &hotter, 0, 3600);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].severity, BreachSeverity::Expected);
+    }
+
+    #[test]
+    fn earlier_breach_refires() {
+        let mut engine = AlertEngine::new(vec![AlertRule::new("cpu-85", 85.0)]);
+        assert_eq!(engine.scan("db1/CPU", &rising(), 0, 3600)[0].step, 1);
+        // The breach moves to step 0: worse news, fire again.
+        let sooner =
+            Forecast::with_normal_intervals(vec![86.0, 90.0, 95.0, 100.0], vec![5.0; 4], 0.95);
+        let again = engine.scan("db1/CPU", &sooner, 0, 3600);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].step, 0);
+        assert_eq!(again[0].severity, BreachSeverity::Expected);
+    }
+
+    #[test]
+    fn clear_then_return_refires() {
+        let mut engine = AlertEngine::new(vec![AlertRule::new("cpu-85", 85.0)]);
+        assert_eq!(engine.scan("db1/CPU", &rising(), 0, 3600).len(), 1);
+        // Breach clears…
+        assert!(engine.scan("db1/CPU", &flat(10.0), 0, 3600).is_empty());
+        // …and comes back: fire again.
+        assert_eq!(engine.scan("db1/CPU", &rising(), 0, 3600).len(), 1);
+        assert_eq!(engine.fired(), 2);
+    }
+
+    #[test]
+    fn rules_and_workloads_are_independent() {
+        let mut engine = AlertEngine::new(vec![
+            AlertRule::new("cpu-85", 85.0),
+            AlertRule::new("cpu-95", 95.0),
+        ]);
+        let fired = engine.scan("db1/CPU", &rising(), 0, 3600);
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].rule, "cpu-85");
+        assert_eq!(fired[1].rule, "cpu-95");
+        // A different workload with the same forecast fires independently.
+        assert_eq!(engine.scan("db2/CPU", &rising(), 0, 3600).len(), 2);
+        // Both are now de-duplicated.
+        assert!(engine.scan("db1/CPU", &rising(), 0, 3600).is_empty());
+        assert!(engine.scan("db2/CPU", &rising(), 0, 3600).is_empty());
+    }
+
+    #[test]
+    fn one_shot_evaluate_records_no_state() {
+        let engine = AlertEngine::new(vec![AlertRule::new("cpu-85", 85.0)]);
+        let a = engine.evaluate("db1/CPU", &rising(), 500, 60);
+        let b = engine.evaluate("db1/CPU", &rising(), 500, 60);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].timestamp, 500 + 60);
+        assert_eq!(engine.fired(), 0);
+    }
+}

@@ -29,14 +29,21 @@
 //!   rule, the RMSE-degradation relearn trigger and the >3-occurrence
 //!   shock-acceptance policy (§5.1, §9),
 //! * [`advisor`] — proactive threshold-breach warnings (§8's short-term
-//!   monitoring use case).
+//!   monitoring use case),
+//! * [`alerts`] — named alert rules over live forecasts with re-fire
+//!   hysteresis (the resident layer above [`advisor`]),
+//! * [`engine`] — the staged ingest→aggregate→score→alert engine shared
+//!   by the batch pipeline and the resident `dwcp serve` daemon, with
+//!   frozen-champion incremental re-scoring.
 #![forbid(unsafe_code)]
 
 pub mod advisor;
+pub mod alerts;
 pub mod auto_order;
 pub mod backtest;
 pub mod candidates;
 pub mod diagnostics;
+pub mod engine;
 pub mod evaluate;
 pub mod fleet;
 pub mod grid;
@@ -46,12 +53,17 @@ pub mod repository;
 pub mod shocks;
 
 pub use advisor::{Advisory, ThresholdAdvisor};
+pub use alerts::{AlertEngine, AlertRule, CapacityAlert};
 pub use auto_order::{
     evaluate_auto_order, AutoOrderOptions, AutoOrderPlan, AutoOrderReport, SeasonalDiagnostics,
 };
 pub use backtest::{backtest, BacktestConfig, BacktestReport};
 pub use candidates::{CandidateSet, DataProfile};
 pub use diagnostics::{assess, HealthReport, HealthThresholds, HealthVerdict};
+pub use engine::{
+    AlertStage, Engine, EngineConfig, IngestStage, LiveForecast, ScoreAction, ScoreSummary,
+    StepOutcome, WorkloadStatus,
+};
 pub use evaluate::{
     evaluate_candidates, evaluate_fleet, EvalStats, EvalTask, EvaluationOptions, EvaluationReport,
     FamilyStats, ModelScore,

@@ -15,15 +15,16 @@
 //! selection, persistence and champion-seeded relearning are one
 //! family-agnostic plane.
 
-use crate::auto_order::{naive_benchmark_rmse, AutoOrderOptions, AutoOrderPlan};
 use crate::candidates::{CandidateSet, DataProfile};
+use crate::engine::{split_exog_window, tbats_periods, AggregateStage, ScoreStage};
 use crate::evaluate::{evaluate_candidates, EvalStats, EvaluationOptions, EvaluationReport};
 use crate::grid::{CandidateModel, ModelConfig, ModelFamily, ModelGrid};
 use crate::{PlannerError, Result};
 use dwcp_models::Forecast;
-use dwcp_series::boxcox::{select_lambda, shift_to_positive};
 use dwcp_series::interpolate::interpolate_series;
 use dwcp_series::{Accuracy, Granularity, TimeSeries, TrainTestSplit};
+
+pub(crate) use crate::engine::EvalPlan;
 
 /// The user's model-family choice (Figure 8 lets the user "select between
 /// SARIMAX or HES").
@@ -44,17 +45,17 @@ pub enum MethodChoice {
 
 impl MethodChoice {
     /// Whether SARIMAX-family candidates participate in this method's grid.
-    fn includes_sarimax(self) -> bool {
+    pub(crate) fn includes_sarimax(self) -> bool {
         matches!(self, MethodChoice::Sarimax | MethodChoice::Auto)
     }
 
     /// Whether exponential-smoothing candidates participate.
-    fn includes_hes(self) -> bool {
+    pub(crate) fn includes_hes(self) -> bool {
         matches!(self, MethodChoice::Hes | MethodChoice::Auto)
     }
 
     /// Whether TBATS candidates participate.
-    fn includes_tbats(self) -> bool {
+    pub(crate) fn includes_tbats(self) -> bool {
         matches!(self, MethodChoice::Tbats | MethodChoice::Auto)
     }
 }
@@ -157,35 +158,11 @@ pub struct ForecastOutcome {
 /// family is a [`ModelConfig`] variant, this is just that enum.
 pub type ChampionSpec = ModelConfig;
 
-/// Everything the pipeline prepares before fitting: the split, its aligned
-/// exogenous columns, the profiled candidate set for the configured method
-/// and the evaluation options. Produced by [`Pipeline::plan`] and consumed
-/// by [`Pipeline::finish`] / the fleet scheduler.
-pub(crate) struct EvalPlan {
-    pub split: TrainTestSplit,
-    pub exog_train: Vec<Vec<f64>>,
-    pub exog_test: Vec<Vec<f64>>,
-    #[allow(dead_code)]
-    pub offset: usize,
-    pub gaps_filled: usize,
-    pub set: CandidateSet,
-    pub eval_opts: EvaluationOptions,
-    /// Present only under [`GridStrategy::AutoOrder`]: the differencing
-    /// order the seeded grid was built with (for the drift benchmark) and
-    /// the full-strategy SARIMAX models to fall back to when the seeded
-    /// champion degrades past the naive benchmark.
-    pub auto_fallback: Option<AutoFallback>,
-}
-
-/// The insurance attached to an auto-order plan (see [`EvalPlan`]).
-pub(crate) struct AutoFallback {
-    /// Differencing order the auto plan diagnosed.
-    pub d: usize,
-    /// The full-strategy candidates to evaluate on degradation.
-    pub models: Vec<CandidateModel>,
-}
-
-/// The Figure 4 pipeline.
+/// The Figure 4 pipeline — since the staged-engine refactor, a thin
+/// composition of [`AggregateStage`] and [`ScoreStage`]: the same stage
+/// implementations the resident [`crate::engine::Engine`] runs under
+/// `dwcp serve`, which is what guarantees batch and resident champions
+/// are bit-identical on the same data.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     /// Configuration.
@@ -204,247 +181,38 @@ impl Pipeline {
     /// observations as `series` (they are split alongside it); pass `&[]`
     /// when no shocks are known. Only SARIMAX candidates consume them.
     pub fn run(&self, series: &TimeSeries, exog_full: &[Vec<f64>]) -> Result<ForecastOutcome> {
-        let mut plan = self.plan(series, exog_full)?;
-        let mut report = evaluate_candidates(
-            plan.split.train.values(),
-            plan.split.test.values(),
-            &plan.exog_train,
-            &plan.exog_test,
-            &plan.set.models,
-            &plan.eval_opts,
-        )?;
-        // Auto-order insurance: a seeded champion that cannot beat the
-        // naive benchmark (seasonal repeat at the detected period) forfeits
-        // the pruning bet, and the full-strategy grid is raced too. Both
-        // passes' work is counted; the champion is the best of both.
-        if let Some(fallback) = plan.auto_fallback.take() {
-            let auto_opts = AutoOrderOptions::default();
-            let period = plan
-                .set
-                .profile
-                .primary_period(self.config.granularity.seasonal_period());
-            let benchmark = naive_benchmark_rmse(
-                plan.split.train.values(),
-                plan.split.test.values(),
-                fallback.d,
-                Some(period),
-            );
-            let threshold = benchmark * auto_opts.degradation_factor;
-            // NaN-greatest ordering: a NaN champion RMSE counts as degraded.
-            let degraded = report
-                .champion()
-                .map(|c| dwcp_math::total_cmp_f64(c.accuracy.rmse, threshold).is_gt())
-                .unwrap_or(true);
-            if degraded {
-                let full = evaluate_candidates(
-                    plan.split.train.values(),
-                    plan.split.test.values(),
-                    &plan.exog_train,
-                    &plan.exog_test,
-                    &fallback.models,
-                    &plan.eval_opts,
-                )?;
-                report.absorb(full);
-            }
-        }
-        self.finish(plan, report)
+        let plan = AggregateStage::prepare(&self.config, series, exog_full)?;
+        ScoreStage::score(&self.config, plan)
     }
 
     /// Everything the pipeline does before any model is fitted:
     /// interpolation, optional shock discovery, the Table 1 split with
     /// aligned exogenous columns, profiling, and the candidate grid for
-    /// the configured method. Split out so the fleet scheduler can prepare
-    /// every job up front and feed all grids through one shared worker
-    /// pool.
+    /// the configured method. Delegates to [`AggregateStage::prepare`];
+    /// kept as a method so the fleet scheduler can prepare every job up
+    /// front and feed all grids through one shared worker pool.
     pub(crate) fn plan(&self, series: &TimeSeries, exog_full: &[Vec<f64>]) -> Result<EvalPlan> {
-        let method = self.config.method;
-        // 1. Gather + missing-value check + interpolation (§5.1).
-        let mut working = series.clone();
-        let gaps_filled = if working.has_gaps() {
-            interpolate_series(&mut working)?
-        } else {
-            0
-        };
-
-        // Exogenous columns only matter when SARIMAX candidates are in
-        // play; the smoothing families ignore them entirely.
-        let exog_full: &[Vec<f64>] = if method.includes_sarimax() {
-            exog_full
-        } else {
-            &[]
-        };
-
-        // 1b. Optional shock discovery: when the caller has no shock
-        // calendar, mine the recurring spikes from the data itself and use
-        // the admitted slots as exogenous indicators.
-        let detected_exog: Vec<Vec<f64>>;
-        let exog_full: &[Vec<f64>] = if exog_full.is_empty()
-            && self.config.auto_detect_shocks
-            && method.includes_sarimax()
-        {
-            let period = self.config.granularity.seasonal_period();
-            let mut detector = crate::shocks::ShockDetector::new(period);
-            match detector.detect(working.values()) {
-                Ok(shocks) if !shocks.is_empty() => {
-                    detected_exog =
-                        crate::shocks::ShockDetector::indicator_columns(&shocks, 0, working.len());
-                    &detected_exog
-                }
-                _ => exog_full,
-            }
-        } else {
-            exog_full
-        };
-
-        // 2. Table 1 split.
-        let split = TrainTestSplit::from_series(&working, self.config.granularity)?;
-        // Exogenous columns must be sliced to the same trailing window.
-        let window = self.config.granularity.observations();
-        let offset = working.len() - window;
-        let train_len = split.train.len();
-        let (exog_train, exog_test) = split_exog_window(exog_full, offset, window, train_len)?;
-
-        // 3. Profile + the candidate grid for the chosen families.
-        let train = split.train.values();
-        let profile = DataProfile::analyze(train)?;
-        let fallback_period = self.config.granularity.seasonal_period();
-        let mut models: Vec<CandidateModel> = Vec::new();
-        let mut auto_fallback = None;
-        if method.includes_sarimax() {
-            let set = CandidateSet::sarimax(
-                profile.clone(),
-                fallback_period,
-                exog_train.len(),
-                self.config.max_candidates,
-            );
-            match self.config.grid {
-                GridStrategy::Full => models.extend(set.models),
-                GridStrategy::AutoOrder => {
-                    // Seed the grid from the order diagnostics — seasonal
-                    // orders included when the granularity names a period —
-                    // and keep the full strategy's models as the
-                    // degradation fallback.
-                    let period = profile.primary_period(fallback_period);
-                    let auto = AutoOrderPlan::analyze_seasonal(
-                        train,
-                        AutoOrderOptions::default().max_candidates,
-                        (period >= 2).then_some(period),
-                    )?;
-                    models.extend(auto.grid.candidates);
-                    auto_fallback = Some(AutoFallback {
-                        d: auto.d,
-                        models: set.models,
-                    });
-                }
-            }
-        }
-        let interval_level = self.config.eval.fit.interval_level;
-        if method.includes_hes() {
-            let period = profile.primary_period(fallback_period);
-            let positive = train.iter().all(|&v| v > 0.0);
-            models.extend(ModelGrid::ets(period, positive, interval_level).candidates);
-        }
-        if method.includes_tbats() {
-            let periods = tbats_periods(&profile, fallback_period);
-            // Same Box-Cox λ the standalone TBATS selector would estimate.
-            let lambda = {
-                let (shifted, _) = shift_to_positive(train, 1.0);
-                select_lambda(&shifted, 0.0, 1.0).ok()
-            };
-            models.extend(ModelGrid::tbats(&periods, lambda, interval_level).candidates);
-        }
-        let set = CandidateSet { models, profile };
-        let mut eval_opts = self.config.eval.clone();
-        eval_opts.start_index = offset;
-        Ok(EvalPlan {
-            split,
-            exog_train,
-            exog_test,
-            offset,
-            gaps_filled,
-            set,
-            eval_opts,
-            auto_fallback,
-        })
+        AggregateStage::prepare(&self.config, series, exog_full)
     }
 
-    /// The §6.3 Fourier stage's candidate list: the six Fourier variants of
-    /// the current champion. Empty when the stage is disabled or the
-    /// champion is not a SARIMAX-family member (the smoothing families
-    /// carry no exogenous regressors).
+    /// The §6.3 Fourier stage's candidate list (see
+    /// [`ScoreStage::fourier_candidates`]).
     pub(crate) fn fourier_candidates(
         &self,
         plan: &EvalPlan,
         report: &EvaluationReport,
     ) -> Vec<CandidateModel> {
-        if !self.config.fourier_stage {
-            return Vec::new();
-        }
-        let Some(champion) = report.champion() else {
-            return Vec::new();
-        };
-        let Some(config) = champion.candidate.as_sarimax() else {
-            return Vec::new();
-        };
-        let fallback_period = self.config.granularity.seasonal_period();
-        let periods = plan.set.profile.fourier_periods(fallback_period);
-        ModelGrid::fourier_variants(config, &periods)
+        ScoreStage::fourier_candidates(&self.config, plan, report)
     }
 
-    /// Complete a run from an evaluated primary grid: run the Fourier
-    /// stage (when configured and the champion is SARIMAX) and assemble
-    /// the outcome.
-    pub(crate) fn finish(
-        &self,
-        plan: EvalPlan,
-        mut report: EvaluationReport,
-    ) -> Result<ForecastOutcome> {
-        // §6.3 Fourier stage: take the champion and try the six Fourier
-        // variants; keep whichever wins.
-        let variants = self.fourier_candidates(&plan, &report);
-        if !variants.is_empty() {
-            if let Ok(fourier_report) = evaluate_candidates(
-                plan.split.train.values(),
-                plan.split.test.values(),
-                &plan.exog_train,
-                &plan.exog_test,
-                &variants,
-                &plan.eval_opts,
-            ) {
-                report.absorb(fourier_report);
-            }
-        }
-        self.outcome_from_report(plan, report)
-    }
-
-    /// Assemble a [`ForecastOutcome`] from a finished evaluation. A report
-    /// with no champion (every candidate failed) is `NoViableModel`.
+    /// Assemble a [`ForecastOutcome`] from a finished evaluation (see
+    /// [`ScoreStage::outcome_from_report`]).
     pub(crate) fn outcome_from_report(
         &self,
         plan: EvalPlan,
         report: EvaluationReport,
     ) -> Result<ForecastOutcome> {
-        let Some(champion_score) = report.champion() else {
-            return Err(PlannerError::NoViableModel {
-                attempted: report.attempted,
-            });
-        };
-        Ok(ForecastOutcome {
-            champion: champion_score.candidate.config.describe(),
-            family: Some(champion_score.candidate.family),
-            accuracy: champion_score.accuracy,
-            test_forecast: champion_score.forecast.clone(),
-            warm_seed: champion_score.warm_params.clone(),
-            warm_beta: champion_score.warm_beta.clone(),
-            champion_spec: champion_score.candidate.config.clone(),
-            test: plan.split.test,
-            train: plan.split.train,
-            evaluated: report.attempted - report.failures - report.abandoned,
-            failures: report.failures,
-            gaps_filled: plan.gaps_filled,
-            profile: Some(plan.set.profile),
-            stats: report.stats,
-        })
+        ScoreStage::outcome_from_report(plan, report)
     }
 
     /// Run the pipeline, then refit the champion on the **full** series
@@ -598,55 +366,6 @@ impl Pipeline {
             &eval_opts,
         )
     }
-}
-
-/// The seasonal periods TBATS candidates model: the detected cycles
-/// (strongest first, at most two — TBATS handles at most a couple of
-/// seasonal blocks gracefully), or the granularity's natural period when
-/// nothing was detected.
-fn tbats_periods(profile: &DataProfile, fallback_period: usize) -> Vec<f64> {
-    if profile.seasonal_periods.is_empty() {
-        vec![fallback_period as f64]
-    } else {
-        profile
-            .fourier_periods(fallback_period)
-            .into_iter()
-            .take(2)
-            .collect()
-    }
-}
-
-/// Exogenous columns split at the train/test boundary.
-type ExogSplit = (Vec<Vec<f64>>, Vec<Vec<f64>>);
-
-/// Slice each full-history exogenous column to the trailing evaluation
-/// window and split it at the train/test boundary. A column shorter than
-/// the window is a caller error, reported as `ExogenousMismatch` instead
-/// of a slice panic.
-fn split_exog_window(
-    exog_full: &[Vec<f64>],
-    offset: usize,
-    window: usize,
-    train_len: usize,
-) -> Result<ExogSplit> {
-    let mut exog_train = Vec::with_capacity(exog_full.len());
-    let mut exog_test = Vec::with_capacity(exog_full.len());
-    for (idx, col) in exog_full.iter().enumerate() {
-        let w = col.get(offset..offset + window).ok_or_else(|| {
-            PlannerError::Model(dwcp_models::ModelError::ExogenousMismatch {
-                context: format!(
-                    "exogenous column {idx} has {} observations, the evaluation window needs {}",
-                    col.len(),
-                    offset + window
-                ),
-            })
-        })?;
-        let train = w.get(..train_len).unwrap_or(w);
-        let test = w.get(train_len..).unwrap_or(&[]);
-        exog_train.push(train.to_vec());
-        exog_test.push(test.to_vec());
-    }
-    Ok((exog_train, exog_test))
 }
 
 #[cfg(test)]

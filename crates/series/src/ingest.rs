@@ -1,0 +1,457 @@
+//! Streaming ingestion of raw agent polls into hourly aggregates.
+//!
+//! §5.1/§7.2: agents poll every instance "at a frequency of 15 minutes"
+//! and "aggregation then takes place over the hour between the four
+//! captured metrics". The batch path does this once per CSV with
+//! [`crate::timeseries::TimeSeries::aggregate_mean`]; the resident engine
+//! instead folds each point into its bucket **as it arrives** — including
+//! late, out-of-order and duplicate-hour deliveries — so the hourly series
+//! is always current without re-aggregating history.
+//!
+//! Reads are cursor-paged ([`IngestBuffer::read_page`]): a page of at most
+//! [`MAX_PAGE`] points plus a `next_cursor` to continue from, so there is
+//! no "series too large" failure mode no matter how long the buffer grows.
+
+use crate::timeseries::{Frequency, TimeSeries};
+use crate::{Result, SeriesError};
+
+/// Hard cap on one [`IngestBuffer::read_page`] response. Larger requests
+/// are clamped, never failed — the caller keeps paging via `next_cursor`.
+pub const MAX_PAGE: usize = 4096;
+
+/// Default page size when the caller passes `limit == 0`.
+pub const DEFAULT_PAGE: usize = 512;
+
+/// Upper bound on the bucket range one buffer may span (≈45 years of
+/// hours). A timestamp that would grow the range past this is rejected
+/// with a typed error instead of exhausting memory — the daemon treats it
+/// as a corrupt agent clock.
+pub const MAX_BUCKETS: usize = 400_000;
+
+/// One aggregation bucket: the running sum and count of the finite
+/// samples that landed in it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Bucket {
+    sum: f64,
+    count: u32,
+}
+
+impl Bucket {
+    /// The bucket's aggregate: the mean of its samples, or NaN (a
+    /// repository gap) when no finite sample has arrived.
+    fn mean(self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / f64::from(self.count)
+        }
+    }
+}
+
+/// Where an accepted point landed relative to the live (latest) bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointOrder {
+    /// The point extended the series (landed in or past the live bucket).
+    Fresh,
+    /// The point arrived out of order and was folded into an earlier
+    /// bucket in place.
+    Late,
+}
+
+/// The ingest stage's per-workload accumulator: raw timestamped samples
+/// fold into fixed-width buckets (hourly by default) in place.
+///
+/// ```
+/// use dwcp_series::ingest::IngestBuffer;
+///
+/// let mut buf = IngestBuffer::hourly();
+/// // Three 15-minute polls of hour 0, delivered out of order, then one
+/// // poll of hour 1 that makes hour 0 complete.
+/// buf.push(1800, 30.0).unwrap();
+/// buf.push(0, 10.0).unwrap();
+/// buf.push(900, 20.0).unwrap();
+/// buf.push(3600, 99.0).unwrap();
+/// let hourly = buf.hourly_series();
+/// assert_eq!(hourly.values(), &[20.0]); // mean of the hour-0 polls
+/// ```
+#[derive(Debug, Clone)]
+pub struct IngestBuffer {
+    /// Seconds per aggregation bucket (3600 for the paper's hourly row).
+    bucket_seconds: u64,
+    /// Timestamp of bucket 0, aligned down to a bucket boundary. `None`
+    /// until the first point arrives.
+    origin: Option<u64>,
+    /// Dense bucket array from `origin`; the last element is the live
+    /// bucket still accumulating samples.
+    buckets: Vec<Bucket>,
+    /// Total accepted points.
+    accepted: u64,
+    /// Accepted points that arrived out of order (before the live bucket).
+    late: u64,
+    /// Non-finite samples (a missed poll reported as NaN): they extend the
+    /// bucket range — the hour demonstrably passed — but contribute no
+    /// data, so an all-missing hour aggregates to a NaN gap.
+    missing: u64,
+}
+
+impl IngestBuffer {
+    /// A buffer folding samples into buckets of `bucket_seconds`.
+    pub fn new(bucket_seconds: u64) -> Result<IngestBuffer> {
+        if bucket_seconds == 0 {
+            return Err(SeriesError::InvalidParameter {
+                context: "ingest bucket width must be positive",
+            });
+        }
+        Ok(IngestBuffer {
+            bucket_seconds,
+            origin: None,
+            buckets: Vec::new(),
+            accepted: 0,
+            late: 0,
+            missing: 0,
+        })
+    }
+
+    /// The paper's deployment shape: 15-minute polls folded into hourly
+    /// buckets.
+    pub fn hourly() -> IngestBuffer {
+        IngestBuffer {
+            bucket_seconds: 3_600,
+            origin: None,
+            buckets: Vec::new(),
+            accepted: 0,
+            late: 0,
+            missing: 0,
+        }
+    }
+
+    /// Seconds per aggregation bucket.
+    pub fn bucket_seconds(&self) -> u64 {
+        self.bucket_seconds
+    }
+
+    /// Timestamp of bucket 0 (aligned down), or `None` before any point.
+    pub fn origin(&self) -> Option<u64> {
+        self.origin
+    }
+
+    /// Total accepted points.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Accepted points that arrived out of order.
+    pub fn late(&self) -> u64 {
+        self.late
+    }
+
+    /// Non-finite (missed-poll) samples recorded.
+    pub fn missing(&self) -> u64 {
+        self.missing
+    }
+
+    /// Fold one agent poll into its bucket, in place. Out-of-order points
+    /// are folded into their (earlier) bucket; points before the current
+    /// origin re-base the buffer. Non-finite values mark the hour as
+    /// observed but contribute no data. Returns where the point landed.
+    pub fn push(&mut self, timestamp: u64, value: f64) -> Result<PointOrder> {
+        let aligned = timestamp - timestamp % self.bucket_seconds;
+        let origin = match self.origin {
+            None => {
+                self.origin = Some(aligned);
+                self.buckets.push(Bucket::default());
+                aligned
+            }
+            Some(origin) => origin,
+        };
+        let index = if aligned < origin {
+            // Re-base: prepend empty buckets so the earlier point has a
+            // slot, shifting bucket 0 back to the new alignment.
+            let shift =
+                usize::try_from((origin - aligned) / self.bucket_seconds).map_err(|_| {
+                    SeriesError::InvalidParameter {
+                        context: "ingest timestamp is too far before the buffer origin",
+                    }
+                })?;
+            if self.buckets.len().saturating_add(shift) > MAX_BUCKETS {
+                return Err(SeriesError::InvalidParameter {
+                    context: "ingest buffer would exceed its bucket capacity (corrupt timestamp?)",
+                });
+            }
+            self.buckets
+                .splice(0..0, std::iter::repeat_n(Bucket::default(), shift));
+            self.origin = Some(aligned);
+            0
+        } else {
+            usize::try_from((aligned - origin) / self.bucket_seconds).map_err(|_| {
+                SeriesError::InvalidParameter {
+                    context: "ingest timestamp is too far past the buffer origin",
+                }
+            })?
+        };
+        if index >= MAX_BUCKETS {
+            return Err(SeriesError::InvalidParameter {
+                context: "ingest buffer would exceed its bucket capacity (corrupt timestamp?)",
+            });
+        }
+        let order = if index + 1 < self.buckets.len() {
+            PointOrder::Late
+        } else {
+            PointOrder::Fresh
+        };
+        if index >= self.buckets.len() {
+            self.buckets.resize(index + 1, Bucket::default());
+        }
+        let Some(bucket) = self.buckets.get_mut(index) else {
+            return Err(SeriesError::InvalidParameter {
+                context: "ingest bucket slot missing after resize",
+            });
+        };
+        if value.is_finite() {
+            bucket.sum += value;
+            bucket.count += 1;
+        } else {
+            self.missing += 1;
+        }
+        self.accepted += 1;
+        if order == PointOrder::Late {
+            self.late += 1;
+        }
+        Ok(order)
+    }
+
+    /// Number of **complete** buckets: every bucket strictly before the
+    /// live (latest) one. The live bucket may still receive polls, so it
+    /// is withheld from the aggregated series until a later bucket opens.
+    pub fn complete_buckets(&self) -> usize {
+        self.buckets.len().saturating_sub(1)
+    }
+
+    /// The aggregate value of complete bucket `index` (NaN when every
+    /// sample of that bucket was missing), or `None` past the end.
+    pub fn aggregate(&self, index: usize) -> Option<f64> {
+        if index < self.complete_buckets() {
+            self.buckets.get(index).map(|b| b.mean())
+        } else {
+            None
+        }
+    }
+
+    /// The aggregated series over every complete bucket: one mean per
+    /// bucket, NaN gaps where no finite sample arrived (the batch
+    /// pipeline's interpolation stage fills those, exactly as it does for
+    /// CSV gaps).
+    pub fn aggregated_series(&self) -> TimeSeries {
+        let n = self.complete_buckets();
+        let values: Vec<f64> = self.buckets.iter().take(n).map(|b| b.mean()).collect();
+        TimeSeries::new(
+            values,
+            frequency_of(self.bucket_seconds),
+            self.origin.unwrap_or(0),
+        )
+    }
+
+    /// [`IngestBuffer::aggregated_series`] under its deployment name: the
+    /// hourly repository series the forecasting engine consumes.
+    pub fn hourly_series(&self) -> TimeSeries {
+        self.aggregated_series()
+    }
+
+    /// One page of the aggregated series, starting at aggregate index
+    /// `cursor`. `limit == 0` means [`DEFAULT_PAGE`]; any limit is clamped
+    /// to [`MAX_PAGE`]. A cursor at or past the end returns an empty page
+    /// with no `next_cursor` — never an error, so readers can poll the
+    /// tail of a live series.
+    pub fn read_page(&self, cursor: usize, limit: usize) -> SeriesPage {
+        let total = self.complete_buckets();
+        let limit = match limit {
+            0 => DEFAULT_PAGE,
+            n => n.min(MAX_PAGE),
+        };
+        let start = cursor.min(total);
+        let end = start.saturating_add(limit).min(total);
+        let origin = self.origin.unwrap_or(0);
+        let mut timestamps = Vec::with_capacity(end - start);
+        let mut values = Vec::with_capacity(end - start);
+        for (offset, bucket) in self.buckets.iter().enumerate().take(end).skip(start) {
+            timestamps.push(origin + offset as u64 * self.bucket_seconds);
+            values.push(bucket.mean());
+        }
+        SeriesPage {
+            cursor: start,
+            total,
+            timestamps,
+            values,
+            next_cursor: (end < total).then_some(end),
+        }
+    }
+}
+
+/// One cursor-paged read of an [`IngestBuffer`]'s aggregated series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPage {
+    /// Aggregate index of the first returned point.
+    pub cursor: usize,
+    /// Complete aggregates available at read time.
+    pub total: usize,
+    /// Epoch-seconds timestamp per returned point.
+    pub timestamps: Vec<u64>,
+    /// Aggregate value per returned point (NaN = gap).
+    pub values: Vec<f64>,
+    /// Cursor for the next page, or `None` when this page reached the end.
+    pub next_cursor: Option<usize>,
+}
+
+/// The [`Frequency`] matching a bucket width, for the aggregated series'
+/// metadata (unknown widths report as hourly, the repository cadence).
+fn frequency_of(bucket_seconds: u64) -> Frequency {
+    match bucket_seconds {
+        900 => Frequency::QuarterHourly,
+        86_400 => Frequency::Daily,
+        604_800 => Frequency::Weekly,
+        2_592_000 => Frequency::Monthly,
+        _ => Frequency::Hourly,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_polls_fold_into_one_hourly_mean() {
+        let mut buf = IngestBuffer::hourly();
+        for (i, v) in [10.0, 20.0, 30.0, 40.0].iter().enumerate() {
+            buf.push(i as u64 * 900, *v).unwrap();
+        }
+        // Hour 0 is still live: no complete bucket yet.
+        assert_eq!(buf.complete_buckets(), 0);
+        buf.push(3600, 7.0).unwrap();
+        assert_eq!(buf.complete_buckets(), 1);
+        assert_eq!(buf.hourly_series().values(), &[25.0]);
+        assert_eq!(buf.hourly_series().frequency(), Frequency::Hourly);
+    }
+
+    #[test]
+    fn out_of_order_points_fold_in_place() {
+        let mut buf = IngestBuffer::hourly();
+        assert_eq!(buf.push(3600, 50.0).unwrap(), PointOrder::Fresh);
+        // A late hour-0 poll arrives after hour 1 opened.
+        assert_eq!(buf.push(900, 10.0).unwrap(), PointOrder::Late);
+        assert_eq!(buf.push(1800, 30.0).unwrap(), PointOrder::Late);
+        assert_eq!(buf.late(), 2);
+        assert_eq!(buf.hourly_series().values(), &[20.0]);
+        // A second late poll revises the aggregate in place.
+        buf.push(0, 20.0).unwrap();
+        assert_eq!(buf.hourly_series().values(), &[20.0]);
+    }
+
+    #[test]
+    fn points_before_origin_rebase_the_buffer() {
+        let mut buf = IngestBuffer::hourly();
+        buf.push(7200, 3.0).unwrap();
+        buf.push(7200 + 3600, 4.0).unwrap();
+        // An even earlier point re-bases: buckets shift back two hours.
+        buf.push(0, 1.0).unwrap();
+        assert_eq!(buf.origin(), Some(0));
+        let series = buf.hourly_series();
+        assert_eq!(series.origin(), 0);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series.values()[0], 1.0);
+        assert!(series.values()[1].is_nan()); // hour 1 never polled
+        assert_eq!(series.values()[2], 3.0);
+    }
+
+    #[test]
+    fn missed_polls_leave_nan_gaps() {
+        let mut buf = IngestBuffer::hourly();
+        buf.push(0, 5.0).unwrap();
+        buf.push(3600, f64::NAN).unwrap(); // agent reported a miss
+        buf.push(7200, 9.0).unwrap();
+        assert_eq!(buf.missing(), 1);
+        let series = buf.hourly_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.values()[0], 5.0);
+        assert!(series.values()[1].is_nan());
+    }
+
+    #[test]
+    fn unaligned_timestamps_bucket_by_alignment() {
+        let mut buf = IngestBuffer::hourly();
+        buf.push(3599, 1.0).unwrap(); // still hour 0
+        buf.push(3601, 3.0).unwrap(); // hour 1
+        assert_eq!(buf.complete_buckets(), 1);
+        assert_eq!(buf.hourly_series().values(), &[1.0]);
+    }
+
+    #[test]
+    fn read_page_walks_the_series_with_cursors() {
+        let mut buf = IngestBuffer::hourly();
+        for h in 0..10u64 {
+            buf.push(h * 3600, h as f64).unwrap();
+        }
+        // Hours 0..9 complete (hour 9 is live).
+        let first = buf.read_page(0, 4);
+        assert_eq!(first.cursor, 0);
+        assert_eq!(first.total, 9);
+        assert_eq!(first.values, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(first.timestamps, vec![0, 3600, 7200, 10800]);
+        assert_eq!(first.next_cursor, Some(4));
+        let second = buf.read_page(4, 4);
+        assert_eq!(second.values, vec![4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(second.next_cursor, Some(8));
+        let last = buf.read_page(8, 4);
+        assert_eq!(last.values, vec![8.0]);
+        assert_eq!(last.next_cursor, None);
+        // Past the end: empty page, no error, no next cursor.
+        let past = buf.read_page(99, 4);
+        assert!(past.values.is_empty());
+        assert_eq!(past.next_cursor, None);
+    }
+
+    #[test]
+    fn read_page_clamps_oversized_limits() {
+        let mut buf = IngestBuffer::hourly();
+        for h in 0..6u64 {
+            buf.push(h * 3600, 1.0).unwrap();
+        }
+        let page = buf.read_page(0, usize::MAX);
+        assert_eq!(page.values.len(), 5);
+        let default = buf.read_page(0, 0);
+        assert_eq!(default.values.len(), 5); // DEFAULT_PAGE > total
+    }
+
+    #[test]
+    fn capacity_guard_rejects_corrupt_timestamps() {
+        let mut buf = IngestBuffer::hourly();
+        buf.push(0, 1.0).unwrap();
+        let far = MAX_BUCKETS as u64 * 3600 + 3600;
+        assert!(matches!(
+            buf.push(far, 1.0),
+            Err(SeriesError::InvalidParameter { .. })
+        ));
+        // The buffer is still usable after the rejection.
+        buf.push(3600, 2.0).unwrap();
+        assert_eq!(buf.complete_buckets(), 1);
+    }
+
+    #[test]
+    fn matches_batch_aggregate_mean_on_in_order_data() {
+        // The streaming fold must agree with the batch aggregation the
+        // CSV path uses, for complete in-order hours.
+        let raw: Vec<f64> = (0..48).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let batch = TimeSeries::new(raw.clone(), Frequency::QuarterHourly, 0)
+            .aggregate_mean(4, Frequency::Hourly);
+        let mut buf = IngestBuffer::hourly();
+        for (i, v) in raw.iter().enumerate() {
+            buf.push(i as u64 * 900, *v).unwrap();
+        }
+        let streamed = buf.hourly_series();
+        // 12 full hours; the batch keeps all 12, the stream withholds the
+        // live 12th until an hour-12 poll arrives.
+        assert_eq!(streamed.len(), 11);
+        for (s, b) in streamed.values().iter().zip(batch.values()) {
+            assert_eq!(s, b);
+        }
+    }
+}

@@ -19,6 +19,8 @@
 //!   data is stationary") and automatic choice of the differencing order,
 //! * [`season`] — periodogram + ACF seasonality detection, including the
 //!   multiple-seasonality decision that triggers Fourier terms (§4.4),
+//! * [`ingest`] — streaming fold of out-of-order 15-minute agent polls
+//!   into hourly aggregates, with cursor-paged reads (§5.1/§7.2),
 //! * [`interpolate`] — linear interpolation of missing agent samples (§5.1),
 //! * [`accuracy`] — RMSE / MAPE / MAPA and friends (§7),
 //! * [`split`] — the Table 1 train/test protocol.
@@ -30,6 +32,7 @@ pub mod acf;
 pub mod boxcox;
 pub mod decompose;
 pub mod diff;
+pub mod ingest;
 pub mod interpolate;
 pub mod rolling;
 pub mod season;
@@ -41,6 +44,7 @@ pub use accuracy::Accuracy;
 pub use acf::{acf, acf_direct, pacf, Correlogram};
 pub use decompose::{decompose, DecompositionModel, SeasonalDecomposition};
 pub use diff::Differencer;
+pub use ingest::{IngestBuffer, PointOrder, SeriesPage};
 pub use season::{detect_seasonality, SeasonalityReport};
 pub use split::{Granularity, TrainTestSplit};
 pub use stationarity::{adf_test, kpss_test, suggest_differencing};

@@ -27,6 +27,8 @@ use std::path::{Path, PathBuf};
 /// ARIMA-family fit stack and every numerical kernel — the code that runs
 /// unattended inside the weekly relearn loop.
 pub const HOT_PATH_PREFIXES: &[&str] = &[
+    "crates/core/src/alerts.rs",
+    "crates/core/src/engine.rs",
     "crates/core/src/evaluate.rs",
     "crates/core/src/fleet.rs",
     "crates/core/src/pipeline.rs",
@@ -34,6 +36,8 @@ pub const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/core/src/repository.rs",
     "crates/models/src/arima/",
     "crates/math/src/",
+    "crates/series/src/ingest.rs",
+    "src/serve.rs",
 ];
 
 /// The one module allowed to call `total_cmp` directly: the definition
@@ -305,8 +309,14 @@ mod tests {
         assert!(is_hot_path("crates/core/src/repository.rs"));
         assert!(is_hot_path("crates/math/src/solve.rs"));
         assert!(is_hot_path("crates/models/src/arima/css.rs"));
+        // The resident-engine layers run unattended inside `dwcp serve`.
+        assert!(is_hot_path("crates/core/src/engine.rs"));
+        assert!(is_hot_path("crates/core/src/alerts.rs"));
+        assert!(is_hot_path("crates/series/src/ingest.rs"));
+        assert!(is_hot_path("src/serve.rs"));
         assert!(!is_hot_path("crates/core/src/advisor.rs"));
         assert!(!is_hot_path("crates/series/src/acf.rs"));
+        assert!(!is_hot_path("src/cli.rs"));
     }
 
     #[test]

@@ -1,14 +1,14 @@
-//! The practice section (§8) in miniature: proactive threshold monitoring,
-//! the one-week model repository with its relearn rules, and the
-//! >3-occurrence shock policy.
+//! The practice section (§8) in miniature: proactive threshold alerting
+//! through `dwcp_core::alerts`, the one-week model repository with its
+//! relearn rules, and the >3-occurrence shock policy.
 //!
 //! ```sh
 //! cargo run --release --example capacity_alert
 //! ```
 
 use dwcp::planner::{
-    shard_of, MethodChoice, ModelRecord, Pipeline, PipelineConfig, ShardedRepository, ShockTracker,
-    ThresholdAdvisor,
+    shard_of, AlertEngine, AlertRule, MethodChoice, ModelRecord, Pipeline, PipelineConfig,
+    ShardedRepository, ShockTracker,
 };
 use dwcp::workload::{oltp_scenario, Metric};
 
@@ -24,16 +24,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload_key = format!("{instance}/CPU");
     println!("champion for {workload_key}: {}", outcome.champion);
 
-    // 1. Threshold advisory: the OLTP user base grows 50/day, so CPU creeps
-    //    toward saturation. Warn before the 85 % line is crossed.
-    let advisor = ThresholdAdvisor::new(85.0);
-    match advisor.analyze(&outcome.test_forecast, outcome.test.origin(), 3600) {
-        Some(adv) => println!(
-            "ALERT: {:?} breach of the 85% CPU line at hour +{} (mean {:.1}%, upper {:.1}%)",
-            adv.severity, adv.step, adv.forecast_mean, adv.forecast_upper
-        ),
-        None => println!("no CPU threshold breach inside the 24h horizon"),
+    // 1. Alert rules: the OLTP user base grows 50/day, so CPU creeps toward
+    //    saturation. Named rules from `dwcp_core::alerts` watch the 85% and
+    //    95% lines on every fresh forecast, with re-fire hysteresis — the
+    //    same stage `dwcp serve` runs after each incremental re-score.
+    let mut alerts = AlertEngine::new(vec![
+        AlertRule::new("cpu-85", 85.0),
+        AlertRule::new("cpu-95", 95.0),
+    ]);
+    let fired = alerts.scan(
+        &workload_key,
+        &outcome.test_forecast,
+        outcome.test.origin(),
+        3600,
+    );
+    if fired.is_empty() {
+        println!("no CPU threshold breach inside the 24h horizon");
     }
+    for alert in &fired {
+        println!(
+            "ALERT [{}]: {:?} breach of {:.0}% at hour +{} (mean {:.1}%, upper {:.1}%)",
+            alert.rule,
+            alert.severity,
+            alert.threshold,
+            alert.step,
+            alert.forecast_mean,
+            alert.forecast_upper
+        );
+    }
+    // Re-scanning the unchanged forecast stays silent: a resident daemon
+    // re-scoring every hour does not repeat itself.
+    let again = alerts.scan(
+        &workload_key,
+        &outcome.test_forecast,
+        outcome.test.origin(),
+        3600,
+    );
+    println!(
+        "rescan of the same forecast: {} fired, {} suppressed as duplicates",
+        again.len(),
+        alerts.suppressed()
+    );
 
     // 2. Model repository: persist the champion into the sharded on-disk
     //    store, reopen it cold (as next week's scan would), then replay

@@ -129,10 +129,34 @@ assert snap["resume"]["refit_only_unfinished"], "resume refit more than the unfi
 print(f"estate snapshot OK (RSS flatness {ratio:.2f}x, parity bit-identical)")'
 git checkout -- results/BENCH_estate.json 2>/dev/null || true
 
+echo "== bench smoke: bench_serve (DWCP_QUICK=1) =="
+# The resident-engine contracts (every appended hour scores, frozen
+# re-scores dominate, mean re-score cheaper than the first grid fit) are
+# asserted inside the binary, which exits non-zero on any violation.
+DWCP_QUICK=1 cargo run -q --release -p dwcp-bench --bin bench_serve
+
+echo "== snapshot schema: results/BENCH_serve.json =="
+for key in quick method ingest points_per_second complete_hours engine \
+           first_fit_ms appended_hours rescored_hours relearned_hours \
+           rescore_ms_mean rescore_ms_p95 rescore_speedup_vs_fit \
+           serve_http push_points_per_second forecast_get_ms_mean; do
+  grep -q "\"$key\"" results/BENCH_serve.json \
+    || { echo "BENCH_serve.json missing key: $key"; exit 1; }
+done
+python3 -c '
+import json
+snap = json.load(open("results/BENCH_serve.json"))
+eng = snap["engine"]
+assert eng["rescore_ms_mean"] < eng["first_fit_ms"], "re-score not cheaper than first fit"
+assert eng["rescored_hours"] * 4 >= eng["appended_hours"] * 3, "frozen re-scores not dominant"
+spd = eng["rescore_speedup_vs_fit"]
+print(f"serve snapshot OK (re-score {spd:.0f}x cheaper than the first fit)")'
+git checkout -- results/BENCH_serve.json 2>/dev/null || true
+
 echo "== cli smoke: dwcp forecast --method auto =="
 auto_csv="$(mktemp /tmp/dwcp_ci_auto_XXXXXX.csv)"
 auto_out="$(mktemp /tmp/dwcp_ci_auto_out_XXXXXX.txt)"
-trap 'rm -f "$auto_csv" "$auto_out"' EXIT
+trap 'rm -f "$auto_csv" "$auto_out" "${serve_log:-}"' EXIT
 cargo run -q --release -- simulate --scenario olap --instance cdbm011 \
   --metric cpu --seed 11 --out "$auto_csv"
 cargo run -q --release -- forecast --input "$auto_csv" --method auto \
@@ -145,6 +169,45 @@ case "$family" in
     echo "auto picked champion family: $family" ;;
   *) echo "forecast --method auto: unexpected family '$family'"; exit 1 ;;
 esac
+
+echo "== serve smoke: dwcp serve push/page/forecast/alert/shutdown =="
+# Boot the resident daemon on an ephemeral port, push 1010 hours of raw
+# 15-minute points over HTTP, and walk every endpoint; the daemon must
+# score the series, page it back, fire the threshold rule, and exit
+# cleanly on POST /shutdown.
+serve_log="$(mktemp /tmp/dwcp_ci_serve_XXXXXX.log)"
+cargo run -q --release -- serve --addr 127.0.0.1:0 --method hes --threshold 1 \
+  > "$serve_log" &
+serve_pid=$!
+serve_url=""
+for _ in $(seq 1 100); do
+  serve_url=$(sed -n 's#.*listening on \(http://[0-9.:]*\) .*#\1#p' "$serve_log")
+  [ -n "$serve_url" ] && break
+  sleep 0.2
+done
+[ -n "$serve_url" ] || { echo "dwcp serve never reported its address"; kill "$serve_pid" 2>/dev/null; exit 1; }
+python3 - "$serve_url" <<'PY' || { echo "serve smoke failed"; kill "$serve_pid" 2>/dev/null; exit 1; }
+import json, math, sys, urllib.request
+base = sys.argv[1]
+lines = []
+for h in range(1010):
+    v = 60 + 20 * math.sin(2 * math.pi * h / 24) + (h * 2654435761 % 97) / 25
+    for q in range(4):
+        lines.append(f"{h*3600 + q*900},{v + (q - 1.5) * 0.2}")
+req = urllib.request.Request(base + "/push?workload=ci", data="\n".join(lines).encode(), method="POST")
+out = json.load(urllib.request.urlopen(req))
+assert out["outcome"]["state"] == "scored" and out["outcome"]["action"] == "learned", out
+page = json.load(urllib.request.urlopen(base + "/series?workload=ci&limit=16"))
+assert len(page["values"]) == 16 and page["next_cursor"] == 16, page
+fc = json.load(urllib.request.urlopen(base + "/forecast?workload=ci"))
+assert len(fc["mean"]) > 0 and fc["step_seconds"] == 3600, fc
+alerts = json.load(urllib.request.urlopen(base + "/alerts?workload=ci"))
+assert alerts["alerts"], "threshold rule at 1% should have fired"
+bye = json.load(urllib.request.urlopen(urllib.request.Request(base + "/shutdown", data=b"", method="POST")))
+assert bye["status"] == "shutting-down", bye
+print("serve smoke OK: push scored, paged read, forecast, alert, clean shutdown")
+PY
+wait "$serve_pid" || { echo "dwcp serve exited non-zero"; exit 1; }
 
 echo "== docs: cargo doc --no-deps (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -13,9 +13,9 @@
 //! are skipped.
 
 use crate::planner::{
-    Checkpoint, EstateScheduler, FleetOptions, FleetScheduler, GridStrategy, MethodChoice,
-    ModelRepository, Pipeline, PipelineConfig, SeriesJob, ShardedRepository, SliceJobSource,
-    ThresholdAdvisor, WaveOptions,
+    AlertRule, Checkpoint, Engine, EngineConfig, EstateScheduler, FleetOptions, FleetScheduler,
+    GridStrategy, MethodChoice, ModelRepository, Pipeline, PipelineConfig, SeriesJob,
+    ShardedRepository, SliceJobSource, ThresholdAdvisor, WaveOptions,
 };
 use crate::series::{Frequency, Granularity, TimeSeries};
 use crate::workload::{olap_scenario, oltp_scenario, Metric, Scenario};
@@ -85,6 +85,20 @@ pub enum Command {
         threshold: f64,
         /// Method choice.
         method: MethodChoice,
+    },
+    /// Run the resident ingest→score→alert daemon.
+    Serve {
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// HTTP worker threads (0 = a small default pool).
+        threads: usize,
+        /// Method choice for fits and relearns.
+        method: MethodChoice,
+        /// Protocol granularity.
+        granularity: Granularity,
+        /// Optional capacity threshold; when set, every scored forecast is
+        /// scanned and breaches fire on `GET /alerts`.
+        threshold: Option<f64>,
     },
     /// Print usage.
     Help,
@@ -224,6 +238,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .map_err(|_| err("--threshold must be a number"))?,
             method: method_of(&get("method", Some("sarimax"))?)?,
         }),
+        "serve" => Ok(Command::Serve {
+            addr: get("addr", Some("127.0.0.1:7878"))?,
+            threads: get("threads", Some("0"))?
+                .parse()
+                .map_err(|_| err("--threads must be an integer"))?,
+            method: method_of(&get("method", Some("sarimax"))?)?,
+            granularity: granularity_of(&get("granularity", Some("hourly"))?)?,
+            threshold: match flags.get("threshold") {
+                None => None,
+                Some(t) => Some(t.parse().map_err(|_| err("--threshold must be a number"))?),
+            },
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(err(format!("unknown subcommand `{other}`"))),
     }
@@ -244,6 +270,8 @@ USAGE:
                  [--checkpoint FILE]]
   dwcp fleet    --checkpoint FILE --cancel-checkpoint
   dwcp advise   --input FILE --threshold X [--method sarimax|hes|tbats|auto]
+  dwcp serve    [--addr HOST:PORT] [--threads N] [--method sarimax|hes|tbats|auto]
+                [--granularity hourly|daily|weekly] [--threshold X]
 
 CSV input: one observation per line, `value` or `timestamp,value`.
 `--method auto` races every family through one grid and keeps the best
@@ -257,6 +285,19 @@ estate path instead: stalest-first waves of --wave jobs over a sharded
 on-disk repository (created with --shards shards), optionally recording
 finished jobs in --checkpoint so a killed scan resumes where it stopped;
 --cancel-checkpoint deletes that file and exits.
+
+`serve` runs the resident ingest→score→alert daemon (default address
+127.0.0.1:7878) until `POST /shutdown`. Agents push raw points with
+`POST /push?workload=K` (CSV body, `timestamp,value` per line); the
+daemon folds them into hourly aggregates, re-scores the stored champion
+frozen per new complete hour, and relearns only when the staleness or
+RMSE-degradation rules fire. Read endpoints: `GET /series?workload=K
+[&cursor=N][&limit=N]` pages the aggregated series (follow `next_cursor`
+until it is null; limit caps at 4096 per page), `GET /forecast?workload=K`
+returns the latest beyond-the-data forecast, `GET /alerts?workload=K` the
+fired-alert log (needs --threshold), `GET /status?workload=K` the ingest
+and scoring counters, `GET /health` liveness. Workload keys containing
+`/` must be percent-encoded (`cdbm012%2FCPU`).
 ";
 
 /// Parse a metric CSV into a [`TimeSeries`] (assumed hourly unless
@@ -578,6 +619,33 @@ pub fn execute(
                     "no breach of {threshold} within the {horizon}-step horizon"
                 )?,
             }
+            Ok(())
+        }
+        Command::Serve {
+            addr,
+            threads,
+            method,
+            granularity,
+            threshold,
+        } => {
+            let mut pipeline = PipelineConfig::hourly(method);
+            pipeline.granularity = granularity;
+            let mut config = EngineConfig::new(pipeline);
+            config.horizon = granularity.horizon();
+            if let Some(threshold) = threshold {
+                config
+                    .rules
+                    .push(AlertRule::new(format!("breach-{threshold}"), threshold));
+            }
+            let handle = crate::serve::start(Engine::new(config), &addr, threads)?;
+            writeln!(
+                stdout,
+                "dwcp serve listening on http://{} (POST /shutdown to stop)",
+                handle.addr()
+            )?;
+            stdout.flush()?;
+            handle.wait();
+            writeln!(stdout, "dwcp serve stopped")?;
             Ok(())
         }
     }
@@ -925,6 +993,44 @@ mod tests {
         assert!(String::from_utf8(out).unwrap().contains("cancelled"));
         assert!(!path.exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&args("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                threads: 0,
+                method: MethodChoice::Sarimax,
+                granularity: Granularity::Hourly,
+                threshold: None,
+            }
+        );
+        let cmd = parse(&args(
+            "serve --addr 127.0.0.1:0 --threads 8 --method hes --threshold 85.5",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                threads: 8,
+                method: MethodChoice::Hes,
+                granularity: Granularity::Hourly,
+                threshold: Some(85.5),
+            }
+        );
+        assert!(parse(&args("serve --threshold hot")).is_err());
+        assert!(parse(&args("serve --threads none")).is_err());
+    }
+
+    #[test]
+    fn usage_documents_serve_and_paged_reads() {
+        assert!(USAGE.contains("dwcp serve"));
+        assert!(USAGE.contains("cursor"));
+        assert!(USAGE.contains("next_cursor"));
+        assert!(USAGE.contains("/shutdown"));
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //!   parallel grid search, the model repository with its staleness policy,
 //!   and the forecasting/advisory API,
 //! * [`cli`] — the `dwcp` command-line tool (`simulate` / `forecast` /
-//!   `advise` over CSV series).
+//!   `advise` over CSV series),
+//! * [`serve`] — the resident `dwcp serve` daemon: HTTP push of raw agent
+//!   points into the staged ingest→score→alert engine.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod serve;
 
 pub use dwcp_core as planner;
 pub use dwcp_math as math;

@@ -1,0 +1,753 @@
+//! `dwcp serve`: the resident ingest→score→alert daemon over HTTP.
+//!
+//! The batch CLI answers one-shot questions; the paper's deployment story
+//! (§8) is a *monitoring service*: agents push 15-minute samples, the
+//! planner folds them into hourly aggregates, re-scores the stored
+//! champion **frozen** as data arrives, and raises threshold alerts from
+//! each fresh forecast. This module is that service — a hand-rolled
+//! HTTP/1.1 front end over [`Engine`], built on `std` alone because the
+//! build environment has no registry access: one acceptor thread feeds a
+//! fixed worker pool through an mpsc channel, and the engine sits behind a
+//! mutex (scoring is CPU-bound and already parallel inside the evaluator,
+//! so serialising requests at the engine is the right concurrency
+//! boundary).
+//!
+//! Endpoints (all responses are `application/json`):
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /health` | liveness plus the known workload keys |
+//! | `POST /push?workload=K` | CSV body, `timestamp,value` per line; folds into hourly buckets and runs **one** engine step |
+//! | `GET /series?workload=K&cursor=N&limit=N` | one cursor page of hourly aggregates (`next_cursor` is `null` at the end) |
+//! | `GET /forecast?workload=K` | the latest beyond-the-data forecast |
+//! | `GET /alerts?workload=K` | the fired-alert log |
+//! | `GET /status?workload=K` | ingest/score counters for one workload |
+//! | `POST /shutdown` | drain in-flight requests and stop the daemon |
+//!
+//! Workload keys may contain `/` (e.g. `cdbm012/CPU`); percent-encode
+//! them in query strings (`cdbm012%2FCPU`).
+
+use crate::planner::advisor::BreachSeverity;
+use crate::planner::repository::RelearnReason;
+use crate::planner::{
+    CapacityAlert, Engine, LiveForecast, ScoreAction, ScoreSummary, StepOutcome, WorkloadStatus,
+};
+use crate::series::SeriesPage;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Request headers larger than this are rejected.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Request bodies larger than this are rejected (a year of 15-minute
+/// points is ~35k lines ≈ 700 KiB, so this is generous).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Per-connection socket timeout: a stalled client frees its worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+/// Worker threads when the caller passes 0.
+const DEFAULT_WORKERS: usize = 4;
+
+/// A running `dwcp serve` daemon.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`] (or POST `/shutdown`) and then
+/// [`ServerHandle::wait`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    signal: ShutdownSignal,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `--addr 127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to stop accepting connections and drain.
+    pub fn shutdown(&self) {
+        self.signal.trigger();
+    }
+
+    /// Block until the acceptor and every worker have exited.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// How a shutdown reaches the blocking acceptor: set the flag, then
+/// self-connect once so `accept` returns and observes it.
+#[derive(Debug, Clone)]
+struct ShutdownSignal {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownSignal {
+    fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // The connect may fail if the acceptor is already gone — fine.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:8000`, or port 0 for an ephemeral port)
+/// and serve `engine` on `threads` workers (0 = a small default pool).
+/// Returns once the listener is bound; the daemon runs on background
+/// threads until `/shutdown` is posted or [`ServerHandle::shutdown`] runs.
+pub fn start(engine: Engine, addr: &str, threads: usize) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let flag = Arc::new(AtomicBool::new(false));
+    let signal = ShutdownSignal {
+        flag: Arc::clone(&flag),
+        addr,
+    };
+    let engine = Arc::new(Mutex::new(engine));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = (0..worker_count(threads))
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let rx = Arc::clone(&rx);
+            let signal = signal.clone();
+            std::thread::spawn(move || worker_loop(&engine, &rx, &signal))
+        })
+        .collect();
+    let acceptor = std::thread::spawn(move || acceptor_loop(&listener, &tx, &flag));
+    Ok(ServerHandle {
+        addr,
+        signal,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+fn worker_count(threads: usize) -> usize {
+    if threads == 0 {
+        DEFAULT_WORKERS
+    } else {
+        threads.min(64)
+    }
+}
+
+/// Accept connections and hand them to the workers. Exits when the
+/// shutdown flag is set (the signal's self-connect unblocks `accept`) or
+/// every worker is gone; dropping `tx` then drains the pool.
+fn acceptor_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, flag: &AtomicBool) {
+    for stream in listener.incoming() {
+        if flag.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if tx.send(stream).is_err() {
+            break;
+        }
+    }
+}
+
+/// Pull connections off the shared channel until it closes.
+fn worker_loop(
+    engine: &Mutex<Engine>,
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    signal: &ShutdownSignal,
+) {
+    loop {
+        // Take the receiver lock only for the handoff, not the request.
+        let stream = {
+            let receiver = rx.lock().unwrap_or_else(|e| e.into_inner());
+            receiver.recv()
+        };
+        let Ok(mut stream) = stream else { break };
+        let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(read_half);
+        let (status, body, shutdown) = match parse_request(&mut reader) {
+            Ok(request) => match route(engine, &request) {
+                Action::Respond(status, value) => (status, value, false),
+                Action::Shutdown(value) => (200, value, true),
+            },
+            Err(message) => (400, error_value(&message), false),
+        };
+        respond(&mut stream, status, &body);
+        if shutdown {
+            signal.trigger();
+        }
+    }
+}
+
+/// A parsed HTTP request: method, path, decoded query pairs, body text.
+#[derive(Debug)]
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: String,
+}
+
+impl Request {
+    fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one HTTP/1.1 request off the wire. Only the request line,
+/// `Content-Length` and the body matter to this server.
+fn parse_request<R: BufRead>(reader: &mut R) -> Result<Request, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read error: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| "empty request line".to_string())?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| "request line has no target".to_string())?;
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), parse_query(query)),
+        None => (target.to_string(), Vec::new()),
+    };
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read error in headers: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-headers".to_string());
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err("headers too large".to_string());
+        }
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "invalid Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("body too large".to_string());
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Split `a=1&b=2` into decoded pairs.
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Decode `%XX` escapes and `+` (so `cdbm012%2FCPU` names `cdbm012/CPU`).
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0usize;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'%' => {
+                let decoded = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                    (Some(&hi), Some(&lo)) => {
+                        match ((hi as char).to_digit(16), (lo as char).to_digit(16)) {
+                            (Some(hi), Some(lo)) => Some((hi * 16 + lo) as u8),
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
+                match decoded {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// What a routed request asks the worker to do.
+enum Action {
+    Respond(u16, Value),
+    Shutdown(Value),
+}
+
+/// Dispatch one request against the shared engine.
+fn route(engine: &Mutex<Engine>, request: &Request) -> Action {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            let engine = engine.lock().unwrap_or_else(|e| e.into_inner());
+            let workloads = engine
+                .workloads()
+                .into_iter()
+                .map(|k| Value::String(k.to_string()))
+                .collect();
+            Action::Respond(
+                200,
+                obj(vec![
+                    ("status", Value::String("ok".to_string())),
+                    ("workloads", Value::Array(workloads)),
+                ]),
+            )
+        }
+        ("POST", "/push") => match required_workload(request) {
+            Ok(workload) => match parse_points(&request.body) {
+                Ok(points) => {
+                    let mut engine = engine.lock().unwrap_or_else(|e| e.into_inner());
+                    match engine.push_batch(&workload, &points) {
+                        Ok(outcome) => Action::Respond(
+                            200,
+                            obj(vec![
+                                ("workload", Value::String(workload)),
+                                ("accepted", Value::Number(points.len() as f64)),
+                                ("outcome", step_value(&outcome)),
+                            ]),
+                        ),
+                        Err(e) => Action::Respond(400, error_value(&e.to_string())),
+                    }
+                }
+                Err(message) => Action::Respond(400, error_value(&message)),
+            },
+            Err(action) => action,
+        },
+        ("GET", "/series") => match required_workload(request) {
+            Ok(workload) => {
+                let cursor = match numeric_param(request, "cursor", 0) {
+                    Ok(n) => n,
+                    Err(action) => return action,
+                };
+                let limit = match numeric_param(request, "limit", 0) {
+                    Ok(n) => n,
+                    Err(action) => return action,
+                };
+                let engine = engine.lock().unwrap_or_else(|e| e.into_inner());
+                match engine.read_page(&workload, cursor, limit) {
+                    Some(page) => Action::Respond(200, page_value(&workload, &page)),
+                    None => Action::Respond(404, error_value("unknown workload")),
+                }
+            }
+            Err(action) => action,
+        },
+        ("GET", "/forecast") => match required_workload(request) {
+            Ok(workload) => {
+                let engine = engine.lock().unwrap_or_else(|e| e.into_inner());
+                match engine.forecast(&workload) {
+                    Some(forecast) => Action::Respond(200, forecast_value(&workload, forecast)),
+                    None => {
+                        Action::Respond(404, error_value("no forecast yet (push more data first)"))
+                    }
+                }
+            }
+            Err(action) => action,
+        },
+        ("GET", "/alerts") => match required_workload(request) {
+            Ok(workload) => {
+                let engine = engine.lock().unwrap_or_else(|e| e.into_inner());
+                let alerts = engine.alerts(&workload).iter().map(alert_value).collect();
+                Action::Respond(
+                    200,
+                    obj(vec![
+                        ("workload", Value::String(workload)),
+                        ("alerts", Value::Array(alerts)),
+                    ]),
+                )
+            }
+            Err(action) => action,
+        },
+        ("GET", "/status") => match required_workload(request) {
+            Ok(workload) => {
+                let engine = engine.lock().unwrap_or_else(|e| e.into_inner());
+                match engine.status(&workload) {
+                    Some(status) => Action::Respond(200, status_value(&status)),
+                    None => Action::Respond(404, error_value("unknown workload")),
+                }
+            }
+            Err(action) => action,
+        },
+        ("POST", "/shutdown") => Action::Shutdown(obj(vec![(
+            "status",
+            Value::String("shutting-down".to_string()),
+        )])),
+        _ => Action::Respond(404, error_value("no such endpoint")),
+    }
+}
+
+fn required_workload(request: &Request) -> Result<String, Action> {
+    match request.param("workload") {
+        Some(w) if !w.is_empty() => Ok(w.to_string()),
+        _ => Err(Action::Respond(
+            400,
+            error_value("missing ?workload= parameter"),
+        )),
+    }
+}
+
+fn numeric_param(request: &Request, name: &str, default: usize) -> Result<usize, Action> {
+    match request.param(name) {
+        None => Ok(default),
+        Some(text) => text.parse().map_err(|_| {
+            Action::Respond(400, error_value(&format!("?{name}= must be an integer")))
+        }),
+    }
+}
+
+/// Parse a CSV push body: one `timestamp,value` pair per line; `#` lines
+/// and a non-numeric header row are skipped, blank/`nan` values are gaps.
+fn parse_points(body: &str) -> Result<Vec<(u64, f64)>, String> {
+    let mut points = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((ts, value)) = line.split_once(',') else {
+            return Err(format!("line {}: expected `timestamp,value`", lineno + 1));
+        };
+        let ts = match ts.trim().parse::<u64>() {
+            Ok(ts) => ts,
+            Err(_) if lineno == 0 => continue, // header row
+            Err(_) => {
+                return Err(format!(
+                    "line {}: `{}` is not an epoch timestamp",
+                    lineno + 1,
+                    ts.trim()
+                ))
+            }
+        };
+        let value = value.trim();
+        let value = if value.is_empty() || value.eq_ignore_ascii_case("nan") {
+            f64::NAN
+        } else {
+            value
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: `{value}` is not a number", lineno + 1))?
+        };
+        points.push((ts, value));
+    }
+    if points.is_empty() {
+        return Err("no data points in request body".to_string());
+    }
+    Ok(points)
+}
+
+// --- JSON rendering (the vendored serde Value writes NaN/Inf as null) ---
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn error_value(message: &str) -> Value {
+    obj(vec![("error", Value::String(message.to_string()))])
+}
+
+fn numbers(values: &[f64]) -> Value {
+    Value::Array(values.iter().map(|&v| Value::Number(v)).collect())
+}
+
+fn step_value(outcome: &StepOutcome) -> Value {
+    match outcome {
+        StepOutcome::NeedData { have, need } => obj(vec![
+            ("state", Value::String("need-data".to_string())),
+            ("have", Value::Number(*have as f64)),
+            ("need", Value::Number(*need as f64)),
+        ]),
+        StepOutcome::Unchanged => obj(vec![("state", Value::String("unchanged".to_string()))]),
+        StepOutcome::Scored(summary) => score_value(summary),
+    }
+}
+
+fn score_value(summary: &ScoreSummary) -> Value {
+    let (action, reason) = match &summary.action {
+        ScoreAction::Learned => ("learned", Value::Null),
+        ScoreAction::Rescored => ("rescored", Value::Null),
+        ScoreAction::Relearned(reason) => (
+            "relearned",
+            Value::String(
+                match reason {
+                    RelearnReason::Missing => "missing",
+                    RelearnReason::Stale => "stale",
+                    RelearnReason::Degraded => "degraded",
+                }
+                .to_string(),
+            ),
+        ),
+    };
+    obj(vec![
+        ("state", Value::String("scored".to_string())),
+        ("action", Value::String(action.to_string())),
+        ("relearn_reason", reason),
+        ("champion", Value::String(summary.champion.clone())),
+        ("live_rmse", Value::Number(summary.live_rmse)),
+        ("baseline_rmse", Value::Number(summary.baseline_rmse)),
+        (
+            "alerts",
+            Value::Array(summary.alerts.iter().map(alert_value).collect()),
+        ),
+    ])
+}
+
+fn page_value(workload: &str, page: &SeriesPage) -> Value {
+    obj(vec![
+        ("workload", Value::String(workload.to_string())),
+        ("cursor", Value::Number(page.cursor as f64)),
+        ("total", Value::Number(page.total as f64)),
+        (
+            "timestamps",
+            Value::Array(
+                page.timestamps
+                    .iter()
+                    .map(|&t| Value::Number(t as f64))
+                    .collect(),
+            ),
+        ),
+        ("values", numbers(&page.values)),
+        (
+            "next_cursor",
+            match page.next_cursor {
+                Some(next) => Value::Number(next as f64),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn forecast_value(workload: &str, forecast: &LiveForecast) -> Value {
+    obj(vec![
+        ("workload", Value::String(workload.to_string())),
+        ("start", Value::Number(forecast.start as f64)),
+        ("step_seconds", Value::Number(forecast.step_seconds as f64)),
+        ("level", Value::Number(forecast.forecast.level)),
+        ("mean", numbers(&forecast.forecast.mean)),
+        ("lower", numbers(&forecast.forecast.lower)),
+        ("upper", numbers(&forecast.forecast.upper)),
+    ])
+}
+
+fn alert_value(alert: &CapacityAlert) -> Value {
+    obj(vec![
+        ("workload", Value::String(alert.workload.clone())),
+        ("rule", Value::String(alert.rule.clone())),
+        ("threshold", Value::Number(alert.threshold)),
+        (
+            "severity",
+            Value::String(
+                match alert.severity {
+                    BreachSeverity::Expected => "expected",
+                    BreachSeverity::Possible => "possible",
+                }
+                .to_string(),
+            ),
+        ),
+        ("step", Value::Number(alert.step as f64)),
+        ("timestamp", Value::Number(alert.timestamp as f64)),
+        ("forecast_mean", Value::Number(alert.forecast_mean)),
+        ("forecast_upper", Value::Number(alert.forecast_upper)),
+    ])
+}
+
+fn status_value(status: &WorkloadStatus) -> Value {
+    obj(vec![
+        ("workload", Value::String(status.workload.clone())),
+        ("points", Value::Number(status.points as f64)),
+        ("late", Value::Number(status.late as f64)),
+        (
+            "complete_hours",
+            Value::Number(status.complete_hours as f64),
+        ),
+        ("scored_hours", Value::Number(status.scored_hours as f64)),
+        (
+            "champion",
+            match &status.champion {
+                Some(c) => Value::String(c.clone()),
+                None => Value::Null,
+            },
+        ),
+        (
+            "live_rmse",
+            status.live_rmse.map_or(Value::Null, Value::Number),
+        ),
+        (
+            "baseline_rmse",
+            status.baseline_rmse.map_or(Value::Null, Value::Number),
+        ),
+        ("rescores", Value::Number(status.rescores as f64)),
+        ("relearns", Value::Number(status.relearns as f64)),
+        ("alerts_fired", Value::Number(status.alerts_fired as f64)),
+    ])
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &Value) {
+    let text = body.to_json();
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        text.len()
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{EngineConfig, MethodChoice, PipelineConfig};
+    use std::io::{Cursor, Read};
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("cdbm012%2FCPU"), "cdbm012/CPU");
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%"); // truncated escape kept
+        assert_eq!(percent_decode("plain"), "plain");
+    }
+
+    #[test]
+    fn query_pairs_decode() {
+        let q = parse_query("workload=db%2FCPU&cursor=5&flag");
+        assert_eq!(q[0], ("workload".to_string(), "db/CPU".to_string()));
+        assert_eq!(q[1], ("cursor".to_string(), "5".to_string()));
+        assert_eq!(q[2], ("flag".to_string(), String::new()));
+    }
+
+    #[test]
+    fn request_parse_with_body() {
+        let raw = "POST /push?workload=db1 HTTP/1.1\r\nHost: x\r\n\
+                   Content-Length: 9\r\n\r\n0,1.5\n1,2";
+        let request = parse_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/push");
+        assert_eq!(request.param("workload"), Some("db1"));
+        assert_eq!(request.body, "0,1.5\n1,2");
+    }
+
+    #[test]
+    fn request_parse_rejects_garbage() {
+        assert!(parse_request(&mut Cursor::new("\r\n")).is_err());
+        assert!(parse_request(&mut Cursor::new("GET\r\n\r\n")).is_err());
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(parse_request(&mut Cursor::new(huge)).is_err());
+    }
+
+    #[test]
+    fn push_body_parses_and_validates() {
+        let points =
+            parse_points("timestamp,value\n0,1.5\n# gap\n900,\n1800,nan\n2700,3\n").unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0], (0, 1.5));
+        assert!(points[1].1.is_nan());
+        assert!(points[2].1.is_nan());
+        assert_eq!(points[3], (2700, 3.0));
+        assert!(parse_points("").is_err());
+        assert!(parse_points("justonefield\n").is_err());
+        assert!(parse_points("0,1\nnot_a_ts,2\n").is_err());
+    }
+
+    /// Raw round-trip helper: one request, full response text back.
+    fn http(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn daemon_serves_health_and_shuts_down_cleanly() {
+        let config = EngineConfig::new(PipelineConfig::hourly(MethodChoice::Hes));
+        let handle = start(Engine::new(config), "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr();
+
+        let health = http(addr, "GET /health HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+        let missing = http(
+            addr,
+            "GET /status?workload=nope HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let bad = http(addr, "GET /series HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        let push = http(
+            addr,
+            "POST /push?workload=db1 HTTP/1.1\r\nHost: x\r\nContent-Length: 6\r\n\r\n0,50.0",
+        );
+        assert!(push.starts_with("HTTP/1.1 200"), "{push}");
+        assert!(push.contains("\"state\":\"need-data\""), "{push}");
+
+        let bye = http(addr, "POST /shutdown HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(bye.contains("shutting-down"), "{bye}");
+        handle.wait();
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end test of `dwcp serve`: raw 15-minute points pushed over a
+//! real TCP socket, folded into hourly aggregates, scored through the
+//! staged engine, and read back through the paged/forecast/alert
+//! endpoints. The key assertion is the incremental contract: the first
+//! score is a full grid fit **bit-identical** to a batch `Pipeline::run`
+//! on the same aggregates, and every later hour is a frozen re-score —
+//! never another grid search.
+
+use dwcp::models::arima::ArimaOptions;
+use dwcp::planner::{
+    AlertRule, Engine, EngineConfig, EvaluationOptions, GridStrategy, MethodChoice, Pipeline,
+    PipelineConfig,
+};
+use dwcp::series::{Frequency, Granularity, TimeSeries};
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// The same fast single-threaded HES configuration the engine unit tests
+/// use — small grid, deterministic, seconds not minutes.
+fn fast_config() -> PipelineConfig {
+    PipelineConfig {
+        method: MethodChoice::Hes,
+        grid: GridStrategy::Full,
+        granularity: Granularity::Hourly,
+        max_candidates: 4,
+        fourier_stage: false,
+        auto_detect_shocks: false,
+        eval: EvaluationOptions {
+            threads: 1,
+            fit: ArimaOptions {
+                max_evals: 120,
+                restarts: 0,
+                interval_level: 0.95,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    }
+}
+
+/// Quarter-hour agent points whose hourly means form a daily cycle.
+fn quarter_hour_points(hours: usize) -> Vec<(u64, f64)> {
+    let mut pts = Vec::with_capacity(hours * 4);
+    for h in 0..hours {
+        let base = 60.0
+            + 20.0 * (2.0 * std::f64::consts::PI * h as f64 / 24.0).sin()
+            + ((h * 2654435761 % 97) as f64) / 25.0;
+        for q in 0..4 {
+            let ts = (h * 3600 + q * 900) as u64;
+            pts.push((ts, base + (q as f64 - 1.5) * 0.2));
+        }
+    }
+    pts
+}
+
+/// One raw HTTP exchange; returns (status line, parsed JSON body).
+fn http(addr: SocketAddr, request: &str) -> (String, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    let value = Value::parse_json(body).expect("JSON body");
+    (status, value)
+}
+
+fn get(addr: SocketAddr, path_and_query: &str) -> (String, Value) {
+    http(
+        addr,
+        &format!("GET {path_and_query} HTTP/1.1\r\nHost: t\r\n\r\n"),
+    )
+}
+
+/// POST a batch of points as a CSV push body.
+fn push(addr: SocketAddr, workload: &str, points: &[(u64, f64)]) -> (String, Value) {
+    let mut body = String::new();
+    for (ts, v) in points {
+        body.push_str(&format!("{ts},{v}\n"));
+    }
+    let request = format!(
+        "POST /push?workload={workload} HTTP/1.1\r\nHost: t\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    http(addr, &request)
+}
+
+fn num(value: &Value) -> f64 {
+    match value {
+        Value::Number(n) => *n,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn text(value: &Value) -> String {
+    match value {
+        Value::String(s) => s.clone(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+#[test]
+fn serve_ingests_pages_scores_and_alerts() {
+    let mut config = EngineConfig::new(fast_config());
+    // The series lives around 40–84, so this threshold must breach.
+    config.rules = vec![AlertRule::new("cpu-low", 1.0)];
+    let handle = dwcp::serve::start(Engine::new(config), "127.0.0.1:0", 2).expect("bind");
+    let addr = handle.addr();
+
+    // --- ingest: push 1010 hours of quarter-hour points in two batches,
+    // with one out-of-order pair straddling an hour boundary.
+    let mut pts = quarter_hour_points(1010);
+    let split_at = 500 * 4;
+    pts.swap(600 * 4 + 3, 601 * 4); // hour 600's last point arrives late
+    let (status, first) = push(addr, "db%2FCPU", &pts[..split_at]);
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(
+        text(first.field("outcome").unwrap().field("state").unwrap()),
+        "need-data"
+    );
+
+    let (_, second) = push(addr, "db%2FCPU", &pts[split_at..]);
+    let outcome = second.field("outcome").unwrap();
+    assert_eq!(text(outcome.field("state").unwrap()), "scored");
+    assert_eq!(text(outcome.field("action").unwrap()), "learned");
+    let champion = text(outcome.field("champion").unwrap());
+    let live_rmse = num(outcome.field("live_rmse").unwrap());
+    assert!(live_rmse.is_finite());
+
+    // --- paged reads: walk the cursor to the end and rebuild the series.
+    let mut values = Vec::new();
+    let mut timestamps = Vec::new();
+    let mut cursor = 0usize;
+    loop {
+        let (status, page) = get(
+            addr,
+            &format!("/series?workload=db%2FCPU&cursor={cursor}&limit=300"),
+        );
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(num(page.field("total").unwrap()) as usize, 1009);
+        for v in match page.field("values").unwrap() {
+            Value::Array(items) => items,
+            other => panic!("values not an array: {other:?}"),
+        } {
+            values.push(num(v));
+        }
+        for t in match page.field("timestamps").unwrap() {
+            Value::Array(items) => items,
+            other => panic!("timestamps not an array: {other:?}"),
+        } {
+            timestamps.push(num(t) as u64);
+        }
+        match page.field("next_cursor").unwrap() {
+            Value::Null => break,
+            next => cursor = num(next) as usize,
+        }
+    }
+    // 1009 complete hours (the 1010th bucket is still live and withheld).
+    assert_eq!(values.len(), 1009);
+    assert!(timestamps
+        .iter()
+        .enumerate()
+        .all(|(i, &t)| t == i as u64 * 3600));
+
+    // The aggregates must equal a local fold of the pushed points, bit for
+    // bit (same bucketing, same accumulation order).
+    let mut sums = vec![0.0f64; 1010];
+    let mut counts = vec![0u32; 1010];
+    for &(ts, v) in &pts {
+        let bucket = (ts / 3600) as usize;
+        sums[bucket] += v;
+        counts[bucket] += 1;
+    }
+    for (i, &v) in values.iter().enumerate() {
+        let expected = sums[i] / f64::from(counts[i]);
+        assert_eq!(v, expected, "hour {i} aggregate mismatch");
+    }
+
+    // --- batch parity: a one-shot Pipeline::run over the same hourly
+    // series must produce the same champion and held-out RMSE, bit for
+    // bit. (JSON floats round-trip exactly: shortest-roundtrip writer.)
+    let series = TimeSeries::new(values, Frequency::Hourly, 0);
+    let batch = Pipeline::new(fast_config())
+        .run(&series, &[])
+        .expect("batch fit");
+    assert_eq!(champion, batch.champion);
+    assert_eq!(live_rmse, batch.accuracy.rmse);
+
+    // --- incremental: two more on-pattern hours re-score the stored
+    // champion frozen; no second grid search happens.
+    let tail: Vec<(u64, f64)> = quarter_hour_points(1012)
+        .into_iter()
+        .skip(1010 * 4)
+        .collect();
+    let (_, third) = push(addr, "db%2FCPU", &tail);
+    let outcome = third.field("outcome").unwrap();
+    assert_eq!(text(outcome.field("state").unwrap()), "scored");
+    assert_eq!(text(outcome.field("action").unwrap()), "rescored");
+
+    let (_, status_json) = get(addr, "/status?workload=db%2FCPU");
+    assert_eq!(num(status_json.field("relearns").unwrap()), 1.0);
+    assert_eq!(num(status_json.field("rescores").unwrap()), 1.0);
+    assert_eq!(num(status_json.field("complete_hours").unwrap()), 1011.0);
+    assert!(num(status_json.field("late").unwrap()) >= 1.0);
+    assert_eq!(text(status_json.field("champion").unwrap()), champion);
+
+    // --- forecast: starts right after the last complete hour, one day out.
+    let (status, forecast) = get(addr, "/forecast?workload=db%2FCPU");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(num(forecast.field("start").unwrap()) as u64, 1011 * 3600);
+    assert_eq!(num(forecast.field("step_seconds").unwrap()), 3600.0);
+    let mean = match forecast.field("mean").unwrap() {
+        Value::Array(items) => items.len(),
+        other => panic!("mean not an array: {other:?}"),
+    };
+    assert_eq!(mean, 24);
+
+    // --- alerts: the threshold rule fired from the live forecast.
+    let (_, alerts) = get(addr, "/alerts?workload=db%2FCPU");
+    let fired = match alerts.field("alerts").unwrap() {
+        Value::Array(items) => items.clone(),
+        other => panic!("alerts not an array: {other:?}"),
+    };
+    assert!(!fired.is_empty(), "threshold rule should have fired");
+    let first_alert = &fired[0];
+    assert_eq!(text(first_alert.field("rule").unwrap()), "cpu-low");
+    assert_eq!(text(first_alert.field("severity").unwrap()), "expected");
+    assert_eq!(num(first_alert.field("threshold").unwrap()), 1.0);
+
+    // --- clean shutdown.
+    let (status, bye) = http(addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(text(bye.field("status").unwrap()), "shutting-down");
+    handle.wait();
+}
