@@ -1,7 +1,10 @@
 //! Grid-search acceleration snapshot: the full 180-model ARIMA grid,
 //! baseline (per-candidate differencing, cold starts) versus the
 //! acceleration layer (shared transform cache + warm-start chains), at
-//! 1/2/4/8 worker threads, in exact mode.
+//! 1/2/4/8 worker threads, in exact mode. A second section runs the
+//! `--method auto` union grid (SARIMAX + ETS + TBATS menus, deduped)
+//! through the same baseline/accelerated ladder with per-family time
+//! attribution and the batched ETS/TBATS kernel phase buckets.
 //!
 //! Writes `results/BENCH_grid.json` so future PRs can track the
 //! fit-throughput trajectory, and exits non-zero if the accelerated
@@ -15,8 +18,8 @@
 
 use dwcp_bench::results_dir;
 use dwcp_core::{
-    evaluate_auto_order, evaluate_candidates, AutoOrderOptions, EvaluationOptions,
-    EvaluationReport, ModelGrid,
+    dedupe_candidates, evaluate_auto_order, evaluate_candidates, AutoOrderOptions,
+    EvaluationOptions, EvaluationReport, ModelFamily, ModelGrid,
 };
 use dwcp_models::arima::ArimaOptions;
 use serde::Serialize;
@@ -68,6 +71,38 @@ struct AutoOrderRun {
     p_set: Vec<usize>,
 }
 
+/// One family's share of an auto-mode (mixed-family union grid) run.
+#[derive(Debug, Clone, Serialize)]
+struct FamilyBreakdown {
+    family: String,
+    attempts: usize,
+    fits: usize,
+    failures: usize,
+    /// Worker-summed wall-clock spent fitting and scoring this family, ms.
+    fit_time_ms: f64,
+    objective_evals: usize,
+}
+
+/// One (mode, threads) measurement of the `--method auto` union grid:
+/// SARIMAX + ETS + TBATS menus evaluated together, with the per-family
+/// time attribution and the batched-kernel phase buckets.
+#[derive(Debug, Clone, Serialize)]
+struct AutoModeRun {
+    mode: String,
+    threads: usize,
+    wall_ms: f64,
+    champion: String,
+    champion_rmse: f64,
+    scored: usize,
+    failures: usize,
+    objective_evals: usize,
+    families: Vec<FamilyBreakdown>,
+    lockstep_batched_evals: usize,
+    lockstep_batch_css_ms: f64,
+    lockstep_batch_ets_ms: f64,
+    lockstep_batch_tbats_ms: f64,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct GridSnapshot {
     grid: String,
@@ -80,6 +115,10 @@ struct GridSnapshot {
     /// baseline / accelerated wall-clock ratio at 4 threads.
     speedup_4_threads: f64,
     auto_order: AutoOrderRun,
+    /// Mixed-family union-grid runs (the `--method auto` shape).
+    auto_mode: Vec<AutoModeRun>,
+    /// Auto-mode baseline / accelerated wall-clock ratio at 4 threads.
+    auto_speedup_4_threads: f64,
 }
 
 fn series(n: usize) -> Vec<f64> {
@@ -257,6 +296,98 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         auto_run.d, auto_run.q_max, auto_run.p_set
     );
 
+    // Fourth mode: the `--method auto` union grid — the full SARIMAX sweep
+    // plus the ETS and TBATS menus, deduped, evaluated together so the
+    // batched ETS/TBATS kernels and the per-family time attribution are
+    // exercised. Baseline (no caches, no batching) versus accelerated at
+    // 1/2/4/8 threads; every run must elect the same champion.
+    let mut auto_candidates = grid.candidates.clone();
+    auto_candidates.extend(ModelGrid::ets(24, true, 0.95).candidates);
+    auto_candidates.extend(ModelGrid::tbats(&[24.0], None, 0.95).candidates);
+    dedupe_candidates(&mut auto_candidates);
+    println!(
+        "\nauto mode: {} union-grid candidates",
+        auto_candidates.len()
+    );
+    let mut auto_runs = Vec::new();
+    let mut auto_wall_4t = [f64::NAN; 2];
+    let mut auto_champions: Vec<String> = Vec::new();
+    for (mode_idx, (mode, accelerated)) in [("baseline", false), ("accelerated", true)]
+        .into_iter()
+        .enumerate()
+    {
+        for threads in [1usize, 2, 4, 8] {
+            let o = opts(threads, accelerated);
+            let mut best_ms = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let report = evaluate_candidates(train, test, &[], &[], &auto_candidates, &o)?;
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                last = Some(report);
+            }
+            let report = last.expect("at least one rep");
+            let (champion, champion_rmse) = champion_label(&report);
+            let ls = &report.stats.lockstep;
+            let families: Vec<FamilyBreakdown> = ModelFamily::ALL
+                .iter()
+                .zip(&report.stats.families)
+                .filter(|(_, f)| f.attempts > 0)
+                .map(|(family, f)| FamilyBreakdown {
+                    family: family.label().to_string(),
+                    attempts: f.attempts,
+                    fits: f.fits,
+                    failures: f.failures,
+                    fit_time_ms: f.fit_time.as_secs_f64() * 1e3,
+                    objective_evals: f.objective_evals,
+                })
+                .collect();
+            let family_line = families
+                .iter()
+                .map(|f| format!("{} {:.0} ms", f.family, f.fit_time_ms))
+                .collect::<Vec<_>>()
+                .join(", ");
+            println!(
+                "  {mode:<12} {threads}t  {best_ms:>8.1} ms   champion {champion}  \
+                 [{family_line}]"
+            );
+            if ls.batched_evals > 0 {
+                println!(
+                    "               lockstep: {} batched evals, batch-css {:.0} ms, \
+                     batch-ets {:.0} ms, batch-tbats {:.0} ms",
+                    ls.batched_evals,
+                    ls.batch_css.as_secs_f64() * 1e3,
+                    ls.batch_ets.as_secs_f64() * 1e3,
+                    ls.batch_tbats.as_secs_f64() * 1e3,
+                );
+            }
+            if threads == 4 {
+                auto_wall_4t[mode_idx] = best_ms;
+            }
+            auto_champions.push(champion.clone());
+            auto_runs.push(AutoModeRun {
+                mode: mode.to_string(),
+                threads,
+                wall_ms: best_ms,
+                champion,
+                champion_rmse,
+                scored: report.scores.len(),
+                failures: report.failures,
+                objective_evals: report.stats.objective_evals,
+                families,
+                lockstep_batched_evals: ls.batched_evals,
+                lockstep_batch_css_ms: ls.batch_css.as_secs_f64() * 1e3,
+                lockstep_batch_ets_ms: ls.batch_ets.as_secs_f64() * 1e3,
+                lockstep_batch_tbats_ms: ls.batch_tbats.as_secs_f64() * 1e3,
+            });
+        }
+    }
+    let auto_speedup = auto_wall_4t[0] / auto_wall_4t[1];
+    println!(
+        "auto-mode speedup at 4 threads: {auto_speedup:.2}x (baseline {:.1} ms → accelerated {:.1} ms)",
+        auto_wall_4t[0], auto_wall_4t[1]
+    );
+
     let snapshot = GridSnapshot {
         grid: "arima_180".to_string(),
         candidates: grid.len(),
@@ -267,6 +398,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runs,
         speedup_4_threads: speedup,
         auto_order: auto_run,
+        auto_mode: auto_runs,
+        auto_speedup_4_threads: auto_speedup,
     };
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
@@ -283,6 +416,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "FAIL: accelerated champion {} != baseline champion {}",
             champions_4t[1], champions_4t[0]
         );
+        std::process::exit(1);
+    }
+    // Auto mode: every (mode, threads) combination must elect the same
+    // champion — batching and thread count must not change selection.
+    if auto_champions.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("FAIL: auto-mode champions differ across modes/threads: {auto_champions:?}");
         std::process::exit(1);
     }
     // The auto-order mode must never end up worse than the full sweep:

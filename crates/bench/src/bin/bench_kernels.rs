@@ -2,7 +2,10 @@
 //! recursion versus the vectorised kernel versus the batched
 //! multi-candidate kernel, plus the unconstrained-parameter transform and
 //! the full objective path (transform + polynomial expansion + CSS) so the
-//! per-evaluation cost can be attributed layer by layer.
+//! per-evaluation cost can be attributed layer by layer. A second section
+//! times the exponential-smoothing families the same three ways — scalar
+//! reference, solo kernel, batched kernel — per ETS/TBATS menu shape, with
+//! bitwise SSE parity across all three paths asserted in-binary.
 //!
 //! Writes `results/BENCH_kernels.json`.
 //!
@@ -13,6 +16,9 @@
 
 use dwcp_bench::results_dir;
 use dwcp_math::kernels;
+use dwcp_math::kernels::holt_winters::{EtsLane, SeasonalClass};
+use dwcp_math::kernels::tbats_filter::TbatsLane;
+use dwcp_math::kernels::{tbats_filter, trig_seasonal};
 use dwcp_models::arima::css::ExpandedArma;
 use dwcp_models::arima::transform::{unconstrained_to_ar_into, unconstrained_to_ma_into};
 use serde::Serialize;
@@ -40,12 +46,61 @@ struct KernelRow {
     kernel_speedup: f64,
 }
 
+/// One exponential-smoothing-family shape timed three ways: the scalar
+/// reference recursion/filter, the solo monomorphic kernel, and the
+/// time-outer batched kernel at width [`BATCH`].
+#[derive(Debug, Clone, Serialize)]
+struct FamilyRow {
+    /// Model family ("ETS" or "TBATS").
+    family: &'static str,
+    /// Candidate shape within the family (e.g. "hw-add-24").
+    shape: &'static str,
+    /// Scalar reference, ns per evaluation.
+    reference_ns: f64,
+    /// Solo kernel, ns per evaluation.
+    kernel_ns: f64,
+    /// Batched kernel, ns per candidate.
+    batch_ns: f64,
+    /// reference / solo-kernel speedup.
+    kernel_speedup: f64,
+    /// reference / batched per-candidate speedup.
+    batch_speedup: f64,
+}
+
+/// The batched ETS/TBATS section of the snapshot: same batch width and
+/// iteration budget discipline as the CSS rows, with in-binary bitwise
+/// parity (reference == solo == batched lane) asserted before timing.
+#[derive(Debug, Clone, Serialize)]
+struct BatchedFamilies {
+    batch: usize,
+    iters: usize,
+    rows: Vec<FamilyRow>,
+    /// Geometric mean of `batch_speedup` over the ETS rows.
+    ets_geomean_batch_speedup: f64,
+    /// Geometric mean of `batch_speedup` over the TBATS rows.
+    tbats_geomean_batch_speedup: f64,
+}
+
+/// Geometric mean of `batch_speedup` for one family's rows.
+fn geomean_batch_speedup(rows: &[FamilyRow], family: &str) -> f64 {
+    let logs: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.family == family)
+        .map(|r| r.batch_speedup.ln())
+        .collect();
+    if logs.is_empty() {
+        return 1.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct KernelSnapshot {
     series_len: usize,
     batch: usize,
     iters: usize,
     rows: Vec<KernelRow>,
+    batched_families: BatchedFamilies,
 }
 
 fn series(n: usize) -> Vec<f64> {
@@ -78,6 +133,449 @@ fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
     }
     best
+}
+
+/// Bit-compare two optional SSEs; `None` (diverged) must match too.
+fn assert_sse_bits(a: Option<f64>, b: Option<f64>, context: &str) {
+    assert_eq!(
+        a.map(f64::to_bits),
+        b.map(f64::to_bits),
+        "bitwise SSE parity violated: {context} ({a:?} vs {b:?})"
+    );
+}
+
+/// Time the ETS menu shapes through reference / solo kernel / batched
+/// kernel, asserting bitwise SSE parity across all three paths first.
+fn bench_ets(iters: usize, y: &[f64]) -> Vec<FamilyRow> {
+    struct Shape {
+        name: &'static str,
+        class: SeasonalClass,
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        phi: f64,
+        has_trend: bool,
+        m: usize,
+    }
+    let shapes = [
+        Shape {
+            name: "ses",
+            class: SeasonalClass::None,
+            alpha: 0.3,
+            beta: 0.0,
+            gamma: 0.0,
+            phi: 1.0,
+            has_trend: false,
+            m: 0,
+        },
+        Shape {
+            name: "holt",
+            class: SeasonalClass::None,
+            alpha: 0.3,
+            beta: 0.1,
+            gamma: 0.0,
+            phi: 1.0,
+            has_trend: true,
+            m: 0,
+        },
+        Shape {
+            name: "holt-damped",
+            class: SeasonalClass::None,
+            alpha: 0.3,
+            beta: 0.1,
+            gamma: 0.0,
+            phi: 0.98,
+            has_trend: true,
+            m: 0,
+        },
+        Shape {
+            name: "hw-add-24",
+            class: SeasonalClass::Additive,
+            alpha: 0.3,
+            beta: 0.1,
+            gamma: 0.05,
+            phi: 1.0,
+            has_trend: true,
+            m: 24,
+        },
+        Shape {
+            name: "hw-mult-24",
+            class: SeasonalClass::Multiplicative,
+            alpha: 0.3,
+            beta: 0.1,
+            gamma: 0.05,
+            phi: 1.0,
+            has_trend: true,
+            m: 24,
+        },
+    ];
+    let level0 = y[0];
+    let trend0 = 0.05;
+    let mut rows = Vec::new();
+    for shape in &shapes {
+        let base_seasonal: Vec<f64> = match shape.class {
+            SeasonalClass::None => Vec::new(),
+            SeasonalClass::Additive => (0..shape.m).map(|i| (i as f64 * 0.26).sin()).collect(),
+            SeasonalClass::Multiplicative => (0..shape.m)
+                .map(|i| 1.0 + 0.05 * (i as f64 * 0.26).sin())
+                .collect(),
+        };
+        // One per-lane α ladder with lane 0 at the baseline so the batched
+        // lane 0 is directly comparable to the reference and solo runs.
+        let alphas: Vec<f64> = (0..BATCH)
+            .map(|c| shape.alpha * (1.0 - 0.01 * c as f64))
+            .collect();
+        let mut seas = base_seasonal.clone();
+        let solo = |seas: &mut [f64], alpha: f64| match shape.class {
+            SeasonalClass::None => kernels::holt_winters::run_none(
+                y,
+                alpha,
+                shape.beta,
+                shape.phi,
+                level0,
+                trend0,
+                shape.has_trend,
+            ),
+            SeasonalClass::Additive => kernels::holt_winters::run_additive(
+                y,
+                alpha,
+                shape.beta,
+                shape.gamma,
+                shape.phi,
+                level0,
+                trend0,
+                shape.has_trend,
+                seas,
+            ),
+            SeasonalClass::Multiplicative => kernels::holt_winters::run_multiplicative(
+                y,
+                alpha,
+                shape.beta,
+                shape.gamma,
+                shape.phi,
+                level0,
+                trend0,
+                shape.has_trend,
+                seas,
+            ),
+        };
+        let mut seasonal_pool: Vec<Vec<f64>> = (0..BATCH).map(|_| base_seasonal.clone()).collect();
+        let run_batch = |pool: &mut [Vec<f64>]| {
+            let mut lanes: Vec<EtsLane<'_>> = pool
+                .iter_mut()
+                .zip(&alphas)
+                .map(|(seas, &alpha)| {
+                    seas.copy_from_slice(&base_seasonal);
+                    EtsLane {
+                        y,
+                        class: shape.class,
+                        alpha,
+                        beta: shape.beta,
+                        gamma: shape.gamma,
+                        phi: shape.phi,
+                        has_trend: shape.has_trend,
+                        level: level0,
+                        trend: trend0,
+                        seasonal: seas,
+                        sse: 0.0,
+                        alive: true,
+                    }
+                })
+                .collect();
+            kernels::ets_batch(&mut lanes);
+            lanes[0].result()
+        };
+
+        // Parity before timing: reference, solo kernel and the batched
+        // lane at the same parameters must agree bit for bit.
+        seas.copy_from_slice(&base_seasonal);
+        let reference = kernels::reference::ets_recursion(
+            y,
+            shape.class,
+            shape.alpha,
+            shape.beta,
+            shape.gamma,
+            shape.phi,
+            shape.has_trend,
+            level0,
+            trend0,
+            &mut seas,
+        );
+        seas.copy_from_slice(&base_seasonal);
+        let solo_state = solo(&mut seas, shape.alpha);
+        assert_sse_bits(
+            reference.sse,
+            solo_state.sse,
+            &format!("ETS {} reference vs solo", shape.name),
+        );
+        let batched_state = run_batch(&mut seasonal_pool);
+        assert_sse_bits(
+            reference.sse,
+            batched_state.sse,
+            &format!("ETS {} reference vs batched", shape.name),
+        );
+
+        let mut sink = 0.0f64;
+        let reference_ns = time_ns(iters, || {
+            seas.copy_from_slice(&base_seasonal);
+            let st = kernels::reference::ets_recursion(
+                y,
+                shape.class,
+                shape.alpha,
+                shape.beta,
+                shape.gamma,
+                shape.phi,
+                shape.has_trend,
+                level0,
+                trend0,
+                &mut seas,
+            );
+            sink += st.sse.unwrap_or(0.0);
+        });
+        let kernel_ns = time_ns(iters, || {
+            seas.copy_from_slice(&base_seasonal);
+            sink += solo(&mut seas, shape.alpha).sse.unwrap_or(0.0);
+        });
+        let batch_iters = (iters / BATCH).max(1);
+        let batch_ns = time_ns(batch_iters, || {
+            sink += run_batch(&mut seasonal_pool).sse.unwrap_or(0.0);
+        }) / BATCH as f64;
+        std::hint::black_box(sink);
+
+        println!(
+            "  ETS   {:<14} reference {reference_ns:>7.0} ns  kernel {kernel_ns:>7.0} ns  \
+             batch {batch_ns:>7.0} ns/cand  ({:.2}x solo, {:.2}x batched)",
+            shape.name,
+            reference_ns / kernel_ns,
+            reference_ns / batch_ns
+        );
+        rows.push(FamilyRow {
+            family: "ETS",
+            shape: shape.name,
+            reference_ns,
+            kernel_ns,
+            batch_ns,
+            kernel_speedup: reference_ns / kernel_ns,
+            batch_speedup: reference_ns / batch_ns,
+        });
+    }
+    rows
+}
+
+/// Time the TBATS menu shapes through reference / solo kernel / batched
+/// kernel, asserting bitwise SSE parity across all three paths first. The
+/// reference rebuilds rotation tables and reallocates ARMA histories per
+/// call (the per-objective-call shape of the original model filter); the
+/// kernel paths reuse caller-pooled state.
+fn bench_tbats(iters: usize, z: &[f64]) -> Vec<FamilyRow> {
+    struct Shape {
+        name: &'static str,
+        seasons: &'static [(f64, usize)],
+        use_trend: bool,
+        phi: f64,
+        ar: &'static [f64],
+        ma: &'static [f64],
+    }
+    let shapes = [
+        Shape {
+            name: "level",
+            seasons: &[],
+            use_trend: false,
+            phi: 0.0,
+            ar: &[],
+            ma: &[],
+        },
+        Shape {
+            name: "trend-arma11",
+            seasons: &[],
+            use_trend: true,
+            phi: 0.95,
+            ar: &[0.4],
+            ma: &[0.3],
+        },
+        Shape {
+            name: "seasonal-24x3",
+            seasons: &[(24.0, 3)],
+            use_trend: false,
+            phi: 0.0,
+            ar: &[],
+            ma: &[],
+        },
+        Shape {
+            name: "damped-arma-24x3",
+            seasons: &[(24.0, 3)],
+            use_trend: true,
+            phi: 0.95,
+            ar: &[0.4],
+            ma: &[0.3],
+        },
+        Shape {
+            name: "dual-24x3-168x5",
+            seasons: &[(24.0, 3), (168.0, 5)],
+            use_trend: true,
+            phi: 0.95,
+            ar: &[0.4],
+            ma: &[0.3],
+        },
+    ];
+    let (alpha, beta) = (0.1, 0.05);
+    let level0 = z[0];
+    let trend0 = 0.02;
+    let mut rows = Vec::new();
+    for shape in &shapes {
+        let tables: Vec<Vec<(f64, f64)>> = shape
+            .seasons
+            .iter()
+            .map(|&(period, harmonics)| trig_seasonal::rotation_table(period, harmonics))
+            .collect();
+        let gammas: Vec<(f64, f64)> = shape.seasons.iter().map(|_| (0.01, 0.005)).collect();
+        let seasonal_len: usize = tables.iter().map(|t| 2 * t.len()).sum();
+        let base_seasonal: Vec<f64> = (0..seasonal_len)
+            .map(|i| 0.1 * (i as f64 * 0.37).sin())
+            .collect();
+        let alphas: Vec<f64> = (0..BATCH)
+            .map(|c| alpha * (1.0 - 0.01 * c as f64))
+            .collect();
+
+        let mut seas = base_seasonal.clone();
+        let mut d_hist = vec![0.0; shape.ar.len()];
+        let mut e_hist = vec![0.0; shape.ma.len()];
+        let solo = |seas: &mut [f64], d_hist: &mut [f64], e_hist: &mut [f64], alpha: f64| {
+            seas.copy_from_slice(&base_seasonal);
+            d_hist.fill(0.0);
+            e_hist.fill(0.0);
+            let mut lane = TbatsLane {
+                z,
+                alpha,
+                beta,
+                phi: shape.phi,
+                use_trend: shape.use_trend,
+                gammas: &gammas,
+                ar: shape.ar,
+                ma: shape.ma,
+                tables: &tables,
+                level: level0,
+                trend: trend0,
+                seasonal: seas,
+                d_hist,
+                e_hist,
+                sse: 0.0,
+                alive: true,
+            };
+            tbats_filter::run(&mut lane);
+            lane.result()
+        };
+        let mut seasonal_pool: Vec<Vec<f64>> = (0..BATCH).map(|_| base_seasonal.clone()).collect();
+        let mut d_pool: Vec<Vec<f64>> = (0..BATCH).map(|_| vec![0.0; shape.ar.len()]).collect();
+        let mut e_pool: Vec<Vec<f64>> = (0..BATCH).map(|_| vec![0.0; shape.ma.len()]).collect();
+        let run_batch =
+            |seasonal_pool: &mut [Vec<f64>], d_pool: &mut [Vec<f64>], e_pool: &mut [Vec<f64>]| {
+                let mut lanes: Vec<TbatsLane<'_>> = seasonal_pool
+                    .iter_mut()
+                    .zip(d_pool.iter_mut())
+                    .zip(e_pool.iter_mut())
+                    .zip(&alphas)
+                    .map(|(((seas, d_hist), e_hist), &alpha)| {
+                        seas.copy_from_slice(&base_seasonal);
+                        d_hist.fill(0.0);
+                        e_hist.fill(0.0);
+                        TbatsLane {
+                            z,
+                            alpha,
+                            beta,
+                            phi: shape.phi,
+                            use_trend: shape.use_trend,
+                            gammas: &gammas,
+                            ar: shape.ar,
+                            ma: shape.ma,
+                            tables: &tables,
+                            level: level0,
+                            trend: trend0,
+                            seasonal: seas,
+                            d_hist,
+                            e_hist,
+                            sse: 0.0,
+                            alive: true,
+                        }
+                    })
+                    .collect();
+                tbats_filter::run_batch(&mut lanes);
+                lanes[0].result()
+            };
+
+        // Parity before timing.
+        let reference = kernels::reference::tbats_filter(
+            z,
+            shape.seasons,
+            alpha,
+            beta,
+            shape.phi,
+            shape.use_trend,
+            &gammas,
+            shape.ar,
+            shape.ma,
+            level0,
+            trend0,
+            &base_seasonal,
+        );
+        let solo_sse = solo(&mut seas, &mut d_hist, &mut e_hist, alpha);
+        assert_sse_bits(
+            reference,
+            solo_sse,
+            &format!("TBATS {} reference vs solo", shape.name),
+        );
+        let batched_sse = run_batch(&mut seasonal_pool, &mut d_pool, &mut e_pool);
+        assert_sse_bits(
+            reference,
+            batched_sse,
+            &format!("TBATS {} reference vs batched", shape.name),
+        );
+
+        let mut sink = 0.0f64;
+        let reference_ns = time_ns(iters, || {
+            sink += kernels::reference::tbats_filter(
+                z,
+                shape.seasons,
+                alpha,
+                beta,
+                shape.phi,
+                shape.use_trend,
+                &gammas,
+                shape.ar,
+                shape.ma,
+                level0,
+                trend0,
+                &base_seasonal,
+            )
+            .unwrap_or(0.0);
+        });
+        let kernel_ns = time_ns(iters, || {
+            sink += solo(&mut seas, &mut d_hist, &mut e_hist, alpha).unwrap_or(0.0);
+        });
+        let batch_iters = (iters / BATCH).max(1);
+        let batch_ns = time_ns(batch_iters, || {
+            sink += run_batch(&mut seasonal_pool, &mut d_pool, &mut e_pool).unwrap_or(0.0);
+        }) / BATCH as f64;
+        std::hint::black_box(sink);
+
+        println!(
+            "  TBATS {:<14} reference {reference_ns:>7.0} ns  kernel {kernel_ns:>7.0} ns  \
+             batch {batch_ns:>7.0} ns/cand  ({:.2}x solo, {:.2}x batched)",
+            shape.name,
+            reference_ns / kernel_ns,
+            reference_ns / batch_ns
+        );
+        rows.push(FamilyRow {
+            family: "TBATS",
+            shape: shape.name,
+            reference_ns,
+            kernel_ns,
+            batch_ns,
+            kernel_speedup: reference_ns / kernel_ns,
+            batch_speedup: reference_ns / batch_ns,
+        });
+    }
+    rows
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -174,11 +672,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::hint::black_box(sink);
     }
 
+    // Batched exponential-smoothing families. Multiplicative Holt-Winters
+    // needs a strictly positive series; the shift changes nothing for the
+    // additive recursions' cost profile.
+    let y: Vec<f64> = w.iter().map(|v| v + 50.0).collect();
+    let mut family_rows = bench_ets(iters, &y);
+    family_rows.extend(bench_tbats(iters, &w));
+    let ets_geo = geomean_batch_speedup(&family_rows, "ETS");
+    let tbats_geo = geomean_batch_speedup(&family_rows, "TBATS");
+    println!("  geomean batched speedup: ETS {ets_geo:.2}x  TBATS {tbats_geo:.2}x");
+
     let snapshot = KernelSnapshot {
         series_len: SERIES_LEN,
         batch: BATCH,
         iters,
         rows,
+        batched_families: BatchedFamilies {
+            batch: BATCH,
+            iters,
+            rows: family_rows,
+            ets_geomean_batch_speedup: ets_geo,
+            tbats_geomean_batch_speedup: tbats_geo,
+        },
     };
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;

@@ -193,6 +193,10 @@ impl AggregateStage {
             };
             models.extend(ModelGrid::tbats(&periods, lambda, interval_level).candidates);
         }
+        // The union grid can contain structural duplicates (e.g. a
+        // degenerate Holt-Winters candidate collapsing onto plain Holt);
+        // canonicalise and drop them before they reach the work queue.
+        crate::grid::dedupe_candidates(&mut models);
         let set = CandidateSet { models, profile };
         let mut eval_opts = config.eval.clone();
         eval_opts.start_index = offset;
@@ -1096,6 +1100,36 @@ mod tests {
 
         // Forcing a frozen re-score on unchanged data reproduces the
         // stored baseline exactly.
+        let StepOutcome::Scored(summary) = engine.force_rescore("db/CPU").unwrap() else {
+            panic!("expected a scored step");
+        };
+        assert_eq!(summary.action, ScoreAction::Rescored);
+        assert_eq!(summary.live_rmse, batch.accuracy.rmse);
+    }
+
+    #[test]
+    fn frozen_rescore_matches_batch_fit_for_tbats() {
+        // Same contract as the HES test above, for the other batched
+        // exponential-smoothing family: the serve engine's frozen TBATS
+        // re-score (solo kernel path) must reproduce the batch pipeline's
+        // champion RMSE bit for bit.
+        let config = PipelineConfig {
+            method: MethodChoice::Tbats,
+            ..fast_config()
+        };
+        let mut engine = Engine::new(EngineConfig::new(config.clone()));
+        let pts = quarter_hour_points(1010);
+        engine.push_batch("db/CPU", &pts).unwrap();
+
+        let series = {
+            let state_page = engine.read_page("db/CPU", 0, 4096).unwrap();
+            TimeSeries::new(state_page.values, Frequency::Hourly, 0)
+        };
+        let batch = Pipeline::new(config).run(&series, &[]).unwrap();
+        let status = engine.status("db/CPU").unwrap();
+        assert_eq!(status.champion.as_deref(), Some(batch.champion.as_str()));
+        assert_eq!(status.live_rmse, Some(batch.accuracy.rmse));
+
         let StepOutcome::Scored(summary) = engine.force_rescore("db/CPU").unwrap() else {
             panic!("expected a scored step");
         };

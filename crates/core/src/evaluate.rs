@@ -53,14 +53,17 @@ use crate::{PlannerError, Result};
 use dwcp_math::kernels;
 use dwcp_models::arima::{adapt_unconstrained, ArimaFitSession, ArimaOptions};
 use dwcp_models::{
-    adapt_ets_unconstrained, adapt_tbats_unconstrained, EtsFitOptions, TbatsFitOptions,
+    adapt_ets_unconstrained, adapt_tbats_unconstrained, EtsFitOptions, EtsFitSession,
+    TbatsFitOptions, TbatsFitSession,
 };
+use dwcp_models::{tbats_rotation_tables, RotationTables, SeasonalKind, TbatsConfig};
 use dwcp_models::{ArimaSpec, FittedArima, FittedEts, FittedSarimax, FittedTbats};
 use dwcp_models::{Forecast, Forecaster, ModelError};
 use dwcp_series::diff::Differenced;
 use dwcp_series::Accuracy;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Maximum warm-start chain length. Fixed (never derived from the thread
@@ -181,6 +184,11 @@ pub struct LockstepStats {
     pub stage: Duration,
     /// Time inside [`kernels::css_batch`] passes.
     pub batch_css: Duration,
+    /// Time inside [`kernels::ets_batch`] passes (lane assembly included).
+    pub batch_ets: Duration,
+    /// Time inside [`kernels::tbats_filter::run_batch`] passes (lane
+    /// assembly included).
+    pub batch_tbats: Duration,
     /// Time feeding objective values back into the optimisers.
     pub tell: Duration,
 }
@@ -192,6 +200,8 @@ impl LockstepStats {
         self.advance += other.advance;
         self.stage += other.stage;
         self.batch_css += other.batch_css;
+        self.batch_ets += other.batch_ets;
+        self.batch_tbats += other.batch_tbats;
         self.tell += other.tell;
     }
 }
@@ -345,8 +355,12 @@ enum ChainKey {
     /// ARIMA family: differencing signature + regression design
     /// (`n_exog`, Fourier column count).
     Sarimax(DiffKey, usize, usize),
-    /// ETS: the whole menu shares smoothing parameters.
-    Ets,
+    /// ETS: one chain per seasonality class (0 = none, 1 = additive,
+    /// 2 = multiplicative) — the γ dimension appears and the state
+    /// recursion changes shape across classes, so smoothing parameters
+    /// transfer best within a class, and the batched recursion kernel
+    /// gets lanes grouped by class for free.
+    Ets(u8),
     /// TBATS: one chain per Box-Cox half — λ changes the objective's
     /// scale, so parameters don't transfer across the transform boundary.
     Tbats(bool),
@@ -357,7 +371,11 @@ fn chain_key(config: &ModelConfig) -> ChainKey {
         ModelConfig::Sarimax(c) => {
             ChainKey::Sarimax(diff_key(&c.spec), c.n_exog, c.fourier.n_columns())
         }
-        ModelConfig::Ets(_) => ChainKey::Ets,
+        ModelConfig::Ets(c) => ChainKey::Ets(match c.seasonal {
+            SeasonalKind::None => 0,
+            SeasonalKind::Additive(_) => 1,
+            SeasonalKind::Multiplicative(_) => 2,
+        }),
         ModelConfig::Tbats(c) => ChainKey::Tbats(c.lambda.is_some()),
     }
 }
@@ -404,42 +422,68 @@ fn build_chains(candidates: &[CandidateModel]) -> Vec<Chain> {
 }
 
 /// One entry in the fleet work queue: a single chain run sequentially, or
-/// a group of plain-ARIMA chains with cached differenced series, executed
-/// in lockstep over the batched CSS kernel ([`kernels::css_batch`]).
+/// a group of batchable chains — plain-ARIMA chains with cached
+/// differenced series, ETS chains, TBATS chains — executed in lockstep
+/// over the batched family kernels ([`kernels::css_batch`],
+/// [`kernels::ets_batch`], [`kernels::tbats_filter::run_batch`]).
 ///
-/// Batching is a wall-time optimisation only: the batched kernel preserves
-/// each candidate's exact per-element arithmetic, and every chain keeps its
-/// own warm-start thread, so a batched unit produces bit-identical scores
-/// to running its chains through [`run_chain`] one by one.
+/// Batching is a wall-time optimisation only: every batched kernel is a
+/// statement-for-statement transcription of its solo counterpart, and
+/// every chain keeps its own warm-start thread, so a batched unit produces
+/// bit-identical scores to running its chains through [`run_chain`] one by
+/// one.
 enum WorkUnit {
     /// Run `chains[i]` sequentially.
     Single(usize),
     /// Run this set of chain indices in lockstep; each chain scores
-    /// against its own cached differenced series (the batched kernel takes
-    /// per-candidate series, so one group spans every differencing
-    /// signature — the wider the group, the longer the lockstep stays at
+    /// against its own series (the batched kernels take per-candidate
+    /// series, so one group spans every differencing signature and every
+    /// family — the wider the group, the longer the lockstep stays at
     /// full batch width as chains drain unevenly).
     Batched(Vec<usize>),
 }
 
-/// The differencing signature a chain would batch under, if it is a plain
-/// ARIMA-family chain at all. Chains within one chain key are homogeneous
-/// by construction, so the first candidate decides for the whole chain.
-fn chain_batch_key(task: &EvalTask, chain: &Chain) -> Option<DiffKey> {
-    chain
+/// Which batched kernel a chain's candidates go through. Chains within
+/// one chain key are family-homogeneous by construction, so the first
+/// candidate decides for the whole chain.
+enum BatchKind {
+    /// Plain ARIMA family: lockstep CSS over the cached differenced
+    /// series for this signature.
+    Css(DiffKey),
+    /// ETS: lockstep state recursions over [`kernels::ets_batch`] lanes.
+    Ets,
+    /// TBATS: lockstep filter passes over
+    /// [`kernels::tbats_filter::run_batch`] lanes with shared rotation
+    /// tables.
+    Tbats,
+}
+
+/// The batch kind a chain would lockstep under, if it can batch at all
+/// (regression designs fit against per-candidate design matrices the
+/// batched kernels don't model).
+fn chain_batch_kind(task: &EvalTask, chain: &Chain) -> Option<BatchKind> {
+    let candidate = chain
         .indices
         .first()
-        .and_then(|&i| task.candidates.get(i))
-        .and_then(CandidateModel::as_sarimax)
-        .filter(|config| !config.has_regression())
-        .map(|config| diff_key(&config.spec))
+        .and_then(|&i| task.candidates.get(i))?;
+    match &candidate.config {
+        ModelConfig::Sarimax(config) if !config.has_regression() => {
+            Some(BatchKind::Css(diff_key(&config.spec)))
+        }
+        ModelConfig::Sarimax(_) => None,
+        ModelConfig::Ets(_) => Some(BatchKind::Ets),
+        ModelConfig::Tbats(_) => Some(BatchKind::Tbats),
+    }
 }
 
 /// Partition a task's chains into work units. A chain joins the batched
 /// group only in exact mode (racing loads the shared incumbent mid-fit;
-/// interleaving fits would reorder those loads) and only when it is a
-/// plain ARIMA-family chain whose differenced series is in the transform
-/// cache; the group needs at least two chains to be worth a lockstep pass.
+/// interleaving fits would reorder those loads) and only when its shared
+/// per-task transforms are available: a plain ARIMA-family chain needs its
+/// differenced series in the transform cache, and ETS/TBATS chains batch
+/// whenever the cache layer is enabled at all (the same ablation flag
+/// governs both); the group needs at least two chains to be worth a
+/// lockstep pass.
 fn build_units(
     task: &EvalTask,
     cache: &BTreeMap<DiffKey, Differenced>,
@@ -448,9 +492,14 @@ fn build_units(
     let mut units = Vec::new();
     let mut batchable: Vec<usize> = Vec::new();
     for (ci, chain) in chains.iter().enumerate() {
-        let key =
-            chain_batch_key(task, chain).filter(|key| !task.opts.racing && cache.contains_key(key));
-        match key {
+        let kind = chain_batch_kind(task, chain).filter(|kind| {
+            !task.opts.racing
+                && match kind {
+                    BatchKind::Css(key) => cache.contains_key(key),
+                    BatchKind::Ets | BatchKind::Tbats => task.opts.cache_transforms,
+                }
+        });
+        match kind {
             Some(_) => batchable.push(ci),
             None => units.push(WorkUnit::Single(ci)),
         }
@@ -559,6 +608,8 @@ pub struct EvalTask<'a> {
 /// Per-task shared state prepared before the pool starts.
 struct TaskState {
     cache: BTreeMap<DiffKey, Differenced>,
+    /// Shared TBATS rotation tables, one per seasonal signature.
+    rotations: BTreeMap<SeasonSig, Arc<RotationTables>>,
     chains: Vec<Chain>,
     units: Vec<WorkUnit>,
     /// Incumbent best RMSE for racing, as f64 bits (+inf = no incumbent).
@@ -595,10 +646,12 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
         .iter()
         .map(|task| {
             let cache = build_transform_cache(task);
+            let rotations = build_rotation_cache(task);
             let chains = build_chains(task.candidates);
             let units = build_units(task, &cache, &chains);
             TaskState {
                 cache,
+                rotations,
                 chains,
                 units,
                 best_rmse: AtomicU64::new(f64::INFINITY.to_bits()),
@@ -646,19 +699,34 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
                                 run_chain(chain, task, &state.cache, &state.best_rmse, slot);
                             }
                             Some(WorkUnit::Batched(chain_ids)) => {
-                                let mut chains: Vec<(&Chain, &Differenced)> = Vec::new();
+                                let mut chains: Vec<(&Chain, Option<&Differenced>)> = Vec::new();
                                 for &ci in chain_ids {
                                     let Some(chain) = state.chains.get(ci) else {
                                         continue;
                                     };
-                                    match chain_batch_key(task, chain)
-                                        .and_then(|key| state.cache.get(&key))
-                                    {
-                                        Some(diffed) => chains.push((chain, diffed)),
-                                        // Unreachable by construction (units
-                                        // only batch cached keys); degrade to
-                                        // the sequential path rather than
-                                        // drop work.
+                                    match chain_batch_kind(task, chain) {
+                                        Some(BatchKind::Css(key)) => {
+                                            match state.cache.get(&key) {
+                                                Some(diffed) => chains.push((chain, Some(diffed))),
+                                                // Unreachable by construction
+                                                // (units only batch cached
+                                                // keys); degrade to the
+                                                // sequential path rather than
+                                                // drop work.
+                                                None => run_chain(
+                                                    chain,
+                                                    task,
+                                                    &state.cache,
+                                                    &state.best_rmse,
+                                                    slot,
+                                                ),
+                                            }
+                                        }
+                                        Some(BatchKind::Ets | BatchKind::Tbats) => {
+                                            chains.push((chain, None));
+                                        }
+                                        // Unreachable by construction; degrade
+                                        // likewise.
                                         None => run_chain(
                                             chain,
                                             task,
@@ -668,7 +736,13 @@ pub fn evaluate_fleet(tasks: &[EvalTask], threads: usize) -> Vec<Result<Evaluati
                                         ),
                                     }
                                 }
-                                run_chain_group(&chains, task, &state.best_rmse, slot);
+                                run_chain_group(
+                                    &chains,
+                                    task,
+                                    &state.rotations,
+                                    &state.best_rmse,
+                                    slot,
+                                );
                             }
                             None => continue,
                         }
@@ -775,6 +849,43 @@ fn build_transform_cache(task: &EvalTask) -> BTreeMap<DiffKey, Differenced> {
                 slot.insert(diffed);
             }
         }
+    }
+    map
+}
+
+/// A TBATS seasonal signature: one `(period bits, harmonics)` pair per
+/// block. Keyed on the exact `f64` bit pattern — two configurations share
+/// rotation tables only when their harmonic angles are identical.
+type SeasonSig = Vec<(u64, usize)>;
+
+fn season_sig(config: &TbatsConfig) -> SeasonSig {
+    config
+        .seasons
+        .iter()
+        .map(|s| (s.period.to_bits(), s.harmonics))
+        .collect()
+}
+
+/// Shared TBATS rotation tables for one task: the per-harmonic `(cos, sin)`
+/// rotation pairs depend only on the seasonal signature, so the whole
+/// lattice — 27 candidates sharing a handful of signatures — reuses one
+/// table set per signature instead of recomputing the trigonometry per
+/// fit. Gated on the same flag as the transform cache (the ablation switch
+/// turns off every shared-transform layer together).
+fn build_rotation_cache(task: &EvalTask) -> BTreeMap<SeasonSig, Arc<RotationTables>> {
+    if !task.opts.cache_transforms {
+        return BTreeMap::new();
+    }
+    let mut map = BTreeMap::new();
+    for c in task.candidates {
+        let ModelConfig::Tbats(config) = &c.config else {
+            continue;
+        };
+        if config.seasons.is_empty() {
+            continue;
+        }
+        map.entry(season_sig(config))
+            .or_insert_with(|| Arc::new(tbats_rotation_tables(config)));
     }
     map
 }
@@ -909,35 +1020,69 @@ fn run_chain(
     }
 }
 
+/// One open fit inside a batched lockstep group, any family. The wrapper
+/// dispatches the shared pump/stage protocol; the family-specific staging
+/// payloads (CSS polynomial expansions vs. recursion/filter lanes) are
+/// pulled out by [`run_chain_group`]'s per-family kernel passes.
+enum FitSession {
+    Arima(Box<ArimaFitSession>),
+    Ets(Box<EtsFitSession>),
+    Tbats(Box<TbatsFitSession>),
+}
+
+impl FitSession {
+    /// Whether the optimiser still needs an objective evaluation.
+    fn is_pending(&self) -> bool {
+        match self {
+            FitSession::Arima(s) => s.is_pending(),
+            FitSession::Ets(s) => s.is_pending(),
+            FitSession::Tbats(s) => s.is_pending(),
+        }
+    }
+
+    /// Unpack the pending optimiser point for a batched kernel pass.
+    fn stage_pending(&mut self) -> bool {
+        match self {
+            FitSession::Arima(s) => s.stage_pending(),
+            FitSession::Ets(s) => s.stage_pending(),
+            FitSession::Tbats(s) => s.stage_pending(),
+        }
+    }
+}
+
 /// One chain's position inside a batched lockstep group: where it is in
 /// its candidate list, the warm-start predecessor it threads forward, and
 /// the fit session currently being optimised (if any).
 struct GroupCursor<'c> {
     chain: &'c Chain,
-    /// The cached differenced series for this chain's signature.
-    diffed: &'c Differenced,
+    /// The cached differenced series for a plain-ARIMA chain; `None` for
+    /// ETS/TBATS chains, whose recursions run on the raw series.
+    diffed: Option<&'c Differenced>,
     /// Next unopened entry in `chain.indices`.
     pos: usize,
     /// The chain's warm-start predecessor `(config, converged params)`.
     prev: Option<(ModelConfig, Vec<f64>)>,
     /// The open fit: `(candidate index, session)`.
-    active: Option<(usize, ArimaFitSession)>,
+    active: Option<(usize, FitSession)>,
     /// Wall time attributed to the open candidate so far (its share of
     /// each batched kernel round plus its own open/settle work); flushed
     /// into the family's `fit_time` when the candidate completes.
     spent: Duration,
 }
 
-/// Execute a group of plain-ARIMA warm-start chains in lockstep: each
-/// round stages every active chain's pending optimiser point and scores
-/// all of them in one streaming [`kernels::css_batch`] pass. Each session
-/// carries its own cached differenced series, and the batched kernel
-/// preserves each candidate's exact per-element arithmetic, so every score
-/// is bit-identical to the sequential [`run_chain`] path — batching
-/// changes wall time, never results.
+/// Execute a group of warm-start chains in lockstep: each round stages
+/// every active chain's pending optimiser point and scores all of them in
+/// (up to) one batched kernel pass per family — [`kernels::css_batch`] for
+/// plain ARIMA candidates, [`kernels::ets_batch`] for ETS,
+/// [`kernels::tbats_filter::run_batch`] for TBATS. Each session carries
+/// its own series/state windows, and every batched kernel preserves each
+/// candidate's exact per-element arithmetic, so every score is
+/// bit-identical to the sequential [`run_chain`] path — batching changes
+/// wall time, never results.
 fn run_chain_group(
-    chains: &[(&Chain, &Differenced)],
+    chains: &[(&Chain, Option<&Differenced>)],
     task: &EvalTask,
+    rotations: &BTreeMap<SeasonSig, Arc<RotationTables>>,
     best_rmse: &AtomicU64,
     out: &mut WorkerOutput,
 ) {
@@ -958,13 +1103,18 @@ fn run_chain_group(
     let mut scratch = kernels::CssBatchScratch::default();
     let mut css_out: Vec<f64> = Vec::new();
     let mut staged: Vec<usize> = Vec::new();
+    let mut css_ids: Vec<usize> = Vec::new();
+    let mut ets_ids: Vec<usize> = Vec::new();
+    let mut ets_sse: Vec<f64> = Vec::new();
+    let mut tbats_ids: Vec<usize> = Vec::new();
+    let mut tbats_sse: Vec<f64> = Vec::new();
     loop {
         // Phase A: bring every cursor to a pending optimiser point —
         // settle finished fits, open the next candidate, repeat (fits
         // decided without an optimiser run settle immediately).
         let advance_started = Instant::now();
         for cursor in cursors.iter_mut() {
-            pump_group_cursor(cursor, task, best_rmse, out);
+            pump_group_cursor(cursor, task, rotations, best_rmse, out);
         }
         out.lockstep.advance += advance_started.elapsed();
         let round_started = Instant::now();
@@ -981,26 +1131,105 @@ fn run_chain_group(
         }
         let staged_at = Instant::now();
         out.lockstep.stage += staged_at - round_started;
-        // Phase B: one batched kernel pass over all staged points, each
-        // against its session's own centered series.
+        // Phase B: one batched kernel pass per family over all staged
+        // points, each candidate against its session's own series. The
+        // three passes live in separate borrow scopes: the CSS pass reads
+        // staged slices, the lane passes take mutable state windows.
+        css_ids.clear();
         {
             let mut cands: Vec<(&[f64], &[f64], &[f64])> = Vec::with_capacity(staged.len());
             for &ci in staged.iter() {
-                if let Some((_, session)) = cursors.get(ci).and_then(|c| c.active.as_ref()) {
+                if let Some((_, FitSession::Arima(session))) =
+                    cursors.get(ci).and_then(|c| c.active.as_ref())
+                {
                     cands.push((session.staged_phi(), session.staged_theta(), session.w()));
+                    css_ids.push(ci);
                 }
             }
-            kernels::css_batch(&cands, &mut scratch, &mut css_out);
+            css_out.clear();
+            if !cands.is_empty() {
+                kernels::css_batch(&cands, &mut scratch, &mut css_out);
+            }
+        }
+        let css_at = Instant::now();
+        out.lockstep.batch_css += css_at - staged_at;
+        ets_ids.clear();
+        ets_sse.clear();
+        {
+            let mut lanes: Vec<kernels::holt_winters::EtsLane<'_>> = Vec::new();
+            for (ci, cursor) in cursors.iter_mut().enumerate() {
+                if !staged.contains(&ci) {
+                    continue;
+                }
+                if let Some((_, FitSession::Ets(session))) = cursor.active.as_mut() {
+                    if let Some(lane) = session.staged_lane() {
+                        lanes.push(lane);
+                        ets_ids.push(ci);
+                    }
+                }
+            }
+            if !lanes.is_empty() {
+                kernels::ets_batch(&mut lanes);
+                ets_sse.extend(
+                    lanes
+                        .iter()
+                        .map(|l| l.result().sse.unwrap_or(f64::INFINITY)),
+                );
+            }
+        }
+        let ets_at = Instant::now();
+        out.lockstep.batch_ets += ets_at - css_at;
+        tbats_ids.clear();
+        tbats_sse.clear();
+        {
+            let mut lanes: Vec<kernels::tbats_filter::TbatsLane<'_>> = Vec::new();
+            for (ci, cursor) in cursors.iter_mut().enumerate() {
+                if !staged.contains(&ci) {
+                    continue;
+                }
+                if let Some((_, FitSession::Tbats(session))) = cursor.active.as_mut() {
+                    if let Some(lane) = session.staged_lane() {
+                        lanes.push(lane);
+                        tbats_ids.push(ci);
+                    }
+                }
+            }
+            if !lanes.is_empty() {
+                kernels::tbats_filter::run_batch(&mut lanes);
+                tbats_sse.extend(lanes.iter().map(|l| l.result().unwrap_or(f64::INFINITY)));
+            }
         }
         let batched_at = Instant::now();
-        out.lockstep.batch_css += batched_at - staged_at;
+        out.lockstep.batch_tbats += batched_at - ets_at;
         // Phase C: feed each objective value back to its optimiser.
-        for (j, &ci) in staged.iter().enumerate() {
+        for (j, &ci) in css_ids.iter().enumerate() {
             let Some(&css) = css_out.get(j) else {
                 continue;
             };
-            if let Some((_, session)) = cursors.get_mut(ci).and_then(|c| c.active.as_mut()) {
+            if let Some((_, FitSession::Arima(session))) =
+                cursors.get_mut(ci).and_then(|c| c.active.as_mut())
+            {
                 session.tell_css(css);
+            }
+        }
+        for (j, &ci) in ets_ids.iter().enumerate() {
+            let Some(&sse) = ets_sse.get(j) else {
+                continue;
+            };
+            if let Some((_, FitSession::Ets(session))) =
+                cursors.get_mut(ci).and_then(|c| c.active.as_mut())
+            {
+                session.tell_sse(sse);
+            }
+        }
+        for (j, &ci) in tbats_ids.iter().enumerate() {
+            let Some(&sse) = tbats_sse.get(j) else {
+                continue;
+            };
+            if let Some((_, FitSession::Tbats(session))) =
+                cursors.get_mut(ci).and_then(|c| c.active.as_mut())
+            {
+                session.tell_sse(sse);
             }
         }
         out.lockstep.tell += batched_at.elapsed();
@@ -1025,6 +1254,7 @@ fn run_chain_group(
 fn pump_group_cursor(
     cursor: &mut GroupCursor,
     task: &EvalTask,
+    rotations: &BTreeMap<SeasonSig, Arc<RotationTables>>,
     best_rmse: &AtomicU64,
     out: &mut WorkerOutput,
 ) {
@@ -1059,7 +1289,7 @@ fn pump_group_cursor(
             continue;
         };
         let step_started = Instant::now();
-        match open_group_fit(candidate, &cursor.prev, task, cursor.diffed, out) {
+        match open_group_fit(candidate, &cursor.prev, task, cursor.diffed, rotations, out) {
             Ok(session) => {
                 cursor.spent += step_started.elapsed();
                 cursor.active = Some((i, session));
@@ -1077,16 +1307,18 @@ fn pump_group_cursor(
 
 /// Open a fit session for one batched candidate, mirroring the sequential
 /// path's per-candidate bookkeeping: the attempt count, the chain warm
-/// start, the frozen champion re-score, and the cache hit (batched groups
-/// exist only for cached plain candidates, and only in exact mode, so the
-/// racing bound and the regression `freeze_beta` never apply here).
+/// start, the frozen champion re-score, and (for plain ARIMA candidates)
+/// the cache hit. Batched groups run only in exact mode and never contain
+/// regression designs, so the racing bound and `freeze_beta` never apply
+/// here.
 fn open_group_fit(
     candidate: &CandidateModel,
     prev: &Option<(ModelConfig, Vec<f64>)>,
     task: &EvalTask,
-    diffed: &Differenced,
+    diffed: Option<&Differenced>,
+    rotations: &BTreeMap<SeasonSig, Arc<RotationTables>>,
     out: &mut WorkerOutput,
-) -> std::result::Result<ArimaFitSession, ModelError> {
+) -> std::result::Result<FitSession, ModelError> {
     let opts = &task.opts;
     out.family_mut(candidate.family).attempts += 1;
     let mut fit_opts = opts.fit.clone();
@@ -1105,13 +1337,40 @@ fn open_group_fit(
             fit_opts.freeze_warm_start = true;
         }
     }
-    out.cache_hits += 1;
-    let Some(config) = candidate.as_sarimax() else {
-        return Err(ModelError::FitFailed {
-            context: "batched chain group contains a non-ARIMA candidate".to_string(),
-        });
-    };
-    ArimaFitSession::new(task.train, config.spec, &fit_opts, diffed)
+    match &candidate.config {
+        ModelConfig::Sarimax(config) => {
+            if config.has_regression() {
+                return Err(ModelError::FitFailed {
+                    context: "batched chain group contains a regression candidate".to_string(),
+                });
+            }
+            let Some(diffed) = diffed else {
+                return Err(ModelError::FitFailed {
+                    context: "batched ARIMA chain lost its cached transform".to_string(),
+                });
+            };
+            out.cache_hits += 1;
+            ArimaFitSession::new(task.train, config.spec, &fit_opts, diffed)
+                .map(|session| FitSession::Arima(Box::new(session)))
+        }
+        ModelConfig::Ets(config) => {
+            let ets_opts = EtsFitOptions {
+                warm_start: fit_opts.warm_start,
+                freeze_warm_start: fit_opts.freeze_warm_start,
+            };
+            EtsFitSession::new(task.train, *config, &ets_opts)
+                .map(|session| FitSession::Ets(Box::new(session)))
+        }
+        ModelConfig::Tbats(config) => {
+            let tbats_opts = TbatsFitOptions {
+                warm_start: fit_opts.warm_start,
+                freeze_warm_start: fit_opts.freeze_warm_start,
+            };
+            let rotation = rotations.get(&season_sig(config)).cloned();
+            TbatsFitSession::new(task.train, config.clone(), &tbats_opts, rotation)
+                .map(|session| FitSession::Tbats(Box::new(session)))
+        }
+    }
 }
 
 /// Finalise one batched candidate's completed session — the lockstep
@@ -1120,7 +1379,7 @@ fn open_group_fit(
 /// warm start on success.
 fn settle_group_fit(
     candidate_index: usize,
-    session: ArimaFitSession,
+    session: FitSession,
     task: &EvalTask,
     best_rmse: &AtomicU64,
     out: &mut WorkerOutput,
@@ -1152,39 +1411,71 @@ fn settle_group_fit(
     }
 }
 
-/// Score one batched candidate's finished fit: wrap the ARIMA fit in the
-/// plain SARIMAX shell (exactly as [`FittedSarimax::fit_plain_prepared`]
-/// does), forecast the test segment and hand off to [`finish_score`].
+/// Score one batched candidate's finished fit. ARIMA sessions are wrapped
+/// in the plain SARIMAX shell (exactly as
+/// [`FittedSarimax::fit_plain_prepared`] does); ETS and TBATS sessions
+/// finalise to their fitted models directly, exactly as the sequential
+/// [`score_one`] arms do. Either way the test segment is forecast and
+/// handed off to [`finish_score`].
 fn score_group_fit(
     candidate: &CandidateModel,
     candidate_index: usize,
-    session: ArimaFitSession,
+    session: FitSession,
     task: &EvalTask,
 ) -> std::result::Result<ScoredFit, ModelError> {
-    let Some(config) = candidate.as_sarimax() else {
-        return Err(ModelError::FitFailed {
-            context: "batched chain group contains a non-ARIMA candidate".to_string(),
-        });
-    };
-    let arima = session.finish()?;
-    let fit = FittedSarimax {
-        nm_evals: arima.nm_evals,
-        config: config.clone(),
-        beta: vec![],
-        arima,
-        n_obs: task.train.len(),
-        start_index: task.opts.start_index,
-    };
-    let forecast = fit.forecast_cols(task.test.len(), &[])?;
-    let warm_beta = fit.beta.clone();
-    finish_score(
-        &fit,
-        forecast,
-        warm_beta,
-        task.test,
-        candidate,
-        candidate_index,
-    )
+    match session {
+        FitSession::Arima(session) => {
+            let Some(config) = candidate.as_sarimax() else {
+                return Err(ModelError::FitFailed {
+                    context: "batched ARIMA session settled against a non-ARIMA candidate"
+                        .to_string(),
+                });
+            };
+            let arima = session.finish()?;
+            let fit = FittedSarimax {
+                nm_evals: arima.nm_evals,
+                config: config.clone(),
+                beta: vec![],
+                arima,
+                n_obs: task.train.len(),
+                start_index: task.opts.start_index,
+            };
+            let forecast = fit.forecast_cols(task.test.len(), &[])?;
+            let warm_beta = fit.beta.clone();
+            finish_score(
+                &fit,
+                forecast,
+                warm_beta,
+                task.test,
+                candidate,
+                candidate_index,
+            )
+        }
+        FitSession::Ets(session) => {
+            let fit = session.finish()?;
+            let forecast = fit.forecast(task.test.len());
+            finish_score(
+                &fit,
+                forecast,
+                Vec::new(),
+                task.test,
+                candidate,
+                candidate_index,
+            )
+        }
+        FitSession::Tbats(session) => {
+            let fit = session.finish()?;
+            let forecast = fit.forecast(task.test.len());
+            finish_score(
+                &fit,
+                forecast,
+                Vec::new(),
+                task.test,
+                candidate,
+                candidate_index,
+            )
+        }
+    }
 }
 
 /// The first `n` exogenous columns, or a typed mismatch error when the
@@ -1720,6 +2011,125 @@ mod tests {
                 .iter()
                 .all(|&i| candidates[i].family == family));
         }
+    }
+
+    /// Assert two reports carry bitwise-identical score sheets: same
+    /// candidates in the same order, same RMSE/AIC bits, same converged
+    /// parameters and forecasts.
+    fn assert_reports_bitwise_equal(a: &EvaluationReport, b: &EvaluationReport) {
+        assert_eq!(a.scores.len(), b.scores.len());
+        assert_eq!(a.failures, b.failures);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            let what = x.candidate.config.describe();
+            assert_eq!(x.candidate_index, y.candidate_index, "{what}");
+            assert_eq!(
+                x.accuracy.rmse.to_bits(),
+                y.accuracy.rmse.to_bits(),
+                "{what}"
+            );
+            assert_eq!(x.aic.to_bits(), y.aic.to_bits(), "{what}");
+            assert_eq!(x.warm_params.len(), y.warm_params.len(), "{what}");
+            for (p, q) in x.warm_params.iter().zip(&y.warm_params) {
+                assert_eq!(p.to_bits(), q.to_bits(), "{what}");
+            }
+            for (p, q) in x.forecast.mean.iter().zip(&y.forecast.mean) {
+                assert_eq!(p.to_bits(), q.to_bits(), "{what}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_ets_tbats_match_sequential_bitwise() {
+        // An ETS+TBATS grid under default options runs through the batched
+        // recursion/filter kernels; with the cache layer disabled the same
+        // grid runs through the sequential per-candidate path. The two
+        // must agree bit for bit on every score.
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let mut candidates = ModelGrid::ets(12, true, 0.95).candidates;
+        let mut tbats = ModelGrid::tbats(&[12.0], None, 0.95).candidates;
+        tbats.truncate(6);
+        candidates.extend(tbats);
+        let batched =
+            evaluate_candidates(train, test, &[], &[], &candidates, &Default::default()).unwrap();
+        let sequential_opts = EvaluationOptions {
+            cache_transforms: false,
+            ..Default::default()
+        };
+        let sequential =
+            evaluate_candidates(train, test, &[], &[], &candidates, &sequential_opts).unwrap();
+        // No ARIMA candidates: every batched evaluation below went through
+        // the ETS or TBATS kernel.
+        assert!(batched.stats.lockstep.batched_evals > 0);
+        assert_eq!(sequential.stats.lockstep.batched_evals, 0);
+        assert_reports_bitwise_equal(&batched, &sequential);
+    }
+
+    #[test]
+    fn mixed_family_batched_scores_identical_across_threads() {
+        // One task mixing all three families: the full score sheet — not
+        // just the champion — must be bit-identical at every thread count.
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let mut candidates = small_candidates();
+        candidates.extend(ModelGrid::ets(12, true, 0.95).candidates);
+        let mut tbats = ModelGrid::tbats(&[12.0], None, 0.95).candidates;
+        tbats.truncate(4);
+        candidates.extend(tbats);
+        let mut baseline: Option<EvaluationReport> = None;
+        for threads in [1, 2, 4, 8] {
+            let opts = EvaluationOptions {
+                threads,
+                ..Default::default()
+            };
+            let report = evaluate_candidates(train, test, &[], &[], &candidates, &opts).unwrap();
+            match &baseline {
+                None => baseline = Some(report),
+                Some(expected) => assert_reports_bitwise_equal(expected, &report),
+            }
+        }
+    }
+
+    #[test]
+    fn tbats_seed_freezes_champion_re_score() {
+        // The TBATS twin of `hes_seed_freezes_champion_re_score`: with the
+        // stored champion as seed, the batched path must re-score the
+        // stored parameters verbatim through the frozen solo-kernel pass.
+        let y = seasonal_series(240);
+        let (train, test) = y.split_at(216);
+        let mut candidates = ModelGrid::tbats(&[12.0], None, 0.95).candidates;
+        candidates.truncate(6);
+        let cold =
+            evaluate_candidates(train, test, &[], &[], &candidates, &Default::default()).unwrap();
+        let champion = cold.champion().unwrap().clone();
+        assert_eq!(champion.candidate.family, ModelFamily::Tbats);
+        let task = EvalTask {
+            train,
+            test,
+            exog_train: &[],
+            exog_test: &[],
+            candidates: &candidates,
+            opts: Default::default(),
+            seed: Some((
+                champion.candidate.config.clone(),
+                champion.warm_params.clone(),
+                champion.warm_beta.clone(),
+            )),
+        };
+        let seeded = evaluate_fleet(std::slice::from_ref(&task), 1)
+            .pop()
+            .unwrap()
+            .unwrap();
+        let re_scored = seeded
+            .scores
+            .iter()
+            .find(|s| s.candidate.config == champion.candidate.config)
+            .unwrap();
+        assert_eq!(
+            re_scored.accuracy.rmse.to_bits(),
+            champion.accuracy.rmse.to_bits()
+        );
+        assert_eq!(re_scored.warm_params, champion.warm_params);
     }
 
     #[test]

@@ -147,6 +147,59 @@ impl ModelConfig {
             ModelConfig::Tbats(c) => c.n_params(),
         }
     }
+
+    /// The canonical form of this configuration: degenerate components
+    /// that cannot influence the fitted model are normalised away, so two
+    /// configs describing the same effective model compare equal.
+    ///
+    /// * ETS — a seasonal component with period below 2 carries no
+    ///   seasonal information (a single phase is absorbed by the level);
+    ///   it collapses to [`SeasonalKind::None`], so e.g. Holt-Winters
+    ///   additive at period 1 canonicalises to plain Holt.
+    /// * TBATS — seasonal blocks below period 2 or without harmonics are
+    ///   dropped, and damping without a trend state is cleared (Φ only
+    ///   enters the recursion through the trend, so a trendless damped
+    ///   config optimises a parameter the filter never reads).
+    /// * SARIMAX — already canonical; returned unchanged.
+    pub fn canonical(&self) -> ModelConfig {
+        match self {
+            ModelConfig::Sarimax(c) => ModelConfig::Sarimax(c.clone()),
+            ModelConfig::Ets(c) => {
+                let mut c = *c;
+                if c.seasonal.period() < 2 {
+                    c.seasonal = SeasonalKind::None;
+                }
+                ModelConfig::Ets(c)
+            }
+            ModelConfig::Tbats(c) => {
+                let mut c = c.clone();
+                c.seasons.retain(|s| s.period >= 2.0 && s.harmonics > 0);
+                if c.use_damping && !c.use_trend {
+                    c.use_damping = false;
+                }
+                ModelConfig::Tbats(c)
+            }
+        }
+    }
+}
+
+/// Canonicalise every candidate's configuration and drop duplicates,
+/// keeping the first occurrence of each `(family, canonical config)` key —
+/// deterministic order is preserved, so the candidate-index champion
+/// tie-break still resolves to the earliest (simplest) member. The union
+/// grid `--method auto` queues is deduplicated with this before
+/// evaluation so equivalent ETS/TBATS shapes are fitted once.
+pub fn dedupe_candidates(candidates: &mut Vec<CandidateModel>) {
+    let mut seen: Vec<(ModelFamily, ModelConfig)> = Vec::with_capacity(candidates.len());
+    candidates.retain_mut(|c| {
+        let canon = c.config.canonical();
+        if seen.iter().any(|(f, cfg)| *f == c.family && *cfg == canon) {
+            return false;
+        }
+        c.config = canon.clone();
+        seen.push((c.family, canon));
+        true
+    });
 }
 
 impl From<SarimaxConfig> for ModelConfig {
@@ -808,6 +861,67 @@ mod tests {
         let base = SarimaxConfig::plain(ArimaSpec::arima(1, 0, 0));
         let via_enum = ModelGrid::neighbourhood_of(&ModelConfig::Sarimax(base.clone()), 1, 24);
         assert_eq!(via_enum.len(), ModelGrid::neighbourhood(&base, 1).len());
+    }
+
+    #[test]
+    fn canonical_normalises_degenerate_components() {
+        // Holt-Winters at period 1 is effectively Holt.
+        let hw1 = ModelConfig::Ets(EtsConfig::holt_winters(1));
+        assert_eq!(hw1.canonical(), ModelConfig::Ets(EtsConfig::holt()));
+        // Period ≥ 2 is already canonical.
+        let hw24 = ModelConfig::Ets(EtsConfig::holt_winters(24));
+        assert_eq!(hw24.canonical(), hw24);
+        // TBATS: sub-period blocks drop, trendless damping clears.
+        let tb = ModelConfig::Tbats(TbatsConfig {
+            use_damping: true,
+            seasons: vec![TbatsSeason {
+                period: 1.5,
+                harmonics: 1,
+            }],
+            ..TbatsConfig::level_only()
+        });
+        let canon = tb.canonical();
+        let cfg = canon.as_tbats().unwrap();
+        assert!(cfg.seasons.is_empty());
+        assert!(!cfg.use_damping);
+        // SARIMAX passes through unchanged.
+        let sx = ModelConfig::Sarimax(SarimaxConfig::plain(ArimaSpec::arima(2, 1, 1)));
+        assert_eq!(sx.canonical(), sx);
+    }
+
+    #[test]
+    fn dedupe_collapses_equivalent_candidates() {
+        let mut cands = vec![
+            CandidateModel::new(ModelConfig::Ets(EtsConfig::holt())),
+            // Collapses to Holt under canonicalisation.
+            CandidateModel::new(ModelConfig::Ets(EtsConfig::holt_winters(1))),
+            CandidateModel::new(ModelConfig::Ets(EtsConfig::ses())),
+            // Exact duplicate.
+            CandidateModel::new(ModelConfig::Ets(EtsConfig::holt())),
+        ];
+        dedupe_candidates(&mut cands);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].config, ModelConfig::Ets(EtsConfig::holt()));
+        assert_eq!(cands[1].config, ModelConfig::Ets(EtsConfig::ses()));
+    }
+
+    #[test]
+    fn dedupe_preserves_distinct_union_grid() {
+        // The real union menus are already duplicate-free: dedupe must not
+        // drop or reorder anything.
+        let mut union: Vec<CandidateModel> = ModelGrid::arima()
+            .candidates
+            .into_iter()
+            .chain(ModelGrid::sarimax(24).candidates)
+            .chain(ModelGrid::ets(24, true, 0.95).candidates)
+            .chain(ModelGrid::tbats(&[24.0], None, 0.95).candidates)
+            .collect();
+        let before = union.clone();
+        dedupe_candidates(&mut union);
+        assert_eq!(union.len(), before.len());
+        for (a, b) in union.iter().zip(&before) {
+            assert_eq!(a.config, b.config);
+        }
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use fleet::{
     run_batch_on, Checkpoint, EstateScheduler, FleetOptions, FleetReport, FleetScheduler,
     JobResult, JobSource, SeriesJob, SliceJobSource, WaveOptions, WaveProgress, WaveReport,
 };
-pub use grid::{CandidateModel, ModelConfig, ModelFamily, ModelGrid};
+pub use grid::{dedupe_candidates, CandidateModel, ModelConfig, ModelFamily, ModelGrid};
 pub use pipeline::{
     ChampionSpec, ForecastOutcome, GridStrategy, MethodChoice, Pipeline, PipelineConfig,
 };

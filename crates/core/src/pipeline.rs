@@ -354,6 +354,10 @@ impl Pipeline {
             ModelGrid::tbats(&tbats_periods(&profile, fallback), None, interval_level).candidates;
         tbats_models.truncate(per_family_cap);
         candidates.extend(tbats_models);
+        // Canonicalise and drop structural duplicates before queueing —
+        // per-family caps can pull the same degenerate shape from several
+        // menus.
+        crate::grid::dedupe_candidates(&mut candidates);
 
         let mut eval_opts = self.config.eval.clone();
         eval_opts.start_index = offset;
@@ -570,6 +574,33 @@ mod tests {
             outcome.accuracy.rmse,
             hes.accuracy.rmse
         );
+    }
+
+    #[test]
+    fn prepared_union_grid_is_deduped() {
+        // The aggregate stage must canonicalise the union grid and drop
+        // structural duplicates before the candidates reach the work
+        // queue: re-deduping the prepared grid is a no-op, and no two
+        // prepared candidates share a `(family, canonical config)` key.
+        let (series, _) = synthetic_hourly(1100);
+        let config = fast_config(MethodChoice::Auto);
+        let plan = crate::engine::AggregateStage::prepare(&config, &series, &[]).unwrap();
+        let prepared = plan.set.models.clone();
+        assert!(!prepared.is_empty());
+        let mut again = prepared.clone();
+        crate::grid::dedupe_candidates(&mut again);
+        assert_eq!(again.len(), prepared.len());
+        let keys: Vec<_> = prepared
+            .iter()
+            .map(|c| (c.family, c.config.canonical()))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            assert!(
+                !keys[..i].contains(key),
+                "duplicate candidate survived prepare: {:?}",
+                key
+            );
+        }
     }
 
     #[test]

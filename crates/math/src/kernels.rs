@@ -254,6 +254,30 @@ pub fn css(phi: &[f64], theta: &[f64], w: &[f64], a: &mut Vec<f64>) -> f64 {
     sum_sq(&a[start..]) / scored as f64
 }
 
+/// Serial lag dot-product continued from `acc`: `acc + Σᵢ coef[i]·hist[i]`
+/// over the newest-first history window, terms folded in ascending order.
+///
+/// This is the ARMA-error recurrence step of the TBATS filter (`d̂_t`
+/// accumulation over the `d`/`e` histories) extracted into the shared
+/// kernel layer. Unlike the CSS path, the TBATS disturbance `d_t` feeds
+/// back into the level/trend/seasonal states each step, so the recurrence
+/// cannot be restructured into the block-parallel `ar_fill`/[`css`]
+/// passes — but routing it through one shared helper keeps the solo model
+/// filter, the solo kernel and the batched kernel on literally the same
+/// statements. Taking (and returning) the running accumulator preserves
+/// the original single-accumulator fold order, so chaining two calls (AR
+/// terms then MA terms) is bit-identical to the historical fused loop.
+#[inline]
+pub fn lag_dot(acc: f64, coef: &[f64], hist: &[f64]) -> f64 {
+    let mut acc = acc;
+    for (i, &c) in coef.iter().enumerate() {
+        if i < hist.len() {
+            acc += c * hist[i];
+        }
+    }
+    acc
+}
+
 /// History slots kept per streaming lane in [`css_batch`] — the widest MA
 /// order the streamed path supports. Wider candidates (long seasonal θ*
 /// expansions) fall back to the solo kernel inside the same call, with
@@ -629,6 +653,185 @@ pub mod reference {
     pub fn sum_sq_serial(xs: &[f64]) -> f64 {
         xs.iter().map(|v| v * v).sum()
     }
+
+    /// Scalar reference Holt-Winters recursion: one loop with a
+    /// per-observation `match` on the seasonal class — the shape the model
+    /// layer ran before the monomorphic kernels. Kept for bit-for-bit
+    /// parity tests against the solo kernels and [`super::ets_batch`], and
+    /// as the bench baseline for the per-candidate speedup claim.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ets_recursion(
+        y: &[f64],
+        class: super::holt_winters::SeasonalClass,
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        phi: f64,
+        has_trend: bool,
+        mut level: f64,
+        mut trend: f64,
+        seasonal: &mut [f64],
+    ) -> super::holt_winters::HwState {
+        use super::holt_winters::{HwState, SeasonalClass};
+        let m = seasonal.len();
+        let diverged = |level: f64, trend: f64| HwState {
+            level,
+            trend,
+            sse: None,
+        };
+        if class != SeasonalClass::None && m == 0 {
+            return diverged(level, trend);
+        }
+        let mut sse = 0.0;
+        for (t, &obs) in y.iter().enumerate() {
+            let damped = phi * trend;
+            match class {
+                SeasonalClass::None => {
+                    let fitted = level + damped;
+                    let err = obs - fitted;
+                    if !err.is_finite() {
+                        return diverged(level, trend);
+                    }
+                    sse += err * err;
+                    let prev_level = level;
+                    level = alpha * obs + (1.0 - alpha) * (prev_level + damped);
+                    if has_trend {
+                        trend = beta * (level - prev_level) + (1.0 - beta) * damped;
+                    }
+                }
+                SeasonalClass::Additive => {
+                    let s_idx = t % m;
+                    let s = seasonal[s_idx];
+                    let fitted = level + damped + s;
+                    let err = obs - fitted;
+                    if !err.is_finite() {
+                        return diverged(level, trend);
+                    }
+                    sse += err * err;
+                    let prev_level = level;
+                    level = alpha * (obs - s) + (1.0 - alpha) * (prev_level + damped);
+                    seasonal[s_idx] = gamma * (obs - level) + (1.0 - gamma) * s;
+                    if has_trend {
+                        trend = beta * (level - prev_level) + (1.0 - beta) * damped;
+                    }
+                }
+                SeasonalClass::Multiplicative => {
+                    let s_idx = t % m;
+                    let s = seasonal[s_idx];
+                    let fitted = (level + damped) * s;
+                    let err = obs - fitted;
+                    if !err.is_finite() {
+                        return diverged(level, trend);
+                    }
+                    sse += err * err;
+                    let prev_level = level;
+                    if s.abs() < 1e-12 {
+                        return diverged(level, trend);
+                    }
+                    level = alpha * (obs / s) + (1.0 - alpha) * (prev_level + damped);
+                    if level.abs() < 1e-12 {
+                        return diverged(level, trend);
+                    }
+                    seasonal[s_idx] = gamma * (obs / level) + (1.0 - gamma) * s;
+                    if has_trend {
+                        trend = beta * (level - prev_level) + (1.0 - beta) * damped;
+                    }
+                }
+            }
+        }
+        HwState {
+            level,
+            trend,
+            sse: Some(sse),
+        }
+    }
+
+    /// Scalar reference TBATS filter: the per-harmonic rotation angles are
+    /// re-derived with `cos`/`sin` per harmonic **per observation** and the
+    /// ARMA histories reallocated per call — the per-objective-call shape
+    /// of the model layer's original `filter`/`advance` pair, which the
+    /// rotation-table kernels exist to replace. Seasonal blocks are taken
+    /// flattened (the values are identical to the nested form, and the
+    /// angle expressions match [`super::trig_seasonal::rotation_table`]
+    /// term for term, so results stay bit-identical to the kernels). Kept
+    /// for parity tests against [`super::tbats_filter`] and as the bench
+    /// baseline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tbats_filter(
+        z: &[f64],
+        seasons: &[(f64, usize)],
+        alpha: f64,
+        beta: f64,
+        phi: f64,
+        use_trend: bool,
+        gammas: &[(f64, f64)],
+        ar: &[f64],
+        ma: &[f64],
+        mut level: f64,
+        mut trend: f64,
+        seasonal: &[f64],
+    ) -> Option<f64> {
+        let mut seasonal = seasonal.to_vec();
+        let mut d_hist = vec![0.0; ar.len()];
+        let mut e_hist = vec![0.0; ma.len()];
+        let mut sse = 0.0;
+        for &obs in z {
+            let mut yhat = level;
+            if use_trend {
+                yhat += phi * trend;
+            }
+            let mut off = 0usize;
+            for &(_, harmonics) in seasons {
+                for j in 0..harmonics {
+                    yhat += seasonal[off + 2 * j];
+                }
+                off += 2 * harmonics;
+            }
+            let mut d_hat = 0.0;
+            for (i, &c) in ar.iter().enumerate() {
+                if i < d_hist.len() {
+                    d_hat += c * d_hist[i];
+                }
+            }
+            for (j, &c) in ma.iter().enumerate() {
+                if j < e_hist.len() {
+                    d_hat += c * e_hist[j];
+                }
+            }
+            let e = obs - (yhat + d_hat);
+            if !e.is_finite() || e.abs() > 1e12 {
+                return None;
+            }
+            sse += e * e;
+            let d = d_hat + e;
+            let damped = phi * trend;
+            let prev_level = level;
+            level = prev_level + if use_trend { damped } else { 0.0 } + alpha * d;
+            if use_trend {
+                trend = damped + beta * d;
+            }
+            let mut off = 0usize;
+            for (&(period, harmonics), &(g1, g2)) in seasons.iter().zip(gammas) {
+                for j in 0..harmonics {
+                    let lambda = 2.0 * std::f64::consts::PI * (j + 1) as f64 / period;
+                    let s = seasonal[off + 2 * j];
+                    let s_star = seasonal[off + 2 * j + 1];
+                    seasonal[off + 2 * j] = s * lambda.cos() + s_star * lambda.sin() + g1 * d;
+                    seasonal[off + 2 * j + 1] = -s * lambda.sin() + s_star * lambda.cos() + g2 * d;
+                }
+                off += 2 * harmonics;
+            }
+            if !ar.is_empty() {
+                d_hist.rotate_right(1);
+                d_hist[0] = d;
+            }
+            if !ma.is_empty() {
+                e_hist.rotate_right(1);
+                e_hist[0] = e;
+            }
+        }
+        Some(sse)
+    }
 }
 
 /// Monomorphic Holt-Winters recursion kernels. The per-step `match` on the
@@ -739,6 +942,139 @@ pub mod holt_winters {
         }
     }
 
+    /// Seasonality class of a batched lane — the key [`super::ets_batch`]
+    /// callers group lanes by, mirroring the solo kernels' monomorphic
+    /// split ([`run_none`] / [`run_additive`] / [`run_multiplicative`]).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub enum SeasonalClass {
+        /// No seasonality (SES / Holt / damped Holt).
+        None,
+        /// Additive Holt-Winters seasonality.
+        Additive,
+        /// Multiplicative Holt-Winters seasonality.
+        Multiplicative,
+    }
+
+    /// One candidate's in-flight recursion state inside
+    /// [`super::ets_batch`]: its series, unpacked smoothing parameters, and
+    /// the level/trend/seasonal state carried step to step. `seasonal` is a
+    /// caller-pooled window (empty for [`SeasonalClass::None`]); `sse` and
+    /// `alive` start at `0.0` / `true` and are read back through
+    /// [`result`](EtsLane::result) after the batch pass.
+    #[derive(Debug)]
+    pub struct EtsLane<'a> {
+        /// Observations the recursion runs over.
+        pub y: &'a [f64],
+        /// Seasonal variant — selects the per-step statement block.
+        pub class: SeasonalClass,
+        /// Level smoothing parameter α.
+        pub alpha: f64,
+        /// Trend smoothing parameter β (ignored when trend is off).
+        pub beta: f64,
+        /// Seasonal smoothing parameter γ (ignored when seasonality is off).
+        pub gamma: f64,
+        /// Trend damping coefficient φ (1 when undamped).
+        pub phi: f64,
+        /// Whether the trend update runs.
+        pub has_trend: bool,
+        /// Current level state.
+        pub level: f64,
+        /// Current trend state.
+        pub trend: f64,
+        /// Per-phase seasonal states, updated in place.
+        pub seasonal: &'a mut [f64],
+        /// Accumulated one-step squared error.
+        pub sse: f64,
+        /// Cleared when the recursion diverges; a dead lane is skipped for
+        /// the rest of the pass and reports `sse: None`.
+        pub alive: bool,
+    }
+
+    impl EtsLane<'_> {
+        /// The lane's final state in the solo kernels' [`HwState`] form.
+        pub fn result(&self) -> HwState {
+            HwState {
+                level: self.level,
+                trend: self.trend,
+                sse: self.alive.then_some(self.sse),
+            }
+        }
+    }
+
+    /// One observation of the non-seasonal recursion — the loop body of
+    /// [`run_none`], statement for statement.
+    #[inline(always)]
+    pub(super) fn step_none(lane: &mut EtsLane<'_>, obs: f64) {
+        let damped = lane.phi * lane.trend;
+        let fitted = lane.level + damped;
+        let err = obs - fitted;
+        if !err.is_finite() {
+            lane.alive = false;
+            return;
+        }
+        lane.sse += err * err;
+        let prev_level = lane.level;
+        lane.level = lane.alpha * obs + (1.0 - lane.alpha) * (prev_level + damped);
+        if lane.has_trend {
+            lane.trend = lane.beta * (lane.level - prev_level) + (1.0 - lane.beta) * damped;
+        }
+    }
+
+    /// One observation of the additive-seasonal recursion — the loop body
+    /// of [`run_additive`], statement for statement.
+    #[inline(always)]
+    pub(super) fn step_additive(lane: &mut EtsLane<'_>, t: usize, obs: f64) {
+        let m = lane.seasonal.len();
+        let s_idx = t % m;
+        let damped = lane.phi * lane.trend;
+        let s = lane.seasonal[s_idx];
+        let fitted = lane.level + damped + s;
+        let err = obs - fitted;
+        if !err.is_finite() {
+            lane.alive = false;
+            return;
+        }
+        lane.sse += err * err;
+        let prev_level = lane.level;
+        lane.level = lane.alpha * (obs - s) + (1.0 - lane.alpha) * (prev_level + damped);
+        lane.seasonal[s_idx] = lane.gamma * (obs - lane.level) + (1.0 - lane.gamma) * s;
+        if lane.has_trend {
+            lane.trend = lane.beta * (lane.level - prev_level) + (1.0 - lane.beta) * damped;
+        }
+    }
+
+    /// One observation of the multiplicative-seasonal recursion — the loop
+    /// body of [`run_multiplicative`], statement for statement, including
+    /// both degenerate-state guards.
+    #[inline(always)]
+    pub(super) fn step_multiplicative(lane: &mut EtsLane<'_>, t: usize, obs: f64) {
+        let m = lane.seasonal.len();
+        let s_idx = t % m;
+        let damped = lane.phi * lane.trend;
+        let s = lane.seasonal[s_idx];
+        let fitted = (lane.level + damped) * s;
+        let err = obs - fitted;
+        if !err.is_finite() {
+            lane.alive = false;
+            return;
+        }
+        lane.sse += err * err;
+        let prev_level = lane.level;
+        if s.abs() < 1e-12 {
+            lane.alive = false;
+            return;
+        }
+        lane.level = lane.alpha * (obs / s) + (1.0 - lane.alpha) * (prev_level + damped);
+        if lane.level.abs() < 1e-12 {
+            lane.alive = false;
+            return;
+        }
+        lane.seasonal[s_idx] = lane.gamma * (obs / lane.level) + (1.0 - lane.gamma) * s;
+        if lane.has_trend {
+            lane.trend = lane.beta * (lane.level - prev_level) + (1.0 - lane.beta) * damped;
+        }
+    }
+
     /// Multiplicative-seasonal recursion; diverges on a near-zero seasonal
     /// factor or level, matching the model layer's guards.
     #[allow(clippy::too_many_arguments)]
@@ -789,6 +1125,50 @@ pub mod holt_winters {
     }
 }
 
+/// Score a batch of Holt-Winters recursions in lockstep: one time-outer
+/// pass advances every live lane by one observation per round, so the
+/// serial level/trend/seasonal dependency chains (each ~2 multiply-add
+/// latencies deep on its own) interleave across candidates and the
+/// out-of-order core overlaps them — the same trick [`css_batch`] plays on
+/// the MA recursion.
+///
+/// Lanes should arrive **grouped by seasonality class** (the evaluation
+/// queue's ETS chains are keyed that way): the per-lane `match` below then
+/// takes the same arm for every lane of a batch, so the dispatch branch is
+/// perfectly predicted and the inner loop stays as tight as the
+/// monomorphic solo kernels. Mixed-class batches are still correct — each
+/// lane always executes exactly the statements of its own solo kernel
+/// ([`holt_winters::run_none`] / [`holt_winters::run_additive`] /
+/// [`holt_winters::run_multiplicative`]) in the same order, so results are
+/// bit-identical to solo runs and **independent of batch membership and
+/// order**. Lanes may have different series lengths; a lane that diverges
+/// is skipped for the rest of the pass (its `result()` reports
+/// `sse: None`, exactly as the solo kernel's early return).
+pub fn ets_batch(lanes: &mut [holt_winters::EtsLane<'_>]) {
+    use holt_winters::SeasonalClass;
+    // A seasonal lane with no seasonal state diverges immediately, as in
+    // the solo kernels' `m == 0` guard.
+    for lane in lanes.iter_mut() {
+        if lane.class != SeasonalClass::None && lane.seasonal.is_empty() {
+            lane.alive = false;
+        }
+    }
+    let t_max = lanes.iter().map(|l| l.y.len()).max().unwrap_or(0);
+    for t in 0..t_max {
+        for lane in lanes.iter_mut() {
+            if !lane.alive || t >= lane.y.len() {
+                continue;
+            }
+            let obs = lane.y[t];
+            match lane.class {
+                SeasonalClass::None => holt_winters::step_none(lane, obs),
+                SeasonalClass::Additive => holt_winters::step_additive(lane, t, obs),
+                SeasonalClass::Multiplicative => holt_winters::step_multiplicative(lane, t, obs),
+            }
+        }
+    }
+}
+
 /// Trigonometric-seasonal rotation kernel for the TBATS filter.
 ///
 /// A TBATS seasonal block of `h` harmonics is a length-`2h` interleaved
@@ -826,6 +1206,161 @@ pub mod trig_seasonal {
             let s_star = pair[1];
             pair[0] = s * cos_l + s_star * sin_l + g1 * d;
             pair[1] = -s * sin_l + s_star * cos_l + g2 * d;
+        }
+    }
+}
+
+/// Fused TBATS filter kernels: the innovations-state-space recurrence with
+/// the Fourier-basis evaluation hoisted out of the per-point loop.
+///
+/// The model layer's original filter re-derived the per-harmonic rotation
+/// tables and reallocated the ARMA histories on every objective call; here
+/// a lane is built once per evaluation from caller-pooled state (the
+/// rotation tables come from a per-task cache shared across candidates
+/// with the same `{seasonal_periods, harmonics}` signature), and the
+/// per-observation loop is a pure state recurrence.
+/// [`run`](tbats_filter::run) drives one lane — the serve engine's frozen
+/// re-score path — and [`run_batch`](tbats_filter::run_batch) interleaves
+/// many lanes time-outer so their serial state chains overlap, exactly as
+/// [`css_batch`] and [`ets_batch`] do. Per observation each lane executes
+/// the statements of the model layer's scalar filter in the same order
+/// (the ARMA-error step goes through the shared
+/// [`lag_dot`] kernel), so SSEs and final states are
+/// bit-identical to the scalar reference regardless of batching.
+pub mod tbats_filter {
+    use super::{lag_dot, trig_seasonal};
+
+    /// One candidate's in-flight filter state inside [`run`] /
+    /// [`run_batch`]. Seasonal blocks are flattened into one caller-pooled
+    /// window, segmented by `2 × tables[i].len()`; the in-phase sums and
+    /// rotations visit the segments in block order, so flattening changes
+    /// no arithmetic. `d_hist` / `e_hist` are newest-first windows sized
+    /// `ar.len()` / `ma.len()`; `sse` and `alive` start at `0.0` / `true`.
+    #[derive(Debug)]
+    pub struct TbatsLane<'a> {
+        /// Box-Cox-scale observations the filter runs over.
+        pub z: &'a [f64],
+        /// Level smoothing α.
+        pub alpha: f64,
+        /// Trend smoothing β (ignored when trend is off).
+        pub beta: f64,
+        /// Trend damping Φ (1 when undamped, 0 without trend).
+        pub phi: f64,
+        /// Whether the trend state participates.
+        pub use_trend: bool,
+        /// Seasonal smoothing pairs (γ₁, γ₂), one per block.
+        pub gammas: &'a [(f64, f64)],
+        /// ARMA error AR coefficients.
+        pub ar: &'a [f64],
+        /// ARMA error MA coefficients.
+        pub ma: &'a [f64],
+        /// Per-block rotation tables from
+        /// [`trig_seasonal::rotation_table`].
+        pub tables: &'a [Vec<(f64, f64)>],
+        /// Current level state.
+        pub level: f64,
+        /// Current trend state.
+        pub trend: f64,
+        /// Flattened interleaved seasonal blocks `[s₁, s*₁, …]`.
+        pub seasonal: &'a mut [f64],
+        /// Recent `d` values, newest first.
+        pub d_hist: &'a mut [f64],
+        /// Recent `e` values, newest first.
+        pub e_hist: &'a mut [f64],
+        /// Accumulated squared one-step error.
+        pub sse: f64,
+        /// Cleared on numerical blow-up; a dead lane is skipped for the
+        /// rest of the pass and reports `None`.
+        pub alive: bool,
+    }
+
+    impl TbatsLane<'_> {
+        /// The filter SSE, or `None` if the lane diverged — the solo model
+        /// filter's return contract.
+        pub fn result(&self) -> Option<f64> {
+            self.alive.then_some(self.sse)
+        }
+    }
+
+    /// One observation of the filter — predict, error-guard, accumulate,
+    /// advance — transcribed statement for statement from the model
+    /// layer's `predict_one` + `advance` pair.
+    #[inline(always)]
+    fn step(lane: &mut TbatsLane<'_>, obs: f64) {
+        // Predict: level, damped trend, in-phase seasonal sums, ARMA d̂.
+        let mut yhat = lane.level;
+        if lane.use_trend {
+            yhat += lane.phi * lane.trend;
+        }
+        let mut off = 0usize;
+        for table in lane.tables {
+            let len = 2 * table.len();
+            let block = &lane.seasonal[off..off + len];
+            for j in 0..table.len() {
+                yhat += block[2 * j];
+            }
+            off += len;
+        }
+        let d_hat = lag_dot(lag_dot(0.0, lane.ar, lane.d_hist), lane.ma, lane.e_hist);
+        let e = obs - (yhat + d_hat);
+        if !e.is_finite() || e.abs() > 1e12 {
+            lane.alive = false;
+            return;
+        }
+        lane.sse += e * e;
+        // Advance: level/trend, seasonal rotations, history shift-ins.
+        let d = d_hat + e;
+        let damped = lane.phi * lane.trend;
+        let prev_level = lane.level;
+        lane.level = prev_level + if lane.use_trend { damped } else { 0.0 } + lane.alpha * d;
+        if lane.use_trend {
+            lane.trend = damped + lane.beta * d;
+        }
+        let mut off = 0usize;
+        for (table, &(g1, g2)) in lane.tables.iter().zip(lane.gammas) {
+            let len = 2 * table.len();
+            trig_seasonal::advance_block(&mut lane.seasonal[off..off + len], table, g1, g2, d);
+            off += len;
+        }
+        if !lane.ar.is_empty() {
+            lane.d_hist.rotate_right(1);
+            lane.d_hist[0] = d;
+        }
+        if !lane.ma.is_empty() {
+            lane.e_hist.rotate_right(1);
+            lane.e_hist[0] = e;
+        }
+    }
+
+    /// Run one lane's filter to completion — the solo kernel used by
+    /// single-candidate fits and the serve engine's frozen re-score.
+    pub fn run(lane: &mut TbatsLane<'_>) {
+        for t in 0..lane.z.len() {
+            if !lane.alive {
+                return;
+            }
+            let obs = lane.z[t];
+            step(lane, obs);
+        }
+    }
+
+    /// Run many lanes' filters in lockstep: time-outer, one observation of
+    /// every live lane per round, so the serial state recurrences
+    /// interleave across candidates. Lanes may differ in shape (trend,
+    /// ARMA orders, seasonal blocks) and series length; per observation
+    /// each lane executes exactly the solo [`run`] statements, so results
+    /// are bit-identical to solo runs and independent of batch membership
+    /// and order.
+    pub fn run_batch(lanes: &mut [TbatsLane<'_>]) {
+        let t_max = lanes.iter().map(|l| l.z.len()).max().unwrap_or(0);
+        for t in 0..t_max {
+            for lane in lanes.iter_mut() {
+                if !lane.alive || t >= lane.z.len() {
+                    continue;
+                }
+                let obs = lane.z[t];
+                step(lane, obs);
+            }
         }
     }
 }
@@ -998,5 +1533,403 @@ mod tests {
         assert!(
             (trig_seasonal::in_phase_sum(&block) - (block[0] + block[2] + block[4])).abs() == 0.0
         );
+    }
+
+    #[test]
+    fn lag_dot_matches_serial_fold() {
+        let coef = coeffs(5, 73, 0.4);
+        let hist = series(5, 79);
+        let mut want = 0.125;
+        for (i, &c) in coef.iter().enumerate() {
+            want += c * hist[i];
+        }
+        assert_eq!(lag_dot(0.125, &coef, &hist).to_bits(), want.to_bits());
+        // Short history: only the covered lags contribute.
+        assert_eq!(
+            lag_dot(0.0, &coef, &hist[..2]).to_bits(),
+            (coef[0] * hist[0] + coef[1] * hist[1]).to_bits()
+        );
+        assert_eq!(lag_dot(0.5, &[], &hist).to_bits(), 0.5f64.to_bits());
+    }
+
+    /// The random ETS menu used by the batch parity tests: mixed classes,
+    /// parameters and lengths, positive data so the multiplicative lanes
+    /// are well-posed.
+    fn ets_menu() -> Vec<(
+        holt_winters::SeasonalClass,
+        Vec<f64>,
+        [f64; 4],
+        bool,
+        Vec<f64>,
+    )> {
+        use holt_winters::SeasonalClass;
+        let mut menu = Vec::new();
+        for (i, &(class, m, n)) in [
+            (SeasonalClass::None, 0usize, 480usize),
+            (SeasonalClass::None, 0, 311),
+            (SeasonalClass::Additive, 24, 480),
+            (SeasonalClass::Additive, 7, 211),
+            (SeasonalClass::Multiplicative, 24, 480),
+            (SeasonalClass::Multiplicative, 12, 357),
+            (SeasonalClass::None, 0, 480),
+            (SeasonalClass::Additive, 24, 479),
+            (SeasonalClass::Multiplicative, 24, 479),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let seed = 101 + i as u64;
+            let y: Vec<f64> = series(n, seed).iter().map(|v| 50.0 + 5.0 * v).collect();
+            let u = series(4, seed + 40);
+            let params = [
+                0.05 + 0.4 * (u[0] + 1.0) / 2.0,  // alpha
+                0.02 + 0.3 * (u[1] + 1.0) / 2.0,  // beta
+                0.01 + 0.2 * (u[2] + 1.0) / 2.0,  // gamma
+                0.85 + 0.13 * (u[3] + 1.0) / 2.0, // phi
+            ];
+            let has_trend = i % 3 != 0;
+            let seasonal: Vec<f64> = match class {
+                SeasonalClass::None => vec![],
+                SeasonalClass::Additive => series(m, seed + 80),
+                SeasonalClass::Multiplicative => {
+                    series(m, seed + 80).iter().map(|v| 1.0 + 0.1 * v).collect()
+                }
+            };
+            menu.push((class, y, params, has_trend, seasonal));
+        }
+        menu
+    }
+
+    #[test]
+    fn ets_batch_matches_solo_and_reference_bitwise() {
+        use holt_winters::SeasonalClass;
+        let menu = ets_menu();
+        // Solo kernels on private state copies.
+        let mut solo = Vec::new();
+        for (class, y, [alpha, beta, gamma, phi], has_trend, seasonal) in &menu {
+            let (level, trend) = (y[0], 0.125);
+            let mut s = seasonal.clone();
+            let state = match class {
+                SeasonalClass::None => {
+                    holt_winters::run_none(y, *alpha, *beta, *phi, level, trend, *has_trend)
+                }
+                SeasonalClass::Additive => holt_winters::run_additive(
+                    y, *alpha, *beta, *gamma, *phi, level, trend, *has_trend, &mut s,
+                ),
+                SeasonalClass::Multiplicative => holt_winters::run_multiplicative(
+                    y, *alpha, *beta, *gamma, *phi, level, trend, *has_trend, &mut s,
+                ),
+            };
+            solo.push((state, s));
+        }
+        // Reference scalar loop agrees with the solo kernels.
+        for (i, (class, y, [alpha, beta, gamma, phi], has_trend, seasonal)) in
+            menu.iter().enumerate()
+        {
+            let mut s = seasonal.clone();
+            let state = reference::ets_recursion(
+                y, *class, *alpha, *beta, *gamma, *phi, *has_trend, y[0], 0.125, &mut s,
+            );
+            assert_eq!(
+                state.sse.map(f64::to_bits),
+                solo[i].0.sse.map(f64::to_bits),
+                "reference sse, lane {i}"
+            );
+            assert_eq!(state.level.to_bits(), solo[i].0.level.to_bits());
+            assert_eq!(state.trend.to_bits(), solo[i].0.trend.to_bits());
+            assert!(s
+                .iter()
+                .zip(&solo[i].1)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        // Batched lanes (deliberately NOT grouped by class) agree too.
+        let mut buffers: Vec<Vec<f64>> = menu.iter().map(|(_, _, _, _, s)| s.clone()).collect();
+        let mut lanes: Vec<holt_winters::EtsLane> = menu
+            .iter()
+            .zip(buffers.iter_mut())
+            .map(
+                |((class, y, [alpha, beta, gamma, phi], has_trend, _), buf)| {
+                    holt_winters::EtsLane {
+                        y,
+                        class: *class,
+                        alpha: *alpha,
+                        beta: *beta,
+                        gamma: *gamma,
+                        phi: *phi,
+                        has_trend: *has_trend,
+                        level: y[0],
+                        trend: 0.125,
+                        seasonal: buf,
+                        sse: 0.0,
+                        alive: true,
+                    }
+                },
+            )
+            .collect();
+        ets_batch(&mut lanes);
+        for (i, lane) in lanes.iter().enumerate() {
+            let got = lane.result();
+            assert_eq!(
+                got.sse.map(f64::to_bits),
+                solo[i].0.sse.map(f64::to_bits),
+                "batched sse, lane {i}"
+            );
+            assert_eq!(got.level.to_bits(), solo[i].0.level.to_bits(), "lane {i}");
+            assert_eq!(got.trend.to_bits(), solo[i].0.trend.to_bits(), "lane {i}");
+            assert!(
+                lane.seasonal
+                    .iter()
+                    .zip(&solo[i].1)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "seasonal state, lane {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn ets_batch_quarantines_divergent_lanes() {
+        use holt_winters::SeasonalClass;
+        // A multiplicative lane whose seasonal factor collapses diverges;
+        // its batch-mates must be unaffected bitwise.
+        let healthy: Vec<f64> = series(300, 301).iter().map(|v| 40.0 + 4.0 * v).collect();
+        let solo = holt_winters::run_none(&healthy, 0.3, 0.1, 1.0, healthy[0], 0.0, true);
+        let mut bad_seasonal = vec![1.0, 0.0, 1.0, 1.0]; // hits the |s| < 1e-12 guard
+        let mut empty: Vec<f64> = vec![];
+        let mut lanes = vec![
+            holt_winters::EtsLane {
+                y: &healthy,
+                class: SeasonalClass::Multiplicative,
+                alpha: 0.3,
+                beta: 0.1,
+                gamma: 0.1,
+                phi: 1.0,
+                has_trend: false,
+                level: healthy[0],
+                trend: 0.0,
+                seasonal: &mut bad_seasonal,
+                sse: 0.0,
+                alive: true,
+            },
+            holt_winters::EtsLane {
+                y: &healthy,
+                class: SeasonalClass::None,
+                alpha: 0.3,
+                beta: 0.1,
+                gamma: 0.0,
+                phi: 1.0,
+                has_trend: true,
+                level: healthy[0],
+                trend: 0.0,
+                seasonal: &mut empty,
+                sse: 0.0,
+                alive: true,
+            },
+        ];
+        ets_batch(&mut lanes);
+        assert!(
+            lanes[0].result().sse.is_none(),
+            "degenerate lane must diverge"
+        );
+        assert_eq!(
+            lanes[1].result().sse.map(f64::to_bits),
+            solo.sse.map(f64::to_bits),
+            "healthy lane unaffected by a diverged batch-mate"
+        );
+    }
+
+    /// Random TBATS menu: mixed trend/damping, ARMA orders and seasonal
+    /// signatures, for the solo/batch/reference parity tests.
+    #[allow(clippy::type_complexity)]
+    fn tbats_menu() -> Vec<(
+        Vec<f64>,          // z
+        Vec<(f64, usize)>, // seasons (period, harmonics)
+        [f64; 3],          // alpha, beta, phi
+        bool,              // use_trend
+        Vec<(f64, f64)>,   // gammas
+        Vec<f64>,          // ar
+        Vec<f64>,          // ma
+        Vec<f64>,          // initial flattened seasonal
+    )> {
+        let shapes: Vec<(Vec<(f64, usize)>, bool, bool, usize, usize, usize)> = vec![
+            (vec![], false, false, 0, 0, 480),
+            (vec![], true, false, 1, 0, 480),
+            (vec![(24.0, 3)], true, true, 1, 1, 480),
+            (vec![(24.0, 2)], true, false, 0, 0, 357),
+            (vec![(23.5, 1)], false, false, 1, 1, 311),
+            (vec![(24.0, 3), (168.0, 2)], true, true, 1, 0, 480),
+            (vec![(12.0, 2)], true, false, 1, 1, 479),
+            (vec![(24.0, 1)], false, false, 0, 1, 480),
+        ];
+        shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (seasons, use_trend, use_damping, p, q, n))| {
+                let seed = 401 + i as u64;
+                let z: Vec<f64> = series(n, seed).iter().map(|v| 60.0 + 6.0 * v).collect();
+                let u = series(3, seed + 40);
+                let alpha = 0.05 + 0.3 * (u[0] + 1.0) / 2.0;
+                let beta = if use_trend {
+                    0.01 + 0.2 * (u[1] + 1.0) / 2.0
+                } else {
+                    0.0
+                };
+                let phi = if use_damping {
+                    0.85 + 0.13 * (u[2] + 1.0) / 2.0
+                } else if use_trend {
+                    1.0
+                } else {
+                    0.0
+                };
+                let gammas: Vec<(f64, f64)> = (0..seasons.len())
+                    .map(|s| {
+                        let g = series(2, seed + 50 + s as u64);
+                        (0.05 + 0.05 * g[0].abs(), 0.05 + 0.05 * g[1].abs())
+                    })
+                    .collect();
+                let ar: Vec<f64> = coeffs(p, seed + 60, 0.5);
+                let ma: Vec<f64> = coeffs(q, seed + 70, 0.4);
+                let seasonal: Vec<f64> = seasons
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(s, &(_, h))| series(2 * h, seed + 80 + s as u64))
+                    .collect();
+                (
+                    z,
+                    seasons,
+                    [alpha, beta, phi],
+                    use_trend,
+                    gammas,
+                    ar,
+                    ma,
+                    seasonal,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tbats_kernels_match_reference_bitwise() {
+        let menu = tbats_menu();
+        let tables: Vec<Vec<Vec<(f64, f64)>>> = menu
+            .iter()
+            .map(|(_, seasons, ..)| {
+                seasons
+                    .iter()
+                    .map(|&(p, h)| trig_seasonal::rotation_table(p, h))
+                    .collect()
+            })
+            .collect();
+        // Reference: per-call tables + plain scalar loop.
+        let expected: Vec<Option<f64>> = menu
+            .iter()
+            .map(
+                |(z, seasons, [alpha, beta, phi], use_trend, gammas, ar, ma, seasonal)| {
+                    reference::tbats_filter(
+                        z, seasons, *alpha, *beta, *phi, *use_trend, gammas, ar, ma, z[0], 0.25,
+                        seasonal,
+                    )
+                },
+            )
+            .collect();
+        // Solo kernel lane per candidate.
+        let mut solo_states: Vec<(f64, f64, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+        for (i, (z, _, [alpha, beta, phi], use_trend, gammas, ar, ma, seasonal)) in
+            menu.iter().enumerate()
+        {
+            let mut s = seasonal.clone();
+            let mut d_hist = vec![0.0; ar.len()];
+            let mut e_hist = vec![0.0; ma.len()];
+            let mut lane = tbats_filter::TbatsLane {
+                z,
+                alpha: *alpha,
+                beta: *beta,
+                phi: *phi,
+                use_trend: *use_trend,
+                gammas,
+                ar,
+                ma,
+                tables: &tables[i],
+                level: z[0],
+                trend: 0.25,
+                seasonal: &mut s,
+                d_hist: &mut d_hist,
+                e_hist: &mut e_hist,
+                sse: 0.0,
+                alive: true,
+            };
+            tbats_filter::run(&mut lane);
+            assert_eq!(
+                lane.result().map(f64::to_bits),
+                expected[i].map(f64::to_bits),
+                "solo lane {i} vs reference"
+            );
+            let (level, trend) = (lane.level, lane.trend);
+            solo_states.push((level, trend, s, d_hist, e_hist));
+        }
+        // Batched lanes over caller-pooled buffers.
+        let mut bufs: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = menu
+            .iter()
+            .map(|(_, _, _, _, _, ar, ma, seasonal)| {
+                (seasonal.clone(), vec![0.0; ar.len()], vec![0.0; ma.len()])
+            })
+            .collect();
+        let mut lanes: Vec<tbats_filter::TbatsLane> = menu
+            .iter()
+            .zip(tables.iter())
+            .zip(bufs.iter_mut())
+            .map(
+                |(
+                    ((z, _, [alpha, beta, phi], use_trend, gammas, ar, ma, _), t),
+                    (s, d_hist, e_hist),
+                )| tbats_filter::TbatsLane {
+                    z,
+                    alpha: *alpha,
+                    beta: *beta,
+                    phi: *phi,
+                    use_trend: *use_trend,
+                    gammas,
+                    ar,
+                    ma,
+                    tables: t,
+                    level: z[0],
+                    trend: 0.25,
+                    seasonal: s,
+                    d_hist,
+                    e_hist,
+                    sse: 0.0,
+                    alive: true,
+                },
+            )
+            .collect();
+        tbats_filter::run_batch(&mut lanes);
+        for (i, lane) in lanes.iter().enumerate() {
+            assert_eq!(
+                lane.result().map(f64::to_bits),
+                expected[i].map(f64::to_bits),
+                "batched lane {i} vs reference"
+            );
+            let (level, trend, s, d_hist, e_hist) = &solo_states[i];
+            assert_eq!(lane.level.to_bits(), level.to_bits(), "lane {i} level");
+            assert_eq!(lane.trend.to_bits(), trend.to_bits(), "lane {i} trend");
+            assert!(
+                lane.seasonal
+                    .iter()
+                    .zip(s)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "lane {i} seasonal state"
+            );
+            assert!(
+                lane.d_hist
+                    .iter()
+                    .zip(d_hist)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+                    && lane
+                        .e_hist
+                        .iter()
+                        .zip(e_hist)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "lane {i} ARMA histories"
+            );
+        }
     }
 }

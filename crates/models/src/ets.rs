@@ -11,9 +11,15 @@
 //! Nelder-Mead over logistic-transformed variables, the same device every
 //! ETS implementation uses.
 
+// lint: allow-file(indexing) — smoothing-state numerics; every index is
+// bounded by construction: seasonal phases are `t % m` / `(n + h) % m`
+// into length-`m` buffers, optimiser-vector reads follow the layout
+// `n_params()` sized them to, and the length validation at the fit
+// boundary (`needed` check) guarantees the initial-state windows exist.
+
 use crate::{Forecast, ModelError, Result};
 use dwcp_math::kernels::holt_winters;
-use dwcp_math::optimize::{nelder_mead, NelderMeadOptions};
+use dwcp_math::optimize::{NelderMeadDriver, NelderMeadOptions};
 use serde::{Deserialize, Serialize};
 
 /// Trend component choice.
@@ -264,36 +270,17 @@ fn run_recursion(
 ) -> Option<Recursion> {
     // State initialisation (classical heuristics).
     let (level, trend, mut seasonal) = initial_states(y, config)?;
-    // The per-observation update loops are monomorphic kernels in
-    // `dwcp_math::kernels::holt_winters` — one fused loop per seasonal
-    // variant instead of a per-step `match`, transcribed
-    // statement-for-statement so fits stay bit-identical.
-    let has_trend = config.trend != TrendKind::None;
-    let state = match config.seasonal {
-        SeasonalKind::None => holt_winters::run_none(y, alpha, beta, phi, level, trend, has_trend),
-        SeasonalKind::Additive(_) => holt_winters::run_additive(
-            y,
-            alpha,
-            beta,
-            gamma,
-            phi,
-            level,
-            trend,
-            has_trend,
-            &mut seasonal,
-        ),
-        SeasonalKind::Multiplicative(_) => holt_winters::run_multiplicative(
-            y,
-            alpha,
-            beta,
-            gamma,
-            phi,
-            level,
-            trend,
-            has_trend,
-            &mut seasonal,
-        ),
-    };
+    let state = run_states(
+        y,
+        config,
+        alpha,
+        beta,
+        gamma,
+        phi,
+        level,
+        trend,
+        &mut seasonal,
+    );
     let sse = state.sse?;
     Some(Recursion {
         sse,
@@ -301,6 +288,67 @@ fn run_recursion(
         trend: state.trend,
         seasonal,
     })
+}
+
+/// Run the smoothing recursion from explicit initial states. The
+/// per-observation update loops are monomorphic kernels in
+/// `dwcp_math::kernels::holt_winters` — one fused loop per seasonal
+/// variant instead of a per-step `match`, transcribed
+/// statement-for-statement so fits stay bit-identical. Factoring the
+/// states out lets [`EtsFitSession`] hoist the (parameter-independent)
+/// initialisation out of the optimiser loop.
+#[allow(clippy::too_many_arguments)]
+fn run_states(
+    y: &[f64],
+    config: &EtsConfig,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    phi: f64,
+    level: f64,
+    trend: f64,
+    seasonal: &mut [f64],
+) -> holt_winters::HwState {
+    let has_trend = config.trend != TrendKind::None;
+    match config.seasonal {
+        SeasonalKind::None => holt_winters::run_none(y, alpha, beta, phi, level, trend, has_trend),
+        SeasonalKind::Additive(_) => holt_winters::run_additive(
+            y, alpha, beta, gamma, phi, level, trend, has_trend, seasonal,
+        ),
+        SeasonalKind::Multiplicative(_) => holt_winters::run_multiplicative(
+            y, alpha, beta, gamma, phi, level, trend, has_trend, seasonal,
+        ),
+    }
+}
+
+/// Unpack an unconstrained optimiser point into `(α, β, γ, φ)` under
+/// `config`'s layout — α, β, γ bounded in (0.0001, 0.9999) and φ in
+/// (0.8, 0.98) through the logistic map.
+fn unpack_params(u: &[f64], config: &EtsConfig) -> (f64, f64, f64, f64) {
+    let logistic = |u: f64| 1.0 / (1.0 + (-u).exp());
+    let mut i = 0;
+    let alpha = 0.0001 + 0.9998 * logistic(u[i]);
+    i += 1;
+    let beta = if config.trend != TrendKind::None {
+        let b = 0.0001 + 0.9998 * logistic(u[i]);
+        i += 1;
+        b
+    } else {
+        0.0
+    };
+    let phi = if config.trend == TrendKind::Damped {
+        let p = 0.8 + 0.18 * logistic(u[i]);
+        i += 1;
+        p
+    } else {
+        1.0
+    };
+    let gamma = if config.seasonal.period() > 0 {
+        0.0001 + 0.9998 * logistic(u[i])
+    } else {
+        0.0
+    };
+    (alpha, beta, gamma, phi)
 }
 
 /// Classical state initialisation: first-period mean level, cross-period
@@ -326,7 +374,9 @@ fn initial_states(y: &[f64], config: &EtsConfig) -> Option<(f64, f64, Vec<f64>)>
                 }
                 (0..m).map(|i| y[i] / first).collect()
             }
-            SeasonalKind::None => unreachable!(),
+            // `m > 0` excludes `SeasonalKind::None`; an empty buffer is the
+            // harmless (and panic-free) value for the impossible arm.
+            SeasonalKind::None => vec![],
         };
         Some((first, trend, seasonal))
     } else {
@@ -350,108 +400,7 @@ impl FittedEts {
 
     /// Fit with warm-start / freeze control (the evaluation-engine entry).
     pub fn fit_with(y: &[f64], config: EtsConfig, options: &EtsFitOptions) -> Result<FittedEts> {
-        let m = config.seasonal.period();
-        let needed = if m > 0 { 2 * m + 4 } else { 6 };
-        if y.len() < needed {
-            return Err(ModelError::TooShort {
-                needed,
-                got: y.len(),
-            });
-        }
-        if y.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::Series(dwcp_series::SeriesError::NonFinite));
-        }
-        if matches!(config.seasonal, SeasonalKind::Multiplicative(_)) && y.iter().any(|&v| v <= 0.0)
-        {
-            return Err(ModelError::InvalidSpec {
-                context: "multiplicative seasonality requires positive data".to_string(),
-            });
-        }
-
-        let logistic = |u: f64| 1.0 / (1.0 + (-u).exp());
-        let unpack = |u: &[f64]| -> (f64, f64, f64, f64) {
-            let mut i = 0;
-            // Bound α, β, γ in (0.0001, 0.9999); φ in (0.8, 0.98).
-            let alpha = 0.0001 + 0.9998 * logistic(u[i]);
-            i += 1;
-            let beta = if config.trend != TrendKind::None {
-                let b = 0.0001 + 0.9998 * logistic(u[i]);
-                i += 1;
-                b
-            } else {
-                0.0
-            };
-            let phi = if config.trend == TrendKind::Damped {
-                let p = 0.8 + 0.18 * logistic(u[i]);
-                i += 1;
-                p
-            } else {
-                1.0
-            };
-            let gamma = if m > 0 {
-                0.0001 + 0.9998 * logistic(u[i])
-            } else {
-                0.0
-            };
-            (alpha, beta, gamma, phi)
-        };
-
-        let objective = |u: &[f64]| -> f64 {
-            let (alpha, beta, gamma, phi) = unpack(u);
-            match run_recursion(y, &config, alpha, beta, gamma, phi) {
-                Some(r) => r.sse,
-                None => f64::INFINITY,
-            }
-        };
-        let k = config.n_params();
-        let warm = options
-            .warm_start
-            .as_ref()
-            .filter(|w| w.len() == k)
-            .cloned();
-        let (params_unconstrained, nm_evals) = match warm {
-            // Champion-seeded frozen re-score: one recursion, verbatim.
-            Some(w) if options.freeze_warm_start => (w, 1),
-            warm => {
-                let start = warm.unwrap_or_else(|| vec![0.0; k]); // logistic(0) = 0.5
-                let nm = nelder_mead(
-                    objective,
-                    &start,
-                    &NelderMeadOptions {
-                        max_evals: 400 + 150 * k,
-                        restarts: 2,
-                        initial_step: 1.0,
-                        ..Default::default()
-                    },
-                );
-                (nm.x, nm.evals)
-            }
-        };
-        let (alpha, beta, gamma, phi) = unpack(&params_unconstrained);
-        let rec = run_recursion(y, &config, alpha, beta, gamma, phi).ok_or_else(|| {
-            ModelError::FitFailed {
-                context: "ETS recursion diverged at the optimum".to_string(),
-            }
-        })?;
-        let n = y.len() as f64;
-        let sigma2 = rec.sse / (n - k as f64).max(1.0);
-        let aic = n * (rec.sse / n).max(1e-300).ln() + 2.0 * (k as f64 + 1.0);
-        Ok(FittedEts {
-            config,
-            alpha,
-            beta,
-            gamma,
-            phi,
-            level: rec.level,
-            trend: rec.trend,
-            seasonal: reorder_seasonal(rec.seasonal, y.len(), m),
-            sse: rec.sse,
-            sigma2,
-            n_obs: y.len(),
-            aic,
-            params_unconstrained,
-            nm_evals,
-        })
+        EtsFitSession::new(y, config, options)?.finish()
     }
 
     /// Forecast `horizon` steps with approximate normal intervals
@@ -507,6 +456,256 @@ fn reorder_seasonal(seasonal: Vec<f64>, n: usize, m: usize) -> Vec<f64> {
         return seasonal;
     }
     (0..m).map(|h| seasonal[(n + h) % m]).collect()
+}
+
+/// A poll-driven ETS fit: the [`FittedEts::fit_with`] optimisation split
+/// into explicit steps so a batched caller can interleave the objective
+/// evaluations of several candidates through one
+/// [`dwcp_math::kernels::ets_batch`] kernel pass per optimiser round.
+///
+/// Driving a session to completion with [`finish`](EtsFitSession::finish)
+/// alone reproduces the sequential [`FittedEts::fit_with`] bit-for-bit:
+/// the Nelder-Mead driver emits the same point sequence as the closure
+/// API, and the per-lane batch kernels are statement-for-statement
+/// transcriptions of the solo recursions. The session also hoists the
+/// parameter-independent `initial_states` heuristic out of the
+/// optimiser loop — the sequential path recomputed it for each of the
+/// several hundred objective evaluations.
+pub struct EtsFitSession {
+    config: EtsConfig,
+    y: Vec<f64>,
+    /// Hoisted `initial_states` result; `None` means every objective
+    /// evaluation is `INFINITY` (the driver is pre-drained in `new`).
+    init: Option<(f64, f64, Vec<f64>)>,
+    /// Per-session pooled seasonal window the recursion mutates; refilled
+    /// from `init` before every evaluation.
+    seasonal_scratch: Vec<f64>,
+    /// `(α, β, γ, φ)` unpacked by [`stage_pending`](EtsFitSession::stage_pending).
+    staged: (f64, f64, f64, f64),
+    driver: Option<NelderMeadDriver>,
+    /// Decided without optimisation (frozen warm start): `(params, evals)`.
+    outcome: Option<(Vec<f64>, usize)>,
+}
+
+impl EtsFitSession {
+    /// Validate the series and open a session. Mirrors the
+    /// [`FittedEts::fit_with`] preamble exactly, including the frozen
+    /// warm-start short-circuit and the fall-through to a full
+    /// optimisation when a freeze is requested without a usable seed.
+    pub fn new(y: &[f64], config: EtsConfig, options: &EtsFitOptions) -> Result<EtsFitSession> {
+        let m = config.seasonal.period();
+        let needed = if m > 0 { 2 * m + 4 } else { 6 };
+        if y.len() < needed {
+            return Err(ModelError::TooShort {
+                needed,
+                got: y.len(),
+            });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::Series(dwcp_series::SeriesError::NonFinite));
+        }
+        if matches!(config.seasonal, SeasonalKind::Multiplicative(_)) && y.iter().any(|&v| v <= 0.0)
+        {
+            return Err(ModelError::InvalidSpec {
+                context: "multiplicative seasonality requires positive data".to_string(),
+            });
+        }
+
+        let k = config.n_params();
+        let warm = options
+            .warm_start
+            .as_ref()
+            .filter(|w| w.len() == k)
+            .cloned();
+        let (driver, outcome) = match warm {
+            // Champion-seeded frozen re-score: one recursion, verbatim.
+            Some(w) if options.freeze_warm_start => (None, Some((w, 1))),
+            warm => {
+                let start = warm.unwrap_or_else(|| vec![0.0; k]); // logistic(0) = 0.5
+                let driver = NelderMeadDriver::new(
+                    &start,
+                    NelderMeadOptions {
+                        max_evals: 400 + 150 * k,
+                        restarts: 2,
+                        initial_step: 1.0,
+                        ..Default::default()
+                    },
+                );
+                (Some(driver), None)
+            }
+        };
+        let init = initial_states(y, &config);
+        let mut session = EtsFitSession {
+            config,
+            y: y.to_vec(),
+            seasonal_scratch: Vec::with_capacity(m),
+            init,
+            staged: (0.0, 0.0, 0.0, 1.0),
+            driver,
+            outcome,
+        };
+        if session.init.is_none() {
+            // Without initial states every evaluation is INFINITY; drain
+            // the driver up front (same evaluation count and sequence as
+            // the closure objective returning INFINITY throughout) so the
+            // batched caller never stages a lane with no states.
+            if let Some(driver) = session.driver.as_mut() {
+                while driver.pending_point().is_some() {
+                    driver.tell(f64::INFINITY);
+                }
+            }
+        }
+        Ok(session)
+    }
+
+    /// Whether the optimiser still needs an objective evaluation.
+    pub fn is_pending(&self) -> bool {
+        self.driver.as_ref().is_some_and(|d| !d.is_done())
+    }
+
+    /// Evaluate the pending point against the solo recursion kernels and
+    /// feed it back; returns `false` when nothing was pending. Driving a
+    /// session with `while session.step_solo() {}` reproduces the
+    /// sequential fit exactly.
+    pub fn step_solo(&mut self) -> bool {
+        let Some(driver) = self.driver.as_mut() else {
+            return false;
+        };
+        let Some(u) = driver.pending_point() else {
+            return false;
+        };
+        let fx = match &self.init {
+            Some((level, trend, seasonal)) => {
+                let (alpha, beta, gamma, phi) = unpack_params(u, &self.config);
+                self.seasonal_scratch.clear();
+                self.seasonal_scratch.extend_from_slice(seasonal);
+                let state = run_states(
+                    &self.y,
+                    &self.config,
+                    alpha,
+                    beta,
+                    gamma,
+                    phi,
+                    *level,
+                    *trend,
+                    &mut self.seasonal_scratch,
+                );
+                state.sse.unwrap_or(f64::INFINITY)
+            }
+            None => f64::INFINITY,
+        };
+        driver.tell(fx);
+        true
+    }
+
+    /// Unpack the pending point into smoothing parameters for a batched
+    /// kernel pass; the caller scores the staged lane (typically several
+    /// sessions' lanes in one [`dwcp_math::kernels::ets_batch`] call) and
+    /// answers with [`tell_sse`](EtsFitSession::tell_sse). Returns `false`
+    /// when no evaluation is pending.
+    pub fn stage_pending(&mut self) -> bool {
+        let Some(driver) = self.driver.as_ref() else {
+            return false;
+        };
+        let Some(u) = driver.pending_point() else {
+            return false;
+        };
+        self.staged = unpack_params(u, &self.config);
+        true
+    }
+
+    /// Build the kernel lane for the staged point over this session's
+    /// pooled state window. Always `Some` after a successful
+    /// [`stage_pending`](EtsFitSession::stage_pending) — sessions without
+    /// initial states are drained at construction and never stage.
+    pub fn staged_lane(&mut self) -> Option<holt_winters::EtsLane<'_>> {
+        let (level, trend, seasonal) = self.init.as_ref()?;
+        self.seasonal_scratch.clear();
+        self.seasonal_scratch.extend_from_slice(seasonal);
+        let (alpha, beta, gamma, phi) = self.staged;
+        Some(holt_winters::EtsLane {
+            y: &self.y,
+            class: match self.config.seasonal {
+                SeasonalKind::None => holt_winters::SeasonalClass::None,
+                SeasonalKind::Additive(_) => holt_winters::SeasonalClass::Additive,
+                SeasonalKind::Multiplicative(_) => holt_winters::SeasonalClass::Multiplicative,
+            },
+            alpha,
+            beta,
+            gamma,
+            phi,
+            has_trend: self.config.trend != TrendKind::None,
+            level: *level,
+            trend: *trend,
+            seasonal: &mut self.seasonal_scratch,
+            sse: 0.0,
+            alive: true,
+        })
+    }
+
+    /// Feed back the SSE of the staged point and advance the optimiser.
+    pub fn tell_sse(&mut self, sse: f64) {
+        if let Some(driver) = self.driver.as_mut() {
+            driver.tell(sse);
+        }
+    }
+
+    /// Finalise the fit. Any evaluations still pending are driven against
+    /// the solo kernels first, so `finish` is always well-defined.
+    pub fn finish(mut self) -> Result<FittedEts> {
+        while self.step_solo() {}
+        let EtsFitSession {
+            config,
+            y,
+            driver,
+            outcome,
+            ..
+        } = self;
+        let (params_unconstrained, nm_evals) = match outcome {
+            Some(decided) => decided,
+            None => {
+                let nm = match driver {
+                    Some(driver) => driver.into_result(),
+                    None => {
+                        return Err(ModelError::FitFailed {
+                            context: format!(
+                                "ETS fit session for {} lost its optimiser state",
+                                config.name()
+                            ),
+                        })
+                    }
+                };
+                (nm.x, nm.evals)
+            }
+        };
+        let m = config.seasonal.period();
+        let k = config.n_params();
+        let (alpha, beta, gamma, phi) = unpack_params(&params_unconstrained, &config);
+        let rec = run_recursion(&y, &config, alpha, beta, gamma, phi).ok_or_else(|| {
+            ModelError::FitFailed {
+                context: "ETS recursion diverged at the optimum".to_string(),
+            }
+        })?;
+        let n = y.len() as f64;
+        let sigma2 = rec.sse / (n - k as f64).max(1.0);
+        let aic = n * (rec.sse / n).max(1e-300).ln() + 2.0 * (k as f64 + 1.0);
+        Ok(FittedEts {
+            config,
+            alpha,
+            beta,
+            gamma,
+            phi,
+            level: rec.level,
+            trend: rec.trend,
+            seasonal: reorder_seasonal(rec.seasonal, y.len(), m),
+            sse: rec.sse,
+            sigma2,
+            n_obs: y.len(),
+            aic,
+            params_unconstrained,
+            nm_evals,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -648,6 +847,72 @@ mod tests {
         assert_eq!(EtsConfig::ses().name(), "SES");
         assert_eq!(EtsConfig::holt().name(), "Holt");
         assert!(EtsConfig::holt_winters(24).name().contains("m=24"));
+    }
+
+    #[test]
+    fn batched_session_matches_fit_with_bitwise() {
+        let pattern = [0.0, 5.0, 10.0, 5.0, 0.0, -5.0, -10.0, -5.0];
+        let y: Vec<f64> = (0..160)
+            .map(|t| 100.0 + pattern[t % 8] + noise(160, 5)[t] * 0.2)
+            .collect();
+        let configs = [
+            EtsConfig::ses(),
+            EtsConfig::holt(),
+            EtsModel::HoltDamped.config(0),
+            EtsConfig::holt_winters(8),
+            EtsConfig::holt_winters_multiplicative(8),
+        ];
+        let opts = EtsFitOptions::default();
+        // Open one session per candidate and pump them in lockstep rounds
+        // through the batched kernel, the way the evaluation queue does.
+        let mut sessions: Vec<EtsFitSession> = configs
+            .iter()
+            .map(|c| EtsFitSession::new(&y, *c, &opts).unwrap())
+            .collect();
+        loop {
+            let staged: Vec<usize> = (0..sessions.len())
+                .filter(|&i| sessions[i].stage_pending())
+                .collect();
+            if staged.is_empty() {
+                break;
+            }
+            // Borrow every staged session's lane simultaneously (iter_mut
+            // yields disjoint &mut elements) and score them in one batch.
+            let mut lanes: Vec<holt_winters::EtsLane<'_>> = sessions
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| staged.contains(i))
+                .filter_map(|(_, s)| s.staged_lane())
+                .collect();
+            assert_eq!(lanes.len(), staged.len());
+            dwcp_math::kernels::ets_batch(&mut lanes);
+            let sses: Vec<f64> = lanes
+                .iter()
+                .map(|l| l.result().sse.unwrap_or(f64::INFINITY))
+                .collect();
+            drop(lanes);
+            for (&i, sse) in staged.iter().zip(sses) {
+                sessions[i].tell_sse(sse);
+            }
+        }
+        for (config, session) in configs.iter().zip(sessions) {
+            let batched = session.finish().unwrap();
+            let solo = FittedEts::fit_with(&y, *config, &opts).unwrap();
+            assert_eq!(
+                batched.sse.to_bits(),
+                solo.sse.to_bits(),
+                "{}",
+                config.name()
+            );
+            assert_eq!(batched.alpha.to_bits(), solo.alpha.to_bits());
+            assert_eq!(batched.level.to_bits(), solo.level.to_bits());
+            assert_eq!(batched.trend.to_bits(), solo.trend.to_bits());
+            assert_eq!(batched.nm_evals, solo.nm_evals);
+            assert_eq!(batched.seasonal.len(), solo.seasonal.len());
+            for (a, b) in batched.seasonal.iter().zip(&solo.seasonal) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

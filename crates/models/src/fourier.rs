@@ -79,13 +79,23 @@ impl FourierSpec {
     }
 
     /// Regressor rows for indices `start .. start + len` as column vectors
-    /// (one `Vec` per column, ready for a design matrix).
+    /// (one `Vec` per column, ready for a design matrix). Writes each
+    /// basis value straight into its column — no per-row temporary — and
+    /// evaluates the angles exactly as [`row`](FourierSpec::row) does, so
+    /// the design matrix is bit-identical to stacking `row(t)` calls.
     pub fn columns(&self, start: usize, len: usize) -> Vec<Vec<f64>> {
         let ncols = self.n_columns();
         let mut cols = vec![Vec::with_capacity(len); ncols];
         for t in start..start + len {
-            for (c, v) in self.row(t).into_iter().enumerate() {
-                cols[c].push(v);
+            let tf = t as f64;
+            let mut c = 0;
+            for term in &self.terms {
+                for k in 1..=term.harmonics {
+                    let angle = 2.0 * std::f64::consts::PI * k as f64 * tf / term.period;
+                    cols[c].push(angle.sin());
+                    cols[c + 1].push(angle.cos());
+                    c += 2;
+                }
             }
         }
         cols

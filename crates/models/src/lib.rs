@@ -27,11 +27,12 @@ pub mod tbats;
 
 pub use arima::spec::ArimaSpec;
 pub use arima::{FittedArima, FittedSarimax, SarimaxConfig};
-pub use ets::{adapt_ets_unconstrained, EtsConfig, EtsFitOptions, EtsModel, FittedEts};
-pub use ets::{SeasonalKind, TrendKind};
+pub use ets::{adapt_ets_unconstrained, EtsConfig, EtsFitOptions, EtsFitSession, EtsModel};
+pub use ets::{FittedEts, SeasonalKind, TrendKind};
 pub use fourier::FourierSpec;
-pub use tbats::TbatsSeason;
 pub use tbats::{adapt_tbats_unconstrained, FittedTbats, TbatsConfig, TbatsFitOptions};
+pub use tbats::{rotation_tables as tbats_rotation_tables, RotationTables};
+pub use tbats::{TbatsFitSession, TbatsSeason};
 
 use serde::{Deserialize, Serialize};
 

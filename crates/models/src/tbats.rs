@@ -18,12 +18,27 @@
 //! lists: with/without Box-Cox, with/without trend, with/without damping,
 //! with/without ARMA(p,q) errors, and varying harmonic counts.
 
+// lint: allow-file(indexing) — state-space filter numerics; every index is
+// bounded by construction: optimiser-vector reads follow the layout
+// `n_params()` sized them to, seasonal phase sums use `t % m` into
+// length-`m` buffers, history front-writes are guarded by the matching
+// `is_empty` check, and the `needed` length validation at the fit boundary
+// guarantees the initial-state windows exist.
+
 use crate::arima::transform::{unconstrained_to_ar, unconstrained_to_ma};
 use crate::{Forecast, ModelError, Result};
-use dwcp_math::kernels::trig_seasonal;
-use dwcp_math::optimize::{nelder_mead, NelderMeadOptions};
+use dwcp_math::kernels::{tbats_filter, trig_seasonal};
+use dwcp_math::optimize::{NelderMeadDriver, NelderMeadOptions};
 use dwcp_series::boxcox::{boxcox, inv_boxcox, select_lambda, shift_to_positive};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Per-block seasonal rotation tables `(cos λⱼ, sin λⱼ)` — one inner
+/// `Vec` per seasonal block, one entry per harmonic. Pure function of
+/// `{seasonal_periods, harmonics}`, so the evaluation engine shares one
+/// table set (behind an [`Arc`]) across every candidate with the same
+/// seasonal signature.
+pub type RotationTables = Vec<Vec<(f64, f64)>>;
 
 /// One seasonal block of a TBATS configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -240,144 +255,7 @@ impl FittedTbats {
         config: TbatsConfig,
         options: &TbatsFitOptions,
     ) -> Result<FittedTbats> {
-        let max_period = config
-            .seasons
-            .iter()
-            .map(|s| s.period.ceil() as usize)
-            .max()
-            .unwrap_or(0);
-        let needed = (2 * max_period + 8).max(12);
-        if y.len() < needed {
-            return Err(ModelError::TooShort {
-                needed,
-                got: y.len(),
-            });
-        }
-        if y.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::Series(dwcp_series::SeriesError::NonFinite));
-        }
-        for s in &config.seasons {
-            if s.period < 2.0 || s.harmonics == 0 {
-                return Err(ModelError::InvalidSpec {
-                    context: format!(
-                        "seasonal block needs period >= 2 and harmonics >= 1, got {s:?}"
-                    ),
-                });
-            }
-            if 2 * s.harmonics >= s.period.ceil() as usize {
-                return Err(ModelError::InvalidSpec {
-                    context: format!("harmonics {} too high for period {}", s.harmonics, s.period),
-                });
-            }
-        }
-
-        // Box-Cox (with positivity shift when required).
-        let (z, shift) = match config.lambda {
-            Some(l) => {
-                let (shifted, shift) = shift_to_positive(y, 1.0);
-                (boxcox(&shifted, l)?, shift)
-            }
-            None => (y.to_vec(), 0.0),
-        };
-
-        let init = initial_state(&z, &config);
-        let logistic = |u: f64| 1.0 / (1.0 + (-u).exp());
-        let unpack = |u: &[f64]| -> TbatsParams {
-            let mut i = 0;
-            let alpha = 0.0001 + 0.9998 * logistic(u[i]);
-            i += 1;
-            let beta = if config.use_trend {
-                let b = 0.0001 + 0.4999 * logistic(u[i]);
-                i += 1;
-                b
-            } else {
-                0.0
-            };
-            let phi = if config.use_damping {
-                let p = 0.8 + 0.19 * logistic(u[i]);
-                i += 1;
-                p
-            } else if config.use_trend {
-                1.0
-            } else {
-                0.0
-            };
-            let mut gammas = Vec::with_capacity(config.seasons.len());
-            for _ in &config.seasons {
-                let g1 = 0.2 * logistic(u[i]) - 0.1 + 0.1; // (0, 0.2)
-                let g2 = 0.2 * logistic(u[i + 1]);
-                gammas.push((g1, g2));
-                i += 2;
-            }
-            let ar = unconstrained_to_ar(&u[i..i + config.arma.0]);
-            i += config.arma.0;
-            let ma = unconstrained_to_ma(&u[i..i + config.arma.1]);
-            TbatsParams {
-                alpha,
-                beta,
-                phi,
-                gammas,
-                ar,
-                ma,
-            }
-        };
-
-        let objective = |u: &[f64]| -> f64 {
-            let params = unpack(u);
-            match filter(&z, &config, &params, init.clone()) {
-                Some((sse, _)) => sse,
-                None => f64::INFINITY,
-            }
-        };
-        let k = config.n_params();
-        let warm = options
-            .warm_start
-            .as_ref()
-            .filter(|w| w.len() == k)
-            .cloned();
-        let (params_unconstrained, nm_evals) = match warm {
-            // Champion-seeded frozen re-score: one filter pass, verbatim.
-            Some(w) if options.freeze_warm_start => (w, 1),
-            warm => {
-                let start = warm.unwrap_or_else(|| vec![0.0; k]);
-                let nm = nelder_mead(
-                    objective,
-                    &start,
-                    &NelderMeadOptions {
-                        max_evals: 400 + 150 * k,
-                        restarts: 1,
-                        initial_step: 1.0,
-                        ..Default::default()
-                    },
-                );
-                (nm.x, nm.evals)
-            }
-        };
-        let params = unpack(&params_unconstrained);
-        let (sse, state) =
-            filter(&z, &config, &params, init).ok_or_else(|| ModelError::FitFailed {
-                context: format!("TBATS filter diverged for {}", config.describe()),
-            })?;
-        let n = z.len() as f64;
-        let sigma2 = sse / n;
-        // AIC per the paper's selection criterion: parameters plus σ².
-        let aic = n * sigma2.max(1e-300).ln() + 2.0 * (k as f64 + 1.0);
-        Ok(FittedTbats {
-            alpha: params.alpha,
-            beta: params.beta,
-            phi: params.phi,
-            gammas: params.gammas.clone(),
-            ar: params.ar.clone(),
-            ma: params.ma.clone(),
-            sigma2,
-            aic,
-            n_obs: y.len(),
-            params_unconstrained,
-            nm_evals,
-            state,
-            shift,
-            config,
-        })
+        TbatsFitSession::new(y, config, options, None)?.finish()
     }
 
     /// Select the AIC-best configuration over the paper's lattice:
@@ -645,8 +523,10 @@ fn predict_one(config: &TbatsConfig, params: &TbatsParams, state: &TbatsState) -
 /// The angles depend only on the configuration, so one table serves an
 /// entire filter or forecast pass — the original `advance` re-evaluated
 /// `cos`/`sin` per harmonic *per observation*, which profiling showed was
-/// the dominant cost of the TBATS objective.
-fn rotation_tables(config: &TbatsConfig) -> Vec<Vec<(f64, f64)>> {
+/// the dominant cost of the TBATS objective. Public so the evaluation
+/// queue can build one shared table per `{seasonal_periods, harmonics}`
+/// signature and thread it into every [`TbatsFitSession`] that matches.
+pub fn rotation_tables(config: &TbatsConfig) -> Vec<Vec<(f64, f64)>> {
     config
         .seasons
         .iter()
@@ -691,28 +571,407 @@ fn advance(
     }
 }
 
-/// Run the filter over the training data; returns (SSE, final state) or
-/// `None` on numerical blow-up.
-fn filter(
+/// Run the filter over the training data with the rotation tables
+/// supplied by the caller, returning (SSE, final state) or `None` on
+/// numerical blow-up. Supplying the tables lets one
+/// table set (a pure function of the config's seasonal signature) serve
+/// every pass of a fit — or, behind the evaluation engine's cache, every
+/// candidate sharing the signature. The observation loop runs on the
+/// solo [`tbats_filter`] kernel, a statement-for-statement transcription
+/// of the [`predict_one`] + [`advance`] pair, so results are
+/// bit-identical to the historical scalar loop.
+fn filter_with_tables(
     z: &[f64],
     config: &TbatsConfig,
     params: &TbatsParams,
     mut state: TbatsState,
+    tables: &RotationTables,
 ) -> Option<(f64, TbatsState)> {
     state.d_hist = vec![0.0; params.ar.len()];
     state.e_hist = vec![0.0; params.ma.len()];
-    let tables = rotation_tables(config);
-    let mut sse = 0.0;
-    for &obs in z {
-        let (yhat, d_hat) = predict_one(config, params, &state);
-        let e = obs - yhat;
-        if !e.is_finite() || e.abs() > 1e12 {
-            return None;
-        }
-        sse += e * e;
-        advance(config, params, &tables, &mut state, d_hat, e);
+    let mut seasonal_flat: Vec<f64> = state.seasonal.iter().flatten().copied().collect();
+    let mut lane = tbats_filter::TbatsLane {
+        z,
+        alpha: params.alpha,
+        beta: params.beta,
+        phi: params.phi,
+        use_trend: config.use_trend,
+        gammas: &params.gammas,
+        ar: &params.ar,
+        ma: &params.ma,
+        tables,
+        level: state.level,
+        trend: state.trend,
+        seasonal: &mut seasonal_flat,
+        d_hist: &mut state.d_hist,
+        e_hist: &mut state.e_hist,
+        sse: 0.0,
+        alive: true,
+    };
+    tbats_filter::run(&mut lane);
+    let sse = lane.result()?;
+    state.level = lane.level;
+    state.trend = lane.trend;
+    let mut off = 0;
+    for block in &mut state.seasonal {
+        let len = block.len();
+        block.copy_from_slice(&seasonal_flat[off..off + len]);
+        off += len;
     }
     Some((sse, state))
+}
+
+/// Unpack an unconstrained optimiser point into smoothing/ARMA
+/// parameters under `config`'s layout `[α, β?, Φ?, (γ₁,γ₂)×seasons,
+/// ar…, ma…]` — α in (0.0001, 0.9999), β in (0.0001, 0.5), Φ in
+/// (0.8, 0.99), γ in (0, 0.2), AR/MA through the stationarity /
+/// invertibility transforms.
+fn unpack_tbats(u: &[f64], config: &TbatsConfig) -> TbatsParams {
+    let logistic = |u: f64| 1.0 / (1.0 + (-u).exp());
+    let mut i = 0;
+    let alpha = 0.0001 + 0.9998 * logistic(u[i]);
+    i += 1;
+    let beta = if config.use_trend {
+        let b = 0.0001 + 0.4999 * logistic(u[i]);
+        i += 1;
+        b
+    } else {
+        0.0
+    };
+    let phi = if config.use_damping {
+        let p = 0.8 + 0.19 * logistic(u[i]);
+        i += 1;
+        p
+    } else if config.use_trend {
+        1.0
+    } else {
+        0.0
+    };
+    let mut gammas = Vec::with_capacity(config.seasons.len());
+    for _ in &config.seasons {
+        let g1 = 0.2 * logistic(u[i]) - 0.1 + 0.1; // (0, 0.2)
+        let g2 = 0.2 * logistic(u[i + 1]);
+        gammas.push((g1, g2));
+        i += 2;
+    }
+    let ar = unconstrained_to_ar(&u[i..i + config.arma.0]);
+    i += config.arma.0;
+    let ma = unconstrained_to_ma(&u[i..i + config.arma.1]);
+    TbatsParams {
+        alpha,
+        beta,
+        phi,
+        gammas,
+        ar,
+        ma,
+    }
+}
+
+/// A poll-driven TBATS fit: the [`FittedTbats::fit_with`] optimisation
+/// split into explicit steps so a batched caller can interleave the
+/// filter passes of several candidates through one
+/// [`dwcp_math::kernels::tbats_filter::run_batch`] call per optimiser
+/// round.
+///
+/// Driving a session to completion with
+/// [`finish`](TbatsFitSession::finish) alone reproduces the sequential
+/// [`FittedTbats::fit_with`] bit-for-bit. The session also hoists out of
+/// the optimiser loop everything the closure objective recomputed per
+/// evaluation: the `initial_state` heuristic, the per-harmonic
+/// rotation tables (optionally shared across candidates with the same
+/// seasonal signature via the `rotation` argument) and the
+/// seasonal-state / ARMA-history allocations, which now live in pooled
+/// per-session scratch windows.
+pub struct TbatsFitSession {
+    config: TbatsConfig,
+    z: Vec<f64>,
+    shift: f64,
+    n_obs: usize,
+    init: TbatsState,
+    /// `init.seasonal` flattened once for cheap per-evaluation reloads.
+    init_seasonal_flat: Vec<f64>,
+    tables: Arc<RotationTables>,
+    /// Parameters unpacked by [`stage_pending`](TbatsFitSession::stage_pending).
+    staged: Option<TbatsParams>,
+    seasonal_scratch: Vec<f64>,
+    d_scratch: Vec<f64>,
+    e_scratch: Vec<f64>,
+    driver: Option<NelderMeadDriver>,
+    /// Decided without optimisation (frozen warm start): `(params, evals)`.
+    outcome: Option<(Vec<f64>, usize)>,
+}
+
+impl TbatsFitSession {
+    /// Validate the series and open a session. Mirrors the
+    /// [`FittedTbats::fit_with`] preamble exactly, including the frozen
+    /// warm-start short-circuit and the fall-through to a full
+    /// optimisation when a freeze is requested without a usable seed.
+    /// `rotation` supplies cached rotation tables for this config's
+    /// seasonal signature; `None` computes them here (once per fit —
+    /// the closure objective recomputed them per evaluation).
+    pub fn new(
+        y: &[f64],
+        config: TbatsConfig,
+        options: &TbatsFitOptions,
+        rotation: Option<Arc<RotationTables>>,
+    ) -> Result<TbatsFitSession> {
+        let max_period = config
+            .seasons
+            .iter()
+            .map(|s| s.period.ceil() as usize)
+            .max()
+            .unwrap_or(0);
+        let needed = (2 * max_period + 8).max(12);
+        if y.len() < needed {
+            return Err(ModelError::TooShort {
+                needed,
+                got: y.len(),
+            });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::Series(dwcp_series::SeriesError::NonFinite));
+        }
+        for s in &config.seasons {
+            if s.period < 2.0 || s.harmonics == 0 {
+                return Err(ModelError::InvalidSpec {
+                    context: format!(
+                        "seasonal block needs period >= 2 and harmonics >= 1, got {s:?}"
+                    ),
+                });
+            }
+            if 2 * s.harmonics >= s.period.ceil() as usize {
+                return Err(ModelError::InvalidSpec {
+                    context: format!("harmonics {} too high for period {}", s.harmonics, s.period),
+                });
+            }
+        }
+
+        // Box-Cox (with positivity shift when required).
+        let (z, shift) = match config.lambda {
+            Some(l) => {
+                let (shifted, shift) = shift_to_positive(y, 1.0);
+                (boxcox(&shifted, l)?, shift)
+            }
+            None => (y.to_vec(), 0.0),
+        };
+
+        let tables = rotation.unwrap_or_else(|| Arc::new(rotation_tables(&config)));
+        dwcp_math::invariant!(
+            tables.len() == config.seasons.len()
+                && tables
+                    .iter()
+                    .zip(&config.seasons)
+                    .all(|(t, s)| t.len() == s.harmonics),
+            "rotation tables do not match the seasonal signature of {}",
+            config.describe()
+        );
+        let k = config.n_params();
+        let warm = options
+            .warm_start
+            .as_ref()
+            .filter(|w| w.len() == k)
+            .cloned();
+        let (driver, outcome) = match warm {
+            // Champion-seeded frozen re-score: one filter pass, verbatim.
+            Some(w) if options.freeze_warm_start => (None, Some((w, 1))),
+            warm => {
+                let start = warm.unwrap_or_else(|| vec![0.0; k]);
+                let driver = NelderMeadDriver::new(
+                    &start,
+                    NelderMeadOptions {
+                        max_evals: 400 + 150 * k,
+                        restarts: 1,
+                        initial_step: 1.0,
+                        ..Default::default()
+                    },
+                );
+                (Some(driver), None)
+            }
+        };
+        let init = initial_state(&z, &config);
+        let init_seasonal_flat: Vec<f64> = init.seasonal.iter().flatten().copied().collect();
+        Ok(TbatsFitSession {
+            config,
+            z,
+            shift,
+            n_obs: y.len(),
+            seasonal_scratch: Vec::with_capacity(init_seasonal_flat.len()),
+            init_seasonal_flat,
+            init,
+            tables,
+            staged: None,
+            d_scratch: Vec::new(),
+            e_scratch: Vec::new(),
+            driver,
+            outcome,
+        })
+    }
+
+    /// Whether the optimiser still needs an objective evaluation.
+    pub fn is_pending(&self) -> bool {
+        self.driver.as_ref().is_some_and(|d| !d.is_done())
+    }
+
+    /// Evaluate the pending point against the solo filter kernel and feed
+    /// it back; returns `false` when nothing was pending. Driving a
+    /// session with `while session.step_solo() {}` reproduces the
+    /// sequential fit exactly.
+    pub fn step_solo(&mut self) -> bool {
+        let Some(driver) = self.driver.as_mut() else {
+            return false;
+        };
+        let Some(u) = driver.pending_point() else {
+            return false;
+        };
+        let params = unpack_tbats(u, &self.config);
+        self.seasonal_scratch.clear();
+        self.seasonal_scratch
+            .extend_from_slice(&self.init_seasonal_flat);
+        self.d_scratch.clear();
+        self.d_scratch.resize(params.ar.len(), 0.0);
+        self.e_scratch.clear();
+        self.e_scratch.resize(params.ma.len(), 0.0);
+        let mut lane = tbats_filter::TbatsLane {
+            z: &self.z,
+            alpha: params.alpha,
+            beta: params.beta,
+            phi: params.phi,
+            use_trend: self.config.use_trend,
+            gammas: &params.gammas,
+            ar: &params.ar,
+            ma: &params.ma,
+            tables: &self.tables,
+            level: self.init.level,
+            trend: self.init.trend,
+            seasonal: &mut self.seasonal_scratch,
+            d_hist: &mut self.d_scratch,
+            e_hist: &mut self.e_scratch,
+            sse: 0.0,
+            alive: true,
+        };
+        tbats_filter::run(&mut lane);
+        let fx = lane.result().unwrap_or(f64::INFINITY);
+        driver.tell(fx);
+        true
+    }
+
+    /// Unpack the pending point into filter parameters for a batched
+    /// kernel pass; the caller scores the staged lane (typically several
+    /// sessions' lanes in one
+    /// [`dwcp_math::kernels::tbats_filter::run_batch`] call) and answers
+    /// with [`tell_sse`](TbatsFitSession::tell_sse). Returns `false` when
+    /// no evaluation is pending.
+    pub fn stage_pending(&mut self) -> bool {
+        let Some(driver) = self.driver.as_ref() else {
+            return false;
+        };
+        let Some(u) = driver.pending_point() else {
+            return false;
+        };
+        self.staged = Some(unpack_tbats(u, &self.config));
+        true
+    }
+
+    /// Build the kernel lane for the staged point over this session's
+    /// pooled state windows. `None` before the first successful
+    /// [`stage_pending`](TbatsFitSession::stage_pending).
+    pub fn staged_lane(&mut self) -> Option<tbats_filter::TbatsLane<'_>> {
+        let params = self.staged.as_ref()?;
+        self.seasonal_scratch.clear();
+        self.seasonal_scratch
+            .extend_from_slice(&self.init_seasonal_flat);
+        self.d_scratch.clear();
+        self.d_scratch.resize(params.ar.len(), 0.0);
+        self.e_scratch.clear();
+        self.e_scratch.resize(params.ma.len(), 0.0);
+        Some(tbats_filter::TbatsLane {
+            z: &self.z,
+            alpha: params.alpha,
+            beta: params.beta,
+            phi: params.phi,
+            use_trend: self.config.use_trend,
+            gammas: &params.gammas,
+            ar: &params.ar,
+            ma: &params.ma,
+            tables: &self.tables,
+            level: self.init.level,
+            trend: self.init.trend,
+            seasonal: &mut self.seasonal_scratch,
+            d_hist: &mut self.d_scratch,
+            e_hist: &mut self.e_scratch,
+            sse: 0.0,
+            alive: true,
+        })
+    }
+
+    /// Feed back the SSE of the staged point and advance the optimiser.
+    pub fn tell_sse(&mut self, sse: f64) {
+        if let Some(driver) = self.driver.as_mut() {
+            driver.tell(sse);
+        }
+    }
+
+    /// Finalise the fit. Any evaluations still pending are driven against
+    /// the solo kernel first, so `finish` is always well-defined.
+    pub fn finish(mut self) -> Result<FittedTbats> {
+        while self.step_solo() {}
+        let TbatsFitSession {
+            config,
+            z,
+            shift,
+            n_obs,
+            init,
+            tables,
+            driver,
+            outcome,
+            ..
+        } = self;
+        let (params_unconstrained, nm_evals) = match outcome {
+            Some(decided) => decided,
+            None => {
+                let nm = match driver {
+                    Some(driver) => driver.into_result(),
+                    None => {
+                        return Err(ModelError::FitFailed {
+                            context: format!(
+                                "TBATS fit session for {} lost its optimiser state",
+                                config.describe()
+                            ),
+                        })
+                    }
+                };
+                (nm.x, nm.evals)
+            }
+        };
+        let k = config.n_params();
+        let params = unpack_tbats(&params_unconstrained, &config);
+        let (sse, state) =
+            filter_with_tables(&z, &config, &params, init, &tables).ok_or_else(|| {
+                ModelError::FitFailed {
+                    context: format!("TBATS filter diverged for {}", config.describe()),
+                }
+            })?;
+        let n = z.len() as f64;
+        let sigma2 = sse / n;
+        // AIC per the paper's selection criterion: parameters plus σ².
+        let aic = n * sigma2.max(1e-300).ln() + 2.0 * (k as f64 + 1.0);
+        Ok(FittedTbats {
+            alpha: params.alpha,
+            beta: params.beta,
+            phi: params.phi,
+            gammas: params.gammas.clone(),
+            ar: params.ar.clone(),
+            ma: params.ma.clone(),
+            sigma2,
+            aic,
+            n_obs,
+            params_unconstrained,
+            nm_evals,
+            state,
+            shift,
+            config,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -872,6 +1131,121 @@ mod tests {
     #[test]
     fn too_short_series_rejected() {
         assert!(FittedTbats::fit(&[1.0; 5], TbatsConfig::level_only()).is_err());
+    }
+
+    #[test]
+    fn batched_session_matches_fit_with_bitwise() {
+        let y: Vec<f64> = (0..200)
+            .map(|t| {
+                60.0 + 15.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                    + noise(200, 17)[t] * 0.5
+            })
+            .collect();
+        let season = TbatsSeason {
+            period: 24.0,
+            harmonics: 2,
+        };
+        let configs = [
+            TbatsConfig::level_only(),
+            TbatsConfig {
+                use_trend: true,
+                arma: (1, 0),
+                ..TbatsConfig::level_only()
+            },
+            TbatsConfig::seasonal(24.0, 2),
+            TbatsConfig {
+                lambda: Some(0.5),
+                use_trend: true,
+                use_damping: true,
+                arma: (1, 1),
+                seasons: vec![season],
+                interval_level: 0.95,
+            },
+        ];
+        let opts = TbatsFitOptions::default();
+        let mut sessions: Vec<TbatsFitSession> = configs
+            .iter()
+            .map(|c| TbatsFitSession::new(&y, c.clone(), &opts, None).unwrap())
+            .collect();
+        loop {
+            let staged: Vec<usize> = (0..sessions.len())
+                .filter(|&i| sessions[i].stage_pending())
+                .collect();
+            if staged.is_empty() {
+                break;
+            }
+            let mut lanes: Vec<tbats_filter::TbatsLane<'_>> = sessions
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| staged.contains(i))
+                .filter_map(|(_, s)| s.staged_lane())
+                .collect();
+            assert_eq!(lanes.len(), staged.len());
+            tbats_filter::run_batch(&mut lanes);
+            let sses: Vec<f64> = lanes
+                .iter()
+                .map(|l| l.result().unwrap_or(f64::INFINITY))
+                .collect();
+            drop(lanes);
+            for (&i, sse) in staged.iter().zip(sses) {
+                sessions[i].tell_sse(sse);
+            }
+        }
+        for (config, session) in configs.iter().zip(sessions) {
+            let batched = session.finish().unwrap();
+            let solo = FittedTbats::fit_with(&y, config.clone(), &opts).unwrap();
+            assert_eq!(
+                batched.sigma2.to_bits(),
+                solo.sigma2.to_bits(),
+                "{}",
+                config.describe()
+            );
+            assert_eq!(batched.aic.to_bits(), solo.aic.to_bits());
+            assert_eq!(batched.alpha.to_bits(), solo.alpha.to_bits());
+            assert_eq!(batched.nm_evals, solo.nm_evals);
+            assert_eq!(batched.params_unconstrained, solo.params_unconstrained);
+            let fa = batched.forecast(12);
+            let fb = solo.forecast(12);
+            for (a, b) in fa.mean.iter().zip(&fb.mean) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_rescore_reproduces_fit_bitwise() {
+        let y: Vec<f64> = (0..180)
+            .map(|t| {
+                40.0 + 10.0 * (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin()
+                    + noise(180, 19)[t] * 0.4
+            })
+            .collect();
+        let config = TbatsConfig {
+            use_trend: true,
+            arma: (1, 1),
+            seasons: vec![TbatsSeason {
+                period: 20.0,
+                harmonics: 2,
+            }],
+            ..TbatsConfig::level_only()
+        };
+        let fit = FittedTbats::fit(&y, config.clone()).unwrap();
+        let frozen = FittedTbats::fit_with(
+            &y,
+            config,
+            &TbatsFitOptions {
+                warm_start: Some(fit.params_unconstrained.clone()),
+                freeze_warm_start: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(frozen.nm_evals, 1);
+        assert_eq!(frozen.sigma2.to_bits(), fit.sigma2.to_bits());
+        let fa = frozen.forecast(10);
+        let fb = fit.forecast(10);
+        for (a, b) in fa.mean.iter().zip(&fb.mean) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub const HOT_PATH_PREFIXES: &[&str] = &[
     "crates/core/src/protocol.rs",
     "crates/core/src/repository.rs",
     "crates/models/src/arima/",
+    "crates/models/src/ets.rs",
+    "crates/models/src/tbats.rs",
     "crates/math/src/",
     "crates/series/src/ingest.rs",
     "src/serve.rs",
@@ -309,6 +311,11 @@ mod tests {
         assert!(is_hot_path("crates/core/src/repository.rs"));
         assert!(is_hot_path("crates/math/src/solve.rs"));
         assert!(is_hot_path("crates/models/src/arima/css.rs"));
+        // The batched ETS/TBATS fit stacks run inside the same lockstep
+        // rounds as the ARIMA family.
+        assert!(is_hot_path("crates/models/src/ets.rs"));
+        assert!(is_hot_path("crates/models/src/tbats.rs"));
+        assert!(!is_hot_path("crates/models/src/fourier.rs"));
         // The resident-engine layers run unattended inside `dwcp serve`.
         assert!(is_hot_path("crates/core/src/engine.rs"));
         assert!(is_hot_path("crates/core/src/alerts.rs"));

@@ -11,9 +11,12 @@
 #      layer must still build, run, and beat nothing over — champion
 #      equality is asserted inside the evaluate tests; wall-clock numbers
 #      from this stage are indicative only)
-#   5. bench_grid perf-regression smoke: the accelerated 4-thread wall must
-#      stay within 25% of the checked-in results/BENCH_grid.json (the run
-#      also re-asserts champion parity and the auto-order RMSE guard), then
+#   5. bench_kernels smoke (bitwise CSS/ETS/TBATS kernel parity asserted
+#      in-binary, snapshot schema checked), then bench_grid
+#      perf-regression smoke: the accelerated 4-thread wall — pure-ARIMA
+#      sweep and the mixed-family auto-mode union grid — must stay within
+#      25% of the checked-in results/BENCH_grid.json (the run also
+#      re-asserts champion parity and the auto-order RMSE guard), then
 #      bench_fleet smoke on the reduced (DWCP_QUICK=1) batch and a schema
 #      check of the written snapshots so downstream tooling can rely on
 #      their keys, then bench_estate smoke (reduced estate through the
@@ -67,9 +70,34 @@ cargo test -q -p interleave --release
 echo "== bench smoke: grid_search --quick =="
 cargo bench -p dwcp-bench --bench grid_search -- --quick
 
+echo "== bench smoke: bench_kernels (DWCP_QUICK=1) =="
+# Bitwise SSE parity of reference vs solo kernel vs batched lane for the
+# CSS, ETS and TBATS kernels is asserted inside the binary, which exits
+# non-zero (panics) on any violation.
+DWCP_QUICK=1 cargo run -q --release -p dwcp-bench --bin bench_kernels
+
+echo "== snapshot schema: results/BENCH_kernels.json =="
+for key in series_len batch iters rows reference_ns kernel_ns batch_ns \
+           transform_ns objective_ns kernel_speedup batched_families \
+           family shape batch_speedup ets_geomean_batch_speedup \
+           tbats_geomean_batch_speedup; do
+  grep -q "\"$key\"" results/BENCH_kernels.json \
+    || { echo "BENCH_kernels.json missing key: $key"; exit 1; }
+done
+python3 -c '
+import json
+snap = json.load(open("results/BENCH_kernels.json"))
+fam = snap["batched_families"]
+families = {r["family"] for r in fam["rows"]}
+assert families == {"ETS", "TBATS"}, f"unexpected families: {families}"
+ets, tbats = fam["ets_geomean_batch_speedup"], fam["tbats_geomean_batch_speedup"]
+print(f"kernels snapshot OK (geomean batched speedup: ETS {ets:.2f}x, TBATS {tbats:.2f}x)")'
+git checkout -- results/BENCH_kernels.json 2>/dev/null || true
+
 echo "== perf smoke: bench_grid vs checked-in reference =="
 # Guard the acceleration layer against silent regressions: the accelerated
-# 4-thread wall must stay within 25% of the checked-in snapshot. Full reps
+# 4-thread wall (both the pure-ARIMA sweep and the mixed-family auto-mode
+# union grid) must stay within 25% of the checked-in snapshot. Full reps
 # (best-of-3) to damp single-core scheduler noise; bench_grid itself
 # asserts champion parity across modes/threads and that the auto-order
 # champion is never worse than the full sweep.
@@ -78,11 +106,21 @@ import json
 snap = json.load(open("results/BENCH_grid.json"))
 print(next(r["wall_ms"] for r in snap["runs"]
            if r["mode"] == "accelerated" and r["threads"] == 4))')
+ref_auto_wall=$(python3 -c '
+import json
+snap = json.load(open("results/BENCH_grid.json"))
+print(next(r["wall_ms"] for r in snap["auto_mode"]
+           if r["mode"] == "accelerated" and r["threads"] == 4))')
 cargo run -q --release -p dwcp-bench --bin bench_grid
 new_wall=$(python3 -c '
 import json
 snap = json.load(open("results/BENCH_grid.json"))
 print(next(r["wall_ms"] for r in snap["runs"]
+           if r["mode"] == "accelerated" and r["threads"] == 4))')
+new_auto_wall=$(python3 -c '
+import json
+snap = json.load(open("results/BENCH_grid.json"))
+print(next(r["wall_ms"] for r in snap["auto_mode"]
            if r["mode"] == "accelerated" and r["threads"] == 4))')
 python3 -c "
 ref, new = float('$ref_wall'), float('$new_wall')
@@ -90,6 +128,12 @@ limit = ref * 1.25
 print(f'accelerated 4t: {new:.1f} ms vs reference {ref:.1f} ms (limit {limit:.1f} ms)')
 raise SystemExit(1 if new > limit else 0)" \
   || { echo "bench_grid: accelerated wall regressed >25% vs reference"; exit 1; }
+python3 -c "
+ref, new = float('$ref_auto_wall'), float('$new_auto_wall')
+limit = ref * 1.25
+print(f'auto-mode accelerated 4t: {new:.1f} ms vs reference {ref:.1f} ms (limit {limit:.1f} ms)')
+raise SystemExit(1 if new > limit else 0)" \
+  || { echo "bench_grid: auto-mode accelerated wall regressed >25% vs reference"; exit 1; }
 git checkout -- results/BENCH_grid.json 2>/dev/null || true
 
 echo "== bench smoke: bench_fleet (DWCP_QUICK=1) =="
@@ -104,6 +148,8 @@ for key in batch n_jobs threads sequential_wall_ms fleet_cold_wall_ms \
     || { echo "BENCH_fleet.json missing key: $key"; exit 1; }
 done
 echo "snapshot schema OK"
+# The QUICK run overwrote the checked-in snapshot; restore it.
+git checkout -- results/BENCH_fleet.json 2>/dev/null || true
 
 echo "== bench smoke: bench_estate (DWCP_QUICK=1) =="
 # The estate path's live contracts (wave/legacy champion parity at

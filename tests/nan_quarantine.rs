@@ -138,6 +138,90 @@ fn nan_in_the_test_segment_fails_candidates_instead_of_crowning_them() {
 }
 
 #[test]
+fn nan_training_data_fails_batched_ets_and_tbats_identically() {
+    // A NaN inside the training window must fail every ETS/TBATS candidate
+    // with a typed error — and the batched lockstep path (the default,
+    // cache_transforms on) must degrade exactly like the sequential path,
+    // never crowning a NaN champion from a half-poisoned kernel batch.
+    let y: Vec<f64> = hourly_series(264).values().to_vec();
+    let (train_clean, test) = y.split_at(240);
+    let mut train = train_clean.to_vec();
+    train[100] = f64::NAN;
+    let mut grid = ModelGrid::ets(24, true, 0.95);
+    grid.candidates
+        .extend(ModelGrid::tbats(&[24.0], None, 0.95).candidates);
+    for cache_transforms in [true, false] {
+        let opts = EvaluationOptions {
+            cache_transforms,
+            ..Default::default()
+        };
+        match evaluate_candidates(&train, test, &[], &[], &grid.candidates, &opts) {
+            Ok(report) => {
+                assert_eq!(
+                    report.scores.len(),
+                    0,
+                    "every candidate must fail on NaN training data \
+                     (cache_transforms={cache_transforms})"
+                );
+                assert!(report.champion().is_none());
+                assert_eq!(report.failures, report.attempted);
+            }
+            Err(PlannerError::NoViableModel { .. }) => {}
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+}
+
+#[test]
+fn non_positive_series_keeps_multiplicative_guards_in_the_batched_path() {
+    // A series crossing zero: multiplicative Holt-Winters divides by the
+    // seasonal state and the level, and Box-Cox TBATS must shift the data
+    // positive first. The degenerate-state guards have to fire identically
+    // whether fits run solo or through the batched kernels — same scores
+    // bit for bit, same failures, and never a non-finite champion.
+    let y: Vec<f64> = hourly_series(264)
+        .values()
+        .iter()
+        .map(|v| v - 55.0)
+        .collect();
+    let (train, test) = y.split_at(240);
+    let mut grid = ModelGrid::ets(24, true, 0.95);
+    grid.candidates
+        .extend(ModelGrid::tbats(&[24.0], Some(0.0), 0.95).candidates);
+    let run = |cache_transforms: bool| {
+        let opts = EvaluationOptions {
+            cache_transforms,
+            ..Default::default()
+        };
+        evaluate_candidates(train, test, &[], &[], &grid.candidates, &opts)
+    };
+    match (run(true), run(false)) {
+        (Ok(batched), Ok(sequential)) => {
+            assert_eq!(batched.scores.len(), sequential.scores.len());
+            assert_eq!(batched.failures, sequential.failures);
+            for (b, s) in batched.scores.iter().zip(&sequential.scores) {
+                assert_eq!(b.candidate_index, s.candidate_index);
+                assert_eq!(
+                    b.accuracy.rmse.to_bits(),
+                    s.accuracy.rmse.to_bits(),
+                    "batched and sequential RMSE must agree bitwise for {}",
+                    b.candidate.config.describe()
+                );
+            }
+            if let Some(champion) = batched.champion() {
+                assert!(
+                    champion.accuracy.rmse.is_finite() && champion.accuracy.rmse >= 0.0,
+                    "champion RMSE must be finite, got {}",
+                    champion.accuracy.rmse
+                );
+            }
+        }
+        (Err(PlannerError::NoViableModel { .. }), Err(PlannerError::NoViableModel { .. })) => {}
+        (b, s) => panic!("batched and sequential outcomes diverged: {b:?} vs {s:?}"),
+    }
+}
+
+#[test]
 fn nan_exogenous_columns_fail_the_fit_not_the_process() {
     // A poisoned exogenous regressor must surface as candidate failures
     // (or a typed error), never as a champion with non-finite accuracy.
