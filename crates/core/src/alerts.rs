@@ -157,14 +157,13 @@ impl AlertEngine {
                         step: adv.step,
                         severity: adv.severity,
                     };
-                    let worsened = match self.last.get(&key) {
-                        None => true,
-                        Some(prev) => {
-                            state.step < prev.step
-                                || (prev.severity == BreachSeverity::Possible
-                                    && state.severity == BreachSeverity::Expected)
-                        }
-                    };
+                    // The decision itself lives in the protocol module so
+                    // the model checker exercises this exact policy.
+                    let worsened = crate::protocol::alert_refire(
+                        self.last.get(&key).map(|p| (p.step, p.severity)),
+                        state.step,
+                        state.severity,
+                    );
                     if worsened {
                         self.last.insert(key, state);
                         self.fired += 1;

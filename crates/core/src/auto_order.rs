@@ -360,6 +360,7 @@ pub(crate) fn naive_benchmark_rmse(
     }
     if let Some(m) = period {
         if m >= 2 && train.len() >= m {
+            // lint: allow(indexing) — tail slice guarded by train.len() >= m just above
             let season = &train[train.len() - m..];
             let sse: f64 = test
                 .iter()

@@ -8,6 +8,8 @@
 //! repository's one-week reuse window: if step-24 accuracy were already
 //! collapsing, a week of reuse would be indefensible.
 
+// lint: allow-file(indexing) — rolling-origin window arithmetic; every origin/horizon slice is bounded by the min_train and horizon admission checks before the replay loop
+
 use crate::{PlannerError, Result};
 use dwcp_models::arima::ArimaOptions;
 use dwcp_models::{FittedSarimax, SarimaxConfig};

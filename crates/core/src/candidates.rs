@@ -97,7 +97,12 @@ impl CandidateSet {
         // values to the front so truncation keeps them.
         let mut models = grid.candidates;
         models.sort_by_key(|c| {
-            let spec = &c.as_sarimax().expect("ARIMA grid candidate").spec;
+            // A non-SARIMAX candidate (none in today's ARIMA grid) sorts
+            // last, deterministically, instead of panicking the sort.
+            let Some(cand) = c.as_sarimax() else {
+                return (true, usize::MAX, usize::MAX);
+            };
+            let spec = &cand.spec;
             (spec.d != profile.suggested_d.min(1), spec.p, spec.q)
         });
         models.truncate(max_candidates);
@@ -121,7 +126,11 @@ impl CandidateSet {
         let grid = grid.prune(&profile.correlogram, max_candidates * 4);
         let mut models = grid.candidates;
         models.sort_by_key(|c| {
-            let spec = &c.as_sarimax().expect("SARIMAX grid candidate").spec;
+            // Same quarantine as the ARIMA sort: unknown shapes go last.
+            let Some(cand) = c.as_sarimax() else {
+                return (true, usize::MAX, usize::MAX);
+            };
+            let spec = &cand.spec;
             (
                 spec.d != profile.suggested_d.min(1),
                 spec.p,

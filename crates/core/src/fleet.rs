@@ -35,7 +35,7 @@ use crate::pipeline::{EvalPlan, ForecastOutcome, MethodChoice, Pipeline, Pipelin
 use crate::repository::{
     shard_of, ChampionStore, ModelRecord, ModelRepository, RetentionPolicy, ShardedRepository,
 };
-use crate::{PlannerError, Result};
+use crate::{protocol, PlannerError, Result};
 use dwcp_series::TimeSeries;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -636,6 +636,11 @@ impl ChampionStore for WaveStore {
 /// completed workload key. Appended after each wave's repository flush —
 /// a checkpointed key's champion is guaranteed on disk — and loaded
 /// leniently (a torn tail line just means that one job refits).
+///
+/// The record-then-publish ordering behind that guarantee is
+/// [`protocol::commit_wave`], which the scheduler drives through its
+/// private `RepoLedger` and the bounded model checker drives through an
+/// instrumented ledger (`tests/model_check.rs`).
 pub struct Checkpoint;
 
 impl Checkpoint {
@@ -705,6 +710,63 @@ impl Checkpoint {
     /// checkpoint existed.
     pub fn cancel(path: &Path) -> bool {
         std::fs::remove_file(path).is_ok()
+    }
+}
+
+/// The durable side of the wave-commit protocol: `record` stores one
+/// fresh champion into the sharded repository, `publish` flushes the
+/// shards and appends the wave's completed keys to the checkpoint — so
+/// by the time a key is published, its champion is on disk. Interior
+/// mutability (and a captured first error) because the protocol functions
+/// are infallible `&self` so the model checker can drive the exact same
+/// code on instrumented atomics.
+struct RepoLedger<'a> {
+    repository: std::cell::RefCell<&'a mut ShardedRepository>,
+    /// Slot-indexed fresh champions; `record` takes each exactly once.
+    fresh: std::cell::RefCell<Vec<Option<ModelRecord>>>,
+    checkpoint: Option<&'a Path>,
+    total: usize,
+    ok_keys: &'a [String],
+    error: std::cell::RefCell<Option<PlannerError>>,
+}
+
+impl RepoLedger<'_> {
+    fn fail(&self, e: PlannerError) {
+        let mut slot = self.error.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+}
+
+impl protocol::WaveLedger for RepoLedger<'_> {
+    fn record(&self, slot: usize) {
+        if self.error.borrow().is_some() {
+            return;
+        }
+        let record = self.fresh.borrow_mut().get_mut(slot).and_then(Option::take);
+        if let Some(record) = record {
+            if let Err(e) = self.repository.borrow_mut().store(record) {
+                self.fail(e);
+            }
+        }
+    }
+
+    fn publish(&self, _count: usize) {
+        if self.error.borrow().is_some() {
+            return;
+        }
+        let mut repository = self.repository.borrow_mut();
+        if let Err(e) = repository.flush() {
+            self.fail(e);
+            return;
+        }
+        repository.evict_clean();
+        if let Some(path) = self.checkpoint {
+            if let Err(e) = Checkpoint::append(path, self.total, self.ok_keys) {
+                self.fail(e);
+            }
+        }
     }
 }
 
@@ -843,14 +905,6 @@ impl EstateScheduler {
             let batch = run_batch_on(&self.fleet, &mut store, &jobs);
             drop(jobs);
 
-            // Persist the wave's champions, then checkpoint — in that
-            // order, so a checkpointed key's champion is always on disk.
-            for record in store.fresh.drain(..) {
-                self.repository.store(record)?;
-            }
-            self.repository.flush()?;
-            self.repository.evict_clean();
-
             let ok_keys: Vec<String> = batch
                 .jobs
                 .iter()
@@ -859,8 +913,23 @@ impl EstateScheduler {
                 .collect();
             report.completed += ok_keys.len();
             report.failed += batch.jobs.len() - ok_keys.len();
-            if let Some(path) = &self.waves.checkpoint {
-                Checkpoint::append(path, total_jobs, &ok_keys)?;
+
+            // Persist the wave's champions, then checkpoint — the
+            // record-then-publish commit protocol, so a checkpointed key's
+            // champion is always on disk.
+            let fresh: Vec<Option<ModelRecord>> = store.fresh.drain(..).map(Some).collect();
+            let slots = fresh.len();
+            let ledger = RepoLedger {
+                repository: std::cell::RefCell::new(&mut self.repository),
+                fresh: std::cell::RefCell::new(fresh),
+                checkpoint: self.waves.checkpoint.as_deref(),
+                total: total_jobs,
+                ok_keys: &ok_keys,
+                error: std::cell::RefCell::new(None),
+            };
+            protocol::commit_wave(&ledger, slots);
+            if let Some(e) = ledger.error.into_inner() {
+                return Err(e);
             }
 
             report.stats.merge(&batch.stats);

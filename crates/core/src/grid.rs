@@ -63,10 +63,15 @@ impl ModelFamily {
 
     /// Position of this family in [`ModelFamily::ALL`].
     pub fn index(self) -> usize {
-        ModelFamily::ALL
-            .iter()
-            .position(|&f| f == self)
-            .expect("every family is in ModelFamily::ALL")
+        // Total match instead of a scan-and-expect over ALL; the
+        // round-trip test below keeps this table honest.
+        match self {
+            ModelFamily::Arima => 0,
+            ModelFamily::Sarimax => 1,
+            ModelFamily::SarimaxFftExogenous => 2,
+            ModelFamily::Hes => 3,
+            ModelFamily::Tbats => 4,
+        }
     }
 
     /// The label used in the paper's result tables.
@@ -539,6 +544,7 @@ impl ModelGrid {
                     config: ModelConfig::Ets(*config),
                 }];
                 for c in Self::ets(period, true, config.interval_level).candidates {
+                    // lint: allow(indexing) — literal index into the one-element vec built above
                     if c.config != candidates[0].config {
                         candidates.push(c);
                     }
@@ -575,6 +581,7 @@ impl ModelGrid {
                             continue;
                         }
                         let mut cfg = config.clone();
+                        // lint: allow(indexing) — i enumerates config.seasons, which cfg clones
                         cfg.seasons[i].harmonics = harmonics;
                         push(&mut candidates, cfg);
                     }

@@ -1,23 +1,34 @@
-//! The lock-free champion-selection protocol, isolated from the engine.
+//! The concurrency protocols of the engine, isolated from their drivers.
 //!
-//! Two pieces of `evaluate.rs` carry the entire correctness burden of the
-//! parallel grid search:
+//! Every piece of the workspace whose correctness depends on the order of
+//! atomic (or atomic-like durable) operations is defined here, generic
+//! over its storage cell, so the bounded model checker in
+//! `tests/model_check.rs` can drive the *same code* (not a transcription
+//! of it) through every interleaving of those operations via the vendored
+//! `interleave` scheduler, while production runs it on plain `std` atomics
+//! or real files. Four protocols live here:
 //!
-//! 1. the **atomic incumbent** — workers racing candidate fits publish
-//!    their best RMSE into a shared `AtomicU64` so slower fits can be
-//!    abandoned, and
-//! 2. the **deterministic tie-break** — the final champion is the minimum
-//!    under `(rmse, candidate_index)` order, so exact RMSE ties resolve to
-//!    the earlier candidate regardless of which worker finished first.
-//!
-//! Both are defined here, generic over the atomic cell, so the bounded
-//! model checker in `tests/model_check.rs` can drive the *same code* (not
-//! a transcription of it) through every interleaving of its atomic
-//! operations via the `interleave` scheduler, while the engine runs it on
-//! a plain `std` atomic with uncontended `Relaxed` ordering.
+//! 1. the **atomic incumbent** ([`publish_min_rmse`]) — workers racing
+//!    candidate fits publish their best RMSE into a shared `AtomicU64` so
+//!    slower fits can be abandoned — plus the **deterministic tie-break**
+//!    ([`score_order`]): the champion is the minimum under
+//!    `(rmse, candidate_index)` order, so exact RMSE ties resolve to the
+//!    earlier candidate regardless of which worker finished first;
+//! 2. the **wave-commit ledger** ([`commit_wave`] over [`WaveLedger`]) —
+//!    the estate scheduler's record-then-publish checkpoint discipline: a
+//!    kill between (or during) waves can force refits but can never
+//!    publish a job whose champion is not durable;
+//! 3. the **shutdown drain gate** ([`request_shutdown`] / [`accept_one`]
+//!    over [`DrainFlag`]) — the serve daemon's flag-then-wake trigger and
+//!    enqueue-then-check acceptor, so a request that wins the accept race
+//!    against shutdown is served, never dropped;
+//! 4. the **alert re-fire hysteresis** ([`alert_refire`], [`try_fire`]) —
+//!    the de-duplication decision of the alert engine, plus its CAS-claim
+//!    form under which concurrent observers fire exactly once.
 
+use crate::advisor::BreachSeverity;
 use std::cmp::Ordering as CmpOrdering;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// The one capability the incumbent protocol needs from its storage cell:
 /// a 64-bit load and compare-exchange. `evaluate.rs` provides a plain
@@ -73,6 +84,163 @@ pub fn score_order(a_rmse: f64, a_index: usize, b_rmse: f64, b_index: usize) -> 
     dwcp_math::total_cmp_f64(a_rmse, b_rmse).then(a_index.cmp(&b_index))
 }
 
+// --- Protocol 2: the wave-commit ledger ---
+
+/// The two durable operations of the estate scheduler's checkpoint
+/// protocol. In production (`fleet.rs`) `record` stores one champion into
+/// the sharded repository and `publish` flushes the shards and appends the
+/// wave's keys to the checkpoint file; in the model checker both are
+/// instrumented atomics.
+pub trait WaveLedger {
+    /// Make slot `slot`'s champion durable.
+    fn record(&self, slot: usize);
+    /// Publish that the wave's `count` slots are committed.
+    fn publish(&self, count: usize);
+}
+
+/// Commit one wave of `count` jobs: record every slot, **then** publish.
+/// Record-then-publish is the entire crash-safety argument — whatever the
+/// published state claims committed has already been made durable, so a
+/// kill at any point forces at most a refit of unpublished work and can
+/// never lose a published champion. `tests/model_check.rs` proves the
+/// ordering holds under every interleaving with a concurrent resume
+/// observer, and that the inverted (publish-first) variant is caught.
+pub fn commit_wave<L: WaveLedger>(ledger: &L, count: usize) {
+    for slot in 0..count {
+        ledger.record(slot);
+    }
+    ledger.publish(count);
+}
+
+/// Resume arithmetic shared by the model check and the scheduler's
+/// reporting: of `total` jobs with `committed` already published, how many
+/// are skipped and how many must (re)fit. A stale over-long checkpoint is
+/// clamped; skip + refit always partitions the job list, so no job is
+/// both skipped and refit (never double-fit) and none falls through.
+pub fn resume_split(total: usize, committed: usize) -> (usize, usize) {
+    let skipped = committed.min(total);
+    (skipped, total - skipped)
+}
+
+// --- Protocol 3: the shutdown drain gate ---
+
+/// The stop flag shared by the serve daemon's acceptor and its shutdown
+/// trigger. Production uses a plain [`AtomicBool`]; the model checker an
+/// instrumented one.
+pub trait DrainFlag {
+    /// Whether shutdown has been requested.
+    fn is_set(&self) -> bool;
+    /// Request shutdown.
+    fn set(&self);
+}
+
+impl DrainFlag for AtomicBool {
+    fn is_set(&self) -> bool {
+        self.load(Ordering::SeqCst)
+    }
+
+    fn set(&self) {
+        self.store(true, Ordering::SeqCst)
+    }
+}
+
+/// Trigger side of the drain gate: set the flag **before** running `wake`
+/// (the self-connect that unblocks the acceptor). An acceptor woken by
+/// the wake connection is therefore guaranteed to observe the stop — the
+/// inverted order could wake an acceptor that then parks in `accept`
+/// again and never exits.
+pub fn request_shutdown<F: DrainFlag>(flag: &F, wake: impl FnOnce()) {
+    flag.set();
+    wake();
+}
+
+/// Acceptor side of the drain gate, one accepted connection: hand the
+/// stream to the worker pool **before** consulting the flag, then report
+/// whether the acceptor should stop. `enqueue` returns whether the pool
+/// is still there; a dead pool stops the acceptor too. Enqueue-then-check
+/// means a real request that won the accept race against shutdown is
+/// served (the workers drain the channel before exiting), never dropped —
+/// the check-then-drop shape this replaces is re-seeded and caught in
+/// `tests/model_check.rs`.
+pub fn accept_one<F: DrainFlag>(flag: &F, enqueue: impl FnOnce() -> bool) -> bool {
+    let pool_alive = enqueue();
+    !pool_alive || flag.is_set()
+}
+
+// --- Protocol 4: alert re-fire hysteresis ---
+
+/// The alert engine's re-fire decision (`alerts.rs` firing policy): a
+/// fresh breach observation fires when there is no last-fired state, when
+/// the breach moved to an earlier horizon step, or when it escalated from
+/// [`BreachSeverity::Possible`] to [`BreachSeverity::Expected`]. A breach
+/// that merely persists unchanged stays silent.
+pub fn alert_refire(
+    prev: Option<(usize, BreachSeverity)>,
+    step: usize,
+    severity: BreachSeverity,
+) -> bool {
+    match prev {
+        None => true,
+        Some((prev_step, prev_severity)) => {
+            step < prev_step
+                || (prev_severity == BreachSeverity::Possible
+                    && severity == BreachSeverity::Expected)
+        }
+    }
+}
+
+/// The empty claim cell: no breach state has ever been fired.
+pub const BREACH_EMPTY: u64 = 0;
+
+/// Widest horizon step the claim encoding can carry (62 bits is far past
+/// any real forecast horizon; wider steps saturate rather than corrupt
+/// the occupancy flag).
+const BREACH_STEP_MAX: u64 = (1 << 62) - 1;
+
+/// Encode a fired breach state into the 64-bit claim cell: bit 63 marks
+/// the cell occupied, bit 0 the severity, bits 1..63 the step.
+pub fn encode_breach(step: usize, severity: BreachSeverity) -> u64 {
+    let step = (step as u64).min(BREACH_STEP_MAX);
+    let expected = u64::from(severity == BreachSeverity::Expected);
+    (1 << 63) | (step << 1) | expected
+}
+
+/// Decode a claim cell; [`BREACH_EMPTY`] (and any bits without the
+/// occupancy flag) decodes to `None`.
+pub fn decode_breach(bits: u64) -> Option<(usize, BreachSeverity)> {
+    if bits & (1 << 63) == 0 {
+        return None;
+    }
+    let step = ((bits >> 1) & BREACH_STEP_MAX) as usize;
+    let severity = if bits & 1 == 1 {
+        BreachSeverity::Expected
+    } else {
+        BreachSeverity::Possible
+    };
+    Some((step, severity))
+}
+
+/// Claim the right to fire for a fresh breach observation: the lock-free
+/// form of [`alert_refire`] for concurrent observers of the same
+/// `(workload, rule)` cell. The claim CAS loses to a concurrent fire of
+/// the same (or better) news, so identical simultaneous observations fire
+/// **exactly once** and an escalation always lands — proven under every
+/// interleaving in `tests/model_check.rs`. The resident engine serialises
+/// scans behind its mutex and uses [`alert_refire`] directly; this is the
+/// same decision under contention.
+pub fn try_fire<C: IncumbentCell>(cell: &C, step: usize, severity: BreachSeverity) -> bool {
+    let mut current = cell.load_bits();
+    loop {
+        if !alert_refire(decode_breach(current), step, severity) {
+            return false;
+        }
+        match cell.compare_exchange_bits(current, encode_breach(step, severity)) {
+            Ok(_) => return true,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +283,108 @@ mod tests {
     fn nan_sorts_after_every_real_score() {
         assert_eq!(score_order(f64::NAN, 0, 1e12, 99), CmpOrdering::Greater);
         assert_eq!(score_order(1e12, 99, f64::NAN, 0), CmpOrdering::Less);
+    }
+
+    #[test]
+    fn commit_wave_records_every_slot_before_publishing() {
+        use std::cell::RefCell;
+        #[derive(Default)]
+        struct Trace(RefCell<Vec<String>>);
+        impl WaveLedger for Trace {
+            fn record(&self, slot: usize) {
+                self.0.borrow_mut().push(format!("record {slot}"));
+            }
+            fn publish(&self, count: usize) {
+                self.0.borrow_mut().push(format!("publish {count}"));
+            }
+        }
+        let ledger = Trace::default();
+        commit_wave(&ledger, 3);
+        assert_eq!(
+            *ledger.0.borrow(),
+            vec!["record 0", "record 1", "record 2", "publish 3"]
+        );
+        let empty = Trace::default();
+        commit_wave(&empty, 0);
+        assert_eq!(*empty.0.borrow(), vec!["publish 0"]);
+    }
+
+    #[test]
+    fn resume_split_partitions_and_clamps() {
+        assert_eq!(resume_split(10, 4), (4, 6));
+        assert_eq!(resume_split(10, 0), (0, 10));
+        assert_eq!(resume_split(10, 10), (10, 0));
+        // A stale checkpoint claiming more than the estate holds clamps.
+        assert_eq!(resume_split(10, 99), (10, 0));
+        for committed in 0..12 {
+            let (skip, refit) = resume_split(10, committed);
+            assert_eq!(skip + refit, 10);
+        }
+    }
+
+    #[test]
+    fn drain_gate_orders_flag_before_wake_and_enqueue_before_check() {
+        let flag = AtomicBool::new(false);
+        let mut woke_with_flag_set = false;
+        request_shutdown(&flag, || woke_with_flag_set = flag.is_set());
+        assert!(woke_with_flag_set, "wake ran before the flag was set");
+
+        // Enqueue happens even when the flag is already up (the stream was
+        // accepted; dropping it now would lose a request) — the gate just
+        // tells the acceptor to stop afterwards.
+        let mut enqueued = false;
+        let stop = accept_one(&flag, || {
+            enqueued = true;
+            true
+        });
+        assert!(enqueued);
+        assert!(stop);
+
+        // Flag down, pool alive: keep accepting.
+        let open = AtomicBool::new(false);
+        assert!(!accept_one(&open, || true));
+        // Dead pool stops the acceptor regardless of the flag.
+        assert!(accept_one(&open, || false));
+    }
+
+    #[test]
+    fn refire_decision_matches_the_firing_policy() {
+        use BreachSeverity::{Expected, Possible};
+        assert!(alert_refire(None, 5, Possible));
+        assert!(alert_refire(Some((5, Possible)), 3, Possible)); // earlier
+        assert!(alert_refire(Some((5, Possible)), 5, Expected)); // escalated
+        assert!(!alert_refire(Some((5, Possible)), 5, Possible)); // unchanged
+        assert!(!alert_refire(Some((5, Possible)), 7, Possible)); // later
+        assert!(!alert_refire(Some((5, Expected)), 5, Possible)); // de-escalated
+        assert!(!alert_refire(Some((5, Expected)), 6, Expected)); // later
+    }
+
+    #[test]
+    fn breach_encoding_round_trips() {
+        use BreachSeverity::{Expected, Possible};
+        assert_eq!(decode_breach(BREACH_EMPTY), None);
+        for (step, severity) in [
+            (0, Possible),
+            (0, Expected),
+            (7, Possible),
+            (1 << 40, Expected),
+        ] {
+            let bits = encode_breach(step, severity);
+            assert_eq!(decode_breach(bits), Some((step, severity)));
+        }
+        // Saturating, not corrupting, beyond the encodable range.
+        let huge = encode_breach(usize::MAX, Possible);
+        assert_eq!(decode_breach(huge), Some(((1 << 62) - 1, Possible)));
+    }
+
+    #[test]
+    fn try_fire_claims_once_then_obeys_hysteresis() {
+        use BreachSeverity::{Expected, Possible};
+        let cell = AtomicU64::new(BREACH_EMPTY);
+        assert!(try_fire(&cell, 4, Possible));
+        assert!(!try_fire(&cell, 4, Possible), "unchanged must not re-fire");
+        assert!(try_fire(&cell, 4, Expected), "escalation fires");
+        assert!(try_fire(&cell, 1, Expected), "earlier fires");
+        assert_eq!(decode_breach(cell.load_bits()), Some((1, Expected)));
     }
 }

@@ -15,6 +15,8 @@
 //! [`ShockTracker`], emitting exogenous indicator columns once the
 //! >threshold-occurrence rule admits the slot as behaviour.
 
+// lint: allow-file(indexing) — phase-grid folds; phase and cycle indices are bounded by the period/cycle counts derived from the series length on entry
+
 use crate::repository::ShockTracker;
 use crate::{PlannerError, Result};
 use dwcp_series::rolling::{mad, median, robust_z_scores};

@@ -40,7 +40,7 @@ pub use dist::Normal;
 pub use matrix::Matrix;
 pub use ols::{ols, OlsFit};
 pub use optimize::{nelder_mead, NelderMeadOptions, NelderMeadResult};
-pub use totalord::total_cmp_f64;
+pub use totalord::{max_f64, min_f64, total_cmp_f64};
 
 /// Machine-epsilon-scaled tolerance used by the decompositions when deciding
 /// whether a pivot is effectively zero.

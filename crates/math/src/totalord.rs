@@ -29,6 +29,43 @@ pub fn total_cmp_f64(a: f64, b: f64) -> Ordering {
     }
 }
 
+/// Minimum of a slice with NaN quarantined: NaN samples are skipped, and
+/// the result is NaN only when the slice is empty or all-NaN.
+///
+/// Unlike `iter().fold(init, f64::min)` — whose result depends on the
+/// fold seed and on where NaN sits in the stream — this reduction is a
+/// single blessed definition, independent of element order.
+pub fn min_f64(values: &[f64]) -> f64 {
+    let mut best = f64::NAN;
+    for &v in values {
+        if v.is_nan() {
+            continue;
+        }
+        if best.is_nan() || v < best {
+            best = v;
+        }
+    }
+    best
+}
+
+/// Maximum of a slice with NaN quarantined: NaN samples are skipped, and
+/// the result is NaN only when the slice is empty or all-NaN.
+///
+/// Companion to [`min_f64`]; see there for why folds over `f64::max` are
+/// banned in hot code.
+pub fn max_f64(values: &[f64]) -> f64 {
+    let mut best = f64::NAN;
+    for &v in values {
+        if v.is_nan() {
+            continue;
+        }
+        if best.is_nan() || v > best {
+            best = v;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +102,26 @@ mod tests {
         assert_eq!(&v[..5], &[f64::NEG_INFINITY, -0.0, 0.0, 2.0, 3.0]);
         // -0.0 ordered before +0.0: check the sign bits survived the sort.
         assert!(v[1].is_sign_negative() && v[2].is_sign_positive());
+    }
+
+    #[test]
+    fn slice_extrema_skip_nan_and_ignore_order() {
+        assert_eq!(min_f64(&[3.0, f64::NAN, -1.0, 2.0]), -1.0);
+        assert_eq!(max_f64(&[3.0, f64::NAN, -1.0, 2.0]), 3.0);
+        // The NaN position must not matter.
+        assert_eq!(min_f64(&[f64::NAN, 3.0, -1.0]), -1.0);
+        assert_eq!(max_f64(&[3.0, -1.0, f64::NAN]), 3.0);
+        // Infinities are ordinary values, not sentinels.
+        assert_eq!(min_f64(&[f64::NEG_INFINITY, 0.0]), f64::NEG_INFINITY);
+        assert_eq!(max_f64(&[f64::INFINITY, 0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn slice_extrema_are_nan_only_when_nothing_counts() {
+        assert!(min_f64(&[]).is_nan());
+        assert!(max_f64(&[]).is_nan());
+        assert!(min_f64(&[f64::NAN, f64::NAN]).is_nan());
+        assert!(max_f64(&[f64::NAN]).is_nan());
     }
 
     #[test]

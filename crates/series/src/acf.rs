@@ -8,6 +8,8 @@
 //! suitable, thereby reducing the thousands of potential models
 //! considerably" (§6.3).
 
+// lint: allow-file(indexing) — correlogram recursions; lag indices run over 0..=max_lag within buffers sized to the checked series length on entry
+
 use crate::{Result, SeriesError};
 use dwcp_math::fft::{fft_real, ifft, Complex};
 

@@ -63,7 +63,11 @@ pub fn select_lambda(values: &[f64], lo: f64, hi: f64) -> Result<f64> {
     let log_sum: f64 = values.iter().map(|&v| v.ln()).sum();
     let n = values.len() as f64;
     let loglik = |lambda: f64| -> f64 {
-        let t = boxcox(values, lambda).expect("positivity checked");
+        // Positivity was validated above; if the transform still refuses,
+        // score the cell as -inf so it can never win rather than panic.
+        let Ok(t) = boxcox(values, lambda) else {
+            return f64::NEG_INFINITY;
+        };
         let mean = t.iter().sum::<f64>() / n;
         let var = t.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
         if var <= 0.0 {
@@ -100,18 +104,37 @@ pub fn select_lambda(values: &[f64], lo: f64, hi: f64) -> Result<f64> {
 /// Shift a series so its minimum is at least `floor` (> 0), returning the
 /// shifted copy and the offset applied (0 when no shift was needed).
 pub fn shift_to_positive(values: &[f64], floor: f64) -> (Vec<f64>, f64) {
-    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-    if min >= floor {
-        (values.to_vec(), 0.0)
-    } else {
+    // NaN min (empty or all-NaN input) falls through to "no shift".
+    let min = dwcp_math::min_f64(values);
+    if min < floor {
         let offset = floor - min;
         (values.iter().map(|&v| v + offset).collect(), offset)
+    } else {
+        (values.to_vec(), 0.0)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shift_offset_does_not_depend_on_sample_order() {
+        // Regression for the INFINITY-seeded fold the nondeterminism lint
+        // flagged: the offset is a function of the set of samples only.
+        let forward = [5.0, -3.0, 0.5, 2.0];
+        let mut reversed = forward;
+        reversed.reverse();
+        let (_, off_a) = shift_to_positive(&forward, 0.5);
+        let (_, off_b) = shift_to_positive(&reversed, 0.5);
+        assert_eq!(off_a, off_b);
+        assert_eq!(off_a, 3.5);
+        // Empty and all-NaN inputs shift nothing instead of poisoning.
+        assert_eq!(shift_to_positive(&[], 1.0).1, 0.0);
+        let (kept, off) = shift_to_positive(&[f64::NAN], 1.0);
+        assert!(kept[0].is_nan());
+        assert_eq!(off, 0.0);
+    }
 
     #[test]
     fn lambda_zero_is_log() {

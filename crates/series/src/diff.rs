@@ -84,10 +84,19 @@ impl Differencer {
         let mut current = values.to_vec();
         let mut tails: Vec<Vec<f64>> = Vec::with_capacity(self.d + self.seasonal_d);
         for _ in 0..self.d {
-            tails.push(vec![*current.last().expect("non-empty by length check")]);
+            // The length check above guarantees a tail at every level;
+            // surface the typed error rather than panicking if it breaks.
+            let Some(&last) = current.last() else {
+                return Err(SeriesError::TooShort {
+                    needed: self.loss() + 1,
+                    got: values.len(),
+                });
+            };
+            tails.push(vec![last]);
             current = difference(&current, 1);
         }
         for _ in 0..self.seasonal_d {
+            // lint: allow(indexing) — the loss() length check above leaves at least `period` samples at every seasonal stage
             let tail = current[current.len() - self.period..].to_vec();
             tails.push(tail);
             current = difference(&current, self.period);
@@ -110,6 +119,7 @@ impl Differencer {
             let lag = tail.len(); // 1 for regular stages, `period` for seasonal
             let mut rebuilt: Vec<f64> = Vec::with_capacity(current.len());
             for (h, &v) in current.iter().enumerate() {
+                // lint: allow(indexing) — h < lag = tail.len() in the first arm; rebuilt holds h entries in the second
                 let prev = if h < lag { tail[h] } else { rebuilt[h - lag] };
                 rebuilt.push(v + prev);
             }
@@ -130,6 +140,7 @@ pub fn difference(values: &[f64], lag: usize) -> Vec<f64> {
         };
     }
     (lag..values.len())
+        // lint: allow(indexing) — t ranges over lag..len, so both t and t-lag are in bounds
         .map(|t| values[t] - values[t - lag])
         .collect()
 }

@@ -10,6 +10,8 @@
 //! gaps are filled by nearest-value extension (there is nothing to
 //! interpolate towards).
 
+// lint: allow-file(indexing) — gap-filling scans; every anchor index comes from position/rposition over the same slice, and interior walks stop at the finite anchors those scans guarantee
+
 use crate::timeseries::TimeSeries;
 use crate::{Result, SeriesError};
 
@@ -20,19 +22,21 @@ pub fn interpolate_gaps(values: &mut [f64]) -> Result<usize> {
     if n == 0 {
         return Ok(0);
     }
-    if values.iter().all(|v| !v.is_finite()) {
+    // Locating the finite anchors doubles as the all-missing check: no
+    // first finite sample means there is nothing to interpolate from.
+    let Some(first_finite) = values.iter().position(|v| v.is_finite()) else {
         return Err(SeriesError::InvalidParameter {
             context: "interpolate_gaps: every observation is missing",
         });
-    }
+    };
+    let last_finite = values
+        .iter()
+        .rposition(|v| v.is_finite())
+        .unwrap_or(first_finite);
     let mut filled = 0usize;
 
     // Leading gap: extend the first finite value backwards.
-    if !values[0].is_finite() {
-        let first_finite = values
-            .iter()
-            .position(|v| v.is_finite())
-            .expect("checked above");
+    if first_finite > 0 {
         let fill = values[first_finite];
         for v in values[..first_finite].iter_mut() {
             *v = fill;
@@ -40,11 +44,7 @@ pub fn interpolate_gaps(values: &mut [f64]) -> Result<usize> {
         }
     }
     // Trailing gap: extend the last finite value forwards.
-    if !values[n - 1].is_finite() {
-        let last_finite = values
-            .iter()
-            .rposition(|v| v.is_finite())
-            .expect("checked above");
+    if last_finite < n - 1 {
         let fill = values[last_finite];
         for v in values[last_finite + 1..].iter_mut() {
             *v = fill;

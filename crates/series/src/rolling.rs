@@ -5,6 +5,8 @@
 //! a robust (median-based) alternative so the spikes themselves do not
 //! inflate the yardstick they are measured against.
 
+// lint: allow-file(indexing) — centred-window scans; window edges are clamped to the slice bounds with saturating/min arithmetic before each access
+
 use crate::{Result, SeriesError};
 
 /// Rolling mean over a centred window of `window` observations (odd

@@ -7,6 +7,8 @@
 //! `Δy_t = α + βt + γ·y_{t−1} + Σ δᵢ Δy_{t−i} + ε_t`, with the test
 //! statistic `γ̂/se(γ̂)` compared against MacKinnon critical values.
 
+// lint: allow-file(indexing) — ADF/KPSS design-matrix assembly; lag and row indices are bounded by the regression-length checks that gate each test
+
 use crate::diff::difference;
 use crate::{Result, SeriesError};
 use dwcp_math::ols::{design, ols};

@@ -156,6 +156,7 @@ impl TimeSeries {
     /// origin shifts accordingly).
     pub fn slice(&self, start: usize, end: usize) -> TimeSeries {
         TimeSeries {
+            // lint: allow(indexing) — public slicing API; an out-of-range request panics with std's range message by design
             values: self.values[start..end].to_vec(),
             frequency: self.frequency,
             origin: self.timestamp(start),
@@ -205,14 +206,14 @@ impl TimeSeries {
         self.variance().sqrt()
     }
 
-    /// Minimum observation; NaN for an empty series.
+    /// Minimum observation, skipping NaN gaps; NaN for an empty series.
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NAN, f64::min)
+        dwcp_math::min_f64(&self.values)
     }
 
-    /// Maximum observation; NaN for an empty series.
+    /// Maximum observation, skipping NaN gaps; NaN for an empty series.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NAN, f64::max)
+        dwcp_math::max_f64(&self.values)
     }
 
     /// Aggregate `per` consecutive observations by their mean into a new
@@ -225,8 +226,7 @@ impl TimeSeries {
         assert!(per > 0, "aggregate_mean: per must be positive");
         let buckets = self.len() / per;
         let mut out = Vec::with_capacity(buckets);
-        for b in 0..buckets {
-            let chunk = &self.values[b * per..(b + 1) * per];
+        for chunk in self.values.chunks_exact(per) {
             let mut sum = 0.0;
             let mut count = 0usize;
             for &v in chunk {
@@ -260,6 +260,22 @@ mod tests {
 
     fn ts(values: Vec<f64>) -> TimeSeries {
         TimeSeries::new(values, Frequency::Hourly, 1_000_000)
+    }
+
+    #[test]
+    fn extrema_do_not_depend_on_nan_position() {
+        // Regression for the fold-seeded min/max the nondeterminism lint
+        // flagged: a NaN gap must not change the answer wherever it sits.
+        let base = [3.0, -1.0, 7.0, 2.0];
+        for at in 0..=base.len() {
+            let mut values = base.to_vec();
+            values.insert(at, f64::NAN);
+            let s = ts(values);
+            assert_eq!(s.min(), -1.0, "NaN at {at}");
+            assert_eq!(s.max(), 7.0, "NaN at {at}");
+        }
+        assert!(ts(vec![]).min().is_nan());
+        assert!(ts(vec![f64::NAN; 3]).max().is_nan());
     }
 
     #[test]

@@ -153,6 +153,7 @@ impl Cluster {
         t: u64,
     ) -> Result<f64> {
         let idx = self.instance_index(instance)?;
+        // lint: allow(indexing) — instance_index < instances.len(), and balanced_sessions returns one entry per instance
         let sessions = self.balanced_sessions(population, t)[idx];
         let days = t as f64 / 86_400.0;
         let mut v = self.resource_model.expected(metric, sessions, days);

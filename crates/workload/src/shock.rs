@@ -170,6 +170,7 @@ impl Shock {
                 let t = start + i as u64 * step;
                 let sod = t % 86_400;
                 let slot = (sod / (self.schedule.interval_hours as u64 * 3600)) as usize;
+                // lint: allow(indexing) — slot is clamped to slots-1 and i enumerates base, which sized every column
                 columns[slot.min(slots - 1)][i] = 1.0;
             }
         }

@@ -1,0 +1,757 @@
+//! Approximate call-graph construction and hot-set inference.
+//!
+//! PR 4's panic-freedom pass ran over a *hand-maintained* list of hot-path
+//! files; every new subsystem (the estate scheduler, the resident engine,
+//! the serve daemon) had to remember to add itself. This module replaces
+//! the list with inference: a token-level scanner (built on [`crate::scan`],
+//! no rustc plugin) walks every `fn` item in the library crates, records
+//! the calls inside each body, and propagates *hot reachability* from the
+//! engine's entry points — `Pipeline::run`, `evaluate_fleet`,
+//! `EstateScheduler`, `ScoreStage`, and the serve daemon. A file is hot
+//! when it defines at least one reachable function, so panic-freedom and
+//! the nondeterminism lint cover new code the moment the engine calls it.
+//!
+//! The graph is deliberately *over*-approximate — name-based resolution
+//! cannot see types, so a method call `.fit(…)` marks every first-party
+//! method named `fit` — which errs in the safe direction: code can only be
+//! pulled *into* the audited set, never silently dropped from it. The
+//! legacy [`crate::HOT_PATH_PREFIXES`] list is kept as a floor: inference
+//! must cover it (asserted by `xtask selftest`), and the effective hot set
+//! is the union of both.
+
+use crate::scan::scan;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Reachability roots for hot-set inference. Three pattern forms:
+/// `Type::method` (one method), `Type::*` (every method of the type),
+/// `name` (a free function), and `file:path` (every function in a file —
+/// used for the serve daemon, whose entry is a module, not a type).
+pub const HOT_ENTRY_POINTS: &[&str] = &[
+    "Pipeline::run",
+    "evaluate_fleet",
+    "EstateScheduler::*",
+    "ScoreStage::*",
+    "file:src/serve.rs",
+    // Public Yule-Walker kernel API: its in-workspace driver is the paper
+    // ablation binary, which lives outside the graph domain (bench code
+    // is a caller, never a callee), so the kernel is rooted explicitly to
+    // keep it under the same audit as the rest of dwcp_math.
+    "file:crates/math/src/levinson.rs",
+    // Operator-facing health verdict (`dwcp_core::assess`): exported API
+    // whose Ljung-Box / chi-square chain reaches the special-function
+    // kernels in dwcp_math. No engine entry point calls it today, but the
+    // whole chain is numeric kernel code under the legacy `crates/math`
+    // floor, so it is rooted to keep the panic-freedom audit on it.
+    "assess",
+];
+
+/// Library roots whose `fn` items enter the call graph. Drivers and
+/// tooling (`crates/bench`, `crates/xtask`, `tests/`, `examples/`) are
+/// excluded: they call *into* the engine, the engine never calls them, and
+/// keeping them out of the callee domain avoids false hot marks from
+/// bare-name collisions.
+const GRAPH_ROOTS: &[&str] = &[
+    "crates/core/src/",
+    "crates/math/src/",
+    "crates/models/src/",
+    "crates/series/src/",
+    "crates/workload/src/",
+    "src/",
+];
+
+/// Whether `path` participates in the call graph.
+pub fn in_graph_domain(path: &str) -> bool {
+    GRAPH_ROOTS.iter().any(|root| path.starts_with(root))
+}
+
+/// One call site recorded inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Call {
+    /// `name(…)` — resolved against free functions.
+    Bare(String),
+    /// `.name(…)` — resolved against every method of that name.
+    Method(String),
+    /// `Type::name(…)` — resolved against that type's method, falling
+    /// back to methods of the same name when the type has none (trait
+    /// calls through an alias).
+    Qualified(String, String),
+}
+
+/// One `fn` item discovered in the source tree.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based definition line.
+    pub line: usize,
+    /// Bare function name.
+    pub name: String,
+    /// `Type::name` when defined in an `impl Type` / `trait Type` block.
+    pub qualified: Option<String>,
+    /// Call sites in the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+impl FnItem {
+    /// Display name: qualified when available.
+    pub fn label(&self) -> &str {
+        self.qualified.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// The indexed item set: every non-test `fn` in the graph domain.
+#[derive(Debug, Default)]
+pub struct ItemIndex {
+    /// All discovered functions.
+    pub fns: Vec<FnItem>,
+    /// Free functions by bare name.
+    by_free: BTreeMap<String, Vec<usize>>,
+    /// Methods (fns inside impl/trait blocks) by bare name.
+    by_method: BTreeMap<String, Vec<usize>>,
+    /// Methods by `Type::name`.
+    by_qualified: BTreeMap<String, Vec<usize>>,
+    /// Function indices by file.
+    by_file: BTreeMap<String, Vec<usize>>,
+}
+
+impl ItemIndex {
+    /// Build the index from `(path, source)` pairs (already filtered to
+    /// the graph domain by the caller or not — non-domain paths are
+    /// skipped here too).
+    pub fn build<'a>(files: impl Iterator<Item = (&'a str, &'a str)>) -> ItemIndex {
+        let mut index = ItemIndex::default();
+        for (path, source) in files {
+            if !in_graph_domain(path) {
+                continue;
+            }
+            for item in extract_fns(path, source) {
+                let idx = index.fns.len();
+                match &item.qualified {
+                    Some(q) => {
+                        index.by_qualified.entry(q.clone()).or_default().push(idx);
+                        index
+                            .by_method
+                            .entry(item.name.clone())
+                            .or_default()
+                            .push(idx);
+                    }
+                    None => index
+                        .by_free
+                        .entry(item.name.clone())
+                        .or_default()
+                        .push(idx),
+                }
+                index
+                    .by_file
+                    .entry(item.file.clone())
+                    .or_default()
+                    .push(idx);
+                index.fns.push(item);
+            }
+        }
+        index
+    }
+
+    /// Resolve a call to candidate callee indices.
+    fn resolve(&self, call: &Call) -> Vec<usize> {
+        match call {
+            Call::Bare(name) => self.by_free.get(name).cloned().unwrap_or_default(),
+            Call::Method(name) => self.by_method.get(name).cloned().unwrap_or_default(),
+            Call::Qualified(ty, name) => {
+                let key = format!("{ty}::{name}");
+                match self.by_qualified.get(&key) {
+                    Some(v) => v.clone(),
+                    // A path call through a module alias (`serve::start`)
+                    // or a trait (`ChampionStore::put`): fall back to the
+                    // free fns and methods of that bare name.
+                    None => {
+                        let mut out = self.by_free.get(name).cloned().unwrap_or_default();
+                        out.extend(self.by_method.get(name).cloned().unwrap_or_default());
+                        out
+                    }
+                }
+            }
+        }
+    }
+
+    /// Indices matching one entry-point pattern.
+    fn entry_indices(&self, pattern: &str) -> Vec<usize> {
+        if let Some(path) = pattern.strip_prefix("file:") {
+            return self.by_file.get(path).cloned().unwrap_or_default();
+        }
+        if let Some(ty) = pattern.strip_suffix("::*") {
+            let prefix = format!("{ty}::");
+            return self
+                .by_qualified
+                .range(prefix.clone()..)
+                .take_while(|(k, _)| k.starts_with(&prefix))
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+        }
+        if pattern.contains("::") {
+            return self.by_qualified.get(pattern).cloned().unwrap_or_default();
+        }
+        self.by_free.get(pattern).cloned().unwrap_or_default()
+    }
+}
+
+/// The inferred hot set: reachable functions with their BFS predecessor
+/// edges, so `--explain` can print a chain from an entry point.
+#[derive(Debug)]
+pub struct HotSet {
+    /// Per-`ItemIndex::fns` reachability flag.
+    hot: Vec<bool>,
+    /// BFS predecessor: `(caller index, call description)`; `None` for
+    /// entry points.
+    pred: Vec<Option<(usize, String)>>,
+    /// Hot files (files defining at least one reachable fn), sorted.
+    pub files: BTreeSet<String>,
+}
+
+impl HotSet {
+    /// Propagate reachability from `entries` over `index`.
+    pub fn infer(index: &ItemIndex, entries: &[&str]) -> HotSet {
+        let n = index.fns.len();
+        let mut hot = vec![false; n];
+        let mut pred: Vec<Option<(usize, String)>> = vec![None; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for pattern in entries {
+            for idx in index.entry_indices(pattern) {
+                if !hot[idx] {
+                    hot[idx] = true;
+                    queue.push(idx);
+                }
+            }
+        }
+        let mut at = 0usize;
+        while at < queue.len() {
+            let caller = queue[at];
+            at += 1;
+            // The caller's call list is cloned up front so the borrow on
+            // `index` does not fight the `hot`/`pred` updates.
+            let calls = index.fns[caller].calls.clone();
+            for call in calls {
+                for callee in index.resolve(&call) {
+                    if !hot[callee] {
+                        hot[callee] = true;
+                        pred[callee] = Some((caller, describe_call(&call)));
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        let files = index
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| hot[i])
+            .map(|(_, f)| f.file.clone())
+            .collect();
+        HotSet { hot, pred, files }
+    }
+
+    /// Whether any function in `path` is reachable.
+    pub fn file_is_hot(&self, path: &str) -> bool {
+        self.files.contains(path)
+    }
+
+    /// The reachability chain for `path`: entry-point label down to the
+    /// first hot function defined in the file, as `label (file:line)`
+    /// steps. `None` when the file defines no reachable function.
+    pub fn explain(&self, index: &ItemIndex, path: &str) -> Option<Vec<String>> {
+        // The shortest chain ends at the hot fn with the shortest
+        // predecessor path; BFS order makes any hot fn's chain minimal,
+        // so take the first hot fn of the file in index order.
+        let target = index
+            .fns
+            .iter()
+            .enumerate()
+            .find(|(i, f)| f.file == path && self.hot[*i])
+            .map(|(i, _)| i)?;
+        let mut chain_rev: Vec<String> = Vec::new();
+        let mut at = target;
+        loop {
+            let item = &index.fns[at];
+            chain_rev.push(format!("{} ({}:{})", item.label(), item.file, item.line));
+            match &self.pred[at] {
+                Some((caller, call)) => {
+                    if let Some(last) = chain_rev.last_mut() {
+                        *last = format!("{last} — reached via `{call}`");
+                    }
+                    at = *caller;
+                }
+                None => break,
+            }
+        }
+        chain_rev.reverse();
+        Some(chain_rev)
+    }
+}
+
+fn describe_call(call: &Call) -> String {
+    match call {
+        Call::Bare(name) => format!("{name}(…)"),
+        Call::Method(name) => format!(".{name}(…)"),
+        Call::Qualified(ty, name) => format!("{ty}::{name}(…)"),
+    }
+}
+
+/// Rust keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "fn", "let", "mut", "ref", "move",
+    "in", "impl", "pub", "use", "mod", "where", "as", "dyn", "unsafe", "await", "break",
+    "continue", "crate", "super", "self", "Self", "true", "false", "struct", "enum", "trait",
+    "type", "const", "static",
+];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Extract every non-test `fn` item (name, impl context, body calls) from
+/// one file, using the comment/string-blanked code text from the scanner.
+fn extract_fns(path: &str, source: &str) -> Vec<FnItem> {
+    let scanned = scan(source);
+    let mut out: Vec<FnItem> = Vec::new();
+    // Brace depth across the file; stacks of open impl blocks and fns.
+    let mut depth = 0i64;
+    // (type name, depth *before* the block's `{`); popped when depth
+    // returns to it.
+    let mut impl_stack: Vec<(String, i64)> = Vec::new();
+    // Pending impl/trait type waiting for its opening brace.
+    let mut pending_impl: Option<String> = None;
+    // (out index, depth before the body `{`) of open fns; innermost last.
+    let mut fn_stack: Vec<(usize, i64)> = Vec::new();
+    // A declared fn waiting to learn whether it has a body (`{`) or is a
+    // bare trait signature (`;`).
+    let mut pending_fn: Option<FnItem> = None;
+
+    for line in &scanned.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if is_ident_char(c) && (i == 0 || !is_ident_char(chars[i - 1])) {
+                // Scan one identifier token.
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                match ident.as_str() {
+                    "fn" => {
+                        // Consume the name here so it is not re-scanned as
+                        // a call site (the name is followed by `(`).
+                        let mut j = i;
+                        while j < chars.len() && chars[j].is_whitespace() {
+                            j += 1;
+                        }
+                        let name_start = j;
+                        while j < chars.len() && is_ident_char(chars[j]) {
+                            j += 1;
+                        }
+                        if j > name_start {
+                            let name: String = chars[name_start..j].iter().collect();
+                            let qualified =
+                                impl_stack.last().map(|(ty, _)| format!("{ty}::{name}"));
+                            pending_fn = Some(FnItem {
+                                file: path.to_string(),
+                                line: line.number,
+                                name,
+                                qualified,
+                                calls: Vec::new(),
+                            });
+                            i = j;
+                        }
+                    }
+                    "impl" | "trait" => {
+                        if let Some(ty) = impl_target(&chars, i) {
+                            pending_impl = Some(ty);
+                        }
+                    }
+                    // `macro_rules! name` defines an item whose body runs
+                    // inline at every `name!(…)` invocation — model it as
+                    // a free fn so macro bodies join the call graph.
+                    "macro_rules" if chars.get(i) == Some(&'!') => {
+                        let mut j = i + 1;
+                        while j < chars.len() && chars[j].is_whitespace() {
+                            j += 1;
+                        }
+                        let name_start = j;
+                        while j < chars.len() && is_ident_char(chars[j]) {
+                            j += 1;
+                        }
+                        if j > name_start {
+                            pending_fn = Some(FnItem {
+                                file: path.to_string(),
+                                line: line.number,
+                                name: chars[name_start..j].iter().collect(),
+                                qualified: None,
+                                calls: Vec::new(),
+                            });
+                            i = j;
+                        }
+                    }
+                    _ => {
+                        // A call site? Look ahead for `(`, optionally
+                        // across a turbofish `::<…>`.
+                        if ident_is_call(&chars, i) && !NON_CALL_KEYWORDS.contains(&ident.as_str())
+                        {
+                            if let Some(call) = classify_call(&chars, start, &ident, &impl_stack) {
+                                if let Some((fi, _)) = fn_stack.last() {
+                                    out[*fi].calls.push(call);
+                                } else if let Some(pf) = pending_fn.as_mut() {
+                                    // Call in a default-argument-ish spot
+                                    // (signature) — attribute to the fn.
+                                    pf.calls.push(call);
+                                }
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            match c {
+                '{' => {
+                    if let Some(item) = pending_fn.take() {
+                        out.push(item);
+                        fn_stack.push((out.len() - 1, depth));
+                    } else if let Some(ty) = pending_impl.take() {
+                        impl_stack.push((ty, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    while matches!(fn_stack.last(), Some(&(_, d)) if d >= depth) {
+                        fn_stack.pop();
+                    }
+                    while matches!(impl_stack.last(), Some(&(_, d)) if d >= depth) {
+                        impl_stack.pop();
+                    }
+                }
+                ';' => {
+                    // A signature-only trait method never opened a body.
+                    pending_fn = None;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The next identifier after position `i`, skipping whitespace.
+fn next_ident(chars: &[char], mut i: usize) -> Option<String> {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    let start = i;
+    while i < chars.len() && is_ident_char(chars[i]) {
+        i += 1;
+    }
+    (i > start).then(|| chars[start..i].iter().collect())
+}
+
+/// Parse the target type of `impl …` / `trait …` starting after the
+/// keyword: skip generics, take the first type ident; when followed by
+/// `for`, take the ident after it instead (`impl Trait for Type`).
+fn impl_target(chars: &[char], mut i: usize) -> Option<String> {
+    // Skip `<…>` generic parameters.
+    let skip_ws = |i: &mut usize| {
+        while *i < chars.len() && chars[*i].is_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(&mut i);
+    if chars.get(i) == Some(&'<') {
+        let mut nest = 0i32;
+        while i < chars.len() {
+            match chars[i] {
+                '<' => nest += 1,
+                '>' => {
+                    nest -= 1;
+                    if nest == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    skip_ws(&mut i);
+    let first = next_ident(&chars[i..], 0)?;
+    // Advance past the ident and its generics to test for `for`.
+    i += first.len();
+    if chars.get(i) == Some(&'<') {
+        let mut nest = 0i32;
+        while i < chars.len() {
+            match chars[i] {
+                '<' => nest += 1,
+                '>' => {
+                    nest -= 1;
+                    if nest == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    skip_ws(&mut i);
+    if chars[i..].starts_with(&['f', 'o', 'r']) && !is_ident_char(*chars.get(i + 3).unwrap_or(&' '))
+    {
+        return next_ident(chars, i + 3);
+    }
+    Some(first)
+}
+
+/// Whether the identifier ending at `end` is followed by `(`, optionally
+/// through a turbofish `::<…>` or a macro bang (`name!(…)` — macro bodies
+/// run inline in their callers, so a macro invocation is a call edge).
+fn ident_is_call(chars: &[char], mut end: usize) -> bool {
+    if chars.get(end) == Some(&'!') && chars.get(end + 1) == Some(&'(') {
+        return true;
+    }
+    if chars.get(end) == Some(&':')
+        && chars.get(end + 1) == Some(&':')
+        && chars.get(end + 2) == Some(&'<')
+    {
+        let mut nest = 0i32;
+        let mut i = end + 2;
+        while i < chars.len() {
+            match chars[i] {
+                '<' => nest += 1,
+                '>' => {
+                    nest -= 1;
+                    if nest == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end = i;
+    }
+    chars.get(end) == Some(&'(')
+}
+
+/// Classify the call at `start`: method (`.name`), qualified
+/// (`Prev::name`), or bare. Uppercase bare idents are skipped — those are
+/// tuple-struct constructors and enum variants, not functions with
+/// auditable bodies. `Self::name` resolves through the innermost impl.
+fn classify_call(
+    chars: &[char],
+    start: usize,
+    ident: &str,
+    impl_stack: &[(String, i64)],
+) -> Option<Call> {
+    // Walk back over whitespace.
+    let mut j = start;
+    while j > 0 && chars[j - 1].is_whitespace() {
+        j -= 1;
+    }
+    if j >= 1 && chars[j - 1] == '.' {
+        // `..name(` is a range bound, not a method call.
+        if j >= 2 && chars[j - 2] == '.' {
+            return bare_call(ident);
+        }
+        return Some(Call::Method(ident.to_string()));
+    }
+    if j >= 2 && chars[j - 1] == ':' && chars[j - 2] == ':' {
+        let mut k = j - 2;
+        while k > 0 && chars[k - 1].is_whitespace() {
+            k -= 1;
+        }
+        let end = k;
+        while k > 0 && is_ident_char(chars[k - 1]) {
+            k -= 1;
+        }
+        if end > k {
+            let mut ty: String = chars[k..end].iter().collect();
+            if ty == "Self" {
+                match impl_stack.last() {
+                    Some((t, _)) => ty = t.clone(),
+                    None => return bare_call(ident),
+                }
+            }
+            // `std::mem::take(` reaches here with ty == "mem"; treating
+            // module segments as type names is harmless — they resolve to
+            // nothing or fall back to bare-name candidates.
+            return Some(Call::Qualified(ty, ident.to_string()));
+        }
+        return bare_call(ident);
+    }
+    bare_call(ident)
+}
+
+fn bare_call(ident: &str) -> Option<Call> {
+    ident
+        .chars()
+        .next()
+        .filter(|c| c.is_lowercase() || *c == '_')
+        .map(|_| Call::Bare(ident.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(files: &[(&str, &str)]) -> ItemIndex {
+        ItemIndex::build(files.iter().copied())
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_extracted() {
+        let idx = index(&[(
+            "crates/core/src/x.rs",
+            "pub fn free_one() { helper(); }\n\
+             fn helper() {}\n\
+             struct T;\n\
+             impl T {\n    pub fn method_a(&self) { self.method_b(); }\n    fn method_b(&self) {}\n}\n",
+        )]);
+        let labels: Vec<&str> = idx.fns.iter().map(|f| f.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["free_one", "helper", "T::method_a", "T::method_b"]
+        );
+        assert_eq!(idx.fns[0].calls, vec![Call::Bare("helper".into())]);
+        assert_eq!(idx.fns[2].calls, vec![Call::Method("method_b".into())]);
+    }
+
+    #[test]
+    fn trait_impl_names_the_implementing_type() {
+        let idx = index(&[(
+            "crates/core/src/y.rs",
+            "impl ChampionStore for WaveStore {\n    fn put(&mut self) {}\n}\n",
+        )]);
+        assert_eq!(idx.fns[0].label(), "WaveStore::put");
+    }
+
+    #[test]
+    fn generic_impl_blocks_resolve_the_type() {
+        let idx = index(&[(
+            "crates/core/src/z.rs",
+            "impl<'a, C: Cell> Grid<'a, C> {\n    fn go(&self) {}\n}\n",
+        )]);
+        assert_eq!(idx.fns[0].label(), "Grid::go");
+    }
+
+    #[test]
+    fn test_code_is_excluded_from_the_graph() {
+        let idx = index(&[(
+            "crates/core/src/t.rs",
+            "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn helper_only_in_tests() { hot(); }\n}\n",
+        )]);
+        assert_eq!(idx.fns.len(), 1);
+        assert_eq!(idx.fns[0].name, "hot");
+    }
+
+    #[test]
+    fn reachability_propagates_through_calls() {
+        let idx = index(&[
+            (
+                "crates/core/src/pipeline.rs",
+                "pub struct Pipeline;\nimpl Pipeline {\n    pub fn run(&self) { stage_one(); }\n}\n",
+            ),
+            (
+                "crates/core/src/stages.rs",
+                "pub fn stage_one() { dwcp_math::kernels::fill(); }\n",
+            ),
+            (
+                "crates/math/src/kernels.rs",
+                "pub fn fill() {}\npub fn unreached() {}\n",
+            ),
+            ("src/cli.rs", "pub fn banner() {}\n"),
+        ]);
+        let hot = HotSet::infer(&idx, &["Pipeline::run"]);
+        assert!(hot.file_is_hot("crates/core/src/pipeline.rs"));
+        assert!(hot.file_is_hot("crates/core/src/stages.rs"));
+        assert!(hot.file_is_hot("crates/math/src/kernels.rs"));
+        assert!(!hot.file_is_hot("src/cli.rs"));
+    }
+
+    #[test]
+    fn type_star_and_file_entries_match() {
+        let idx = index(&[
+            (
+                "crates/core/src/fleet.rs",
+                "impl EstateScheduler {\n    pub fn run(&self) {}\n    pub fn new() {}\n}\n",
+            ),
+            (
+                "src/serve.rs",
+                "pub fn start() { route(); }\nfn route() {}\n",
+            ),
+        ]);
+        let hot = HotSet::infer(&idx, &["EstateScheduler::*", "file:src/serve.rs"]);
+        assert!(hot.file_is_hot("crates/core/src/fleet.rs"));
+        assert!(hot.file_is_hot("src/serve.rs"));
+    }
+
+    #[test]
+    fn explain_prints_an_entry_to_target_chain() {
+        let idx = index(&[
+            (
+                "crates/core/src/pipeline.rs",
+                "pub struct Pipeline;\nimpl Pipeline {\n    pub fn run(&self) { leaf_helper(); }\n}\n",
+            ),
+            ("crates/math/src/leaf.rs", "pub fn leaf_helper() {}\n"),
+        ]);
+        let hot = HotSet::infer(&idx, &["Pipeline::run"]);
+        let chain = hot.explain(&idx, "crates/math/src/leaf.rs").unwrap();
+        assert_eq!(chain.len(), 2);
+        assert!(chain[0].starts_with("Pipeline::run"), "{chain:?}");
+        assert!(chain[1].starts_with("leaf_helper"), "{chain:?}");
+        assert!(hot.explain(&idx, "src/cli.rs").is_none());
+    }
+
+    #[test]
+    fn turbofish_and_uppercase_constructors() {
+        let idx = index(&[(
+            "crates/core/src/c.rs",
+            "fn caller() { parse::<u32>(); Some(1); Finding(2); }\nfn parse() {}\n",
+        )]);
+        assert_eq!(idx.fns[0].calls, vec![Call::Bare("parse".into())]);
+    }
+
+    #[test]
+    fn macro_definitions_and_invocations_are_graph_edges() {
+        let idx = index(&[
+            (
+                "crates/core/src/pipeline.rs",
+                "pub struct Pipeline;\nimpl Pipeline {\n    pub fn run(&self) { dwcp_math::invariant!(true, \"x\"); }\n}\n",
+            ),
+            (
+                "crates/math/src/lib.rs",
+                "#[macro_export]\nmacro_rules! invariant {\n    ($cond:expr, $msg:expr) => { check_invariant($cond) };\n}\npub fn check_invariant(_c: bool) {}\n",
+            ),
+        ]);
+        let hot = HotSet::infer(&idx, &["Pipeline::run"]);
+        assert!(hot.file_is_hot("crates/math/src/lib.rs"));
+        let labels: Vec<&str> = idx.fns.iter().map(|f| f.label()).collect();
+        assert!(labels.contains(&"invariant"), "{labels:?}");
+    }
+
+    #[test]
+    fn nested_fns_attribute_calls_to_the_inner_fn() {
+        let idx = index(&[(
+            "crates/core/src/n.rs",
+            "fn outer() {\n    fn inner() { leaf(); }\n    inner();\n}\nfn leaf() {}\n",
+        )]);
+        let outer = idx.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = idx.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(outer.calls, vec![Call::Bare("inner".into())]);
+        assert_eq!(inner.calls, vec![Call::Bare("leaf".into())]);
+    }
+}

@@ -1,16 +1,18 @@
 //! `cargo xtask` — workspace automation.
 //!
-//! Currently one subcommand: `analyze`, the four-pass static-analysis
-//! gate described in `DESIGN.md` §"Correctness tooling".
+//! Two subcommands: `analyze`, the determinism auditor described in
+//! `DESIGN.md` §"Correctness tooling", and `selftest`, which proves each
+//! pass catches seeded violations and that the real tree stays clean.
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(&args[1..]),
+        Some("selftest") => selftest(&args[1..]),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -29,40 +31,89 @@ fn print_help() {
 cargo xtask — workspace automation
 
 USAGE:
-    cargo xtask analyze [--root DIR] [--skip-model-check]
+    cargo xtask analyze [--root DIR] [--skip-model-check] [--json]
+                        [--baseline FILE] [--write-baseline FILE]
+                        [--explain FILE]
+    cargo xtask selftest [--root DIR]
 
-PASSES:
-    1. panic-freedom lint over hot-path modules
+PASSES (analyze):
+    1. panic-freedom lint over the inferred hot set — reachability from
+       the engine entry points (Pipeline::run, evaluate_fleet,
+       EstateScheduler, ScoreStage, serve); --explain FILE prints the
+       chain that makes FILE hot
        (rules: unwrap, expect, panic, todo, indexing)
     2. float-ordering lint: partial_cmp/total_cmp must go through
        dwcp_math::total_cmp_f64 (rule: float-ordering)
-    3. unsafety audit (forbid-unsafe, safety-comment) and
-       invariant-layer wiring (invariant-wiring)
-    4. bounded-interleaving model check of the lock-free evaluator
+    3. nondeterminism lint over the hot set: HashMap/HashSet iteration,
+       read_dir order, float-seeded folds (rule: nondeterminism)
+    4. atomic-ordering discipline: inventory of every atomic site,
+       Ordering::Relaxed denied outside the blessed list, every atomic
+       cluster mapped to a model-checked protocol
+       (rules: atomic-ordering, atomic-protocol)
+    5. unsafety audit (forbid-unsafe, safety-comment), invariant-layer
+       wiring (invariant-wiring) and escape-hatch staleness (stale-allow)
+    6. bounded-interleaving model check of the extracted protocols
        (runs `cargo test -p dwcp-core --test model_check`)
 
+FLAGS:
+    --json                print the full JSON report (findings, hot set,
+                          allow census, atomic inventory) to stdout
+    --baseline FILE       fail only on findings *not* covered by FILE;
+                          report baseline entries the tree has outgrown
+    --write-baseline FILE write the current findings as the new baseline
+    --explain FILE        print the reachability chain that makes FILE
+                          hot, then exit
+
 Escape hatch: `// lint: allow(<rule>) — <reason>` on the offending line
-or the line above; `// lint: allow-file(<rule>) — <reason>` for a file."
+or the line above; `// lint: allow-file(<rule>) — <reason>` for a file.
+A directive that suppresses nothing is itself a finding (stale-allow)."
     );
 }
 
 fn analyze(args: &[String]) -> ExitCode {
     let mut root = workspace_root();
     let mut skip_model_check = false;
+    let mut json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
+        let path_flag = |name: &str, args: &[String], i: &mut usize| -> Option<PathBuf> {
+            *i += 1;
+            match args.get(*i) {
+                Some(v) => Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("xtask analyze: {name} needs a value");
+                    None
+                }
+            }
+        };
         match args[i].as_str() {
-            "--root" => {
+            "--root" => match path_flag("--root", args, &mut i) {
+                Some(dir) => root = dir,
+                None => return ExitCode::FAILURE,
+            },
+            "--baseline" => match path_flag("--baseline", args, &mut i) {
+                Some(f) => baseline = Some(f),
+                None => return ExitCode::FAILURE,
+            },
+            "--write-baseline" => match path_flag("--write-baseline", args, &mut i) {
+                Some(f) => write_baseline = Some(f),
+                None => return ExitCode::FAILURE,
+            },
+            "--explain" => {
                 i += 1;
                 match args.get(i) {
-                    Some(dir) => root = PathBuf::from(dir),
+                    Some(f) => explain = Some(f.clone()),
                     None => {
-                        eprintln!("xtask analyze: --root needs a directory");
+                        eprintln!("xtask analyze: --explain needs a file path");
                         return ExitCode::FAILURE;
                     }
                 }
             }
             "--skip-model-check" => skip_model_check = true,
+            "--json" => json = true,
             other => {
                 eprintln!("xtask analyze: unknown flag `{other}`");
                 return ExitCode::FAILURE;
@@ -81,42 +132,187 @@ fn analyze(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "xtask analyze: scanning {} files under {}",
-        ws.files.len(),
-        root.display()
-    );
-    let findings = xtask::analyze(&ws);
-    for finding in &findings {
-        println!("{finding}");
-    }
-    let static_ok = findings.is_empty();
-    if static_ok {
-        println!("passes 1-3 (panic freedom, float ordering, unsafety/invariants): clean");
-    } else {
-        println!("passes 1-3: {} finding(s)", findings.len());
+    let report = xtask::analyze_report(&ws);
+
+    if let Some(target) = explain {
+        return explain_file(&report, &target);
     }
 
+    if json {
+        println!("{}", xtask::report_to_json(&report));
+    } else {
+        println!(
+            "xtask analyze: scanning {} files under {} ({} hot, {} by inference)",
+            ws.files.len(),
+            root.display(),
+            report.hot_files.len(),
+            report.inferred_hot_files.len()
+        );
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+    }
+
+    if let Some(path) = write_baseline {
+        let text = xtask::baseline_json(&report.findings);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!(
+                "xtask analyze: cannot write baseline {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("xtask analyze: baseline written to {}", path.display());
+    }
+
+    let static_ok = match &baseline {
+        None => {
+            let ok = report.findings.is_empty();
+            if !json {
+                if ok {
+                    println!("passes 1-5 (panic freedom, float ordering, nondeterminism, atomics, unsafety/invariants): clean");
+                } else {
+                    println!("passes 1-5: {} finding(s)", report.findings.len());
+                }
+            }
+            ok
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!(
+                    "xtask analyze: cannot read baseline {}: {e}",
+                    path.display()
+                );
+                false
+            }
+            Ok(text) => match xtask::diff_baseline(&report.findings, &text) {
+                Err(e) => {
+                    eprintln!("xtask analyze: {e}");
+                    false
+                }
+                Ok(diff) => {
+                    for line in &diff.new {
+                        println!("NEW: {line}");
+                    }
+                    for line in &diff.shrunk {
+                        println!("baseline shrink: {line}");
+                    }
+                    if diff.new.is_empty() {
+                        println!(
+                            "passes 1-5: no findings beyond the baseline ({} baselined, {} shrinkable)",
+                            report.findings.len(),
+                            diff.shrunk.len()
+                        );
+                        true
+                    } else {
+                        println!(
+                            "passes 1-5: {} NEW finding(s) beyond the baseline",
+                            diff.new.len()
+                        );
+                        false
+                    }
+                }
+            },
+        },
+    };
+
     let model_ok = if skip_model_check {
-        println!("pass 4 (model check): skipped");
+        if !json {
+            println!("pass 6 (model check): skipped");
+        }
         true
     } else {
-        println!("pass 4 (model check): cargo test -p dwcp-core --release --test model_check");
+        if !json {
+            println!("pass 6 (model check): cargo test -p dwcp-core --release --test model_check");
+        }
         run_model_check(&root)
     };
 
     if static_ok && model_ok {
-        println!("xtask analyze: all passes clean");
+        if !json {
+            println!("xtask analyze: all passes clean");
+        }
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
 }
 
-/// Pass 4: the bounded-interleaving exploration of the incumbent-racing
-/// protocol lives in dwcp-core's `model_check` test suite (it needs the
+/// `--explain FILE`: print the reachability chain that pulls FILE into
+/// the hot set (or why it is hot/cold without one).
+fn explain_file(report: &xtask::AnalysisReport, target: &str) -> ExitCode {
+    let target = target.trim_start_matches("./");
+    match report.hot_set.explain(&report.graph_index, target) {
+        Some(chain) => {
+            println!("{target} is hot — reachability chain:");
+            for (depth, step) in chain.iter().enumerate() {
+                println!("{:indent$}{step}", "", indent = depth * 2);
+            }
+            if xtask::is_hot_path(target) {
+                println!("(also on the legacy hot-path floor)");
+            }
+            ExitCode::SUCCESS
+        }
+        None if xtask::is_hot_path(target) => {
+            println!(
+                "{target} is hot via the legacy floor only — no entry point reaches it \
+                 (it defines no reachable fn)"
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("{target} is not hot: no entry point reaches it");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// `cargo xtask selftest` — prove every pass catches its seeded violation
+/// and the real workspace stays clean; exits non-zero on any failure.
+fn selftest(args: &[String]) -> ExitCode {
+    let mut root = workspace_root();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => {
+                        eprintln!("xtask selftest: --root needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("xtask selftest: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    match xtask::run_selftest(&root) {
+        Ok(log) => {
+            for line in log {
+                println!("ok: {line}");
+            }
+            println!("xtask selftest: all checks passed");
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            for line in failures {
+                eprintln!("FAILED: {line}");
+            }
+            eprintln!("xtask selftest: FAILED");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pass 6: the bounded-interleaving exploration of the extracted
+/// protocols lives in dwcp-core's `model_check` test suite (it needs the
 /// real protocol code plus the vendored `interleave` explorer).
-fn run_model_check(root: &std::path::Path) -> bool {
+fn run_model_check(root: &Path) -> bool {
     let status = std::process::Command::new(env!("CARGO"))
         .args([
             "test",

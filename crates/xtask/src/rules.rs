@@ -1,29 +1,44 @@
 //! The analysis rules applied to scanned sources.
 //!
-//! Three textual passes run here (the fourth `analyze` pass — the bounded
+//! Five textual passes run here (the sixth `analyze` pass — the bounded
 //! model checker — is a cargo test suite the binary shells out to):
 //!
 //! 1. **Panic freedom** (`unwrap`, `expect`, `panic`, `todo`, `indexing`)
-//!    over the designated hot-path modules: code that runs unattended for
-//!    weeks must degrade through typed errors, never data-dependent
-//!    panics.
+//!    over the inferred hot set: code that runs unattended for weeks must
+//!    degrade through typed errors, never data-dependent panics.
 //! 2. **Float ordering** (`float-ordering`) workspace-wide: every f64
 //!    comparison used for sorting or champion selection must go through
 //!    `dwcp_math::total_cmp_f64` so NaN scores order deterministically
 //!    (quarantined last, never champion).
-//! 3. **Unsafety audit** (`safety-comment`, `forbid-unsafe`): crates that
+//! 3. **Nondeterminism** (`nondeterminism`) over the hot set: champion
+//!    selection must be bit-identical at 1/2/4/8 threads, so
+//!    order-unstable constructs — `HashMap`/`HashSet` iteration,
+//!    `read_dir` order, float-seeded `fold` reductions with ad-hoc NaN
+//!    semantics — are denied. The canonical reductions live in
+//!    `dwcp_math` (`kernels` lanes, `min_f64`/`max_f64`), which is the
+//!    blessed definition site.
+//! 4. **Atomic-ordering discipline** (`atomic-ordering`,
+//!    `atomic-protocol`): every atomic site is inventoried;
+//!    `Ordering::Relaxed` is denied outside a blessed-and-justified list,
+//!    and every file holding atomics must map to an extracted protocol
+//!    driven through the bounded model checker.
+//! 5. **Unsafety audit** (`safety-comment`, `forbid-unsafe`): crates that
 //!    compile without `unsafe` must say so with `#![forbid(unsafe_code)]`;
 //!    any `unsafe` that remains requires a `// SAFETY:` justification.
 //!
 //! Every rule honours the escape hatch convention — a comment of the form
 //! `lint:` + `allow(<rule>) — <reason>` on the offending line or the line
 //! above, or the `allow-file` variant for a whole file. A directive
-//! without a reason is itself a finding.
+//! without a reason is itself a finding, and so is a directive that no
+//! longer suppresses anything (`stale-allow`): each [`FileCtx`] records
+//! which directives actually fired, so dead escape hatches cannot
+//! accumulate.
 
 use crate::scan::{parse_directives, scan, AllowDirective, ScannedFile};
+use std::cell::RefCell;
 
 /// One rule violation (or directive problem) at a source location.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Workspace-relative path.
     pub path: String,
@@ -57,6 +72,9 @@ pub const KNOWN_RULES: &[&str] = &[
     "todo",
     "indexing",
     "float-ordering",
+    "nondeterminism",
+    "atomic-ordering",
+    "atomic-protocol",
     "safety-comment",
     "forbid-unsafe",
 ];
@@ -84,52 +102,94 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-/// Whether a finding for `rule` at `line_idx` is suppressed by an allow
-/// directive (which must carry a reason to count).
-fn is_allowed(
-    file: &ScannedFile,
-    file_allows: &[AllowDirective],
+/// One parsed allow directive with its location.
+#[derive(Debug, Clone)]
+struct DirectiveSite {
+    /// 0-based index into the scanned lines.
     line_idx: usize,
-    rule: &str,
-) -> bool {
-    let mut local = parse_directives(&file.lines[line_idx].comment);
-    if line_idx > 0 {
-        local.extend(parse_directives(&file.lines[line_idx - 1].comment));
+    /// 1-based source line.
+    number: usize,
+    directive: AllowDirective,
+}
+
+/// A scanned file plus its escape-hatch directives and a usage log.
+///
+/// Every pass consults [`FileCtx::allowed`] for suppression; the context
+/// records which directives actually fired so [`FileCtx::stale_findings`]
+/// can flag the dead ones afterwards. Build one context per file, run
+/// every applicable pass against it, then collect staleness — a directive
+/// is only fairly judged stale once all its potential suppressions ran.
+pub struct FileCtx {
+    /// Workspace-relative path.
+    pub path: String,
+    /// The scanned source.
+    pub file: ScannedFile,
+    sites: Vec<DirectiveSite>,
+    used: RefCell<Vec<bool>>,
+}
+
+impl FileCtx {
+    /// Scan `source` and index its directives.
+    pub fn new(path: &str, source: &str) -> FileCtx {
+        let file = scan(source);
+        let mut sites = Vec::new();
+        for (line_idx, line) in file.lines.iter().enumerate() {
+            for directive in parse_directives(&line.comment) {
+                sites.push(DirectiveSite {
+                    line_idx,
+                    number: line.number,
+                    directive,
+                });
+            }
+        }
+        let used = RefCell::new(vec![false; sites.len()]);
+        FileCtx {
+            path: path.to_string(),
+            file,
+            sites,
+            used,
+        }
     }
-    local
-        .iter()
-        .chain(file_allows.iter())
-        .any(|d| d.rule == rule && d.has_reason)
-}
 
-/// Collect the file-scoped allow directives.
-fn file_allows(file: &ScannedFile) -> Vec<AllowDirective> {
-    file.lines
-        .iter()
-        .flat_map(|l| parse_directives(&l.comment))
-        .filter(|d| d.file_scope)
-        .collect()
-}
+    /// Whether a finding for `rule` at `line_idx` is suppressed by an
+    /// allow directive (which must carry a reason to count). Marks every
+    /// matching directive as used.
+    pub fn allowed(&self, line_idx: usize, rule: &str) -> bool {
+        let mut hit = false;
+        let mut used = self.used.borrow_mut();
+        for (i, site) in self.sites.iter().enumerate() {
+            let d = &site.directive;
+            if d.rule != rule || !d.has_reason {
+                continue;
+            }
+            let in_scope =
+                d.file_scope || site.line_idx == line_idx || site.line_idx + 1 == line_idx;
+            if in_scope {
+                used[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
 
-/// Validate every directive in a file: unknown rules and missing reasons
-/// are findings so the escape hatch stays auditable.
-pub fn check_directives(path: &str, source: &str) -> Vec<Finding> {
-    let file = scan(source);
-    let mut findings = Vec::new();
-    for line in &file.lines {
-        for d in parse_directives(&line.comment) {
+    /// Directive hygiene: unknown rules and missing reasons are findings
+    /// so the escape hatch stays auditable.
+    pub fn directive_findings(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for site in &self.sites {
+            let d = &site.directive;
             if !KNOWN_RULES.contains(&d.rule.as_str()) {
                 findings.push(Finding {
-                    path: path.to_string(),
-                    line: line.number,
+                    path: self.path.clone(),
+                    line: site.number,
                     rule: "allow-unknown-rule".into(),
                     message: format!("escape hatch names unknown rule `{}`", d.rule),
                 });
             }
             if !d.has_reason {
                 findings.push(Finding {
-                    path: path.to_string(),
-                    line: line.number,
+                    path: self.path.clone(),
+                    line: site.number,
                     rule: "allow-missing-reason".into(),
                     message: format!(
                         "escape hatch for `{}` has no justification — write \
@@ -139,8 +199,53 @@ pub fn check_directives(path: &str, source: &str) -> Vec<Finding> {
                 });
             }
         }
+        findings
     }
-    findings
+
+    /// Staleness audit: a well-formed directive that suppressed nothing
+    /// across every pass is dead weight and must be removed (or the code
+    /// it excused has been fixed — either way the hatch comes out).
+    ///
+    /// Only reasoned directives naming known rules are judged: malformed
+    /// ones are already flagged by [`FileCtx::directive_findings`].
+    pub fn stale_findings(&self) -> Vec<Finding> {
+        let used = self.used.borrow();
+        let mut findings = Vec::new();
+        for (i, site) in self.sites.iter().enumerate() {
+            let d = &site.directive;
+            if used[i] || !d.has_reason || !KNOWN_RULES.contains(&d.rule.as_str()) {
+                continue;
+            }
+            let scope = if d.file_scope { "allow-file" } else { "allow" };
+            findings.push(Finding {
+                path: self.path.clone(),
+                line: site.number,
+                rule: "stale-allow".into(),
+                message: format!(
+                    "`lint: {scope}({})` suppresses nothing — remove the dead escape hatch",
+                    d.rule
+                ),
+            });
+        }
+        findings
+    }
+
+    /// `(rule, fired)` for every well-formed directive — the raw material
+    /// for the per-rule allow census in the JSON report.
+    pub fn census(&self) -> Vec<(String, bool)> {
+        let used = self.used.borrow();
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.directive.has_reason)
+            .map(|(i, s)| (s.directive.rule.clone(), used[i]))
+            .collect()
+    }
+}
+
+/// Validate every directive in a file (string-level convenience wrapper).
+pub fn check_directives(path: &str, source: &str) -> Vec<Finding> {
+    FileCtx::new(path, source).directive_findings()
 }
 
 /// Pass 1 — panic freedom over a hot-path file.
@@ -148,20 +253,23 @@ pub fn check_directives(path: &str, source: &str) -> Vec<Finding> {
 /// Denies `.unwrap()`, `.expect(`, `panic!`, `todo!` / `unimplemented!`
 /// and direct slice/array indexing in non-test code.
 pub fn check_panic_freedom(path: &str, source: &str) -> Vec<Finding> {
-    let file = scan(source);
-    let allows = file_allows(&file);
+    check_panic_freedom_ctx(&FileCtx::new(path, source))
+}
+
+/// [`check_panic_freedom`] against a prepared context.
+pub fn check_panic_freedom_ctx(ctx: &FileCtx) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut push = |idx: usize, number: usize, rule: &str, message: String| {
-        if !is_allowed(&file, &allows, idx, rule) {
+        if !ctx.allowed(idx, rule) {
             findings.push(Finding {
-                path: path.to_string(),
+                path: ctx.path.clone(),
                 line: number,
                 rule: rule.to_string(),
                 message,
             });
         }
     };
-    for (idx, line) in file.lines.iter().enumerate() {
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
@@ -237,10 +345,13 @@ fn indexing_sites(code: &str) -> Vec<usize> {
 /// blessed call site is `dwcp_math::total_cmp_f64`, whose defining module
 /// is exempted by the caller.
 pub fn check_float_ordering(path: &str, source: &str) -> Vec<Finding> {
-    let file = scan(source);
-    let allows = file_allows(&file);
+    check_float_ordering_ctx(&FileCtx::new(path, source))
+}
+
+/// [`check_float_ordering`] against a prepared context.
+pub fn check_float_ordering_ctx(ctx: &FileCtx) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
@@ -259,9 +370,9 @@ pub fn check_float_ordering(path: &str, source: &str) -> Vec<Finding> {
                     continue;
                 }
             }
-            if !is_allowed(&file, &allows, idx, "float-ordering") {
+            if !ctx.allowed(idx, "float-ordering") {
                 findings.push(Finding {
-                    path: path.to_string(),
+                    path: ctx.path.clone(),
                     line: line.number,
                     rule: "float-ordering".into(),
                     message: format!(
@@ -275,13 +386,198 @@ pub fn check_float_ordering(path: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// Pass 3a — every `unsafe` needs a `// SAFETY:` justification on the same
+/// Pass 3 — nondeterminism lint over champion-affecting (hot) code.
+///
+/// Bit-identical champions at any thread count leave no room for
+/// order-unstable constructs:
+///
+/// * `HashMap` / `HashSet` — iteration order varies per process (seeded
+///   hasher); use `BTreeMap`/`BTreeSet` or sort before iterating.
+/// * `read_dir` — directory order is filesystem-dependent; collect and
+///   sort before acting.
+/// * `fold(f64::…` — a float-seeded fold encodes an ad-hoc reduction
+///   whose NaN semantics depend on element order; route through the
+///   canonical `dwcp_math` helpers (`min_f64` / `max_f64`, the `kernels`
+///   lanes) instead.
+///
+/// Sequential `.sum::<f64>()` over a slice is *not* flagged: its
+/// evaluation order is fixed by the data layout, which is exactly the
+/// canonical order the kernels reproduce.
+///
+/// `blessed_reductions` is set by the caller for `dwcp_math` itself — the
+/// definition site of the canonical reductions.
+pub fn check_nondeterminism(path: &str, source: &str, blessed_reductions: bool) -> Vec<Finding> {
+    check_nondeterminism_ctx(&FileCtx::new(path, source), blessed_reductions)
+}
+
+/// [`check_nondeterminism`] against a prepared context.
+pub fn check_nondeterminism_ctx(ctx: &FileCtx, blessed_reductions: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |idx: usize, number: usize, message: String| {
+        if !ctx.allowed(idx, "nondeterminism") {
+            findings.push(Finding {
+                path: ctx.path.clone(),
+                line: number,
+                rule: "nondeterminism".into(),
+                message,
+            });
+        }
+    };
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for container in ["HashMap", "HashSet"] {
+            if !token_occurrences(code, container).is_empty() {
+                push(
+                    idx,
+                    line.number,
+                    format!(
+                        "`{container}` in champion-affecting code — iteration order is \
+                         nondeterministic; use `BTree{}` or sort before iterating",
+                        &container[4..]
+                    ),
+                );
+            }
+        }
+        if !token_occurrences(code, "read_dir").is_empty() {
+            push(
+                idx,
+                line.number,
+                "`read_dir` order is filesystem-dependent — collect and sort \
+                 entries before acting on them"
+                    .into(),
+            );
+        }
+        if !blessed_reductions && code.contains("fold(f64::") {
+            push(
+                idx,
+                line.number,
+                "float-seeded `fold` has order-dependent NaN semantics — use \
+                 `dwcp_math::min_f64` / `max_f64` or a `kernels` reduction"
+                    .into(),
+            );
+        }
+    }
+    findings
+}
+
+/// One atomic site in the inventory the discipline pass reports.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The token found (`AtomicU64`, `Ordering::Relaxed`, `fetch_add`, …).
+    pub what: String,
+}
+
+/// Atomic type and operation tokens the inventory records.
+const ATOMIC_TYPE_TOKENS: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI64",
+    "AtomicIsize",
+];
+const ATOMIC_OP_TOKENS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+const ORDERING_TOKENS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// Whether an inventory token names an atomic *type* (the presence of one
+/// is what obliges a file to map to an extracted protocol).
+pub fn is_atomic_type_token(what: &str) -> bool {
+    ATOMIC_TYPE_TOKENS.contains(&what)
+}
+
+/// Inventory every atomic type, read-modify-write op and explicit memory
+/// ordering in a file's non-test code.
+pub fn atomic_inventory(ctx: &FileCtx) -> Vec<AtomicSite> {
+    let mut out = Vec::new();
+    for line in &ctx.file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for &tok in ATOMIC_TYPE_TOKENS.iter().chain(ATOMIC_OP_TOKENS) {
+            if !token_occurrences(code, tok).is_empty() {
+                out.push(AtomicSite {
+                    path: ctx.path.clone(),
+                    line: line.number,
+                    what: tok.to_string(),
+                });
+            }
+        }
+        for &tok in ORDERING_TOKENS {
+            if code.contains(tok) {
+                out.push(AtomicSite {
+                    path: ctx.path.clone(),
+                    line: line.number,
+                    what: tok.to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pass 4a — `Ordering::Relaxed` discipline.
+///
+/// Relaxed ordering is correct only where the surrounding protocol makes
+/// it so, and dwcp's rule is that such protocols are *extracted* and
+/// bounded-model-checked. `blessed` carries the justification when the
+/// whole file is on the blessed list; otherwise each site needs an
+/// escape-hatch directive.
+pub fn check_atomic_ordering(ctx: &FileCtx, blessed: Option<&str>) -> Vec<Finding> {
+    if blessed.is_some() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains("Ordering::Relaxed") && !ctx.allowed(idx, "atomic-ordering") {
+            findings.push(Finding {
+                path: ctx.path.clone(),
+                line: line.number,
+                rule: "atomic-ordering".into(),
+                message: "`Ordering::Relaxed` outside the blessed list — justify the \
+                          protocol (and model-check it) or use a stronger ordering"
+                    .into(),
+            });
+        }
+    }
+    findings
+}
+
+/// Pass 5a — every `unsafe` needs a `// SAFETY:` justification on the same
 /// line or within the three lines above.
 pub fn check_safety_comments(path: &str, source: &str) -> Vec<Finding> {
-    let file = scan(source);
-    let allows = file_allows(&file);
+    check_safety_comments_ctx(&FileCtx::new(path, source))
+}
+
+/// [`check_safety_comments`] against a prepared context.
+pub fn check_safety_comments_ctx(ctx: &FileCtx) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for (idx, line) in file.lines.iter().enumerate() {
+    for (idx, line) in ctx.file.lines.iter().enumerate() {
         if token_occurrences(&line.code, "unsafe").is_empty() {
             continue;
         }
@@ -291,10 +587,10 @@ pub fn check_safety_comments(path: &str, source: &str) -> Vec<Finding> {
             continue;
         }
         let justified =
-            (idx.saturating_sub(3)..=idx).any(|j| file.lines[j].comment.contains("SAFETY:"));
-        if !justified && !is_allowed(&file, &allows, idx, "safety-comment") {
+            (idx.saturating_sub(3)..=idx).any(|j| ctx.file.lines[j].comment.contains("SAFETY:"));
+        if !justified && !ctx.allowed(idx, "safety-comment") {
             findings.push(Finding {
-                path: path.to_string(),
+                path: ctx.path.clone(),
                 line: line.number,
                 rule: "safety-comment".into(),
                 message: "`unsafe` without a `// SAFETY:` justification".into(),
@@ -304,7 +600,7 @@ pub fn check_safety_comments(path: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// Pass 3b — a crate with no `unsafe` anywhere must carry
+/// Pass 5b — a crate with no `unsafe` anywhere must carry
 /// `#![forbid(unsafe_code)]` in its root module. `crate_sources` are
 /// `(relative path, contents)` pairs; `root_module` is the crate's
 /// `lib.rs` (or `main.rs` for binary-only crates).
@@ -319,7 +615,7 @@ pub fn check_forbid_unsafe(
         })
     });
     if uses_unsafe {
-        return Vec::new(); // pass 3a audits the SAFETY comments instead
+        return Vec::new(); // pass 5a audits the SAFETY comments instead
     }
     let has_forbid = crate_sources
         .iter()
@@ -420,6 +716,94 @@ mod tests {
         .is_empty());
         let f = check_float_ordering("a.rs", "v.sort_by(|a, b| a.total_cmp(b));");
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn hash_containers_are_nondeterminism_findings() {
+        let f = check_nondeterminism(
+            "hot.rs",
+            "use std::collections::HashMap;\nfn f(m: &HashMap<u8, u8>) {}",
+            false,
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == "nondeterminism"));
+        let f = check_nondeterminism("hot.rs", "let s: HashSet<u8> = HashSet::new();", false);
+        assert_eq!(f.len(), 1);
+        assert!(check_nondeterminism("hot.rs", "let m = BTreeMap::new();", false).is_empty());
+    }
+
+    #[test]
+    fn float_seeded_folds_are_flagged_outside_math() {
+        let src = "let min = v.iter().copied().fold(f64::INFINITY, f64::min);";
+        assert_eq!(check_nondeterminism("hot.rs", src, false).len(), 1);
+        // The canonical definition site is blessed.
+        assert!(check_nondeterminism("crates/math/src/x.rs", src, true).is_empty());
+        // Integer folds are fine.
+        assert!(check_nondeterminism(
+            "hot.rs",
+            "let n = v.iter().fold(0usize, |a, _| a + 1);",
+            false
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn read_dir_is_flagged() {
+        let f = check_nondeterminism("hot.rs", "for e in std::fs::read_dir(d)? {}", false);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn nondeterminism_honours_the_escape_hatch() {
+        let src = "// lint: allow(nondeterminism) — entries sorted on the next line\n\
+                   let d = std::fs::read_dir(dir);";
+        assert!(check_nondeterminism("hot.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_outside_blessed_list_is_flagged() {
+        let ctx = FileCtx::new("a.rs", "let x = c.load(Ordering::Relaxed);");
+        let f = check_atomic_ordering(&ctx, None);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "atomic-ordering");
+        let ctx = FileCtx::new("a.rs", "let x = c.load(Ordering::Relaxed);");
+        assert!(check_atomic_ordering(&ctx, Some("model-checked CAS loop")).is_empty());
+        let ctx = FileCtx::new("a.rs", "let x = c.load(Ordering::SeqCst);");
+        assert!(check_atomic_ordering(&ctx, None).is_empty());
+    }
+
+    #[test]
+    fn atomic_inventory_records_types_ops_and_orderings() {
+        let ctx = FileCtx::new(
+            "a.rs",
+            "let c = AtomicU64::new(0);\nc.fetch_add(1, Ordering::SeqCst);\n\
+             #[cfg(test)]\nmod tests { fn t() { AtomicBool::new(false); } }",
+        );
+        let inv = atomic_inventory(&ctx);
+        let whats: Vec<&str> = inv.iter().map(|s| s.what.as_str()).collect();
+        assert!(whats.contains(&"AtomicU64"));
+        assert!(whats.contains(&"fetch_add"));
+        assert!(whats.contains(&"Ordering::SeqCst"));
+        // Test-module atomics stay out of the inventory.
+        assert!(!whats.contains(&"AtomicBool"));
+    }
+
+    #[test]
+    fn stale_allow_is_flagged_and_used_allow_is_not() {
+        let src = "// lint: allow-file(unwrap) — legacy excuse, nothing left\n\
+                   fn f() { g(); }";
+        let ctx = FileCtx::new("hot.rs", src);
+        let _ = check_panic_freedom_ctx(&ctx);
+        let stale = ctx.stale_findings();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "stale-allow");
+
+        let src = "fn f() {\n    // lint: allow(unwrap) — proven Some above\n    x.unwrap();\n}";
+        let ctx = FileCtx::new("hot.rs", src);
+        assert!(check_panic_freedom_ctx(&ctx).is_empty());
+        assert!(ctx.stale_findings().is_empty());
+        let census = ctx.census();
+        assert_eq!(census, vec![("unwrap".to_string(), true)]);
     }
 
     #[test]

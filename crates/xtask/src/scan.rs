@@ -65,6 +65,12 @@ fn split_literals(source: &str) -> Vec<Line> {
     let mut i = 0usize;
     while i < chars.len() {
         let c = chars[i];
+        // CRLF sources: the carriage return belongs to the line break, not
+        // to the code or comment text.
+        if c == '\r' && chars.get(i + 1) == Some(&'\n') {
+            i += 1;
+            continue;
+        }
         if c == '\n' {
             if let State::LineComment = state {
                 state = State::Code;
@@ -348,6 +354,30 @@ mod tests {
         let scanned = scan("let s = r#\"a.unwrap()\"#; let t = 3;");
         assert!(!scanned.lines[0].code.contains("unwrap"));
         assert!(scanned.lines[0].code.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn crlf_sources_scan_like_lf_sources() {
+        let scanned =
+            scan("let x = \"unwrap()\";\r\n// lint: allow(unwrap) — note\r\nfn f() {}\r\n");
+        // The carriage return must not leak into code, nor hide the string
+        // blanking or the directive comment.
+        assert!(!scanned.lines[0].code.contains("unwrap"));
+        assert!(!scanned.lines[0].code.contains('\r'));
+        let d = parse_directives(&scanned.lines[1].comment);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].has_reason);
+        assert!(scanned.lines[2].code.contains("fn f()"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_stay_blanked_across_lines() {
+        let src = "let s = r##\"first unwrap(\nsecond .unwrap()\n\"## ; let t = 5;";
+        let scanned = scan(src);
+        for line in &scanned.lines {
+            assert!(!line.code.contains("unwrap"), "leaked: {:?}", line.code);
+        }
+        assert!(scanned.lines[2].code.contains("let t = 5;"));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! them in query strings (`cdbm012%2FCPU`).
 
 use crate::planner::advisor::BreachSeverity;
+use crate::planner::protocol::{accept_one, request_shutdown};
 use crate::planner::repository::RelearnReason;
 use crate::planner::{
     CapacityAlert, Engine, LiveForecast, ScoreAction, ScoreSummary, StepOutcome, WorkloadStatus,
@@ -36,7 +37,7 @@ use crate::series::SeriesPage;
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -87,7 +88,10 @@ impl ServerHandle {
 }
 
 /// How a shutdown reaches the blocking acceptor: set the flag, then
-/// self-connect once so `accept` returns and observes it.
+/// self-connect once so `accept` returns and observes it. The
+/// flag-before-wake ordering is the drain-gate protocol
+/// ([`crate::planner::protocol::request_shutdown`]), model-checked in
+/// dwcp-core's `model_check` suite.
 #[derive(Debug, Clone)]
 struct ShutdownSignal {
     flag: Arc<AtomicBool>,
@@ -96,9 +100,10 @@ struct ShutdownSignal {
 
 impl ShutdownSignal {
     fn trigger(&self) {
-        self.flag.store(true, Ordering::SeqCst);
-        // The connect may fail if the acceptor is already gone — fine.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        request_shutdown(self.flag.as_ref(), || {
+            // The connect may fail if the acceptor is already gone — fine.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        });
     }
 }
 
@@ -145,13 +150,17 @@ fn worker_count(threads: usize) -> usize {
 /// Accept connections and hand them to the workers. Exits when the
 /// shutdown flag is set (the signal's self-connect unblocks `accept`) or
 /// every worker is gone; dropping `tx` then drains the pool.
+///
+/// Every accepted stream is enqueued *before* the flag is consulted
+/// ([`crate::planner::protocol::accept_one`]): a real request racing the
+/// shutdown trigger is handed to the pool — which drains the channel
+/// before exiting — rather than silently dropped. The wake connection the
+/// trigger makes takes the same path; a worker answers its empty request
+/// with a 400 and moves on.
 fn acceptor_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, flag: &AtomicBool) {
     for stream in listener.incoming() {
-        if flag.load(Ordering::SeqCst) {
-            break;
-        }
         let Ok(stream) = stream else { continue };
-        if tx.send(stream).is_err() {
+        if accept_one(flag, || tx.send(stream).is_ok()) {
             break;
         }
     }

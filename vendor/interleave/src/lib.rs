@@ -345,6 +345,36 @@ impl AtomicU64 {
     }
 }
 
+/// An `AtomicBool` whose every operation is a scheduling point.
+#[derive(Debug, Default)]
+pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+impl AtomicBool {
+    /// A new flag holding `v`.
+    pub fn new(v: bool) -> Self {
+        AtomicBool(std::sync::atomic::AtomicBool::new(v))
+    }
+
+    /// Atomic load (sequentially consistent).
+    pub fn load(&self) -> bool {
+        yield_point();
+        self.0.load(SeqCst)
+    }
+
+    /// Atomic store (sequentially consistent).
+    pub fn store(&self, v: bool) {
+        yield_point();
+        self.0.store(v, SeqCst)
+    }
+
+    /// Strong compare-exchange; the weak variant is modelled identically
+    /// (no spurious failures in the model).
+    pub fn compare_exchange(&self, current: bool, new: bool) -> Result<bool, bool> {
+        yield_point();
+        self.0.compare_exchange(current, new, SeqCst, SeqCst)
+    }
+}
+
 /// An `AtomicUsize` whose every operation is a scheduling point.
 #[derive(Debug, Default)]
 pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
@@ -468,6 +498,58 @@ mod tests {
             }
             let c = Arc::clone(&cell);
             sch.check(move || assert_eq!(c.load(), 2));
+        });
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn atomic_bool_explores_both_observation_orders() {
+        // A reader racing a writer must observe both `false` (read first)
+        // and `true` (write first) across the exploration, and a CAS from
+        // the observed value must always succeed in a two-thread race
+        // where only one thread writes.
+        let saw = Arc::new(std::sync::Mutex::new((false, false)));
+        let saw_in = Arc::clone(&saw);
+        let report = explore(1000, move |sch| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let writer = Arc::clone(&flag);
+            sch.thread(move || writer.store(true));
+            let reader = Arc::clone(&flag);
+            let saw = Arc::clone(&saw_in);
+            sch.thread(move || {
+                let seen = reader.load();
+                let mut saw = saw.lock().unwrap_or_else(|e| e.into_inner());
+                if seen {
+                    saw.1 = true;
+                } else {
+                    saw.0 = true;
+                }
+            });
+            let check = Arc::clone(&flag);
+            sch.check(move || assert!(check.load()));
+        });
+        assert!(report.complete);
+        let saw = saw.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(saw.0 && saw.1, "exploration missed an observation order");
+    }
+
+    #[test]
+    fn atomic_bool_cas_claims_exactly_once() {
+        // Two threads CAS false→true; exactly one wins in every schedule.
+        let report = explore(10_000, |sch| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let wins = Arc::new(AtomicUsize::new(0));
+            for _ in 0..2 {
+                let flag = Arc::clone(&flag);
+                let wins = Arc::clone(&wins);
+                sch.thread(move || {
+                    if flag.compare_exchange(false, true).is_ok() {
+                        wins.fetch_add(1);
+                    }
+                });
+            }
+            let wins = Arc::clone(&wins);
+            sch.check(move || assert_eq!(wins.load(), 1));
         });
         assert!(report.complete);
     }
